@@ -1,0 +1,22 @@
+//! The content aggregator — the eventual solution's enforcement point
+//! (§3.2).
+//!
+//! "Whenever a photo is uploaded to a content aggregator, the aggregator
+//! checks with the associated ledger to make sure that the photo is not
+//! revoked, and thereafter periodically rechecks the revocation status."
+//!
+//! * [`directory`] — [`LedgerDirectory`]: how an aggregator reaches the
+//!   ecosystem's ledgers (in-process for simulations; the TCP prototype in
+//!   `irs-net` provides a networked implementation of the same trait);
+//! * [`ingest`] — [`Aggregator`]: the §3.2 upload pipeline
+//!   (metadata/watermark agreement → ledger check → derivative check →
+//!   custodial claiming), periodic rechecking, freshness-proof stapling,
+//!   and the op-cost accounting behind the paper's "only a small
+//!   fractional addition to their current workflow" claim (experiment
+//!   E10).
+
+pub mod directory;
+pub mod ingest;
+
+pub use directory::{LedgerDirectory, LocalLedgers};
+pub use ingest::{Aggregator, AggregatorConfig, AggregatorStats, HostedPhoto, RecheckReport};

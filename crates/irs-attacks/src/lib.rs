@@ -1,0 +1,20 @@
+//! The §5 attack scenarios ("Direct Attacks and Unintended Consequences"),
+//! as executable library code composed from the real system components.
+//!
+//! * [`destruction`] — the naive attack: strip metadata and distort the
+//!   watermark away. The paper calls it self-defeating: the malformed copy
+//!   is unsharable under IRS upload rules; these scenarios verify that.
+//! * [`reclaim`] — the sophisticated attack: re-claim a revoked photo
+//!   under a fresh key with fresh labels, then share it. IRS "cannot
+//!   prevent or detect this automatically … but must rely on the
+//!   aforementioned appeals process"; the scenario runs the attack and
+//!   the appeal end to end.
+//! * [`censorship`] — coerced revocation against a nonprofit
+//!   non-revocable ledger.
+
+pub mod censorship;
+pub mod destruction;
+pub mod reclaim;
+
+pub use destruction::{destruction_attack, DestructionReport};
+pub use reclaim::{run_reclaim_scenario, ReclaimOutcome};

@@ -1,0 +1,37 @@
+//! Criterion micro-benches for the crypto substrate: the per-claim and
+//! per-proof costs that bound ledger throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use irs_crypto::{sha256, Keypair};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 4 << 10, 256 << 10] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(&data)));
+    }
+    group.finish();
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let kp = Keypair::from_seed(&[7u8; 32]);
+    let msg = irs_crypto::Digest::of(b"a photo digest").0;
+    c.bench_function("ed25519_sign", |b| b.iter(|| kp.sign(&msg)));
+    let sig = kp.sign(&msg);
+    c.bench_function("ed25519_verify", |b| {
+        b.iter(|| kp.public.verify_ok(&msg, &sig))
+    });
+    c.bench_function("ed25519_keygen", |b| {
+        let mut seed = [0u8; 32];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            seed[..8].copy_from_slice(&i.to_le_bytes());
+            Keypair::from_seed(&seed)
+        })
+    });
+}
+
+criterion_group!(benches, bench_hash, bench_sign_verify);
+criterion_main!(benches);

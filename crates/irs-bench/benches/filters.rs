@@ -1,0 +1,94 @@
+//! Criterion micro-benches for E4/E12: filter construction and query
+//! throughput across the Bloom/xor/fuse families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use irs_filters::hash::mix64;
+use irs_filters::{BloomFilter, Filter, Fuse8, Xor8};
+
+fn keys(n: u64) -> Vec<u64> {
+    (0..n).map(mix64).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_build");
+    for n in [10_000u64, 100_000] {
+        let ks = keys(n);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("bloom_2pct", n), &ks, |b, ks| {
+            b.iter(|| {
+                let mut f = BloomFilter::for_capacity(ks.len() as u64, 0.02).unwrap();
+                for &k in ks {
+                    f.insert(k);
+                }
+                f
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("xor8", n), &ks, |b, ks| {
+            b.iter(|| Xor8::build(ks).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fuse8", n), &ks, |b, ks| {
+            b.iter(|| Fuse8::build(ks).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let n = 100_000u64;
+    let ks = keys(n);
+    let mut bloom = BloomFilter::for_capacity(n, 0.02).unwrap();
+    for &k in &ks {
+        bloom.insert(k);
+    }
+    let xor = Xor8::build(&ks).unwrap();
+    let fuse = Fuse8::build(&ks).unwrap();
+
+    let mut group = c.benchmark_group("filter_query");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    group.bench_function("bloom_2pct", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            bloom.contains(mix64(i))
+        })
+    });
+    group.bench_function("xor8", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            xor.contains(mix64(i))
+        })
+    });
+    group.bench_function("fuse8", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            fuse.contains(mix64(i))
+        })
+    });
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    // E6 micro: delta diff + apply cost at 1% churn.
+    let mut old = BloomFilter::with_params(1 << 20, 6, 0).unwrap();
+    for k in 0..100_000u64 {
+        old.insert(mix64(k));
+    }
+    let mut new = old.clone();
+    for k in 100_000..101_000u64 {
+        new.insert(mix64(k));
+    }
+    c.bench_function("bloom_delta_diff_1pct_churn", |b| {
+        b.iter(|| irs_filters::delta::BloomDelta::diff(&old, &new).unwrap())
+    });
+    let delta = irs_filters::delta::BloomDelta::diff(&old, &new).unwrap();
+    c.bench_function("bloom_delta_apply_1pct_churn", |b| {
+        b.iter(|| {
+            let mut f = old.clone();
+            delta.apply(&mut f).unwrap();
+            f
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_query, bench_delta);
+criterion_main!(benches);

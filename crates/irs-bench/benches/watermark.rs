@@ -1,0 +1,43 @@
+//! Criterion micro-benches for the watermark (E7/E10): embed and extract
+//! dominate the camera-side and aggregator-side per-photo CPU cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irs_imaging::watermark::{embed, extract, WatermarkConfig};
+use irs_imaging::PhotoGenerator;
+
+fn bench_watermark(c: &mut Criterion) {
+    let cfg = WatermarkConfig::default();
+    let img = PhotoGenerator::new(1).generate(0, 256, 256);
+    let payload = [0x5au8; 12];
+    c.bench_function("watermark_embed_256px", |b| {
+        b.iter(|| embed(&img, &payload, &cfg).unwrap())
+    });
+    let marked = embed(&img, &payload, &cfg).unwrap();
+    c.bench_function("watermark_extract_aligned_256px", |b| {
+        b.iter(|| extract(&marked, &cfg).unwrap())
+    });
+    // Cropped extraction exercises the alignment scan (worst case).
+    let cropped = marked.crop(13, 7, 225, 231).unwrap();
+    c.bench_function("watermark_extract_cropped_256px", |b| {
+        b.iter(|| extract(&cropped, &cfg).unwrap())
+    });
+    // Unmarked extraction scans everything and fails — the aggregator's
+    // cost for unlabeled uploads.
+    let unmarked = PhotoGenerator::new(2).generate(1, 256, 256);
+    c.bench_function("watermark_extract_absent_256px", |b| {
+        b.iter(|| extract(&unmarked, &cfg).is_err())
+    });
+}
+
+fn bench_phash(c: &mut Criterion) {
+    let img = PhotoGenerator::new(3).generate(0, 256, 256);
+    c.bench_function("phash_dct256_256px", |b| {
+        b.iter(|| irs_imaging::phash::dct_hash_256(&img))
+    });
+    c.bench_function("jpeg_transcode_q70_256px", |b| {
+        b.iter(|| irs_imaging::jpeg::transcode(&img, 70))
+    });
+}
+
+criterion_group!(benches, bench_watermark, bench_phash);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benches for the wire codec: per-message encode/decode
+//! cost on the ledger's hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irs_core::claim::ClaimRequest;
+use irs_core::ids::{LedgerId, RecordId};
+use irs_core::wire::{Request, Response, Wire};
+use irs_crypto::{Digest, Keypair};
+
+fn bench_wire(c: &mut Criterion) {
+    let kp = Keypair::from_seed(&[1u8; 32]);
+    let query = Request::Query {
+        id: RecordId::new(LedgerId(1), 42),
+    };
+    c.bench_function("wire_encode_query", |b| b.iter(|| query.to_bytes()));
+    let bytes = query.to_bytes();
+    c.bench_function("wire_decode_query", |b| {
+        b.iter(|| Request::from_bytes(bytes.clone()).unwrap())
+    });
+
+    let claim = Request::Claim(ClaimRequest::create(&kp, &Digest::of(b"photo")));
+    c.bench_function("wire_encode_claim", |b| b.iter(|| claim.to_bytes()));
+    let claim_bytes = claim.to_bytes();
+    c.bench_function("wire_decode_claim", |b| {
+        b.iter(|| Request::from_bytes(claim_bytes.clone()).unwrap())
+    });
+
+    let batch = Request::Batch(
+        (0..100)
+            .map(|i| RecordId::new(LedgerId(1), i))
+            .collect(),
+    );
+    c.bench_function("wire_roundtrip_batch100", |b| {
+        b.iter(|| Request::from_bytes(batch.to_bytes()).unwrap())
+    });
+
+    let status = Response::Status {
+        id: RecordId::new(LedgerId(1), 42),
+        status: irs_core::claim::RevocationStatus::NotRevoked,
+        epoch: 7,
+    };
+    c.bench_function("wire_roundtrip_status", |b| {
+        b.iter(|| Response::from_bytes(status.to_bytes()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

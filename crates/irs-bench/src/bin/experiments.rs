@@ -1,0 +1,30 @@
+//! Regenerate the paper's evaluation tables.
+//!
+//! ```sh
+//! cargo run --release -p irs-bench --bin experiments -- all
+//! cargo run --release -p irs-bench --bin experiments -- e4
+//! cargo run --release -p irs-bench --bin experiments -- e7 --quick
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: experiments <e1..e14|all> [--quick]");
+        std::process::exit(2);
+    }
+    for id in ids {
+        match irs_bench::run_experiment(id, quick) {
+            Some(output) => println!("{output}"),
+            None => {
+                eprintln!("unknown experiment '{id}' (expected e1..e14 or all)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! E11 — TET adoption dynamics: where do the incumbents flip?
+//!
+//! §4.4: "once the population of photos in the bootstrap phase of IRS
+//! reaches anywhere close to 100 billion photos, the ecosystem incentives
+//! will start to kick in and the major content aggregators would support
+//! IRS." Sweep the liability weight and first-mover share; report each
+//! actor's flip month and the claimed-photo population at its flip.
+
+use crate::table::Table;
+use irs_tet::{AdoptionModel, ModelParams};
+
+fn flip_cell(result: &irs_tet::SimulationResult, actor: usize) -> String {
+    match (result.adoption_month[actor], result.adoption_population[actor]) {
+        (Some(month), Some(pop)) => format!("m{month} @ {pop:.1e}"),
+        _ => "never".to_string(),
+    }
+}
+
+/// Run E11.
+pub fn run(_quick: bool) -> String {
+    let mut table = Table::new(
+        "E11 — incumbent adoption: flip month @ claimed-photo population",
+        &[
+            "liability wt",
+            "first-mover share",
+            "privacy-brand",
+            "mainstream-a",
+            "mainstream-b",
+            "engagement-max",
+        ],
+    );
+    for &liability in &[0.0f64, 0.6, 1.2, 2.4] {
+        for &cap in &[0.10f64, 0.35] {
+            let mut model = AdoptionModel::with_defaults();
+            model.params = ModelParams {
+                liability_weight: liability,
+                first_mover_cap: cap,
+                ..model.params
+            };
+            let result = model.run();
+            table.row(vec![
+                format!("{liability}"),
+                format!("{:.0}%", cap * 100.0),
+                flip_cell(&result, 0),
+                flip_cell(&result, 1),
+                flip_cell(&result, 2),
+                flip_cell(&result, 3),
+            ]);
+        }
+    }
+    let default_run = AdoptionModel::with_defaults().run();
+    table.note(format!(
+        "default calibration: mainstream incumbents flip at {} claimed photos \
+         (paper situates the threshold 'anywhere close to 100 billion')",
+        default_run.adoption_population[1]
+            .map(|p| format!("{p:.1e}"))
+            .unwrap_or_else(|| "∞".into())
+    ));
+    table.note("liability 0 + small first-mover share reproduces today's ecosystem failure");
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn zero_liability_small_share_rarely_transforms() {
+        let out = super::run(true);
+        // The (0, 10%) row: mainstream actors should not all adopt.
+        let row = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("0 ") && l.contains("10%"))
+            .expect("row");
+        assert!(row.contains("never"), "{row}");
+        // The default-ish (1.2, 35%) row: everyone adopts.
+        let strong = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("1.2") && l.contains("35%"))
+            .expect("row");
+        assert!(!strong.contains("never"), "{strong}");
+    }
+}

@@ -1,0 +1,139 @@
+//! E1 — page loads take seconds; ledger checks take tens of milliseconds.
+//!
+//! §4.3: "the HTTP Archive Web Almanac study … categorizes any website
+//! that fully renders in under 1.8 s as having 'good performance', and
+//! notes that over 60 % of studied sites take over 2.5 s. Any reasonably
+//! responsive ledger would produce delays that would be a small fraction
+//! of this (say, under 100 ms)."
+//!
+//! We load a corpus of synthetic sites whose completion-time distribution
+//! matches the Almanac shape, then add metadata-first revocation checks at
+//! several fixed ledger RTTs and report the *added* page delay.
+
+use crate::table::{f, Table};
+use irs_browser::pipeline::{CheckTiming, FixedCheck, NetworkParams, NoChecks, PageLoader};
+use irs_simnet::{Histogram, LatencyModel, Link};
+use irs_workload::pages::PageModel;
+use irs_workload::population::{PhotoPopulation, PopulationConfig};
+use irs_workload::samplers::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A corpus of page shapes spanning light articles to heavy grids, with
+/// per-site bandwidth/latency variation to reproduce the Almanac's
+/// heavy-tailed completion distribution.
+fn corpus(n: usize, population: &PhotoPopulation, zipf: &Zipf, rng: &mut StdRng) -> Vec<(PageModel, NetworkParams)> {
+    (0..n)
+        .map(|_| {
+            let images = rng.gen_range(6..60);
+            let page = if rng.gen_bool(0.5) {
+                PageModel::pinterest_like(images, 0.8, population, zipf, rng)
+            } else {
+                PageModel::article_like(images.min(15), 0.8, population, zipf, rng)
+            };
+            // Per-site last mile: 4–50 Mbit/s, 20–120 ms median site RTT.
+            let params = NetworkParams {
+                site_link: Link::new(LatencyModel::LogNormal {
+                    median_ms: rng.gen_range(20.0..120.0),
+                    sigma: 0.5,
+                }),
+                bandwidth_bytes_per_ms: rng.gen_range(500..6_000),
+                parallel_connections: 6,
+            };
+            (page, params)
+        })
+        .collect()
+}
+
+/// Run E1.
+pub fn run(quick: bool) -> String {
+    let sites = if quick { 60 } else { 400 };
+    let population = PhotoPopulation::new(PopulationConfig {
+        total: 100_000,
+        ..PopulationConfig::default()
+    });
+    let zipf = Zipf::new(population.public_count() as usize, 0.9);
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let corpus = corpus(sites, &population, &zipf, &mut rng);
+
+    // Baseline distribution.
+    let mut baseline = Histogram::new();
+    let mut base_times = Vec::with_capacity(corpus.len());
+    for (page, params) in &corpus {
+        let mut loader = PageLoader::new(
+            params.clone(),
+            CheckTiming::MetadataFirst,
+            StdRng::seed_from_u64(1),
+        );
+        let t = loader.load(page, &mut NoChecks).page_complete_ms;
+        baseline.record(t);
+        base_times.push(t);
+    }
+    let base = baseline.summary();
+    let count = base.count as f64;
+    let frac_over =
+        |ms: u64| -> f64 { base_times.iter().filter(|&&t| t > ms).count() as f64 / count };
+
+    let mut table = Table::new(
+        "E1 — page completion vs added IRS check delay (metadata-first)",
+        &[
+            "ledger RTT",
+            "added p50",
+            "added p90",
+            "added max",
+            "added/page p50",
+        ],
+    );
+    for rtt in [0u64, 25, 50, 100, 250] {
+        let mut added = Histogram::new();
+        let mut ratio_num = 0.0f64;
+        for (page, params) in &corpus {
+            let mut loader = PageLoader::new(
+                params.clone(),
+                CheckTiming::MetadataFirst,
+                StdRng::seed_from_u64(1),
+            );
+            let with = loader.load(page, &mut FixedCheck(rtt));
+            added.record(with.page_delay());
+            ratio_num += with.page_delay() as f64
+                / with.page_complete_no_irs_ms.max(1) as f64;
+        }
+        let s = added.summary();
+        table.row(vec![
+            format!("{rtt} ms"),
+            format!("{} ms", s.p50),
+            format!("{} ms", s.p90),
+            format!("{} ms", s.max),
+            crate::table::pct(ratio_num / count),
+        ]);
+    }
+    table.note(format!(
+        "baseline completion: p50={} ms, p90={} ms, mean={} ms over {} sites",
+        base.p50,
+        base.p90,
+        f(base.mean, 0),
+        base.count
+    ));
+    table.note(format!(
+        "sites over 1.8 s: {}; over 2.5 s: {} (Almanac: 'good' < 1.8 s; >60% exceed 2.5 s)",
+        crate::table::pct(frac_over(1_800)),
+        crate::table::pct(frac_over(2_500)),
+    ));
+    table.note(
+        "paper claim: sub-100 ms ledger delays are a small fraction of multi-second loads",
+    );
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_holds() {
+        let out = super::run(true);
+        assert!(out.contains("E1"));
+        // The 100 ms row must exist and the added delay stays far below
+        // the multi-second base (qualitative check on text output is done
+        // in EXPERIMENTS.md; here just verify it runs).
+        assert!(out.contains("100 ms"));
+    }
+}

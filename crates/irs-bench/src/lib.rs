@@ -1,0 +1,56 @@
+//! The experiment harness.
+//!
+//! The paper is a position paper with no numbered tables; its evaluation
+//! content is a set of quantitative claims. DESIGN.md §4 assigns each
+//! claim an experiment id (E1–E14); this crate holds one module per
+//! experiment, each exposing `run(quick: bool) -> String` that regenerates
+//! the corresponding table. The `experiments` binary dispatches on the
+//! experiment id; `quick` shrinks the workloads for CI smoke runs.
+//!
+//! Criterion micro-benches (build/query/sign/embed/ingest throughput) live
+//! under `benches/`.
+
+pub mod experiments;
+pub mod table;
+
+/// Run an experiment by id ("e1".."e14" or "all"). `quick` trades
+/// precision for speed (used by tests).
+pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
+    use experiments::*;
+    Some(match id {
+        "e1" => e1_page_load::run(quick),
+        "e2" => e2_pinterest_threshold::run(quick),
+        "e3" => e3_scroll_prototype::run(quick),
+        "e4" => e4_bloom_sizing::run(quick),
+        "e5" => e5_proxy_cache::run(quick),
+        "e6" => e6_delta_traffic::run(quick),
+        "e7" => e7_watermark_robustness::run(quick),
+        "e8" => e8_phash_roc::run(quick),
+        "e9" => e9_reclaim_appeals::run(quick),
+        "e10" => e10_aggregator_overhead::run(quick),
+        "e11" => e11_tet_adoption::run(quick),
+        "e12" => e12_filter_comparison::run(quick),
+        "e13" => e13_viewer_privacy::run(quick),
+        "e14" => e14_validation_latency::run(quick),
+        "all" => {
+            let mut out = String::new();
+            for id in [
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+                "e13", "e14",
+            ] {
+                out.push_str(&run_experiment(id, quick).expect("known id"));
+                out.push('\n');
+            }
+            out
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(super::run_experiment("e99", true).is_none());
+    }
+}

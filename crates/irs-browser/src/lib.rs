@@ -1,0 +1,24 @@
+//! Browser-side IRS support — the bootstrap phase's first-mover component
+//! (§4.1: "we believe the right place to make this intervention is within
+//! browser software").
+//!
+//! * [`validator`] — the in-browser validation engine: reads labels,
+//!   consults an optional in-browser filter (§4.4's "early adoption"
+//!   variant), otherwise delegates to a proxy, and maps results through
+//!   the viewer policy (Goal #3);
+//! * [`pipeline`] — the §4.3 page-load model: resource fetch scheduling
+//!   with limited connection parallelism, metadata-first revocation
+//!   checks, first-contentful-paint accounting, and per-image IRS delay;
+//! * [`scroll`] — scroll-session model for the §4.3 prototype experiment
+//!   ("we did not notice additional delay when scrolling");
+//! * [`sites`] — the §4.4 accountability mechanism: badge sites by their
+//!   IRS behavior, "as \[browsers\] do with TLS icons".
+
+pub mod pipeline;
+pub mod scroll;
+pub mod sites;
+pub mod validator;
+
+pub use pipeline::{CheckService, LoadReport, NetworkParams, PageLoader};
+pub use sites::{SiteBadge, SiteReputation};
+pub use validator::{BrowserValidator, ValidationPlan};

@@ -1,0 +1,184 @@
+//! Scroll-session model — the §4.3 prototype observation.
+//!
+//! "We built a prototype ledger and browser extension that performed
+//! revocation checks. … we did not notice additional delay when scrolling
+//! through a variety of web sites containing claimed images."
+//!
+//! A session scrolls through a long image grid one viewport at a time,
+//! dwelling on each. The browser prefetches (and validates) the next
+//! viewport during the dwell, so a check is visible only if it outlasts
+//! dwell + fetch slack. Experiment E3 runs this against the real TCP
+//! ledger prototype in `irs-net`.
+
+use crate::pipeline::CheckService;
+use irs_simnet::{Histogram, Link};
+use irs_workload::population::{PhotoMeta, PhotoPopulation};
+use irs_workload::samplers::Zipf;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Scroll session parameters.
+#[derive(Clone, Debug)]
+pub struct ScrollConfig {
+    /// Images visible per viewport.
+    pub viewport_images: usize,
+    /// Number of viewports scrolled through.
+    pub viewports: usize,
+    /// Dwell on each viewport before scrolling (ms).
+    pub dwell_ms: u64,
+    /// Fraction of images that are claimed.
+    pub claimed_fraction: f64,
+    /// Image fetch link.
+    pub fetch_link: Link,
+    /// Bytes per ms of bandwidth.
+    pub bandwidth_bytes_per_ms: u64,
+    /// Average image bytes.
+    pub image_bytes: u64,
+}
+
+impl Default for ScrollConfig {
+    fn default() -> Self {
+        ScrollConfig {
+            viewport_images: 12,
+            viewports: 20,
+            dwell_ms: 1_500,
+            claimed_fraction: 0.8,
+            fetch_link: irs_simnet::latency::profiles::browser_to_site(),
+            bandwidth_bytes_per_ms: 3_125,
+            image_bytes: 150_000,
+        }
+    }
+}
+
+/// Result of one scroll session.
+#[derive(Clone, Debug)]
+pub struct ScrollReport {
+    /// Per-viewport visible delay (ms past the scroll instant before every
+    /// image in the viewport is displayable).
+    pub viewport_delays: Histogram,
+    /// Per-image delay attributable to IRS validation specifically.
+    pub irs_delays: Histogram,
+    /// Checks issued.
+    pub checks: u64,
+}
+
+/// Run a scroll session.
+pub fn run_session(
+    config: &ScrollConfig,
+    population: &PhotoPopulation,
+    zipf: &Zipf,
+    checks: &mut dyn CheckService,
+    rng: &mut StdRng,
+) -> ScrollReport {
+    let mut viewport_delays = Histogram::new();
+    let mut irs_delays = Histogram::new();
+    let mut checks_issued = 0u64;
+    let bw = config.bandwidth_bytes_per_ms.max(1);
+
+    for viewport in 0..config.viewports {
+        // The user arrives at viewport v at time v · dwell. Prefetch of
+        // its images begins one dwell earlier (when the previous viewport
+        // came on screen), except the first viewport which starts cold.
+        let scroll_at = viewport as u64 * config.dwell_ms;
+        let prefetch_at = scroll_at.saturating_sub(config.dwell_ms);
+        let mut viewport_ready = prefetch_at;
+        for _ in 0..config.viewport_images {
+            let fetch_start = prefetch_at;
+            let rtt = config.fetch_link.rtt(rng);
+            let metadata_at = fetch_start + rtt + 4_096.min(config.image_bytes) / bw;
+            let pixels_at = fetch_start + rtt + config.image_bytes / bw;
+            let displayable = if rng.gen_bool(config.claimed_fraction.clamp(0.0, 1.0)) {
+                let rank = zipf.sample(rng) as u64;
+                let meta: PhotoMeta = population.public_photo_by_rank(rank);
+                checks_issued += 1;
+                let check_done = metadata_at + checks.check_ms(&meta);
+                irs_delays.record(check_done.saturating_sub(pixels_at));
+                pixels_at.max(check_done)
+            } else {
+                irs_delays.record(0);
+                pixels_at
+            };
+            viewport_ready = viewport_ready.max(displayable);
+        }
+        viewport_delays.record(viewport_ready.saturating_sub(scroll_at));
+    }
+
+    ScrollReport {
+        viewport_delays,
+        irs_delays,
+        checks: checks_issued,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{FixedCheck, NoChecks};
+    use irs_simnet::LatencyModel;
+    use irs_workload::population::PopulationConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (PhotoPopulation, Zipf) {
+        let pop = PhotoPopulation::new(PopulationConfig {
+            total: 10_000,
+            ..PopulationConfig::default()
+        });
+        let zipf = Zipf::new(pop.public_count() as usize, 0.9);
+        (pop, zipf)
+    }
+
+    fn config() -> ScrollConfig {
+        ScrollConfig {
+            fetch_link: Link::new(LatencyModel::Constant(30)),
+            ..ScrollConfig::default()
+        }
+    }
+
+    #[test]
+    fn prefetch_hides_modest_checks() {
+        let (pop, zipf) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut report = run_session(&config(), &pop, &zipf, &mut FixedCheck(50), &mut rng);
+        // After the first (cold) viewport, everything is prefetched during
+        // the dwell; added delay beyond the baseline must be zero.
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let mut baseline = run_session(&config(), &pop, &zipf, &mut NoChecks, &mut rng2);
+        let with = report.viewport_delays.summary();
+        let without = baseline.viewport_delays.summary();
+        assert_eq!(
+            with.p50, without.p50,
+            "median viewport delay must match baseline"
+        );
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn huge_checks_surface_as_delay() {
+        let (pop, zipf) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut report = run_session(&config(), &pop, &zipf, &mut FixedCheck(10_000), &mut rng);
+        assert!(report.viewport_delays.summary().p50 > 1_000);
+    }
+
+    #[test]
+    fn unclaimed_session_has_no_checks() {
+        let (pop, zipf) = setup();
+        let cfg = ScrollConfig {
+            claimed_fraction: 0.0,
+            ..config()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = run_session(&cfg, &pop, &zipf, &mut FixedCheck(1_000), &mut rng);
+        assert_eq!(report.checks, 0);
+    }
+
+    #[test]
+    fn first_viewport_is_cold() {
+        let (pop, zipf) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut report = run_session(&config(), &pop, &zipf, &mut NoChecks, &mut rng);
+        // Cold start: first viewport pays full fetch; the max across
+        // viewports is at least the image transfer time.
+        assert!(report.viewport_delays.summary().max >= 100);
+    }
+}

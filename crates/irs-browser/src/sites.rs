@@ -1,0 +1,244 @@
+//! Site IRS-support marking (§4.4, closing paragraph).
+//!
+//! "Not all sites will adopt IRS after the bootstrap phase, but their
+//! decision to not respect owner-privacy will be known because browsers
+//! could mark such sites (as they do with TLS icons), third-party rating
+//! services could publicize their lack of adoption, and search engines
+//! might lower their rankings."
+//!
+//! The browser observes, per site: does it preserve IRS metadata, do its
+//! responses carry fresh proofs, and does it serve photos whose records
+//! stand revoked? Those observations roll up into a badge.
+
+use irs_core::freshness::FreshnessProof;
+use irs_core::photo::{LabelState, PhotoFile};
+use irs_core::time::TimeMs;
+use irs_crypto::PublicKey;
+use irs_imaging::watermark::WatermarkConfig;
+use std::collections::HashMap;
+
+/// The browser-UI badge for a site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteBadge {
+    /// Preserves labels and staples valid freshness proofs.
+    IrsSupporting,
+    /// Preserves labels but attaches no proofs (bootstrap-era neutral).
+    Neutral,
+    /// Strips labels or serves revoked content: marked, like a broken-TLS
+    /// icon.
+    MarkedNonCompliant,
+    /// Not enough observations yet.
+    Unknown,
+}
+
+/// Per-site observation counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SiteRecord {
+    /// Photos observed from this site.
+    pub photos_seen: u64,
+    /// Photos whose labels arrived intact (both channels agree).
+    pub labels_intact: u64,
+    /// Photos whose labels were stripped/inconsistent.
+    pub labels_damaged: u64,
+    /// Responses carrying a verifying, fresh proof.
+    pub valid_proofs: u64,
+    /// Photos served while their record stood revoked (the liability
+    /// event §4.1 predicts lawsuits over).
+    pub revoked_served: u64,
+}
+
+/// Tracks per-site behavior and assigns badges.
+#[derive(Default)]
+pub struct SiteReputation {
+    sites: HashMap<String, SiteRecord>,
+    /// Observations required before leaving [`SiteBadge::Unknown`].
+    pub min_observations: u64,
+}
+
+impl SiteReputation {
+    /// New tracker requiring `min_observations` photos per site.
+    pub fn new(min_observations: u64) -> SiteReputation {
+        SiteReputation {
+            sites: HashMap::new(),
+            min_observations,
+        }
+    }
+
+    /// Record one served photo from `site`. `revoked` is the validation
+    /// verdict the browser reached for it; `proof` is whatever the site
+    /// stapled; `trusted_ledger` verifies it.
+    pub fn observe(
+        &mut self,
+        site: &str,
+        photo: &PhotoFile,
+        revoked: bool,
+        proof: Option<&FreshnessProof>,
+        trusted_ledger: Option<&PublicKey>,
+        wm: &WatermarkConfig,
+        now: TimeMs,
+    ) {
+        let rec = self.sites.entry(site.to_string()).or_default();
+        rec.photos_seen += 1;
+        match photo.read_label(wm).state() {
+            LabelState::Labeled(_) => rec.labels_intact += 1,
+            LabelState::Inconsistent => rec.labels_damaged += 1,
+            LabelState::Unlabeled => {}
+        }
+        if let (Some(p), Some(key)) = (proof, trusted_ledger) {
+            if p.verify(key, now) {
+                rec.valid_proofs += 1;
+            }
+        }
+        if revoked {
+            rec.revoked_served += 1;
+        }
+    }
+
+    /// The record for a site.
+    pub fn record(&self, site: &str) -> Option<&SiteRecord> {
+        self.sites.get(site)
+    }
+
+    /// Badge for a site.
+    pub fn badge(&self, site: &str) -> SiteBadge {
+        let Some(rec) = self.sites.get(site) else {
+            return SiteBadge::Unknown;
+        };
+        if rec.photos_seen < self.min_observations {
+            return SiteBadge::Unknown;
+        }
+        // Any persistent revoked-serving or label damage marks the site.
+        let damage_rate = rec.labels_damaged as f64 / rec.photos_seen as f64;
+        if rec.revoked_served > 0 || damage_rate > 0.10 {
+            return SiteBadge::MarkedNonCompliant;
+        }
+        let proof_rate = rec.valid_proofs as f64 / rec.photos_seen as f64;
+        if proof_rate > 0.5 {
+            SiteBadge::IrsSupporting
+        } else {
+            SiteBadge::Neutral
+        }
+    }
+
+    /// Sites currently marked non-compliant — what a rating service would
+    /// publish.
+    pub fn marked_sites(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .sites
+            .keys()
+            .map(String::as_str)
+            .filter(|s| self.badge(s) == SiteBadge::MarkedNonCompliant)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_core::claim::RevocationStatus;
+    use irs_core::ids::{LedgerId, RecordId};
+    use irs_crypto::Keypair;
+    use irs_imaging::PhotoGenerator;
+
+    fn wm() -> WatermarkConfig {
+        WatermarkConfig::default()
+    }
+
+    fn labeled_photo() -> PhotoFile {
+        let mut p = PhotoFile::new(PhotoGenerator::new(1).generate(0, 256, 256));
+        p.label(RecordId::new(LedgerId(1), 1), &wm()).unwrap();
+        p
+    }
+
+    fn proof(kp: &Keypair) -> FreshnessProof {
+        FreshnessProof::issue(
+            kp,
+            RecordId::new(LedgerId(1), 1),
+            RevocationStatus::NotRevoked,
+            TimeMs(0),
+            1_000_000,
+        )
+    }
+
+    #[test]
+    fn unknown_until_enough_observations() {
+        let mut rep = SiteReputation::new(3);
+        assert_eq!(rep.badge("a.example"), SiteBadge::Unknown);
+        let photo = labeled_photo();
+        rep.observe("a.example", &photo, false, None, None, &wm(), TimeMs(1));
+        assert_eq!(rep.badge("a.example"), SiteBadge::Unknown);
+    }
+
+    #[test]
+    fn proof_stapling_site_earns_supporting_badge() {
+        let mut rep = SiteReputation::new(2);
+        let kp = Keypair::from_seed(&[9u8; 32]);
+        let photo = labeled_photo();
+        let p = proof(&kp);
+        for _ in 0..3 {
+            rep.observe(
+                "good.example",
+                &photo,
+                false,
+                Some(&p),
+                Some(&kp.public),
+                &wm(),
+                TimeMs(10),
+            );
+        }
+        assert_eq!(rep.badge("good.example"), SiteBadge::IrsSupporting);
+    }
+
+    #[test]
+    fn label_preserving_site_without_proofs_is_neutral() {
+        let mut rep = SiteReputation::new(2);
+        let photo = labeled_photo();
+        for _ in 0..3 {
+            rep.observe("meh.example", &photo, false, None, None, &wm(), TimeMs(1));
+        }
+        assert_eq!(rep.badge("meh.example"), SiteBadge::Neutral);
+    }
+
+    #[test]
+    fn stripping_site_gets_marked() {
+        let mut rep = SiteReputation::new(2);
+        let mut stripped = labeled_photo();
+        stripped.metadata.strip_all(); // watermark survives ⇒ inconsistent
+        for _ in 0..3 {
+            rep.observe("strip.example", &stripped, false, None, None, &wm(), TimeMs(1));
+        }
+        assert_eq!(rep.badge("strip.example"), SiteBadge::MarkedNonCompliant);
+        assert_eq!(rep.marked_sites(), vec!["strip.example"]);
+    }
+
+    #[test]
+    fn serving_revoked_content_gets_marked_immediately() {
+        let mut rep = SiteReputation::new(2);
+        let photo = labeled_photo();
+        rep.observe("bad.example", &photo, false, None, None, &wm(), TimeMs(1));
+        rep.observe("bad.example", &photo, true, None, None, &wm(), TimeMs(2));
+        assert_eq!(rep.badge("bad.example"), SiteBadge::MarkedNonCompliant);
+    }
+
+    #[test]
+    fn expired_proofs_do_not_count() {
+        let mut rep = SiteReputation::new(1);
+        let kp = Keypair::from_seed(&[9u8; 32]);
+        let photo = labeled_photo();
+        let p = proof(&kp); // valid for 1_000_000 ms from t=0
+        for _ in 0..2 {
+            rep.observe(
+                "stale.example",
+                &photo,
+                false,
+                Some(&p),
+                Some(&kp.public),
+                &wm(),
+                TimeMs(2_000_000), // expired
+            );
+        }
+        assert_eq!(rep.badge("stale.example"), SiteBadge::Neutral);
+    }
+}

@@ -1,0 +1,196 @@
+//! Claims and revocation.
+//!
+//! §3.2: "the camera … generates a unique key pair for the photo, hashes
+//! the photo, and then encrypts the hash with the private key" — realized
+//! as a detached Ed25519 signature over the photo digest (the modern form
+//! of "encrypting a hash with the private key"). "The ledger records the
+//! encrypted hash, the public key, an authenticated timestamp, and a
+//! Boolean 'revoked' flag."
+//!
+//! Revocation is a signed request with the claim key; the ledger never
+//! learns the owner's identity, only that the request-signer controls the
+//! claim key (Goal #1(iv)). Unrevocation is supported because "many photos
+//! will be automatically registered and revoked (allowing an owner to
+//! manually unrevoke ones they want to share)" (§4.4).
+
+use crate::ids::RecordId;
+use crate::tsa::TimestampToken;
+use irs_crypto::{Digest, Keypair, PublicKey, Signature};
+
+/// The revocation state of a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RevocationStatus {
+    /// Viewing/sharing is permitted.
+    NotRevoked,
+    /// Owner has revoked; viewing/sharing must be blocked.
+    Revoked,
+    /// Revoked through the appeals process; cannot be unrevoked
+    /// ("they then mark it as permanently revoked", §3.2).
+    PermanentlyRevoked,
+}
+
+impl RevocationStatus {
+    /// Whether content with this status may be displayed/shared.
+    pub fn allows_viewing(&self) -> bool {
+        matches!(self, RevocationStatus::NotRevoked)
+    }
+}
+
+/// What an owner submits to claim a photo. Contains no photo content and
+/// no owner identity — only the per-photo public key and the signature over
+/// the photo hash (which the ledger cannot invert).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClaimRequest {
+    /// Per-photo public key.
+    pub pubkey: PublicKey,
+    /// Signature over the photo digest ("the encrypted hash").
+    pub hash_sig: Signature,
+}
+
+impl ClaimRequest {
+    /// Build a claim request for a photo digest under a per-photo keypair.
+    pub fn create(keypair: &Keypair, photo_digest: &Digest) -> ClaimRequest {
+        ClaimRequest {
+            pubkey: keypair.public,
+            hash_sig: keypair.sign(photo_digest.as_bytes()),
+        }
+    }
+
+    /// Digest that the timestamp authority countersigns.
+    pub fn digest(&self) -> Digest {
+        Digest::of_parts(&[&self.pubkey.0, &self.hash_sig.0])
+    }
+
+    /// Verify this claim against a *revealed* photo digest — used only
+    /// during appeals, when the owner voluntarily presents the original
+    /// photo ("the original owner presents the ledger with the original
+    /// photo and a signed timestamp of the original claim", §3.2).
+    pub fn proves_ownership_of(&self, photo_digest: &Digest) -> bool {
+        self.pubkey.verify_ok(photo_digest.as_bytes(), &self.hash_sig)
+    }
+}
+
+/// A ledger record: the claim plus its timestamp and status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Claim {
+    /// The identifier handed back at claim time.
+    pub id: RecordId,
+    /// The owner's claim material.
+    pub request: ClaimRequest,
+    /// Authenticated claim time.
+    pub timestamp: TimestampToken,
+    /// Current status.
+    pub status: RevocationStatus,
+    /// Monotone counter of status changes; bound into revoke requests so a
+    /// replayed old request cannot roll the flag back.
+    pub status_epoch: u64,
+}
+
+/// A signed revoke/unrevoke request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RevokeRequest {
+    /// Target record.
+    pub id: RecordId,
+    /// `true` to revoke, `false` to unrevoke.
+    pub revoke: bool,
+    /// The status epoch this request was built against (replay defense).
+    pub epoch: u64,
+    /// Signature with the claim key over (id, revoke, epoch).
+    pub sig: Signature,
+}
+
+impl RevokeRequest {
+    /// Create a signed request. `epoch` must be the record's current
+    /// `status_epoch` (fetched from the ledger).
+    pub fn create(keypair: &Keypair, id: RecordId, revoke: bool, epoch: u64) -> RevokeRequest {
+        RevokeRequest {
+            id,
+            revoke,
+            epoch,
+            sig: keypair.sign(&Self::message(id, revoke, epoch)),
+        }
+    }
+
+    fn message(id: RecordId, revoke: bool, epoch: u64) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(8 + 12 + 1 + 8);
+        msg.extend_from_slice(b"IRS-RVK1");
+        msg.extend_from_slice(&id.to_payload());
+        msg.push(revoke as u8);
+        msg.extend_from_slice(&epoch.to_be_bytes());
+        msg
+    }
+
+    /// Verify against the claim's public key and current epoch.
+    pub fn verify(&self, claim_pubkey: &PublicKey, current_epoch: u64) -> bool {
+        self.epoch == current_epoch
+            && claim_pubkey.verify_ok(&Self::message(self.id, self.revoke, self.epoch), &self.sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LedgerId;
+
+    fn kp(seed: u8) -> Keypair {
+        Keypair::from_seed(&[seed; 32])
+    }
+
+    #[test]
+    fn claim_request_proves_ownership() {
+        let keypair = kp(1);
+        let digest = Digest::of(b"photo pixels");
+        let req = ClaimRequest::create(&keypair, &digest);
+        assert!(req.proves_ownership_of(&digest));
+        assert!(!req.proves_ownership_of(&Digest::of(b"other pixels")));
+    }
+
+    #[test]
+    fn claim_request_digest_binds_both_fields() {
+        let keypair = kp(2);
+        let d1 = ClaimRequest::create(&keypair, &Digest::of(b"a")).digest();
+        let d2 = ClaimRequest::create(&keypair, &Digest::of(b"b")).digest();
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn revoke_request_verifies() {
+        let keypair = kp(3);
+        let id = RecordId::new(LedgerId(1), 7);
+        let req = RevokeRequest::create(&keypair, id, true, 0);
+        assert!(req.verify(&keypair.public, 0));
+    }
+
+    #[test]
+    fn revoke_request_rejects_wrong_key_epoch_or_tamper() {
+        let keypair = kp(4);
+        let other = kp(5);
+        let id = RecordId::new(LedgerId(1), 8);
+        let req = RevokeRequest::create(&keypair, id, true, 3);
+        assert!(!req.verify(&other.public, 3), "wrong key");
+        assert!(!req.verify(&keypair.public, 4), "stale epoch");
+        let mut flipped = req;
+        flipped.revoke = false;
+        assert!(!flipped.verify(&keypair.public, 3), "tampered direction");
+        let mut retarget = req;
+        retarget.id = RecordId::new(LedgerId(1), 9);
+        assert!(!retarget.verify(&keypair.public, 3), "tampered target");
+    }
+
+    #[test]
+    fn replay_is_blocked_by_epoch() {
+        // Owner revokes at epoch 0; attacker replays the same message after
+        // the owner unrevoked (epoch now 2). Must fail.
+        let keypair = kp(6);
+        let id = RecordId::new(LedgerId(2), 1);
+        let old = RevokeRequest::create(&keypair, id, true, 0);
+        assert!(!old.verify(&keypair.public, 2));
+    }
+
+    #[test]
+    fn status_semantics() {
+        assert!(RevocationStatus::NotRevoked.allows_viewing());
+        assert!(!RevocationStatus::Revoked.allows_viewing());
+        assert!(!RevocationStatus::PermanentlyRevoked.allows_viewing());
+    }
+}

@@ -1,0 +1,155 @@
+//! Freshness proofs — the OCSP-stapling analogue.
+//!
+//! §3.2: "When an aggregator provides a response … containing a claimed
+//! photo, it includes in metadata cryptographic proof that it has recently
+//! verified the non-revoked status of the photo." A ledger signs
+//! (record, status, issued-at, validity window); browsers accept an
+//! unexpired proof instead of issuing their own query, which is what keeps
+//! viewing latency flat and ledger load low in the eventual design.
+
+use crate::claim::RevocationStatus;
+use crate::ids::RecordId;
+use crate::time::TimeMs;
+use irs_crypto::{Keypair, PublicKey, Signature};
+
+/// A ledger-signed statement of a record's status at a point in time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FreshnessProof {
+    /// The record attested.
+    pub id: RecordId,
+    /// Status at issuance.
+    pub status: RevocationStatus,
+    /// Issuance time.
+    pub issued_at: TimeMs,
+    /// Validity window in milliseconds.
+    pub valid_for_ms: u64,
+    /// Issuing ledger's key.
+    pub ledger_key: PublicKey,
+    /// Ledger signature over all of the above.
+    pub sig: Signature,
+}
+
+impl FreshnessProof {
+    /// Issue a proof under the ledger's signing key.
+    pub fn issue(
+        ledger: &Keypair,
+        id: RecordId,
+        status: RevocationStatus,
+        issued_at: TimeMs,
+        valid_for_ms: u64,
+    ) -> FreshnessProof {
+        let msg = Self::message(&id, status, issued_at, valid_for_ms);
+        FreshnessProof {
+            id,
+            status,
+            issued_at,
+            valid_for_ms,
+            ledger_key: ledger.public,
+            sig: ledger.sign(&msg),
+        }
+    }
+
+    fn message(
+        id: &RecordId,
+        status: RevocationStatus,
+        issued_at: TimeMs,
+        valid_for_ms: u64,
+    ) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(8 + 12 + 1 + 16);
+        msg.extend_from_slice(b"IRS-FRP1");
+        msg.extend_from_slice(&id.to_payload());
+        msg.push(match status {
+            RevocationStatus::NotRevoked => 0,
+            RevocationStatus::Revoked => 1,
+            RevocationStatus::PermanentlyRevoked => 2,
+        });
+        msg.extend_from_slice(&issued_at.0.to_be_bytes());
+        msg.extend_from_slice(&valid_for_ms.to_be_bytes());
+        msg
+    }
+
+    /// Verify signature, binding, and freshness at time `now` against a
+    /// trusted ledger key.
+    pub fn verify(&self, trusted_ledger: &PublicKey, now: TimeMs) -> bool {
+        if &self.ledger_key != trusted_ledger {
+            return false;
+        }
+        if now.since(self.issued_at) > self.valid_for_ms {
+            return false;
+        }
+        let msg = Self::message(&self.id, self.status, self.issued_at, self.valid_for_ms);
+        trusted_ledger.verify_ok(&msg, &self.sig)
+    }
+
+    /// Whether the proof is still within its validity window (signature not
+    /// checked).
+    pub fn is_fresh(&self, now: TimeMs) -> bool {
+        now.since(self.issued_at) <= self.valid_for_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LedgerId;
+
+    fn ledger_kp() -> Keypair {
+        Keypair::from_seed(&[42u8; 32])
+    }
+
+    fn id() -> RecordId {
+        RecordId::new(LedgerId(1), 100)
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let kp = ledger_kp();
+        let proof = FreshnessProof::issue(
+            &kp,
+            id(),
+            RevocationStatus::NotRevoked,
+            TimeMs(1000),
+            60_000,
+        );
+        assert!(proof.verify(&kp.public, TimeMs(30_000)));
+        assert!(proof.is_fresh(TimeMs(61_000)));
+        assert!(!proof.is_fresh(TimeMs(61_001)));
+    }
+
+    #[test]
+    fn expired_proof_rejected() {
+        let kp = ledger_kp();
+        let proof =
+            FreshnessProof::issue(&kp, id(), RevocationStatus::NotRevoked, TimeMs(0), 10_000);
+        assert!(proof.verify(&kp.public, TimeMs(10_000)));
+        assert!(!proof.verify(&kp.public, TimeMs(10_001)));
+    }
+
+    #[test]
+    fn status_tamper_rejected() {
+        let kp = ledger_kp();
+        let proof = FreshnessProof::issue(&kp, id(), RevocationStatus::Revoked, TimeMs(0), 10_000);
+        let mut forged = proof;
+        forged.status = RevocationStatus::NotRevoked;
+        assert!(!forged.verify(&kp.public, TimeMs(1)));
+    }
+
+    #[test]
+    fn wrong_ledger_key_rejected() {
+        let kp = ledger_kp();
+        let other = Keypair::from_seed(&[43u8; 32]);
+        let proof =
+            FreshnessProof::issue(&kp, id(), RevocationStatus::NotRevoked, TimeMs(0), 10_000);
+        assert!(!proof.verify(&other.public, TimeMs(1)));
+    }
+
+    #[test]
+    fn proof_bound_to_record() {
+        let kp = ledger_kp();
+        let proof =
+            FreshnessProof::issue(&kp, id(), RevocationStatus::NotRevoked, TimeMs(0), 10_000);
+        let mut retarget = proof;
+        retarget.id = RecordId::new(LedgerId(1), 101);
+        assert!(!retarget.verify(&kp.public, TimeMs(1)));
+    }
+}

@@ -1,0 +1,169 @@
+//! Record identifiers.
+//!
+//! §3.1: claiming "hands back a unique identifier that refers to both the
+//! ledger and the specific photo". The identifier must fit in the watermark
+//! payload, so it is exactly 96 bits: a 16-bit ledger tag, a 64-bit serial,
+//! and a 16-bit checksum that catches corrupted labels before they turn
+//! into spurious ledger queries.
+
+use irs_imaging::watermark::PAYLOAD_BYTES;
+
+/// Identifies a ledger within the IRS ecosystem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LedgerId(pub u16);
+
+impl std::fmt::Display for LedgerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ledger-{}", self.0)
+    }
+}
+
+/// The 96-bit identifier of a claimed photo: (ledger, serial, checksum).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// The ledger holding the record.
+    pub ledger: LedgerId,
+    /// The ledger-local record serial number.
+    pub serial: u64,
+    /// CRC-16 over (ledger, serial); validated on parse.
+    check: u16,
+}
+
+impl std::fmt::Debug for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RecordId({}:{})", self.ledger.0, self.serial)
+    }
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "irs:{}:{}:{:04x}", self.ledger.0, self.serial, self.check)
+    }
+}
+
+impl RecordId {
+    /// Construct an identifier (checksum computed).
+    pub fn new(ledger: LedgerId, serial: u64) -> RecordId {
+        RecordId {
+            ledger,
+            serial,
+            check: Self::checksum(ledger, serial),
+        }
+    }
+
+    fn checksum(ledger: LedgerId, serial: u64) -> u16 {
+        let mut data = [0u8; 10];
+        data[..2].copy_from_slice(&ledger.0.to_be_bytes());
+        data[2..].copy_from_slice(&serial.to_be_bytes());
+        irs_imaging::ecc::crc16(&data)
+    }
+
+    /// Serialize to the 12-byte watermark payload.
+    pub fn to_payload(&self) -> [u8; PAYLOAD_BYTES] {
+        let mut out = [0u8; PAYLOAD_BYTES];
+        out[..2].copy_from_slice(&self.ledger.0.to_be_bytes());
+        out[2..10].copy_from_slice(&self.serial.to_be_bytes());
+        out[10..].copy_from_slice(&self.check.to_be_bytes());
+        out
+    }
+
+    /// Parse from a 12-byte payload; `None` if the checksum fails.
+    pub fn from_payload(bytes: &[u8; PAYLOAD_BYTES]) -> Option<RecordId> {
+        let ledger = LedgerId(u16::from_be_bytes(bytes[..2].try_into().expect("2 bytes")));
+        let serial = u64::from_be_bytes(bytes[2..10].try_into().expect("8 bytes"));
+        let check = u16::from_be_bytes(bytes[10..].try_into().expect("2 bytes"));
+        if check != Self::checksum(ledger, serial) {
+            return None;
+        }
+        Some(RecordId {
+            ledger,
+            serial,
+            check,
+        })
+    }
+
+    /// Parse the textual `irs:<ledger>:<serial>:<check>` form used in
+    /// metadata fields; `None` on any syntactic or checksum failure.
+    pub fn parse(s: &str) -> Option<RecordId> {
+        let mut parts = s.split(':');
+        if parts.next()? != "irs" {
+            return None;
+        }
+        let ledger = LedgerId(parts.next()?.parse().ok()?);
+        let serial: u64 = parts.next()?.parse().ok()?;
+        let check = u16::from_str_radix(parts.next()?, 16).ok()?;
+        if parts.next().is_some() || check != Self::checksum(ledger, serial) {
+            return None;
+        }
+        Some(RecordId {
+            ledger,
+            serial,
+            check,
+        })
+    }
+
+    /// A stable 64-bit key for filters and caches (hash of the payload).
+    pub fn filter_key(&self) -> u64 {
+        irs_crypto::Digest::of(&self.to_payload()).prefix_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        let id = RecordId::new(LedgerId(3), 9_876_543_210);
+        let p = id.to_payload();
+        assert_eq!(RecordId::from_payload(&p), Some(id));
+    }
+
+    #[test]
+    fn corrupted_payload_rejected() {
+        let id = RecordId::new(LedgerId(1), 42);
+        let mut p = id.to_payload();
+        p[5] ^= 0x01;
+        assert_eq!(RecordId::from_payload(&p), None);
+        let mut p2 = id.to_payload();
+        p2[11] ^= 0x80; // corrupt the checksum itself
+        assert_eq!(RecordId::from_payload(&p2), None);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let id = RecordId::new(LedgerId(7), 123_456);
+        let s = id.to_string();
+        assert!(s.starts_with("irs:7:123456:"));
+        assert_eq!(RecordId::parse(&s), Some(id));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert_eq!(RecordId::parse("not-an-id"), None);
+        assert_eq!(RecordId::parse("irs:1:2"), None);
+        assert_eq!(RecordId::parse("irs:1:2:ffff"), None); // bad checksum
+        assert_eq!(RecordId::parse("irs:1:2:zzzz"), None);
+        let id = RecordId::new(LedgerId(1), 2);
+        let extra = format!("{id}:junk");
+        assert_eq!(RecordId::parse(&extra), None);
+    }
+
+    #[test]
+    fn filter_keys_differ() {
+        let a = RecordId::new(LedgerId(1), 1).filter_key();
+        let b = RecordId::new(LedgerId(1), 2).filter_key();
+        let c = RecordId::new(LedgerId(2), 1).filter_key();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(a, RecordId::new(LedgerId(1), 1).filter_key());
+    }
+
+    #[test]
+    fn ordering_is_by_ledger_then_serial() {
+        let a = RecordId::new(LedgerId(1), 99);
+        let b = RecordId::new(LedgerId(2), 1);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Core protocol types for the Internet Revocation System (IRS).
+//!
+//! The paper (§3.1) defines four operations — **claim**, **label**,
+//! **revoke**, **validate** — over an ecosystem of cameras, ledgers,
+//! browsers, proxies, and content aggregators. This crate defines the
+//! shared vocabulary those components speak:
+//!
+//! * [`ids`] — [`RecordId`]: the 96-bit identifier that names a (ledger,
+//!   record) pair, sized to fit the watermark payload;
+//! * [`claim`] — [`Claim`], [`RevocationStatus`], and the signed
+//!   [`ClaimRequest`] / [`RevokeRequest`] messages;
+//! * [`tsa`] — the RFC 3161-style timestamp authority that countersigns
+//!   claims ("an authenticated timestamp (as in \[1\])");
+//! * [`freshness`] — [`FreshnessProof`]: the OCSP-like signed statement a
+//!   ledger issues so aggregators can attach "cryptographic proof that it
+//!   has recently verified the non-revoked status" (§3.2);
+//! * [`photo`] — [`PhotoFile`]: image + metadata as it moves through the
+//!   ecosystem, and [`LabelReading`]: the §3.2 metadata/watermark
+//!   agreement rules;
+//! * [`camera`] — the owner-side capture path: keygen → hash → sign →
+//!   claim → label;
+//! * [`wallet`] — the owner's store of (keypair, identifier, original),
+//!   producing revocation requests and appeal evidence;
+//! * [`policy`] — validation outcomes and the viewer-side enforcement
+//!   policy (Goal #3);
+//! * [`provenance`] — C2PA-style signed assertion chains, the "Relevant
+//!   Technologies" integration point the paper expects IRS to ride on;
+//! * [`wire`] — a compact, versioned, length-delimited binary codec plus
+//!   the ledger request/response message set, shared by the in-process
+//!   simulation and the real TCP prototype (`irs-net`);
+//! * [`time`] — milliseconds-since-epoch timestamps and the [`Clock`]
+//!   abstraction that lets the same protocol code run under the
+//!   discrete-event simulator and on the real network.
+
+pub mod camera;
+pub mod claim;
+pub mod freshness;
+pub mod ids;
+pub mod photo;
+pub mod policy;
+pub mod provenance;
+pub mod time;
+pub mod tsa;
+pub mod wallet;
+pub mod wire;
+
+pub use camera::{Camera, CapturedPhoto};
+pub use claim::{Claim, ClaimRequest, RevocationStatus, RevokeRequest};
+pub use wallet::{AppealEvidence, OwnedPhoto, OwnerWallet};
+pub use freshness::FreshnessProof;
+pub use ids::{LedgerId, RecordId};
+pub use photo::{LabelReading, PhotoFile};
+pub use policy::{UploadDecision, ValidationOutcome};
+pub use time::{Clock, SystemClock, TimeMs};
+pub use tsa::{TimestampAuthority, TimestampToken};
+
+/// Errors shared across the IRS protocol layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrsError {
+    /// A signature failed to verify.
+    BadSignature,
+    /// A record identifier failed its checksum or referenced an unknown
+    /// ledger.
+    BadRecordId,
+    /// The referenced record does not exist.
+    UnknownRecord,
+    /// A timestamp token failed verification.
+    BadTimestamp,
+    /// A freshness proof is expired or invalid.
+    StaleProof,
+    /// Wire-format decode failure.
+    Wire(wire::WireError),
+    /// Operation rejected by policy (e.g. revoking a permanently revoked
+    /// record, or a non-revocable ledger refusing revocation).
+    PolicyViolation(&'static str),
+}
+
+impl std::fmt::Display for IrsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrsError::BadSignature => write!(f, "signature verification failed"),
+            IrsError::BadRecordId => write!(f, "malformed record identifier"),
+            IrsError::UnknownRecord => write!(f, "unknown record"),
+            IrsError::BadTimestamp => write!(f, "timestamp token invalid"),
+            IrsError::StaleProof => write!(f, "freshness proof stale or invalid"),
+            IrsError::Wire(e) => write!(f, "wire error: {e}"),
+            IrsError::PolicyViolation(what) => write!(f, "policy violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IrsError {}
+
+impl From<wire::WireError> for IrsError {
+    fn from(e: wire::WireError) -> Self {
+        IrsError::Wire(e)
+    }
+}

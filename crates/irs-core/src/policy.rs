@@ -1,0 +1,203 @@
+//! Validation outcomes and enforcement policy.
+//!
+//! Goal #3: "The ecosystem should let a viewer and/or a system know when
+//! they are viewing/displaying or resharing an image against the wishes of
+//! the owner. This act should either be prohibited or should require
+//! explicit confirmation or action from the user."
+
+use crate::ids::RecordId;
+
+/// The outcome of validating a photo before display/save/share.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValidationOutcome {
+    /// Unlabeled photo: IRS does not govern it.
+    NotClaimed,
+    /// Claimed and not revoked: display freely.
+    Valid(RecordId),
+    /// Claimed and revoked: block (or require explicit user override,
+    /// depending on [`EnforcementMode`]).
+    Revoked(RecordId),
+    /// The label was inconsistent (tampered/partially stripped).
+    InconsistentLabel,
+    /// Validation could not be completed (ledger unreachable and no cached
+    /// answer); policy decides whether to fail open or closed.
+    Unknown(RecordId),
+}
+
+/// How strictly a viewer-side component enforces revocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnforcementMode {
+    /// Revoked content is never displayed.
+    Block,
+    /// Revoked content prompts the user ("require explicit confirmation").
+    Confirm,
+    /// Log only (measurement deployments).
+    Advisory,
+}
+
+/// What the browser/application actually does with a photo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DisplayAction {
+    /// Render normally.
+    Show,
+    /// Replace with a "revoked by owner" placeholder.
+    Placeholder,
+    /// Ask the user before rendering.
+    Prompt,
+}
+
+/// Viewer-side policy: maps validation outcomes to display actions.
+#[derive(Clone, Copy, Debug)]
+pub struct ViewerPolicy {
+    /// Enforcement strictness.
+    pub mode: EnforcementMode,
+    /// Whether to fail open (show) or closed (placeholder) when validation
+    /// is [`ValidationOutcome::Unknown`]. The bootstrap design fails open —
+    /// "IRS provides benefits even if it does not implement revocation
+    /// instantaneously" (Nongoal #4) — so an unreachable ledger degrades to
+    /// today's web rather than breaking it.
+    pub fail_open: bool,
+}
+
+impl Default for ViewerPolicy {
+    fn default() -> Self {
+        ViewerPolicy {
+            mode: EnforcementMode::Block,
+            fail_open: true,
+        }
+    }
+}
+
+impl ViewerPolicy {
+    /// Decide what to do with a photo given its validation outcome.
+    pub fn display_action(&self, outcome: ValidationOutcome) -> DisplayAction {
+        match outcome {
+            ValidationOutcome::NotClaimed | ValidationOutcome::Valid(_) => DisplayAction::Show,
+            ValidationOutcome::Revoked(_) => match self.mode {
+                EnforcementMode::Block => DisplayAction::Placeholder,
+                EnforcementMode::Confirm => DisplayAction::Prompt,
+                EnforcementMode::Advisory => DisplayAction::Show,
+            },
+            // Inconsistent labels are suspicious but the *viewer* (unlike
+            // the upload gate) cannot distinguish malice from damage; treat
+            // like unknown.
+            ValidationOutcome::InconsistentLabel | ValidationOutcome::Unknown(_) => {
+                if self.fail_open {
+                    DisplayAction::Show
+                } else {
+                    DisplayAction::Placeholder
+                }
+            }
+        }
+    }
+}
+
+/// The aggregator-side decision for an upload (§3.2 rules).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UploadDecision {
+    /// Accept; record was valid (or photo unlabeled and the aggregator
+    /// claimed it custodially — carries the custodial id if so).
+    Accepted(Option<RecordId>),
+    /// Denied: the record is revoked.
+    DeniedRevoked(RecordId),
+    /// Denied: metadata/watermark missing or in disagreement.
+    DeniedInconsistentLabel,
+    /// Denied: unlabeled and the aggregator's policy rejects unclaimed
+    /// content.
+    DeniedUnlabeled,
+    /// Denied: ledger unreachable and aggregator fails closed on upload
+    /// (upload is the enforcement point, so unlike viewing it defaults
+    /// strict).
+    DeniedUnverifiable,
+    /// Denied: robust-hash match against already-hosted content claimed
+    /// under a different record — the upload must "use the original
+    /// metadata" (§3.2) so revoking the original also removes derivatives.
+    DeniedDerivedFromClaimed(RecordId),
+}
+
+impl UploadDecision {
+    /// Whether the upload went through.
+    pub fn accepted(&self) -> bool {
+        matches!(self, UploadDecision::Accepted(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LedgerId;
+
+    fn rid() -> RecordId {
+        RecordId::new(LedgerId(1), 1)
+    }
+
+    #[test]
+    fn block_mode_blocks_revoked() {
+        let p = ViewerPolicy::default();
+        assert_eq!(
+            p.display_action(ValidationOutcome::Revoked(rid())),
+            DisplayAction::Placeholder
+        );
+        assert_eq!(
+            p.display_action(ValidationOutcome::Valid(rid())),
+            DisplayAction::Show
+        );
+        assert_eq!(
+            p.display_action(ValidationOutcome::NotClaimed),
+            DisplayAction::Show
+        );
+    }
+
+    #[test]
+    fn confirm_mode_prompts() {
+        let p = ViewerPolicy {
+            mode: EnforcementMode::Confirm,
+            fail_open: true,
+        };
+        assert_eq!(
+            p.display_action(ValidationOutcome::Revoked(rid())),
+            DisplayAction::Prompt
+        );
+    }
+
+    #[test]
+    fn advisory_mode_shows() {
+        let p = ViewerPolicy {
+            mode: EnforcementMode::Advisory,
+            fail_open: true,
+        };
+        assert_eq!(
+            p.display_action(ValidationOutcome::Revoked(rid())),
+            DisplayAction::Show
+        );
+    }
+
+    #[test]
+    fn fail_open_vs_closed() {
+        let open = ViewerPolicy::default();
+        assert_eq!(
+            open.display_action(ValidationOutcome::Unknown(rid())),
+            DisplayAction::Show
+        );
+        let closed = ViewerPolicy {
+            mode: EnforcementMode::Block,
+            fail_open: false,
+        };
+        assert_eq!(
+            closed.display_action(ValidationOutcome::Unknown(rid())),
+            DisplayAction::Placeholder
+        );
+        assert_eq!(
+            closed.display_action(ValidationOutcome::InconsistentLabel),
+            DisplayAction::Placeholder
+        );
+    }
+
+    #[test]
+    fn upload_decision_accepted() {
+        assert!(UploadDecision::Accepted(None).accepted());
+        assert!(UploadDecision::Accepted(Some(rid())).accepted());
+        assert!(!UploadDecision::DeniedRevoked(rid()).accepted());
+        assert!(!UploadDecision::DeniedInconsistentLabel.accepted());
+    }
+}

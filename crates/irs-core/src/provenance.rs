@@ -1,0 +1,319 @@
+//! C2PA-style provenance chains.
+//!
+//! §2 "Relevant Technologies": C2PA "proposes a new set of media metadata
+//! primitives that can be embedded in media files … or be hosted remotely
+//! by the content owner. … IRS … shares many technical challenges with
+//! C2PA and can benefit from the adoption of the C2PA metadata standard
+//! and the infrastructure C2PA industry partners create."
+//!
+//! This module is that integration point: a chain of signed assertions
+//! tracing a photo from capture through edits to publication. Each link
+//! binds (previous-link digest, content digest after this step, action,
+//! actor key), so the chain is append-only and any tamper breaks
+//! verification. The IRS record identifier rides in the capture assertion,
+//! which is how a C2PA-hosted manifest doubles as the IRS label's remote
+//! home ("be hosted remotely").
+
+use crate::ids::RecordId;
+use crate::time::TimeMs;
+use irs_crypto::{Digest, Keypair, PublicKey, Signature};
+
+/// What a provenance step did to the content.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Original capture (first link only). Carries the IRS record id when
+    /// the photo is claimed.
+    Captured {
+        /// The IRS claim, if any.
+        irs_record: Option<RecordId>,
+    },
+    /// An edit with a free-form description ("crop", "color-balance", …).
+    Edited(String),
+    /// Published/transcoded by a site.
+    Published(String),
+}
+
+/// One link in a provenance chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assertion {
+    /// Digest of the previous assertion ([`Digest::ZERO`] for the first).
+    pub prev: Digest,
+    /// Content digest *after* this step.
+    pub content: Digest,
+    /// What happened.
+    pub action: Action,
+    /// When.
+    pub at: TimeMs,
+    /// Who (per-actor key: camera, editor, publisher).
+    pub actor: PublicKey,
+    /// Actor signature over all of the above.
+    pub sig: Signature,
+}
+
+impl Assertion {
+    fn message(prev: &Digest, content: &Digest, action: &Action, at: TimeMs) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(96);
+        msg.extend_from_slice(b"IRS-PRV1");
+        msg.extend_from_slice(prev.as_bytes());
+        msg.extend_from_slice(content.as_bytes());
+        match action {
+            Action::Captured { irs_record } => {
+                msg.push(0);
+                match irs_record {
+                    Some(id) => {
+                        msg.push(1);
+                        msg.extend_from_slice(&id.to_payload());
+                    }
+                    None => msg.push(0),
+                }
+            }
+            Action::Edited(what) => {
+                msg.push(1);
+                msg.extend_from_slice(&(what.len() as u32).to_be_bytes());
+                msg.extend_from_slice(what.as_bytes());
+            }
+            Action::Published(site) => {
+                msg.push(2);
+                msg.extend_from_slice(&(site.len() as u32).to_be_bytes());
+                msg.extend_from_slice(site.as_bytes());
+            }
+        }
+        msg.extend_from_slice(&at.0.to_be_bytes());
+        msg
+    }
+
+    /// Digest of this assertion (what the next link's `prev` points to).
+    pub fn digest(&self) -> Digest {
+        Digest::of_parts(&[
+            self.prev.as_bytes(),
+            self.content.as_bytes(),
+            &self.sig.0,
+        ])
+    }
+
+    /// Verify this link's signature.
+    pub fn verify(&self) -> bool {
+        let msg = Self::message(&self.prev, &self.content, &self.action, self.at);
+        self.actor.verify_ok(&msg, &self.sig)
+    }
+}
+
+/// A provenance chain: capture first, then edits/publications.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProvenanceChain {
+    links: Vec<Assertion>,
+}
+
+/// Why a chain failed verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// Chain has no links.
+    Empty,
+    /// First link is not a capture, or a later link is.
+    BadStructure,
+    /// A link's `prev` does not match the previous link's digest.
+    BrokenLink(usize),
+    /// A link's signature failed.
+    BadSignature(usize),
+    /// Timestamps are not monotone.
+    TimeReversal(usize),
+    /// The final content digest does not match the presented photo.
+    ContentMismatch,
+}
+
+impl ProvenanceChain {
+    /// Start a chain with a capture assertion.
+    pub fn capture(
+        camera: &Keypair,
+        content: Digest,
+        irs_record: Option<RecordId>,
+        at: TimeMs,
+    ) -> ProvenanceChain {
+        let action = Action::Captured { irs_record };
+        let msg = Assertion::message(&Digest::ZERO, &content, &action, at);
+        ProvenanceChain {
+            links: vec![Assertion {
+                prev: Digest::ZERO,
+                content,
+                action,
+                at,
+                actor: camera.public,
+                sig: camera.sign(&msg),
+            }],
+        }
+    }
+
+    /// Append an edit/publication step.
+    pub fn append(
+        &mut self,
+        actor: &Keypair,
+        new_content: Digest,
+        action: Action,
+        at: TimeMs,
+    ) {
+        debug_assert!(!matches!(action, Action::Captured { .. }));
+        let prev = self.links.last().expect("chain never empty").digest();
+        let msg = Assertion::message(&prev, &new_content, &action, at);
+        self.links.push(Assertion {
+            prev,
+            content: new_content,
+            action,
+            at,
+            actor: actor.public,
+            sig: actor.sign(&msg),
+        });
+    }
+
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when the chain holds no links (only constructible via
+    /// `Default`).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The links, capture first.
+    pub fn links(&self) -> &[Assertion] {
+        &self.links
+    }
+
+    /// The IRS record carried in the capture assertion.
+    pub fn irs_record(&self) -> Option<RecordId> {
+        match self.links.first()?.action {
+            Action::Captured { irs_record } => irs_record,
+            _ => None,
+        }
+    }
+
+    /// Verify the whole chain against the photo it accompanies.
+    pub fn verify(&self, final_content: &Digest) -> Result<(), ChainError> {
+        if self.links.is_empty() {
+            return Err(ChainError::Empty);
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            let is_capture = matches!(link.action, Action::Captured { .. });
+            if (i == 0) != is_capture {
+                return Err(ChainError::BadStructure);
+            }
+            if i == 0 {
+                if link.prev != Digest::ZERO {
+                    return Err(ChainError::BrokenLink(0));
+                }
+            } else {
+                if link.prev != self.links[i - 1].digest() {
+                    return Err(ChainError::BrokenLink(i));
+                }
+                if link.at < self.links[i - 1].at {
+                    return Err(ChainError::TimeReversal(i));
+                }
+            }
+            if !link.verify() {
+                return Err(ChainError::BadSignature(i));
+            }
+        }
+        if &self.links.last().expect("nonempty").content != final_content {
+            return Err(ChainError::ContentMismatch);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LedgerId;
+
+    fn kp(seed: u8) -> Keypair {
+        Keypair::from_seed(&[seed; 32])
+    }
+
+    fn chain() -> (ProvenanceChain, Digest) {
+        let camera = kp(1);
+        let editor = kp(2);
+        let site = kp(3);
+        let captured = Digest::of(b"raw pixels");
+        let mut chain = ProvenanceChain::capture(
+            &camera,
+            captured,
+            Some(RecordId::new(LedgerId(1), 7)),
+            TimeMs(100),
+        );
+        let edited = Digest::of(b"cropped pixels");
+        chain.append(&editor, edited, Action::Edited("crop".into()), TimeMs(200));
+        let published = Digest::of(b"transcoded pixels");
+        chain.append(
+            &site,
+            published,
+            Action::Published("photos.example".into()),
+            TimeMs(300),
+        );
+        (chain, published)
+    }
+
+    #[test]
+    fn valid_chain_verifies() {
+        let (chain, final_digest) = chain();
+        assert_eq!(chain.len(), 3);
+        chain.verify(&final_digest).unwrap();
+        assert_eq!(chain.irs_record(), Some(RecordId::new(LedgerId(1), 7)));
+    }
+
+    #[test]
+    fn content_mismatch_detected() {
+        let (chain, _) = chain();
+        assert_eq!(
+            chain.verify(&Digest::of(b"other")),
+            Err(ChainError::ContentMismatch)
+        );
+    }
+
+    #[test]
+    fn tampered_link_detected() {
+        let (mut chain, final_digest) = chain();
+        // Rewrite the edit description without re-signing.
+        if let Action::Edited(what) = &mut chain.links[1].action {
+            *what = "innocent touch-up".into();
+        }
+        assert_eq!(
+            chain.verify(&final_digest),
+            Err(ChainError::BadSignature(1))
+        );
+    }
+
+    #[test]
+    fn removed_middle_link_detected() {
+        let (mut chain, final_digest) = chain();
+        chain.links.remove(1);
+        assert_eq!(chain.verify(&final_digest), Err(ChainError::BrokenLink(1)));
+    }
+
+    #[test]
+    fn reordered_timestamps_detected() {
+        let camera = kp(4);
+        let editor = kp(5);
+        let captured = Digest::of(b"a");
+        let mut chain = ProvenanceChain::capture(&camera, captured, None, TimeMs(500));
+        chain.append(&editor, Digest::of(b"b"), Action::Edited("e".into()), TimeMs(100));
+        assert_eq!(
+            chain.verify(&Digest::of(b"b")),
+            Err(ChainError::TimeReversal(1))
+        );
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let chain = ProvenanceChain::default();
+        assert!(chain.is_empty());
+        assert_eq!(chain.verify(&Digest::of(b"x")), Err(ChainError::Empty));
+    }
+
+    #[test]
+    fn unclaimed_capture_has_no_record() {
+        let chain = ProvenanceChain::capture(&kp(6), Digest::of(b"p"), None, TimeMs(1));
+        assert_eq!(chain.irs_record(), None);
+        chain.verify(&Digest::of(b"p")).unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! Time representation and the clock abstraction.
+//!
+//! All protocol logic is written against [`Clock`] so the same ledger,
+//! proxy, and browser code runs under the deterministic discrete-event
+//! simulator (`irs-simnet` provides a `SimClock`) and on the real network
+//! ([`SystemClock`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Milliseconds since the Unix epoch (or since simulation start).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeMs(pub u64);
+
+impl TimeMs {
+    /// The zero instant.
+    pub const ZERO: TimeMs = TimeMs(0);
+
+    /// Add a duration in milliseconds.
+    pub fn plus(self, ms: u64) -> TimeMs {
+        TimeMs(self.0.saturating_add(ms))
+    }
+
+    /// Milliseconds elapsed since `earlier` (0 if `earlier` is later).
+    pub fn since(self, earlier: TimeMs) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl std::fmt::Display for TimeMs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// A source of the current time.
+pub trait Clock: Send + Sync {
+    /// The current instant.
+    fn now(&self) -> TimeMs;
+}
+
+/// Wall-clock time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> TimeMs {
+        let d = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("system clock before epoch");
+        TimeMs(d.as_millis() as u64)
+    }
+}
+
+/// A manually advanced clock, shareable across threads. Used by tests and
+/// as the bridge between `irs-simnet`'s event loop and protocol code.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Create at time zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Create at a specific time.
+    pub fn at(t: TimeMs) -> ManualClock {
+        let c = ManualClock::new();
+        c.set(t);
+        c
+    }
+
+    /// Set the current time (monotonicity is the caller's responsibility).
+    pub fn set(&self, t: TimeMs) {
+        self.now.store(t.0, Ordering::SeqCst);
+    }
+
+    /// Advance by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> TimeMs {
+        TimeMs(self.now.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = TimeMs(1000);
+        assert_eq!(t.plus(500), TimeMs(1500));
+        assert_eq!(t.plus(500).since(t), 500);
+        assert_eq!(t.since(t.plus(500)), 0);
+        assert_eq!(TimeMs(u64::MAX).plus(1), TimeMs(u64::MAX));
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), TimeMs::ZERO);
+        c.advance(250);
+        assert_eq!(c.now(), TimeMs(250));
+        c.set(TimeMs(1_000_000));
+        assert_eq!(c.now(), TimeMs(1_000_000));
+    }
+
+    #[test]
+    fn manual_clock_shared_between_clones() {
+        let a = ManualClock::new();
+        let b = a.clone();
+        a.advance(10);
+        assert_eq!(b.now(), TimeMs(10));
+    }
+
+    #[test]
+    fn system_clock_is_recent() {
+        let t = SystemClock.now();
+        // After 2020-01-01 in ms.
+        assert!(t.0 > 1_577_836_800_000);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TimeMs(42).to_string(), "42ms");
+    }
+}

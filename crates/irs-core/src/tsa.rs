@@ -1,0 +1,129 @@
+//! Timestamp authority (RFC 3161-style).
+//!
+//! §3.2: the ledger records "an authenticated timestamp (as in \[1\])" with
+//! each claim. The token binds (claim signature, claim pubkey, time) under
+//! the authority's key, so an owner can later prove *when* the claim was
+//! made — the decisive fact in the appeals process ("a signed timestamp of
+//! the original claim").
+
+use crate::time::TimeMs;
+use irs_crypto::{Digest, Keypair, PublicKey, Signature};
+
+/// A signed timestamp token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimestampToken {
+    /// What was stamped: `Digest::of_parts(claim_sig, claim_pubkey)`.
+    pub stamped: Digest,
+    /// When it was stamped.
+    pub time: TimeMs,
+    /// Authority signature over (stamped ‖ time).
+    pub sig: Signature,
+    /// The authority's public key (identifies the TSA).
+    pub authority: PublicKey,
+}
+
+/// A timestamp authority: a keypair that countersigns claim digests.
+#[derive(Clone, Debug)]
+pub struct TimestampAuthority {
+    keypair: Keypair,
+}
+
+impl TimestampAuthority {
+    /// Create an authority from a keypair.
+    pub fn new(keypair: Keypair) -> TimestampAuthority {
+        TimestampAuthority { keypair }
+    }
+
+    /// Deterministic authority for tests and simulations.
+    pub fn from_seed(seed: u64) -> TimestampAuthority {
+        let mut s = [0u8; 32];
+        s[..8].copy_from_slice(&seed.to_le_bytes());
+        s[8..16].copy_from_slice(b"IRS-TSA!");
+        TimestampAuthority::new(Keypair::from_seed(&s))
+    }
+
+    /// The authority's verification key.
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public
+    }
+
+    /// Issue a token over a digest at the given time.
+    pub fn stamp(&self, stamped: Digest, time: TimeMs) -> TimestampToken {
+        let msg = Self::message(&stamped, time);
+        TimestampToken {
+            stamped,
+            time,
+            sig: self.keypair.sign(&msg),
+            authority: self.keypair.public,
+        }
+    }
+
+    fn message(stamped: &Digest, time: TimeMs) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(32 + 8 + 8);
+        msg.extend_from_slice(b"IRS-TST1");
+        msg.extend_from_slice(stamped.as_bytes());
+        msg.extend_from_slice(&time.0.to_be_bytes());
+        msg
+    }
+}
+
+impl TimestampToken {
+    /// Verify the token against a trusted authority key.
+    pub fn verify(&self, trusted_authority: &PublicKey) -> bool {
+        if &self.authority != trusted_authority {
+            return false;
+        }
+        let msg = TimestampAuthority::message(&self.stamped, self.time);
+        trusted_authority.verify_ok(&msg, &self.sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_and_verify() {
+        let tsa = TimestampAuthority::from_seed(1);
+        let d = Digest::of(b"claim bytes");
+        let tok = tsa.stamp(d, TimeMs(12345));
+        assert!(tok.verify(&tsa.public_key()));
+        assert_eq!(tok.time, TimeMs(12345));
+    }
+
+    #[test]
+    fn tampered_token_rejected() {
+        let tsa = TimestampAuthority::from_seed(2);
+        let tok = tsa.stamp(Digest::of(b"x"), TimeMs(1));
+        let mut bad_time = tok;
+        bad_time.time = TimeMs(2);
+        assert!(!bad_time.verify(&tsa.public_key()));
+        let mut bad_digest = tok;
+        bad_digest.stamped = Digest::of(b"y");
+        assert!(!bad_digest.verify(&tsa.public_key()));
+    }
+
+    #[test]
+    fn wrong_authority_rejected() {
+        let tsa1 = TimestampAuthority::from_seed(3);
+        let tsa2 = TimestampAuthority::from_seed(4);
+        let tok = tsa1.stamp(Digest::of(b"x"), TimeMs(1));
+        assert!(!tok.verify(&tsa2.public_key()));
+        // A forged token claiming tsa2's identity but signed by tsa1.
+        let mut forged = tok;
+        forged.authority = tsa2.public_key();
+        assert!(!forged.verify(&tsa2.public_key()));
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        assert_eq!(
+            TimestampAuthority::from_seed(9).public_key(),
+            TimestampAuthority::from_seed(9).public_key()
+        );
+        assert_ne!(
+            TimestampAuthority::from_seed(9).public_key(),
+            TimestampAuthority::from_seed(10).public_key()
+        );
+    }
+}

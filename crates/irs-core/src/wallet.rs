@@ -1,0 +1,178 @@
+//! The owner's wallet.
+//!
+//! §3.2: "The owner safely stores the original photo, the private key, and
+//! the identifier." The wallet is that store, plus the operations built on
+//! it: producing revocation requests and assembling appeal evidence
+//! ("the original photo and a signed timestamp of the original claim").
+
+use crate::camera::CapturedPhoto;
+use crate::claim::{ClaimRequest, RevokeRequest};
+use crate::ids::RecordId;
+use crate::photo::PhotoFile;
+use crate::tsa::TimestampToken;
+use irs_crypto::{Digest, Keypair};
+use std::collections::HashMap;
+
+/// Everything the owner keeps for one claimed photo.
+#[derive(Clone, Debug)]
+pub struct OwnedPhoto {
+    /// The record identifier handed back by the ledger.
+    pub id: RecordId,
+    /// The per-photo keypair.
+    pub keypair: Keypair,
+    /// The original photo (pre-labeling pixels).
+    pub original: PhotoFile,
+    /// The original content digest.
+    pub digest: Digest,
+    /// The claim request as submitted.
+    pub claim: ClaimRequest,
+    /// The ledger's timestamp token for the claim.
+    pub timestamp: TimestampToken,
+}
+
+/// Evidence an owner presents in an appeal (§3.2).
+#[derive(Clone, Debug)]
+pub struct AppealEvidence {
+    /// The record being asserted as the true original.
+    pub original_id: RecordId,
+    /// The original photo, revealed for comparison.
+    pub original_photo: PhotoFile,
+    /// The claim request (pubkey + hash signature), proving key control.
+    pub claim: ClaimRequest,
+    /// Timestamp token proving *when* the original claim was made.
+    pub timestamp: TimestampToken,
+}
+
+/// The owner-side store of claimed photos.
+#[derive(Default)]
+pub struct OwnerWallet {
+    photos: HashMap<RecordId, OwnedPhoto>,
+}
+
+impl OwnerWallet {
+    /// Empty wallet.
+    pub fn new() -> OwnerWallet {
+        OwnerWallet::default()
+    }
+
+    /// Store a claimed photo (capture + the ledger's response).
+    pub fn store(&mut self, shot: CapturedPhoto, id: RecordId, timestamp: TimestampToken) {
+        self.photos.insert(
+            id,
+            OwnedPhoto {
+                id,
+                keypair: shot.keypair,
+                original: shot.photo,
+                digest: shot.digest,
+                claim: shot.claim,
+                timestamp,
+            },
+        );
+    }
+
+    /// Number of photos held.
+    pub fn len(&self) -> usize {
+        self.photos.len()
+    }
+
+    /// True when the wallet holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.photos.is_empty()
+    }
+
+    /// Look up a photo by identifier.
+    pub fn get(&self, id: &RecordId) -> Option<&OwnedPhoto> {
+        self.photos.get(id)
+    }
+
+    /// All identifiers held.
+    pub fn ids(&self) -> impl Iterator<Item = RecordId> + '_ {
+        self.photos.keys().copied()
+    }
+
+    /// Build a signed revoke (or unrevoke) request for a held photo.
+    /// `current_epoch` must be the record's current status epoch.
+    pub fn revoke_request(
+        &self,
+        id: &RecordId,
+        revoke: bool,
+        current_epoch: u64,
+    ) -> Option<RevokeRequest> {
+        let photo = self.photos.get(id)?;
+        Some(RevokeRequest::create(
+            &photo.keypair,
+            *id,
+            revoke,
+            current_epoch,
+        ))
+    }
+
+    /// Assemble appeal evidence for a held photo.
+    pub fn appeal_evidence(&self, id: &RecordId) -> Option<AppealEvidence> {
+        let photo = self.photos.get(id)?;
+        Some(AppealEvidence {
+            original_id: *id,
+            original_photo: photo.original.clone(),
+            claim: photo.claim,
+            timestamp: photo.timestamp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::Camera;
+    use crate::ids::LedgerId;
+    use crate::tsa::TimestampAuthority;
+    use crate::time::TimeMs;
+
+    fn wallet_with_one() -> (OwnerWallet, RecordId) {
+        let mut cam = Camera::new(1, 64, 64);
+        let shot = cam.capture(100);
+        let tsa = TimestampAuthority::from_seed(1);
+        let tok = tsa.stamp(shot.claim.digest(), TimeMs(100));
+        let id = RecordId::new(LedgerId(1), 1);
+        let mut w = OwnerWallet::new();
+        w.store(shot, id, tok);
+        (w, id)
+    }
+
+    #[test]
+    fn store_and_lookup() {
+        let (w, id) = wallet_with_one();
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+        assert!(w.get(&id).is_some());
+        assert_eq!(w.ids().collect::<Vec<_>>(), vec![id]);
+    }
+
+    #[test]
+    fn revoke_request_is_valid() {
+        let (w, id) = wallet_with_one();
+        let req = w.revoke_request(&id, true, 0).unwrap();
+        let photo = w.get(&id).unwrap();
+        assert!(req.verify(&photo.keypair.public, 0));
+        assert!(req.revoke);
+    }
+
+    #[test]
+    fn unknown_id_yields_none() {
+        let (w, _) = wallet_with_one();
+        let other = RecordId::new(LedgerId(9), 9);
+        assert!(w.revoke_request(&other, true, 0).is_none());
+        assert!(w.appeal_evidence(&other).is_none());
+        assert!(w.get(&other).is_none());
+    }
+
+    #[test]
+    fn appeal_evidence_is_self_consistent() {
+        let (w, id) = wallet_with_one();
+        let ev = w.appeal_evidence(&id).unwrap();
+        assert_eq!(ev.original_id, id);
+        // The claim proves ownership of the revealed photo.
+        assert!(ev.claim.proves_ownership_of(&ev.original_photo.digest()));
+        // The timestamp covers the claim digest.
+        assert_eq!(ev.timestamp.stamped, ev.claim.digest());
+    }
+}

@@ -1,0 +1,365 @@
+//! Arithmetic in GF(2^255 − 19), the base field of Curve25519.
+//!
+//! Elements are four 64-bit little-endian limbs kept *almost reduced*
+//! (< 2^256); canonical form (< p) is produced on serialization and
+//! comparison. Not constant time — see the crate-level caveat.
+
+/// p = 2^255 − 19 as limbs.
+const P: [u64; 4] = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+/// An element of GF(2^255 − 19).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fe(pub [u64; 4]);
+
+impl std::fmt::Debug for Fe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.to_bytes();
+        write!(f, "Fe({})", crate::hex::encode(&b))
+    }
+}
+
+impl Fe {
+    pub const ZERO: Fe = Fe([0, 0, 0, 0]);
+    pub const ONE: Fe = Fe([1, 0, 0, 0]);
+
+    /// Construct from a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe([v, 0, 0, 0])
+    }
+
+    /// Parse 32 little-endian bytes; the top bit is ignored (mask 2^255),
+    /// per the usual Curve25519 convention.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[i] = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        limbs[3] &= 0x7fff_ffff_ffff_ffff;
+        Fe(limbs)
+    }
+
+    /// Like [`Fe::from_bytes`] but rejects non-canonical encodings (≥ p).
+    pub fn from_bytes_canonical(bytes: &[u8; 32]) -> Option<Fe> {
+        let fe = Fe::from_bytes(bytes);
+        if bytes[31] & 0x80 != 0 || !lt(&fe.0, &P) {
+            None
+        } else {
+            Some(fe)
+        }
+    }
+
+    /// Serialize to canonical 32 little-endian bytes (value fully reduced).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let r = self.reduced();
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&r.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Fully reduce into [0, p).
+    pub fn reduced(self) -> Fe {
+        let mut v = self.0;
+        // Almost-reduced values are < 2^256 < 4p + 76, so at most two
+        // subtractions of p plus a fold of bit 255 are needed. Folding bit
+        // 255 first: 2^255 ≡ 19.
+        let top = v[3] >> 63;
+        v[3] &= 0x7fff_ffff_ffff_ffff;
+        add_small(&mut v, top * 19);
+        // Now v < 2^255 + 19·2 ⇒ subtract p at most twice.
+        for _ in 0..2 {
+            if !lt(&v, &P) {
+                sub_in_place(&mut v, &P);
+            }
+        }
+        Fe(v)
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.reduced().0 == [0, 0, 0, 0]
+    }
+
+    /// The parity (lowest bit) of the canonical representative; this is the
+    /// "sign" bit used in point compression.
+    pub fn is_negative(self) -> bool {
+        self.reduced().0[0] & 1 == 1
+    }
+
+    pub fn add(self, other: Fe) -> Fe {
+        let mut out = [0u64; 4];
+        let mut carry = 0u128;
+        for i in 0..4 {
+            let s = self.0[i] as u128 + other.0[i] as u128 + carry;
+            out[i] = s as u64;
+            carry = s >> 64;
+        }
+        // 2^256 ≡ 38 (mod p)
+        let mut v = out;
+        add_small(&mut v, (carry as u64) * 38);
+        Fe(v)
+    }
+
+    pub fn sub(self, other: Fe) -> Fe {
+        let mut out = [0u64; 4];
+        let mut borrow = 0i128;
+        for i in 0..4 {
+            let d = self.0[i] as i128 - other.0[i] as i128 - borrow;
+            out[i] = d as u64;
+            borrow = if d < 0 { 1 } else { 0 };
+        }
+        // A wrap adds 2^256 ≡ 38, so compensate by subtracting 38; this can
+        // wrap at most once more.
+        let mut v = out;
+        while borrow == 1 {
+            let mut b = 0i128;
+            let mut w = [0u64; 4];
+            for i in 0..4 {
+                let d = v[i] as i128 - if i == 0 { 38 } else { 0 } - b;
+                w[i] = d as u64;
+                b = if d < 0 { 1 } else { 0 };
+            }
+            v = w;
+            borrow = b;
+        }
+        Fe(v)
+    }
+
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    pub fn mul(self, other: Fe) -> Fe {
+        // Schoolbook 4×4 → 8 limbs, row-wise with a per-row carry. The
+        // accumulation `limb + a·b + carry` maxes out at exactly 2^128 − 1,
+        // so each step fits in u128.
+        let mut limbs = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let s = limbs[i + j] as u128
+                    + self.0[i] as u128 * other.0[j] as u128
+                    + carry;
+                limbs[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            // limbs[i+4] has not been written by earlier rows (their carries
+            // landed at most at index i+3), so this cannot overflow.
+            debug_assert_eq!(limbs[i + 4], 0);
+            limbs[i + 4] = carry as u64;
+        }
+        // Fold: value = lo + 2^256·hi ≡ lo + 38·hi.
+        let mut out = [0u64; 4];
+        let mut c = 0u128;
+        for i in 0..4 {
+            let s = limbs[i] as u128 + 38u128 * limbs[i + 4] as u128 + c;
+            out[i] = s as u64;
+            c = s >> 64;
+        }
+        // c < 38·2 ⇒ fold once more.
+        add_small(&mut out, (c as u64) * 38);
+        Fe(out)
+    }
+
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Raise to a little-endian byte exponent (square-and-multiply, msb
+    /// first over `bits` bits).
+    pub fn pow_le(self, exp: &[u8; 32], bits: usize) -> Fe {
+        let mut acc = Fe::ONE;
+        for i in (0..bits).rev() {
+            acc = acc.square();
+            if (exp[i / 8] >> (i % 8)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat: a^(p−2).
+    pub fn invert(self) -> Fe {
+        // p − 2 = 2^255 − 21, little-endian bytes: eb ff … ff 7f
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow_le(&exp, 255)
+    }
+
+    /// a^((p−5)/8), the core exponentiation for square roots mod p ≡ 5 (mod 8).
+    pub fn pow_p58(self) -> Fe {
+        // (p − 5)/8 = 2^252 − 3, little-endian bytes: fd ff … ff 0f
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow_le(&exp, 253)
+    }
+}
+
+/// sqrt(−1) mod p, computed once as 2^((p−1)/4).
+pub(crate) fn sqrt_m1() -> Fe {
+    // (p − 1)/4 = 2^253 − 5, little-endian bytes: fb ff … ff 1f
+    let mut exp = [0xffu8; 32];
+    exp[0] = 0xfb;
+    exp[31] = 0x1f;
+    Fe::from_u64(2).pow_le(&exp, 254)
+}
+
+/// Compute sqrt(u/v) if it exists (per RFC 8032 decompression).
+pub(crate) fn sqrt_ratio(u: Fe, v: Fe) -> Option<Fe> {
+    let v3 = v.square().mul(v);
+    let v7 = v3.square().mul(v);
+    let mut x = u.mul(v3).mul(u.mul(v7).pow_p58());
+    let vxx = v.mul(x.square());
+    if vxx.sub(u).is_zero() {
+        return Some(x);
+    }
+    if vxx.add(u).is_zero() {
+        x = x.mul(sqrt_m1());
+        return Some(x);
+    }
+    None
+}
+
+fn add_small(v: &mut [u64; 4], small: u64) {
+    let mut carry = small as u128;
+    for limb in v.iter_mut() {
+        let s = *limb as u128 + carry;
+        *limb = s as u64;
+        carry = s >> 64;
+        if carry == 0 {
+            break;
+        }
+    }
+    // A final carry out of limb 3 means the value wrapped 2^256 ≡ 38; this
+    // cannot recurse more than once because the operand was < 2^256.
+    if carry != 0 {
+        add_small(v, 38);
+    }
+}
+
+fn lt(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+fn sub_in_place(a: &mut [u64; 4], b: &[u64; 4]) {
+    let mut borrow = 0i128;
+    for i in 0..4 {
+        let d = a[i] as i128 - b[i] as i128 - borrow;
+        a[i] = d as u64;
+        borrow = if d < 0 { 1 } else { 0 };
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> Fe {
+        Fe::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = fe(12345);
+        let b = fe(99999);
+        assert_eq!(a.add(b).sub(b).to_bytes(), a.to_bytes());
+        assert_eq!(a.sub(b).add(b).to_bytes(), a.to_bytes());
+    }
+
+    #[test]
+    fn mul_matches_small_ints() {
+        assert_eq!(fe(7).mul(fe(6)).to_bytes(), fe(42).to_bytes());
+        assert_eq!(fe(0).mul(fe(6)).to_bytes(), Fe::ZERO.to_bytes());
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        assert!(Fe(P).is_zero());
+        assert_eq!(Fe(P).to_bytes(), [0u8; 32]);
+    }
+
+    #[test]
+    fn neg_of_one_is_p_minus_one() {
+        let m1 = Fe::ONE.neg();
+        assert_eq!(m1.add(Fe::ONE).to_bytes(), [0u8; 32]);
+        // p − 1 is even ⇒ "non-negative" under the sign convention? No:
+        // p − 1 ends in 0xec ⇒ lowest bit 0 ⇒ not negative... check bytes.
+        let b = m1.to_bytes();
+        assert_eq!(b[0], 0xec);
+        assert_eq!(b[31], 0x7f);
+    }
+
+    #[test]
+    fn inverse() {
+        for v in [1u64, 2, 3, 12345, u64::MAX] {
+            let a = fe(v);
+            assert_eq!(a.mul(a.invert()).to_bytes(), Fe::ONE.to_bytes());
+        }
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = sqrt_m1();
+        assert_eq!(i.square().to_bytes(), Fe::ONE.neg().to_bytes());
+    }
+
+    #[test]
+    fn sqrt_ratio_of_square() {
+        let a = fe(123456789);
+        let sq = a.square();
+        let r = sqrt_ratio(sq, Fe::ONE).expect("square has a root");
+        // Root is ±a.
+        let ok = r.sub(a).is_zero() || r.add(a).is_zero();
+        assert!(ok);
+    }
+
+    #[test]
+    fn sqrt_ratio_rejects_nonsquare() {
+        // 2 is a non-residue mod p (p ≡ 5 mod 8 ⇒ 2 is a QNR).
+        assert!(sqrt_ratio(fe(2), Fe::ONE).is_none());
+    }
+
+    #[test]
+    fn canonical_parse_rejects_p() {
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        assert!(Fe::from_bytes_canonical(&p_bytes).is_none());
+        let mut ok = p_bytes;
+        ok[0] = 0xec; // p − 1
+        assert!(Fe::from_bytes_canonical(&ok).is_some());
+    }
+
+    #[test]
+    fn distributivity_random() {
+        // Cheap pseudo-random check without pulling in rand here.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..50 {
+            let a = Fe([next(), next(), next(), next() >> 1]);
+            let b = Fe([next(), next(), next(), next() >> 1]);
+            let c = Fe([next(), next(), next(), next() >> 1]);
+            let lhs = a.mul(b.add(c));
+            let rhs = a.mul(b).add(a.mul(c));
+            assert_eq!(lhs.to_bytes(), rhs.to_bytes());
+        }
+    }
+}

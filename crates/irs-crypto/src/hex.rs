@@ -1,0 +1,91 @@
+//! Minimal hex encoding/decoding for identifiers, digests, and test vectors.
+
+/// Encode bytes as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Error returned by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// Input length was odd.
+    OddLength,
+    /// A character was not a hex digit; carries its byte offset.
+    InvalidChar(usize),
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::OddLength => write!(f, "hex string has odd length"),
+            HexError::InvalidChar(i) => write!(f, "invalid hex character at offset {i}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+/// Decode a hex string (upper or lower case) into bytes.
+pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(HexError::OddLength);
+    }
+    let nibble = |b: u8, i: usize| -> Result<u8, HexError> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(HexError::InvalidChar(i)),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for i in (0..bytes.len()).step_by(2) {
+        out.push((nibble(bytes[i], i)? << 4) | nibble(bytes[i + 1], i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Decode into a fixed-size array, erroring if the length does not match.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], HexError> {
+    let v = decode(s)?;
+    v.try_into().map_err(|_| HexError::OddLength)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0u8, 1, 2, 0x7f, 0x80, 0xff];
+        let s = encode(&data);
+        assert_eq!(s, "0001027f80ff");
+        assert_eq!(decode(&s).unwrap(), data.to_vec());
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode("abc"), Err(HexError::OddLength));
+        assert_eq!(decode("zz"), Err(HexError::InvalidChar(0)));
+        assert_eq!(decode("a·"), Err(HexError::OddLength)); // multibyte char
+    }
+
+    #[test]
+    fn fixed_size() {
+        let arr: [u8; 4] = decode_array("01020304").unwrap();
+        assert_eq!(arr, [1, 2, 3, 4]);
+        assert!(decode_array::<4>("0102").is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Edwards curve points for Ed25519 (−x² + y² = 1 + d·x²·y²) in extended
+//! twisted-Edwards coordinates (X : Y : Z : T) with x = X/Z, y = Y/Z,
+//! T = XY/Z.
+
+use crate::field::{sqrt_ratio, Fe};
+use crate::scalar::Scalar;
+use std::sync::OnceLock;
+
+/// d = −121665/121666 mod p.
+fn d() -> Fe {
+    static D: OnceLock<Fe> = OnceLock::new();
+    *D.get_or_init(|| {
+        Fe::from_u64(121_665)
+            .neg()
+            .mul(Fe::from_u64(121_666).invert())
+    })
+}
+
+/// 2d, cached for the addition formula.
+fn d2() -> Fe {
+    static D2: OnceLock<Fe> = OnceLock::new();
+    *D2.get_or_init(|| d().add(d()))
+}
+
+/// A point on the Ed25519 curve, extended coordinates.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl Point {
+    /// The neutral element (0, 1).
+    pub fn identity() -> Point {
+        Point {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
+    }
+
+    /// The RFC 8032 base point B (y = 4/5, x even).
+    pub fn base() -> Point {
+        static B: OnceLock<Point> = OnceLock::new();
+        *B.get_or_init(|| {
+            let y = Fe::from_u64(4).mul(Fe::from_u64(5).invert());
+            let mut enc = y.to_bytes();
+            enc[31] &= 0x7f; // sign bit 0 ⇒ even x
+            Point::decompress(&enc).expect("base point decompresses")
+        })
+    }
+
+    /// Unified point addition (a = −1 twisted Edwards, extended coords).
+    pub fn add(&self, other: &Point) -> Point {
+        let a = self.y.sub(self.x).mul(other.y.sub(other.x));
+        let b = self.y.add(self.x).mul(other.y.add(other.x));
+        let c = self.t.mul(d2()).mul(other.t);
+        let dd = self.z.add(self.z).mul(other.z);
+        let e = b.sub(a);
+        let f = dd.sub(c);
+        let g = dd.add(c);
+        let h = b.add(a);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            t: e.mul(h),
+            z: f.mul(g),
+        }
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> Point {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(self.z.square());
+        let h = a.add(b);
+        let e = h.sub(self.x.add(self.y).square());
+        let g = a.sub(b);
+        let f = c.add(g);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            t: e.mul(h),
+            z: f.mul(g),
+        }
+    }
+
+    /// Scalar multiplication by a 32-byte little-endian scalar (which may be
+    /// a clamped secret, i.e. not reduced mod L). Plain double-and-add, msb
+    /// first — not constant time.
+    pub fn mul_bytes(&self, k: &[u8; 32]) -> Point {
+        let mut acc = Point::identity();
+        for bit in (0..256).rev() {
+            acc = acc.double();
+            if (k[bit / 8] >> (bit % 8)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Scalar multiplication by a reduced scalar.
+    pub fn mul_scalar(&self, k: &Scalar) -> Point {
+        self.mul_bytes(&k.to_bytes())
+    }
+
+    /// Compress to the 32-byte RFC 8032 encoding: y with the sign of x in
+    /// the top bit.
+    pub fn compress(&self) -> [u8; 32] {
+        let zi = self.z.invert();
+        let x = self.x.mul(zi);
+        let y = self.y.mul(zi);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompress an encoded point; `None` if the encoding is invalid
+    /// (non-canonical y, or x² has no root).
+    pub fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+        let sign = bytes[31] >> 7;
+        let mut ybytes = *bytes;
+        ybytes[31] &= 0x7f;
+        let y = Fe::from_bytes_canonical(&ybytes)?;
+        // x² = (y² − 1) / (d·y² + 1)
+        let yy = y.square();
+        let u = yy.sub(Fe::ONE);
+        let v = d().mul(yy).add(Fe::ONE);
+        let mut x = sqrt_ratio(u, v)?;
+        if x.is_zero() && sign == 1 {
+            // −0 is not a valid encoding.
+            return None;
+        }
+        if x.is_negative() != (sign == 1) {
+            x = x.neg();
+        }
+        Some(Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        })
+    }
+
+    /// Affine equality.
+    pub fn equals(&self, other: &Point) -> bool {
+        // x1/z1 == x2/z2  ⇔  x1·z2 == x2·z1 (same for y).
+        self.x.mul(other.z).sub(other.x.mul(self.z)).is_zero()
+            && self.y.mul(other.z).sub(other.y.mul(self.z)).is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(v: u64) -> [u8; 32] {
+        let mut b = [0u8; 32];
+        b[..8].copy_from_slice(&v.to_le_bytes());
+        b
+    }
+
+    #[test]
+    fn base_point_is_on_curve() {
+        let b = Point::base();
+        // −x² + y² = 1 + d x² y²
+        let zi = b.z.invert();
+        let x = b.x.mul(zi);
+        let y = b.y.mul(zi);
+        let lhs = y.square().sub(x.square());
+        let rhs = Fe::ONE.add(d().mul(x.square()).mul(y.square()));
+        assert_eq!(lhs.to_bytes(), rhs.to_bytes());
+    }
+
+    #[test]
+    fn base_compressed_encoding_matches_rfc() {
+        // RFC 8032: B encodes as 0x5866666666666666...6666 (y = 4/5).
+        let enc = Point::base().compress();
+        assert_eq!(enc[0], 0x58);
+        for &b in &enc[1..31] {
+            assert_eq!(b, 0x66);
+        }
+        assert_eq!(enc[31], 0x66);
+    }
+
+    #[test]
+    fn add_vs_double() {
+        let b = Point::base();
+        assert!(b.add(&b).equals(&b.double()));
+        let four_a = b.double().double();
+        let four_b = b.add(&b).add(&b).add(&b);
+        assert!(four_a.equals(&four_b));
+    }
+
+    #[test]
+    fn identity_laws() {
+        let b = Point::base();
+        let id = Point::identity();
+        assert!(b.add(&id).equals(&b));
+        assert!(id.add(&b).equals(&b));
+        assert!(id.double().equals(&id));
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_add() {
+        let b = Point::base();
+        let mut acc = Point::identity();
+        for k in 0..10u64 {
+            assert!(b.mul_bytes(&scalar(k)).equals(&acc), "k = {k}");
+            acc = acc.add(&b);
+        }
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        for k in 1..8u64 {
+            let p = Point::base().mul_bytes(&scalar(k * 7919));
+            let enc = p.compress();
+            let q = Point::decompress(&enc).expect("valid point");
+            assert!(p.equals(&q));
+            assert_eq!(q.compress(), enc);
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_invalid() {
+        // y = 2 is not on the curve for either sign? Find an invalid one:
+        // try encodings until one fails — but deterministically assert at
+        // least one of a few known-bad encodings is rejected.
+        let mut bad = 0;
+        for v in 2u64..40 {
+            let mut enc = [0u8; 32];
+            enc[..8].copy_from_slice(&v.to_le_bytes());
+            if Point::decompress(&enc).is_none() {
+                bad += 1;
+            }
+        }
+        assert!(bad > 0, "some small y values must be off-curve");
+        // Non-canonical y (≥ p) must be rejected.
+        let mut p_enc = [0xffu8; 32];
+        p_enc[0] = 0xed;
+        p_enc[31] = 0x7f;
+        assert!(Point::decompress(&p_enc).is_none());
+    }
+
+    #[test]
+    fn order_l_times_base_is_identity() {
+        // L · B = identity. L bytes little-endian:
+        let l_bytes: [u8; 32] = [
+            0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9,
+            0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0x00, 0x00, 0x00, 0x10,
+        ];
+        let p = Point::base().mul_bytes(&l_bytes);
+        assert!(p.equals(&Point::identity()));
+    }
+}

@@ -1,0 +1,160 @@
+//! Analytic Bloom-filter formulas used to check measured rates against
+//! theory and to regenerate the paper's §4.4 sizing table ("a 1 GB filter
+//! would provide a 2 % false-hit rate with a population of 1 billion
+//! photos").
+
+/// Expected false-positive rate of a Bloom filter with `m` bits, `n` keys,
+/// `k` hash functions: `(1 − e^{−kn/m})^k`.
+pub fn bloom_fpr(m_bits: u64, n_keys: u64, k: u32) -> f64 {
+    if m_bits == 0 {
+        return 1.0;
+    }
+    if n_keys == 0 {
+        return 0.0;
+    }
+    let exponent = -(k as f64) * (n_keys as f64) / (m_bits as f64);
+    (1.0 - exponent.exp()).powi(k as i32)
+}
+
+/// Optimal number of hash functions for `m` bits and `n` keys:
+/// `k = (m/n)·ln 2`, rounded to the nearest integer ≥ 1.
+pub fn optimal_k(m_bits: u64, n_keys: u64) -> u32 {
+    if n_keys == 0 {
+        return 1;
+    }
+    let k = (m_bits as f64 / n_keys as f64) * std::f64::consts::LN_2;
+    (k.round() as u32).max(1)
+}
+
+/// Bits required per key to achieve a target FPR at the optimal k:
+/// `m/n = −ln p / (ln 2)²`.
+pub fn bits_per_key_for_fpr(fpr: f64) -> f64 {
+    -fpr.ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)
+}
+
+/// Total filter bits for `n` keys at target `fpr` (optimal sizing).
+pub fn bits_for(n_keys: u64, fpr: f64) -> u64 {
+    (bits_per_key_for_fpr(fpr) * n_keys as f64).ceil() as u64
+}
+
+/// The paper's headline load-reduction estimate: with false-hit rate `p`
+/// and a fraction `claimed` of viewed photos actually present in some
+/// ledger, the fraction of views that still require a real ledger query is
+/// `claimed + (1 − claimed)·p`; the reduction factor is its inverse.
+///
+/// The paper's "factor of fifty" corresponds to `p = 0.02` with
+/// `claimed ≈ 0` (most *viewed* photos are not claimed-and-revoked).
+pub fn load_reduction_factor(fpr: f64, claimed_fraction: f64) -> f64 {
+    let query_fraction = claimed_fraction + (1.0 - claimed_fraction) * fpr;
+    if query_fraction <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / query_fraction
+    }
+}
+
+/// One row of the paper's sizing argument: population, filter size, k,
+/// expected FPR, load-reduction factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingRow {
+    /// Number of claimed photos in the ecosystem.
+    pub population: u64,
+    /// Filter size in bytes.
+    pub filter_bytes: u64,
+    /// Hash functions used.
+    pub k: u32,
+    /// Analytic false-positive rate.
+    pub fpr: f64,
+    /// 1 / (fraction of lookups that reach a ledger), assuming a negligible
+    /// fraction of viewed photos are claimed.
+    pub load_reduction: f64,
+}
+
+/// Compute the sizing row for a given population and filter size, using the
+/// optimal k for those parameters (the paper's 1 GB / 1 B photos example
+/// lands at ~8.6 bits/key, k = 6, FPR ≈ 2.1 %).
+pub fn sizing_row(population: u64, filter_bytes: u64) -> SizingRow {
+    let m = filter_bytes * 8;
+    let k = optimal_k(m, population);
+    let fpr = bloom_fpr(m, population, k);
+    SizingRow {
+        population,
+        filter_bytes,
+        k,
+        fpr,
+        load_reduction: load_reduction_factor(fpr, 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn paper_1gb_1billion_row() {
+        // §4.4: "a 1GB filter would provide a 2% false-hit rate with a
+        // population of 1 billion photos, thereby lessening the load on
+        // ledgers by a factor of fifty".
+        let row = sizing_row(1_000_000_000, GB);
+        assert!(
+            (0.015..0.025).contains(&row.fpr),
+            "fpr {} should be ≈2 %",
+            row.fpr
+        );
+        assert!(
+            (40.0..70.0).contains(&row.load_reduction),
+            "load reduction {} should be ≈50×",
+            row.load_reduction
+        );
+        assert_eq!(row.k, 6);
+    }
+
+    #[test]
+    fn paper_100gb_100billion_row() {
+        // "a 100GB Bloom filter would provide a similar error rate for a
+        // population of 100 billion photos".
+        let row = sizing_row(100_000_000_000, 100 * GB);
+        assert!((0.015..0.025).contains(&row.fpr), "fpr {}", row.fpr);
+    }
+
+    #[test]
+    fn fpr_monotone_in_population() {
+        let m = 1 << 20;
+        let mut last = 0.0;
+        for n in [1_000u64, 10_000, 100_000, 1_000_000] {
+            let p = bloom_fpr(m, n, 6);
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn optimal_k_examples() {
+        // 10 bits/key → k ≈ 6.93 → 7; 8 bits/key → k ≈ 5.5 → 6.
+        assert_eq!(optimal_k(10_000, 1_000), 7);
+        assert_eq!(optimal_k(8_000, 1_000), 6);
+        assert_eq!(optimal_k(100, 0), 1);
+    }
+
+    #[test]
+    fn bits_per_key_for_common_rates() {
+        assert!((bits_per_key_for_fpr(0.01) - 9.585).abs() < 0.01);
+        assert!((bits_per_key_for_fpr(0.02) - 8.14).abs() < 0.02);
+    }
+
+    #[test]
+    fn load_reduction_limits() {
+        assert!((load_reduction_factor(0.02, 0.0) - 50.0).abs() < 1e-9);
+        // If every viewed photo were claimed, the filter cannot help.
+        assert!((load_reduction_factor(0.02, 1.0) - 1.0).abs() < 1e-9);
+        assert_eq!(load_reduction_factor(0.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn degenerate_params() {
+        assert_eq!(bloom_fpr(0, 10, 3), 1.0);
+        assert_eq!(bloom_fpr(100, 0, 3), 0.0);
+    }
+}

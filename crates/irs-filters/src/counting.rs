@@ -1,0 +1,203 @@
+//! Counting Bloom filter with 4-bit saturating counters.
+//!
+//! Ledgers maintain one of these internally so that the claimed-photo set
+//! can shrink (custodial claims released, appeals resolved, records
+//! expired) without rebuilding; the exported filter published to proxies is
+//! the plain-bit projection ([`CountingBloom::to_bloom`]).
+
+use crate::hash::double_hash_indices;
+use crate::{Filter, FilterError};
+
+const COUNTER_MAX: u8 = 15;
+
+/// A counting Bloom filter over `u64` keys (4-bit counters).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CountingBloom {
+    /// Two counters per byte.
+    counters: Vec<u8>,
+    m: u64,
+    k: u32,
+    seed: u64,
+    inserted: u64,
+}
+
+impl CountingBloom {
+    /// Create with `m_bits` counters (one counter per "bit" slot).
+    pub fn with_params(m_bits: u64, k: u32, seed: u64) -> Result<Self, FilterError> {
+        if m_bits == 0 {
+            return Err(FilterError::BadParams("m_bits must be > 0"));
+        }
+        if k == 0 || k > 32 {
+            return Err(FilterError::BadParams("k must be in 1..=32"));
+        }
+        Ok(CountingBloom {
+            counters: vec![0u8; m_bits.div_ceil(2) as usize],
+            m: m_bits,
+            k,
+            seed,
+            inserted: 0,
+        })
+    }
+
+    /// Size for `capacity` keys at `target_fpr`.
+    pub fn for_capacity(capacity: u64, target_fpr: f64) -> Result<Self, FilterError> {
+        if !(1e-10..1.0).contains(&target_fpr) {
+            return Err(FilterError::BadParams("target_fpr must be in (0, 1)"));
+        }
+        let capacity = capacity.max(1);
+        let m = crate::analysis::bits_for(capacity, target_fpr).max(64);
+        let k = crate::analysis::optimal_k(m, capacity);
+        CountingBloom::with_params(m, k, 0)
+    }
+
+    fn get_counter(&self, idx: u64) -> u8 {
+        let byte = self.counters[(idx / 2) as usize];
+        if idx % 2 == 0 {
+            byte & 0x0f
+        } else {
+            byte >> 4
+        }
+    }
+
+    fn set_counter(&mut self, idx: u64, v: u8) {
+        let slot = &mut self.counters[(idx / 2) as usize];
+        if idx % 2 == 0 {
+            *slot = (*slot & 0xf0) | (v & 0x0f);
+        } else {
+            *slot = (*slot & 0x0f) | (v << 4);
+        }
+    }
+
+    /// Insert a key. Counters saturate at 15 (saturated counters are never
+    /// decremented, trading rare stuck bits for correctness).
+    pub fn insert(&mut self, key: u64) {
+        for idx in double_hash_indices(key, self.seed, self.k, self.m) {
+            let c = self.get_counter(idx);
+            if c < COUNTER_MAX {
+                self.set_counter(idx, c + 1);
+            }
+        }
+        self.inserted += 1;
+    }
+
+    /// Remove a previously inserted key. Removing a key that was never
+    /// inserted may introduce false negatives for other keys, so callers
+    /// (the ledger store) must only remove known-present keys; this is
+    /// asserted in debug builds.
+    pub fn remove(&mut self, key: u64) {
+        debug_assert!(self.contains(key), "removing a key that is not present");
+        for idx in double_hash_indices(key, self.seed, self.k, self.m) {
+            let c = self.get_counter(idx);
+            if c > 0 && c < COUNTER_MAX {
+                self.set_counter(idx, c - 1);
+            }
+        }
+        self.inserted = self.inserted.saturating_sub(1);
+    }
+
+    /// Number of live insertions.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Project to a plain [`crate::BloomFilter`] (counter > 0 ⇒ bit set)
+    /// with identical geometry — this is what the ledger publishes.
+    pub fn to_bloom(&self) -> crate::BloomFilter {
+        let mut bloom = crate::BloomFilter::with_params(self.m, self.k, self.seed)
+            .expect("geometry already validated");
+        for idx in 0..self.m {
+            if self.get_counter(idx) > 0 {
+                bloom.words_mut()[(idx / 64) as usize] |= 1u64 << (idx % 64);
+            }
+        }
+        bloom.set_inserted(self.inserted);
+        bloom
+    }
+}
+
+impl Filter for CountingBloom {
+    fn contains(&self, key: u64) -> bool {
+        double_hash_indices(key, self.seed, self.k, self.m).all(|idx| self.get_counter(idx) > 0)
+    }
+
+    fn bits(&self) -> u64 {
+        self.m * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut f = CountingBloom::for_capacity(1000, 0.01).unwrap();
+        for key in 0..100u64 {
+            f.insert(key);
+        }
+        for key in 0..100u64 {
+            assert!(f.contains(key));
+        }
+        for key in 0..50u64 {
+            f.remove(key);
+        }
+        // Removed keys are (almost surely) gone, kept keys remain.
+        for key in 50..100u64 {
+            assert!(f.contains(key), "kept key {key} lost");
+        }
+        let still_there = (0..50u64).filter(|&k| f.contains(k)).count();
+        assert!(still_there <= 3, "{still_there} removed keys still hit");
+    }
+
+    #[test]
+    fn counters_saturate_without_wrap() {
+        let mut f = CountingBloom::with_params(64, 1, 0).unwrap();
+        for _ in 0..100 {
+            f.insert(7);
+        }
+        assert!(f.contains(7));
+        // Saturated counters stay pinned even under removes.
+        for _ in 0..100 {
+            f.remove(7);
+        }
+        assert!(f.contains(7), "saturated counter must not underflow");
+    }
+
+    #[test]
+    fn projection_matches_membership() {
+        let mut f = CountingBloom::with_params(2048, 4, 5).unwrap();
+        for key in 0..300u64 {
+            f.insert(key * 17);
+        }
+        let bloom = f.to_bloom();
+        for key in 0..300u64 {
+            assert!(crate::Filter::contains(&bloom, key * 17));
+        }
+        assert_eq!(bloom.inserted(), 300);
+        assert_eq!(bloom.k(), 4);
+        assert_eq!(bloom.seed(), 5);
+        // Projection has identical hit set (same geometry & seed).
+        for probe in 10_000..11_000u64 {
+            assert_eq!(f.contains(probe), crate::Filter::contains(&bloom, probe));
+        }
+    }
+
+    #[test]
+    fn four_bit_packing() {
+        let mut f = CountingBloom::with_params(10, 1, 0).unwrap();
+        // Directly exercise get/set on odd and even slots.
+        f.set_counter(0, 5);
+        f.set_counter(1, 9);
+        assert_eq!(f.get_counter(0), 5);
+        assert_eq!(f.get_counter(1), 9);
+        f.set_counter(0, 0);
+        assert_eq!(f.get_counter(0), 0);
+        assert_eq!(f.get_counter(1), 9);
+    }
+
+    #[test]
+    fn bits_reports_counter_cost() {
+        let f = CountingBloom::with_params(1000, 4, 0).unwrap();
+        assert_eq!(f.bits(), 4000);
+    }
+}

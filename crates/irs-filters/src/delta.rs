@@ -1,0 +1,266 @@
+//! Delta encoding for Bloom filter updates.
+//!
+//! §4.4: filters are "updated regularly (perhaps hourly), and transferred
+//! with a delta encoding such that the update traffic will be low". A delta
+//! is the sorted list of flipped bit positions, gap-compressed with LEB128
+//! varints — a fresh claim sets at most `k` bits, so an hour of churn costs
+//! ≈ `k · new_claims · ⌈log₂(gap)⌉/7` bytes instead of re-shipping the
+//! whole filter (experiment E6 quantifies this).
+
+use crate::bloom::BloomFilter;
+use crate::FilterError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x4952_5344; // "IRSD"
+
+/// A compact description of the bit flips between two Bloom filters of
+/// identical geometry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomDelta {
+    m: u64,
+    k: u32,
+    seed: u64,
+    new_inserted: u64,
+    /// Sorted positions of bits that differ.
+    flipped: Vec<u64>,
+}
+
+impl BloomDelta {
+    /// Compute the delta that transforms `old` into `new`.
+    pub fn diff(old: &BloomFilter, new: &BloomFilter) -> Result<BloomDelta, FilterError> {
+        if old.m_bits() != new.m_bits() || old.k() != new.k() || old.seed() != new.seed() {
+            return Err(FilterError::BadParams("delta requires identical geometry"));
+        }
+        let mut flipped = Vec::new();
+        for (word_idx, (a, b)) in old.words().iter().zip(new.words().iter()).enumerate() {
+            let mut x = a ^ b;
+            while x != 0 {
+                let bit = x.trailing_zeros() as u64;
+                flipped.push(word_idx as u64 * 64 + bit);
+                x &= x - 1;
+            }
+        }
+        Ok(BloomDelta {
+            m: new.m_bits(),
+            k: new.k(),
+            seed: new.seed(),
+            new_inserted: new.inserted(),
+            flipped,
+        })
+    }
+
+    /// Apply the delta to `filter` in place. The filter must match the
+    /// delta's geometry and (by XOR semantics) must be the `old` snapshot
+    /// the delta was computed from for the result to equal `new`.
+    pub fn apply(&self, filter: &mut BloomFilter) -> Result<(), FilterError> {
+        if filter.m_bits() != self.m || filter.k() != self.k || filter.seed() != self.seed {
+            return Err(FilterError::BadParams("delta geometry mismatch"));
+        }
+        for &pos in &self.flipped {
+            if pos >= self.m {
+                return Err(FilterError::Malformed("flip position out of range"));
+            }
+            filter.words_mut()[(pos / 64) as usize] ^= 1u64 << (pos % 64);
+        }
+        filter.set_inserted(self.new_inserted);
+        Ok(())
+    }
+
+    /// Number of flipped bits.
+    pub fn flips(&self) -> usize {
+        self.flipped.len()
+    }
+
+    /// Encode: header + gap-compressed varint positions.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(44 + self.flipped.len() * 3);
+        buf.put_u32(MAGIC);
+        buf.put_u64(self.m);
+        buf.put_u32(self.k);
+        buf.put_u64(self.seed);
+        buf.put_u64(self.new_inserted);
+        buf.put_u64(self.flipped.len() as u64);
+        let mut prev = 0u64;
+        for &pos in &self.flipped {
+            put_varint(&mut buf, pos - prev);
+            prev = pos;
+        }
+        buf.freeze()
+    }
+
+    /// Decode from [`BloomDelta::to_bytes`] output.
+    pub fn from_bytes(mut data: Bytes) -> Result<BloomDelta, FilterError> {
+        if data.remaining() < 40 {
+            return Err(FilterError::Malformed("delta header truncated"));
+        }
+        if data.get_u32() != MAGIC {
+            return Err(FilterError::Malformed("bad delta magic"));
+        }
+        let m = data.get_u64();
+        let k = data.get_u32();
+        let seed = data.get_u64();
+        let new_inserted = data.get_u64();
+        let n = data.get_u64() as usize;
+        if n > m as usize {
+            return Err(FilterError::Malformed("flip count exceeds filter size"));
+        }
+        let mut flipped = Vec::with_capacity(n);
+        let mut pos = 0u64;
+        for i in 0..n {
+            let gap = get_varint(&mut data).ok_or(FilterError::Malformed("varint truncated"))?;
+            pos = pos
+                .checked_add(gap)
+                .ok_or(FilterError::Malformed("position overflow"))?;
+            if i > 0 && gap == 0 {
+                return Err(FilterError::Malformed("duplicate flip position"));
+            }
+            flipped.push(pos);
+        }
+        Ok(BloomDelta {
+            m,
+            k,
+            seed,
+            new_inserted,
+            flipped,
+        })
+    }
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &mut Bytes) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !data.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let byte = data.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_with(keys: impl Iterator<Item = u64>) -> BloomFilter {
+        let mut f = BloomFilter::with_params(1 << 16, 6, 42).unwrap();
+        for k in keys {
+            f.insert(k);
+        }
+        f
+    }
+
+    #[test]
+    fn diff_apply_roundtrip() {
+        let old = filter_with(0..1000);
+        let new = filter_with(0..1100);
+        let delta = BloomDelta::diff(&old, &new).unwrap();
+        let mut patched = old.clone();
+        delta.apply(&mut patched).unwrap();
+        assert_eq!(patched, new);
+        assert_eq!(patched.inserted(), 1100);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let old = filter_with(0..500);
+        let new = filter_with(0..620);
+        let delta = BloomDelta::diff(&old, &new).unwrap();
+        let decoded = BloomDelta::from_bytes(delta.to_bytes()).unwrap();
+        assert_eq!(delta, decoded);
+    }
+
+    #[test]
+    fn delta_is_much_smaller_than_full_filter() {
+        let old = filter_with(0..100_000);
+        let new = filter_with(0..100_500); // 0.5% churn
+        let delta = BloomDelta::diff(&old, &new).unwrap();
+        let full = new.to_bytes().len();
+        let d = delta.to_bytes().len();
+        assert!(
+            d * 2 < full,
+            "delta {d} bytes should be far below full {full} bytes"
+        );
+    }
+
+    #[test]
+    fn empty_delta() {
+        let f = filter_with(0..100);
+        let delta = BloomDelta::diff(&f, &f).unwrap();
+        assert_eq!(delta.flips(), 0);
+        let decoded = BloomDelta::from_bytes(delta.to_bytes()).unwrap();
+        let mut g = f.clone();
+        decoded.apply(&mut g).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let a = BloomFilter::with_params(1024, 4, 0).unwrap();
+        let b = BloomFilter::with_params(2048, 4, 0).unwrap();
+        assert!(BloomDelta::diff(&a, &b).is_err());
+        let c = filter_with(0..10);
+        let delta = BloomDelta::diff(&c, &c).unwrap();
+        let mut wrong = BloomFilter::with_params(128, 2, 9).unwrap();
+        assert!(delta.apply(&mut wrong).is_err());
+    }
+
+    #[test]
+    fn malformed_encodings_rejected() {
+        assert!(BloomDelta::from_bytes(Bytes::from_static(b"tiny")).is_err());
+        let old = filter_with(0..10);
+        let new = filter_with(0..20);
+        let good = BloomDelta::diff(&old, &new).unwrap().to_bytes().to_vec();
+        // Corrupt magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(BloomDelta::from_bytes(Bytes::from(bad)).is_err());
+        // Truncate payload.
+        let mut short = good.clone();
+        short.truncate(good.len() - 1);
+        assert!(BloomDelta::from_bytes(Bytes::from(short)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_flip_rejected_on_apply() {
+        let delta = BloomDelta {
+            m: 64,
+            k: 2,
+            seed: 0,
+            new_inserted: 1,
+            flipped: vec![64],
+        };
+        let mut f = BloomFilter::with_params(64, 2, 0).unwrap();
+        assert!(delta.apply(&mut f).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = BytesMut::new();
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut bytes = buf.freeze();
+        for &v in &values {
+            assert_eq!(get_varint(&mut bytes), Some(v));
+        }
+        assert!(!bytes.has_remaining());
+    }
+}

@@ -1,0 +1,156 @@
+//! Partitioned Bloom filter: the bit array is split into `k` equal
+//! partitions and each hash function sets one bit in its own partition.
+//!
+//! Slightly worse FPR than the standard construction at the same size, but
+//! the per-partition layout gives predictable memory access and makes the
+//! per-ledger sharding in `irs-proxy` straightforward. Included as the
+//! comparison point the §4.4 "standard Bloom filter (see more recent
+//! advances …)" remark invites.
+
+use crate::hash::{mix_seeded, mix64, reduce};
+use crate::{Filter, FilterError};
+
+/// A k-partition Bloom filter over `u64` keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionedBloom {
+    bits: Vec<u64>,
+    partition_bits: u64,
+    k: u32,
+    seed: u64,
+    inserted: u64,
+}
+
+impl PartitionedBloom {
+    /// Total size will be `k * partition_bits` bits.
+    pub fn with_params(partition_bits: u64, k: u32, seed: u64) -> Result<Self, FilterError> {
+        if partition_bits == 0 {
+            return Err(FilterError::BadParams("partition_bits must be > 0"));
+        }
+        if k == 0 || k > 32 {
+            return Err(FilterError::BadParams("k must be in 1..=32"));
+        }
+        let words = (partition_bits * k as u64).div_ceil(64) as usize;
+        Ok(PartitionedBloom {
+            bits: vec![0u64; words],
+            partition_bits,
+            k,
+            seed,
+            inserted: 0,
+        })
+    }
+
+    /// Size for `capacity` keys at `target_fpr` (same total bits as the
+    /// standard filter; each partition gets an equal share).
+    pub fn for_capacity(capacity: u64, target_fpr: f64) -> Result<Self, FilterError> {
+        if !(1e-10..1.0).contains(&target_fpr) {
+            return Err(FilterError::BadParams("target_fpr must be in (0, 1)"));
+        }
+        let capacity = capacity.max(1);
+        let m = crate::analysis::bits_for(capacity, target_fpr).max(64);
+        let k = crate::analysis::optimal_k(m, capacity);
+        PartitionedBloom::with_params(m.div_ceil(k as u64), k, 0)
+    }
+
+    fn index(&self, key: u64, i: u32) -> u64 {
+        let h = mix_seeded(key, self.seed.wrapping_add(i as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+        i as u64 * self.partition_bits + reduce(mix64(h), self.partition_bits)
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: u64) {
+        for i in 0..self.k {
+            let idx = self.index(key, i);
+            self.bits[(idx / 64) as usize] |= 1u64 << (idx % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Number of `insert` calls so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Fill ratio of the busiest partition (the FPR driver).
+    pub fn max_partition_fill(&self) -> f64 {
+        (0..self.k)
+            .map(|i| {
+                let start = i as u64 * self.partition_bits;
+                let end = start + self.partition_bits;
+                let mut set = 0u64;
+                for idx in start..end {
+                    if self.bits[(idx / 64) as usize] & (1u64 << (idx % 64)) != 0 {
+                        set += 1;
+                    }
+                }
+                set as f64 / self.partition_bits as f64
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Filter for PartitionedBloom {
+    fn contains(&self, key: u64) -> bool {
+        (0..self.k).all(|i| {
+            let idx = self.index(key, i);
+            self.bits[(idx / 64) as usize] & (1u64 << (idx % 64)) != 0
+        })
+    }
+
+    fn bits(&self) -> u64 {
+        self.partition_bits * self.k as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = PartitionedBloom::for_capacity(2000, 0.01).unwrap();
+        for key in 0..2000u64 {
+            f.insert(key ^ 0xabcd_ef01_2345_6789);
+        }
+        for key in 0..2000u64 {
+            assert!(f.contains(key ^ 0xabcd_ef01_2345_6789));
+        }
+    }
+
+    #[test]
+    fn fpr_in_expected_ballpark() {
+        let n = 10_000u64;
+        let mut f = PartitionedBloom::for_capacity(n, 0.02).unwrap();
+        for key in 0..n {
+            f.insert(key);
+        }
+        let trials = 50_000u64;
+        let fp = (n..n + trials).filter(|&k| f.contains(k)).count() as f64;
+        let measured = fp / trials as f64;
+        // Partitioned filters run slightly above target; allow 2×.
+        assert!(measured < 0.04, "measured {measured}");
+    }
+
+    #[test]
+    fn partitions_fill_evenly() {
+        let mut f = PartitionedBloom::with_params(4096, 4, 11).unwrap();
+        for key in 0..2000u64 {
+            f.insert(key);
+        }
+        let max = f.max_partition_fill();
+        // Expected fill ≈ 1 − e^{−2000/4096} ≈ 0.386.
+        assert!((0.3..0.5).contains(&max), "max fill {max}");
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(PartitionedBloom::with_params(0, 4, 0).is_err());
+        assert!(PartitionedBloom::with_params(64, 0, 0).is_err());
+        assert!(PartitionedBloom::with_params(64, 64, 0).is_err());
+    }
+
+    #[test]
+    fn bits_accounts_all_partitions() {
+        let f = PartitionedBloom::with_params(1000, 5, 0).unwrap();
+        assert_eq!(f.bits(), 5000);
+    }
+}

@@ -1,0 +1,184 @@
+//! Discrete cosine transforms.
+//!
+//! Orthonormal DCT-II / DCT-III in one and two dimensions, for arbitrary
+//! sizes (the watermark uses 8×8 blocks; the perceptual hash uses 32×32).
+//! Plain O(n²) per row/column — block sizes are tiny, so this is both
+//! simple and fast enough.
+
+/// Precomputed cosine basis for size-`n` DCT.
+#[derive(Clone, Debug)]
+pub struct DctPlan {
+    n: usize,
+    /// `basis[k * n + i] = scale(k) * cos(π (i + ½) k / n)`
+    basis: Vec<f32>,
+}
+
+impl DctPlan {
+    /// Build a plan for transforms of length `n` (n ≥ 1).
+    pub fn new(n: usize) -> DctPlan {
+        assert!(n >= 1, "DCT length must be ≥ 1");
+        let mut basis = vec![0.0f32; n * n];
+        for k in 0..n {
+            let scale = if k == 0 {
+                (1.0 / n as f64).sqrt()
+            } else {
+                (2.0 / n as f64).sqrt()
+            };
+            for i in 0..n {
+                basis[k * n + i] = (scale
+                    * (std::f64::consts::PI * (i as f64 + 0.5) * k as f64 / n as f64).cos())
+                    as f32;
+            }
+        }
+        DctPlan { n, basis }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; plans have n ≥ 1.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward (DCT-II) on a length-n slice.
+    pub fn forward(&self, input: &[f32], output: &mut [f32]) {
+        debug_assert_eq!(input.len(), self.n);
+        debug_assert_eq!(output.len(), self.n);
+        for k in 0..self.n {
+            let row = &self.basis[k * self.n..(k + 1) * self.n];
+            output[k] = row.iter().zip(input.iter()).map(|(b, x)| b * x).sum();
+        }
+    }
+
+    /// Inverse (DCT-III) on a length-n slice.
+    pub fn inverse(&self, input: &[f32], output: &mut [f32]) {
+        debug_assert_eq!(input.len(), self.n);
+        debug_assert_eq!(output.len(), self.n);
+        for i in 0..self.n {
+            let mut acc = 0.0f32;
+            for k in 0..self.n {
+                acc += self.basis[k * self.n + i] * input[k];
+            }
+            output[i] = acc;
+        }
+    }
+
+    /// 2D forward DCT on an `n × n` row-major block, in place.
+    pub fn forward_2d(&self, block: &mut [f32]) {
+        debug_assert_eq!(block.len(), self.n * self.n);
+        let n = self.n;
+        let mut tmp = vec![0.0f32; n];
+        // Rows.
+        for r in 0..n {
+            self.forward(&block[r * n..(r + 1) * n].to_vec(), &mut tmp);
+            block[r * n..(r + 1) * n].copy_from_slice(&tmp);
+        }
+        // Columns.
+        let mut col = vec![0.0f32; n];
+        for c in 0..n {
+            for r in 0..n {
+                col[r] = block[r * n + c];
+            }
+            self.forward(&col.to_vec(), &mut tmp);
+            for r in 0..n {
+                block[r * n + c] = tmp[r];
+            }
+        }
+    }
+
+    /// 2D inverse DCT on an `n × n` row-major block, in place.
+    pub fn inverse_2d(&self, block: &mut [f32]) {
+        debug_assert_eq!(block.len(), self.n * self.n);
+        let n = self.n;
+        let mut tmp = vec![0.0f32; n];
+        let mut col = vec![0.0f32; n];
+        // Columns first (inverse of forward order; DCT is separable so
+        // order does not actually matter).
+        for c in 0..n {
+            for r in 0..n {
+                col[r] = block[r * n + c];
+            }
+            self.inverse(&col.to_vec(), &mut tmp);
+            for r in 0..n {
+                block[r * n + c] = tmp[r];
+            }
+        }
+        for r in 0..n {
+            self.inverse(&block[r * n..(r + 1) * n].to_vec(), &mut tmp);
+            block[r * n..(r + 1) * n].copy_from_slice(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_1d() {
+        let plan = DctPlan::new(8);
+        let input: Vec<f32> = (0..8).map(|i| (i as f32 * 13.7).sin() * 50.0).collect();
+        let mut freq = vec![0.0; 8];
+        let mut back = vec![0.0; 8];
+        plan.forward(&input, &mut freq);
+        plan.inverse(&freq, &mut back);
+        for (a, b) in input.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let plan = DctPlan::new(8);
+        let mut block: Vec<f32> = (0..64).map(|i| ((i * 37) % 255) as f32).collect();
+        let orig = block.clone();
+        plan.forward_2d(&mut block);
+        plan.inverse_2d(&mut block);
+        for (a, b) in orig.iter().zip(block.iter()) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_signal_is_pure_dc() {
+        let plan = DctPlan::new(8);
+        let input = vec![100.0f32; 8];
+        let mut freq = vec![0.0; 8];
+        plan.forward(&input, &mut freq);
+        // DC = 100 * sqrt(8)
+        assert!((freq[0] - 100.0 * 8f32.sqrt()).abs() < 1e-2);
+        for &f in &freq[1..] {
+            assert!(f.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn orthonormality_preserves_energy() {
+        let plan = DctPlan::new(16);
+        let input: Vec<f32> = (0..16).map(|i| (i as f32).cos() * 30.0 + i as f32).collect();
+        let mut freq = vec![0.0; 16];
+        plan.forward(&input, &mut freq);
+        let e_in: f32 = input.iter().map(|x| x * x).sum();
+        let e_out: f32 = freq.iter().map(|x| x * x).sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-4, "{e_in} vs {e_out}");
+    }
+
+    #[test]
+    fn roundtrip_32() {
+        let plan = DctPlan::new(32);
+        let mut block: Vec<f32> =
+            (0..32 * 32).map(|i| ((i * 7919) % 251) as f32).collect();
+        let orig = block.clone();
+        plan.forward_2d(&mut block);
+        plan.inverse_2d(&mut block);
+        let max_err = orig
+            .iter()
+            .zip(block.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 0.1, "max err {max_err}");
+    }
+}

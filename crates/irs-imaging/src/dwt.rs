@@ -1,0 +1,147 @@
+//! One-level 2D Haar discrete wavelet transform.
+//!
+//! The watermark embeds in the LL (low-low) subband: LL coefficients are
+//! local averages, so JPEG's high-frequency quantization barely moves them,
+//! which is what makes the DWT–DCT family (cited by the paper \[2, 18\])
+//! robust to transcoding.
+
+/// Result of a one-level 2D Haar DWT on an even-dimension plane.
+#[derive(Clone, Debug)]
+pub struct Haar2d {
+    /// Half-resolution approximation (scaled averages).
+    pub ll: Vec<f32>,
+    /// Horizontal detail.
+    pub lh: Vec<f32>,
+    /// Vertical detail.
+    pub hl: Vec<f32>,
+    /// Diagonal detail.
+    pub hh: Vec<f32>,
+    /// Subband width (input width / 2).
+    pub w: usize,
+    /// Subband height (input height / 2).
+    pub h: usize,
+}
+
+/// Forward one-level Haar DWT. Input is a row-major `width × height` plane;
+/// odd trailing row/column are ignored (callers re-attach them on inverse).
+pub fn haar_forward(plane: &[f32], width: usize, height: usize) -> Haar2d {
+    let w = width / 2;
+    let h = height / 2;
+    let mut ll = vec![0.0f32; w * h];
+    let mut lh = vec![0.0f32; w * h];
+    let mut hl = vec![0.0f32; w * h];
+    let mut hh = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let a = plane[(2 * y) * width + 2 * x];
+            let b = plane[(2 * y) * width + 2 * x + 1];
+            let c = plane[(2 * y + 1) * width + 2 * x];
+            let d = plane[(2 * y + 1) * width + 2 * x + 1];
+            // Orthonormal Haar: divide by 2.
+            ll[y * w + x] = (a + b + c + d) / 2.0;
+            lh[y * w + x] = (a - b + c - d) / 2.0;
+            hl[y * w + x] = (a + b - c - d) / 2.0;
+            hh[y * w + x] = (a - b - c + d) / 2.0;
+        }
+    }
+    Haar2d {
+        ll,
+        lh,
+        hl,
+        hh,
+        w,
+        h,
+    }
+}
+
+/// Inverse one-level Haar DWT back into a `width × height` plane. Pixels in
+/// an odd trailing row/column are taken from `original` unchanged.
+pub fn haar_inverse(bands: &Haar2d, width: usize, height: usize, original: &[f32]) -> Vec<f32> {
+    let mut out = original.to_vec();
+    let w = bands.w;
+    for y in 0..bands.h {
+        for x in 0..w {
+            let ll = bands.ll[y * w + x];
+            let lh = bands.lh[y * w + x];
+            let hl = bands.hl[y * w + x];
+            let hh = bands.hh[y * w + x];
+            out[(2 * y) * width + 2 * x] = (ll + lh + hl + hh) / 2.0;
+            out[(2 * y) * width + 2 * x + 1] = (ll - lh + hl - hh) / 2.0;
+            out[(2 * y + 1) * width + 2 * x] = (ll + lh - hl - hh) / 2.0;
+            out[(2 * y + 1) * width + 2 * x + 1] = (ll - lh - hl + hh) / 2.0;
+        }
+    }
+    let _ = height;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(w: usize, h: usize) -> Vec<f32> {
+        (0..w * h).map(|i| ((i * 97) % 256) as f32).collect()
+    }
+
+    #[test]
+    fn perfect_reconstruction_even() {
+        let (w, h) = (16, 12);
+        let p = plane(w, h);
+        let bands = haar_forward(&p, w, h);
+        let back = haar_inverse(&bands, w, h, &p);
+        for (a, b) in p.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn odd_dimensions_preserve_trailing_pixels() {
+        let (w, h) = (15, 9);
+        let p = plane(w, h);
+        let bands = haar_forward(&p, w, h);
+        assert_eq!((bands.w, bands.h), (7, 4));
+        let back = haar_inverse(&bands, w, h, &p);
+        // Trailing column/row untouched.
+        for y in 0..h {
+            assert_eq!(back[y * w + 14], p[y * w + 14]);
+        }
+        for x in 0..w {
+            assert_eq!(back[8 * w + x], p[8 * w + x]);
+        }
+    }
+
+    #[test]
+    fn ll_is_scaled_average() {
+        let p = vec![10.0f32, 20.0, 30.0, 40.0];
+        let bands = haar_forward(&p, 2, 2);
+        assert!((bands.ll[0] - 50.0).abs() < 1e-5); // (10+20+30+40)/2
+    }
+
+    #[test]
+    fn energy_preserved() {
+        let (w, h) = (32, 32);
+        let p = plane(w, h);
+        let bands = haar_forward(&p, w, h);
+        let e_in: f32 = p.iter().map(|x| x * x).sum();
+        let e_out: f32 = bands
+            .ll
+            .iter()
+            .chain(&bands.lh)
+            .chain(&bands.hl)
+            .chain(&bands.hh)
+            .map(|x| x * x)
+            .sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-4);
+    }
+
+    #[test]
+    fn modifying_ll_survives_roundtrip() {
+        let (w, h) = (16, 16);
+        let p = plane(w, h);
+        let mut bands = haar_forward(&p, w, h);
+        bands.ll[10] += 40.0;
+        let modified = haar_inverse(&bands, w, h, &p);
+        let bands2 = haar_forward(&modified, w, h);
+        assert!((bands2.ll[10] - bands.ll[10]).abs() < 1e-3);
+    }
+}

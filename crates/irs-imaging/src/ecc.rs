@@ -1,0 +1,228 @@
+//! Error-control coding for the watermark payload.
+//!
+//! The watermark carries a 96-bit record identifier. Because individual
+//! coefficient decisions are noisy under transcoding, the payload is
+//! protected twice: a CRC-32 frames the payload so wrong decodes are
+//! rejected (essential because the crop-tolerant extractor scans thousands
+//! of candidate grid/tile alignments — a 16-bit check would pass spuriously
+//! every ~65k candidates), and a Hamming(7,4) code corrects single-bit
+//! errors per codeword *after* spatial majority voting has already
+//! suppressed most channel noise.
+
+/// CRC-16/CCITT-FALSE (kept for probe tokens and tests).
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xffff;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3, reflected).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0xedb8_8320;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    !crc
+}
+
+/// Encode 4 data bits into a 7-bit Hamming codeword.
+/// Layout: [p1, p2, d1, p3, d2, d3, d4] (classic positions 1..7).
+fn hamming_encode_nibble(nibble: u8) -> u8 {
+    let d1 = (nibble >> 3) & 1;
+    let d2 = (nibble >> 2) & 1;
+    let d3 = (nibble >> 1) & 1;
+    let d4 = nibble & 1;
+    let p1 = d1 ^ d2 ^ d4;
+    let p2 = d1 ^ d3 ^ d4;
+    let p3 = d2 ^ d3 ^ d4;
+    (p1 << 6) | (p2 << 5) | (d1 << 4) | (p3 << 3) | (d2 << 2) | (d3 << 1) | d4
+}
+
+/// Decode a 7-bit Hamming codeword to 4 data bits, correcting up to one
+/// flipped bit.
+fn hamming_decode_nibble(code: u8) -> u8 {
+    let bit = |i: u8| (code >> (7 - i)) & 1; // positions 1..7, MSB first
+    let s1 = bit(1) ^ bit(3) ^ bit(5) ^ bit(7);
+    let s2 = bit(2) ^ bit(3) ^ bit(6) ^ bit(7);
+    let s3 = bit(4) ^ bit(5) ^ bit(6) ^ bit(7);
+    let syndrome = (s3 << 2) | (s2 << 1) | s1;
+    let mut code = code;
+    if syndrome != 0 {
+        code ^= 1 << (7 - syndrome);
+    }
+    let b = |i: u8| (code >> (7 - i)) & 1;
+    (b(3) << 3) | (b(5) << 2) | (b(6) << 1) | b(7)
+}
+
+/// Encode a byte payload into coded bits: appends CRC-32, then Hamming(7,4)
+/// encodes each nibble. Output is a bit vector (one bool per coded bit).
+pub fn encode(payload: &[u8]) -> Vec<bool> {
+    let mut with_crc = payload.to_vec();
+    with_crc.extend_from_slice(&crc32(payload).to_be_bytes());
+    let mut bits = Vec::with_capacity(with_crc.len() * 14);
+    for byte in with_crc {
+        for nibble in [byte >> 4, byte & 0x0f] {
+            let code = hamming_encode_nibble(nibble);
+            for i in (0..7).rev() {
+                bits.push((code >> i) & 1 == 1);
+            }
+        }
+    }
+    bits
+}
+
+/// Number of coded bits produced by [`encode`] for an n-byte payload.
+pub fn coded_len(payload_bytes: usize) -> usize {
+    (payload_bytes + 4) * 14
+}
+
+/// Decode coded bits back to the payload. Returns `None` if the length is
+/// wrong or the CRC check fails (i.e. more errors than the code could
+/// correct).
+pub fn decode(bits: &[bool], payload_bytes: usize) -> Option<Vec<u8>> {
+    if bits.len() != coded_len(payload_bytes) {
+        return None;
+    }
+    let total = payload_bytes + 4;
+    let mut bytes = Vec::with_capacity(total);
+    let mut chunks = bits.chunks_exact(7);
+    for _ in 0..total {
+        let hi_code = pack7(chunks.next()?);
+        let lo_code = pack7(chunks.next()?);
+        let hi = hamming_decode_nibble(hi_code);
+        let lo = hamming_decode_nibble(lo_code);
+        bytes.push((hi << 4) | lo);
+    }
+    let (payload, crc_bytes) = bytes.split_at(payload_bytes);
+    let expect = u32::from_be_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(payload) == expect {
+        Some(payload.to_vec())
+    } else {
+        None
+    }
+}
+
+fn pack7(bits: &[bool]) -> u8 {
+    bits.iter().fold(0u8, |acc, &b| (acc << 1) | b as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29b1);
+        assert_eq!(crc16(b""), 0xffff);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32/IEEE("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn hamming_nibble_roundtrip() {
+        for n in 0..16u8 {
+            assert_eq!(hamming_decode_nibble(hamming_encode_nibble(n)), n);
+        }
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_bit_error() {
+        for n in 0..16u8 {
+            let code = hamming_encode_nibble(n);
+            for bit in 0..7 {
+                let corrupted = code ^ (1 << bit);
+                assert_eq!(
+                    hamming_decode_nibble(corrupted),
+                    n,
+                    "nibble {n} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let payload = [0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef];
+        let bits = encode(&payload);
+        assert_eq!(bits.len(), coded_len(12));
+        assert_eq!(decode(&bits, 12), Some(payload.to_vec()));
+    }
+
+    #[test]
+    fn single_bit_errors_in_every_codeword_corrected() {
+        let payload = [0x12, 0x34, 0x56];
+        let mut bits = encode(&payload);
+        // Flip one bit in each 7-bit codeword.
+        for cw in 0..bits.len() / 7 {
+            bits[cw * 7 + (cw % 7)] ^= true;
+        }
+        assert_eq!(decode(&bits, 3), Some(payload.to_vec()));
+    }
+
+    #[test]
+    fn double_bit_error_detected_by_crc() {
+        let payload = [0x12, 0x34, 0x56, 0x78];
+        let mut corrupted_detected = 0;
+        for cw in 0..4 {
+            let mut bits = encode(&payload);
+            bits[cw * 7] ^= true;
+            bits[cw * 7 + 1] ^= true;
+            if decode(&bits, 4).is_none() {
+                corrupted_detected += 1;
+            }
+        }
+        // Hamming(7,4) miscorrects double errors; CRC must catch them.
+        assert_eq!(corrupted_detected, 4);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let bits = encode(&[1, 2, 3]);
+        assert_eq!(decode(&bits, 4), None);
+        assert_eq!(decode(&bits[..bits.len() - 1], 3), None);
+    }
+
+    #[test]
+    fn random_bits_rarely_pass_crc() {
+        // The extractor scans 64 alignments; spurious CRC passes must be
+        // rare (2^-16 per attempt).
+        let mut passes = 0;
+        for seed in 0..200u64 {
+            let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            let bits: Vec<bool> = (0..coded_len(12))
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x & 1 == 1
+                })
+                .collect();
+            if decode(&bits, 12).is_some() {
+                passes += 1;
+            }
+        }
+        assert!(passes <= 1, "{passes} spurious CRC passes in 200 trials");
+    }
+}

@@ -1,0 +1,221 @@
+//! Deterministic procedural "photographs".
+//!
+//! The paper's workloads involve billions of personal photos; we obviously
+//! substitute synthetic ones (DESIGN.md §2). For watermarking and
+//! perceptual hashing to behave realistically, the generator produces
+//! images with natural-image statistics: an approximately 1/f power
+//! spectrum (octave value noise), large-scale illumination gradients, and
+//! hard edges (geometric shapes) — rather than white noise or flat fields.
+
+use crate::raster::Image;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates deterministic synthetic photos from a seed.
+#[derive(Clone, Debug)]
+pub struct PhotoGenerator {
+    seed: u64,
+}
+
+impl PhotoGenerator {
+    /// Create a generator; the same seed always yields the same photos.
+    pub fn new(seed: u64) -> PhotoGenerator {
+        PhotoGenerator { seed }
+    }
+
+    /// Generate photo number `index` at the given dimensions.
+    pub fn generate(&self, index: u64, width: u32, height: u32) -> Image {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(index),
+        );
+        let mut img = Image::new(width, height);
+
+        // Layer 1: smooth illumination gradient between two random colors.
+        let c0: [f32; 3] = [
+            rng.gen_range(30.0..160.0),
+            rng.gen_range(30.0..160.0),
+            rng.gen_range(30.0..160.0),
+        ];
+        let c1: [f32; 3] = [
+            rng.gen_range(60.0..220.0),
+            rng.gen_range(60.0..220.0),
+            rng.gen_range(60.0..220.0),
+        ];
+        let angle: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        let (dx, dy) = (angle.cos(), angle.sin());
+
+        // Layer 2: octave value noise (lattice noise with bilinear
+        // interpolation), 4 octaves with 1/f amplitude falloff.
+        let octaves: Vec<NoiseLattice> = (0..4)
+            .map(|o| NoiseLattice::new(&mut rng, 4 << o))
+            .collect();
+
+        let diag = ((width * width + height * height) as f32).sqrt();
+        for y in 0..height {
+            for x in 0..width {
+                let u = x as f32 / width as f32;
+                let v = y as f32 / height as f32;
+                let t = ((x as f32 * dx + y as f32 * dy) / diag + 1.0) / 2.0;
+                let mut px = [0.0f32; 3];
+                // Noise contributes ±45 levels, weighted 1/2^octave.
+                let mut noise = 0.0f32;
+                let mut amp = 1.0f32;
+                for lattice in &octaves {
+                    noise += amp * lattice.sample(u, v);
+                    amp *= 0.5;
+                }
+                for c in 0..3 {
+                    px[c] = c0[c] * (1.0 - t) + c1[c] * t + noise * 45.0;
+                }
+                img.set(x, y, [
+                    px[0].clamp(0.0, 255.0) as u8,
+                    px[1].clamp(0.0, 255.0) as u8,
+                    px[2].clamp(0.0, 255.0) as u8,
+                ]);
+            }
+        }
+
+        // Layer 3: a few solid shapes (hard edges, like objects/faces).
+        let shapes = rng.gen_range(2..6);
+        for _ in 0..shapes {
+            let cx = rng.gen_range(0..width) as i64;
+            let cy = rng.gen_range(0..height) as i64;
+            let r = rng.gen_range((width.min(height) / 12).max(2)..(width.min(height) / 4).max(3))
+                as i64;
+            let color = [rng.gen::<u8>(), rng.gen::<u8>(), rng.gen::<u8>()];
+            let alpha: f32 = rng.gen_range(0.4..0.9);
+            let rect = rng.gen_bool(0.5);
+            let y0 = (cy - r).max(0) as u32;
+            let y1 = ((cy + r) as u32).min(height.saturating_sub(1));
+            let x0 = (cx - r).max(0) as u32;
+            let x1 = ((cx + r) as u32).min(width.saturating_sub(1));
+            for py in y0..=y1 {
+                for px_ in x0..=x1 {
+                    let inside = if rect {
+                        true
+                    } else {
+                        let ddx = px_ as i64 - cx;
+                        let ddy = py as i64 - cy;
+                        ddx * ddx + ddy * ddy <= r * r
+                    };
+                    if inside {
+                        let old = img.get(px_, py);
+                        let mut blended = [0u8; 3];
+                        for c in 0..3 {
+                            blended[c] = (old[c] as f32 * (1.0 - alpha)
+                                + color[c] as f32 * alpha)
+                                .round() as u8;
+                        }
+                        img.set(px_, py, blended);
+                    }
+                }
+            }
+        }
+        img
+    }
+}
+
+/// A value-noise lattice: random values at grid points, bilinear
+/// interpolation with smoothstep easing in between.
+struct NoiseLattice {
+    size: usize,
+    values: Vec<f32>,
+}
+
+impl NoiseLattice {
+    fn new(rng: &mut StdRng, size: usize) -> NoiseLattice {
+        NoiseLattice {
+            size,
+            values: (0..(size + 1) * (size + 1))
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+        }
+    }
+
+    /// Sample at (u, v) ∈ [0, 1]².
+    fn sample(&self, u: f32, v: f32) -> f32 {
+        let fu = (u.clamp(0.0, 1.0)) * self.size as f32;
+        let fv = (v.clamp(0.0, 1.0)) * self.size as f32;
+        let x0 = (fu.floor() as usize).min(self.size - 1);
+        let y0 = (fv.floor() as usize).min(self.size - 1);
+        let tx = smoothstep(fu - x0 as f32);
+        let ty = smoothstep(fv - y0 as f32);
+        let stride = self.size + 1;
+        let v00 = self.values[y0 * stride + x0];
+        let v10 = self.values[y0 * stride + x0 + 1];
+        let v01 = self.values[(y0 + 1) * stride + x0];
+        let v11 = self.values[(y0 + 1) * stride + x0 + 1];
+        let top = v00 * (1.0 - tx) + v10 * tx;
+        let bot = v01 * (1.0 - tx) + v11 * tx;
+        top * (1.0 - ty) + bot * ty
+    }
+}
+
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let g = PhotoGenerator::new(7);
+        let a = g.generate(3, 64, 64);
+        let b = g.generate(3, 64, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_across_indices_and_seeds() {
+        let g = PhotoGenerator::new(7);
+        let a = g.generate(1, 64, 64);
+        let b = g.generate(2, 64, 64);
+        assert_ne!(a, b);
+        let g2 = PhotoGenerator::new(8);
+        assert_ne!(a, g2.generate(1, 64, 64));
+    }
+
+    #[test]
+    fn has_texture_not_flat() {
+        let g = PhotoGenerator::new(42);
+        let img = g.generate(0, 128, 128);
+        let luma = img.luma();
+        let mean: f32 = luma.iter().sum::<f32>() / luma.len() as f32;
+        let var: f32 =
+            luma.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / luma.len() as f32;
+        assert!(var > 100.0, "variance {var} too low — image is flat");
+    }
+
+    #[test]
+    fn spectrum_is_low_frequency_dominated() {
+        // Natural images concentrate energy at low frequencies. Compare
+        // adjacent-pixel correlation: white noise would be ~0, natural ~0.9.
+        let g = PhotoGenerator::new(9);
+        let img = g.generate(0, 128, 128);
+        let luma = img.luma();
+        let mean: f32 = luma.iter().sum::<f32>() / luma.len() as f32;
+        let mut cov = 0.0f64;
+        let mut var = 0.0f64;
+        for y in 0..128usize {
+            for x in 0..127usize {
+                let a = (luma[y * 128 + x] - mean) as f64;
+                let b = (luma[y * 128 + x + 1] - mean) as f64;
+                cov += a * b;
+                var += a * a;
+            }
+        }
+        let corr = cov / var;
+        assert!(corr > 0.7, "adjacent-pixel correlation {corr} too low");
+    }
+
+    #[test]
+    fn respects_dimensions() {
+        let g = PhotoGenerator::new(1);
+        let img = g.generate(0, 33, 77);
+        assert_eq!((img.width(), img.height()), (33, 77));
+    }
+}

@@ -1,0 +1,133 @@
+//! JPEG-style lossy transcoding.
+//!
+//! Content aggregators recompress uploads; §2 Goal #5 requires the
+//! watermark to survive this. We model the lossy core of baseline JPEG —
+//! 8×8 block DCT of the luma plane with quality-scaled quantization of the
+//! standard table — without the (lossless) entropy-coding stage, which does
+//! not affect pixel values. Chroma is carried through the luma-ratio
+//! projection of [`Image::set_luma`], approximating 4:2:0's perceptual
+//! effect for our purposes (hash + watermark operate on luma).
+
+use crate::dct::DctPlan;
+use crate::raster::Image;
+
+/// The Annex-K luminance quantization table (quality 50 baseline).
+const Q50: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Build the quantization table for a quality factor in [1, 100]
+/// (the libjpeg scaling convention).
+pub fn quant_table(quality: u8) -> [u16; 64] {
+    let q = quality.clamp(1, 100) as i32;
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut table = [0u16; 64];
+    for i in 0..64 {
+        let v = (Q50[i] as i32 * scale + 50) / 100;
+        table[i] = v.clamp(1, 255) as u16;
+    }
+    table
+}
+
+/// Recompress an image at the given JPEG quality (1–100; higher = better).
+pub fn transcode(img: &Image, quality: u8) -> Image {
+    let w = img.width() as usize;
+    let h = img.height() as usize;
+    let mut luma = img.luma();
+    let table = quant_table(quality);
+    let plan = DctPlan::new(8);
+
+    let mut block = [0.0f32; 64];
+    for by in (0..h).step_by(8) {
+        for bx in (0..w).step_by(8) {
+            let bw = (w - bx).min(8);
+            let bh = (h - by).min(8);
+            // Load with edge replication for partial blocks.
+            for y in 0..8 {
+                for x in 0..8 {
+                    let sx = bx + x.min(bw - 1);
+                    let sy = by + y.min(bh - 1);
+                    block[y * 8 + x] = luma[sy * w + sx] - 128.0;
+                }
+            }
+            plan.forward_2d(&mut block);
+            for i in 0..64 {
+                let q = table[i] as f32;
+                block[i] = (block[i] / q).round() * q;
+            }
+            plan.inverse_2d(&mut block);
+            for y in 0..bh {
+                for x in 0..bw {
+                    luma[(by + y) * w + (bx + x)] =
+                        (block[y * 8 + x] + 128.0).clamp(0.0, 255.0);
+                }
+            }
+        }
+    }
+    let mut out = img.clone();
+    out.set_luma(&luma);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::PhotoGenerator;
+
+    #[test]
+    fn quant_table_scaling() {
+        let q50 = quant_table(50);
+        assert_eq!(q50[0], 16);
+        let q90 = quant_table(90);
+        let q10 = quant_table(10);
+        // Higher quality ⇒ finer quantization.
+        assert!(q90[0] < q50[0]);
+        assert!(q10[0] > q50[0]);
+        // Steps never hit zero.
+        assert!(quant_table(100).iter().all(|&v| v >= 1));
+    }
+
+    #[test]
+    fn high_quality_is_nearly_lossless() {
+        let img = PhotoGenerator::new(1).generate(0, 128, 128);
+        let out = transcode(&img, 95);
+        let diff = img.mean_abs_diff(&out).unwrap();
+        assert!(diff < 4.0, "q95 diff {diff}");
+    }
+
+    #[test]
+    fn quality_degrades_monotonically() {
+        let img = PhotoGenerator::new(2).generate(0, 128, 128);
+        let d90 = img.mean_abs_diff(&transcode(&img, 90)).unwrap();
+        let d50 = img.mean_abs_diff(&transcode(&img, 50)).unwrap();
+        let d10 = img.mean_abs_diff(&transcode(&img, 10)).unwrap();
+        assert!(d90 < d50, "q90 {d90} < q50 {d50}");
+        assert!(d50 < d10, "q50 {d50} < q10 {d10}");
+    }
+
+    #[test]
+    fn preserves_dimensions_including_partial_blocks() {
+        let img = PhotoGenerator::new(3).generate(0, 67, 45);
+        let out = transcode(&img, 75);
+        assert_eq!((out.width(), out.height()), (67, 45));
+    }
+
+    #[test]
+    fn transcode_is_idempotentish() {
+        // Transcoding twice at the same quality changes little the second
+        // time (coefficients already near quantization lattice).
+        let img = PhotoGenerator::new(4).generate(0, 64, 64);
+        let once = transcode(&img, 60);
+        let twice = transcode(&once, 60);
+        let d1 = img.mean_abs_diff(&once).unwrap();
+        let d2 = once.mean_abs_diff(&twice).unwrap();
+        assert!(d2 < d1, "second pass {d2} should distort less than first {d1}");
+    }
+}

@@ -1,0 +1,277 @@
+//! Photo manipulations — the "benign photo alterations" of Goal #5 and the
+//! hostile distortions of §5's direct attacks.
+//!
+//! Used by experiment E7 (watermark robustness sweep), E8 (perceptual-hash
+//! ROC), and `irs-attacks` (watermark-destruction attack).
+
+use crate::raster::Image;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single manipulation applied to a photo.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Manipulation {
+    /// JPEG-style recompression at a quality factor (1–100).
+    Jpeg(u8),
+    /// Crop a fraction (0.0–0.9) of each dimension, keeping the center,
+    /// with a deterministic pseudo-random corner jitter from `seed`.
+    CropFraction { fraction: f32, seed: u64 },
+    /// Multiply each channel by a factor (tinting / white-balance shift).
+    Tint { r: f32, g: f32, b: f32 },
+    /// Add a constant to all channels.
+    Brightness(i16),
+    /// Add Gaussian-ish noise with the given standard deviation.
+    Noise { sigma: f32, seed: u64 },
+    /// Resize to a fraction of the original dimensions and back (models a
+    /// thumbnail pipeline). Fraction in (0, 1].
+    ResizeRoundtrip(f32),
+    /// Overlay opaque horizontal bars (meme text/caption model): `bars`
+    /// bars each `height_px` tall.
+    CaptionBars { bars: u32, height_px: u32 },
+    /// Horizontal mirror.
+    FlipHorizontal,
+}
+
+impl Manipulation {
+    /// Apply the manipulation, returning the altered image.
+    pub fn apply(&self, img: &Image) -> Image {
+        match *self {
+            Manipulation::Jpeg(q) => crate::jpeg::transcode(img, q),
+            Manipulation::CropFraction { fraction, seed } => {
+                let f = fraction.clamp(0.0, 0.9);
+                let w = img.width();
+                let h = img.height();
+                let new_w = ((w as f32) * (1.0 - f)).round().max(1.0) as u32;
+                let new_h = ((h as f32) * (1.0 - f)).round().max(1.0) as u32;
+                let max_x = w - new_w;
+                let max_y = h - new_h;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let x = if max_x > 0 { rng.gen_range(0..=max_x) } else { 0 };
+                let y = if max_y > 0 { rng.gen_range(0..=max_y) } else { 0 };
+                img.crop(x, y, new_w, new_h).expect("crop in bounds")
+            }
+            Manipulation::Tint { r, g, b } => {
+                let mut out = img.clone();
+                for y in 0..img.height() {
+                    for x in 0..img.width() {
+                        let px = img.get(x, y);
+                        out.set(x, y, [
+                            (px[0] as f32 * r).round().clamp(0.0, 255.0) as u8,
+                            (px[1] as f32 * g).round().clamp(0.0, 255.0) as u8,
+                            (px[2] as f32 * b).round().clamp(0.0, 255.0) as u8,
+                        ]);
+                    }
+                }
+                out
+            }
+            Manipulation::Brightness(delta) => {
+                let mut out = img.clone();
+                for y in 0..img.height() {
+                    for x in 0..img.width() {
+                        let px = img.get(x, y);
+                        let mut np = [0u8; 3];
+                        for c in 0..3 {
+                            np[c] = (px[c] as i32 + delta as i32).clamp(0, 255) as u8;
+                        }
+                        out.set(x, y, np);
+                    }
+                }
+                out
+            }
+            Manipulation::Noise { sigma, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut out = img.clone();
+                for y in 0..img.height() {
+                    for x in 0..img.width() {
+                        let px = img.get(x, y);
+                        // Sum of 4 uniforms ≈ Gaussian (Irwin–Hall).
+                        let n: f32 = (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).sum::<f32>()
+                            / 4.0f32.sqrt()
+                            * sigma
+                            * 1.732;
+                        let mut np = [0u8; 3];
+                        for c in 0..3 {
+                            np[c] = (px[c] as f32 + n).round().clamp(0.0, 255.0) as u8;
+                        }
+                        out.set(x, y, np);
+                    }
+                }
+                out
+            }
+            Manipulation::ResizeRoundtrip(fraction) => {
+                let f = fraction.clamp(0.05, 1.0);
+                let w = ((img.width() as f32) * f).round().max(1.0) as u32;
+                let h = ((img.height() as f32) * f).round().max(1.0) as u32;
+                img.resize(w, h)
+                    .and_then(|small| small.resize(img.width(), img.height()))
+                    .expect("resize in bounds")
+            }
+            Manipulation::CaptionBars { bars, height_px } => {
+                let mut out = img.clone();
+                let h = img.height();
+                for b in 0..bars {
+                    let y0 = (h * (b + 1)) / (bars + 1);
+                    for y in y0..(y0 + height_px).min(h) {
+                        for x in 0..img.width() {
+                            out.set(x, y, [255, 255, 255]);
+                        }
+                    }
+                }
+                out
+            }
+            Manipulation::FlipHorizontal => {
+                let mut out = img.clone();
+                for y in 0..img.height() {
+                    for x in 0..img.width() {
+                        out.set(img.width() - 1 - x, y, img.get(x, y));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Short name for experiment tables.
+    pub fn name(&self) -> String {
+        match self {
+            Manipulation::Jpeg(q) => format!("jpeg-q{q}"),
+            Manipulation::CropFraction { fraction, .. } => {
+                format!("crop-{:.0}%", fraction * 100.0)
+            }
+            Manipulation::Tint { r, g, b } => format!("tint-{r:.2}/{g:.2}/{b:.2}"),
+            Manipulation::Brightness(d) => format!("brightness{d:+}"),
+            Manipulation::Noise { sigma, .. } => format!("noise-σ{sigma:.1}"),
+            Manipulation::ResizeRoundtrip(f) => format!("resize-{:.0}%", f * 100.0),
+            Manipulation::CaptionBars { bars, .. } => format!("caption-{bars}bars"),
+            Manipulation::FlipHorizontal => "flip-h".to_string(),
+        }
+    }
+}
+
+/// Apply a sequence of manipulations left to right.
+pub fn apply_all(img: &Image, ops: &[Manipulation]) -> Image {
+    ops.iter().fold(img.clone(), |acc, op| op.apply(&acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::PhotoGenerator;
+
+    fn photo() -> Image {
+        PhotoGenerator::new(5).generate(0, 96, 96)
+    }
+
+    #[test]
+    fn crop_shrinks_dimensions() {
+        let img = photo();
+        let out = Manipulation::CropFraction {
+            fraction: 0.25,
+            seed: 1,
+        }
+        .apply(&img);
+        assert_eq!(out.width(), 72);
+        assert_eq!(out.height(), 72);
+    }
+
+    #[test]
+    fn crop_zero_is_identity_dimensions() {
+        let img = photo();
+        let out = Manipulation::CropFraction {
+            fraction: 0.0,
+            seed: 1,
+        }
+        .apply(&img);
+        assert_eq!((out.width(), out.height()), (96, 96));
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn tint_scales_channels() {
+        let img = photo();
+        let out = Manipulation::Tint {
+            r: 1.1,
+            g: 1.0,
+            b: 0.9,
+        }
+        .apply(&img);
+        let (mut ro, mut bo, mut rn, mut bn) = (0u64, 0u64, 0u64, 0u64);
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                ro += img.get(x, y)[0] as u64;
+                bo += img.get(x, y)[2] as u64;
+                rn += out.get(x, y)[0] as u64;
+                bn += out.get(x, y)[2] as u64;
+            }
+        }
+        assert!(rn > ro, "red should brighten");
+        assert!(bn < bo, "blue should darken");
+    }
+
+    #[test]
+    fn brightness_clamps() {
+        let img = photo();
+        let bright = Manipulation::Brightness(300).apply(&img);
+        assert_eq!(bright.get(0, 0), [255, 255, 255]);
+        let dark = Manipulation::Brightness(-300).apply(&img);
+        assert_eq!(dark.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn noise_perturbs_roughly_sigma() {
+        let img = photo();
+        let out = Manipulation::Noise {
+            sigma: 5.0,
+            seed: 3,
+        }
+        .apply(&img);
+        let diff = img.mean_abs_diff(&out).unwrap();
+        // Mean |N(0,5)| ≈ 4; allow wide tolerance for the Irwin–Hall
+        // approximation and clamping.
+        assert!((1.5..8.0).contains(&diff), "noise diff {diff}");
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let img = photo();
+        let back = Manipulation::FlipHorizontal.apply(&Manipulation::FlipHorizontal.apply(&img));
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn caption_bars_paint_white() {
+        let img = photo();
+        let out = Manipulation::CaptionBars {
+            bars: 2,
+            height_px: 4,
+        }
+        .apply(&img);
+        let y0 = 96 / 3;
+        assert_eq!(out.get(10, y0), [255, 255, 255]);
+    }
+
+    #[test]
+    fn apply_all_composes() {
+        let img = photo();
+        let ops = [
+            Manipulation::Jpeg(80),
+            Manipulation::Brightness(10),
+            Manipulation::FlipHorizontal,
+        ];
+        let manual = ops[2].apply(&ops[1].apply(&ops[0].apply(&img)));
+        assert_eq!(apply_all(&img, &ops), manual);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Manipulation::Jpeg(50).name(), "jpeg-q50");
+        assert_eq!(
+            Manipulation::CropFraction {
+                fraction: 0.2,
+                seed: 0
+            }
+            .name(),
+            "crop-20%"
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! The raster image type used throughout the IRS reproduction.
+//!
+//! 8-bit RGB, row-major. Deliberately minimal: just what cameras, sites,
+//! watermarking, and hashing need.
+
+use crate::ImagingError;
+
+/// An 8-bit RGB raster image.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    /// `width * height * 3` bytes, row-major RGB.
+    pixels: Vec<u8>,
+}
+
+impl std::fmt::Debug for Image {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Image({}×{})", self.width, self.height)
+    }
+}
+
+impl Image {
+    /// Create a black image.
+    pub fn new(width: u32, height: u32) -> Image {
+        Image {
+            width,
+            height,
+            pixels: vec![0u8; (width as usize) * (height as usize) * 3],
+        }
+    }
+
+    /// Create from raw RGB bytes (must be exactly `w*h*3` long).
+    pub fn from_raw(width: u32, height: u32, pixels: Vec<u8>) -> Result<Image, ImagingError> {
+        if pixels.len() != (width as usize) * (height as usize) * 3 {
+            return Err(ImagingError::BadDimensions("raw buffer length mismatch"));
+        }
+        Ok(Image {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw RGB bytes.
+    pub fn raw(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Get the RGB triple at (x, y).
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> [u8; 3] {
+        let i = self.index(x, y);
+        [self.pixels[i], self.pixels[i + 1], self.pixels[i + 2]]
+    }
+
+    /// Set the RGB triple at (x, y).
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, rgb: [u8; 3]) {
+        let i = self.index(x, y);
+        self.pixels[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    #[inline]
+    fn index(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        ((y as usize) * (self.width as usize) + (x as usize)) * 3
+    }
+
+    /// ITU-R BT.601 luma as f32 in [0, 255].
+    pub fn luma(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity((self.width as usize) * (self.height as usize));
+        for px in self.pixels.chunks_exact(3) {
+            out.push(0.299 * px[0] as f32 + 0.587 * px[1] as f32 + 0.114 * px[2] as f32);
+        }
+        out
+    }
+
+    /// Replace the luma plane, preserving chroma by scaling each channel by
+    /// the luma ratio. Values are clamped to [0, 255].
+    pub fn set_luma(&mut self, new_luma: &[f32]) {
+        assert_eq!(
+            new_luma.len(),
+            (self.width as usize) * (self.height as usize),
+            "luma plane size mismatch"
+        );
+        for (px, &ny) in self.pixels.chunks_exact_mut(3).zip(new_luma.iter()) {
+            let y = 0.299 * px[0] as f32 + 0.587 * px[1] as f32 + 0.114 * px[2] as f32;
+            if y > 0.5 {
+                let ratio = ny / y;
+                for c in px.iter_mut() {
+                    *c = (*c as f32 * ratio).round().clamp(0.0, 255.0) as u8;
+                }
+            } else {
+                // Black pixel: write the luma into all channels.
+                let v = ny.round().clamp(0.0, 255.0) as u8;
+                px.copy_from_slice(&[v, v, v]);
+            }
+        }
+    }
+
+    /// Crop a `w × h` region with top-left corner `(x, y)`.
+    pub fn crop(&self, x: u32, y: u32, w: u32, h: u32) -> Result<Image, ImagingError> {
+        if w == 0 || h == 0 {
+            return Err(ImagingError::BadDimensions("zero crop size"));
+        }
+        if x.checked_add(w).map_or(true, |e| e > self.width)
+            || y.checked_add(h).map_or(true, |e| e > self.height)
+        {
+            return Err(ImagingError::OutOfBounds);
+        }
+        let mut out = Image::new(w, h);
+        for row in 0..h {
+            let src = self.index(x, y + row);
+            let dst = ((row as usize) * (w as usize)) * 3;
+            out.pixels[dst..dst + (w as usize) * 3]
+                .copy_from_slice(&self.pixels[src..src + (w as usize) * 3]);
+        }
+        Ok(out)
+    }
+
+    /// Bilinear resize to `w × h`.
+    pub fn resize(&self, w: u32, h: u32) -> Result<Image, ImagingError> {
+        if w == 0 || h == 0 {
+            return Err(ImagingError::BadDimensions("zero resize target"));
+        }
+        let mut out = Image::new(w, h);
+        let sx = self.width as f32 / w as f32;
+        let sy = self.height as f32 / h as f32;
+        for oy in 0..h {
+            for ox in 0..w {
+                let fx = ((ox as f32 + 0.5) * sx - 0.5).clamp(0.0, self.width as f32 - 1.0);
+                let fy = ((oy as f32 + 0.5) * sy - 0.5).clamp(0.0, self.height as f32 - 1.0);
+                let x0 = fx.floor() as u32;
+                let y0 = fy.floor() as u32;
+                let x1 = (x0 + 1).min(self.width - 1);
+                let y1 = (y0 + 1).min(self.height - 1);
+                let tx = fx - x0 as f32;
+                let ty = fy - y0 as f32;
+                let p00 = self.get(x0, y0);
+                let p10 = self.get(x1, y0);
+                let p01 = self.get(x0, y1);
+                let p11 = self.get(x1, y1);
+                let mut px = [0u8; 3];
+                for c in 0..3 {
+                    let top = p00[c] as f32 * (1.0 - tx) + p10[c] as f32 * tx;
+                    let bot = p01[c] as f32 * (1.0 - tx) + p11[c] as f32 * tx;
+                    px[c] = (top * (1.0 - ty) + bot * ty).round().clamp(0.0, 255.0) as u8;
+                }
+                out.set(ox, oy, px);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mean absolute per-channel difference against another image of the
+    /// same dimensions — a cheap distortion metric used by tests and the
+    /// watermark-imperceptibility check.
+    pub fn mean_abs_diff(&self, other: &Image) -> Option<f64> {
+        if self.width != other.width || self.height != other.height {
+            return None;
+        }
+        let total: u64 = self
+            .pixels
+            .iter()
+            .zip(other.pixels.iter())
+            .map(|(&a, &b)| (a as i32 - b as i32).unsigned_abs() as u64)
+            .sum();
+        Some(total as f64 / self.pixels.len() as f64)
+    }
+
+    /// Peak signal-to-noise ratio in dB against a reference image.
+    pub fn psnr(&self, reference: &Image) -> Option<f64> {
+        if self.width != reference.width || self.height != reference.height {
+            return None;
+        }
+        let mse: f64 = self
+            .pixels
+            .iter()
+            .zip(reference.pixels.iter())
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / self.pixels.len() as f64;
+        if mse == 0.0 {
+            return Some(f64::INFINITY);
+        }
+        Some(10.0 * (255.0 * 255.0 / mse).log10())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: u32, h: u32) -> Image {
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, [(x % 256) as u8, (y % 256) as u8, ((x + y) % 256) as u8]);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = Image::new(10, 10);
+        img.set(3, 7, [1, 2, 3]);
+        assert_eq!(img.get(3, 7), [1, 2, 3]);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        assert!(Image::from_raw(2, 2, vec![0; 12]).is_ok());
+        assert!(Image::from_raw(2, 2, vec![0; 11]).is_err());
+    }
+
+    #[test]
+    fn crop_extracts_expected_region() {
+        let img = gradient(32, 32);
+        let c = img.crop(4, 8, 10, 12).unwrap();
+        assert_eq!(c.width(), 10);
+        assert_eq!(c.height(), 12);
+        for y in 0..12 {
+            for x in 0..10 {
+                assert_eq!(c.get(x, y), img.get(x + 4, y + 8));
+            }
+        }
+    }
+
+    #[test]
+    fn crop_bounds_checked() {
+        let img = gradient(16, 16);
+        assert!(img.crop(10, 10, 7, 5).is_err());
+        assert!(img.crop(0, 0, 0, 5).is_err());
+        assert!(img.crop(u32::MAX, 0, 2, 2).is_err());
+        assert!(img.crop(0, 0, 16, 16).is_ok());
+    }
+
+    #[test]
+    fn resize_identity_is_exactish() {
+        let img = gradient(16, 16);
+        let same = img.resize(16, 16).unwrap();
+        let diff = img.mean_abs_diff(&same).unwrap();
+        assert!(diff < 0.5, "identity resize diff {diff}");
+    }
+
+    #[test]
+    fn resize_changes_dimensions() {
+        let img = gradient(64, 48);
+        let small = img.resize(32, 24).unwrap();
+        assert_eq!((small.width(), small.height()), (32, 24));
+        let up = small.resize(64, 48).unwrap();
+        // Down-then-up loses detail but stays recognizable.
+        let diff = img.mean_abs_diff(&up).unwrap();
+        assert!(diff < 10.0, "resize roundtrip diff {diff}");
+    }
+
+    #[test]
+    fn luma_roundtrip_approx() {
+        let img = gradient(32, 32);
+        let mut copy = img.clone();
+        let y = img.luma();
+        copy.set_luma(&y);
+        let diff = img.mean_abs_diff(&copy).unwrap();
+        assert!(diff < 1.0, "set_luma(luma()) diff {diff}");
+    }
+
+    #[test]
+    fn set_luma_shifts_brightness() {
+        let img = gradient(16, 16);
+        let mut brighter = img.clone();
+        let y: Vec<f32> = img.luma().iter().map(|v| v + 20.0).collect();
+        brighter.set_luma(&y);
+        let orig_mean: f64 =
+            img.luma().iter().map(|&v| v as f64).sum::<f64>() / (16.0 * 16.0);
+        let new_mean: f64 =
+            brighter.luma().iter().map(|&v| v as f64).sum::<f64>() / (16.0 * 16.0);
+        assert!(new_mean > orig_mean + 10.0);
+    }
+
+    #[test]
+    fn psnr_properties() {
+        let img = gradient(16, 16);
+        assert_eq!(img.psnr(&img), Some(f64::INFINITY));
+        let mut noisy = img.clone();
+        noisy.set(0, 0, [255, 255, 255]);
+        let p = noisy.psnr(&img).unwrap();
+        assert!(p.is_finite() && p > 20.0);
+        let other = gradient(8, 8);
+        assert_eq!(img.psnr(&other), None);
+    }
+}

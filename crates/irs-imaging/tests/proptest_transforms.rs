@@ -1,0 +1,102 @@
+//! Property tests on the imaging transforms: DCT/DWT inversion, image
+//! operations, ECC, and label roundtrips over arbitrary inputs.
+
+use irs_imaging::dct::DctPlan;
+use irs_imaging::dwt::{haar_forward, haar_inverse};
+use irs_imaging::ecc;
+use irs_imaging::Image;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DCT-III(DCT-II(x)) = x for arbitrary signals and sizes.
+    #[test]
+    fn dct_roundtrip(values in prop::collection::vec(-300.0f32..300.0, 1..32)) {
+        let n = values.len();
+        let plan = DctPlan::new(n);
+        let mut freq = vec![0.0f32; n];
+        let mut back = vec![0.0f32; n];
+        plan.forward(&values, &mut freq);
+        plan.inverse(&freq, &mut back);
+        for (a, b) in values.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    /// 2D DCT preserves energy (orthonormality) for random 8×8 blocks.
+    #[test]
+    fn dct2d_energy(block in prop::collection::vec(-255.0f32..255.0, 64..65)) {
+        let plan = DctPlan::new(8);
+        let mut b = block.clone();
+        plan.forward_2d(&mut b);
+        let e_in: f64 = block.iter().map(|&x| (x as f64).powi(2)).sum();
+        let e_out: f64 = b.iter().map(|&x| (x as f64).powi(2)).sum();
+        prop_assert!((e_in - e_out).abs() <= e_in.max(1.0) * 1e-3);
+    }
+
+    /// Haar DWT reconstructs arbitrary even-sized planes exactly.
+    #[test]
+    fn haar_roundtrip(w in 1usize..12, h in 1usize..12, seed in any::<u64>()) {
+        let w = w * 2;
+        let h = h * 2;
+        let plane: Vec<f32> = (0..w * h)
+            .map(|i| ((seed.wrapping_mul(i as u64 + 1) >> 16) % 256) as f32)
+            .collect();
+        let bands = haar_forward(&plane, w, h);
+        let back = haar_inverse(&bands, w, h, &plane);
+        for (a, b) in plane.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// Crop of a crop equals the composed crop.
+    #[test]
+    fn crop_composes(
+        seed in any::<u64>(),
+        x1 in 0u32..8, y1 in 0u32..8,
+        x2 in 0u32..4, y2 in 0u32..4,
+    ) {
+        let img = irs_imaging::PhotoGenerator::new(seed).generate(0, 32, 32);
+        let once = img.crop(x1, y1, 16, 16).unwrap();
+        let twice = once.crop(x2, y2, 8, 8).unwrap();
+        let direct = img.crop(x1 + x2, y1 + y2, 8, 8).unwrap();
+        prop_assert_eq!(twice, direct);
+    }
+
+    /// Image raw-buffer roundtrip.
+    #[test]
+    fn image_raw_roundtrip(w in 1u32..20, h in 1u32..20, fill in any::<u8>()) {
+        let raw = vec![fill; (w * h * 3) as usize];
+        let img = Image::from_raw(w, h, raw.clone()).unwrap();
+        prop_assert_eq!(img.raw(), &raw[..]);
+        prop_assert_eq!(img.get(w - 1, h - 1), [fill, fill, fill]);
+    }
+
+    /// ECC: clean decode inverts encode for any payload length we use.
+    #[test]
+    fn ecc_roundtrip(payload in prop::collection::vec(any::<u8>(), 1..24)) {
+        let bits = ecc::encode(&payload);
+        prop_assert_eq!(bits.len(), ecc::coded_len(payload.len()));
+        prop_assert_eq!(ecc::decode(&bits, payload.len()), Some(payload));
+    }
+
+    /// ECC: one flipped bit anywhere still decodes.
+    #[test]
+    fn ecc_single_error(payload in prop::collection::vec(any::<u8>(), 1..16), pos in any::<prop::sample::Index>()) {
+        let mut bits = ecc::encode(&payload);
+        let i = pos.index(bits.len());
+        bits[i] ^= true;
+        prop_assert_eq!(ecc::decode(&bits, payload.len()), Some(payload));
+    }
+
+    /// Perceptual hash is invariant under identity and deterministic.
+    #[test]
+    fn phash_deterministic(seed in any::<u64>()) {
+        let img = irs_imaging::PhotoGenerator::new(seed).generate(0, 64, 64);
+        prop_assert_eq!(
+            irs_imaging::phash::dct_hash_256(&img),
+            irs_imaging::phash::dct_hash_256(&img.clone())
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! The IRS ledger service.
+//!
+//! §3.1: ledgers are "essentially timestamped databases of photos" backing
+//! the four IRS operations. This crate implements a complete ledger:
+//!
+//! * [`store`] — the append-only claim store with status epochs and a
+//!   counting-Bloom index of claimed identifiers;
+//! * [`service`] — [`Ledger`]: wire-protocol request handling, freshness
+//!   proofs, versioned filter snapshots with delta publication (§4.4), and
+//!   ledger policies (standard vs the §5 censorship-resistant
+//!   "non-revocable" ledgers run by nonprofits);
+//! * [`appeals`] — the §3.2 appeals process: timestamp-ordered ownership
+//!   evidence plus robust-hash comparison, ending in permanent revocation
+//!   of re-claimed copies;
+//! * [`adversarial`] — §5 "Malicious Ledgers": fault-injection wrappers
+//!   that lie, drop revocations, or serve stale state;
+//! * [`probe`] — the countermeasure: "automated software that claims
+//!   photos on behalf of owners could periodically send probes to ledgers
+//!   to ensure that they are being answered correctly".
+
+pub mod adversarial;
+pub mod appeals;
+pub mod payments;
+pub mod probe;
+pub mod service;
+pub mod store;
+
+pub use appeals::{AppealOutcome, AppealsJudge};
+pub use service::{Ledger, LedgerConfig, LedgerPolicy};
+pub use store::{LedgerStore, StoreError};
+
+/// Error codes carried in `Response::Error`.
+pub mod codes {
+    /// Record does not exist.
+    pub const UNKNOWN_RECORD: u16 = 1;
+    /// Ownership signature failed.
+    pub const BAD_SIGNATURE: u16 = 2;
+    /// Operation refused by ledger policy.
+    pub const POLICY: u16 = 3;
+    /// Malformed or unsupported request.
+    pub const BAD_REQUEST: u16 = 4;
+    /// Stale epoch in a revoke request.
+    pub const STALE_EPOCH: u16 = 5;
+}

@@ -1,0 +1,291 @@
+//! Anonymous claim payments (§3.2).
+//!
+//! "Some ledger implementations … might store payment information in a
+//! way that allows such an association to be made; a privacy-focused
+//! ledger could use a payment system that intentionally makes such an
+//! association difficult even if their database is leaked (e.g., a payment
+//! system where an owner buys tokens which are exchanged with other users
+//! in a mixing market before being used to pay for claims)."
+//!
+//! Implementation: ledger-signed bearer tokens with double-spend tracking,
+//! plus a mixing market that uniformly permutes tokens across
+//! participants. The privacy metric is exactly the paper's threat: given a
+//! *leaked* issuer database (serial → purchaser), what fraction of
+//! redeemed-at-claim tokens still point at the person who actually made
+//! the claim?
+
+use irs_crypto::{Digest, Keypair, PublicKey, Signature};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use std::collections::{HashMap, HashSet};
+
+/// A bearer payment token: anyone holding it can pay for one claim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BearerToken {
+    /// Random 32-byte serial.
+    pub serial: [u8; 32],
+    /// Issuer signature over the serial.
+    pub sig: Signature,
+}
+
+/// Errors from redemption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PaymentError {
+    /// Signature invalid (not issued by this ledger).
+    BadToken,
+    /// Token already redeemed.
+    DoubleSpend,
+}
+
+impl std::fmt::Display for PaymentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PaymentError::BadToken => write!(f, "token not issued by this ledger"),
+            PaymentError::DoubleSpend => write!(f, "token already redeemed"),
+        }
+    }
+}
+
+/// The ledger-side token issuer.
+///
+/// The purchase log (`serial digest → purchaser`) models the database the
+/// paper worries about leaking; [`TokenIssuer::attribute`] is the
+/// adversary's query against it.
+pub struct TokenIssuer {
+    keypair: Keypair,
+    purchases: HashMap<Digest, u32>,
+    redeemed: HashSet<Digest>,
+}
+
+impl TokenIssuer {
+    /// Create an issuer with its own signing key.
+    pub fn new(seed: u64) -> TokenIssuer {
+        let mut s = [0u8; 32];
+        s[..8].copy_from_slice(&seed.to_le_bytes());
+        s[8..16].copy_from_slice(b"IRSTOKEN");
+        TokenIssuer {
+            keypair: Keypair::from_seed(&s),
+            purchases: HashMap::new(),
+            redeemed: HashSet::new(),
+        }
+    }
+
+    /// The token verification key.
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public
+    }
+
+    /// Sell `n` tokens to `buyer` (identity recorded, as a real payment
+    /// processor would).
+    pub fn sell(&mut self, buyer: u32, n: usize, rng: &mut StdRng) -> Vec<BearerToken> {
+        (0..n)
+            .map(|_| {
+                let mut serial = [0u8; 32];
+                rng.fill_bytes(&mut serial);
+                let sig = self.keypair.sign(&serial);
+                self.purchases.insert(Digest::of(&serial), buyer);
+                BearerToken { serial, sig }
+            })
+            .collect()
+    }
+
+    /// Redeem a token as payment for a claim.
+    pub fn redeem(&mut self, token: &BearerToken) -> Result<(), PaymentError> {
+        if !self.keypair.public.verify_ok(&token.serial, &token.sig) {
+            return Err(PaymentError::BadToken);
+        }
+        let digest = Digest::of(&token.serial);
+        if !self.redeemed.insert(digest) {
+            return Err(PaymentError::DoubleSpend);
+        }
+        Ok(())
+    }
+
+    /// The leaked-database query: who *bought* this token?
+    pub fn attribute(&self, token: &BearerToken) -> Option<u32> {
+        self.purchases.get(&Digest::of(&token.serial)).copied()
+    }
+
+    /// Redeemed token count.
+    pub fn redeemed_count(&self) -> usize {
+        self.redeemed.len()
+    }
+}
+
+/// A mixing market: participants deposit tokens, the market shuffles, and
+/// everyone withdraws the same number of (different) tokens.
+#[derive(Default)]
+pub struct MixingMarket {
+    deposits: Vec<(u32, BearerToken)>,
+}
+
+impl MixingMarket {
+    /// Empty market.
+    pub fn new() -> MixingMarket {
+        MixingMarket::default()
+    }
+
+    /// Deposit tokens under a participant id.
+    pub fn deposit(&mut self, participant: u32, tokens: Vec<BearerToken>) {
+        for t in tokens {
+            self.deposits.push((participant, t));
+        }
+    }
+
+    /// Number of deposited tokens.
+    pub fn pool_size(&self) -> usize {
+        self.deposits.len()
+    }
+
+    /// Shuffle and return each participant's withdrawal (same count they
+    /// deposited, uniformly random tokens).
+    pub fn mix(mut self, rng: &mut StdRng) -> HashMap<u32, Vec<BearerToken>> {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for (p, _) in &self.deposits {
+            *counts.entry(*p).or_default() += 1;
+        }
+        let mut tokens: Vec<BearerToken> =
+            self.deposits.drain(..).map(|(_, t)| t).collect();
+        tokens.shuffle(rng);
+        let mut out: HashMap<u32, Vec<BearerToken>> = HashMap::new();
+        let mut participants: Vec<u32> = counts.keys().copied().collect();
+        participants.sort_unstable();
+        let mut iter = tokens.into_iter();
+        for p in participants {
+            let n = counts[&p];
+            out.insert(p, iter.by_ref().take(n).collect());
+        }
+        out
+    }
+}
+
+/// The privacy experiment: `users` each buy `tokens_each`, optionally mix,
+/// then each redeems one token for a claim. Returns the fraction of claims
+/// the leaked purchase database attributes to the *correct* claimant.
+pub fn attribution_rate(
+    users: u32,
+    tokens_each: usize,
+    mix: bool,
+    seed: u64,
+) -> f64 {
+    let mut rng = rand::SeedableRng::seed_from_u64(seed);
+    let mut issuer = TokenIssuer::new(seed);
+    let mut holdings: HashMap<u32, Vec<BearerToken>> = (0..users)
+        .map(|u| (u, issuer.sell(u, tokens_each, &mut rng)))
+        .collect();
+    if mix {
+        let mut market = MixingMarket::new();
+        for (u, tokens) in holdings.drain() {
+            market.deposit(u, tokens);
+        }
+        holdings = market.mix(&mut rng);
+    }
+    let mut correct = 0u32;
+    for u in 0..users {
+        let token = holdings.get_mut(&u).and_then(|v| v.pop()).expect("token");
+        issuer.redeem(&token).expect("valid token");
+        if issuer.attribute(&token) == Some(u) {
+            correct += 1;
+        }
+    }
+    correct as f64 / users as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sell_redeem_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut issuer = TokenIssuer::new(1);
+        let tokens = issuer.sell(7, 3, &mut rng);
+        assert_eq!(tokens.len(), 3);
+        for t in &tokens {
+            issuer.redeem(t).unwrap();
+        }
+        assert_eq!(issuer.redeemed_count(), 3);
+    }
+
+    #[test]
+    fn double_spend_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut issuer = TokenIssuer::new(2);
+        let t = issuer.sell(1, 1, &mut rng)[0];
+        issuer.redeem(&t).unwrap();
+        assert_eq!(issuer.redeem(&t), Err(PaymentError::DoubleSpend));
+    }
+
+    #[test]
+    fn forged_token_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut issuer = TokenIssuer::new(3);
+        let other = TokenIssuer::new(4);
+        let mut serial = [0u8; 32];
+        rng.fill_bytes(&mut serial);
+        let forged = BearerToken {
+            serial,
+            sig: Keypair::from_seed(&[9u8; 32]).sign(&serial),
+        };
+        assert_eq!(issuer.redeem(&forged), Err(PaymentError::BadToken));
+        let _ = other;
+    }
+
+    #[test]
+    fn mixing_preserves_counts_and_tokens() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut issuer = TokenIssuer::new(5);
+        let mut market = MixingMarket::new();
+        let mut all_serials: Vec<[u8; 32]> = Vec::new();
+        for u in 0..5u32 {
+            let tokens = issuer.sell(u, 4, &mut rng);
+            all_serials.extend(tokens.iter().map(|t| t.serial));
+            market.deposit(u, tokens);
+        }
+        assert_eq!(market.pool_size(), 20);
+        let out = market.mix(&mut rng);
+        let mut returned: Vec<[u8; 32]> = out
+            .values()
+            .flat_map(|v| v.iter().map(|t| t.serial))
+            .collect();
+        assert_eq!(returned.len(), 20);
+        returned.sort_unstable();
+        all_serials.sort_unstable();
+        assert_eq!(returned, all_serials, "mixing is a permutation");
+        for v in out.values() {
+            assert_eq!(v.len(), 4, "everyone withdraws what they deposited");
+        }
+    }
+
+    #[test]
+    fn unmixed_claims_fully_attributable() {
+        assert_eq!(attribution_rate(20, 2, false, 6), 1.0);
+    }
+
+    #[test]
+    fn mixed_claims_mostly_unattributable() {
+        // With 20 users × 2 tokens, a uniform mix leaves ≈ 1/20 chance of
+        // getting your own token back.
+        let rate = attribution_rate(20, 2, true, 7);
+        assert!(rate <= 0.25, "attribution after mixing: {rate}");
+    }
+
+    #[test]
+    fn mixed_tokens_still_redeemable() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut issuer = TokenIssuer::new(8);
+        let mut market = MixingMarket::new();
+        for u in 0..3u32 {
+            market.deposit(u, issuer.sell(u, 2, &mut rng));
+        }
+        let out = market.mix(&mut rng);
+        for tokens in out.values() {
+            for t in tokens {
+                issuer.redeem(t).unwrap();
+            }
+        }
+        assert_eq!(issuer.redeemed_count(), 6);
+    }
+}

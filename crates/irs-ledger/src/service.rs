@@ -1,0 +1,585 @@
+//! The ledger service: protocol handling, filter publication, proofs.
+//!
+//! Wraps a [`LedgerStore`] with the wire protocol, a signing key for
+//! freshness proofs, versioned revoked-set Bloom snapshots with delta
+//! publication
+//! (§4.4: "updated regularly (perhaps hourly), and transferred with a
+//! delta encoding"), and the ledger policy knob that models the §5
+//! censorship-resistant ledgers.
+
+use crate::codes;
+use crate::store::{ClaimOrigin, LedgerStore, StoreError};
+use irs_core::claim::RevocationStatus;
+use irs_core::freshness::FreshnessProof;
+use irs_core::ids::{LedgerId, RecordId};
+use irs_core::time::TimeMs;
+use irs_core::tsa::TimestampAuthority;
+use irs_core::wire::{Request, Response};
+use irs_crypto::{Keypair, PublicKey};
+use irs_filters::delta::BloomDelta;
+use irs_filters::BloomFilter;
+
+/// Ledger behavioral policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LedgerPolicy {
+    /// Normal commercial ledger: owners may revoke and unrevoke.
+    Standard,
+    /// §5 "Enabling Censorship?": a nonprofit ledger for e.g. human-rights
+    /// documentation that "could register photos and not allow their
+    /// revocation".
+    NonRevocable,
+}
+
+/// Configuration for a ledger instance.
+#[derive(Clone, Debug)]
+pub struct LedgerConfig {
+    /// This ledger's ecosystem identifier.
+    pub id: LedgerId,
+    /// Behavioral policy.
+    pub policy: LedgerPolicy,
+    /// Expected claimed-photo population (sizes the published filter).
+    pub filter_capacity: u64,
+    /// Validity window for freshness proofs (ms). §3.2's "recently
+    /// verified"; also the aggregator recheck period.
+    pub proof_validity_ms: u64,
+    /// How many claims/revocations may accumulate before `publish_filter`
+    /// emits a new snapshot version (publication cadence is driven by the
+    /// caller's clock; this is just bookkeeping for tests).
+    pub seed: u64,
+}
+
+impl LedgerConfig {
+    /// Reasonable defaults for simulations.
+    pub fn new(id: LedgerId) -> LedgerConfig {
+        LedgerConfig {
+            id,
+            policy: LedgerPolicy::Standard,
+            filter_capacity: 100_000,
+            proof_validity_ms: 3_600_000, // 1 hour
+            seed: id.0 as u64,
+        }
+    }
+}
+
+/// A published filter snapshot.
+#[derive(Clone, Debug)]
+struct FilterSnapshot {
+    version: u64,
+    filter: BloomFilter,
+}
+
+/// A complete IRS ledger.
+pub struct Ledger {
+    config: LedgerConfig,
+    store: LedgerStore,
+    signing_key: Keypair,
+    tsa_key: PublicKey,
+    snapshot: Option<FilterSnapshot>,
+    /// The immediately preceding snapshot, kept so requesters one version
+    /// behind get a delta instead of a full re-ship.
+    previous_snapshot: Option<FilterSnapshot>,
+    /// Count of wire requests served, by coarse kind (query, claim,
+    /// revoke, filter, proof, batch items) — the load metrics experiments
+    /// E4/E5 read.
+    pub stats: LedgerStats,
+}
+
+/// Request counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// Single status queries served.
+    pub queries: u64,
+    /// Batched status items served.
+    pub batch_items: u64,
+    /// Claims recorded.
+    pub claims: u64,
+    /// Revocations processed (including unrevokes).
+    pub revokes: u64,
+    /// Filter snapshots served (full).
+    pub filters_full: u64,
+    /// Filter deltas served.
+    pub filters_delta: u64,
+    /// Freshness proofs issued.
+    pub proofs: u64,
+}
+
+impl Ledger {
+    /// Create a ledger. The TSA is shared ecosystem infrastructure; the
+    /// signing key is derived from the config seed (deterministic for
+    /// experiments).
+    pub fn new(config: LedgerConfig, tsa: TimestampAuthority) -> Ledger {
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&config.seed.to_le_bytes());
+        seed[8..16].copy_from_slice(b"IRSLEDGR");
+        let tsa_key = tsa.public_key();
+        Ledger {
+            store: LedgerStore::new(config.id, tsa, config.filter_capacity),
+            signing_key: Keypair::from_seed(&seed),
+            tsa_key,
+            snapshot: None,
+            previous_snapshot: None,
+            stats: LedgerStats::default(),
+            config,
+        }
+    }
+
+    /// This ledger's identifier.
+    pub fn id(&self) -> LedgerId {
+        self.config.id
+    }
+
+    /// The key proofs are signed with (trusted by verifiers out of band).
+    pub fn public_key(&self) -> PublicKey {
+        self.signing_key.public
+    }
+
+    /// The timestamp authority key this ledger stamps claims with.
+    pub fn tsa_key(&self) -> PublicKey {
+        self.tsa_key
+    }
+
+    /// Direct store access (appeals, probes, experiments).
+    pub fn store(&self) -> &LedgerStore {
+        &self.store
+    }
+
+    /// Mutable store access (appeals process applies permanent
+    /// revocations).
+    pub fn store_mut(&mut self) -> &mut LedgerStore {
+        &mut self.store
+    }
+
+    /// Handle one wire request at the given time.
+    pub fn handle(&mut self, request: Request, now: TimeMs) -> Response {
+        match request {
+            Request::Claim(req) => {
+                self.stats.claims += 1;
+                let (id, timestamp) =
+                    self.store
+                        .claim(req, ClaimOrigin::Owner, false, now);
+                Response::Claimed { id, timestamp }
+            }
+            Request::Query { id } => {
+                self.stats.queries += 1;
+                match self.store.status(&id) {
+                    Some((status, epoch)) => Response::Status { id, status, epoch },
+                    None => err(codes::UNKNOWN_RECORD, "unknown record"),
+                }
+            }
+            Request::Revoke(req) => {
+                if self.config.policy == LedgerPolicy::NonRevocable && req.revoke {
+                    return err(codes::POLICY, "this ledger does not allow revocation");
+                }
+                self.stats.revokes += 1;
+                match self.store.apply_revoke(&req) {
+                    Ok((status, epoch)) => Response::RevokeAck {
+                        id: req.id,
+                        status,
+                        epoch,
+                    },
+                    Err(StoreError::UnknownRecord) => err(codes::UNKNOWN_RECORD, "unknown record"),
+                    Err(StoreError::BadSignature) => err(codes::BAD_SIGNATURE, "bad signature"),
+                    Err(StoreError::StaleEpoch) => err(codes::STALE_EPOCH, "stale epoch"),
+                    Err(StoreError::Permanent) => err(codes::POLICY, "permanently revoked"),
+                }
+            }
+            Request::GetFilter { have_version } => self.serve_filter(have_version),
+            Request::GetProof { id } => {
+                self.stats.proofs += 1;
+                match self.store.status(&id) {
+                    Some((status, _)) => Response::Proof(self.issue_proof(id, status, now)),
+                    None => err(codes::UNKNOWN_RECORD, "unknown record"),
+                }
+            }
+            Request::Batch(ids) => {
+                self.stats.batch_items += ids.len() as u64;
+                let items = ids
+                    .into_iter()
+                    .map(|id| {
+                        let status = self
+                            .store
+                            .status(&id)
+                            .map(|(s, _)| s)
+                            // Unknown records are reported NotRevoked: the
+                            // viewer fails open (Nongoal #4) and an unknown
+                            // id is indistinguishable from another ledger's.
+                            .unwrap_or(RevocationStatus::NotRevoked);
+                        (id, status)
+                    })
+                    .collect();
+                Response::BatchStatus(items)
+            }
+            Request::Ping => Response::Pong,
+        }
+    }
+
+    /// Claim custodially on behalf of an aggregator (library-level API —
+    /// aggregators co-locate with ledgers in the eventual design).
+    pub fn claim_custodial(
+        &mut self,
+        req: irs_core::claim::ClaimRequest,
+        now: TimeMs,
+    ) -> (RecordId, irs_core::tsa::TimestampToken) {
+        self.stats.claims += 1;
+        self.store.claim(req, ClaimOrigin::Custodial, false, now)
+    }
+
+    /// Claim with the "auto-register revoked" default (§4.4: owners
+    /// unrevoke the ones they want to share).
+    pub fn claim_revoked(
+        &mut self,
+        req: irs_core::claim::ClaimRequest,
+        now: TimeMs,
+    ) -> (RecordId, irs_core::tsa::TimestampToken) {
+        self.stats.claims += 1;
+        self.store.claim(req, ClaimOrigin::Owner, true, now)
+    }
+
+    /// Issue a signed freshness proof.
+    pub fn issue_proof(&self, id: RecordId, status: RevocationStatus, now: TimeMs) -> FreshnessProof {
+        FreshnessProof::issue(
+            &self.signing_key,
+            id,
+            status,
+            now,
+            self.config.proof_validity_ms,
+        )
+    }
+
+    /// Publish a new filter snapshot; returns its version. Called on the
+    /// publication cadence (e.g. hourly) by the surrounding system.
+    pub fn publish_filter(&mut self) -> u64 {
+        let version = self.snapshot.as_ref().map(|s| s.version + 1).unwrap_or(1);
+        self.previous_snapshot = self.snapshot.take();
+        self.snapshot = Some(FilterSnapshot {
+            version,
+            filter: self.store.filter_index().to_bloom(),
+        });
+        version
+    }
+
+    /// Current published snapshot version (0 = never published).
+    pub fn filter_version(&self) -> u64 {
+        self.snapshot.as_ref().map(|s| s.version).unwrap_or(0)
+    }
+
+    /// The current published filter, if any (proxies use this in-process;
+    /// the wire path uses [`Request::GetFilter`]).
+    pub fn published_filter(&self) -> Option<&BloomFilter> {
+        self.snapshot.as_ref().map(|s| &s.filter)
+    }
+
+    fn serve_filter(&mut self, have_version: u64) -> Response {
+        let Some(snapshot) = &self.snapshot else {
+            return err(codes::BAD_REQUEST, "no filter published yet");
+        };
+        // Requesters already current get an empty delta; requesters one
+        // version behind get the real delta (the retained previous
+        // snapshot makes it computable); anything older re-ships full.
+        if have_version == snapshot.version {
+            let d = BloomDelta::diff(&snapshot.filter, &snapshot.filter)
+                .expect("identical geometry");
+            self.stats.filters_delta += 1;
+            return Response::FilterDelta {
+                from_version: have_version,
+                to_version: snapshot.version,
+                data: d.to_bytes(),
+            };
+        }
+        if let Some(prev) = &self.previous_snapshot {
+            if have_version == prev.version {
+                let d = BloomDelta::diff(&prev.filter, &snapshot.filter)
+                    .expect("same geometry across versions");
+                self.stats.filters_delta += 1;
+                return Response::FilterDelta {
+                    from_version: prev.version,
+                    to_version: snapshot.version,
+                    data: d.to_bytes(),
+                };
+            }
+        }
+        self.stats.filters_full += 1;
+        Response::FilterFull {
+            version: snapshot.version,
+            data: snapshot.filter.to_bytes(),
+        }
+    }
+}
+
+fn err(code: u16, message: &str) -> Response {
+    Response::Error {
+        code,
+        message: message.to_string(),
+    }
+}
+
+/// Retains consecutive filter snapshots and produces deltas between them —
+/// the publication pipeline of §4.4 (experiment E6 measures the byte
+/// volumes).
+pub struct FilterPublisher {
+    previous: Option<(u64, BloomFilter)>,
+}
+
+/// What the publisher emits for one cadence tick.
+#[derive(Clone, Debug)]
+pub enum FilterUpdate {
+    /// First publication: subscribers need the full filter.
+    Full {
+        /// Snapshot version.
+        version: u64,
+        /// Serialized filter.
+        data: bytes::Bytes,
+    },
+    /// Subsequent publication: subscribers holding `from_version` apply
+    /// the delta.
+    Delta {
+        /// Previous version.
+        from_version: u64,
+        /// New version.
+        to_version: u64,
+        /// Serialized [`BloomDelta`].
+        data: bytes::Bytes,
+        /// Full-filter size for the same snapshot, for comparison.
+        full_bytes: usize,
+    },
+}
+
+impl Default for FilterPublisher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FilterPublisher {
+    /// New publisher with no history.
+    pub fn new() -> FilterPublisher {
+        FilterPublisher { previous: None }
+    }
+
+    /// Publish the ledger's current claim set; returns the update to ship.
+    pub fn publish(&mut self, ledger: &mut Ledger) -> FilterUpdate {
+        let version = ledger.publish_filter();
+        let current = ledger
+            .published_filter()
+            .expect("just published")
+            .clone();
+        let update = match &self.previous {
+            Some((prev_version, prev_filter)) => {
+                let delta =
+                    BloomDelta::diff(prev_filter, &current).expect("same geometry across versions");
+                FilterUpdate::Delta {
+                    from_version: *prev_version,
+                    to_version: version,
+                    data: delta.to_bytes(),
+                    full_bytes: current.to_bytes().len(),
+                }
+            }
+            None => FilterUpdate::Full {
+                version,
+                data: current.to_bytes(),
+            },
+        };
+        self.previous = Some((version, current));
+        update
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_core::claim::{ClaimRequest, RevokeRequest};
+    use irs_crypto::{Digest, Keypair};
+
+    fn ledger() -> Ledger {
+        Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(1),
+        )
+    }
+
+    fn kp(seed: u8) -> Keypair {
+        Keypair::from_seed(&[seed; 32])
+    }
+
+    fn claim_one(l: &mut Ledger, seed: u8) -> (RecordId, Keypair) {
+        let keypair = kp(seed);
+        let req = ClaimRequest::create(&keypair, &Digest::of(&[seed]));
+        match l.handle(Request::Claim(req), TimeMs(10)) {
+            Response::Claimed { id, .. } => (id, keypair),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn claim_query_revoke_flow() {
+        let mut l = ledger();
+        let (id, keypair) = claim_one(&mut l, 1);
+        match l.handle(Request::Query { id }, TimeMs(20)) {
+            Response::Status { status, epoch, .. } => {
+                assert_eq!(status, RevocationStatus::NotRevoked);
+                assert_eq!(epoch, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let rv = RevokeRequest::create(&keypair, id, true, 0);
+        match l.handle(Request::Revoke(rv), TimeMs(30)) {
+            Response::RevokeAck { status, epoch, .. } => {
+                assert_eq!(status, RevocationStatus::Revoked);
+                assert_eq!(epoch, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.stats.claims, 1);
+        assert_eq!(l.stats.queries, 1);
+        assert_eq!(l.stats.revokes, 1);
+    }
+
+    #[test]
+    fn unknown_record_errors() {
+        let mut l = ledger();
+        let id = RecordId::new(LedgerId(1), 404);
+        match l.handle(Request::Query { id }, TimeMs(1)) {
+            Response::Error { code, .. } => assert_eq!(code, codes::UNKNOWN_RECORD),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_revocable_policy_refuses_revocation_but_allows_unrevoke() {
+        let mut cfg = LedgerConfig::new(LedgerId(2));
+        cfg.policy = LedgerPolicy::NonRevocable;
+        let mut l = Ledger::new(cfg, TimestampAuthority::from_seed(2));
+        let keypair = kp(9);
+        let req = ClaimRequest::create(&keypair, &Digest::of(b"evidence"));
+        let Response::Claimed { id, .. } = l.handle(Request::Claim(req), TimeMs(1)) else {
+            panic!("claim failed");
+        };
+        let rv = RevokeRequest::create(&keypair, id, true, 0);
+        match l.handle(Request::Revoke(rv), TimeMs(2)) {
+            Response::Error { code, .. } => assert_eq!(code, codes::POLICY),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proof_issuance_and_verification() {
+        let mut l = ledger();
+        let (id, _) = claim_one(&mut l, 3);
+        match l.handle(Request::GetProof { id }, TimeMs(1_000)) {
+            Response::Proof(p) => {
+                assert!(p.verify(&l.public_key(), TimeMs(2_000)));
+                assert_eq!(p.status, RevocationStatus::NotRevoked);
+                assert_eq!(p.id, id);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.stats.proofs, 1);
+    }
+
+    #[test]
+    fn batch_query() {
+        let mut l = ledger();
+        let (a, keypair) = claim_one(&mut l, 4);
+        let (b, _) = claim_one(&mut l, 5);
+        let rv = RevokeRequest::create(&keypair, a, true, 0);
+        l.handle(Request::Revoke(rv), TimeMs(5));
+        let unknown = RecordId::new(LedgerId(1), 77);
+        match l.handle(Request::Batch(vec![a, b, unknown]), TimeMs(6)) {
+            Response::BatchStatus(items) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[0], (a, RevocationStatus::Revoked));
+                assert_eq!(items[1], (b, RevocationStatus::NotRevoked));
+                assert_eq!(items[2], (unknown, RevocationStatus::NotRevoked));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.stats.batch_items, 3);
+    }
+
+    #[test]
+    fn filter_publication_full_then_delta() {
+        let mut l = ledger();
+        let (id_a, kp_a) = claim_one(&mut l, 6);
+        let rv = RevokeRequest::create(&kp_a, id_a, true, 0);
+        l.handle(Request::Revoke(rv), TimeMs(5));
+        let mut publisher = FilterPublisher::new();
+        let first = publisher.publish(&mut l);
+        assert!(matches!(first, FilterUpdate::Full { version: 1, .. }));
+        let (id_b, kp_b) = claim_one(&mut l, 7);
+        let rv = RevokeRequest::create(&kp_b, id_b, true, 0);
+        l.handle(Request::Revoke(rv), TimeMs(6));
+        let second = publisher.publish(&mut l);
+        match second {
+            FilterUpdate::Delta {
+                from_version,
+                to_version,
+                data,
+                full_bytes,
+            } => {
+                assert_eq!((from_version, to_version), (1, 2));
+                assert!(
+                    data.len() < full_bytes,
+                    "delta {} should be smaller than full {}",
+                    data.len(),
+                    full_bytes
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_filter_request() {
+        let mut l = ledger();
+        let (id, kp) = claim_one(&mut l, 8);
+        let rv = RevokeRequest::create(&kp, id, true, 0);
+        l.handle(Request::Revoke(rv), TimeMs(1));
+        // Before publication: error.
+        match l.handle(Request::GetFilter { have_version: 0 }, TimeMs(1)) {
+            Response::Error { code, .. } => assert_eq!(code, codes::BAD_REQUEST),
+            other => panic!("unexpected {other:?}"),
+        }
+        l.publish_filter();
+        match l.handle(Request::GetFilter { have_version: 0 }, TimeMs(2)) {
+            Response::FilterFull { version, data } => {
+                assert_eq!(version, 1);
+                let f = BloomFilter::from_bytes(data).unwrap();
+                assert_eq!(f.inserted(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Up-to-date requester gets an (empty) delta.
+        match l.handle(Request::GetFilter { have_version: 1 }, TimeMs(3)) {
+            Response::FilterDelta {
+                from_version,
+                to_version,
+                ..
+            } => assert_eq!((from_version, to_version), (1, 1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custodial_and_revoked_claims() {
+        let mut l = ledger();
+        let keypair = kp(11);
+        let req = ClaimRequest::create(&keypair, &Digest::of(b"upload"));
+        let (id, _) = l.claim_custodial(req, TimeMs(1));
+        assert_eq!(
+            l.store().get(&id).unwrap().origin,
+            crate::store::ClaimOrigin::Custodial
+        );
+        let req2 = ClaimRequest::create(&kp(12), &Digest::of(b"auto"));
+        let (id2, _) = l.claim_revoked(req2, TimeMs(2));
+        assert_eq!(
+            l.store().status(&id2),
+            Some((RevocationStatus::Revoked, 0))
+        );
+    }
+
+    #[test]
+    fn ping_pong() {
+        let mut l = ledger();
+        assert_eq!(l.handle(Request::Ping, TimeMs(0)), Response::Pong);
+    }
+}

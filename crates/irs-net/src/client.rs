@@ -1,0 +1,53 @@
+//! Blocking request/response clients.
+
+use crate::framing::{read_frame, write_frame};
+use crate::NetError;
+use irs_core::wire::{Request, Response, Wire};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking client speaking the ledger wire protocol (works against
+/// both [`crate::LedgerServer`] and [`crate::ProxyServer`], which share
+/// the protocol).
+pub struct LedgerClient {
+    stream: TcpStream,
+}
+
+impl LedgerClient {
+    /// Connect with a 5 s I/O timeout.
+    pub fn connect(addr: SocketAddr) -> Result<LedgerClient, NetError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connect with an explicit I/O timeout.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> Result<LedgerClient, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(LedgerClient { stream })
+    }
+
+    /// One request/response exchange.
+    pub fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        write_frame(&mut self.stream, &request.to_bytes())?;
+        let frame = read_frame(&mut self.stream)?;
+        Ok(Response::from_bytes(frame)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_to_nothing_fails() {
+        // Port 1 on localhost is essentially never listening.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let r = LedgerClient::connect_with_timeout(addr, Duration::from_millis(200));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Each frame is a u32 big-endian payload length followed by the payload —
+//! the simplest of the framing strategies in the Tokio tutorial's framing
+//! chapter, implemented on blocking I/O. A cap rejects absurd lengths so a
+//! corrupt or malicious peer cannot trigger huge allocations.
+
+use crate::NetError;
+use bytes::Bytes;
+use std::io::{Read, Write};
+
+/// Largest accepted frame: filters dominate, so allow 512 MiB.
+pub const MAX_FRAME: u32 = 512 << 20;
+
+/// Write one frame.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), NetError> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(NetError::Frame("payload exceeds MAX_FRAME"));
+    }
+    writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Read one frame. [`NetError::Closed`] on clean EOF at a frame boundary.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Bytes, NetError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(reader, &mut len_buf)? {
+        ReadOutcome::Eof => return Err(NetError::Closed),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(NetError::Frame("declared length exceeds MAX_FRAME"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetError::Frame("stream ended mid-frame")
+        } else {
+            NetError::Io(e)
+        }
+    })?;
+    Ok(Bytes::from(payload))
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// Like `read_exact`, but distinguishes EOF-before-any-bytes (clean close)
+/// from EOF mid-read (truncated frame).
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(ReadOutcome::Eof);
+                }
+                return Err(NetError::Frame("stream ended mid-length"));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xffu8; 1000]).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Bytes::new());
+        assert_eq!(read_frame(&mut cursor).unwrap().len(), 1000);
+        assert!(matches!(read_frame(&mut cursor), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(NetError::Frame(_))));
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"only5");
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(NetError::Frame(_))));
+    }
+
+    #[test]
+    fn truncated_length_detected() {
+        let mut cursor = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(read_frame(&mut cursor), Err(NetError::Frame(_))));
+    }
+}

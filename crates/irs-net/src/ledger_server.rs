@@ -1,0 +1,166 @@
+//! A ledger behind the wire protocol — the §4.3 "prototype ledger".
+
+use crate::framing::{read_frame, write_frame};
+use crate::server::ServerHandle;
+use irs_core::time::{Clock, SystemClock};
+use irs_core::wire::{Request, Response, Wire};
+use irs_ledger::Ledger;
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// A running TCP ledger server.
+pub struct LedgerServer {
+    ledger: Arc<Mutex<Ledger>>,
+    handle: ServerHandle,
+}
+
+impl LedgerServer {
+    /// Start serving `ledger` on `addr` ("127.0.0.1:0" for ephemeral).
+    pub fn start(ledger: Ledger, addr: &str) -> std::io::Result<LedgerServer> {
+        let ledger = Arc::new(Mutex::new(ledger));
+        let ledger_for_conns = ledger.clone();
+        let handle = ServerHandle::spawn(addr, move |mut stream, stop| {
+            // Bound reads so the connection thread notices shutdown.
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+            loop {
+                if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    return;
+                }
+                let frame = match read_frame(&mut stream) {
+                    Ok(f) => f,
+                    Err(crate::NetError::Io(e))
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => return,
+                };
+                let response = match Request::from_bytes(frame) {
+                    Ok(request) => {
+                        let now = SystemClock.now();
+                        ledger_for_conns.lock().handle(request, now)
+                    }
+                    Err(e) => Response::Error {
+                        code: irs_ledger::codes::BAD_REQUEST,
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                if write_frame(&mut stream, &response.to_bytes()).is_err() {
+                    return;
+                }
+            }
+        })?;
+        Ok(LedgerServer { ledger, handle })
+    }
+
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// Shared access to the ledger (e.g. to publish filters while
+    /// serving).
+    pub fn ledger(&self) -> Arc<Mutex<Ledger>> {
+        self.ledger.clone()
+    }
+
+    /// Stop the server and join all threads.
+    pub fn shutdown(self) {
+        self.handle.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LedgerClient;
+    use irs_core::claim::{ClaimRequest, RevocationStatus, RevokeRequest};
+    use irs_core::ids::LedgerId;
+    use irs_core::tsa::TimestampAuthority;
+    use irs_crypto::{Digest, Keypair};
+    use irs_ledger::LedgerConfig;
+
+    fn server() -> LedgerServer {
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(1),
+        );
+        LedgerServer::start(ledger, "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn claim_query_revoke_over_tcp() {
+        let server = server();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+        let kp = Keypair::from_seed(&[1u8; 32]);
+        let claim = ClaimRequest::create(&kp, &Digest::of(b"photo"));
+        let Response::Claimed { id, .. } = client.call(&Request::Claim(claim)).unwrap() else {
+            panic!("claim failed");
+        };
+        let Response::Status { status, epoch, .. } =
+            client.call(&Request::Query { id }).unwrap()
+        else {
+            panic!("query failed");
+        };
+        assert_eq!(status, RevocationStatus::NotRevoked);
+        let rv = RevokeRequest::create(&kp, id, true, epoch);
+        let Response::RevokeAck { status, .. } = client.call(&Request::Revoke(rv)).unwrap()
+        else {
+            panic!("revoke failed");
+        };
+        assert_eq!(status, RevocationStatus::Revoked);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_error_response() {
+        let server = server();
+        let addr = server.addr();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        crate::framing::write_frame(&mut stream, b"\xff\xffgarbage").unwrap();
+        let frame = crate::framing::read_frame(&mut stream).unwrap();
+        let Response::Error { code, .. } = Response::from_bytes(frame).unwrap() else {
+            panic!("expected error response");
+        };
+        assert_eq!(code, irs_ledger::codes::BAD_REQUEST);
+        server.shutdown();
+    }
+
+    #[test]
+    fn ping_latency_sane() {
+        let server = server();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+        let start = std::time::Instant::now();
+        for _ in 0..50 {
+            assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+        }
+        let per_call = start.elapsed().as_micros() / 50;
+        // Loopback round trips should be well under 10 ms each.
+        assert!(per_call < 10_000, "{per_call}µs per call");
+        server.shutdown();
+    }
+
+    #[test]
+    fn parallel_clients() {
+        let server = server();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = LedgerClient::connect(addr).unwrap();
+                    let kp = Keypair::from_seed(&[i as u8 + 10; 32]);
+                    let claim = ClaimRequest::create(&kp, &Digest::of(&[i as u8]));
+                    let resp = client.call(&Request::Claim(claim)).unwrap();
+                    assert!(matches!(resp, Response::Claimed { .. }));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.ledger().lock().store().len(), 4);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,71 @@
+//! The real-network prototype (§4.3: "we built a prototype ledger and
+//! browser extension that performed revocation checks").
+//!
+//! Blocking `std::net` with a thread per connection — the networking
+//! guides' advice for services with few concurrent connections ("when not
+//! to use Tokio"): the bootstrap ledger prototype serves a handful of
+//! proxies, not the open Internet. Shutdown is explicit and joins every
+//! connection thread (structured concurrency: no task outlives its
+//! component).
+//!
+//! * [`framing`] — u32-BE length-prefixed frames over a TCP stream, with
+//!   a frame-size cap and clean EOF handling;
+//! * [`server`] — the generic accept-loop harness;
+//! * [`ledger_server`] — a [`irs_ledger::Ledger`] behind the wire
+//!   protocol;
+//! * [`proxy_server`] — an [`irs_proxy::IrsProxy`] that answers locally
+//!   when it can and forwards filter misses upstream;
+//! * [`client`] — blocking request/response clients with timeouts;
+//! * [`refresh`] — the proxy's hourly filter pull (full or delta) over
+//!   the wire.
+
+pub mod client;
+pub mod framing;
+pub mod ledger_server;
+pub mod proxy_server;
+pub mod refresh;
+pub mod server;
+
+pub use client::LedgerClient;
+pub use ledger_server::LedgerServer;
+pub use refresh::{refresh_filter, RefreshOutcome};
+pub use proxy_server::ProxyServer;
+pub use server::ServerHandle;
+
+/// Errors from the network layer.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Frame exceeded the size cap or was malformed.
+    Frame(&'static str),
+    /// Peer closed the connection.
+    Closed,
+    /// Wire-codec failure on a received payload.
+    Wire(irs_core::wire::WireError),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Frame(what) => write!(f, "framing error: {what}"),
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<irs_core::wire::WireError> for NetError {
+    fn from(e: irs_core::wire::WireError) -> Self {
+        NetError::Wire(e)
+    }
+}

@@ -1,0 +1,246 @@
+//! The proxy server: answers what it can locally (merged filter, cache),
+//! forwards the rest to the upstream ledger — the §4.2/§4.4 component, on
+//! a real socket.
+//!
+//! Browsers connect to the proxy with the same wire protocol they would
+//! use against a ledger; the ledger only ever sees the proxy's address,
+//! which is the privacy property (§4.2).
+
+use crate::client::LedgerClient;
+use crate::framing::{read_frame, write_frame};
+use crate::server::ServerHandle;
+use irs_core::claim::RevocationStatus;
+use irs_core::time::{Clock, SystemClock};
+use irs_core::wire::{Request, Response, Wire};
+use irs_proxy::{IrsProxy, LookupOutcome};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// A running TCP proxy.
+pub struct ProxyServer {
+    proxy: Arc<Mutex<IrsProxy>>,
+    handle: ServerHandle,
+}
+
+impl ProxyServer {
+    /// Start a proxy on `addr`, forwarding filter misses to the ledger at
+    /// `upstream`. Each connection thread opens its own upstream
+    /// connection on demand (simple and adequate for prototype scale).
+    pub fn start(
+        proxy: IrsProxy,
+        addr: &str,
+        upstream: SocketAddr,
+    ) -> std::io::Result<ProxyServer> {
+        let proxy = Arc::new(Mutex::new(proxy));
+        let proxy_for_conns = proxy.clone();
+        let handle = ServerHandle::spawn(addr, move |mut stream, stop| {
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+            let mut upstream_client: Option<LedgerClient> = None;
+            loop {
+                if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    return;
+                }
+                let frame = match read_frame(&mut stream) {
+                    Ok(f) => f,
+                    Err(crate::NetError::Io(e))
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => return,
+                };
+                let response = match Request::from_bytes(frame) {
+                    Ok(Request::Query { id }) => {
+                        let now = SystemClock.now();
+                        let outcome = proxy_for_conns.lock().lookup(id, now);
+                        match outcome {
+                            LookupOutcome::NotRevokedByFilter => Response::Status {
+                                id,
+                                status: RevocationStatus::NotRevoked,
+                                epoch: 0,
+                            },
+                            LookupOutcome::Cached(status) => Response::Status {
+                                id,
+                                status,
+                                epoch: 0,
+                            },
+                            LookupOutcome::NeedsLedgerQuery => {
+                                forward_query(&mut upstream_client, upstream, id, |id, status| {
+                                    proxy_for_conns.lock().complete(id, status, SystemClock.now());
+                                })
+                            }
+                        }
+                    }
+                    Ok(Request::Ping) => Response::Pong,
+                    Ok(_) => Response::Error {
+                        code: irs_ledger::codes::BAD_REQUEST,
+                        message: "proxy only serves Query/Ping".to_string(),
+                    },
+                    Err(e) => Response::Error {
+                        code: irs_ledger::codes::BAD_REQUEST,
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                if write_frame(&mut stream, &response.to_bytes()).is_err() {
+                    return;
+                }
+            }
+        })?;
+        Ok(ProxyServer { proxy, handle })
+    }
+
+    /// The proxy's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// Shared proxy state (to install filters or read stats).
+    pub fn proxy(&self) -> Arc<Mutex<IrsProxy>> {
+        self.proxy.clone()
+    }
+
+    /// Stop and join.
+    pub fn shutdown(self) {
+        self.handle.shutdown();
+    }
+}
+
+fn forward_query(
+    client_slot: &mut Option<LedgerClient>,
+    upstream: SocketAddr,
+    id: irs_core::ids::RecordId,
+    on_answer: impl FnOnce(irs_core::ids::RecordId, RevocationStatus),
+) -> Response {
+    if client_slot.is_none() {
+        *client_slot = LedgerClient::connect(upstream).ok();
+    }
+    let Some(client) = client_slot.as_mut() else {
+        return Response::Error {
+            code: irs_ledger::codes::BAD_REQUEST,
+            message: "upstream unreachable".to_string(),
+        };
+    };
+    match client.call(&Request::Query { id }) {
+        Ok(Response::Status { id, status, epoch }) => {
+            on_answer(id, status);
+            Response::Status { id, status, epoch }
+        }
+        Ok(other) => other,
+        Err(_) => {
+            // Drop the dead connection; next request reconnects.
+            *client_slot = None;
+            Response::Error {
+                code: irs_ledger::codes::BAD_REQUEST,
+                message: "upstream call failed".to_string(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger_server::LedgerServer;
+    use irs_core::claim::ClaimRequest;
+    use irs_core::ids::LedgerId;
+    use irs_core::tsa::TimestampAuthority;
+    use irs_crypto::{Digest, Keypair};
+    use irs_filters::BloomFilter;
+    use irs_ledger::{Ledger, LedgerConfig};
+    use irs_proxy::ProxyConfig;
+
+    /// Full bootstrap chain over loopback: browser → proxy → ledger.
+    #[test]
+    fn proxy_chain_end_to_end() {
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(1),
+        );
+        let ledger_server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+
+        // Owner claims a photo directly at the ledger.
+        let mut owner = LedgerClient::connect(ledger_server.addr()).unwrap();
+        let kp = Keypair::from_seed(&[9u8; 32]);
+        let claim = ClaimRequest::create(&kp, &Digest::of(b"pic"));
+        let Response::Claimed { id, .. } = owner.call(&Request::Claim(claim)).unwrap() else {
+            panic!("claim failed");
+        };
+
+        // Proxy holds the ledger's revoked-set filter. The claimed id is
+        // deliberately inserted (as if recently revoked-then-unrevoked and
+        // the hourly snapshot not yet refreshed), so its lookup exercises
+        // the upstream-forwarding path; unclaimed ids miss and are
+        // answered locally.
+        let mut proxy = IrsProxy::new(ProxyConfig::default());
+        let mut filter = BloomFilter::with_params(1 << 14, 6, 0).unwrap();
+        filter.insert(id.filter_key());
+        proxy
+            .filters
+            .apply_full(LedgerId(1), 1, filter.to_bytes())
+            .unwrap();
+        let proxy_server =
+            ProxyServer::start(proxy, "127.0.0.1:0", ledger_server.addr()).unwrap();
+
+        // Browser queries through the proxy.
+        let mut browser = LedgerClient::connect(proxy_server.addr()).unwrap();
+        // Filter-hit id: forwarded upstream.
+        let Response::Status { status, .. } = browser.call(&Request::Query { id }).unwrap()
+        else {
+            panic!("query failed");
+        };
+        assert_eq!(status, RevocationStatus::NotRevoked);
+        // Filter-miss id: definitely not revoked → answered locally.
+        let unknown = irs_core::ids::RecordId::new(LedgerId(1), 424_242);
+        let Response::Status { status, .. } =
+            browser.call(&Request::Query { id: unknown }).unwrap()
+        else {
+            panic!("query failed");
+        };
+        assert_eq!(status, RevocationStatus::NotRevoked);
+
+        // Stats: exactly one lookup reached the ledger.
+        {
+            let p = proxy_server.proxy();
+            let stats = p.lock().stats;
+            assert_eq!(stats.lookups, 2);
+            assert_eq!(stats.ledger_queries, 1);
+            assert_eq!(stats.filter_negative, 1);
+        }
+        // Second query for the claimed id is served from the proxy cache.
+        browser.call(&Request::Query { id }).unwrap();
+        {
+            let p = proxy_server.proxy();
+            let stats = p.lock().stats;
+            assert_eq!(stats.cache_hits, 1);
+            assert_eq!(stats.ledger_queries, 1, "no extra upstream traffic");
+        }
+
+        proxy_server.shutdown();
+        ledger_server.shutdown();
+    }
+
+    #[test]
+    fn proxy_rejects_non_query_requests() {
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(2),
+        );
+        let ledger_server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let proxy_server = ProxyServer::start(
+            IrsProxy::new(ProxyConfig::default()),
+            "127.0.0.1:0",
+            ledger_server.addr(),
+        )
+        .unwrap();
+        let mut client = LedgerClient::connect(proxy_server.addr()).unwrap();
+        let kp = Keypair::from_seed(&[3u8; 32]);
+        let claim = ClaimRequest::create(&kp, &Digest::of(b"x"));
+        let resp = client.call(&Request::Claim(claim)).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+        proxy_server.shutdown();
+        ledger_server.shutdown();
+    }
+}

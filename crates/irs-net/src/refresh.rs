@@ -1,0 +1,183 @@
+//! Wire-level filter refresh: how a proxy keeps its revoked-set filters
+//! current over the network (§4.4's hourly publication, on real sockets).
+
+use crate::client::LedgerClient;
+use crate::NetError;
+use irs_core::ids::LedgerId;
+use irs_core::wire::{Request, Response};
+use irs_proxy::IrsProxy;
+
+/// What a refresh round did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefreshOutcome {
+    /// Installed a full snapshot (first contact or version gap).
+    InstalledFull {
+        /// New version held.
+        version: u64,
+        /// Snapshot bytes transferred.
+        bytes: usize,
+    },
+    /// Applied a delta.
+    AppliedDelta {
+        /// New version held.
+        version: u64,
+        /// Delta bytes transferred.
+        bytes: usize,
+    },
+    /// Already current (ledger sent an empty delta).
+    AlreadyCurrent,
+}
+
+/// Pull the ledger's current filter into the proxy, using a delta when the
+/// proxy's held version allows it.
+pub fn refresh_filter(
+    proxy: &mut IrsProxy,
+    client: &mut LedgerClient,
+    ledger: LedgerId,
+) -> Result<RefreshOutcome, NetError> {
+    let have = proxy.filters.version(ledger);
+    match client.call(&Request::GetFilter { have_version: have })? {
+        Response::FilterFull { version, data } => {
+            let bytes = data.len();
+            proxy
+                .filters
+                .apply_full(ledger, version, data)
+                .map_err(|_| NetError::Frame("filter payload rejected"))?;
+            Ok(RefreshOutcome::InstalledFull { version, bytes })
+        }
+        Response::FilterDelta {
+            from_version,
+            to_version,
+            data,
+        } => {
+            if from_version == to_version {
+                return Ok(RefreshOutcome::AlreadyCurrent);
+            }
+            let bytes = data.len();
+            proxy
+                .filters
+                .apply_delta(ledger, from_version, to_version, data)
+                .map_err(|_| NetError::Frame("filter delta rejected"))?;
+            Ok(RefreshOutcome::AppliedDelta {
+                version: to_version,
+                bytes,
+            })
+        }
+        Response::Error { .. } => Err(NetError::Frame("ledger has no published filter")),
+        _ => Err(NetError::Frame("unexpected response to GetFilter")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger_server::LedgerServer;
+    use irs_core::camera::Camera;
+    use irs_core::claim::RevokeRequest;
+    use irs_core::time::TimeMs;
+    use irs_core::tsa::TimestampAuthority;
+    use irs_ledger::{Ledger, LedgerConfig};
+    use irs_proxy::{IrsProxy, LookupOutcome, ProxyConfig};
+
+    #[test]
+    fn full_then_current_over_wire() {
+        let mut ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(9),
+        );
+        // One revoked record, then publish.
+        let mut cam = Camera::new(9, 96, 96);
+        let shot = cam.capture(0);
+        let Response::Claimed { id, .. } =
+            ledger.handle(Request::Claim(shot.claim), TimeMs(0))
+        else {
+            panic!("claim failed");
+        };
+        let rv = RevokeRequest::create(&shot.keypair, id, true, 0);
+        ledger.handle(Request::Revoke(rv), TimeMs(1));
+        ledger.publish_filter();
+        let server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+
+        let mut proxy = IrsProxy::new(ProxyConfig::default());
+        // First refresh: full.
+        let outcome = refresh_filter(&mut proxy, &mut client, LedgerId(1)).unwrap();
+        assert!(matches!(
+            outcome,
+            RefreshOutcome::InstalledFull { version: 1, .. }
+        ));
+        assert_eq!(
+            proxy.lookup(id, TimeMs(10)),
+            LookupOutcome::NeedsLedgerQuery,
+            "revoked id hits the freshly pulled filter"
+        );
+        // Second refresh with no churn: already current.
+        let outcome = refresh_filter(&mut proxy, &mut client, LedgerId(1)).unwrap();
+        assert_eq!(outcome, RefreshOutcome::AlreadyCurrent);
+        server.shutdown();
+    }
+
+    #[test]
+    fn delta_served_when_one_version_behind() {
+        let mut ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(11),
+        );
+        let mut cam = Camera::new(11, 96, 96);
+        // Two claims; revoke the first, publish v1.
+        let shot_a = cam.capture(0);
+        let Response::Claimed { id: a, .. } =
+            ledger.handle(Request::Claim(shot_a.claim), TimeMs(0))
+        else {
+            panic!()
+        };
+        let shot_b = cam.capture(1);
+        let Response::Claimed { id: b, .. } =
+            ledger.handle(Request::Claim(shot_b.claim), TimeMs(1))
+        else {
+            panic!()
+        };
+        let rv = RevokeRequest::create(&shot_a.keypair, a, true, 0);
+        ledger.handle(Request::Revoke(rv), TimeMs(2));
+        ledger.publish_filter();
+
+        let server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+        let mut proxy = IrsProxy::new(ProxyConfig::default());
+        refresh_filter(&mut proxy, &mut client, LedgerId(1)).unwrap();
+        assert_eq!(proxy.filters.version(LedgerId(1)), 1);
+
+        // Churn: revoke b, publish v2 while the server is live.
+        {
+            let ledger_arc = server.ledger();
+            let mut l = ledger_arc.lock();
+            let rv = RevokeRequest::create(&shot_b.keypair, b, true, 0);
+            l.handle(Request::Revoke(rv), TimeMs(3));
+            l.publish_filter();
+        }
+        // Refresh again: must arrive as a delta, and b must now hit.
+        let outcome = refresh_filter(&mut proxy, &mut client, LedgerId(1)).unwrap();
+        assert!(
+            matches!(outcome, RefreshOutcome::AppliedDelta { version: 2, .. }),
+            "{outcome:?}"
+        );
+        assert_eq!(
+            proxy.lookup(b, TimeMs(10)),
+            LookupOutcome::NeedsLedgerQuery
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn unpublished_filter_is_an_error() {
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(10),
+        );
+        let server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+        let mut proxy = IrsProxy::new(ProxyConfig::default());
+        assert!(refresh_filter(&mut proxy, &mut client, LedgerId(1)).is_err());
+        server.shutdown();
+    }
+}

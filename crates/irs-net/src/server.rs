@@ -1,0 +1,159 @@
+//! The generic threaded accept loop.
+//!
+//! One thread accepts; each connection gets its own thread running a
+//! caller-supplied handler. [`ServerHandle::shutdown`] flips a flag, then
+//! joins the accept thread and every live connection thread — the explicit
+//! shutdown method the structured-concurrency guide recommends instead of
+//! dropping tasks on the floor.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve each
+    /// connection with `handler`. The handler runs on its own thread and
+    /// should return when the connection ends or `stop` is set.
+    pub fn spawn<F>(addr: &str, handler: F) -> std::io::Result<ServerHandle>
+    where
+        F: Fn(TcpStream, Arc<AtomicBool>) + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = stop.clone();
+        let handler = Arc::new(handler);
+        let accept_thread = std::thread::Builder::new()
+            .name("irs-accept".into())
+            .spawn(move || {
+                let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+                while !stop_accept.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = stream.set_nodelay(true);
+                            let h = handler.clone();
+                            let stop_conn = stop_accept.clone();
+                            let t = std::thread::Builder::new()
+                                .name("irs-conn".into())
+                                .spawn(move || h(stream, stop_conn))
+                                .expect("spawn connection thread");
+                            conn_threads.push(t);
+                            // Opportunistically reap finished threads.
+                            conn_threads.retain(|t| !t.is_finished());
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for t in conn_threads {
+                    let _ = t.join();
+                }
+            })?;
+        Ok(ServerHandle {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (for clients to connect to).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wait for the accept loop and all connection threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn echo_server_roundtrip() {
+        let server = ServerHandle::spawn("127.0.0.1:0", |mut stream, _stop| {
+            let mut buf = [0u8; 64];
+            while let Ok(n) = stream.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                if stream.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        })
+        .unwrap();
+        let mut client = TcpStream::connect(server.addr()).unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut out = [0u8; 4];
+        client.read_exact(&mut out).unwrap();
+        assert_eq!(&out, b"ping");
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_connections() {
+        let server = ServerHandle::spawn("127.0.0.1:0", |mut stream, _stop| {
+            let mut buf = [0u8; 8];
+            if stream.read_exact(&mut buf).is_ok() {
+                let _ = stream.write_all(&buf);
+            }
+        })
+        .unwrap();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..8u64)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = TcpStream::connect(addr).unwrap();
+                    c.write_all(&i.to_be_bytes()).unwrap();
+                    let mut out = [0u8; 8];
+                    c.read_exact(&mut out).unwrap();
+                    assert_eq!(u64::from_be_bytes(out), i);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let server = ServerHandle::spawn("127.0.0.1:0", |_s, _stop| {}).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // Port should eventually refuse/ignore new connections; at minimum
+        // the handle is gone and re-binding the same port works.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port must be released after shutdown");
+    }
+}

@@ -1,0 +1,231 @@
+//! Query batching — the aggregation that *is* the §4.2 privacy mechanism.
+//!
+//! "At their most essential, these solutions insert trusted proxies which
+//! aggregate the requests from many users." Aggregation does two things:
+//! the ledger sees the proxy's identity instead of the viewer's, and
+//! queries from many users ride the same upstream batch
+//! ([`irs_core::wire::Request::Batch`]), so even traffic analysis at the
+//! ledger cannot separate viewers. The batcher trades a bounded hold time
+//! (and a minimum batch size, i.e. a k-anonymity floor) for that mixing.
+
+use irs_core::ids::RecordId;
+use irs_core::time::TimeMs;
+
+/// Batching policy.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Flush when this many queries are pending.
+    pub max_batch: usize,
+    /// Flush pending queries after this long even if the batch is small —
+    /// the revocation-latency cost of mixing.
+    pub max_hold_ms: u64,
+    /// Do not flush fewer than this many queries before `max_hold_ms`
+    /// expires (the k-anonymity floor; 1 disables).
+    pub min_batch: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            max_hold_ms: 200,
+            min_batch: 4,
+        }
+    }
+}
+
+/// A pending query: the record plus which local requester asked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Pending {
+    id: RecordId,
+    requester: u32,
+    enqueued: TimeMs,
+}
+
+/// Accumulates per-record queries from many local requesters and emits
+/// upstream batches.
+pub struct Batcher {
+    config: BatchConfig,
+    pending: Vec<Pending>,
+    /// Batches emitted, total queries batched (for the E13 accounting).
+    pub batches_emitted: u64,
+    /// Total queries that passed through.
+    pub queries: u64,
+    /// Sum of per-query hold times (ms), for the added-latency metric.
+    pub total_hold_ms: u64,
+}
+
+/// One emitted batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Batch {
+    /// Deduplicated records to query upstream.
+    pub ids: Vec<RecordId>,
+    /// Distinct local requesters represented — the batch's anonymity set.
+    pub anonymity_set: usize,
+}
+
+impl Batcher {
+    /// Create a batcher.
+    pub fn new(config: BatchConfig) -> Batcher {
+        Batcher {
+            config,
+            pending: Vec::new(),
+            batches_emitted: 0,
+            queries: 0,
+            total_hold_ms: 0,
+        }
+    }
+
+    /// Enqueue a query from a local requester; returns a batch if the
+    /// size threshold fired.
+    pub fn enqueue(&mut self, id: RecordId, requester: u32, now: TimeMs) -> Option<Batch> {
+        self.queries += 1;
+        self.pending.push(Pending {
+            id,
+            requester,
+            enqueued: now,
+        });
+        if self.pending.len() >= self.config.max_batch {
+            return Some(self.flush(now));
+        }
+        None
+    }
+
+    /// Time-driven flush: emits iff the oldest pending query has waited
+    /// `max_hold_ms`, or the k-floor is met and anything is pending.
+    /// Call on a timer tick.
+    pub fn poll(&mut self, now: TimeMs) -> Option<Batch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let oldest = self.pending.iter().map(|p| p.enqueued).min().expect("nonempty");
+        let expired = now.since(oldest) >= self.config.max_hold_ms;
+        let k_met = self.distinct_requesters() >= self.config.min_batch;
+        if expired || (k_met && self.pending.len() >= self.config.min_batch) {
+            return Some(self.flush(now));
+        }
+        None
+    }
+
+    /// Pending queries not yet flushed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn distinct_requesters(&self) -> usize {
+        let mut reqs: Vec<u32> = self.pending.iter().map(|p| p.requester).collect();
+        reqs.sort_unstable();
+        reqs.dedup();
+        reqs.len()
+    }
+
+    fn flush(&mut self, now: TimeMs) -> Batch {
+        let anonymity_set = self.distinct_requesters();
+        let mut ids: Vec<RecordId> = self.pending.iter().map(|p| p.id).collect();
+        for p in &self.pending {
+            self.total_hold_ms += now.since(p.enqueued);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        self.pending.clear();
+        self.batches_emitted += 1;
+        Batch { ids, anonymity_set }
+    }
+
+    /// Mean per-query hold time so far.
+    pub fn mean_hold_ms(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.total_hold_ms as f64 / self.queries as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_core::ids::LedgerId;
+
+    fn rid(n: u64) -> RecordId {
+        RecordId::new(LedgerId(1), n)
+    }
+
+    fn batcher(max: usize, hold: u64, min: usize) -> Batcher {
+        Batcher::new(BatchConfig {
+            max_batch: max,
+            max_hold_ms: hold,
+            min_batch: min,
+        })
+    }
+
+    #[test]
+    fn size_threshold_flushes() {
+        let mut b = batcher(3, 1_000, 1);
+        assert!(b.enqueue(rid(1), 0, TimeMs(0)).is_none());
+        assert!(b.enqueue(rid(2), 1, TimeMs(1)).is_none());
+        let batch = b.enqueue(rid(3), 2, TimeMs(2)).expect("flush at 3");
+        assert_eq!(batch.ids.len(), 3);
+        assert_eq!(batch.anonymity_set, 3);
+        assert_eq!(b.pending_len(), 0);
+        assert_eq!(b.batches_emitted, 1);
+    }
+
+    #[test]
+    fn duplicate_records_deduplicated() {
+        let mut b = batcher(3, 1_000, 1);
+        b.enqueue(rid(7), 0, TimeMs(0));
+        b.enqueue(rid(7), 1, TimeMs(0));
+        let batch = b.enqueue(rid(7), 2, TimeMs(0)).unwrap();
+        assert_eq!(batch.ids, vec![rid(7)]);
+        assert_eq!(batch.anonymity_set, 3, "dedup keeps the anonymity count");
+    }
+
+    #[test]
+    fn hold_timeout_flushes_small_batches() {
+        let mut b = batcher(100, 200, 4);
+        b.enqueue(rid(1), 0, TimeMs(0));
+        assert!(b.poll(TimeMs(100)).is_none(), "not yet expired, k not met");
+        let batch = b.poll(TimeMs(200)).expect("expired");
+        assert_eq!(batch.ids.len(), 1);
+        assert_eq!(batch.anonymity_set, 1);
+    }
+
+    #[test]
+    fn k_floor_flushes_before_timeout() {
+        let mut b = batcher(100, 10_000, 3);
+        b.enqueue(rid(1), 0, TimeMs(0));
+        b.enqueue(rid(2), 1, TimeMs(1));
+        assert!(b.poll(TimeMs(5)).is_none(), "only 2 distinct requesters");
+        b.enqueue(rid(3), 2, TimeMs(6));
+        let batch = b.poll(TimeMs(7)).expect("k met");
+        assert_eq!(batch.anonymity_set, 3);
+    }
+
+    #[test]
+    fn same_requester_does_not_satisfy_k() {
+        let mut b = batcher(100, 10_000, 3);
+        for i in 0..10 {
+            b.enqueue(rid(i), 0, TimeMs(i));
+        }
+        assert!(
+            b.poll(TimeMs(20)).is_none(),
+            "one user's burst is not an anonymity set"
+        );
+    }
+
+    #[test]
+    fn hold_time_accounting() {
+        let mut b = batcher(2, 1_000, 1);
+        b.enqueue(rid(1), 0, TimeMs(0));
+        b.enqueue(rid(2), 1, TimeMs(100)); // flush at t=100
+        assert_eq!(b.total_hold_ms, 100); // 100 + 0
+        assert_eq!(b.mean_hold_ms(), 50.0);
+    }
+
+    #[test]
+    fn empty_poll_is_none() {
+        let mut b = batcher(10, 100, 1);
+        assert!(b.poll(TimeMs(1_000)).is_none());
+        assert_eq!(b.mean_hold_ms(), 0.0);
+    }
+}

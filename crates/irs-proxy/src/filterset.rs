@@ -1,0 +1,219 @@
+//! Per-ledger filter management and the merged OR filter.
+//!
+//! §4.4: each ledger publishes a Bloom filter, "which the proxies would
+//! download and then take the OR of all ledger Bloom filters. … if the
+//! photo does not hit in the filter, it is definitely not revoked". For
+//! that soundness property — and for the paper's 2 %-FPR ⇒ 50×-reduction
+//! arithmetic — the published filter must cover each ledger's **revoked**
+//! set (see `irs_ledger::store::LedgerStore::filter_index`). Updates
+//! arrive as full snapshots (first contact) or deltas (steady state). All
+//! ledgers must publish with identical filter geometry for the OR to be
+//! meaningful; the ecosystem fixes (m, k, seed) by convention, which this
+//! type enforces.
+
+use irs_core::ids::LedgerId;
+use irs_filters::delta::BloomDelta;
+use irs_filters::{BloomFilter, Filter, FilterError};
+use std::collections::HashMap;
+
+/// Per-ledger filters plus their OR.
+pub struct FilterSet {
+    per_ledger: HashMap<LedgerId, (u64, BloomFilter)>,
+    merged: Option<BloomFilter>,
+    /// Bytes received across all updates (experiment E6).
+    pub bytes_received: u64,
+    /// Updates applied (full, delta).
+    pub updates: (u64, u64),
+}
+
+impl Default for FilterSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FilterSet {
+    /// Empty set.
+    pub fn new() -> FilterSet {
+        FilterSet {
+            per_ledger: HashMap::new(),
+            merged: None,
+            bytes_received: 0,
+            updates: (0, 0),
+        }
+    }
+
+    /// Install a full snapshot for a ledger.
+    pub fn apply_full(
+        &mut self,
+        ledger: LedgerId,
+        version: u64,
+        data: bytes::Bytes,
+    ) -> Result<(), FilterError> {
+        self.bytes_received += data.len() as u64;
+        let filter = BloomFilter::from_bytes(data)?;
+        if let Some(existing) = self.any_filter() {
+            if existing.m_bits() != filter.m_bits()
+                || existing.k() != filter.k()
+                || existing.seed() != filter.seed()
+            {
+                return Err(FilterError::BadParams(
+                    "ledger filter geometry differs from ecosystem convention",
+                ));
+            }
+        }
+        self.per_ledger.insert(ledger, (version, filter));
+        self.updates.0 += 1;
+        self.rebuild();
+        Ok(())
+    }
+
+    /// Apply a delta for a ledger; the held version must match
+    /// `from_version`.
+    pub fn apply_delta(
+        &mut self,
+        ledger: LedgerId,
+        from_version: u64,
+        to_version: u64,
+        data: bytes::Bytes,
+    ) -> Result<(), FilterError> {
+        self.bytes_received += data.len() as u64;
+        let delta = BloomDelta::from_bytes(data)?;
+        let Some((version, filter)) = self.per_ledger.get_mut(&ledger) else {
+            return Err(FilterError::BadParams("delta for unknown ledger"));
+        };
+        if *version != from_version {
+            return Err(FilterError::BadParams("delta from_version mismatch"));
+        }
+        delta.apply(filter)?;
+        *version = to_version;
+        self.updates.1 += 1;
+        self.rebuild();
+        Ok(())
+    }
+
+    /// The version held for a ledger (0 = none).
+    pub fn version(&self, ledger: LedgerId) -> u64 {
+        self.per_ledger.get(&ledger).map(|(v, _)| *v).unwrap_or(0)
+    }
+
+    /// Number of ledgers with installed filters.
+    pub fn ledger_count(&self) -> usize {
+        self.per_ledger.len()
+    }
+
+    fn any_filter(&self) -> Option<&BloomFilter> {
+        self.per_ledger.values().map(|(_, f)| f).next()
+    }
+
+    fn rebuild(&mut self) {
+        let mut iter = self.per_ledger.values();
+        let Some((_, first)) = iter.next() else {
+            self.merged = None;
+            return;
+        };
+        let mut merged = first.clone();
+        for (_, f) in iter {
+            merged
+                .union_with(f)
+                .expect("geometry validated at install time");
+        }
+        self.merged = Some(merged);
+    }
+
+    /// Query the merged filter: `Some(false)` = definitely not revoked
+    /// on any ledger (answer locally), `Some(true)` = might be revoked
+    /// (must query), `None` = no filters installed yet (must query).
+    pub fn might_be_revoked(&self, key: u64) -> Option<bool> {
+        self.merged.as_ref().map(|f| f.contains(key))
+    }
+
+    /// Estimated FPR of the merged filter at its current fill.
+    pub fn merged_fpr(&self) -> Option<f64> {
+        self.merged.as_ref().map(|f| f.estimated_fpr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_filters::delta::BloomDelta;
+
+    fn filter_with(keys: std::ops::Range<u64>) -> BloomFilter {
+        let mut f = BloomFilter::with_params(1 << 14, 6, 7).unwrap();
+        for k in keys {
+            f.insert(k);
+        }
+        f
+    }
+
+    #[test]
+    fn or_of_two_ledgers() {
+        let mut fs = FilterSet::new();
+        fs.apply_full(LedgerId(1), 1, filter_with(0..100).to_bytes())
+            .unwrap();
+        fs.apply_full(LedgerId(2), 1, filter_with(100..200).to_bytes())
+            .unwrap();
+        assert_eq!(fs.ledger_count(), 2);
+        for k in 0..200u64 {
+            assert_eq!(fs.might_be_revoked(k), Some(true), "key {k}");
+        }
+        // A far-away key should (almost surely) miss.
+        let misses = (10_000..11_000u64)
+            .filter(|&k| fs.might_be_revoked(k) == Some(false))
+            .count();
+        assert!(misses > 950, "misses {misses}");
+    }
+
+    #[test]
+    fn empty_set_answers_none() {
+        let fs = FilterSet::new();
+        assert_eq!(fs.might_be_revoked(1), None);
+        assert_eq!(fs.merged_fpr(), None);
+    }
+
+    #[test]
+    fn delta_refresh() {
+        let mut fs = FilterSet::new();
+        let old = filter_with(0..100);
+        fs.apply_full(LedgerId(1), 1, old.to_bytes()).unwrap();
+        let new = filter_with(0..150);
+        let delta = BloomDelta::diff(&old, &new).unwrap();
+        fs.apply_delta(LedgerId(1), 1, 2, delta.to_bytes()).unwrap();
+        assert_eq!(fs.version(LedgerId(1)), 2);
+        for k in 100..150u64 {
+            assert_eq!(fs.might_be_revoked(k), Some(true));
+        }
+        assert_eq!(fs.updates, (1, 1));
+    }
+
+    #[test]
+    fn delta_version_mismatch_rejected() {
+        let mut fs = FilterSet::new();
+        let old = filter_with(0..10);
+        fs.apply_full(LedgerId(1), 5, old.to_bytes()).unwrap();
+        let delta = BloomDelta::diff(&old, &old).unwrap();
+        assert!(fs.apply_delta(LedgerId(1), 4, 6, delta.to_bytes()).is_err());
+        assert!(fs
+            .apply_delta(LedgerId(9), 5, 6, delta.to_bytes())
+            .is_err());
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let mut fs = FilterSet::new();
+        fs.apply_full(LedgerId(1), 1, filter_with(0..10).to_bytes())
+            .unwrap();
+        let odd = BloomFilter::with_params(1 << 12, 6, 7).unwrap();
+        assert!(fs.apply_full(LedgerId(2), 1, odd.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut fs = FilterSet::new();
+        let payload = filter_with(0..10).to_bytes();
+        let n = payload.len() as u64;
+        fs.apply_full(LedgerId(1), 1, payload).unwrap();
+        assert_eq!(fs.bytes_received, n);
+    }
+}

@@ -1,0 +1,267 @@
+//! A fixed-capacity LRU cache with per-entry TTL.
+//!
+//! O(1) get/insert via a HashMap into an intrusive doubly-linked list kept
+//! in a slab. Used for the proxy's status cache; the TTL bounds revocation
+//! staleness (Nongoal #4 tolerates bounded delay, and the TTL *is* that
+//! bound on the proxy path).
+
+use irs_core::time::TimeMs;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    expires: TimeMs,
+    prev: usize,
+    next: usize,
+}
+
+/// LRU + TTL cache.
+pub struct LruTtlCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    capacity: usize,
+    ttl_ms: u64,
+    hits: u64,
+    misses: u64,
+    expired: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruTtlCache<K, V> {
+    /// Create a cache holding at most `capacity` entries, each valid for
+    /// `ttl_ms` after insertion.
+    pub fn new(capacity: usize, ttl_ms: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be > 0");
+        LruTtlCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            ttl_ms,
+            hits: 0,
+            misses: 0,
+            expired: 0,
+        }
+    }
+
+    /// Entries currently stored (including not-yet-collected expired ones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// (hits, misses, expired) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.expired)
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Get a live entry, refreshing its recency. Expired entries count as
+    /// misses and are removed.
+    pub fn get(&mut self, key: &K, now: TimeMs) -> Option<V> {
+        let Some(&idx) = self.map.get(key) else {
+            self.misses += 1;
+            return None;
+        };
+        if self.slab[idx].expires < now {
+            self.remove_idx(idx);
+            self.expired += 1;
+            self.misses += 1;
+            return None;
+        }
+        self.detach(idx);
+        self.push_front(idx);
+        self.hits += 1;
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Insert or refresh an entry (resets its TTL), evicting the LRU entry
+    /// if at capacity.
+    pub fn insert(&mut self, key: K, value: V, now: TimeMs) {
+        let expires = now.plus(self.ttl_ms);
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.slab[idx].expires = expires;
+            self.detach(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.remove_idx(victim);
+        }
+        let node = Node {
+            key: key.clone(),
+            value,
+            expires,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = if let Some(free) = self.free.pop() {
+            self.slab[free] = node;
+            free
+        } else {
+            self.slab.push(node);
+            self.slab.len() - 1
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn remove_idx(&mut self, idx: usize) {
+        self.detach(idx);
+        let key = self.slab[idx].key.clone();
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+
+    /// Remove a key explicitly (e.g. on a revocation push).
+    pub fn invalidate(&mut self, key: &K) {
+        if let Some(&idx) = self.map.get(key) {
+            self.remove_idx(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> TimeMs {
+        TimeMs(ms)
+    }
+
+    #[test]
+    fn basic_get_insert() {
+        let mut c: LruTtlCache<u64, &str> = LruTtlCache::new(4, 1000);
+        assert_eq!(c.get(&1, t(0)), None);
+        c.insert(1, "a", t(0));
+        assert_eq!(c.get(&1, t(10)), Some("a"));
+        assert_eq!(c.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(3, 10_000);
+        c.insert(1, 1, t(0));
+        c.insert(2, 2, t(1));
+        c.insert(3, 3, t(2));
+        // Touch 1 so 2 becomes LRU.
+        c.get(&1, t(3));
+        c.insert(4, 4, t(4));
+        assert_eq!(c.get(&2, t(5)), None, "2 should be evicted");
+        assert_eq!(c.get(&1, t(5)), Some(1));
+        assert_eq!(c.get(&3, t(5)), Some(3));
+        assert_eq!(c.get(&4, t(5)), Some(4));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(4, 100);
+        c.insert(1, 1, t(0));
+        assert_eq!(c.get(&1, t(100)), Some(1), "at ttl boundary still live");
+        assert_eq!(c.get(&1, t(101)), None, "past ttl expired");
+        let (_, _, expired) = c.stats();
+        assert_eq!(expired, 1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_ttl_and_value() {
+        let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(4, 100);
+        c.insert(1, 1, t(0));
+        c.insert(1, 2, t(90));
+        assert_eq!(c.get(&1, t(150)), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(4, 1000);
+        c.insert(1, 1, t(0));
+        c.invalidate(&1);
+        assert_eq!(c.get(&1, t(1)), None);
+        c.invalidate(&99); // no-op
+    }
+
+    #[test]
+    fn slab_reuse_after_eviction() {
+        let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(2, 10_000);
+        for i in 0..100u64 {
+            c.insert(i, i, t(i));
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&99, t(200)), Some(99));
+        assert_eq!(c.get(&98, t(200)), Some(98));
+        assert_eq!(c.get(&0, t(200)), None);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(1, 1000);
+        c.insert(1, 1, t(0));
+        c.insert(2, 2, t(1));
+        assert_eq!(c.get(&1, t(2)), None);
+        assert_eq!(c.get(&2, t(2)), Some(2));
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(16, 50);
+        for step in 0..10_000u64 {
+            let k = step % 37;
+            if step % 3 == 0 {
+                c.insert(k, step, t(step));
+            } else {
+                if let Some(v) = c.get(&k, t(step)) {
+                    // Only steps divisible by 3 ever inserted, and a hit's
+                    // value must be the key's residue class.
+                    assert_eq!(v % 3, 0);
+                    assert_eq!(v % 37, k);
+                }
+            }
+            assert!(c.len() <= 16);
+        }
+    }
+}

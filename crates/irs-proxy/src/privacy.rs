@@ -1,0 +1,142 @@
+//! Viewer-privacy accounting (§4.2, experiment E13).
+//!
+//! Goal #2: validation "should not expose the identity of the viewer to
+//! any parties beyond those to whom their identity is exposed today". A
+//! curious ledger sees whatever query stream reaches it; this module
+//! replays a view trace under each deployment and counts what the ledger
+//! can attribute.
+//!
+//! * **Direct**: every check arrives from the viewer's own address —
+//!   the ledger attributes (viewer, photo) for every filter-missing view.
+//! * **Proxied**: checks arrive from the proxy's address — the ledger
+//!   sees (photo, time) but no viewer identity; attribution requires the
+//!   proxy to collude. The anonymity set of each query is the proxy's
+//!   concurrent user population.
+
+use std::collections::HashSet;
+
+/// One validation query as a ledger would log it.
+#[derive(Clone, Copy, Debug)]
+pub struct LedgerLogEntry {
+    /// Arrival time (ms).
+    pub at_ms: u64,
+    /// Source identity visible to the ledger: `Some(user)` under direct
+    /// deployment, `None` when it arrives via a proxy.
+    pub source_user: Option<u32>,
+    /// Photo serial queried.
+    pub photo_serial: u64,
+}
+
+/// What a curious ledger could learn from its log.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeakageReport {
+    /// Total view events in the trace.
+    pub total_views: u64,
+    /// Queries that reached the ledger at all.
+    pub ledger_visible_queries: u64,
+    /// Queries attributable to a specific viewer.
+    pub attributable: u64,
+    /// Fraction of all views attributable to a viewer (the headline
+    /// privacy metric: 0 is today's baseline-equivalent, §4.2's target).
+    pub attributable_fraction: f64,
+    /// Distinct users whose viewing was exposed at least once.
+    pub exposed_users: u64,
+}
+
+/// Analyze a ledger log against the trace it came from.
+pub fn analyze(total_views: u64, log: &[LedgerLogEntry]) -> LeakageReport {
+    let attributable = log.iter().filter(|e| e.source_user.is_some()).count() as u64;
+    let exposed: HashSet<u32> = log.iter().filter_map(|e| e.source_user).collect();
+    LeakageReport {
+        total_views,
+        ledger_visible_queries: log.len() as u64,
+        attributable,
+        attributable_fraction: if total_views == 0 {
+            0.0
+        } else {
+            attributable as f64 / total_views as f64
+        },
+        exposed_users: exposed.len() as u64,
+    }
+}
+
+/// The anonymity set of a proxied query: how many users were active at the
+/// proxy within ±`window_ms` of the query. Larger is better; a set of 1
+/// de-anonymizes by timing.
+pub fn anonymity_set_size(
+    query_at_ms: u64,
+    window_ms: u64,
+    user_activity: &[(u64, u32)],
+) -> usize {
+    let lo = query_at_ms.saturating_sub(window_ms);
+    let hi = query_at_ms.saturating_add(window_ms);
+    let users: HashSet<u32> = user_activity
+        .iter()
+        .filter(|(t, _)| *t >= lo && *t <= hi)
+        .map(|(_, u)| *u)
+        .collect();
+    users.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_deployment_fully_attributable() {
+        let log: Vec<LedgerLogEntry> = (0..10)
+            .map(|i| LedgerLogEntry {
+                at_ms: i * 10,
+                source_user: Some((i % 3) as u32),
+                photo_serial: i,
+            })
+            .collect();
+        let r = analyze(10, &log);
+        assert_eq!(r.attributable, 10);
+        assert_eq!(r.attributable_fraction, 1.0);
+        assert_eq!(r.exposed_users, 3);
+    }
+
+    #[test]
+    fn proxied_deployment_attributes_nothing() {
+        let log: Vec<LedgerLogEntry> = (0..10)
+            .map(|i| LedgerLogEntry {
+                at_ms: i * 10,
+                source_user: None,
+                photo_serial: i,
+            })
+            .collect();
+        let r = analyze(10, &log);
+        assert_eq!(r.attributable, 0);
+        assert_eq!(r.attributable_fraction, 0.0);
+        assert_eq!(r.exposed_users, 0);
+        assert_eq!(r.ledger_visible_queries, 10);
+    }
+
+    #[test]
+    fn filtering_reduces_visible_queries() {
+        // With a filter, most views never produce a ledger log entry.
+        let log = vec![LedgerLogEntry {
+            at_ms: 5,
+            source_user: Some(1),
+            photo_serial: 42,
+        }];
+        let r = analyze(100, &log);
+        assert_eq!(r.ledger_visible_queries, 1);
+        assert!((r.attributable_fraction - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = analyze(0, &[]);
+        assert_eq!(r.attributable_fraction, 0.0);
+    }
+
+    #[test]
+    fn anonymity_set_counts_window_users() {
+        let activity = vec![(100u64, 1u32), (150, 2), (190, 3), (500, 4), (110, 1)];
+        assert_eq!(anonymity_set_size(150, 50, &activity), 3);
+        assert_eq!(anonymity_set_size(500, 10, &activity), 1);
+        assert_eq!(anonymity_set_size(5_000, 10, &activity), 0);
+    }
+}

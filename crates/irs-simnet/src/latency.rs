@@ -1,0 +1,257 @@
+//! Latency models.
+//!
+//! §4.3 grounds its argument in measured distributions: DNS-resolver-class
+//! services answer in tens of milliseconds \[12\], oblivious proxying adds a
+//! bounded overhead \[26\], and page loads spread over seconds \[5\]. These
+//! models reproduce those *shapes*; constants are configured per experiment
+//! and recorded in EXPERIMENTS.md.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A distribution of one-way network / service delays in milliseconds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Always exactly this many milliseconds.
+    Constant(u64),
+    /// Uniform in [lo, hi].
+    Uniform {
+        /// Lower bound (ms).
+        lo: u64,
+        /// Upper bound (ms), inclusive.
+        hi: u64,
+    },
+    /// Log-normal parameterized by its median and the σ of the underlying
+    /// normal — the standard shape for Internet RTTs and service latencies
+    /// (heavy right tail).
+    LogNormal {
+        /// Median delay in ms.
+        median_ms: f64,
+        /// Shape parameter (σ of ln X); 0.3–0.6 matches resolver data.
+        sigma: f64,
+    },
+    /// Sample uniformly from an empirical set of observations.
+    Empirical(Vec<u64>),
+}
+
+impl LatencyModel {
+    /// Draw one delay.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match self {
+            LatencyModel::Constant(ms) => *ms,
+            LatencyModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi);
+                rng.gen_range(*lo..=*hi)
+            }
+            LatencyModel::LogNormal { median_ms, sigma } => {
+                let z = standard_normal(rng);
+                let v = median_ms * (sigma * z).exp();
+                v.round().max(0.0) as u64
+            }
+            LatencyModel::Empirical(samples) => {
+                if samples.is_empty() {
+                    0
+                } else {
+                    samples[rng.gen_range(0..samples.len())]
+                }
+            }
+        }
+    }
+
+    /// The distribution's median (exact for constant/log-normal, midpoint
+    /// for uniform, sample median for empirical).
+    pub fn median(&self) -> f64 {
+        match self {
+            LatencyModel::Constant(ms) => *ms as f64,
+            LatencyModel::Uniform { lo, hi } => (*lo + *hi) as f64 / 2.0,
+            LatencyModel::LogNormal { median_ms, .. } => *median_ms,
+            LatencyModel::Empirical(samples) => {
+                if samples.is_empty() {
+                    0.0
+                } else {
+                    let mut s = samples.clone();
+                    s.sort_unstable();
+                    s[s.len() / 2] as f64
+                }
+            }
+        }
+    }
+}
+
+/// Box–Muller standard normal.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// A directed link: a latency model plus a fixed processing overhead.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Network delay distribution.
+    pub latency: LatencyModel,
+    /// Fixed per-message service time added on top (ms).
+    pub service_ms: u64,
+}
+
+impl Link {
+    /// A link with the given model and zero service time.
+    pub fn new(latency: LatencyModel) -> Link {
+        Link {
+            latency,
+            service_ms: 0,
+        }
+    }
+
+    /// Draw a total one-way delay.
+    pub fn delay(&self, rng: &mut StdRng) -> u64 {
+        self.latency.sample(rng) + self.service_ms
+    }
+
+    /// Draw a round-trip delay (two independent one-way samples).
+    pub fn rtt(&self, rng: &mut StdRng) -> u64 {
+        self.delay(rng) + self.delay(rng)
+    }
+}
+
+/// Canonical links used across experiments, calibrated to the paper's
+/// cited sources. All figures are one-way.
+pub mod profiles {
+    use super::{LatencyModel, Link};
+
+    /// Browser → anonymizing proxy: nearby POP, ~10 ms median.
+    pub fn browser_to_proxy() -> Link {
+        Link::new(LatencyModel::LogNormal {
+            median_ms: 10.0,
+            sigma: 0.4,
+        })
+    }
+
+    /// Proxy → ledger: DNSPerf-class service, ~25 ms median \[12\].
+    pub fn proxy_to_ledger() -> Link {
+        Link::new(LatencyModel::LogNormal {
+            median_ms: 25.0,
+            sigma: 0.5,
+        })
+    }
+
+    /// Browser → ledger directly (no proxy), ~35 ms median.
+    pub fn browser_to_ledger() -> Link {
+        Link::new(LatencyModel::LogNormal {
+            median_ms: 35.0,
+            sigma: 0.5,
+        })
+    }
+
+    /// Browser → content site (image fetches), ~40 ms median with a heavy
+    /// tail, as in the HTTP Archive data \[5\].
+    pub fn browser_to_site() -> Link {
+        Link::new(LatencyModel::LogNormal {
+            median_ms: 40.0,
+            sigma: 0.6,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant(17);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), 17);
+        }
+        assert_eq!(m.median(), 17.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let m = LatencyModel::Uniform { lo: 5, hi: 15 };
+        let mut r = rng();
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..2000 {
+            let v = m.sample(&mut r);
+            assert!((5..=15).contains(&v));
+            seen_low |= v <= 7;
+            seen_high |= v >= 13;
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn lognormal_median_close_to_parameter() {
+        let m = LatencyModel::LogNormal {
+            median_ms: 25.0,
+            sigma: 0.5,
+        };
+        let mut r = rng();
+        let mut samples: Vec<u64> = (0..20_000).map(|_| m.sample(&mut r)).collect();
+        samples.sort_unstable();
+        let med = samples[samples.len() / 2] as f64;
+        assert!((20.0..30.0).contains(&med), "median {med}");
+        // Heavy right tail: p99 well above median.
+        let p99 = samples[(samples.len() as f64 * 0.99) as usize] as f64;
+        assert!(p99 > med * 2.0, "p99 {p99} vs median {med}");
+    }
+
+    #[test]
+    fn empirical_samples_from_set() {
+        let m = LatencyModel::Empirical(vec![3, 9, 27]);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!([3u64, 9, 27].contains(&m.sample(&mut r)));
+        }
+        assert_eq!(LatencyModel::Empirical(vec![]).sample(&mut r), 0);
+    }
+
+    #[test]
+    fn link_adds_service_time() {
+        let link = Link {
+            latency: LatencyModel::Constant(10),
+            service_ms: 3,
+        };
+        let mut r = rng();
+        assert_eq!(link.delay(&mut r), 13);
+        assert_eq!(link.rtt(&mut r), 26);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = LatencyModel::LogNormal {
+            median_ms: 25.0,
+            sigma: 0.5,
+        };
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..20).map(|_| m.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..20).map(|_| m.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiles_have_expected_ordering() {
+        // Proxy hop should be closer than direct ledger access.
+        assert!(
+            profiles::browser_to_proxy().latency.median()
+                < profiles::browser_to_ledger().latency.median()
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Technology Ecosystem Transformation (TET) adoption dynamics.
+//!
+//! The paper's central systems-economics claim (§1, §4.1, §4.4): a
+//! bootstrap deployment by browser first-movers grows the claimed-photo
+//! population until "the ecosystem incentives … kick in and the major
+//! content aggregators would support IRS" — via two channels:
+//!
+//! 1. **competitive advantage**: "for those companies branding themselves
+//!    as 'pro-privacy' this would be seen as a competitive advantage";
+//! 2. **legal liability**: "their lack of support could become a legal
+//!    liability (e.g., if a claimed and revoked picture were shown by an
+//!    aggregator, and harm resulted, the aggregator could potentially be
+//!    sued because the owner's intent was clearly knowable)".
+//!
+//! This module makes those forces an explicit deterministic dynamical
+//! system so experiment E11 can sweep its parameters and locate the
+//! incumbent flip threshold (the paper estimates it near the bootstrap
+//! design's ~100 B-photo capacity ceiling).
+
+pub mod model;
+
+pub use model::{Actor, AdoptionModel, ModelParams, SimulationResult, StepState};

@@ -1,0 +1,26 @@
+//! Workload generation for IRS experiments.
+//!
+//! The paper argues from assumptions about *usage patterns* (§4.4): "a
+//! high fraction of *total* photos will be revoked" (auto-register-revoked
+//! cameras) while "a very high fraction of *viewed* photos are *not*
+//! revoked" (public photos shared deliberately). This crate turns those
+//! assumptions into explicit, parameterized generators:
+//!
+//! * [`samplers`] — Zipf (table-based), exponential, Pareto, and Bernoulli
+//!   helpers, all deterministic under seeded RNGs;
+//! * [`population`] — the claimed-photo universe, partitioned into a
+//!   *public* pool (viewable, mostly unrevoked) and a *private* pool
+//!   (auto-registered and revoked, never legitimately viewed);
+//! * [`pages`] — web-page models (pinterest-like grids, articles,
+//!   galleries) whose resources the browser pipeline loads;
+//! * [`trace`] — view/scroll traces: who views which photo when.
+
+pub mod pages;
+pub mod population;
+pub mod samplers;
+pub mod trace;
+
+pub use pages::{PageModel, Resource, ResourceKind};
+pub use population::{PhotoMeta, PhotoPopulation, PopulationConfig};
+pub use samplers::Zipf;
+pub use trace::{ViewEvent, ViewTraceConfig};

@@ -1,0 +1,144 @@
+//! View traces: who views which photo, when.
+//!
+//! Drives the proxy/ledger load experiments (E5, E13): a population of
+//! users generates Poisson-arriving photo views with Zipf popularity over
+//! the public pool.
+
+use crate::population::{PhotoMeta, PhotoPopulation};
+use crate::samplers::{exponential_ms, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One photo-view event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ViewEvent {
+    /// Event time (ms since trace start).
+    pub at_ms: u64,
+    /// Viewing user (0-based).
+    pub user: u32,
+    /// The photo viewed.
+    pub photo: PhotoMeta,
+}
+
+/// Trace shape parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ViewTraceConfig {
+    /// Number of users.
+    pub users: u32,
+    /// Mean think time between one user's views (ms).
+    pub mean_interval_ms: f64,
+    /// Popularity skew over the public pool.
+    pub zipf_theta: f64,
+    /// Trace duration (ms).
+    pub duration_ms: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ViewTraceConfig {
+    fn default() -> Self {
+        ViewTraceConfig {
+            users: 100,
+            mean_interval_ms: 2_000.0,
+            zipf_theta: 0.9,
+            duration_ms: 60_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate the full trace, sorted by time.
+pub fn generate(config: &ViewTraceConfig, population: &PhotoPopulation) -> Vec<ViewEvent> {
+    let zipf = Zipf::new(population.public_count().max(1) as usize, config.zipf_theta);
+    let mut events = Vec::new();
+    for user in 0..config.users {
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .wrapping_add(user as u64),
+        );
+        let mut t = exponential_ms(&mut rng, config.mean_interval_ms);
+        while t < config.duration_ms {
+            let rank = zipf.sample(&mut rng) as u64;
+            events.push(ViewEvent {
+                at_ms: t,
+                user,
+                photo: population.public_photo_by_rank(rank),
+            });
+            t += exponential_ms(&mut rng, config.mean_interval_ms).max(1);
+        }
+    }
+    events.sort_by_key(|e| (e.at_ms, e.user));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+
+    fn pop() -> PhotoPopulation {
+        PhotoPopulation::new(PopulationConfig {
+            total: 10_000,
+            ..PopulationConfig::default()
+        })
+    }
+
+    fn cfg() -> ViewTraceConfig {
+        ViewTraceConfig {
+            users: 20,
+            mean_interval_ms: 500.0,
+            duration_ms: 30_000,
+            ..ViewTraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_is_sorted_and_bounded() {
+        let events = generate(&cfg(), &pop());
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert!(events.iter().all(|e| e.at_ms < 30_000));
+        assert!(events.iter().all(|e| e.user < 20));
+    }
+
+    #[test]
+    fn expected_volume() {
+        let events = generate(&cfg(), &pop());
+        // 20 users × 30s / 0.5s ≈ 1200 events; allow wide variance.
+        assert!(
+            (700..1800).contains(&events.len()),
+            "events {}",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn views_hit_public_pool_only() {
+        let events = generate(&cfg(), &pop());
+        assert!(events.iter().all(|e| e.photo.public));
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let events = generate(&cfg(), &pop());
+        use std::collections::HashMap;
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for e in &events {
+            *counts.entry(e.photo.id.serial).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let distinct = counts.len() as u64;
+        // Skew: the hottest photo is viewed far above the average rate.
+        let avg = events.len() as u64 / distinct;
+        assert!(max > avg * 3, "max {max} avg {avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&cfg(), &pop());
+        let b = generate(&cfg(), &pop());
+        assert_eq!(a, b);
+    }
+}

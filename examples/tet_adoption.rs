@@ -1,0 +1,75 @@
+//! The TET argument, simulated: watch the bootstrap grow the claimed-photo
+//! population until the incumbent aggregators flip (§1, §4.1, §4.4).
+//!
+//! ```sh
+//! cargo run --example tet_adoption
+//! ```
+
+use irs::tet::AdoptionModel;
+
+fn main() {
+    let model = AdoptionModel::with_defaults();
+    let result = model.run();
+
+    println!("actors: {}", model
+        .actors
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect::<Vec<_>>()
+        .join(", "));
+    println!();
+    println!("{:>5}  {:>9}  {:>14}  adoption", "month", "browsers", "claimed photos");
+    let mut last_adopted = 0;
+    for s in &result.timeline {
+        let adopted: Vec<&str> = s
+            .adopted
+            .iter()
+            .zip(model.actors.iter())
+            .filter(|(a, _)| **a)
+            .map(|(_, actor)| actor.name.as_str())
+            .collect();
+        // Print quarterly, plus every month where an adoption happened.
+        if s.month % 3 == 0 || adopted.len() != last_adopted {
+            println!(
+                "{:>5}  {:>8.1}%  {:>14.2e}  {}",
+                s.month,
+                s.browser_share * 100.0,
+                s.claimed_photos,
+                adopted.join(" + ")
+            );
+        }
+        last_adopted = adopted.len();
+        if result.fully_transformed()
+            && result
+                .adoption_month
+                .iter()
+                .flatten()
+                .all(|&m| m <= s.month)
+            && s.month
+                > result
+                    .adoption_month
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .max()
+                    .unwrap_or(0)
+                + 6
+        {
+            break;
+        }
+    }
+    println!();
+    for (i, actor) in model.actors.iter().enumerate() {
+        match (result.adoption_month[i], result.adoption_population[i]) {
+            (Some(m), Some(p)) => {
+                println!("{:<16} adopted in month {m} at {p:.2e} claimed photos", actor.name)
+            }
+            _ => println!("{:<16} never adopted within the horizon", actor.name),
+        }
+    }
+    println!();
+    println!(
+        "paper: \"once the population … reaches anywhere close to 100 billion photos, \
+         the ecosystem incentives will start to kick in\""
+    );
+}

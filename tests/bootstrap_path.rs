@@ -1,0 +1,196 @@
+//! Integration of the bootstrap phase (§4): ledger filter publication →
+//! proxy filter set (full + delta refresh) → browser validation through
+//! the proxy, with the load and privacy properties the paper claims.
+
+use irs::browser::{BrowserValidator, ValidationPlan};
+use irs::ledger::service::{FilterPublisher, FilterUpdate};
+use irs::ledger::{Ledger, LedgerConfig};
+use irs::protocol::ids::LedgerId;
+use irs::protocol::photo::LabelReading;
+use irs::protocol::policy::{ValidationOutcome, ViewerPolicy};
+use irs::protocol::time::TimeMs;
+use irs::protocol::wire::{Request, Response};
+use irs::protocol::{Camera, RevokeRequest, TimestampAuthority};
+use irs::proxy::{IrsProxy, LookupOutcome, ProxyConfig};
+
+/// Claim `n` photos on the ledger; revoke those whose index is in
+/// `revoke`. Returns (ids, keypairs).
+fn populate(
+    ledger: &mut Ledger,
+    n: usize,
+    revoke: impl Fn(usize) -> bool,
+) -> Vec<(irs::protocol::ids::RecordId, irs::crypto::Keypair)> {
+    let mut cam = Camera::new(7, 128, 128);
+    let mut out = Vec::new();
+    for i in 0..n {
+        let shot = cam.capture(i as u64);
+        let Response::Claimed { id, .. } =
+            ledger.handle(Request::Claim(shot.claim), TimeMs(i as u64))
+        else {
+            panic!("claim failed");
+        };
+        if revoke(i) {
+            let rv = RevokeRequest::create(&shot.keypair, id, true, 0);
+            ledger.handle(Request::Revoke(rv), TimeMs(i as u64 + 1));
+        }
+        out.push((id, shot.keypair));
+    }
+    out
+}
+
+#[test]
+fn filter_pipeline_full_then_delta_roundtrip() {
+    let mut ledger = Ledger::new(
+        LedgerConfig::new(LedgerId(1)),
+        TimestampAuthority::from_seed(1),
+    );
+    let records = populate(&mut ledger, 50, |i| i % 10 == 0); // 5 revoked
+    let mut publisher = FilterPublisher::new();
+    let mut proxy = IrsProxy::new(ProxyConfig::default());
+
+    // Hour 1: full snapshot.
+    match publisher.publish(&mut ledger) {
+        FilterUpdate::Full { version, data } => {
+            proxy.filters.apply_full(LedgerId(1), version, data).unwrap();
+        }
+        other => panic!("expected full, got {other:?}"),
+    }
+    assert_eq!(proxy.filters.version(LedgerId(1)), 1);
+
+    // Revoked records hit the filter; unrevoked ones miss.
+    for (i, (id, _)) in records.iter().enumerate() {
+        let outcome = proxy.lookup(*id, TimeMs(1_000));
+        if i % 10 == 0 {
+            assert_eq!(
+                outcome,
+                LookupOutcome::NeedsLedgerQuery,
+                "revoked record {i} must be checked"
+            );
+        }
+        // (Unrevoked records may rarely false-positive; no assertion.)
+    }
+
+    // Hour 2: more revocations arrive; the delta carries them.
+    for (i, (id, kp)) in records.iter().enumerate() {
+        if i % 10 == 5 {
+            let (_, epoch) = ledger.store().status(id).unwrap();
+            let rv = RevokeRequest::create(kp, *id, true, epoch);
+            ledger.handle(Request::Revoke(rv), TimeMs(2_000));
+        }
+    }
+    match publisher.publish(&mut ledger) {
+        FilterUpdate::Delta {
+            from_version,
+            to_version,
+            data,
+            full_bytes,
+        } => {
+            assert!(
+                data.len() < full_bytes / 4,
+                "delta {} vs full {} bytes",
+                data.len(),
+                full_bytes
+            );
+            proxy
+                .filters
+                .apply_delta(LedgerId(1), from_version, to_version, data)
+                .unwrap();
+        }
+        other => panic!("expected delta, got {other:?}"),
+    }
+    // The newly revoked records now hit.
+    for (i, (id, _)) in records.iter().enumerate() {
+        if i % 10 == 5 {
+            assert_eq!(
+                proxy.lookup(*id, TimeMs(3_000)),
+                LookupOutcome::NeedsLedgerQuery,
+                "newly revoked record {i} must hit the refreshed filter"
+            );
+        }
+    }
+}
+
+#[test]
+fn browser_proxy_ledger_validation_chain() {
+    let mut ledger = Ledger::new(
+        LedgerConfig::new(LedgerId(1)),
+        TimestampAuthority::from_seed(2),
+    );
+    let records = populate(&mut ledger, 30, |i| i == 3);
+    let mut publisher = FilterPublisher::new();
+    let mut proxy = IrsProxy::new(ProxyConfig::default());
+    let FilterUpdate::Full { version, data } = publisher.publish(&mut ledger) else {
+        panic!("full expected");
+    };
+    proxy.filters.apply_full(LedgerId(1), version, data).unwrap();
+
+    let mut validator = BrowserValidator::new(ViewerPolicy::default(), 128, 60_000);
+    let mut ledger_queries = 0u64;
+
+    // Browse every photo once (well-labeled).
+    for (id, _) in &records {
+        let reading = LabelReading {
+            metadata_id: Some(*id),
+            watermark_id: Some(*id),
+        };
+        let outcome = match validator.plan(&reading, TimeMs(5_000)) {
+            ValidationPlan::Local(o) => o,
+            ValidationPlan::AskProxy(qid) => match proxy.lookup(qid, TimeMs(5_000)) {
+                LookupOutcome::NotRevokedByFilter => ValidationOutcome::Valid(qid),
+                LookupOutcome::Cached(st) => validator.complete(qid, st, TimeMs(5_000)),
+                LookupOutcome::NeedsLedgerQuery => {
+                    ledger_queries += 1;
+                    let Response::Status { status, .. } =
+                        ledger.handle(Request::Query { id: qid }, TimeMs(5_000))
+                    else {
+                        panic!("query failed");
+                    };
+                    proxy.complete(qid, status, TimeMs(5_000));
+                    validator.complete(qid, status, TimeMs(5_000))
+                }
+            },
+        };
+        if *id == records[3].0 {
+            assert_eq!(outcome, ValidationOutcome::Revoked(*id));
+        } else {
+            assert_eq!(outcome, ValidationOutcome::Valid(*id));
+        }
+    }
+    // Load: only the revoked photo (plus rare false positives) reached
+    // the ledger.
+    assert!(
+        ledger_queries <= 3,
+        "{ledger_queries} ledger queries for 30 views"
+    );
+}
+
+#[test]
+fn in_browser_filter_cuts_proxy_traffic() {
+    // §4.4's early-adoption variant: the browser itself holds the filter.
+    let mut ledger = Ledger::new(
+        LedgerConfig::new(LedgerId(1)),
+        TimestampAuthority::from_seed(3),
+    );
+    let records = populate(&mut ledger, 40, |i| i == 0);
+    ledger.publish_filter();
+    let filter = ledger.published_filter().unwrap().clone();
+
+    let mut with_filter = BrowserValidator::new(ViewerPolicy::default(), 128, 60_000);
+    with_filter.install_filter(filter);
+    let mut without = BrowserValidator::new(ViewerPolicy::default(), 128, 60_000);
+
+    for (id, _) in &records {
+        let reading = LabelReading {
+            metadata_id: Some(*id),
+            watermark_id: Some(*id),
+        };
+        let _ = with_filter.plan(&reading, TimeMs(0));
+        let _ = without.plan(&reading, TimeMs(0));
+    }
+    assert!(
+        with_filter.stats.proxy_queries <= 2,
+        "filtered browser sent {} queries",
+        with_filter.stats.proxy_queries
+    );
+    assert_eq!(without.stats.proxy_queries, 40);
+}

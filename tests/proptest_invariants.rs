@@ -1,0 +1,171 @@
+//! Property-based tests on cross-cutting invariants.
+
+use bytes::Bytes;
+use irs::crypto::Keypair;
+use irs::filters::delta::BloomDelta;
+use irs::filters::{BloomFilter, CountingBloom, Filter, Fuse8, Xor8};
+use irs::protocol::ids::{LedgerId, RecordId};
+use irs::protocol::time::TimeMs;
+use irs::protocol::wire::{Request, Response, Wire};
+use irs::proxy::LruTtlCache;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every filter family: no false negatives, ever.
+    #[test]
+    fn filters_have_no_false_negatives(keys in prop::collection::hash_set(any::<u64>(), 1..400)) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut bloom = BloomFilter::for_capacity(keys.len() as u64, 0.01).unwrap();
+        let mut counting = CountingBloom::for_capacity(keys.len() as u64, 0.01).unwrap();
+        for &k in &keys {
+            bloom.insert(k);
+            counting.insert(k);
+        }
+        let xor = Xor8::build(&keys).unwrap();
+        let fuse = Fuse8::build(&keys).unwrap();
+        for &k in &keys {
+            prop_assert!(bloom.contains(k));
+            prop_assert!(counting.contains(k));
+            prop_assert!(xor.contains(k));
+            prop_assert!(fuse.contains(k));
+        }
+    }
+
+    /// Counting filter: removing a subset never loses the rest.
+    #[test]
+    fn counting_bloom_removal_preserves_others(
+        keys in prop::collection::hash_set(any::<u64>(), 2..200),
+        remove_fraction in 0.0f64..0.9,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut f = CountingBloom::for_capacity(keys.len() as u64, 0.01).unwrap();
+        for &k in &keys {
+            f.insert(k);
+        }
+        let cut = ((keys.len() as f64) * remove_fraction) as usize;
+        for &k in &keys[..cut] {
+            f.remove(k);
+        }
+        for &k in &keys[cut..] {
+            prop_assert!(f.contains(k), "kept key lost after removals");
+        }
+    }
+
+    /// Bloom delta: diff-then-apply reproduces the target exactly.
+    #[test]
+    fn bloom_delta_roundtrip(
+        old_keys in prop::collection::vec(any::<u64>(), 0..200),
+        new_keys in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut old = BloomFilter::with_params(1 << 12, 4, 9).unwrap();
+        for &k in &old_keys {
+            old.insert(k);
+        }
+        let mut new = old.clone();
+        for &k in &new_keys {
+            new.insert(k);
+        }
+        let delta = BloomDelta::diff(&old, &new).unwrap();
+        let decoded = BloomDelta::from_bytes(delta.to_bytes()).unwrap();
+        let mut patched = old.clone();
+        decoded.apply(&mut patched).unwrap();
+        prop_assert_eq!(patched, new);
+    }
+
+    /// RecordId: payload and text encodings roundtrip; corruption detected.
+    #[test]
+    fn record_id_roundtrips(ledger in any::<u16>(), serial in any::<u64>(), flip_bit in 0usize..96) {
+        let id = RecordId::new(LedgerId(ledger), serial);
+        prop_assert_eq!(RecordId::from_payload(&id.to_payload()), Some(id));
+        prop_assert_eq!(RecordId::parse(&id.to_string()), Some(id));
+        // Single-bit corruption always caught (CRC-16 catches all 1-bit
+        // errors).
+        let mut payload = id.to_payload();
+        payload[flip_bit / 8] ^= 1 << (flip_bit % 8);
+        prop_assert_eq!(RecordId::from_payload(&payload), None);
+    }
+
+    /// Wire codec: encode→decode is the identity for arbitrary requests.
+    #[test]
+    fn wire_request_roundtrip(
+        tag in 0u8..5,
+        serial in any::<u64>(),
+        version in any::<u64>(),
+        seed in any::<u8>(),
+        revoke in any::<bool>(),
+        batch in prop::collection::vec(any::<u64>(), 0..20),
+    ) {
+        let kp = Keypair::from_seed(&[seed; 32]);
+        let id = RecordId::new(LedgerId(1), serial);
+        let req = match tag {
+            0 => Request::Ping,
+            1 => Request::Query { id },
+            2 => Request::GetFilter { have_version: version },
+            3 => Request::Revoke(irs::protocol::RevokeRequest::create(&kp, id, revoke, version)),
+            _ => Request::Batch(batch.iter().map(|&s| RecordId::new(LedgerId(2), s)).collect()),
+        };
+        let decoded = Request::from_bytes(req.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, req);
+    }
+
+    /// Wire codec: arbitrary bytes never panic the decoder.
+    #[test]
+    fn wire_decoder_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Request::from_bytes(Bytes::from(bytes.clone()));
+        let _ = Response::from_bytes(Bytes::from(bytes));
+    }
+
+    /// LRU cache against a model: a hit always returns the last inserted
+    /// value, and size never exceeds capacity.
+    #[test]
+    fn lru_matches_reference_model(
+        ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..300),
+        capacity in 1usize..20,
+    ) {
+        let mut cache: LruTtlCache<u8, u64> = LruTtlCache::new(capacity, u64::MAX / 2);
+        let mut model: std::collections::HashMap<u8, u64> = std::collections::HashMap::new();
+        for (step, (key, is_insert)) in ops.into_iter().enumerate() {
+            let now = TimeMs(step as u64);
+            if is_insert {
+                cache.insert(key, step as u64, now);
+                model.insert(key, step as u64);
+            } else if let Some(v) = cache.get(&key, now) {
+                // A cache hit must agree with the model (evictions may
+                // drop entries, but never corrupt them).
+                prop_assert_eq!(Some(&v), model.get(&key));
+            }
+            prop_assert!(cache.len() <= capacity);
+        }
+    }
+
+    /// Ed25519: signatures verify, and any single-byte corruption fails.
+    #[test]
+    fn signature_soundness(seed in any::<u8>(), msg in prop::collection::vec(any::<u8>(), 0..100), at_byte in 0usize..64) {
+        let kp = Keypair::from_seed(&[seed; 32]);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public.verify_ok(&msg, &sig));
+        let mut bad = sig;
+        bad.0[at_byte] ^= 0x01;
+        prop_assert!(!kp.public.verify_ok(&msg, &bad));
+    }
+
+    /// Watermark payload coding: decode(encode(x)) == x with up to one bit
+    /// flip per codeword.
+    #[test]
+    fn ecc_corrects_scattered_errors(
+        payload in prop::collection::vec(any::<u8>(), 12..13),
+        flips in prop::collection::hash_set(0usize..32, 0..6),
+    ) {
+        let mut bits = irs::imaging::ecc::encode(&payload);
+        // Flip at most one bit per 7-bit codeword.
+        for cw in flips {
+            let idx = cw * 7 + (cw % 7);
+            if idx < bits.len() {
+                bits[idx] ^= true;
+            }
+        }
+        prop_assert_eq!(irs::imaging::ecc::decode(&bits, 12), Some(payload));
+    }
+}

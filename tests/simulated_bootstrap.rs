@@ -1,0 +1,235 @@
+//! The bootstrap phase as a *discrete-event* simulation: browser check
+//! events flow through link delays to the proxy, filter misses flow on to
+//! the ledger, and responses flow back — all on the `irs-simnet` event
+//! loop with the real `IrsProxy` and `Ledger` instances making every
+//! decision. Validates that the sans-io components compose under
+//! event-driven scheduling exactly as they do under the analytic loops.
+
+use irs::filters::BloomFilter;
+use irs::ledger::{Ledger, LedgerConfig};
+use irs::protocol::ids::LedgerId;
+use irs::protocol::time::TimeMs;
+use irs::protocol::wire::{Request, Response};
+use irs::protocol::{Camera, RevocationStatus, RevokeRequest, TimestampAuthority};
+use irs::proxy::{IrsProxy, LookupOutcome, ProxyConfig};
+use irs::simnet::{Histogram, LatencyModel, Link, Sim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct World {
+    ledger: Ledger,
+    proxy: IrsProxy,
+    rng: StdRng,
+    browser_proxy: Link,
+    proxy_ledger: Link,
+    check_latency: Histogram,
+    blocked: u32,
+    completed: u32,
+}
+
+fn build_world() -> (World, Vec<irs::protocol::ids::RecordId>) {
+    let mut ledger = Ledger::new(
+        LedgerConfig::new(LedgerId(1)),
+        TimestampAuthority::from_seed(77),
+    );
+    let mut cam = Camera::new(77, 96, 96);
+    let mut ids = Vec::new();
+    for i in 0..60u64 {
+        let shot = cam.capture(i);
+        let Response::Claimed { id, .. } = ledger.handle(Request::Claim(shot.claim), TimeMs(i))
+        else {
+            panic!("claim failed");
+        };
+        if i % 12 == 0 {
+            let rv = RevokeRequest::create(&shot.keypair, id, true, 0);
+            ledger.handle(Request::Revoke(rv), TimeMs(i + 1));
+        }
+        ids.push(id);
+    }
+    ledger.publish_filter();
+    let filter_bytes = ledger.published_filter().unwrap().to_bytes();
+    let mut proxy = IrsProxy::new(ProxyConfig::default());
+    proxy
+        .filters
+        .apply_full(LedgerId(1), 1, filter_bytes)
+        .unwrap();
+    (
+        World {
+            ledger,
+            proxy,
+            rng: StdRng::seed_from_u64(1),
+            browser_proxy: Link::new(LatencyModel::LogNormal {
+                median_ms: 10.0,
+                sigma: 0.4,
+            }),
+            proxy_ledger: Link::new(LatencyModel::LogNormal {
+                median_ms: 25.0,
+                sigma: 0.5,
+            }),
+            check_latency: Histogram::new(),
+            blocked: 0,
+            completed: 0,
+        },
+        ids,
+    )
+}
+
+/// One check, fully event-driven: browser → proxy → (maybe ledger) → back.
+fn issue_check(sim: &mut Sim<World>, id: irs::protocol::ids::RecordId, issued_at: TimeMs) {
+    let to_proxy = sim.world.browser_proxy.delay(&mut sim.world.rng);
+    sim.schedule_in(to_proxy, move |sim| {
+        // Arrives at the proxy.
+        let now = sim.now();
+        match sim.world.proxy.lookup(id, now) {
+            LookupOutcome::NotRevokedByFilter => {
+                let back = sim.world.browser_proxy.delay(&mut sim.world.rng);
+                sim.schedule_in(back, move |sim| {
+                    finish(sim, id, issued_at, RevocationStatus::NotRevoked);
+                });
+            }
+            LookupOutcome::Cached(status) => {
+                let back = sim.world.browser_proxy.delay(&mut sim.world.rng);
+                sim.schedule_in(back, move |sim| {
+                    finish(sim, id, issued_at, status);
+                });
+            }
+            LookupOutcome::NeedsLedgerQuery => {
+                let to_ledger = sim.world.proxy_ledger.delay(&mut sim.world.rng);
+                sim.schedule_in(to_ledger, move |sim| {
+                    // Arrives at the ledger.
+                    let now = sim.now();
+                    let response = sim.world.ledger.handle(Request::Query { id }, now);
+                    let status = match response {
+                        Response::Status { status, .. } => status,
+                        _ => RevocationStatus::NotRevoked,
+                    };
+                    let back = sim.world.proxy_ledger.delay(&mut sim.world.rng)
+                        + sim.world.browser_proxy.delay(&mut sim.world.rng);
+                    sim.schedule_in(back, move |sim| {
+                        let now = sim.now();
+                        sim.world.proxy.complete(id, status, now);
+                        finish(sim, id, issued_at, status);
+                    });
+                });
+            }
+        }
+    });
+}
+
+fn finish(
+    sim: &mut Sim<World>,
+    _id: irs::protocol::ids::RecordId,
+    issued_at: TimeMs,
+    status: RevocationStatus,
+) {
+    let now = sim.now();
+    sim.world.check_latency.record(now.since(issued_at));
+    sim.world.completed += 1;
+    if !status.allows_viewing() {
+        sim.world.blocked += 1;
+    }
+}
+
+#[test]
+fn event_driven_bootstrap_browse() {
+    let (world, ids) = build_world();
+    let mut sim = Sim::new(world);
+
+    // 300 checks staggered over 30 simulated seconds, Zipf-free round
+    // robin (coverage matters here, not popularity).
+    for k in 0..300u64 {
+        let id = ids[(k % ids.len() as u64) as usize];
+        sim.schedule_at(TimeMs(k * 100), move |sim| {
+            let issued_at = sim.now();
+            issue_check(sim, id, issued_at);
+        });
+    }
+    sim.run();
+
+    let world = &mut sim.world;
+    assert_eq!(world.completed, 300, "every check must complete");
+    // 5 of 60 ids are revoked; each appears 5 times in 300 round-robin
+    // checks.
+    assert_eq!(world.blocked, 25, "revoked photos blocked every time");
+
+    let s = world.check_latency.summary();
+    // Filter answers (1 proxy RTT ≈ 20 ms) dominate; ledger round trips
+    // (≈ 90 ms) are the tail.
+    assert!(s.p50 <= 40, "p50 {} should be a proxy round trip", s.p50);
+    assert!(s.max >= 50, "some checks must have reached the ledger");
+
+    let stats = world.proxy.stats;
+    assert_eq!(stats.lookups, 300);
+    assert!(
+        stats.ledger_queries < 60,
+        "filter + cache must absorb most of the 300 lookups (got {})",
+        stats.ledger_queries
+    );
+    // Determinism: the same build re-run produces identical results.
+    let (world2, ids2) = build_world();
+    let mut sim2 = Sim::new(world2);
+    for k in 0..300u64 {
+        let id = ids2[(k % ids2.len() as u64) as usize];
+        sim2.schedule_at(TimeMs(k * 100), move |sim| {
+            let issued_at = sim.now();
+            issue_check(sim, id, issued_at);
+        });
+    }
+    sim2.run();
+    assert_eq!(
+        sim2.world.check_latency.summary(),
+        sim.world.check_latency.summary(),
+        "bit-reproducible runs"
+    );
+}
+
+#[test]
+fn event_driven_revocation_propagates_within_cache_ttl() {
+    // A photo validated (and cached) as NotRevoked is revoked mid-session;
+    // after the proxy cache TTL the event-driven path must start blocking.
+    let (mut world, ids) = build_world();
+    world.proxy = IrsProxy::new(ProxyConfig {
+        cache_capacity: 1024,
+        cache_ttl_ms: 5_000,
+    });
+    // Fresh proxy has no filter → every check goes to the ledger (worst
+    // case for staleness, best case for this test's clarity).
+    let victim = ids[1]; // not initially revoked
+    let mut sim = Sim::new(world);
+
+    // Check at t=0 (NotRevoked), revoke at t=1000, re-check at t=2s
+    // (cached stale NotRevoked would need the filter... no filter here,
+    // so cache holds it), re-check at t=10s (TTL expired → Revoked).
+    sim.schedule_at(TimeMs(0), move |sim| {
+        issue_check(sim, victim, TimeMs(0));
+    });
+    sim.schedule_at(TimeMs(1_000), move |sim| {
+        // Owner revokes directly at the ledger. We need the record's key;
+        // recreate the camera deterministically.
+        let mut cam = Camera::new(77, 96, 96);
+        let mut keypair = None;
+        for i in 0..60u64 {
+            let shot = cam.capture(i);
+            if i == victim.serial {
+                keypair = Some(shot.keypair);
+            }
+        }
+        let (_, epoch) = sim.world.ledger.store().status(&victim).unwrap();
+        let rv = RevokeRequest::create(&keypair.unwrap(), victim, true, epoch);
+        let now = sim.now();
+        sim.world.ledger.handle(Request::Revoke(rv), now);
+    });
+    sim.schedule_at(TimeMs(2_000), move |sim| {
+        issue_check(sim, victim, TimeMs(2_000));
+    });
+    sim.schedule_at(TimeMs(10_000), move |sim| {
+        issue_check(sim, victim, TimeMs(10_000));
+    });
+    sim.run();
+
+    // Check 1: NotRevoked. Check 2: cache hit, stale NotRevoked (the
+    // bounded staleness Nongoal #4 tolerates). Check 3: TTL expired →
+    // fresh ledger answer → blocked.
+    assert_eq!(sim.world.completed, 3);
+    assert_eq!(sim.world.blocked, 1, "revocation visible after TTL");
+}
