@@ -2,8 +2,6 @@
 
 use crate::directory::LedgerDirectory;
 use irs_core::claim::ClaimRequest;
-#[cfg(test)]
-use irs_core::claim::RevocationStatus;
 use irs_core::freshness::FreshnessProof;
 use irs_core::ids::{LedgerId, RecordId};
 use irs_core::photo::{LabelState, PhotoFile};
@@ -192,9 +190,9 @@ impl Aggregator {
                     _ => (None, photo),
                 };
                 let key = self.host(photo, record, now);
-                let decision = UploadDecision::Accepted(record.filter(|_| {
-                    matches!(reading.state(), LabelState::Unlabeled)
-                }));
+                let decision = UploadDecision::Accepted(
+                    record.filter(|_| matches!(reading.state(), LabelState::Unlabeled)),
+                );
                 self.stats.accepted += 1;
                 (decision, Some(key))
             }
@@ -215,8 +213,7 @@ impl Aggregator {
         self.keygen.fill(&mut seed);
         let keypair = Keypair::from_seed(&seed);
         let request = ClaimRequest::create(&keypair, &photo.digest());
-        let Some((id, _tok)) =
-            ledgers.claim_custodial(self.config.home_ledger, request, now)
+        let Some((id, _tok)) = ledgers.claim_custodial(self.config.home_ledger, request, now)
         else {
             return Err(photo);
         };
@@ -292,14 +289,20 @@ impl Aggregator {
 
     /// Robust-hash scan: hosted content matching this photo whose record
     /// differs from `claimed_as`.
-    fn find_derivative(&mut self, photo: &PhotoFile, claimed_as: Option<RecordId>) -> Option<RecordId> {
+    fn find_derivative(
+        &mut self,
+        photo: &PhotoFile,
+        claimed_as: Option<RecordId>,
+    ) -> Option<RecordId> {
         if !self.config.derivative_check {
             return None;
         }
         self.stats.hash_computations += 1;
         let hash = dct_hash_256(&photo.image);
         for (key, existing_hash) in &self.hash_db {
-            if self.matcher.verdict(irs_imaging::phash::hamming256(&hash, existing_hash))
+            if self
+                .matcher
+                .verdict(irs_imaging::phash::hamming256(&hash, existing_hash))
                 == MatchVerdict::Derived
             {
                 if let Some(hosted) = self.hosted.get(key) {
@@ -389,7 +392,11 @@ mod tests {
     }
 
     /// Owner claims + labels a photo on ledger 1.
-    fn owner_photo(ledgers: &mut LocalLedgers, cam_seed: u64, revoke: bool) -> (PhotoFile, RecordId, Keypair) {
+    fn owner_photo(
+        ledgers: &mut LocalLedgers,
+        cam_seed: u64,
+        revoke: bool,
+    ) -> (PhotoFile, RecordId, Keypair) {
         let mut cam = Camera::new(cam_seed, 256, 256);
         let shot = cam.capture(100);
         let ledger = ledgers.get_mut(LedgerId(1)).unwrap();
@@ -438,9 +445,7 @@ mod tests {
     #[test]
     fn unlabeled_upload_custodially_claimed() {
         let (mut agg, mut ledgers) = setup();
-        let photo = PhotoFile::new(
-            irs_imaging::PhotoGenerator::new(50).generate(0, 256, 256),
-        );
+        let photo = PhotoFile::new(irs_imaging::PhotoGenerator::new(50).generate(0, 256, 256));
         let (decision, key) = agg.upload(photo, &mut ledgers, TimeMs(1_000));
         let UploadDecision::Accepted(Some(custodial_id)) = decision else {
             panic!("expected custodial acceptance, got {decision:?}");
@@ -461,9 +466,7 @@ mod tests {
             custodial_claiming: false,
             ..AggregatorConfig::default()
         });
-        let photo = PhotoFile::new(
-            irs_imaging::PhotoGenerator::new(51).generate(0, 128, 128),
-        );
+        let photo = PhotoFile::new(irs_imaging::PhotoGenerator::new(51).generate(0, 128, 128));
         let (decision, _) = agg.upload(photo, &mut ledgers, TimeMs(1));
         assert_eq!(decision, UploadDecision::DeniedUnlabeled);
     }
@@ -476,7 +479,12 @@ mod tests {
         let key = key.unwrap();
         assert!(agg.serve(key).is_some());
         // Owner revokes after upload.
-        let (_, epoch) = ledgers.get(LedgerId(1)).unwrap().store().status(&id).unwrap();
+        let (_, epoch) = ledgers
+            .get(LedgerId(1))
+            .unwrap()
+            .store()
+            .status(&id)
+            .unwrap();
         let rv = irs_core::claim::RevokeRequest::create(&keypair, id, true, epoch);
         ledgers
             .get_mut(LedgerId(1))
@@ -490,7 +498,12 @@ mod tests {
         assert_eq!(r1.taken_down, 1);
         assert!(agg.serve(key).is_none());
         // Owner unrevokes; next sweep restores.
-        let (_, epoch) = ledgers.get(LedgerId(1)).unwrap().store().status(&id).unwrap();
+        let (_, epoch) = ledgers
+            .get(LedgerId(1))
+            .unwrap()
+            .store()
+            .status(&id)
+            .unwrap();
         let unrv = irs_core::claim::RevokeRequest::create(&keypair, id, false, epoch);
         ledgers
             .get_mut(LedgerId(1))
@@ -527,8 +540,9 @@ mod tests {
         let attacker_kp = Keypair::from_seed(&[77u8; 32]);
         let claim = ClaimRequest::create(&attacker_kp, &attacker_photo.digest());
         let ledger = ledgers.get_mut(LedgerId(1)).unwrap();
-        let Response::Claimed { id: attacker_id, .. } =
-            ledger.handle(Request::Claim(claim), TimeMs(2_000))
+        let Response::Claimed {
+            id: attacker_id, ..
+        } = ledger.handle(Request::Claim(claim), TimeMs(2_000))
         else {
             panic!("claim failed");
         };
@@ -549,20 +563,15 @@ mod tests {
         let shot = cam.capture(100);
         let camera_kp = shot.keypair.clone();
         let ledger = ledgers.get_mut(LedgerId(1)).unwrap();
-        let Response::Claimed { id, .. } =
-            ledger.handle(Request::Claim(shot.claim), TimeMs(100))
+        let Response::Claimed { id, .. } = ledger.handle(Request::Claim(shot.claim), TimeMs(100))
         else {
             panic!("claim failed");
         };
         let derivative = PhotoFile::new(
             shot.photo.image.resize(96, 96).unwrap(), // label-destroying edit
         );
-        let mut chain = ProvenanceChain::capture(
-            &camera_kp,
-            shot.photo.digest(),
-            Some(id),
-            TimeMs(100),
-        );
+        let mut chain =
+            ProvenanceChain::capture(&camera_kp, shot.photo.digest(), Some(id), TimeMs(100));
         let editor_kp = Keypair::from_seed(&[61u8; 32]);
         chain.append(
             &editor_kp,
@@ -594,11 +603,13 @@ mod tests {
             let (photo, id, kp) = owner_photo(&mut ledgers, 62, true); // revoked
             (photo, id, kp)
         };
-        let derivative = PhotoFile::new(
-            irs_imaging::PhotoGenerator::new(62).generate(9, 128, 128),
+        let derivative = PhotoFile::new(irs_imaging::PhotoGenerator::new(62).generate(9, 128, 128));
+        let mut chain = ProvenanceChain::capture(
+            &keypair,
+            irs_crypto::Digest::of(b"orig"),
+            Some(id),
+            TimeMs(1),
         );
-        let mut chain =
-            ProvenanceChain::capture(&keypair, irs_crypto::Digest::of(b"orig"), Some(id), TimeMs(1));
         chain.append(
             &keypair,
             derivative.digest(),
@@ -619,9 +630,7 @@ mod tests {
             (photo, id, kp)
         };
         // Chain whose final content does NOT match the upload.
-        let unrelated = PhotoFile::new(
-            irs_imaging::PhotoGenerator::new(63).generate(3, 160, 160),
-        );
+        let unrelated = PhotoFile::new(irs_imaging::PhotoGenerator::new(63).generate(3, 160, 160));
         let mut chain =
             ProvenanceChain::capture(&keypair, irs_crypto::Digest::of(b"x"), Some(id), TimeMs(1));
         chain.append(
@@ -631,8 +640,7 @@ mod tests {
             TimeMs(2),
         );
         // Falls back to plain rules: unlabeled → custodial claim.
-        let (decision, _) =
-            agg.upload_with_provenance(unrelated, &chain, &mut ledgers, TimeMs(10));
+        let (decision, _) = agg.upload_with_provenance(unrelated, &chain, &mut ledgers, TimeMs(10));
         assert!(matches!(decision, UploadDecision::Accepted(Some(custodial)) if custodial != id));
     }
 

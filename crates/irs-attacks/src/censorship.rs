@@ -7,16 +7,16 @@
 //! allow their revocation (and would deny the appeals process if it
 //! appeared the appeal was done under duress)."
 
-use irs_core::claim::{RevocationStatus, RevokeRequest};
 #[cfg(test)]
 use irs_core::claim::ClaimRequest;
+use irs_core::claim::{RevocationStatus, RevokeRequest};
 use irs_core::ids::LedgerId;
 use irs_core::time::TimeMs;
 use irs_core::tsa::TimestampAuthority;
 use irs_core::wire::{Request, Response};
-use irs_crypto::Keypair;
 #[cfg(test)]
 use irs_crypto::Digest;
+use irs_crypto::Keypair;
 use irs_ledger::{codes, Ledger, LedgerConfig, LedgerPolicy};
 
 /// Outcome of a coercion attempt.
@@ -40,9 +40,10 @@ pub fn coerce_revocation(
     let (_, epoch) = ledger.store().status(&id).expect("record exists");
     let rv = RevokeRequest::create(owner, id, true, epoch);
     match ledger.handle(Request::Revoke(rv), now) {
-        Response::RevokeAck { status, .. } if status == RevocationStatus::Revoked => {
-            CoercionOutcome::Revoked
-        }
+        Response::RevokeAck {
+            status: RevocationStatus::Revoked,
+            ..
+        } => CoercionOutcome::Revoked,
         Response::Error { code, .. } if code == codes::POLICY => CoercionOutcome::RefusedByPolicy,
         other => panic!("unexpected response {other:?}"),
     }

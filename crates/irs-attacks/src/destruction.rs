@@ -108,8 +108,7 @@ mod tests {
     fn metadata_strip_alone_is_self_defeating() {
         let (mut ledgers, mut agg) = setup();
         let labeled = labeled_photo(&mut ledgers);
-        let (attacked, report) =
-            destruction_attack(&labeled, &[], &WatermarkConfig::default());
+        let (attacked, report) = destruction_attack(&labeled, &[], &WatermarkConfig::default());
         assert!(report.watermark_survived, "no distortion applied");
         assert!(report.label_state_inconsistent);
         let decision =
@@ -122,8 +121,7 @@ mod tests {
         let (mut ledgers, mut agg) = setup();
         let labeled = labeled_photo(&mut ledgers);
         let ops = [Manipulation::Jpeg(70), Manipulation::Brightness(10)];
-        let (attacked, report) =
-            destruction_attack(&labeled, &ops, &WatermarkConfig::default());
+        let (attacked, report) = destruction_attack(&labeled, &ops, &WatermarkConfig::default());
         assert!(
             report.watermark_survived,
             "mild distortion must not kill the watermark"
@@ -145,8 +143,7 @@ mod tests {
             },
             Manipulation::Jpeg(5),
         ];
-        let (attacked, report) =
-            destruction_attack(&labeled, &ops, &WatermarkConfig::default());
+        let (attacked, report) = destruction_attack(&labeled, &ops, &WatermarkConfig::default());
         assert!(!report.watermark_survived, "heavy distortion should win");
         assert!(
             report.psnr_db < 25.0,
@@ -182,8 +179,7 @@ mod tests {
             },
             Manipulation::Jpeg(5),
         ];
-        let (attacked, report) =
-            destruction_attack(&labeled, &ops, &WatermarkConfig::default());
+        let (attacked, report) = destruction_attack(&labeled, &ops, &WatermarkConfig::default());
         assert!(!report.watermark_survived);
         let (decision, _) = agg.upload(attacked, &mut ledgers, TimeMs(1_000));
         assert!(matches!(decision, UploadDecision::Accepted(Some(_))));

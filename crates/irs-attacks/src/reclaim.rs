@@ -82,8 +82,10 @@ pub fn run_reclaim_scenario(config: &ReclaimConfig) -> ReclaimOutcome {
     let owner_keypair = shot.keypair.clone();
     let original_image = shot.photo.image.clone();
     let ledger = ledgers.get_mut(LedgerId(1)).unwrap();
-    let Response::Claimed { id: original_id, timestamp } =
-        ledger.handle(Request::Claim(shot.claim), TimeMs(100))
+    let Response::Claimed {
+        id: original_id,
+        timestamp,
+    } = ledger.handle(Request::Claim(shot.claim), TimeMs(100))
     else {
         panic!("owner claim failed");
     };
@@ -104,8 +106,9 @@ pub fn run_reclaim_scenario(config: &ReclaimConfig) -> ReclaimOutcome {
     let attacker_kp = Keypair::from_seed(&[200u8; 32]);
     let attacker_claim = ClaimRequest::create(&attacker_kp, &attacker_photo.digest());
     let ledger = ledgers.get_mut(LedgerId(1)).unwrap();
-    let Response::Claimed { id: attacker_id, .. } =
-        ledger.handle(Request::Claim(attacker_claim), TimeMs(5_000))
+    let Response::Claimed {
+        id: attacker_id, ..
+    } = ledger.handle(Request::Claim(attacker_claim), TimeMs(5_000))
     else {
         panic!("attacker claim failed");
     };
@@ -158,8 +161,10 @@ pub fn run_reclaim_scenario(config: &ReclaimConfig) -> ReclaimOutcome {
     }
     let (hardened_decision, _) =
         hardened_agg.upload(attacker_photo.clone(), &mut ledgers, TimeMs(6_300));
-    let derivative_check_caught_it =
-        matches!(hardened_decision, UploadDecision::DeniedDerivedFromClaimed(_));
+    let derivative_check_caught_it = matches!(
+        hardened_decision,
+        UploadDecision::DeniedDerivedFromClaimed(_)
+    );
 
     // t=10000: the owner notices the copy and appeals to the ledger.
     let evidence = wallet.appeal_evidence(&original_id).expect("evidence");

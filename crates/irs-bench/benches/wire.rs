@@ -25,11 +25,7 @@ fn bench_wire(c: &mut Criterion) {
         b.iter(|| Request::from_bytes(claim_bytes.clone()).unwrap())
     });
 
-    let batch = Request::Batch(
-        (0..100)
-            .map(|i| RecordId::new(LedgerId(1), i))
-            .collect(),
-    );
+    let batch = Request::Batch((0..100).map(|i| RecordId::new(LedgerId(1), i)).collect());
     c.bench_function("wire_roundtrip_batch100", |b| {
         b.iter(|| Request::from_bytes(batch.to_bytes()).unwrap())
     });

@@ -10,7 +10,10 @@ use crate::table::Table;
 use irs_tet::{AdoptionModel, ModelParams};
 
 fn flip_cell(result: &irs_tet::SimulationResult, actor: usize) -> String {
-    match (result.adoption_month[actor], result.adoption_population[actor]) {
+    match (
+        result.adoption_month[actor],
+        result.adoption_population[actor],
+    ) {
         (Some(month), Some(pop)) => format!("m{month} @ {pop:.1e}"),
         _ => "never".to_string(),
     }

@@ -105,7 +105,10 @@ mod tests {
     fn xor_beats_bloom_at_matched_fpr() {
         let out = super::run(true);
         let get_bpk = |name: &str| -> f64 {
-            let row = out.lines().find(|l| l.trim_start().starts_with(name)).unwrap();
+            let row = out
+                .lines()
+                .find(|l| l.trim_start().starts_with(name))
+                .unwrap();
             row.split_whitespace()
                 .nth(name.split_whitespace().count())
                 .unwrap()

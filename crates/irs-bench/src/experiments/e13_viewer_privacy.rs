@@ -199,7 +199,10 @@ mod tests {
         let out = super::run(true);
         let direct = out.lines().find(|l| l.contains("direct")).unwrap();
         assert!(direct.contains("100.00%"), "{direct}");
-        let proxied = out.lines().find(|l| l.trim_start().starts_with("proxied ")).unwrap();
+        let proxied = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("proxied "))
+            .unwrap();
         assert!(proxied.contains("0.00%"), "{proxied}");
     }
 }

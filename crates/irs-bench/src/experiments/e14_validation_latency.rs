@@ -152,7 +152,13 @@ fn run_load_coupling(quick: bool) -> String {
     let checks = if quick { 30_000u64 } else { 120_000 };
     let mut table = Table::new(
         "E14b — ledger queueing under aggregate check load (8 workers, ~5 ms service)",
-        &["arrival rate", "direct ρ", "direct p99 wait", "filtered ρ", "filtered p99 wait"],
+        &[
+            "arrival rate",
+            "direct ρ",
+            "direct p99 wait",
+            "filtered ρ",
+            "filtered p99 wait",
+        ],
     );
     for &rate_per_ms in &[0.5f64, 1.0, 1.4, 1.6] {
         let mut row = vec![format!("{rate_per_ms}/ms")];

@@ -22,7 +22,12 @@ use rand::{Rng, SeedableRng};
 /// A corpus of page shapes spanning light articles to heavy grids, with
 /// per-site bandwidth/latency variation to reproduce the Almanac's
 /// heavy-tailed completion distribution.
-fn corpus(n: usize, population: &PhotoPopulation, zipf: &Zipf, rng: &mut StdRng) -> Vec<(PageModel, NetworkParams)> {
+fn corpus(
+    n: usize,
+    population: &PhotoPopulation,
+    zipf: &Zipf,
+    rng: &mut StdRng,
+) -> Vec<(PageModel, NetworkParams)> {
     (0..n)
         .map(|_| {
             let images = rng.gen_range(6..60);
@@ -95,8 +100,7 @@ pub fn run(quick: bool) -> String {
             );
             let with = loader.load(page, &mut FixedCheck(rtt));
             added.record(with.page_delay());
-            ratio_num += with.page_delay() as f64
-                / with.page_complete_no_irs_ms.max(1) as f64;
+            ratio_num += with.page_delay() as f64 / with.page_complete_no_irs_ms.max(1) as f64;
         }
         let s = added.summary();
         table.row(vec![
@@ -119,9 +123,7 @@ pub fn run(quick: bool) -> String {
         crate::table::pct(frac_over(1_800)),
         crate::table::pct(frac_over(2_500)),
     ));
-    table.note(
-        "paper claim: sub-100 ms ledger delays are a small fraction of multi-second loads",
-    );
+    table.note("paper claim: sub-100 ms ledger delays are a small fraction of multi-second loads");
     table.render()
 }
 

@@ -68,7 +68,13 @@ pub fn run(quick: bool) -> String {
     for check in [0u64, 25, 50, 100, 150, 200, 250, 300, 400, 600] {
         let early = max_delay(check, CheckTiming::EarlyPrefetch, loads, &population, &zipf);
         let meta = max_delay(check, CheckTiming::MetadataFirst, loads, &population, &zipf);
-        let naive = max_delay(check, CheckTiming::AfterFullFetch, loads, &population, &zipf);
+        let naive = max_delay(
+            check,
+            CheckTiming::AfterFullFetch,
+            loads,
+            &population,
+            &zipf,
+        );
         if early == 0 {
             threshold = check;
         }

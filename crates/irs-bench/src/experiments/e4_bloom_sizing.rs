@@ -30,7 +30,14 @@ const BITS_PER_KEY: f64 = (1u64 << 33) as f64 / 1.0e9;
 pub fn run(quick: bool) -> String {
     let mut table = Table::new(
         "E4 — Bloom filter sizing at the paper's 1 GiB / 1 B-photo ratio",
-        &["population", "filter size", "k", "analytic FPR", "measured FPR", "load reduction"],
+        &[
+            "population",
+            "filter size",
+            "k",
+            "analytic FPR",
+            "measured FPR",
+            "load reduction",
+        ],
     );
     let scales: &[u64] = if quick {
         &[1 << 16, 1 << 18]

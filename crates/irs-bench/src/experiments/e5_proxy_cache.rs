@@ -51,7 +51,13 @@ pub fn run(quick: bool) -> String {
 
     let mut table = Table::new(
         "E5 — proxy cache: fraction of views reaching the ledger (no filter)",
-        &["zipf θ", "cache 0.1%", "cache 1%", "cache 10%", "cache 100%"],
+        &[
+            "zipf θ",
+            "cache 0.1%",
+            "cache 1%",
+            "cache 10%",
+            "cache 100%",
+        ],
     );
     for &theta in &[0.6f64, 0.9, 1.1] {
         let zipf = Zipf::new(public as usize, theta);
@@ -113,7 +119,10 @@ mod tests {
             .collect();
         assert_eq!(fracs.len(), 4);
         for w in fracs.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "cache growth must not add load: {fracs:?}");
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "cache growth must not add load: {fracs:?}"
+            );
         }
     }
 }

@@ -45,8 +45,7 @@ pub fn run(quick: bool) -> String {
                 s
             });
             let req = ClaimRequest::create(&kp, &Digest::of(&i.to_le_bytes()));
-            let Response::Claimed { id, .. } = ledger.handle(Request::Claim(req), TimeMs(i))
-            else {
+            let Response::Claimed { id, .. } = ledger.handle(Request::Claim(req), TimeMs(i)) else {
                 panic!("claim failed");
             };
             // 30% of the base population starts revoked.
@@ -98,7 +97,10 @@ mod tests {
         let row = out
             .lines()
             .find(|l| l.trim_start().starts_with("10 ") || l.trim_start().starts_with("10\u{a0}"))
-            .or_else(|| out.lines().find(|l| l.split_whitespace().next() == Some("10")))
+            .or_else(|| {
+                out.lines()
+                    .find(|l| l.split_whitespace().next() == Some("10"))
+            })
             .expect("churn-10 row");
         // ratio column like "123×" — extract.
         let ratio: f64 = row

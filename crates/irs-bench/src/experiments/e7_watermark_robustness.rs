@@ -14,11 +14,7 @@ use irs_imaging::watermark::{embed, extract, WatermarkConfig};
 use irs_imaging::PhotoGenerator;
 
 /// Recovery rate of `id` over `n` photos for one manipulation recipe.
-fn recovery_rate(
-    n: u64,
-    cfg: &WatermarkConfig,
-    make_op: impl Fn(u64) -> Vec<Manipulation>,
-) -> f64 {
+fn recovery_rate(n: u64, cfg: &WatermarkConfig, make_op: impl Fn(u64) -> Vec<Manipulation>) -> f64 {
     let generator = PhotoGenerator::new(0xE7);
     let mut recovered = 0u64;
     for i in 0..n {
@@ -44,50 +40,109 @@ pub fn run(quick: bool) -> String {
         &["manipulation", "recovery rate"],
     );
 
-    let suites: Vec<(String, Box<dyn Fn(u64) -> Vec<Manipulation>>)> = vec![
+    type Suite = (String, Box<dyn Fn(u64) -> Vec<Manipulation>>);
+    let suites: Vec<Suite> = vec![
         ("none".into(), Box::new(|_| vec![])),
-        ("jpeg q90".into(), Box::new(|_| vec![Manipulation::Jpeg(90)])),
-        ("jpeg q70".into(), Box::new(|_| vec![Manipulation::Jpeg(70)])),
-        ("jpeg q50".into(), Box::new(|_| vec![Manipulation::Jpeg(50)])),
-        ("jpeg q30".into(), Box::new(|_| vec![Manipulation::Jpeg(30)])),
-        ("jpeg q10".into(), Box::new(|_| vec![Manipulation::Jpeg(10)])),
+        (
+            "jpeg q90".into(),
+            Box::new(|_| vec![Manipulation::Jpeg(90)]),
+        ),
+        (
+            "jpeg q70".into(),
+            Box::new(|_| vec![Manipulation::Jpeg(70)]),
+        ),
+        (
+            "jpeg q50".into(),
+            Box::new(|_| vec![Manipulation::Jpeg(50)]),
+        ),
+        (
+            "jpeg q30".into(),
+            Box::new(|_| vec![Manipulation::Jpeg(30)]),
+        ),
+        (
+            "jpeg q10".into(),
+            Box::new(|_| vec![Manipulation::Jpeg(10)]),
+        ),
         (
             "crop 10%".into(),
-            Box::new(|i| vec![Manipulation::CropFraction { fraction: 0.10, seed: i }]),
+            Box::new(|i| {
+                vec![Manipulation::CropFraction {
+                    fraction: 0.10,
+                    seed: i,
+                }]
+            }),
         ),
         (
             "crop 25%".into(),
-            Box::new(|i| vec![Manipulation::CropFraction { fraction: 0.25, seed: i }]),
+            Box::new(|i| {
+                vec![Manipulation::CropFraction {
+                    fraction: 0.25,
+                    seed: i,
+                }]
+            }),
         ),
         (
             "crop 40%".into(),
-            Box::new(|i| vec![Manipulation::CropFraction { fraction: 0.40, seed: i }]),
+            Box::new(|i| {
+                vec![Manipulation::CropFraction {
+                    fraction: 0.40,
+                    seed: i,
+                }]
+            }),
         ),
         (
             "tint ±8%".into(),
-            Box::new(|_| vec![Manipulation::Tint { r: 1.08, g: 1.0, b: 0.92 }]),
+            Box::new(|_| {
+                vec![Manipulation::Tint {
+                    r: 1.08,
+                    g: 1.0,
+                    b: 0.92,
+                }]
+            }),
         ),
         (
             "tint ±15%".into(),
-            Box::new(|_| vec![Manipulation::Tint { r: 1.15, g: 1.0, b: 0.85 }]),
+            Box::new(|_| {
+                vec![Manipulation::Tint {
+                    r: 1.15,
+                    g: 1.0,
+                    b: 0.85,
+                }]
+            }),
         ),
-        ("brightness +20".into(), Box::new(|_| vec![Manipulation::Brightness(20)])),
+        (
+            "brightness +20".into(),
+            Box::new(|_| vec![Manipulation::Brightness(20)]),
+        ),
         (
             "noise σ=4".into(),
-            Box::new(|i| vec![Manipulation::Noise { sigma: 4.0, seed: i }]),
+            Box::new(|i| {
+                vec![Manipulation::Noise {
+                    sigma: 4.0,
+                    seed: i,
+                }]
+            }),
         ),
         (
             "jpeg q60 + crop 15%".into(),
             Box::new(|i| {
                 vec![
                     Manipulation::Jpeg(60),
-                    Manipulation::CropFraction { fraction: 0.15, seed: i },
+                    Manipulation::CropFraction {
+                        fraction: 0.15,
+                        seed: i,
+                    },
                 ]
             }),
         ),
         (
             "caption bars".into(),
-            Box::new(|_| vec![Manipulation::CaptionBars { bars: 2, height_px: 10 }]),
+            Box::new(|_| {
+                vec![Manipulation::CaptionBars {
+                    bars: 2,
+                    height_px: 10,
+                }]
+            }),
         ),
         (
             "resize 50% roundtrip (unsupported)".into(),
@@ -98,7 +153,10 @@ pub fn run(quick: bool) -> String {
     for (name, op) in &suites {
         table.row(vec![name.clone(), pct(recovery_rate(n, &cfg, op))]);
     }
-    table.note(format!("{n} photos (256×256) per condition; QIM Δ = {}", cfg.delta));
+    table.note(format!(
+        "{n} photos (256×256) per condition; QIM Δ = {}",
+        cfg.delta
+    ));
     table.note("resize is out of scope (no scale-invariant sync) — shown as the known limit");
 
     // Ablation: weaker embedding strength.

@@ -14,18 +14,39 @@ use irs_imaging::PhotoGenerator;
 pub fn run(quick: bool) -> String {
     let photos = if quick { 12 } else { 40 };
     let generator = PhotoGenerator::new(0xE8);
-    let imgs: Vec<_> = (0..photos).map(|i| generator.generate(i, 192, 192)).collect();
+    let imgs: Vec<_> = (0..photos)
+        .map(|i| generator.generate(i, 192, 192))
+        .collect();
     let hashes: Vec<_> = imgs.iter().map(dct_hash_256).collect();
 
     let manipulations = |i: u64| -> Vec<(&'static str, Manipulation)> {
         vec![
             ("jpeg q50", Manipulation::Jpeg(50)),
             ("jpeg q20", Manipulation::Jpeg(20)),
-            ("crop 15%", Manipulation::CropFraction { fraction: 0.15, seed: i }),
-            ("tint", Manipulation::Tint { r: 1.12, g: 1.0, b: 0.88 }),
+            (
+                "crop 15%",
+                Manipulation::CropFraction {
+                    fraction: 0.15,
+                    seed: i,
+                },
+            ),
+            (
+                "tint",
+                Manipulation::Tint {
+                    r: 1.12,
+                    g: 1.0,
+                    b: 0.88,
+                },
+            ),
             ("brightness", Manipulation::Brightness(25)),
             ("resize 50%", Manipulation::ResizeRoundtrip(0.5)),
-            ("noise σ=6", Manipulation::Noise { sigma: 6.0, seed: i }),
+            (
+                "noise σ=6",
+                Manipulation::Noise {
+                    sigma: 6.0,
+                    seed: i,
+                },
+            ),
         ]
     };
 
@@ -81,11 +102,8 @@ pub fn run(quick: bool) -> String {
         .filter(|&&d| d <= m.match_threshold)
         .count() as f64
         / all_derived.len() as f64;
-    let fpr = distinct
-        .iter()
-        .filter(|&&d| d <= m.match_threshold)
-        .count() as f64
-        / distinct.len() as f64;
+    let fpr =
+        distinct.iter().filter(|&&d| d <= m.match_threshold).count() as f64 / distinct.len() as f64;
     let gray_derived = all_derived
         .iter()
         .filter(|&&d| d > m.match_threshold && d <= m.distinct_threshold)

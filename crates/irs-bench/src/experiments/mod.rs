@@ -1,6 +1,12 @@
 //! One module per experiment (see DESIGN.md §4 for the claim → experiment
 //! mapping).
 
+pub mod e10_aggregator_overhead;
+pub mod e11_tet_adoption;
+pub mod e12_filter_comparison;
+pub mod e13_viewer_privacy;
+pub mod e14_validation_latency;
+pub mod e15_thread_scaling;
 pub mod e1_page_load;
 pub mod e2_pinterest_threshold;
 pub mod e3_scroll_prototype;
@@ -10,8 +16,3 @@ pub mod e6_delta_traffic;
 pub mod e7_watermark_robustness;
 pub mod e8_phash_roc;
 pub mod e9_reclaim_appeals;
-pub mod e10_aggregator_overhead;
-pub mod e11_tet_adoption;
-pub mod e12_filter_comparison;
-pub mod e13_viewer_privacy;
-pub mod e14_validation_latency;

@@ -304,7 +304,11 @@ mod tests {
         let p = page(30, 1.0);
         let mut l = loader(CheckTiming::MetadataFirst);
         let report = l.load(&p, &mut FixedCheck(30));
-        assert_eq!(report.page_delay(), 0, "30 ms checks must not move page completion");
+        assert_eq!(
+            report.page_delay(),
+            0,
+            "30 ms checks must not move page completion"
+        );
         // And no image can be delayed by more than the check itself.
         assert!(report.max_image_delay() <= 30);
     }

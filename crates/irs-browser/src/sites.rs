@@ -67,6 +67,7 @@ impl SiteReputation {
     /// Record one served photo from `site`. `revoked` is the validation
     /// verdict the browser reached for it; `proof` is whatever the site
     /// stapled; `trusted_ledger` verifies it.
+    #[allow(clippy::too_many_arguments)] // one call site per validation verdict; a params struct would just rename the arguments
     pub fn observe(
         &mut self,
         site: &str,
@@ -207,7 +208,15 @@ mod tests {
         let mut stripped = labeled_photo();
         stripped.metadata.strip_all(); // watermark survives ⇒ inconsistent
         for _ in 0..3 {
-            rep.observe("strip.example", &stripped, false, None, None, &wm(), TimeMs(1));
+            rep.observe(
+                "strip.example",
+                &stripped,
+                false,
+                None,
+                None,
+                &wm(),
+                TimeMs(1),
+            );
         }
         assert_eq!(rep.badge("strip.example"), SiteBadge::MarkedNonCompliant);
         assert_eq!(rep.marked_sites(), vec!["strip.example"]);

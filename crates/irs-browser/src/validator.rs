@@ -213,10 +213,7 @@ mod tests {
     fn policy_drives_display() {
         let mut v = validator();
         let outcome = v.complete(rid(2), RevocationStatus::Revoked, TimeMs(0));
-        assert_eq!(
-            v.policy.display_action(outcome),
-            DisplayAction::Placeholder
-        );
+        assert_eq!(v.policy.display_action(outcome), DisplayAction::Placeholder);
         let ok = v.complete(rid(3), RevocationStatus::NotRevoked, TimeMs(0));
         assert_eq!(v.policy.display_action(ok), DisplayAction::Show);
     }

@@ -66,7 +66,8 @@ impl ClaimRequest {
     /// photo ("the original owner presents the ledger with the original
     /// photo and a signed timestamp of the original claim", §3.2).
     pub fn proves_ownership_of(&self, photo_digest: &Digest) -> bool {
-        self.pubkey.verify_ok(photo_digest.as_bytes(), &self.hash_sig)
+        self.pubkey
+            .verify_ok(photo_digest.as_bytes(), &self.hash_sig)
     }
 }
 

@@ -37,7 +37,11 @@ impl std::fmt::Debug for RecordId {
 
 impl std::fmt::Display for RecordId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "irs:{}:{}:{:04x}", self.ledger.0, self.serial, self.check)
+        write!(
+            f,
+            "irs:{}:{}:{:04x}",
+            self.ledger.0, self.serial, self.check
+        )
     }
 }
 

@@ -46,13 +46,13 @@ pub mod wire;
 
 pub use camera::{Camera, CapturedPhoto};
 pub use claim::{Claim, ClaimRequest, RevocationStatus, RevokeRequest};
-pub use wallet::{AppealEvidence, OwnedPhoto, OwnerWallet};
 pub use freshness::FreshnessProof;
 pub use ids::{LedgerId, RecordId};
 pub use photo::{LabelReading, PhotoFile};
 pub use policy::{UploadDecision, ValidationOutcome};
 pub use time::{Clock, SystemClock, TimeMs};
 pub use tsa::{TimestampAuthority, TimestampToken};
+pub use wallet::{AppealEvidence, OwnedPhoto, OwnerWallet};
 
 /// Errors shared across the IRS protocol layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -84,11 +84,7 @@ impl Assertion {
 
     /// Digest of this assertion (what the next link's `prev` points to).
     pub fn digest(&self) -> Digest {
-        Digest::of_parts(&[
-            self.prev.as_bytes(),
-            self.content.as_bytes(),
-            &self.sig.0,
-        ])
+        Digest::of_parts(&[self.prev.as_bytes(), self.content.as_bytes(), &self.sig.0])
     }
 
     /// Verify this link's signature.
@@ -144,13 +140,7 @@ impl ProvenanceChain {
     }
 
     /// Append an edit/publication step.
-    pub fn append(
-        &mut self,
-        actor: &Keypair,
-        new_content: Digest,
-        action: Action,
-        at: TimeMs,
-    ) {
+    pub fn append(&mut self, actor: &Keypair, new_content: Digest, action: Action, at: TimeMs) {
         debug_assert!(!matches!(action, Action::Captured { .. }));
         let prev = self.links.last().expect("chain never empty").digest();
         let msg = Assertion::message(&prev, &new_content, &action, at);
@@ -296,7 +286,12 @@ mod tests {
         let editor = kp(5);
         let captured = Digest::of(b"a");
         let mut chain = ProvenanceChain::capture(&camera, captured, None, TimeMs(500));
-        chain.append(&editor, Digest::of(b"b"), Action::Edited("e".into()), TimeMs(100));
+        chain.append(
+            &editor,
+            Digest::of(b"b"),
+            Action::Edited("e".into()),
+            TimeMs(100),
+        );
         assert_eq!(
             chain.verify(&Digest::of(b"b")),
             Err(ChainError::TimeReversal(1))

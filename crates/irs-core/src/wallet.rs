@@ -124,8 +124,8 @@ mod tests {
     use super::*;
     use crate::camera::Camera;
     use crate::ids::LedgerId;
-    use crate::tsa::TimestampAuthority;
     use crate::time::TimeMs;
+    use crate::tsa::TimestampAuthority;
 
     fn wallet_with_one() -> (OwnerWallet, RecordId) {
         let mut cam = Camera::new(1, 64, 64);

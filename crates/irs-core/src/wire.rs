@@ -632,13 +632,8 @@ mod tests {
             to_version: 8,
             data: Bytes::from_static(b"delta"),
         });
-        let proof = FreshnessProof::issue(
-            &kp(),
-            rid(5),
-            RevocationStatus::NotRevoked,
-            TimeMs(1),
-            1000,
-        );
+        let proof =
+            FreshnessProof::issue(&kp(), rid(5), RevocationStatus::NotRevoked, TimeMs(1), 1000);
         roundtrip(&Response::Proof(proof));
         roundtrip(&Response::BatchStatus(vec![
             (rid(1), RevocationStatus::NotRevoked),
@@ -683,10 +678,7 @@ mod tests {
     #[test]
     fn bad_tag_rejected() {
         let bytes = Bytes::from(vec![PROTOCOL_VERSION, 0xee]);
-        assert_eq!(
-            Request::from_bytes(bytes),
-            Err(WireError::BadTag(0xee))
-        );
+        assert_eq!(Request::from_bytes(bytes), Err(WireError::BadTag(0xee)));
     }
 
     #[test]

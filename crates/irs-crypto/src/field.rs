@@ -94,9 +94,9 @@ impl Fe {
     pub fn add(self, other: Fe) -> Fe {
         let mut out = [0u64; 4];
         let mut carry = 0u128;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let s = self.0[i] as u128 + other.0[i] as u128 + carry;
-            out[i] = s as u64;
+            *limb = s as u64;
             carry = s >> 64;
         }
         // 2^256 ≡ 38 (mod p)
@@ -108,9 +108,9 @@ impl Fe {
     pub fn sub(self, other: Fe) -> Fe {
         let mut out = [0u64; 4];
         let mut borrow = 0i128;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let d = self.0[i] as i128 - other.0[i] as i128 - borrow;
-            out[i] = d as u64;
+            *limb = d as u64;
             borrow = if d < 0 { 1 } else { 0 };
         }
         // A wrap adds 2^256 ≡ 38, so compensate by subtracting 38; this can
@@ -142,9 +142,7 @@ impl Fe {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let s = limbs[i + j] as u128
-                    + self.0[i] as u128 * other.0[j] as u128
-                    + carry;
+                let s = limbs[i + j] as u128 + self.0[i] as u128 * other.0[j] as u128 + carry;
                 limbs[i + j] = s as u64;
                 carry = s >> 64;
             }

@@ -80,9 +80,9 @@ impl Scalar {
     pub fn add(self, other: Scalar) -> Scalar {
         let mut out = [0u64; 4];
         let mut carry = 0u128;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let s = self.0[i] as u128 + other.0[i] as u128 + carry;
-            out[i] = s as u64;
+            *limb = s as u64;
             carry = s >> 64;
         }
         debug_assert_eq!(carry, 0, "both inputs < L < 2^253");

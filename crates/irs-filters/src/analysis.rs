@@ -26,6 +26,15 @@ pub fn optimal_k(m_bits: u64, n_keys: u64) -> u32 {
     (k.round() as u32).max(1)
 }
 
+/// [`optimal_k`] clamped to the `1..=32` range the filter
+/// implementations support. When a filter's bit count is floored (tiny
+/// capacities get at least 64 bits), the mathematically optimal k can
+/// exceed 32; extra hash functions past the clamp only push the FPR
+/// further *below* target, so clamping preserves the FPR guarantee.
+pub fn optimal_k_clamped(m_bits: u64, n_keys: u64) -> u32 {
+    optimal_k(m_bits, n_keys).min(32)
+}
+
 /// Bits required per key to achieve a target FPR at the optimal k:
 /// `m/n = −ln p / (ln 2)²`.
 pub fn bits_per_key_for_fpr(fpr: f64) -> f64 {

@@ -61,7 +61,7 @@ impl BloomFilter {
         }
         let capacity = capacity.max(1);
         let m = crate::analysis::bits_for(capacity, target_fpr).max(64);
-        let k = crate::analysis::optimal_k(m, capacity);
+        let k = crate::analysis::optimal_k_clamped(m, capacity);
         BloomFilter::with_params(m, k, 0)
     }
 
@@ -231,7 +231,10 @@ mod tests {
         }
         let est = f.estimated_fpr();
         let analytic = crate::analysis::bloom_fpr(1 << 14, 1500, 6);
-        assert!((est - analytic).abs() < analytic * 0.5, "{est} vs {analytic}");
+        assert!(
+            (est - analytic).abs() < analytic * 0.5,
+            "{est} vs {analytic}"
+        );
     }
 
     #[test]
@@ -276,10 +279,16 @@ mod tests {
     #[test]
     fn deserialization_rejects_garbage() {
         assert!(BloomFilter::from_bytes(Bytes::from_static(b"short")).is_err());
-        let mut good = BloomFilter::with_params(128, 2, 0).unwrap().to_bytes().to_vec();
+        let mut good = BloomFilter::with_params(128, 2, 0)
+            .unwrap()
+            .to_bytes()
+            .to_vec();
         good[0] ^= 0xff; // corrupt magic
         assert!(BloomFilter::from_bytes(Bytes::from(good)).is_err());
-        let mut trunc = BloomFilter::with_params(128, 2, 0).unwrap().to_bytes().to_vec();
+        let mut trunc = BloomFilter::with_params(128, 2, 0)
+            .unwrap()
+            .to_bytes()
+            .to_vec();
         trunc.pop();
         assert!(BloomFilter::from_bytes(Bytes::from(trunc)).is_err());
     }

@@ -46,7 +46,7 @@ impl CountingBloom {
         }
         let capacity = capacity.max(1);
         let m = crate::analysis::bits_for(capacity, target_fpr).max(64);
-        let k = crate::analysis::optimal_k(m, capacity);
+        let k = crate::analysis::optimal_k_clamped(m, capacity);
         CountingBloom::with_params(m, k, 0)
     }
 

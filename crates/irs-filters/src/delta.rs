@@ -253,7 +253,17 @@ mod tests {
     #[test]
     fn varint_roundtrip() {
         let mut buf = BytesMut::new();
-        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         for &v in &values {
             put_varint(&mut buf, v);
         }

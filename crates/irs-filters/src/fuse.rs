@@ -142,9 +142,7 @@ macro_rules! fuse_filter {
             fn contains(&self, key: u64) -> bool {
                 let trio = Self::slots(key, self.seed, self.segment_len, self.segments);
                 let f = Self::fingerprint(key, self.seed);
-                self.fingerprints[trio[0]]
-                    ^ self.fingerprints[trio[1]]
-                    ^ self.fingerprints[trio[2]]
+                self.fingerprints[trio[0]] ^ self.fingerprints[trio[1]] ^ self.fingerprints[trio[2]]
                     == f
             }
 
@@ -173,7 +171,9 @@ mod tests {
     use super::*;
 
     fn keys(n: u64) -> Vec<u64> {
-        (0..n).map(|i| crate::hash::mix64(i ^ 0x517c_c1b7_2722_0a95)).collect()
+        (0..n)
+            .map(|i| crate::hash::mix64(i ^ 0x517c_c1b7_2722_0a95))
+            .collect()
     }
 
     #[test]
@@ -230,10 +230,7 @@ mod tests {
     fn duplicates_rejected() {
         let mut ks = keys(50);
         ks.push(ks[10]);
-        assert!(matches!(
-            Fuse8::build(&ks),
-            Err(FilterError::DuplicateKeys)
-        ));
+        assert!(matches!(Fuse8::build(&ks), Err(FilterError::DuplicateKeys)));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! comparison point the §4.4 "standard Bloom filter (see more recent
 //! advances …)" remark invites.
 
-use crate::hash::{mix_seeded, mix64, reduce};
+use crate::hash::{mix64, mix_seeded, reduce};
 use crate::{Filter, FilterError};
 
 /// A k-partition Bloom filter over `u64` keys.
@@ -47,12 +47,17 @@ impl PartitionedBloom {
         }
         let capacity = capacity.max(1);
         let m = crate::analysis::bits_for(capacity, target_fpr).max(64);
-        let k = crate::analysis::optimal_k(m, capacity);
+        let k = crate::analysis::optimal_k_clamped(m, capacity);
         PartitionedBloom::with_params(m.div_ceil(k as u64), k, 0)
     }
 
     fn index(&self, key: u64, i: u32) -> u64 {
-        let h = mix_seeded(key, self.seed.wrapping_add(i as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+        let h = mix_seeded(
+            key,
+            self.seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0xa076_1d64_78bd_642f),
+        );
         i as u64 * self.partition_bits + reduce(mix64(h), self.partition_bits)
     }
 

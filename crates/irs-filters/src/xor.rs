@@ -226,10 +226,7 @@ mod tests {
     fn duplicates_rejected() {
         let mut ks = keys(100);
         ks.push(ks[0]);
-        assert!(matches!(
-            Xor8::build(&ks),
-            Err(FilterError::DuplicateKeys)
-        ));
+        assert!(matches!(Xor8::build(&ks), Err(FilterError::DuplicateKeys)));
     }
 
     #[test]

@@ -47,9 +47,8 @@ impl DctPlan {
     pub fn forward(&self, input: &[f32], output: &mut [f32]) {
         debug_assert_eq!(input.len(), self.n);
         debug_assert_eq!(output.len(), self.n);
-        for k in 0..self.n {
-            let row = &self.basis[k * self.n..(k + 1) * self.n];
-            output[k] = row.iter().zip(input.iter()).map(|(b, x)| b * x).sum();
+        for (out, row) in output.iter_mut().zip(self.basis.chunks_exact(self.n)) {
+            *out = row.iter().zip(input.iter()).map(|(b, x)| b * x).sum();
         }
     }
 
@@ -57,12 +56,12 @@ impl DctPlan {
     pub fn inverse(&self, input: &[f32], output: &mut [f32]) {
         debug_assert_eq!(input.len(), self.n);
         debug_assert_eq!(output.len(), self.n);
-        for i in 0..self.n {
-            let mut acc = 0.0f32;
-            for k in 0..self.n {
-                acc += self.basis[k * self.n + i] * input[k];
-            }
-            output[i] = acc;
+        for (i, out) in output.iter_mut().enumerate() {
+            *out = input
+                .iter()
+                .enumerate()
+                .map(|(k, x)| self.basis[k * self.n + i] * x)
+                .sum();
         }
     }
 
@@ -73,8 +72,8 @@ impl DctPlan {
         let mut tmp = vec![0.0f32; n];
         // Rows.
         for r in 0..n {
-            self.forward(&block[r * n..(r + 1) * n].to_vec(), &mut tmp);
-            block[r * n..(r + 1) * n].copy_from_slice(&tmp);
+            tmp.copy_from_slice(&block[r * n..(r + 1) * n]);
+            self.forward(&tmp, &mut block[r * n..(r + 1) * n]);
         }
         // Columns.
         let mut col = vec![0.0f32; n];
@@ -82,7 +81,7 @@ impl DctPlan {
             for r in 0..n {
                 col[r] = block[r * n + c];
             }
-            self.forward(&col.to_vec(), &mut tmp);
+            self.forward(&col, &mut tmp);
             for r in 0..n {
                 block[r * n + c] = tmp[r];
             }
@@ -101,14 +100,14 @@ impl DctPlan {
             for r in 0..n {
                 col[r] = block[r * n + c];
             }
-            self.inverse(&col.to_vec(), &mut tmp);
+            self.inverse(&col, &mut tmp);
             for r in 0..n {
                 block[r * n + c] = tmp[r];
             }
         }
         for r in 0..n {
-            self.inverse(&block[r * n..(r + 1) * n].to_vec(), &mut tmp);
-            block[r * n..(r + 1) * n].copy_from_slice(&tmp);
+            tmp.copy_from_slice(&block[r * n..(r + 1) * n]);
+            self.inverse(&tmp, &mut block[r * n..(r + 1) * n]);
         }
     }
 }
@@ -158,7 +157,9 @@ mod tests {
     #[test]
     fn orthonormality_preserves_energy() {
         let plan = DctPlan::new(16);
-        let input: Vec<f32> = (0..16).map(|i| (i as f32).cos() * 30.0 + i as f32).collect();
+        let input: Vec<f32> = (0..16)
+            .map(|i| (i as f32).cos() * 30.0 + i as f32)
+            .collect();
         let mut freq = vec![0.0; 16];
         plan.forward(&input, &mut freq);
         let e_in: f32 = input.iter().map(|x| x * x).sum();
@@ -169,8 +170,7 @@ mod tests {
     #[test]
     fn roundtrip_32() {
         let plan = DctPlan::new(32);
-        let mut block: Vec<f32> =
-            (0..32 * 32).map(|i| ((i * 7919) % 251) as f32).collect();
+        let mut block: Vec<f32> = (0..32 * 32).map(|i| ((i * 7919) % 251) as f32).collect();
         let orig = block.clone();
         plan.forward_2d(&mut block);
         plan.inverse_2d(&mut block);

@@ -153,18 +153,16 @@ mod tests {
             let code = hamming_encode_nibble(n);
             for bit in 0..7 {
                 let corrupted = code ^ (1 << bit);
-                assert_eq!(
-                    hamming_decode_nibble(corrupted),
-                    n,
-                    "nibble {n} bit {bit}"
-                );
+                assert_eq!(hamming_decode_nibble(corrupted), n, "nibble {n} bit {bit}");
             }
         }
     }
 
     #[test]
     fn encode_decode_roundtrip() {
-        let payload = [0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef];
+        let payload = [
+            0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef,
+        ];
         let bits = encode(&payload);
         assert_eq!(bits.len(), coded_len(12));
         assert_eq!(decode(&bits, 12), Some(payload.to_vec()));

@@ -69,11 +69,15 @@ impl PhotoGenerator {
                 for c in 0..3 {
                     px[c] = c0[c] * (1.0 - t) + c1[c] * t + noise * 45.0;
                 }
-                img.set(x, y, [
-                    px[0].clamp(0.0, 255.0) as u8,
-                    px[1].clamp(0.0, 255.0) as u8,
-                    px[2].clamp(0.0, 255.0) as u8,
-                ]);
+                img.set(
+                    x,
+                    y,
+                    [
+                        px[0].clamp(0.0, 255.0) as u8,
+                        px[1].clamp(0.0, 255.0) as u8,
+                        px[2].clamp(0.0, 255.0) as u8,
+                    ],
+                );
             }
         }
 
@@ -104,8 +108,7 @@ impl PhotoGenerator {
                         let old = img.get(px_, py);
                         let mut blended = [0u8; 3];
                         for c in 0..3 {
-                            blended[c] = (old[c] as f32 * (1.0 - alpha)
-                                + color[c] as f32 * alpha)
+                            blended[c] = (old[c] as f32 * (1.0 - alpha) + color[c] as f32 * alpha)
                                 .round() as u8;
                         }
                         img.set(px_, py, blended);

@@ -13,14 +13,9 @@ use crate::raster::Image;
 
 /// The Annex-K luminance quantization table (quality 50 baseline).
 const Q50: [u16; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61,
-    12, 12, 14, 19, 26, 58, 60, 55,
-    14, 13, 16, 24, 40, 57, 69, 56,
-    14, 17, 22, 29, 51, 87, 80, 62,
-    18, 22, 37, 56, 68, 109, 103, 77,
-    24, 35, 55, 64, 81, 104, 113, 92,
-    49, 64, 78, 87, 103, 121, 120, 101,
-    72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Build the quantization table for a quality factor in [1, 100]
@@ -65,8 +60,7 @@ pub fn transcode(img: &Image, quality: u8) -> Image {
             plan.inverse_2d(&mut block);
             for y in 0..bh {
                 for x in 0..bw {
-                    luma[(by + y) * w + (bx + x)] =
-                        (block[y * 8 + x] + 128.0).clamp(0.0, 255.0);
+                    luma[(by + y) * w + (bx + x)] = (block[y * 8 + x] + 128.0).clamp(0.0, 255.0);
                 }
             }
         }
@@ -128,6 +122,9 @@ mod tests {
         let twice = transcode(&once, 60);
         let d1 = img.mean_abs_diff(&once).unwrap();
         let d2 = once.mean_abs_diff(&twice).unwrap();
-        assert!(d2 < d1, "second pass {d2} should distort less than first {d1}");
+        assert!(
+            d2 < d1,
+            "second pass {d2} should distort less than first {d1}"
+        );
     }
 }

@@ -46,8 +46,16 @@ impl Manipulation {
                 let max_x = w - new_w;
                 let max_y = h - new_h;
                 let mut rng = StdRng::seed_from_u64(seed);
-                let x = if max_x > 0 { rng.gen_range(0..=max_x) } else { 0 };
-                let y = if max_y > 0 { rng.gen_range(0..=max_y) } else { 0 };
+                let x = if max_x > 0 {
+                    rng.gen_range(0..=max_x)
+                } else {
+                    0
+                };
+                let y = if max_y > 0 {
+                    rng.gen_range(0..=max_y)
+                } else {
+                    0
+                };
                 img.crop(x, y, new_w, new_h).expect("crop in bounds")
             }
             Manipulation::Tint { r, g, b } => {
@@ -55,11 +63,15 @@ impl Manipulation {
                 for y in 0..img.height() {
                     for x in 0..img.width() {
                         let px = img.get(x, y);
-                        out.set(x, y, [
-                            (px[0] as f32 * r).round().clamp(0.0, 255.0) as u8,
-                            (px[1] as f32 * g).round().clamp(0.0, 255.0) as u8,
-                            (px[2] as f32 * b).round().clamp(0.0, 255.0) as u8,
-                        ]);
+                        out.set(
+                            x,
+                            y,
+                            [
+                                (px[0] as f32 * r).round().clamp(0.0, 255.0) as u8,
+                                (px[1] as f32 * g).round().clamp(0.0, 255.0) as u8,
+                                (px[2] as f32 * b).round().clamp(0.0, 255.0) as u8,
+                            ],
+                        );
                     }
                 }
                 out

@@ -114,9 +114,10 @@ impl Image {
         if w == 0 || h == 0 {
             return Err(ImagingError::BadDimensions("zero crop size"));
         }
-        if x.checked_add(w).map_or(true, |e| e > self.width)
-            || y.checked_add(h).map_or(true, |e| e > self.height)
-        {
+        // `is_some_and` keeps this on the 1.75 MSRV (`is_none_or` is 1.82+).
+        let in_bounds = x.checked_add(w).is_some_and(|e| e <= self.width)
+            && y.checked_add(h).is_some_and(|e| e <= self.height);
+        if !in_bounds {
             return Err(ImagingError::OutOfBounds);
         }
         let mut out = Image::new(w, h);
@@ -209,7 +210,11 @@ mod tests {
         let mut img = Image::new(w, h);
         for y in 0..h {
             for x in 0..w {
-                img.set(x, y, [(x % 256) as u8, (y % 256) as u8, ((x + y) % 256) as u8]);
+                img.set(
+                    x,
+                    y,
+                    [(x % 256) as u8, (y % 256) as u8, ((x + y) % 256) as u8],
+                );
             }
         }
         img
@@ -286,10 +291,8 @@ mod tests {
         let mut brighter = img.clone();
         let y: Vec<f32> = img.luma().iter().map(|v| v + 20.0).collect();
         brighter.set_luma(&y);
-        let orig_mean: f64 =
-            img.luma().iter().map(|&v| v as f64).sum::<f64>() / (16.0 * 16.0);
-        let new_mean: f64 =
-            brighter.luma().iter().map(|&v| v as f64).sum::<f64>() / (16.0 * 16.0);
+        let orig_mean: f64 = img.luma().iter().map(|&v| v as f64).sum::<f64>() / (16.0 * 16.0);
+        let new_mean: f64 = brighter.luma().iter().map(|&v| v as f64).sum::<f64>() / (16.0 * 16.0);
         assert!(new_mean > orig_mean + 10.0);
     }
 

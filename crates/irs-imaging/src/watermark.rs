@@ -156,7 +156,8 @@ pub fn extract(img: &Image, cfg: &WatermarkConfig) -> Result<[u8; PAYLOAD_BYTES]
             let bands = haar_forward(&luma, sw, sh);
             for dy in 0..8usize {
                 for dx in 0..8usize {
-                    if let Some(payload) = try_alignment(&bands.ll, bands.w, bands.h, dx, dy, &plan, cfg)
+                    if let Some(payload) =
+                        try_alignment(&bands.ll, bands.w, bands.h, dx, dy, &plan, cfg)
                     {
                         return Ok(payload);
                     }

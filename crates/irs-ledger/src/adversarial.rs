@@ -225,8 +225,8 @@ mod tests {
     fn stale_ledger_serves_old_status() {
         let mut l = AdversarialLedger::new(honest(), Misbehavior::Stale { lag_ms: 1_000 });
         let id = claim_and_revoke(&mut l); // revoked at t=20
-        // At t=500 the cutoff (t=-500 → claim-time state) still shows the
-        // pre-revocation state.
+                                           // At t=500 the cutoff (t=-500 → claim-time state) still shows the
+                                           // pre-revocation state.
         match l.handle(Request::Query { id }, TimeMs(500)) {
             Some(Response::Status { status, .. }) => {
                 assert_eq!(status, RevocationStatus::NotRevoked)

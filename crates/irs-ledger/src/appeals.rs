@@ -8,10 +8,10 @@
 //! mark it as permanently revoked."
 
 use crate::service::Ledger;
+use irs_core::ids::RecordId;
 use irs_core::photo::PhotoFile;
 use irs_core::time::TimeMs;
 use irs_core::wallet::AppealEvidence;
-use irs_core::ids::RecordId;
 use irs_crypto::PublicKey;
 use irs_imaging::phash::{MatchVerdict, RobustMatcher};
 
@@ -305,8 +305,7 @@ mod tests {
         let mut ev = s.wallet.appeal_evidence(&s.original_id).unwrap();
         // Present a different photo than the claim covers.
         ev.original_photo = accused_photo.clone();
-        ev.original_photo.image =
-            Manipulation::Brightness(40).apply(&ev.original_photo.image);
+        ev.original_photo.image = Manipulation::Brightness(40).apply(&ev.original_photo.image);
         let mut judge = AppealsJudge::default();
         let outcome = judge.adjudicate(
             &mut s.ledger,

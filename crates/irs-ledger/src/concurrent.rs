@@ -1,0 +1,496 @@
+//! Shared-nothing-as-possible ledger service: the `&self` counterpart
+//! of [`crate::Ledger`], built on [`ShardedLedgerStore`].
+//!
+//! Connection threads call [`ConcurrentLedger::handle`] directly — no
+//! whole-service mutex. Striped record state lives in the store;
+//! service-level state is either immutable (keys, config), atomic
+//! (request counters), or a read-mostly snapshot pair behind a brief
+//! `RwLock` (published filters: projection happens *off* the lock,
+//! only the pointer rotation holds it).
+
+use crate::codes;
+use crate::sharded::{ShardedLedgerStore, DEFAULT_SHARDS};
+use crate::store::{ClaimOrigin, StoreError, StoredClaim};
+use crate::{Ledger, LedgerConfig, LedgerPolicy, LedgerStats};
+use irs_core::claim::{ClaimRequest, RevocationStatus};
+use irs_core::freshness::FreshnessProof;
+use irs_core::ids::{LedgerId, RecordId};
+use irs_core::time::TimeMs;
+use irs_core::tsa::{TimestampAuthority, TimestampToken};
+use irs_core::wire::{Request, Response};
+use irs_crypto::{Keypair, PublicKey};
+use irs_filters::delta::BloomDelta;
+use irs_filters::BloomFilter;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One published filter version.
+#[derive(Clone, Debug)]
+struct Snapshot {
+    version: u64,
+    filter: BloomFilter,
+}
+
+#[derive(Default)]
+struct SnapshotPair {
+    current: Option<Arc<Snapshot>>,
+    /// Previous version, retained so requesters one behind get a delta.
+    previous: Option<Arc<Snapshot>>,
+}
+
+/// [`LedgerStats`] with atomic counters (relaxed ordering: they are
+/// monotone telemetry, not synchronization).
+#[derive(Default)]
+struct AtomicStats {
+    queries: AtomicU64,
+    batch_items: AtomicU64,
+    claims: AtomicU64,
+    revokes: AtomicU64,
+    filters_full: AtomicU64,
+    filters_delta: AtomicU64,
+    proofs: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> LedgerStats {
+        LedgerStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            batch_items: self.batch_items.load(Ordering::Relaxed),
+            claims: self.claims.load(Ordering::Relaxed),
+            revokes: self.revokes.load(Ordering::Relaxed),
+            filters_full: self.filters_full.load(Ordering::Relaxed),
+            filters_delta: self.filters_delta.load(Ordering::Relaxed),
+            proofs: self.proofs.load(Ordering::Relaxed),
+        }
+    }
+
+    fn preload(&self, stats: LedgerStats) {
+        self.queries.store(stats.queries, Ordering::Relaxed);
+        self.batch_items.store(stats.batch_items, Ordering::Relaxed);
+        self.claims.store(stats.claims, Ordering::Relaxed);
+        self.revokes.store(stats.revokes, Ordering::Relaxed);
+        self.filters_full
+            .store(stats.filters_full, Ordering::Relaxed);
+        self.filters_delta
+            .store(stats.filters_delta, Ordering::Relaxed);
+        self.proofs.store(stats.proofs, Ordering::Relaxed);
+    }
+}
+
+/// A ledger whose entire request path is `&self`: safe to share across
+/// connection threads behind a plain `Arc`.
+pub struct ConcurrentLedger {
+    config: LedgerConfig,
+    store: ShardedLedgerStore,
+    signing_key: Keypair,
+    tsa_key: PublicKey,
+    snapshots: RwLock<SnapshotPair>,
+    stats: AtomicStats,
+}
+
+impl ConcurrentLedger {
+    /// Create a fresh concurrent ledger with [`DEFAULT_SHARDS`] stripes.
+    pub fn new(config: LedgerConfig, tsa: TimestampAuthority) -> ConcurrentLedger {
+        ConcurrentLedger::with_shards(config, tsa, DEFAULT_SHARDS)
+    }
+
+    /// Create with an explicit stripe count (the E15 scaling experiment
+    /// sweeps this).
+    pub fn with_shards(
+        config: LedgerConfig,
+        tsa: TimestampAuthority,
+        num_shards: usize,
+    ) -> ConcurrentLedger {
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&config.seed.to_le_bytes());
+        seed[8..16].copy_from_slice(b"IRSLEDGR");
+        let tsa_key = tsa.public_key();
+        ConcurrentLedger {
+            store: ShardedLedgerStore::new(config.id, tsa, config.filter_capacity, num_shards),
+            signing_key: Keypair::from_seed(&seed),
+            tsa_key,
+            snapshots: RwLock::new(SnapshotPair::default()),
+            stats: AtomicStats::default(),
+            config,
+        }
+    }
+
+    /// Promote a single-threaded [`Ledger`] (records, published
+    /// snapshots, and stats carry over; signing keys are identical
+    /// because both derive from the config seed).
+    pub(crate) fn from_ledger(ledger: Ledger, num_shards: usize) -> ConcurrentLedger {
+        let (config, store, signing_key, tsa_key, published, stats) = ledger.into_parts();
+        let (id, tsa, records) = store.into_parts();
+        let sharded =
+            ShardedLedgerStore::from_parts(id, tsa, records, config.filter_capacity, num_shards);
+        let pair = SnapshotPair {
+            current: published
+                .0
+                .map(|(version, filter)| Arc::new(Snapshot { version, filter })),
+            previous: published
+                .1
+                .map(|(version, filter)| Arc::new(Snapshot { version, filter })),
+        };
+        let concurrent = ConcurrentLedger {
+            config,
+            store: sharded,
+            signing_key,
+            tsa_key,
+            snapshots: RwLock::new(pair),
+            stats: AtomicStats::default(),
+        };
+        concurrent.stats.preload(stats);
+        concurrent
+    }
+
+    /// This ledger's identifier.
+    pub fn id(&self) -> LedgerId {
+        self.config.id
+    }
+
+    /// The key proofs are signed with.
+    pub fn public_key(&self) -> PublicKey {
+        self.signing_key.public
+    }
+
+    /// The timestamp authority key claims are stamped with.
+    pub fn tsa_key(&self) -> PublicKey {
+        self.tsa_key
+    }
+
+    /// The striped store (experiments, appeals, probes).
+    pub fn store(&self) -> &ShardedLedgerStore {
+        &self.store
+    }
+
+    /// A point-in-time copy of the request counters.
+    pub fn stats(&self) -> LedgerStats {
+        self.stats.snapshot()
+    }
+
+    /// Handle one wire request at the given time. `&self`: any number of
+    /// connection threads may call this concurrently.
+    pub fn handle(&self, request: Request, now: TimeMs) -> Response {
+        match request {
+            Request::Claim(req) => {
+                self.stats.claims.fetch_add(1, Ordering::Relaxed);
+                let (id, timestamp) = self.store.claim(req, ClaimOrigin::Owner, false, now);
+                Response::Claimed { id, timestamp }
+            }
+            Request::Query { id } => {
+                self.stats.queries.fetch_add(1, Ordering::Relaxed);
+                match self.store.status(&id) {
+                    Some((status, epoch)) => Response::Status { id, status, epoch },
+                    None => err(codes::UNKNOWN_RECORD, "unknown record"),
+                }
+            }
+            Request::Revoke(req) => {
+                if self.config.policy == LedgerPolicy::NonRevocable && req.revoke {
+                    return err(codes::POLICY, "this ledger does not allow revocation");
+                }
+                self.stats.revokes.fetch_add(1, Ordering::Relaxed);
+                match self.store.apply_revoke(&req) {
+                    Ok((status, epoch)) => Response::RevokeAck {
+                        id: req.id,
+                        status,
+                        epoch,
+                    },
+                    Err(StoreError::UnknownRecord) => err(codes::UNKNOWN_RECORD, "unknown record"),
+                    Err(StoreError::BadSignature) => err(codes::BAD_SIGNATURE, "bad signature"),
+                    Err(StoreError::StaleEpoch) => err(codes::STALE_EPOCH, "stale epoch"),
+                    Err(StoreError::Permanent) => err(codes::POLICY, "permanently revoked"),
+                }
+            }
+            Request::GetFilter { have_version } => self.serve_filter(have_version),
+            Request::GetProof { id } => {
+                self.stats.proofs.fetch_add(1, Ordering::Relaxed);
+                match self.store.status(&id) {
+                    Some((status, _)) => Response::Proof(self.issue_proof(id, status, now)),
+                    None => err(codes::UNKNOWN_RECORD, "unknown record"),
+                }
+            }
+            Request::Batch(ids) => {
+                self.stats
+                    .batch_items
+                    .fetch_add(ids.len() as u64, Ordering::Relaxed);
+                let items = ids
+                    .into_iter()
+                    .map(|id| {
+                        let status = self
+                            .store
+                            .status(&id)
+                            .map(|(s, _)| s)
+                            // Fail open on unknown ids, as in `Ledger`.
+                            .unwrap_or(RevocationStatus::NotRevoked);
+                        (id, status)
+                    })
+                    .collect();
+                Response::BatchStatus(items)
+            }
+            Request::Ping => Response::Pong,
+        }
+    }
+
+    /// Claim custodially (aggregator ingestion path).
+    pub fn claim_custodial(&self, req: ClaimRequest, now: TimeMs) -> (RecordId, TimestampToken) {
+        self.stats.claims.fetch_add(1, Ordering::Relaxed);
+        self.store.claim(req, ClaimOrigin::Custodial, false, now)
+    }
+
+    /// Claim with the "auto-register revoked" default.
+    pub fn claim_revoked(&self, req: ClaimRequest, now: TimeMs) -> (RecordId, TimestampToken) {
+        self.stats.claims.fetch_add(1, Ordering::Relaxed);
+        self.store.claim(req, ClaimOrigin::Owner, true, now)
+    }
+
+    /// Issue a signed freshness proof.
+    pub fn issue_proof(
+        &self,
+        id: RecordId,
+        status: RevocationStatus,
+        now: TimeMs,
+    ) -> FreshnessProof {
+        FreshnessProof::issue(
+            &self.signing_key,
+            id,
+            status,
+            now,
+            self.config.proof_validity_ms,
+        )
+    }
+
+    /// Publish a new filter snapshot; returns its version. The filter
+    /// projection (the expensive part) runs before the write lock is
+    /// taken; the lock is held only to rotate two `Arc` pointers, so
+    /// in-flight `GetFilter` requests are never blocked behind a
+    /// projection.
+    pub fn publish_filter(&self) -> u64 {
+        let filter = self.store.project_filter();
+        let mut pair = self.snapshots.write();
+        let version = pair.current.as_ref().map(|s| s.version + 1).unwrap_or(1);
+        pair.previous = pair.current.take();
+        pair.current = Some(Arc::new(Snapshot { version, filter }));
+        version
+    }
+
+    /// Current published snapshot version (0 = never published).
+    pub fn filter_version(&self) -> u64 {
+        self.snapshots
+            .read()
+            .current
+            .as_ref()
+            .map(|s| s.version)
+            .unwrap_or(0)
+    }
+
+    /// The current published filter, if any (cloned `Arc`; cheap).
+    pub fn published_filter(&self) -> Option<BloomFilter> {
+        self.snapshots
+            .read()
+            .current
+            .as_ref()
+            .map(|s| s.filter.clone())
+    }
+
+    fn serve_filter(&self, have_version: u64) -> Response {
+        // Clone the two Arcs under the read lock, then serialize and
+        // diff off-lock.
+        let (current, previous) = {
+            let pair = self.snapshots.read();
+            (pair.current.clone(), pair.previous.clone())
+        };
+        let Some(snapshot) = current else {
+            return err(codes::BAD_REQUEST, "no filter published yet");
+        };
+        if have_version == snapshot.version {
+            let d =
+                BloomDelta::diff(&snapshot.filter, &snapshot.filter).expect("identical geometry");
+            self.stats.filters_delta.fetch_add(1, Ordering::Relaxed);
+            return Response::FilterDelta {
+                from_version: have_version,
+                to_version: snapshot.version,
+                data: d.to_bytes(),
+            };
+        }
+        if let Some(prev) = previous {
+            if have_version == prev.version {
+                let d = BloomDelta::diff(&prev.filter, &snapshot.filter)
+                    .expect("same geometry across versions");
+                self.stats.filters_delta.fetch_add(1, Ordering::Relaxed);
+                return Response::FilterDelta {
+                    from_version: prev.version,
+                    to_version: snapshot.version,
+                    data: d.to_bytes(),
+                };
+            }
+        }
+        self.stats.filters_full.fetch_add(1, Ordering::Relaxed);
+        Response::FilterFull {
+            version: snapshot.version,
+            data: snapshot.filter.to_bytes(),
+        }
+    }
+
+    /// Visit every committed record.
+    pub fn for_each_record(&self, f: impl FnMut(&StoredClaim)) {
+        self.store.for_each(f)
+    }
+}
+
+fn err(code: u16, message: &str) -> Response {
+    Response::Error {
+        code,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_core::claim::RevokeRequest;
+    use irs_crypto::Digest;
+    use std::thread;
+
+    fn ledger() -> ConcurrentLedger {
+        ConcurrentLedger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(1),
+        )
+    }
+
+    fn claim_one(l: &ConcurrentLedger, seed: u8) -> (RecordId, Keypair) {
+        let keypair = Keypair::from_seed(&[seed; 32]);
+        let req = ClaimRequest::create(&keypair, &Digest::of(&[seed]));
+        match l.handle(Request::Claim(req), TimeMs(10)) {
+            Response::Claimed { id, .. } => (id, keypair),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_flow_matches_sequential_ledger() {
+        let l = ledger();
+        let (id, keypair) = claim_one(&l, 1);
+        match l.handle(Request::Query { id }, TimeMs(20)) {
+            Response::Status { status, epoch, .. } => {
+                assert_eq!((status, epoch), (RevocationStatus::NotRevoked, 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let rv = RevokeRequest::create(&keypair, id, true, 0);
+        match l.handle(Request::Revoke(rv), TimeMs(30)) {
+            Response::RevokeAck { status, epoch, .. } => {
+                assert_eq!((status, epoch), (RevocationStatus::Revoked, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = l.stats();
+        assert_eq!((stats.claims, stats.queries, stats.revokes), (1, 1, 1));
+    }
+
+    #[test]
+    fn filter_publication_and_wire_serving() {
+        let l = ledger();
+        let (id, keypair) = claim_one(&l, 2);
+        let rv = RevokeRequest::create(&keypair, id, true, 0);
+        l.handle(Request::Revoke(rv), TimeMs(1));
+        match l.handle(Request::GetFilter { have_version: 0 }, TimeMs(1)) {
+            Response::Error { code, .. } => assert_eq!(code, codes::BAD_REQUEST),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.publish_filter(), 1);
+        match l.handle(Request::GetFilter { have_version: 0 }, TimeMs(2)) {
+            Response::FilterFull { version, data } => {
+                assert_eq!(version, 1);
+                let f = BloomFilter::from_bytes(data).unwrap();
+                assert_eq!(f.inserted(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        claim_one(&l, 3);
+        assert_eq!(l.publish_filter(), 2);
+        // One version behind: delta, not a full re-ship.
+        match l.handle(Request::GetFilter { have_version: 1 }, TimeMs(3)) {
+            Response::FilterDelta {
+                from_version,
+                to_version,
+                ..
+            } => assert_eq!((from_version, to_version), (1, 2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.filter_version(), 2);
+    }
+
+    #[test]
+    fn promotion_from_sequential_ledger() {
+        let mut seq = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(1),
+        );
+        let keypair = Keypair::from_seed(&[5; 32]);
+        let req = ClaimRequest::create(&keypair, &Digest::of(b"x"));
+        let Response::Claimed { id, .. } = seq.handle(Request::Claim(req), TimeMs(1)) else {
+            panic!("claim failed");
+        };
+        let rv = RevokeRequest::create(&keypair, id, true, 0);
+        seq.handle(Request::Revoke(rv), TimeMs(2));
+        seq.publish_filter();
+        let public_key = seq.public_key();
+        let conc = ConcurrentLedger::from_ledger(seq, 4);
+        // Same identity, records, stats, and published version.
+        assert_eq!(conc.public_key(), public_key);
+        assert_eq!(
+            conc.store().status(&id),
+            Some((RevocationStatus::Revoked, 1))
+        );
+        assert_eq!(conc.stats().claims, 1);
+        assert_eq!(conc.filter_version(), 1);
+        // Proofs issued by the promoted ledger verify against the old key.
+        match conc.handle(Request::GetProof { id }, TimeMs(10)) {
+            Response::Proof(p) => assert!(p.verify(&public_key, TimeMs(20))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_claims_and_queries() {
+        let l = std::sync::Arc::new(ledger());
+        let writers: Vec<_> = (0..4u8)
+            .map(|t| {
+                let l = std::sync::Arc::clone(&l);
+                thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for i in 0..25u8 {
+                        ids.push(claim_one(&l, t * 25 + i).0);
+                    }
+                    ids
+                })
+            })
+            .collect();
+        let all_ids: Vec<RecordId> = writers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        assert_eq!(all_ids.len(), 100);
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let l = std::sync::Arc::clone(&l);
+                let ids = all_ids.clone();
+                thread::spawn(move || {
+                    for id in &ids {
+                        match l.handle(Request::Query { id: *id }, TimeMs(50)) {
+                            Response::Status { .. } => {}
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(l.stats().queries, 400);
+        assert_eq!(l.store().len(), 100);
+    }
+}

@@ -18,15 +18,28 @@
 //!   photos on behalf of owners could periodically send probes to ledgers
 //!   to ensure that they are being answered correctly".
 
+//!
+//! For servers there is a concurrent tier: [`sharded`] provides the
+//! lock-striped [`ShardedLedgerStore`] (dense serials from one atomic
+//! allocator, records and the counting-Bloom index striped per shard),
+//! and [`concurrent`] wraps it as [`ConcurrentLedger`], whose request
+//! path is entirely `&self` so connection threads share it behind a
+//! plain `Arc` — no whole-service mutex. See DESIGN.md, "Concurrency
+//! architecture".
+
 pub mod adversarial;
 pub mod appeals;
+pub mod concurrent;
 pub mod payments;
 pub mod probe;
 pub mod service;
+pub mod sharded;
 pub mod store;
 
 pub use appeals::{AppealOutcome, AppealsJudge};
-pub use service::{Ledger, LedgerConfig, LedgerPolicy};
+pub use concurrent::ConcurrentLedger;
+pub use service::{Ledger, LedgerConfig, LedgerPolicy, LedgerStats};
+pub use sharded::ShardedLedgerStore;
 pub use store::{LedgerStore, StoreError};
 
 /// Error codes carried in `Response::Error`.

@@ -145,8 +145,7 @@ impl MixingMarket {
         for (p, _) in &self.deposits {
             *counts.entry(*p).or_default() += 1;
         }
-        let mut tokens: Vec<BearerToken> =
-            self.deposits.drain(..).map(|(_, t)| t).collect();
+        let mut tokens: Vec<BearerToken> = self.deposits.drain(..).map(|(_, t)| t).collect();
         tokens.shuffle(rng);
         let mut out: HashMap<u32, Vec<BearerToken>> = HashMap::new();
         let mut participants: Vec<u32> = counts.keys().copied().collect();
@@ -163,12 +162,7 @@ impl MixingMarket {
 /// The privacy experiment: `users` each buy `tokens_each`, optionally mix,
 /// then each redeems one token for a claim. Returns the fraction of claims
 /// the leaked purchase database attributes to the *correct* claimant.
-pub fn attribution_rate(
-    users: u32,
-    tokens_each: usize,
-    mix: bool,
-    seed: u64,
-) -> f64 {
+pub fn attribution_rate(users: u32, tokens_each: usize, mix: bool, seed: u64) -> f64 {
     let mut rng = rand::SeedableRng::seed_from_u64(seed);
     let mut issuer = TokenIssuer::new(seed);
     let mut holdings: HashMap<u32, Vec<BearerToken>> = (0..users)

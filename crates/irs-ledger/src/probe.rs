@@ -83,11 +83,7 @@ impl Prober {
 
     /// Run one probe round: toggle each canary's revocation and verify the
     /// public answer reflects it. Returns per-canary results.
-    pub fn probe_round(
-        &mut self,
-        ledger: &mut AdversarialLedger,
-        now: TimeMs,
-    ) -> Vec<ProbeResult> {
+    pub fn probe_round(&mut self, ledger: &mut AdversarialLedger, now: TimeMs) -> Vec<ProbeResult> {
         let mut results = Vec::with_capacity(self.canaries.len());
         for (id, kp, expected, epoch) in self.canaries.iter_mut() {
             // Toggle.

@@ -154,9 +154,7 @@ impl Ledger {
         match request {
             Request::Claim(req) => {
                 self.stats.claims += 1;
-                let (id, timestamp) =
-                    self.store
-                        .claim(req, ClaimOrigin::Owner, false, now);
+                let (id, timestamp) = self.store.claim(req, ClaimOrigin::Owner, false, now);
                 Response::Claimed { id, timestamp }
             }
             Request::Query { id } => {
@@ -236,7 +234,12 @@ impl Ledger {
     }
 
     /// Issue a signed freshness proof.
-    pub fn issue_proof(&self, id: RecordId, status: RevocationStatus, now: TimeMs) -> FreshnessProof {
+    pub fn issue_proof(
+        &self,
+        id: RecordId,
+        status: RevocationStatus,
+        now: TimeMs,
+    ) -> FreshnessProof {
         FreshnessProof::issue(
             &self.signing_key,
             id,
@@ -269,6 +272,38 @@ impl Ledger {
         self.snapshot.as_ref().map(|s| &s.filter)
     }
 
+    /// Promote into a [`crate::ConcurrentLedger`] with `num_shards`
+    /// stripes; records, published snapshots, and stats carry over.
+    pub fn into_concurrent(self, num_shards: usize) -> crate::ConcurrentLedger {
+        crate::ConcurrentLedger::from_ledger(self, num_shards)
+    }
+
+    /// Decompose for promotion (config, store, keys, (current, previous)
+    /// published snapshots, stats).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        LedgerConfig,
+        LedgerStore,
+        Keypair,
+        PublicKey,
+        (Option<(u64, BloomFilter)>, Option<(u64, BloomFilter)>),
+        LedgerStats,
+    ) {
+        (
+            self.config,
+            self.store,
+            self.signing_key,
+            self.tsa_key,
+            (
+                self.snapshot.map(|s| (s.version, s.filter)),
+                self.previous_snapshot.map(|s| (s.version, s.filter)),
+            ),
+            self.stats,
+        )
+    }
+
     fn serve_filter(&mut self, have_version: u64) -> Response {
         let Some(snapshot) = &self.snapshot else {
             return err(codes::BAD_REQUEST, "no filter published yet");
@@ -277,8 +312,8 @@ impl Ledger {
         // version behind get the real delta (the retained previous
         // snapshot makes it computable); anything older re-ships full.
         if have_version == snapshot.version {
-            let d = BloomDelta::diff(&snapshot.filter, &snapshot.filter)
-                .expect("identical geometry");
+            let d =
+                BloomDelta::diff(&snapshot.filter, &snapshot.filter).expect("identical geometry");
             self.stats.filters_delta += 1;
             return Response::FilterDelta {
                 from_version: have_version,
@@ -359,10 +394,7 @@ impl FilterPublisher {
     /// Publish the ledger's current claim set; returns the update to ship.
     pub fn publish(&mut self, ledger: &mut Ledger) -> FilterUpdate {
         let version = ledger.publish_filter();
-        let current = ledger
-            .published_filter()
-            .expect("just published")
-            .clone();
+        let current = ledger.published_filter().expect("just published").clone();
         let update = match &self.previous {
             Some((prev_version, prev_filter)) => {
                 let delta =
@@ -571,10 +603,7 @@ mod tests {
         );
         let req2 = ClaimRequest::create(&kp(12), &Digest::of(b"auto"));
         let (id2, _) = l.claim_revoked(req2, TimeMs(2));
-        assert_eq!(
-            l.store().status(&id2),
-            Some((RevocationStatus::Revoked, 0))
-        );
+        assert_eq!(l.store().status(&id2), Some((RevocationStatus::Revoked, 0)));
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! Lock-striped claim store: the concurrent counterpart of
+//! [`crate::store::LedgerStore`].
+//!
+//! Serials are allocated from a single atomic counter, so they stay
+//! dense and append-only exactly as in the single-threaded store; the
+//! records themselves are striped across `N` shards (`shard = serial %
+//! N`, within-shard slot `serial / N`), each behind its own
+//! `parking_lot::RwLock`. Every mutation touches exactly one shard, so
+//! writers on different shards never contend and there is no lock
+//! ordering hazard; the only multi-shard operation — projecting the
+//! published Bloom filter — takes all shard read locks in index order,
+//! which cannot deadlock against single-shard writers.
+//!
+//! Each shard keeps its own [`CountingBloom`] over the revoked records
+//! it owns, with identical geometry across shards. Counting-filter
+//! insertion is additive per bit position, so the union of the
+//! per-shard projections equals the projection the monolithic store
+//! would have produced — see `union_matches_monolithic_store` below.
+
+use irs_core::claim::{Claim, ClaimRequest, RevocationStatus, RevokeRequest};
+use irs_core::ids::{LedgerId, RecordId};
+use irs_core::time::TimeMs;
+use irs_core::tsa::{TimestampAuthority, TimestampToken};
+use irs_filters::{BloomFilter, CountingBloom};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::store::{ClaimOrigin, StoreError, StoredClaim};
+
+/// Default stripe count for servers (a few× typical core counts; the
+/// E15 thread-scaling experiment shows the curve).
+pub const DEFAULT_SHARDS: usize = 16;
+
+struct Shard {
+    /// Slots indexed by `serial / num_shards`. `None` marks a serial
+    /// that has been allocated by `claim` but whose record has not been
+    /// committed yet (the window between the atomic fetch-add and the
+    /// shard write-lock acquisition on another thread).
+    slots: Vec<Option<StoredClaim>>,
+    /// Counting filter over this shard's revoked records.
+    filter: CountingBloom,
+}
+
+/// A sharded, internally synchronized claim store; all operations take
+/// `&self`.
+pub struct ShardedLedgerStore {
+    id: LedgerId,
+    tsa: TimestampAuthority,
+    next_serial: AtomicU64,
+    filter_capacity: u64,
+    shards: Box<[RwLock<Shard>]>,
+}
+
+impl ShardedLedgerStore {
+    /// Create an empty store with `num_shards` stripes. `filter_capacity`
+    /// sizes the published Bloom filter exactly as in
+    /// [`crate::store::LedgerStore::new`].
+    pub fn new(
+        id: LedgerId,
+        tsa: TimestampAuthority,
+        filter_capacity: u64,
+        num_shards: usize,
+    ) -> ShardedLedgerStore {
+        assert!(num_shards > 0, "need at least one shard");
+        let shards = (0..num_shards)
+            .map(|_| {
+                RwLock::new(Shard {
+                    slots: Vec::new(),
+                    filter: CountingBloom::for_capacity(filter_capacity, 0.02)
+                        .expect("valid filter params"),
+                })
+            })
+            .collect();
+        ShardedLedgerStore {
+            id,
+            tsa,
+            next_serial: AtomicU64::new(0),
+            filter_capacity,
+            shards,
+        }
+    }
+
+    /// Rebuild from the records of a single-threaded store (used when a
+    /// [`crate::Ledger`] is promoted to a concurrent one).
+    pub(crate) fn from_parts(
+        id: LedgerId,
+        tsa: TimestampAuthority,
+        records: Vec<StoredClaim>,
+        filter_capacity: u64,
+        num_shards: usize,
+    ) -> ShardedLedgerStore {
+        let store = ShardedLedgerStore::new(id, tsa, filter_capacity, num_shards);
+        store
+            .next_serial
+            .store(records.len() as u64, Ordering::Relaxed);
+        for stored in records {
+            let serial = stored.claim.id.serial;
+            let mut shard = store.shards[store.shard_of(serial)].write();
+            let slot = store.slot_of(serial);
+            if shard.slots.len() <= slot {
+                shard.slots.resize(slot + 1, None);
+            }
+            if stored.claim.status != RevocationStatus::NotRevoked {
+                shard.filter.insert(stored.claim.id.filter_key());
+            }
+            shard.slots[slot] = Some(stored);
+        }
+        store
+    }
+
+    fn shard_of(&self, serial: u64) -> usize {
+        (serial % self.shards.len() as u64) as usize
+    }
+
+    fn slot_of(&self, serial: u64) -> usize {
+        (serial / self.shards.len() as u64) as usize
+    }
+
+    /// This ledger's identifier.
+    pub fn id(&self) -> LedgerId {
+        self.id
+    }
+
+    /// Number of stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of allocated serials (committed records may briefly lag by
+    /// the few in flight between allocation and shard insertion).
+    pub fn len(&self) -> usize {
+        self.next_serial.load(Ordering::Acquire) as usize
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record a claim; returns the new identifier and timestamp token.
+    /// Serial allocation is a single fetch-add, so serials stay dense
+    /// under any interleaving.
+    pub fn claim(
+        &self,
+        request: ClaimRequest,
+        origin: ClaimOrigin,
+        initially_revoked: bool,
+        now: TimeMs,
+    ) -> (RecordId, TimestampToken) {
+        let serial = self.next_serial.fetch_add(1, Ordering::AcqRel);
+        let id = RecordId::new(self.id, serial);
+        // The timestamp signature is the expensive part; compute it
+        // before taking the shard lock.
+        let timestamp = self.tsa.stamp(request.digest(), now);
+        let status = if initially_revoked {
+            RevocationStatus::Revoked
+        } else {
+            RevocationStatus::NotRevoked
+        };
+        let stored = StoredClaim {
+            claim: Claim {
+                id,
+                request,
+                timestamp,
+                status,
+                status_epoch: 0,
+            },
+            origin,
+        };
+        let slot = self.slot_of(serial);
+        let mut shard = self.shards[self.shard_of(serial)].write();
+        if shard.slots.len() <= slot {
+            shard.slots.resize(slot + 1, None);
+        }
+        if initially_revoked {
+            shard.filter.insert(id.filter_key());
+        }
+        shard.slots[slot] = Some(stored);
+        (id, timestamp)
+    }
+
+    /// Look up a record (cloned out of the shard).
+    pub fn get(&self, id: &RecordId) -> Option<StoredClaim> {
+        if id.ledger != self.id {
+            return None;
+        }
+        let shard = self.shards[self.shard_of(id.serial)].read();
+        shard.slots.get(self.slot_of(id.serial))?.clone()
+    }
+
+    /// Current status and epoch.
+    pub fn status(&self, id: &RecordId) -> Option<(RevocationStatus, u64)> {
+        if id.ledger != self.id {
+            return None;
+        }
+        let shard = self.shards[self.shard_of(id.serial)].read();
+        let stored = shard.slots.get(self.slot_of(id.serial))?.as_ref()?;
+        Some((stored.claim.status, stored.claim.status_epoch))
+    }
+
+    /// Apply a signed revoke/unrevoke request. Record mutation and the
+    /// filter-index update happen under the same shard write lock, so a
+    /// concurrent filter projection can never observe one without the
+    /// other.
+    pub fn apply_revoke(
+        &self,
+        request: &RevokeRequest,
+    ) -> Result<(RevocationStatus, u64), StoreError> {
+        if request.id.ledger != self.id {
+            return Err(StoreError::UnknownRecord);
+        }
+        let slot = self.slot_of(request.id.serial);
+        let mut shard = self.shards[self.shard_of(request.id.serial)].write();
+        let shard = &mut *shard;
+        let rec = shard
+            .slots
+            .get_mut(slot)
+            .and_then(Option::as_mut)
+            .ok_or(StoreError::UnknownRecord)?;
+        if rec.claim.status == RevocationStatus::PermanentlyRevoked {
+            return Err(StoreError::Permanent);
+        }
+        if request.epoch != rec.claim.status_epoch {
+            return Err(StoreError::StaleEpoch);
+        }
+        if !request.verify(&rec.claim.request.pubkey, rec.claim.status_epoch) {
+            return Err(StoreError::BadSignature);
+        }
+        let was_revoked = rec.claim.status != RevocationStatus::NotRevoked;
+        rec.claim.status = if request.revoke {
+            RevocationStatus::Revoked
+        } else {
+            RevocationStatus::NotRevoked
+        };
+        rec.claim.status_epoch += 1;
+        let key = rec.claim.id.filter_key();
+        let result = (rec.claim.status, rec.claim.status_epoch);
+        match (was_revoked, request.revoke) {
+            (false, true) => shard.filter.insert(key),
+            (true, false) => shard.filter.remove(key),
+            _ => {}
+        }
+        Ok(result)
+    }
+
+    /// Permanently revoke (appeals outcome); administrative, unsigned.
+    pub fn permanently_revoke(&self, id: &RecordId) -> Result<(), StoreError> {
+        if id.ledger != self.id {
+            return Err(StoreError::UnknownRecord);
+        }
+        let slot = self.slot_of(id.serial);
+        let mut shard = self.shards[self.shard_of(id.serial)].write();
+        let shard = &mut *shard;
+        let rec = shard
+            .slots
+            .get_mut(slot)
+            .and_then(Option::as_mut)
+            .ok_or(StoreError::UnknownRecord)?;
+        let was_revoked = rec.claim.status != RevocationStatus::NotRevoked;
+        rec.claim.status = RevocationStatus::PermanentlyRevoked;
+        rec.claim.status_epoch += 1;
+        if !was_revoked {
+            shard.filter.insert(id.filter_key());
+        }
+        Ok(())
+    }
+
+    /// Project the revoked-set Bloom filter from the per-shard counting
+    /// filters. Takes all shard read locks in index order (single-shard
+    /// writers cannot deadlock against this), so the result is a
+    /// consistent snapshot: no revocation is half-applied in it.
+    pub fn project_filter(&self) -> BloomFilter {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut merged = guards[0].filter.to_bloom();
+        for guard in &guards[1..] {
+            merged
+                .union_with(&guard.filter.to_bloom())
+                .expect("identical geometry across shards");
+        }
+        merged
+    }
+
+    /// The filter capacity the per-shard indices were sized with.
+    pub fn filter_capacity(&self) -> u64 {
+        self.filter_capacity
+    }
+
+    /// Count records by status: (not revoked, revoked, permanent).
+    /// Shards are visited one at a time; concurrent writers may be
+    /// counted in either state, as with any live statistic.
+    pub fn status_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            for stored in shard.slots.iter().flatten() {
+                match stored.claim.status {
+                    RevocationStatus::NotRevoked => counts.0 += 1,
+                    RevocationStatus::Revoked => counts.1 += 1,
+                    RevocationStatus::PermanentlyRevoked => counts.2 += 1,
+                }
+            }
+        }
+        counts
+    }
+
+    /// Visit every committed record (shard by shard, serial order within
+    /// each shard).
+    pub fn for_each(&self, mut f: impl FnMut(&StoredClaim)) {
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            for stored in shard.slots.iter().flatten() {
+                f(stored);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::LedgerStore;
+    use irs_crypto::{Digest, Keypair};
+    use irs_filters::Filter;
+    use std::sync::Arc;
+
+    fn store(shards: usize) -> ShardedLedgerStore {
+        ShardedLedgerStore::new(
+            LedgerId(1),
+            TimestampAuthority::from_seed(1),
+            10_000,
+            shards,
+        )
+    }
+
+    fn kp(seed: u8) -> Keypair {
+        Keypair::from_seed(&[seed; 32])
+    }
+
+    fn make_claim(s: &ShardedLedgerStore, seed: u8, revoked: bool) -> (RecordId, Keypair) {
+        let keypair = kp(seed);
+        let req = ClaimRequest::create(&keypair, &Digest::of(&[seed]));
+        let (id, _tok) = s.claim(req, ClaimOrigin::Owner, revoked, TimeMs(100));
+        (id, keypair)
+    }
+
+    #[test]
+    fn serials_stay_dense_across_shards() {
+        let s = store(4);
+        let ids: Vec<u64> = (0..20)
+            .map(|i| make_claim(&s, i as u8, false).0.serial)
+            .collect();
+        assert_eq!(ids, (0..20).collect::<Vec<u64>>());
+        assert_eq!(s.len(), 20);
+        for serial in 0..20 {
+            assert!(s.status(&RecordId::new(LedgerId(1), serial)).is_some());
+        }
+    }
+
+    #[test]
+    fn lifecycle_matches_monolithic_semantics() {
+        let s = store(3);
+        let (id, keypair) = make_claim(&s, 3, false);
+        assert_eq!(s.status(&id), Some((RevocationStatus::NotRevoked, 0)));
+        let req = RevokeRequest::create(&keypair, id, true, 0);
+        assert_eq!(s.apply_revoke(&req), Ok((RevocationStatus::Revoked, 1)));
+        // Replay rejected, wrong key rejected, permanent is final.
+        assert_eq!(s.apply_revoke(&req), Err(StoreError::StaleEpoch));
+        let intruder = RevokeRequest::create(&kp(99), id, false, 1);
+        assert_eq!(s.apply_revoke(&intruder), Err(StoreError::BadSignature));
+        s.permanently_revoke(&id).unwrap();
+        let late = RevokeRequest::create(&keypair, id, false, 2);
+        assert_eq!(s.apply_revoke(&late), Err(StoreError::Permanent));
+        assert_eq!(s.status_counts(), (0, 0, 1));
+    }
+
+    #[test]
+    fn foreign_and_missing_records() {
+        let s = store(2);
+        assert_eq!(s.status(&RecordId::new(LedgerId(9), 0)), None);
+        assert_eq!(s.status(&RecordId::new(LedgerId(1), 7)), None);
+        assert_eq!(
+            s.permanently_revoke(&RecordId::new(LedgerId(1), 7)),
+            Err(StoreError::UnknownRecord)
+        );
+    }
+
+    #[test]
+    fn union_matches_monolithic_store() {
+        // Same operation sequence against the monolithic store and a
+        // 7-way sharded store: the projected filters must be bit-equal.
+        let mut mono = LedgerStore::new(LedgerId(1), TimestampAuthority::from_seed(1), 10_000);
+        let sharded = store(7);
+        let mut keys = Vec::new();
+        for seed in 0..40u8 {
+            let revoked = seed % 3 == 0;
+            let keypair = kp(seed);
+            let req = ClaimRequest::create(&keypair, &Digest::of(&[seed]));
+            mono.claim(req, ClaimOrigin::Owner, revoked, TimeMs(1));
+            let (id, keypair) = make_claim(&sharded, seed, revoked);
+            keys.push((id, keypair, revoked));
+        }
+        // Revoke a few more on both.
+        for (id, keypair, revoked) in &keys {
+            if !revoked && id.serial % 5 == 0 {
+                let req = RevokeRequest::create(keypair, *id, true, 0);
+                mono.apply_revoke(&req).unwrap();
+                sharded.apply_revoke(&req).unwrap();
+            }
+        }
+        assert_eq!(
+            mono.filter_index().to_bloom().to_bytes(),
+            sharded.project_filter().to_bytes()
+        );
+    }
+
+    #[test]
+    fn concurrent_claims_keep_invariants() {
+        let s = Arc::new(store(8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..50u8 {
+                        make_claim(&s, t * 50 + i, i % 2 == 0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.len(), 200);
+        let (not_revoked, revoked, permanent) = s.status_counts();
+        assert_eq!((not_revoked, revoked, permanent), (100, 100, 0));
+        // Every serial is committed and queryable.
+        for serial in 0..200 {
+            let id = RecordId::new(LedgerId(1), serial);
+            assert!(s.status(&id).is_some(), "serial {serial} missing");
+        }
+        // Filter covers exactly the revoked records (no false negatives).
+        let filter = s.project_filter();
+        s.for_each(|stored| {
+            if stored.claim.status != RevocationStatus::NotRevoked {
+                assert!(filter.contains(stored.claim.id.filter_key()));
+            }
+        });
+    }
+
+    #[test]
+    fn from_parts_preserves_records_and_filter() {
+        let mut mono = LedgerStore::new(LedgerId(1), TimestampAuthority::from_seed(1), 10_000);
+        let mut expected = Vec::new();
+        for seed in 0..25u8 {
+            let keypair = kp(seed);
+            let req = ClaimRequest::create(&keypair, &Digest::of(&[seed]));
+            let (id, _) = mono.claim(req, ClaimOrigin::Owner, seed % 4 == 0, TimeMs(1));
+            expected.push((id, mono.status(&id).unwrap()));
+        }
+        let records: Vec<StoredClaim> = mono.iter().cloned().collect();
+        let sharded = ShardedLedgerStore::from_parts(
+            LedgerId(1),
+            TimestampAuthority::from_seed(1),
+            records,
+            10_000,
+            5,
+        );
+        assert_eq!(sharded.len(), 25);
+        for (id, status) in expected {
+            assert_eq!(sharded.status(&id), Some(status));
+        }
+        assert_eq!(
+            mono.filter_index().to_bloom().to_bytes(),
+            sharded.project_filter().to_bytes()
+        );
+        // New serials continue densely after the migrated ones.
+        let (id, _) = make_claim(&sharded, 200, false);
+        assert_eq!(id.serial, 25);
+    }
+}

@@ -140,12 +140,14 @@ impl LedgerStore {
 
     /// Current status and epoch.
     pub fn status(&self, id: &RecordId) -> Option<(RevocationStatus, u64)> {
-        self.get(id)
-            .map(|r| (r.claim.status, r.claim.status_epoch))
+        self.get(id).map(|r| (r.claim.status, r.claim.status_epoch))
     }
 
     /// Apply a signed revoke/unrevoke request.
-    pub fn apply_revoke(&mut self, request: &RevokeRequest) -> Result<(RevocationStatus, u64), StoreError> {
+    pub fn apply_revoke(
+        &mut self,
+        request: &RevokeRequest,
+    ) -> Result<(RevocationStatus, u64), StoreError> {
         if request.id.ledger != self.id {
             return Err(StoreError::UnknownRecord);
         }
@@ -202,6 +204,12 @@ impl LedgerStore {
     /// plain Bloom filter for publication by the service layer).
     pub fn filter_index(&self) -> &CountingBloom {
         &self.filter_index
+    }
+
+    /// Decompose into raw parts for promotion to a
+    /// [`crate::sharded::ShardedLedgerStore`].
+    pub(crate) fn into_parts(self) -> (LedgerId, TimestampAuthority, Vec<StoredClaim>) {
+        (self.id, self.tsa, self.records)
     }
 
     /// Iterate all records (appeals scans, probes, stats).
@@ -314,7 +322,10 @@ mod tests {
         let mut s = store();
         let foreign = RecordId::new(LedgerId(2), 0);
         assert_eq!(s.status(&foreign), None);
-        assert_eq!(s.permanently_revoke(&foreign), Err(StoreError::UnknownRecord));
+        assert_eq!(
+            s.permanently_revoke(&foreign),
+            Err(StoreError::UnknownRecord)
+        );
         let missing = RecordId::new(LedgerId(1), 42);
         assert_eq!(s.status(&missing), None);
     }

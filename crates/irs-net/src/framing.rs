@@ -82,7 +82,10 @@ mod tests {
         write_frame(&mut buf, b"").unwrap();
         write_frame(&mut buf, &[0xffu8; 1000]).unwrap();
         let mut cursor = Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor).unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Bytes::from_static(b"hello")
+        );
         assert_eq!(read_frame(&mut cursor).unwrap(), Bytes::new());
         assert_eq!(read_frame(&mut cursor).unwrap().len(), 1000);
         assert!(matches!(read_frame(&mut cursor), Err(NetError::Closed)));

@@ -1,24 +1,42 @@
 //! A ledger behind the wire protocol — the §4.3 "prototype ledger".
+//!
+//! Connection threads share one [`ConcurrentLedger`] behind a plain
+//! `Arc` and call its `&self` request path directly: no whole-service
+//! mutex is held across request handling, so independent connections
+//! proceed in parallel (the E15 thread-scaling experiment measures the
+//! difference against the old `Mutex<Ledger>` design).
 
 use crate::framing::{read_frame, write_frame};
 use crate::server::ServerHandle;
 use irs_core::time::{Clock, SystemClock};
 use irs_core::wire::{Request, Response, Wire};
-use irs_ledger::Ledger;
-use parking_lot::Mutex;
+use irs_ledger::sharded::DEFAULT_SHARDS;
+use irs_ledger::{ConcurrentLedger, Ledger};
 use std::net::SocketAddr;
 use std::sync::Arc;
 
 /// A running TCP ledger server.
 pub struct LedgerServer {
-    ledger: Arc<Mutex<Ledger>>,
+    ledger: Arc<ConcurrentLedger>,
     handle: ServerHandle,
 }
 
 impl LedgerServer {
     /// Start serving `ledger` on `addr` ("127.0.0.1:0" for ephemeral).
+    /// The ledger is promoted to a [`ConcurrentLedger`] with
+    /// [`DEFAULT_SHARDS`] stripes; records, published filter snapshots,
+    /// and stats carry over.
     pub fn start(ledger: Ledger, addr: &str) -> std::io::Result<LedgerServer> {
-        let ledger = Arc::new(Mutex::new(ledger));
+        LedgerServer::start_shared(Arc::new(ledger.into_concurrent(DEFAULT_SHARDS)), addr)
+    }
+
+    /// Start serving an already-shared concurrent ledger (callers that
+    /// want to drive the same instance from outside the server, or to
+    /// pick a stripe count).
+    pub fn start_shared(
+        ledger: Arc<ConcurrentLedger>,
+        addr: &str,
+    ) -> std::io::Result<LedgerServer> {
         let ledger_for_conns = ledger.clone();
         let handle = ServerHandle::spawn(addr, move |mut stream, stop| {
             // Bound reads so the connection thread notices shutdown.
@@ -40,7 +58,7 @@ impl LedgerServer {
                 let response = match Request::from_bytes(frame) {
                     Ok(request) => {
                         let now = SystemClock.now();
-                        ledger_for_conns.lock().handle(request, now)
+                        ledger_for_conns.handle(request, now)
                     }
                     Err(e) => Response::Error {
                         code: irs_ledger::codes::BAD_REQUEST,
@@ -60,9 +78,9 @@ impl LedgerServer {
         self.handle.addr()
     }
 
-    /// Shared access to the ledger (e.g. to publish filters while
-    /// serving).
-    pub fn ledger(&self) -> Arc<Mutex<Ledger>> {
+    /// Shared access to the ledger (e.g. to publish filters or apply
+    /// revocations while serving — every operation is `&self`).
+    pub fn ledger(&self) -> Arc<ConcurrentLedger> {
         self.ledger.clone()
     }
 
@@ -99,15 +117,13 @@ mod tests {
         let Response::Claimed { id, .. } = client.call(&Request::Claim(claim)).unwrap() else {
             panic!("claim failed");
         };
-        let Response::Status { status, epoch, .. } =
-            client.call(&Request::Query { id }).unwrap()
+        let Response::Status { status, epoch, .. } = client.call(&Request::Query { id }).unwrap()
         else {
             panic!("query failed");
         };
         assert_eq!(status, RevocationStatus::NotRevoked);
         let rv = RevokeRequest::create(&kp, id, true, epoch);
-        let Response::RevokeAck { status, .. } = client.call(&Request::Revoke(rv)).unwrap()
-        else {
+        let Response::RevokeAck { status, .. } = client.call(&Request::Revoke(rv)).unwrap() else {
             panic!("revoke failed");
         };
         assert_eq!(status, RevocationStatus::Revoked);
@@ -160,7 +176,30 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        assert_eq!(server.ledger().lock().store().len(), 4);
+        assert_eq!(server.ledger().store().len(), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn live_mutation_while_serving() {
+        // `&self` ledger handle: external code can claim/revoke/publish
+        // on the same instance the connection threads are serving.
+        let server = server();
+        let ledger = server.ledger();
+        let kp = Keypair::from_seed(&[7u8; 32]);
+        let req = ClaimRequest::create(&kp, &Digest::of(b"side"));
+        let (id, _) = ledger.store().claim(
+            req,
+            irs_ledger::store::ClaimOrigin::Owner,
+            true,
+            irs_core::time::TimeMs(1),
+        );
+        ledger.publish_filter();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+        let Response::Status { status, .. } = client.call(&Request::Query { id }).unwrap() else {
+            panic!("query failed");
+        };
+        assert_eq!(status, RevocationStatus::Revoked);
         server.shutdown();
     }
 }

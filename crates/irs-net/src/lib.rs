@@ -28,8 +28,8 @@ pub mod server;
 
 pub use client::LedgerClient;
 pub use ledger_server::LedgerServer;
-pub use refresh::{refresh_filter, RefreshOutcome};
 pub use proxy_server::ProxyServer;
+pub use refresh::{refresh_filter, refresh_shared_filter, RefreshOutcome};
 pub use server::ServerHandle;
 
 /// Errors from the network layer.

@@ -4,7 +4,10 @@
 //!
 //! Browsers connect to the proxy with the same wire protocol they would
 //! use against a ledger; the ledger only ever sees the proxy's address,
-//! which is the privacy property (§4.2).
+//! which is the privacy property (§4.2). Connection threads share one
+//! [`SharedProxy`] behind a plain `Arc`: lookups are `&self` (snapshot
+//! filters, striped cache), so a filter refresh or a slow upstream call
+//! on one connection never blocks lookups on another.
 
 use crate::client::LedgerClient;
 use crate::framing::{read_frame, write_frame};
@@ -12,27 +15,37 @@ use crate::server::ServerHandle;
 use irs_core::claim::RevocationStatus;
 use irs_core::time::{Clock, SystemClock};
 use irs_core::wire::{Request, Response, Wire};
-use irs_proxy::{IrsProxy, LookupOutcome};
-use parking_lot::Mutex;
+use irs_proxy::{IrsProxy, LookupOutcome, SharedProxy};
 use std::net::SocketAddr;
 use std::sync::Arc;
 
 /// A running TCP proxy.
 pub struct ProxyServer {
-    proxy: Arc<Mutex<IrsProxy>>,
+    proxy: Arc<SharedProxy>,
     handle: ServerHandle,
 }
 
 impl ProxyServer {
     /// Start a proxy on `addr`, forwarding filter misses to the ledger at
-    /// `upstream`. Each connection thread opens its own upstream
-    /// connection on demand (simple and adequate for prototype scale).
+    /// `upstream`. The sequential proxy is promoted to a [`SharedProxy`]
+    /// (filters and counters carry over). Each connection thread opens
+    /// its own upstream connection on demand (simple and adequate for
+    /// prototype scale).
     pub fn start(
         proxy: IrsProxy,
         addr: &str,
         upstream: SocketAddr,
     ) -> std::io::Result<ProxyServer> {
-        let proxy = Arc::new(Mutex::new(proxy));
+        ProxyServer::start_shared(Arc::new(SharedProxy::from_proxy(proxy)), addr, upstream)
+    }
+
+    /// Start serving an already-shared proxy (callers that refresh its
+    /// filters from outside the server while it runs).
+    pub fn start_shared(
+        proxy: Arc<SharedProxy>,
+        addr: &str,
+        upstream: SocketAddr,
+    ) -> std::io::Result<ProxyServer> {
         let proxy_for_conns = proxy.clone();
         let handle = ServerHandle::spawn(addr, move |mut stream, stop| {
             let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
@@ -54,8 +67,7 @@ impl ProxyServer {
                 let response = match Request::from_bytes(frame) {
                     Ok(Request::Query { id }) => {
                         let now = SystemClock.now();
-                        let outcome = proxy_for_conns.lock().lookup(id, now);
-                        match outcome {
+                        match proxy_for_conns.lookup(id, now) {
                             LookupOutcome::NotRevokedByFilter => Response::Status {
                                 id,
                                 status: RevocationStatus::NotRevoked,
@@ -68,7 +80,7 @@ impl ProxyServer {
                             },
                             LookupOutcome::NeedsLedgerQuery => {
                                 forward_query(&mut upstream_client, upstream, id, |id, status| {
-                                    proxy_for_conns.lock().complete(id, status, SystemClock.now());
+                                    proxy_for_conns.complete(id, status, SystemClock.now());
                                 })
                             }
                         }
@@ -96,8 +108,9 @@ impl ProxyServer {
         self.handle.addr()
     }
 
-    /// Shared proxy state (to install filters or read stats).
-    pub fn proxy(&self) -> Arc<Mutex<IrsProxy>> {
+    /// Shared proxy state (to refresh filters or read stats; every
+    /// operation is `&self`).
+    pub fn proxy(&self) -> Arc<SharedProxy> {
         self.proxy.clone()
     }
 
@@ -180,14 +193,12 @@ mod tests {
             .filters
             .apply_full(LedgerId(1), 1, filter.to_bytes())
             .unwrap();
-        let proxy_server =
-            ProxyServer::start(proxy, "127.0.0.1:0", ledger_server.addr()).unwrap();
+        let proxy_server = ProxyServer::start(proxy, "127.0.0.1:0", ledger_server.addr()).unwrap();
 
         // Browser queries through the proxy.
         let mut browser = LedgerClient::connect(proxy_server.addr()).unwrap();
         // Filter-hit id: forwarded upstream.
-        let Response::Status { status, .. } = browser.call(&Request::Query { id }).unwrap()
-        else {
+        let Response::Status { status, .. } = browser.call(&Request::Query { id }).unwrap() else {
             panic!("query failed");
         };
         assert_eq!(status, RevocationStatus::NotRevoked);
@@ -202,8 +213,7 @@ mod tests {
 
         // Stats: exactly one lookup reached the ledger.
         {
-            let p = proxy_server.proxy();
-            let stats = p.lock().stats;
+            let stats = proxy_server.proxy().stats();
             assert_eq!(stats.lookups, 2);
             assert_eq!(stats.ledger_queries, 1);
             assert_eq!(stats.filter_negative, 1);
@@ -211,8 +221,7 @@ mod tests {
         // Second query for the claimed id is served from the proxy cache.
         browser.call(&Request::Query { id }).unwrap();
         {
-            let p = proxy_server.proxy();
-            let stats = p.lock().stats;
+            let stats = proxy_server.proxy().stats();
             assert_eq!(stats.cache_hits, 1);
             assert_eq!(stats.ledger_queries, 1, "no extra upstream traffic");
         }

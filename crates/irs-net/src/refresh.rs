@@ -1,11 +1,19 @@
 //! Wire-level filter refresh: how a proxy keeps its revoked-set filters
 //! current over the network (§4.4's hourly publication, on real sockets).
+//!
+//! Two entry points: [`refresh_filter`] for the sequential [`IrsProxy`]
+//! (simulator, single-threaded tools) and [`refresh_shared_filter`] for
+//! a served [`SharedProxy`] — the latter runs the version check and the
+//! apply inside one `update_filters` transaction, so concurrent lookups
+//! keep reading the old snapshot until the new one swaps in, and two
+//! racing refreshes cannot interleave their version reads and writes.
 
 use crate::client::LedgerClient;
 use crate::NetError;
 use irs_core::ids::LedgerId;
 use irs_core::wire::{Request, Response};
-use irs_proxy::IrsProxy;
+use irs_proxy::filterset::FilterSet;
+use irs_proxy::{IrsProxy, SharedProxy};
 
 /// What a refresh round did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,11 +44,40 @@ pub fn refresh_filter(
     ledger: LedgerId,
 ) -> Result<RefreshOutcome, NetError> {
     let have = proxy.filters.version(ledger);
-    match client.call(&Request::GetFilter { have_version: have })? {
+    let response = client.call(&Request::GetFilter { have_version: have })?;
+    apply_response(&mut proxy.filters, ledger, response)
+}
+
+/// [`refresh_filter`] against a served [`SharedProxy`]. The wire call
+/// happens outside any lock; the version check and apply run inside one
+/// filter-set transaction, and in-flight lookups are never blocked for
+/// longer than the snapshot pointer swap.
+pub fn refresh_shared_filter(
+    proxy: &SharedProxy,
+    client: &mut LedgerClient,
+    ledger: LedgerId,
+) -> Result<RefreshOutcome, NetError> {
+    let have = proxy.filters_snapshot().version(ledger);
+    let response = client.call(&Request::GetFilter { have_version: have })?;
+    proxy.update_filters(|filters| {
+        // Another refresher may have advanced the set between our
+        // snapshot read and this transaction; re-check inside it.
+        if filters.version(ledger) != have {
+            return Ok(RefreshOutcome::AlreadyCurrent);
+        }
+        apply_response(filters, ledger, response)
+    })
+}
+
+fn apply_response(
+    filters: &mut FilterSet,
+    ledger: LedgerId,
+    response: Response,
+) -> Result<RefreshOutcome, NetError> {
+    match response {
         Response::FilterFull { version, data } => {
             let bytes = data.len();
-            proxy
-                .filters
+            filters
                 .apply_full(ledger, version, data)
                 .map_err(|_| NetError::Frame("filter payload rejected"))?;
             Ok(RefreshOutcome::InstalledFull { version, bytes })
@@ -54,8 +91,7 @@ pub fn refresh_filter(
                 return Ok(RefreshOutcome::AlreadyCurrent);
             }
             let bytes = data.len();
-            proxy
-                .filters
+            filters
                 .apply_delta(ledger, from_version, to_version, data)
                 .map_err(|_| NetError::Frame("filter delta rejected"))?;
             Ok(RefreshOutcome::AppliedDelta {
@@ -88,8 +124,7 @@ mod tests {
         // One revoked record, then publish.
         let mut cam = Camera::new(9, 96, 96);
         let shot = cam.capture(0);
-        let Response::Claimed { id, .. } =
-            ledger.handle(Request::Claim(shot.claim), TimeMs(0))
+        let Response::Claimed { id, .. } = ledger.handle(Request::Claim(shot.claim), TimeMs(0))
         else {
             panic!("claim failed");
         };
@@ -147,10 +182,10 @@ mod tests {
         refresh_filter(&mut proxy, &mut client, LedgerId(1)).unwrap();
         assert_eq!(proxy.filters.version(LedgerId(1)), 1);
 
-        // Churn: revoke b, publish v2 while the server is live.
+        // Churn: revoke b, publish v2 while the server is live — all
+        // `&self` on the shared concurrent ledger.
         {
-            let ledger_arc = server.ledger();
-            let mut l = ledger_arc.lock();
+            let l = server.ledger();
             let rv = RevokeRequest::create(&shot_b.keypair, b, true, 0);
             l.handle(Request::Revoke(rv), TimeMs(3));
             l.publish_filter();
@@ -161,10 +196,7 @@ mod tests {
             matches!(outcome, RefreshOutcome::AppliedDelta { version: 2, .. }),
             "{outcome:?}"
         );
-        assert_eq!(
-            proxy.lookup(b, TimeMs(10)),
-            LookupOutcome::NeedsLedgerQuery
-        );
+        assert_eq!(proxy.lookup(b, TimeMs(10)), LookupOutcome::NeedsLedgerQuery);
         server.shutdown();
     }
 
@@ -178,6 +210,55 @@ mod tests {
         let mut client = LedgerClient::connect(server.addr()).unwrap();
         let mut proxy = IrsProxy::new(ProxyConfig::default());
         assert!(refresh_filter(&mut proxy, &mut client, LedgerId(1)).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shared_refresh_full_then_delta() {
+        // Same flow as the sequential tests, but against a SharedProxy —
+        // the shape a served proxy uses while connection threads run.
+        let mut ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(12),
+        );
+        let mut cam = Camera::new(12, 96, 96);
+        let shot = cam.capture(0);
+        let Response::Claimed { id, .. } = ledger.handle(Request::Claim(shot.claim), TimeMs(0))
+        else {
+            panic!()
+        };
+        let rv = RevokeRequest::create(&shot.keypair, id, true, 0);
+        ledger.handle(Request::Revoke(rv), TimeMs(1));
+        ledger.publish_filter();
+        let server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+
+        let proxy = SharedProxy::new(ProxyConfig::default());
+        let outcome = refresh_shared_filter(&proxy, &mut client, LedgerId(1)).unwrap();
+        assert!(matches!(
+            outcome,
+            RefreshOutcome::InstalledFull { version: 1, .. }
+        ));
+        assert_eq!(
+            proxy.lookup(id, TimeMs(5)),
+            LookupOutcome::NeedsLedgerQuery,
+            "revoked id hits the pulled filter"
+        );
+
+        // Churn on the live ledger, then a delta refresh.
+        let shot_b = cam.capture(1);
+        let l = server.ledger();
+        let (b, _) = l.claim_revoked(shot_b.claim, TimeMs(6));
+        l.publish_filter();
+        let outcome = refresh_shared_filter(&proxy, &mut client, LedgerId(1)).unwrap();
+        assert!(
+            matches!(outcome, RefreshOutcome::AppliedDelta { version: 2, .. }),
+            "{outcome:?}"
+        );
+        assert_eq!(proxy.lookup(b, TimeMs(7)), LookupOutcome::NeedsLedgerQuery);
+        // No churn: already current.
+        let outcome = refresh_shared_filter(&proxy, &mut client, LedgerId(1)).unwrap();
+        assert_eq!(outcome, RefreshOutcome::AlreadyCurrent);
         server.shutdown();
     }
 }

@@ -98,7 +98,12 @@ impl Batcher {
         if self.pending.is_empty() {
             return None;
         }
-        let oldest = self.pending.iter().map(|p| p.enqueued).min().expect("nonempty");
+        let oldest = self
+            .pending
+            .iter()
+            .map(|p| p.enqueued)
+            .min()
+            .expect("nonempty");
         let expired = now.since(oldest) >= self.config.max_hold_ms;
         let k_met = self.distinct_requesters() >= self.config.min_batch;
         if expired || (k_met && self.pending.len() >= self.config.min_batch) {

@@ -16,7 +16,10 @@ use irs_filters::delta::BloomDelta;
 use irs_filters::{BloomFilter, Filter, FilterError};
 use std::collections::HashMap;
 
-/// Per-ledger filters plus their OR.
+/// Per-ledger filters plus their OR. `Clone` supports the shared
+/// proxy's copy-on-write refresh: build the next snapshot off-lock,
+/// then swap it in atomically.
+#[derive(Clone)]
 pub struct FilterSet {
     per_ledger: HashMap<LedgerId, (u64, BloomFilter)>,
     merged: Option<BloomFilter>,
@@ -194,9 +197,7 @@ mod tests {
         fs.apply_full(LedgerId(1), 5, old.to_bytes()).unwrap();
         let delta = BloomDelta::diff(&old, &old).unwrap();
         assert!(fs.apply_delta(LedgerId(1), 4, 6, delta.to_bytes()).is_err());
-        assert!(fs
-            .apply_delta(LedgerId(9), 5, 6, delta.to_bytes())
-            .is_err());
+        assert!(fs.apply_delta(LedgerId(9), 5, 6, delta.to_bytes()).is_err());
     }
 
     #[test]

@@ -17,13 +17,19 @@
 //!   aggregation that §4.2's privacy argument rests on);
 //! * [`privacy`] — attribution accounting for experiment E13.
 
+//! * [`shared`] — [`SharedProxy`]: the same pipeline with a fully
+//!   `&self` lookup path (snapshot-swapped filters, striped cache,
+//!   atomic counters) for multi-threaded servers.
+
 pub mod batch;
 pub mod filterset;
 pub mod lru;
 pub mod privacy;
 pub mod proxy;
+pub mod shared;
 
 pub use batch::{Batch, BatchConfig, Batcher};
 pub use filterset::FilterSet;
 pub use lru::LruTtlCache;
 pub use proxy::{IrsProxy, LookupOutcome, ProxyConfig, ProxyStats};
+pub use shared::SharedProxy;

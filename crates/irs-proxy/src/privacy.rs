@@ -63,11 +63,7 @@ pub fn analyze(total_views: u64, log: &[LedgerLogEntry]) -> LeakageReport {
 /// The anonymity set of a proxied query: how many users were active at the
 /// proxy within ±`window_ms` of the query. Larger is better; a set of 1
 /// de-anonymizes by timing.
-pub fn anonymity_set_size(
-    query_at_ms: u64,
-    window_ms: u64,
-    user_activity: &[(u64, u32)],
-) -> usize {
+pub fn anonymity_set_size(query_at_ms: u64, window_ms: u64, user_activity: &[(u64, u32)]) -> usize {
     let lo = query_at_ms.saturating_sub(window_ms);
     let hi = query_at_ms.saturating_add(window_ms);
     let users: HashSet<u32> = user_activity

@@ -108,6 +108,7 @@ pub struct IrsProxy {
     cache: LruTtlCache<RecordId, RevocationStatus>,
     /// Counters.
     pub stats: ProxyStats,
+    config: ProxyConfig,
 }
 
 impl IrsProxy {
@@ -117,7 +118,13 @@ impl IrsProxy {
             filters: FilterSet::new(),
             cache: LruTtlCache::new(config.cache_capacity, config.cache_ttl_ms),
             stats: ProxyStats::default(),
+            config,
         }
+    }
+
+    /// The configuration this proxy was built with.
+    pub fn config(&self) -> ProxyConfig {
+        self.config
     }
 
     /// Classify a lookup. Order: merged revoked-set filter (cheapest,
@@ -172,9 +179,7 @@ mod tests {
         for id in revoked {
             f.insert(id.filter_key());
         }
-        p.filters
-            .apply_full(LedgerId(1), 1, f.to_bytes())
-            .unwrap();
+        p.filters.apply_full(LedgerId(1), 1, f.to_bytes()).unwrap();
         p
     }
 
@@ -233,10 +238,7 @@ mod tests {
         p.lookup(rid(1), TimeMs(0));
         p.complete(rid(1), RevocationStatus::NotRevoked, TimeMs(0));
         p.invalidate(&rid(1));
-        assert_eq!(
-            p.lookup(rid(1), TimeMs(1)),
-            LookupOutcome::NeedsLedgerQuery
-        );
+        assert_eq!(p.lookup(rid(1), TimeMs(1)), LookupOutcome::NeedsLedgerQuery);
     }
 
     #[test]
@@ -246,7 +248,11 @@ mod tests {
             let _ = p.lookup(rid(n), TimeMs(0));
         }
         let s = p.stats;
-        assert!(s.load_reduction() > 10.0, "reduction {}", s.load_reduction());
+        assert!(
+            s.load_reduction() > 10.0,
+            "reduction {}",
+            s.load_reduction()
+        );
         assert!(s.ledger_query_fraction() < 0.1);
         let empty = ProxyStats::default();
         assert_eq!(empty.ledger_query_fraction(), 0.0);

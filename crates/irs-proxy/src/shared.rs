@@ -1,0 +1,313 @@
+//! Read-mostly shared proxy: the `&self` counterpart of [`IrsProxy`],
+//! safe to share across connection threads behind a plain `Arc`.
+//!
+//! Three pieces of state, each synchronized to its access pattern:
+//!
+//! * **Filters** — read on every lookup, replaced only on refresh. An
+//!   `RwLock<Arc<FilterSet>>` snapshot pointer: lookups hold the read
+//!   lock just long enough to clone the `Arc`; a refresh deep-clones
+//!   the set *off* the lock, mutates the copy, and swaps the pointer
+//!   under a brief write lock. A refresh therefore never blocks
+//!   in-flight lookups for longer than one pointer assignment.
+//! * **Status cache** — mutated on every hit (LRU recency), so it is
+//!   striped: `N` independent [`LruTtlCache`]s, each behind its own
+//!   `Mutex`, keyed by the record's filter key. Lookups on different
+//!   stripes never contend.
+//! * **Counters** — relaxed atomics, snapshotted into the same
+//!   [`ProxyStats`] struct the sequential proxy exposes.
+
+use crate::filterset::FilterSet;
+use crate::lru::LruTtlCache;
+use crate::proxy::{IrsProxy, LookupOutcome, ProxyConfig, ProxyStats};
+use irs_core::claim::RevocationStatus;
+use irs_core::ids::RecordId;
+use irs_core::time::TimeMs;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default cache stripe count.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+#[derive(Default)]
+struct AtomicProxyStats {
+    lookups: AtomicU64,
+    filter_negative: AtomicU64,
+    cache_hits: AtomicU64,
+    ledger_queries: AtomicU64,
+}
+
+/// A proxy whose whole lookup path is `&self`.
+pub struct SharedProxy {
+    filters: RwLock<Arc<FilterSet>>,
+    /// Serializes refreshes so two concurrent `update_filters` calls
+    /// cannot lose each other's updates in the clone-swap.
+    refresh_lock: Mutex<()>,
+    cache_shards: Box<[Mutex<LruTtlCache<RecordId, RevocationStatus>>]>,
+    stats: AtomicProxyStats,
+}
+
+impl SharedProxy {
+    /// Create a shared proxy with [`DEFAULT_CACHE_SHARDS`] cache stripes.
+    pub fn new(config: ProxyConfig) -> SharedProxy {
+        SharedProxy::with_shards(config, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Create with an explicit cache stripe count. Total capacity is
+    /// split evenly across stripes.
+    pub fn with_shards(config: ProxyConfig, num_shards: usize) -> SharedProxy {
+        assert!(num_shards > 0, "need at least one cache shard");
+        let per_shard = (config.cache_capacity / num_shards).max(1);
+        let cache_shards = (0..num_shards)
+            .map(|_| Mutex::new(LruTtlCache::new(per_shard, config.cache_ttl_ms)))
+            .collect();
+        SharedProxy {
+            filters: RwLock::new(Arc::new(FilterSet::new())),
+            refresh_lock: Mutex::new(()),
+            cache_shards,
+            stats: AtomicProxyStats::default(),
+        }
+    }
+
+    /// Promote a sequential [`IrsProxy`]: installed filters and counters
+    /// carry over; the status cache starts cold (entries are
+    /// re-populated by the first post-promotion lookups, bounded by the
+    /// same TTL that already bounded their staleness).
+    pub fn from_proxy(proxy: IrsProxy) -> SharedProxy {
+        let shared = SharedProxy::new(proxy.config());
+        *shared.filters.write() = Arc::new(proxy.filters);
+        let stats = proxy.stats;
+        shared.stats.lookups.store(stats.lookups, Ordering::Relaxed);
+        shared
+            .stats
+            .filter_negative
+            .store(stats.filter_negative, Ordering::Relaxed);
+        shared
+            .stats
+            .cache_hits
+            .store(stats.cache_hits, Ordering::Relaxed);
+        shared
+            .stats
+            .ledger_queries
+            .store(stats.ledger_queries, Ordering::Relaxed);
+        shared
+    }
+
+    fn shard_of(&self, id: &RecordId) -> usize {
+        (id.filter_key() % self.cache_shards.len() as u64) as usize
+    }
+
+    /// Classify a lookup: merged filter, then cache stripe, then ledger.
+    /// Same decision pipeline as [`IrsProxy::lookup`], but `&self`.
+    pub fn lookup(&self, id: RecordId, now: TimeMs) -> LookupOutcome {
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        let filters = self.filters_snapshot();
+        if filters.might_be_revoked(id.filter_key()) == Some(false) {
+            self.stats.filter_negative.fetch_add(1, Ordering::Relaxed);
+            return LookupOutcome::NotRevokedByFilter;
+        }
+        if let Some(status) = self.cache_shards[self.shard_of(&id)].lock().get(&id, now) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return LookupOutcome::Cached(status);
+        }
+        self.stats.ledger_queries.fetch_add(1, Ordering::Relaxed);
+        LookupOutcome::NeedsLedgerQuery
+    }
+
+    /// Record a ledger answer (populates the cache stripe).
+    pub fn complete(&self, id: RecordId, status: RevocationStatus, now: TimeMs) {
+        self.cache_shards[self.shard_of(&id)]
+            .lock()
+            .insert(id, status, now);
+    }
+
+    /// Drop a cached status (revocation push / probe finding).
+    pub fn invalidate(&self, id: &RecordId) {
+        self.cache_shards[self.shard_of(id)].lock().invalidate(id);
+    }
+
+    /// The current filter snapshot (cheap `Arc` clone; never blocks on
+    /// a refresh in progress beyond its pointer swap).
+    pub fn filters_snapshot(&self) -> Arc<FilterSet> {
+        self.filters.read().clone()
+    }
+
+    /// Refresh the filters: `f` runs against a private copy of the
+    /// current set, which then replaces the snapshot atomically.
+    /// In-flight lookups keep reading the old snapshot until the swap;
+    /// concurrent refreshes are serialized.
+    pub fn update_filters<R>(&self, f: impl FnOnce(&mut FilterSet) -> R) -> R {
+        let _serialize = self.refresh_lock.lock();
+        let current = self.filters_snapshot();
+        let mut working = (*current).clone();
+        let result = f(&mut working);
+        *self.filters.write() = Arc::new(working);
+        result
+    }
+
+    /// Cache occupancy (sum over stripes).
+    pub fn cache_len(&self) -> usize {
+        self.cache_shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats(&self) -> ProxyStats {
+        ProxyStats {
+            lookups: self.stats.lookups.load(Ordering::Relaxed),
+            filter_negative: self.stats.filter_negative.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            ledger_queries: self.stats.ledger_queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_core::ids::LedgerId;
+    use irs_filters::BloomFilter;
+    use std::thread;
+
+    fn rid(n: u64) -> RecordId {
+        RecordId::new(LedgerId(1), n)
+    }
+
+    fn install_filter(p: &SharedProxy, revoked: &[RecordId]) {
+        let mut f = BloomFilter::with_params(1 << 14, 6, 0).unwrap();
+        for id in revoked {
+            f.insert(id.filter_key());
+        }
+        p.update_filters(|fs| fs.apply_full(LedgerId(1), 1, f.to_bytes()))
+            .unwrap();
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_proxy() {
+        let p = SharedProxy::new(ProxyConfig {
+            cache_capacity: 16,
+            cache_ttl_ms: 1_000,
+        });
+        install_filter(&p, &[rid(1)]);
+        // Filter miss: local. Filter hit: ledger, then cached, then TTL.
+        assert_eq!(
+            p.lookup(rid(777_777), TimeMs(0)),
+            LookupOutcome::NotRevokedByFilter
+        );
+        assert_eq!(p.lookup(rid(1), TimeMs(0)), LookupOutcome::NeedsLedgerQuery);
+        p.complete(rid(1), RevocationStatus::Revoked, TimeMs(0));
+        assert_eq!(
+            p.lookup(rid(1), TimeMs(100)),
+            LookupOutcome::Cached(RevocationStatus::Revoked)
+        );
+        assert_eq!(
+            p.lookup(rid(1), TimeMs(2_000)),
+            LookupOutcome::NeedsLedgerQuery,
+            "cache entry expired"
+        );
+        p.complete(rid(1), RevocationStatus::Revoked, TimeMs(2_000));
+        p.invalidate(&rid(1));
+        assert_eq!(
+            p.lookup(rid(1), TimeMs(2_001)),
+            LookupOutcome::NeedsLedgerQuery,
+            "invalidate purges"
+        );
+        let stats = p.stats();
+        assert_eq!(stats.lookups, 5);
+        assert_eq!(stats.filter_negative, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.ledger_queries, 3);
+    }
+
+    #[test]
+    fn promotion_carries_filters_and_stats() {
+        let mut seq = IrsProxy::new(ProxyConfig::default());
+        let mut f = BloomFilter::with_params(1 << 14, 6, 0).unwrap();
+        f.insert(rid(3).filter_key());
+        seq.filters
+            .apply_full(LedgerId(1), 4, f.to_bytes())
+            .unwrap();
+        let _ = seq.lookup(rid(3), TimeMs(0));
+        let shared = SharedProxy::from_proxy(seq);
+        assert_eq!(shared.filters_snapshot().version(LedgerId(1)), 4);
+        assert_eq!(shared.stats().lookups, 1);
+        // Filter still answers.
+        assert_eq!(
+            shared.lookup(rid(888_888), TimeMs(1)),
+            LookupOutcome::NotRevokedByFilter
+        );
+    }
+
+    #[test]
+    fn refresh_does_not_block_lookups() {
+        // Readers hammer lookups while a refresher swaps snapshots with
+        // an artificially slow rebuild closure. Under the old design
+        // (one mutex around everything) the readers would stall for the
+        // whole rebuild; here they only ever wait for a pointer swap.
+        let p = Arc::new(SharedProxy::new(ProxyConfig::default()));
+        install_filter(&p, &[rid(1)]);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = p.lookup(rid(n % 10_000), TimeMs(n));
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        for version in 2..20u64 {
+            p.update_filters(|fs| {
+                let mut f = BloomFilter::with_params(1 << 14, 6, 0).unwrap();
+                f.insert(rid(version).filter_key());
+                // Simulate a slow refresh (network decode, union rebuild).
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                fs.apply_full(LedgerId(1), version, f.to_bytes())
+            })
+            .unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert_eq!(p.filters_snapshot().version(LedgerId(1)), 19);
+        assert_eq!(p.stats().lookups, total);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn striped_cache_is_coherent_under_concurrency() {
+        let p = Arc::new(SharedProxy::with_shards(
+            ProxyConfig {
+                cache_capacity: 4_096,
+                cache_ttl_ms: 1_000_000,
+            },
+            8,
+        ));
+        // No filters installed: every uncached lookup says NeedsLedgerQuery.
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let id = rid(t * 500 + i);
+                        p.complete(id, RevocationStatus::Revoked, TimeMs(0));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(p.cache_len(), 2_000);
+        for n in 0..2_000u64 {
+            assert_eq!(
+                p.lookup(rid(n), TimeMs(1)),
+                LookupOutcome::Cached(RevocationStatus::Revoked),
+                "id {n}"
+            );
+        }
+    }
+}

@@ -43,8 +43,7 @@ impl Histogram {
         }
         self.ensure_sorted();
         let q = q.clamp(0.0, 1.0);
-        let rank = ((self.samples.len() as f64 * q).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((self.samples.len() as f64 * q).ceil() as usize).clamp(1, self.samples.len());
         Some(self.samples[rank - 1])
     }
 

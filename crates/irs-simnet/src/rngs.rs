@@ -55,8 +55,16 @@ mod tests {
     #[test]
     fn same_name_same_stream() {
         let f = RngStreams::new(1);
-        let a: Vec<u64> = f.stream("net").sample_iter(rand::distributions::Standard).take(5).collect();
-        let b: Vec<u64> = f.stream("net").sample_iter(rand::distributions::Standard).take(5).collect();
+        let a: Vec<u64> = f
+            .stream("net")
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
+        let b: Vec<u64> = f
+            .stream("net")
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -41,7 +41,12 @@ pub struct Actor {
 
 impl Actor {
     /// Convenience constructor.
-    pub fn new(name: &str, brand_weight: f64, engagement_loss: f64, integration_cost: f64) -> Actor {
+    pub fn new(
+        name: &str,
+        brand_weight: f64,
+        engagement_loss: f64,
+        integration_cost: f64,
+    ) -> Actor {
         Actor {
             name: name.to_string(),
             brand_weight,
@@ -164,7 +169,13 @@ impl AdoptionModel {
     }
 
     /// Utility of actor `i` in the given state.
-    fn utility(&self, actor: &Actor, browser_share: f64, photos: f64, adopted_fraction: f64) -> f64 {
+    fn utility(
+        &self,
+        actor: &Actor,
+        browser_share: f64,
+        photos: f64,
+        adopted_fraction: f64,
+    ) -> f64 {
         let liability_exposure =
             browser_share * (photos / self.params.liability_reference_photos).min(1.0);
         actor.brand_weight * browser_share
@@ -189,8 +200,7 @@ impl AdoptionModel {
             // Aggregator decisions first (based on last month's state).
             let adopted_fraction = adopted.iter().filter(|&&a| a).count() as f64 / n.max(1) as f64;
             for (i, actor) in self.actors.iter().enumerate() {
-                if !adopted[i]
-                    && self.utility(actor, browser_share, photos, adopted_fraction) > 0.0
+                if !adopted[i] && self.utility(actor, browser_share, photos, adopted_fraction) > 0.0
                 {
                     adopted[i] = true;
                     adoption_month[i] = Some(month);

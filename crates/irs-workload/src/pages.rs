@@ -152,11 +152,7 @@ mod tests {
         let claimed = page.claimed_count();
         assert!((15..=30).contains(&claimed), "claimed {claimed}");
         // Exactly the first three resources block rendering.
-        let blocking = page
-            .resources
-            .iter()
-            .filter(|r| r.render_blocking)
-            .count();
+        let blocking = page.resources.iter().filter(|r| r.render_blocking).count();
         assert_eq!(blocking, 3);
     }
 

@@ -170,8 +170,7 @@ impl PhotoPopulation {
                 priv_rev += p.revoked as u64;
             }
         }
-        let total_rate =
-            (pub_rev + priv_rev) as f64 / (pub_n + priv_n) as f64;
+        let total_rate = (pub_rev + priv_rev) as f64 / (pub_n + priv_n) as f64;
         (
             pub_rev as f64 / pub_n.max(1) as f64,
             priv_rev as f64 / priv_n.max(1) as f64,
@@ -239,7 +238,9 @@ mod tests {
             ..PopulationConfig::default()
         });
         let n = p.public_count();
-        let mut seen: Vec<u64> = (0..n).map(|r| p.public_photo_by_rank(r).id.serial).collect();
+        let mut seen: Vec<u64> = (0..n)
+            .map(|r| p.public_photo_by_rank(r).id.serial)
+            .collect();
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len() as u64, n, "permutation must be a bijection");

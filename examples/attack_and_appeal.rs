@@ -21,21 +21,37 @@ fn main() {
     let shot = camera.capture(0);
     let mut labeled = PhotoFile::new(shot.photo.image.clone());
     labeled
-        .label(irs::protocol::ids::RecordId::new(irs::protocol::ids::LedgerId(1), 1), &wm)
+        .label(
+            irs::protocol::ids::RecordId::new(irs::protocol::ids::LedgerId(1), 1),
+            &wm,
+        )
         .expect("label");
 
     let escalation: Vec<(&str, Vec<Manipulation>)> = vec![
         ("metadata strip only", vec![]),
         ("+ jpeg q70", vec![Manipulation::Jpeg(70)]),
-        ("+ jpeg q40 & tint", vec![
-            Manipulation::Jpeg(40),
-            Manipulation::Tint { r: 1.1, g: 1.0, b: 0.9 },
-        ]),
-        ("+ jpeg q5 & heavy noise", vec![
-            Manipulation::Jpeg(5),
-            Manipulation::Noise { sigma: 60.0, seed: 1 },
-            Manipulation::Jpeg(5),
-        ]),
+        (
+            "+ jpeg q40 & tint",
+            vec![
+                Manipulation::Jpeg(40),
+                Manipulation::Tint {
+                    r: 1.1,
+                    g: 1.0,
+                    b: 0.9,
+                },
+            ],
+        ),
+        (
+            "+ jpeg q5 & heavy noise",
+            vec![
+                Manipulation::Jpeg(5),
+                Manipulation::Noise {
+                    sigma: 60.0,
+                    seed: 1,
+                },
+                Manipulation::Jpeg(5),
+            ],
+        ),
     ];
     println!("{:<28} {:>10} {:>10}", "distortion", "wm alive", "psnr dB");
     for (name, ops) in escalation {

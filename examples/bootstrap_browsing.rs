@@ -10,10 +10,10 @@
 
 use irs::browser::pipeline::{CheckService, CheckTiming, NetworkParams, NoChecks, PageLoader};
 use irs::filters::BloomFilter;
-use irs::proxy::{IrsProxy, LookupOutcome, ProxyConfig};
 use irs::protocol::claim::RevocationStatus;
 use irs::protocol::ids::LedgerId;
 use irs::protocol::time::TimeMs;
+use irs::proxy::{IrsProxy, LookupOutcome, ProxyConfig};
 use irs::simnet::{Histogram, Link};
 use irs::workload::pages::PageModel;
 use irs::workload::population::{PhotoPopulation, PopulationConfig};
@@ -119,7 +119,10 @@ fn main() {
         irs_delay.record(with.page_delay());
     }
 
-    println!("page completion without IRS: {}", baseline_complete.summary());
+    println!(
+        "page completion without IRS: {}",
+        baseline_complete.summary()
+    );
     println!("page completion with IRS:    {}", irs_complete.summary());
     println!("added page delay:            {}", irs_delay.summary());
 

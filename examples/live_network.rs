@@ -31,9 +31,8 @@ fn main() {
     let mut revoked: Vec<RecordId> = Vec::new();
     for i in 0..100u64 {
         let shot = camera.capture(i);
-        let Response::Claimed { id, .. } = owner
-            .call(&Request::Claim(shot.claim))
-            .expect("claim call")
+        let Response::Claimed { id, .. } =
+            owner.call(&Request::Claim(shot.claim)).expect("claim call")
         else {
             panic!("claim failed");
         };
@@ -44,7 +43,11 @@ fn main() {
         }
         claimed.push(id);
     }
-    println!("claimed {} photos, revoked {}", claimed.len(), revoked.len());
+    println!(
+        "claimed {} photos, revoked {}",
+        claimed.len(),
+        revoked.len()
+    );
 
     // Proxy with the ledger's revoked-set filter, in front: photos whose
     // id misses the filter are answered locally as not-revoked.
@@ -69,9 +72,8 @@ fn main() {
     for round in 0..3 {
         for (i, &id) in claimed.iter().enumerate() {
             let start = Instant::now();
-            let Response::Status { status, .. } = browser
-                .call(&Request::Query { id })
-                .expect("query")
+            let Response::Status { status, .. } =
+                browser.call(&Request::Query { id }).expect("query")
             else {
                 panic!("unexpected response");
             };
@@ -102,8 +104,7 @@ fn main() {
         p(0.99)
     );
     {
-        let proxy_arc = proxy_server.proxy();
-        let stats = proxy_arc.lock().stats;
+        let stats = proxy_server.proxy().stats();
         println!(
             "proxy stats: {} lookups, {} ledger queries ({:.1}× load reduction)",
             stats.lookups,

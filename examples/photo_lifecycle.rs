@@ -91,7 +91,10 @@ fn main() {
 
 /// Small helper: query status+epoch through the directory.
 trait QueryStatus {
-    fn query_status(&mut self, id: irs::protocol::ids::RecordId) -> (irs::protocol::RevocationStatus, u64);
+    fn query_status(
+        &mut self,
+        id: irs::protocol::ids::RecordId,
+    ) -> (irs::protocol::RevocationStatus, u64);
 }
 
 impl QueryStatus for LocalLedgers {

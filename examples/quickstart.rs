@@ -60,7 +60,6 @@ fn main() {
 
     // A well-behaved viewer now refuses to display the photo.
     let policy = irs::protocol::policy::ViewerPolicy::default();
-    let action =
-        policy.display_action(irs::protocol::policy::ValidationOutcome::Revoked(id));
+    let action = policy.display_action(irs::protocol::policy::ValidationOutcome::Revoked(id));
     println!("viewer action for the revoked photo: {action:?}");
 }

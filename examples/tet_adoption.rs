@@ -11,14 +11,20 @@ fn main() {
     let model = AdoptionModel::with_defaults();
     let result = model.run();
 
-    println!("actors: {}", model
-        .actors
-        .iter()
-        .map(|a| a.name.as_str())
-        .collect::<Vec<_>>()
-        .join(", "));
+    println!(
+        "actors: {}",
+        model
+            .actors
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!();
-    println!("{:>5}  {:>9}  {:>14}  adoption", "month", "browsers", "claimed photos");
+    println!(
+        "{:>5}  {:>9}  {:>14}  adoption",
+        "month", "browsers", "claimed photos"
+    );
     let mut last_adopted = 0;
     for s in &result.timeline {
         let adopted: Vec<&str> = s
@@ -53,7 +59,7 @@ fn main() {
                     .copied()
                     .max()
                     .unwrap_or(0)
-                + 6
+                    + 6
         {
             break;
         }
@@ -62,7 +68,10 @@ fn main() {
     for (i, actor) in model.actors.iter().enumerate() {
         match (result.adoption_month[i], result.adoption_population[i]) {
             (Some(m), Some(p)) => {
-                println!("{:<16} adopted in month {m} at {p:.2e} claimed photos", actor.name)
+                println!(
+                    "{:<16} adopted in month {m} at {p:.2e} claimed photos",
+                    actor.name
+                )
             }
             _ => println!("{:<16} never adopted within the horizon", actor.name),
         }

@@ -51,7 +51,10 @@ fn filter_pipeline_full_then_delta_roundtrip() {
     // Hour 1: full snapshot.
     match publisher.publish(&mut ledger) {
         FilterUpdate::Full { version, data } => {
-            proxy.filters.apply_full(LedgerId(1), version, data).unwrap();
+            proxy
+                .filters
+                .apply_full(LedgerId(1), version, data)
+                .unwrap();
         }
         other => panic!("expected full, got {other:?}"),
     }
@@ -122,7 +125,10 @@ fn browser_proxy_ledger_validation_chain() {
     let FilterUpdate::Full { version, data } = publisher.publish(&mut ledger) else {
         panic!("full expected");
     };
-    proxy.filters.apply_full(LedgerId(1), version, data).unwrap();
+    proxy
+        .filters
+        .apply_full(LedgerId(1), version, data)
+        .unwrap();
 
     let mut validator = BrowserValidator::new(ViewerPolicy::default(), 128, 60_000);
     let mut ledger_queries = 0u64;

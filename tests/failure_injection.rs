@@ -93,11 +93,7 @@ fn aggregator_fails_closed_on_unreachable_ledger() {
         ) -> Option<(RecordId, irs::protocol::TimestampToken)> {
             None
         }
-        fn proof(
-            &mut self,
-            _id: RecordId,
-            _now: TimeMs,
-        ) -> Option<irs::protocol::FreshnessProof> {
+        fn proof(&mut self, _id: RecordId, _now: TimeMs) -> Option<irs::protocol::FreshnessProof> {
             None
         }
     }
@@ -128,10 +124,7 @@ fn probes_catch_each_misbehavior_mode() {
             prober.probe_round(&mut adv, TimeMs(1_000 + round));
         }
         if should_catch {
-            assert!(
-                prober.inconsistent > 0,
-                "{misbehavior:?} must be detected"
-            );
+            assert!(prober.inconsistent > 0, "{misbehavior:?} must be detected");
             assert!(prober.reputation() < 1.0);
         } else {
             assert_eq!(prober.inconsistent, 0, "{misbehavior:?} is honest");
@@ -163,10 +156,7 @@ fn wire_decoder_never_panics_on_mutated_frames() {
         Request::Query {
             id: RecordId::new(LedgerId(1), 5),
         },
-        Request::Claim(ClaimRequest::create(
-            &kp,
-            &irs::crypto::Digest::of(b"p"),
-        )),
+        Request::Claim(ClaimRequest::create(&kp, &irs::crypto::Digest::of(b"p"))),
         Request::GetFilter { have_version: 3 },
         Request::Batch(vec![RecordId::new(LedgerId(1), 1)]),
     ];

@@ -38,7 +38,6 @@ fn full_lifecycle_share_revoke_unrevoke() {
     // Capture and claim.
     let mut cam = Camera::new(1, 256, 256);
     let shot = cam.capture(0);
-    let keypair = shot.keypair.clone();
     let Response::Claimed { id, timestamp } = w
         .ledgers
         .get_mut(LedgerId(1))
@@ -56,7 +55,10 @@ fn full_lifecycle_share_revoke_unrevoke() {
     let mut uploaded = labeled.clone();
     uploaded.image = irs::imaging::jpeg::transcode(&uploaded.image, 80);
     let (decision, key) = w.aggregator.upload(uploaded, &mut w.ledgers, TimeMs(1_000));
-    assert!(decision.accepted(), "transcoded labeled upload: {decision:?}");
+    assert!(
+        decision.accepted(),
+        "transcoded labeled upload: {decision:?}"
+    );
     let key = key.unwrap();
 
     // A browser validates the served photo.
@@ -109,10 +111,7 @@ fn full_lifecycle_share_revoke_unrevoke() {
     let (decision, _) = w
         .aggregator
         .upload(labeled.clone(), &mut w.ledgers, TimeMs(4_000_000));
-    assert_eq!(
-        decision,
-        irs::protocol::UploadDecision::DeniedRevoked(id)
-    );
+    assert_eq!(decision, irs::protocol::UploadDecision::DeniedRevoked(id));
 
     // Unrevoke restores.
     let (_, epoch) = w.ledgers.query(id, TimeMs(4_100_000)).unwrap();

@@ -25,8 +25,7 @@ fn tcp_chain_blocks_revoked_and_reduces_load() {
     let mut revoked = Vec::new();
     for i in 0..30u64 {
         let shot = cam.capture(i);
-        let Response::Claimed { id, .. } = owner.call(&Request::Claim(shot.claim)).unwrap()
-        else {
+        let Response::Claimed { id, .. } = owner.call(&Request::Claim(shot.claim)).unwrap() else {
             panic!("claim failed");
         };
         if i % 10 == 0 {
@@ -53,8 +52,7 @@ fn tcp_chain_blocks_revoked_and_reduces_load() {
     let mut browser = LedgerClient::connect(proxy_server.addr()).unwrap();
     let mut blocked = 0;
     for id in &claimed {
-        let Response::Status { status, .. } =
-            browser.call(&Request::Query { id: *id }).unwrap()
+        let Response::Status { status, .. } = browser.call(&Request::Query { id: *id }).unwrap()
         else {
             panic!("query failed");
         };
@@ -67,8 +65,7 @@ fn tcp_chain_blocks_revoked_and_reduces_load() {
     // Unclaimed photos answered locally too.
     for n in 0..20u64 {
         let ghost = RecordId::new(LedgerId(1), 10_000 + n);
-        let Response::Status { status, .. } =
-            browser.call(&Request::Query { id: ghost }).unwrap()
+        let Response::Status { status, .. } = browser.call(&Request::Query { id: ghost }).unwrap()
         else {
             panic!("query failed");
         };
@@ -77,8 +74,7 @@ fn tcp_chain_blocks_revoked_and_reduces_load() {
 
     // Load accounting: ≥ 50 lookups, only ~3 reached the ledger.
     {
-        let proxy_arc = proxy_server.proxy();
-        let stats = proxy_arc.lock().stats;
+        let stats = proxy_server.proxy().stats();
         assert_eq!(stats.lookups, 50);
         assert!(
             stats.ledger_queries <= 5,
@@ -102,10 +98,9 @@ fn filter_fetch_over_wire() {
     // One revoked record.
     let mut cam = Camera::new(8, 96, 96);
     let shot = cam.capture(0);
-    let Response::Claimed { id, .. } = ledger.handle(
-        Request::Claim(shot.claim),
-        irs::protocol::time::TimeMs(0),
-    ) else {
+    let Response::Claimed { id, .. } =
+        ledger.handle(Request::Claim(shot.claim), irs::protocol::time::TimeMs(0))
+    else {
         panic!()
     };
     let rv = RevokeRequest::create(&shot.keypair, id, true, 0);
@@ -114,13 +109,17 @@ fn filter_fetch_over_wire() {
 
     let server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
     let mut client = LedgerClient::connect(server.addr()).unwrap();
-    let Response::FilterFull { version, data } =
-        client.call(&Request::GetFilter { have_version: 0 }).unwrap()
+    let Response::FilterFull { version, data } = client
+        .call(&Request::GetFilter { have_version: 0 })
+        .unwrap()
     else {
         panic!("expected full filter");
     };
     let mut proxy = IrsProxy::new(ProxyConfig::default());
-    proxy.filters.apply_full(LedgerId(1), version, data).unwrap();
+    proxy
+        .filters
+        .apply_full(LedgerId(1), version, data)
+        .unwrap();
     // The revoked id hits; a fresh id misses.
     use irs::proxy::LookupOutcome;
     assert_eq!(

@@ -5,7 +5,6 @@
 //! decision. Validates that the sans-io components compose under
 //! event-driven scheduling exactly as they do under the analytic loops.
 
-use irs::filters::BloomFilter;
 use irs::ledger::{Ledger, LedgerConfig};
 use irs::protocol::ids::LedgerId;
 use irs::protocol::time::TimeMs;

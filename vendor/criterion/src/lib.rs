@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset the workspace benches use: `Criterion`,
+//! `benchmark_group` with `Throughput`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId::new`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a short calibration pass sizes a
+//! batch, the batch is timed a few times, and the median per-iteration
+//! time is printed as plain text (no HTML reports, no statistics
+//! beyond the median). Good enough for relative comparisons in a dev
+//! loop; not a statistics engine.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time spent measuring one benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(120);
+/// Number of timed batches; the median is reported.
+const SAMPLES: usize = 5;
+
+/// Per-iteration throughput annotation for a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark name, optionally parameterized (`name/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut rendered = function_name.into();
+        let _ = write!(rendered, "/{parameter}");
+        BenchmarkId { rendered }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            rendered: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(rendered: String) -> Self {
+        BenchmarkId { rendered }
+    }
+}
+
+/// Drives the timing loop for one benchmark.
+pub struct Bencher {
+    /// Median per-iteration time in nanoseconds, filled in by
+    /// [`Bencher::iter`]. Kept as `f64` because tight loops run
+    /// sub-nanosecond per iteration.
+    per_iter_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine` and record its median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it takes long enough to time.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= MEASURE_TARGET / (SAMPLES as u32 * 2) || batch >= 1 << 30 {
+                break;
+            }
+            // Aim the next batch at roughly a sample's worth of time.
+            batch = batch.saturating_mul(4);
+        }
+        let mut samples = [Duration::ZERO; SAMPLES];
+        for slot in samples.iter_mut() {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            *slot = start.elapsed();
+        }
+        samples.sort();
+        self.per_iter_ns = samples[SAMPLES / 2].as_secs_f64() * 1e9 / batch as f64;
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, per_iter_ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<44} {:>12}/iter", format_nanos(per_iter_ns));
+    if let Some(tp) = throughput {
+        let secs = (per_iter_ns / 1e9).max(1e-15);
+        match tp {
+            Throughput::Elements(n) => {
+                let _ = write!(line, "  {:>12.0} elem/s", n as f64 / secs);
+            }
+            Throughput::Bytes(n) => {
+                let _ = write!(
+                    line,
+                    "  {:>12.1} MiB/s",
+                    n as f64 / secs / (1024.0 * 1024.0)
+                );
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { per_iter_ns: 0.0 };
+    f(&mut b);
+    report(name, b.per_iter_ns, throughput);
+}
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().rendered);
+        run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().rendered);
+        run_one(&full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().rendered, None, f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero() {
+        let mut b = Bencher { per_iter_ns: 0.0 };
+        b.iter(|| black_box(1u64.wrapping_add(2)));
+        assert!(b.per_iter_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("bloom", 10_000).rendered, "bloom/10000");
+        assert_eq!(BenchmarkId::from("plain").rendered, "plain");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_nanos(500.0), "500.00 ns");
+        assert_eq!(format_nanos(1_500_000.0), "1.50 ms");
+    }
+}

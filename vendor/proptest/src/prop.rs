@@ -1,0 +1,145 @@
+//! The `prop::` namespace: collection and sample strategies.
+
+pub mod collection {
+    //! Strategies over collections.
+
+    use crate::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::fmt::Debug;
+    use std::hash::Hash;
+
+    /// A length/size bound for collection strategies. Built from
+    /// `usize` ranges via `Into` — keeping `usize` the only convertible
+    /// integer type is what lets bare literals (`0..100`) infer
+    /// correctly.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive upper bound.
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            assert!(self.lo < self.hi, "empty size range");
+            self.lo + rng.below(self.hi - self.lo)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<E>` with a drawn length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<E> {
+        element: E,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<E>` with a drawn size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct HashSetStrategy<E> {
+        element: E,
+        size: SizeRange,
+    }
+
+    /// A `HashSet` whose size is drawn from `size` and whose elements
+    /// are drawn from `element`. Duplicate draws are retried a bounded
+    /// number of times; the set may come up short if the element domain
+    /// is smaller than the requested size.
+    pub fn hash_set<E>(element: E, size: impl Into<SizeRange>) -> HashSetStrategy<E>
+    where
+        E: Strategy,
+        E::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<E> Strategy for HashSetStrategy<E>
+    where
+        E: Strategy,
+        E::Value: Eq + Hash,
+    {
+        type Value = HashSet<E::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<E::Value> {
+            let want = self.size.draw(rng);
+            let mut out = HashSet::with_capacity(want);
+            let mut attempts = 0usize;
+            let max_attempts = want.saturating_mul(16).max(16);
+            while out.len() < want && attempts < max_attempts {
+                attempts += 1;
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use crate::{ArbitraryValue, TestRng};
+
+    /// An index into a collection whose length is only known inside the
+    /// test body; resolve it with [`Index::index`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map onto `0..len` (`len` must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl ArbitraryValue for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Distributions for [`crate::Rng::sample`] and [`crate::Rng::gen`].
+
+use crate::{unit_f32, unit_f64, RngCore};
+use std::marker::PhantomData;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Iterator of draws, consuming the RNG.
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        R: RngCore,
+        Self: Sized,
+    {
+        DistIter {
+            distr: self,
+            rng,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Iterator over samples (returned by
+/// [`Distribution::sample_iter`] / [`crate::Rng::sample_iter`]).
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<T>,
+}
+
+impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// The "natural" uniform distribution for a type: full range for
+/// integers, `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f32(rng.next_u64())
+    }
+}
+
+impl<const N: usize> Distribution<[u8; N]> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn sample_iter_streams() {
+        let v: Vec<u64> = StdRng::seed_from_u64(1)
+            .sample_iter(Standard)
+            .take(5)
+            .collect();
+        let w: Vec<u64> = StdRng::seed_from_u64(1)
+            .sample_iter(Standard)
+            .take(5)
+            .collect();
+        assert_eq!(v, w);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn bool_balanced() {
+        let mut r = StdRng::seed_from_u64(2);
+        let trues = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&trues), "{trues}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Implements the surface this workspace uses: the [`RngCore`] /
+//! [`Rng`] / [`SeedableRng`] traits, [`rngs::StdRng`] backed by
+//! xoshiro256** seeded through SplitMix64, the [`distributions::Standard`]
+//! distribution, range sampling for the integer and float types the
+//! experiments draw, and [`seq::SliceRandom`] shuffling.
+//!
+//! Streams are deterministic for a given seed — the reproducibility
+//! property EXPERIMENTS.md depends on — but the byte streams differ
+//! from the real `rand`'s ChaCha12-based `StdRng`. Nothing in the
+//! workspace asserts on absolute draw values, only on distributional
+//! and determinism properties.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, Standard};
+
+/// The core source-of-randomness trait.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Fill `dest` (a byte slice or array) with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T)
+    where
+        Self: Sized,
+    {
+        dest.fill_from(self)
+    }
+
+    /// Sample from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+
+    /// Iterator of samples from `distr`, consuming the RNG.
+    fn sample_iter<T, D>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        D: Distribution<T>,
+        Self: Sized,
+    {
+        distr.sample_iter(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanded with SplitMix64 (matching the
+    /// real crate's approach).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let raw = splitmix64(sm).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&raw[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Map 64 random bits to a uniform `f32` in `[0, 1)`.
+pub(crate) fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Types [`Rng::fill`] can populate.
+pub trait Fill {
+    /// Overwrite `self` with random data from `rng`.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty, $unit:ident);*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                self.start + (self.end - self.start) * $unit(rng.next_u64())
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                lo + (hi - lo) * $unit(rng.next_u64())
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, unit_f32; f64, unit_f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn determinism_per_seed() {
+        let a: Vec<u64> = (0..8)
+            .map(|_| StdRng::seed_from_u64(7).next_u64())
+            .collect();
+        let mut r = StdRng::seed_from_u64(7);
+        assert!(a.iter().all(|&v| v == a[0]));
+        let b: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_ne!(b[0], b[1], "stream advances");
+        assert_ne!(
+            StdRng::seed_from_u64(1).next_u64(),
+            StdRng::seed_from_u64(2).next_u64()
+        );
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i32 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g: f32 = r.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all cells hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "{hits}");
+        assert!((0..1000).all(|_| !r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_fills() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 37];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut buf2 = [0u8; 37];
+        StdRng::seed_from_u64(4).fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn standard_distribution_uniformish() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mean = (0..100_000u64).map(|_| r.gen::<f64>()).sum::<f64>() / 100_000.0;
+        assert!((0.49..0.51).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn from_seed_array() {
+        let a = StdRng::from_seed([9u8; 32]).next_u64();
+        let b = StdRng::from_seed([9u8; 32]).next_u64();
+        let c = StdRng::from_seed([10u8; 32]).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}
