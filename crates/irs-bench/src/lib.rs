@@ -13,7 +13,7 @@
 pub mod experiments;
 pub mod table;
 
-/// Run an experiment by id ("e1".."e15" or "all"). `quick` trades
+/// Run an experiment by id ("e1".."e16" or "all"). `quick` trades
 /// precision for speed (used by tests).
 pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
     use experiments::*;
@@ -33,11 +33,12 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
         "e13" => e13_viewer_privacy::run(quick),
         "e14" => e14_validation_latency::run(quick),
         "e15" => e15_thread_scaling::run(quick),
+        "e16" => e16_availability::run(quick),
         "all" => {
             let mut out = String::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15",
+                "e14", "e15", "e16",
             ] {
                 out.push_str(&run_experiment(id, quick).expect("known id"));
                 out.push('\n');

@@ -115,6 +115,34 @@ impl BrowserValidator {
     pub fn complete_unreachable(&mut self, id: RecordId) -> ValidationOutcome {
         ValidationOutcome::Unknown(id)
     }
+
+    /// Feed back a *stale* proxy answer (a degraded proxy serving from
+    /// its last-good state with an honest age, `Response::StatusStale`).
+    ///
+    /// A stale `Revoked` is always honored — acting on an old takedown
+    /// is strictly safer than ignoring it. A stale `NotRevoked` is only
+    /// trusted within `max_stale_ms`; beyond that the record may have
+    /// been revoked since, so the answer degrades to `Unknown` and the
+    /// viewer policy decides (fail-open shows it, Nongoal #4's bounded
+    /// delay; fail-closed hides it).
+    pub fn complete_stale(
+        &mut self,
+        id: RecordId,
+        status: RevocationStatus,
+        age_ms: u64,
+        max_stale_ms: u64,
+    ) -> ValidationOutcome {
+        if !status.allows_viewing() {
+            return ValidationOutcome::Revoked(id);
+        }
+        if age_ms <= max_stale_ms {
+            // Deliberately NOT cached: a stale answer must not launder
+            // itself into a fresh one on the next lookup.
+            ValidationOutcome::Valid(id)
+        } else {
+            ValidationOutcome::Unknown(id)
+        }
+    }
 }
 
 fn outcome_for(id: RecordId, status: RevocationStatus) -> ValidationOutcome {
@@ -223,6 +251,30 @@ mod tests {
         let mut v = validator();
         let outcome = v.complete_unreachable(rid(9));
         assert_eq!(v.policy.display_action(outcome), DisplayAction::Show);
+    }
+
+    #[test]
+    fn stale_answers_degrade_by_age_and_severity() {
+        let mut v = validator();
+        // Stale revocation: honored at any age.
+        assert_eq!(
+            v.complete_stale(rid(5), RevocationStatus::Revoked, 999_999, 1_000),
+            ValidationOutcome::Revoked(rid(5))
+        );
+        // Fresh-enough stale NotRevoked: still valid.
+        assert_eq!(
+            v.complete_stale(rid(6), RevocationStatus::NotRevoked, 500, 1_000),
+            ValidationOutcome::Valid(rid(6))
+        );
+        // Too old: Unknown, and the default policy fails open.
+        let outcome = v.complete_stale(rid(7), RevocationStatus::NotRevoked, 5_000, 1_000);
+        assert_eq!(outcome, ValidationOutcome::Unknown(rid(7)));
+        assert_eq!(v.policy.display_action(outcome), DisplayAction::Show);
+        // Stale answers are not cached as fresh.
+        assert_eq!(
+            v.plan(&labeled(rid(6)), TimeMs(1)),
+            ValidationPlan::AskProxy(rid(6))
+        );
     }
 
     #[test]

@@ -353,6 +353,30 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// Status served from degraded state: the upstream ledger was
+    /// unreachable (or its circuit breaker is open), so the proxy answered
+    /// from its last-good filter snapshot / TTL cache. `age_ms` bounds the
+    /// staleness of the answer — the quantitative form of Nongoal #4's
+    /// "benefits even if [revocation is not] instantaneous".
+    StatusStale {
+        /// The record queried.
+        id: RecordId,
+        /// Last known status.
+        status: RevocationStatus,
+        /// Milliseconds since this answer was last confirmed upstream.
+        age_ms: u64,
+    },
+    /// The upstream ledger is unreachable and the proxy holds no answer,
+    /// stale or otherwise. Viewers map this to
+    /// [`crate::policy::ValidationOutcome::Unknown`] and let
+    /// [`crate::policy::ViewerPolicy::fail_open`] decide.
+    Unavailable {
+        /// The record queried.
+        id: RecordId,
+        /// Milliseconds since the proxy last heard from this ledger
+        /// (`u64::MAX` when it never has).
+        age_ms: u64,
+    },
 }
 
 impl Wire for Request {
@@ -480,6 +504,17 @@ impl Wire for Response {
                 buf.put_u16(*code);
                 put_string(buf, message);
             }
+            Response::StatusStale { id, status, age_ms } => {
+                buf.put_u8(10);
+                id.encode(buf);
+                status.encode(buf);
+                age_ms.encode(buf);
+            }
+            Response::Unavailable { id, age_ms } => {
+                buf.put_u8(11);
+                id.encode(buf);
+                age_ms.encode(buf);
+            }
         }
     }
 
@@ -535,6 +570,15 @@ impl Wire for Response {
                     message: get_string(buf)?,
                 })
             }
+            10 => Ok(Response::StatusStale {
+                id: RecordId::decode(buf)?,
+                status: RevocationStatus::decode(buf)?,
+                age_ms: u64::decode(buf)?,
+            }),
+            11 => Ok(Response::Unavailable {
+                id: RecordId::decode(buf)?,
+                age_ms: u64::decode(buf)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -643,6 +687,15 @@ mod tests {
         roundtrip(&Response::Error {
             code: 404,
             message: "unknown record".to_string(),
+        });
+        roundtrip(&Response::StatusStale {
+            id: rid(6),
+            status: RevocationStatus::Revoked,
+            age_ms: 12_345,
+        });
+        roundtrip(&Response::Unavailable {
+            id: rid(7),
+            age_ms: u64::MAX,
         });
     }
 

@@ -54,4 +54,7 @@ pub mod codes {
     pub const BAD_REQUEST: u16 = 4;
     /// Stale epoch in a revoke request.
     pub const STALE_EPOCH: u16 = 5;
+    /// Upstream ledger unreachable and no degraded answer available
+    /// (returned by proxies, never by a ledger itself).
+    pub const UNAVAILABLE: u16 = 6;
 }

@@ -9,8 +9,16 @@ use crate::NetError;
 use bytes::Bytes;
 use std::io::{Read, Write};
 
-/// Largest accepted frame: filters dominate, so allow 512 MiB.
+/// Largest accepted frame on the *download* direction (client reading a
+/// server's reply): filter snapshots dominate, so allow 512 MiB.
 pub const MAX_FRAME: u32 = 512 << 20;
+
+/// Largest accepted frame on the *upload* direction (server reading a
+/// client's request). Requests are tiny — the largest legitimate one is a
+/// `Batch` of 100 000 record ids (~1.4 MiB); nothing a client sends
+/// approaches a filter payload. Servers read with this cap so a malicious
+/// client cannot make every connection thread allocate [`MAX_FRAME`].
+pub const MAX_REQUEST_FRAME: u32 = 2 << 20;
 
 /// Write one frame.
 pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), NetError> {
@@ -23,16 +31,24 @@ pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), NetEr
     Ok(())
 }
 
-/// Read one frame. [`NetError::Closed`] on clean EOF at a frame boundary.
+/// Read one frame with the large [`MAX_FRAME`] cap (the client side,
+/// where filter payloads arrive). [`NetError::Closed`] on clean EOF at a
+/// frame boundary.
 pub fn read_frame<R: Read>(reader: &mut R) -> Result<Bytes, NetError> {
+    read_frame_capped(reader, MAX_FRAME)
+}
+
+/// Read one frame whose declared length must not exceed `cap`. Servers
+/// pass [`MAX_REQUEST_FRAME`]; clients pass [`MAX_FRAME`].
+pub fn read_frame_capped<R: Read>(reader: &mut R, cap: u32) -> Result<Bytes, NetError> {
     let mut len_buf = [0u8; 4];
     match read_exact_or_eof(reader, &mut len_buf)? {
         ReadOutcome::Eof => return Err(NetError::Closed),
         ReadOutcome::Full => {}
     }
     let len = u32::from_be_bytes(len_buf);
-    if len > MAX_FRAME {
-        return Err(NetError::Frame("declared length exceeds MAX_FRAME"));
+    if len > cap {
+        return Err(NetError::Frame("declared length exceeds frame cap"));
     }
     let mut payload = vec![0u8; len as usize];
     reader.read_exact(&mut payload).map_err(|e| {
@@ -112,5 +128,39 @@ mod tests {
     fn truncated_length_detected() {
         let mut cursor = Cursor::new(vec![0u8, 0]);
         assert!(matches!(read_frame(&mut cursor), Err(NetError::Frame(_))));
+    }
+
+    #[test]
+    fn request_cap_rejects_what_the_payload_cap_accepts() {
+        // A declared length between the two caps: fine for a client
+        // reading a filter, rejected by a server reading a request —
+        // before any payload allocation happens.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_REQUEST_FRAME + 1).to_be_bytes());
+        let mut cursor = Cursor::new(buf.clone());
+        assert!(matches!(
+            read_frame_capped(&mut cursor, MAX_REQUEST_FRAME),
+            Err(NetError::Frame(_))
+        ));
+        // The same header passes the large cap (then fails on the missing
+        // payload, which is the expected path for a truncated stream).
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(
+            read_frame_capped(&mut cursor, MAX_FRAME),
+            Err(NetError::Frame("stream ended mid-frame"))
+        ));
+    }
+
+    #[test]
+    fn request_sized_frames_fit_request_cap() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 1024]).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(
+            read_frame_capped(&mut cursor, MAX_REQUEST_FRAME)
+                .unwrap()
+                .len(),
+            1024
+        );
     }
 }

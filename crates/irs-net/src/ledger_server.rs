@@ -6,7 +6,7 @@
 //! proceed in parallel (the E15 thread-scaling experiment measures the
 //! difference against the old `Mutex<Ledger>` design).
 
-use crate::framing::{read_frame, write_frame};
+use crate::framing::{read_frame_capped, write_frame, MAX_REQUEST_FRAME};
 use crate::server::ServerHandle;
 use irs_core::time::{Clock, SystemClock};
 use irs_core::wire::{Request, Response, Wire};
@@ -45,7 +45,9 @@ impl LedgerServer {
                 if stop.load(std::sync::atomic::Ordering::SeqCst) {
                     return;
                 }
-                let frame = match read_frame(&mut stream) {
+                // Requests are small; the tight cap stops a hostile peer
+                // from staging a filter-sized allocation at the server.
+                let frame = match read_frame_capped(&mut stream, MAX_REQUEST_FRAME) {
                     Ok(f) => f,
                     Err(crate::NetError::Io(e))
                         if e.kind() == std::io::ErrorKind::WouldBlock

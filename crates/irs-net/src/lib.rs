@@ -19,17 +19,21 @@
 //! * [`refresh`] — the proxy's hourly filter pull (full or delta) over
 //!   the wire.
 
+pub mod chaos;
 pub mod client;
 pub mod framing;
 pub mod ledger_server;
 pub mod proxy_server;
 pub mod refresh;
+pub mod resilient;
 pub mod server;
 
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, FaultMode};
 pub use client::LedgerClient;
 pub use ledger_server::LedgerServer;
-pub use proxy_server::ProxyServer;
-pub use refresh::{refresh_filter, refresh_shared_filter, RefreshOutcome};
+pub use proxy_server::{ProxyServer, UpstreamConfig};
+pub use refresh::{refresh_filter, refresh_shared_filter, RefreshOutcome, RefreshWorker};
+pub use resilient::{ResilientClient, RetryPolicy};
 pub use server::ServerHandle;
 
 /// Errors from the network layer.
@@ -43,6 +47,19 @@ pub enum NetError {
     Closed,
     /// Wire-codec failure on a received payload.
     Wire(irs_core::wire::WireError),
+    /// The stream died mid-exchange (write failed, read timed out, or the
+    /// peer vanished). The client holding it must [`reconnect`] before the
+    /// next call — after a failed exchange the request/response framing
+    /// can no longer be trusted to be in sync.
+    ///
+    /// [`reconnect`]: client::LedgerClient::reconnect
+    ConnectionLost,
+    /// A [`ResilientClient`] ran out of retry budget: every attempt
+    /// failed and/or the per-call deadline elapsed.
+    Exhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -52,6 +69,10 @@ impl std::fmt::Display for NetError {
             NetError::Frame(what) => write!(f, "framing error: {what}"),
             NetError::Closed => write!(f, "connection closed"),
             NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::ConnectionLost => write!(f, "connection lost mid-exchange"),
+            NetError::Exhausted { attempts } => {
+                write!(f, "retries exhausted after {attempts} attempt(s)")
+            }
         }
     }
 }

@@ -8,16 +8,78 @@
 //! [`SharedProxy`] behind a plain `Arc`: lookups are `&self` (snapshot
 //! filters, striped cache), so a filter refresh or a slow upstream call
 //! on one connection never blocks lookups on another.
+//!
+//! The upstream path is configurable via [`UpstreamConfig`] — from a
+//! bare single-attempt client up to the full degradation ladder (retry +
+//! failover via [`ResilientClient`], per-ledger circuit breaker, and
+//! stale-serve from the TTL cache). See DESIGN.md "Failure model &
+//! degradation ladder".
 
-use crate::client::LedgerClient;
-use crate::framing::{read_frame, write_frame};
+use crate::framing::{read_frame_capped, write_frame, MAX_REQUEST_FRAME};
+use crate::resilient::{ResilientClient, RetryPolicy};
 use crate::server::ServerHandle;
 use irs_core::claim::RevocationStatus;
-use irs_core::time::{Clock, SystemClock};
+use irs_core::ids::RecordId;
+use irs_core::time::{Clock, SystemClock, TimeMs};
 use irs_core::wire::{Request, Response, Wire};
 use irs_proxy::{IrsProxy, LookupOutcome, SharedProxy};
 use std::net::SocketAddr;
 use std::sync::Arc;
+
+/// How the proxy reaches its upstream ledger(s), and how far down the
+/// degradation ladder it is willing to go when they misbehave.
+#[derive(Clone, Debug)]
+pub struct UpstreamConfig {
+    /// Upstream ledger replicas, tried in rotation on failure.
+    pub replicas: Vec<SocketAddr>,
+    /// Retry/backoff/deadline policy for upstream calls. A
+    /// `max_attempts` of 1 disables retries entirely.
+    pub retry: RetryPolicy,
+    /// Consult a per-ledger circuit breaker before each upstream call
+    /// and record every outcome into it.
+    pub breaker: bool,
+    /// When the upstream is unreachable (or the breaker is open), answer
+    /// from the TTL cache ignoring expiry — [`Response::StatusStale`]
+    /// with an honest age — instead of an error. Misses become
+    /// [`Response::Unavailable`].
+    pub stale_serve: bool,
+}
+
+impl UpstreamConfig {
+    /// Legacy behavior: one upstream, one attempt, no breaker, errors
+    /// surface as errors.
+    pub fn plain(upstream: SocketAddr) -> UpstreamConfig {
+        UpstreamConfig {
+            replicas: vec![upstream],
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+            breaker: false,
+            stale_serve: false,
+        }
+    }
+
+    /// Retries + failover, but no breaker and no stale answers.
+    pub fn retrying(replicas: Vec<SocketAddr>, retry: RetryPolicy) -> UpstreamConfig {
+        UpstreamConfig {
+            replicas,
+            retry,
+            breaker: false,
+            stale_serve: false,
+        }
+    }
+
+    /// The whole ladder: retries, failover, circuit breaker, stale-serve.
+    pub fn full(replicas: Vec<SocketAddr>, retry: RetryPolicy) -> UpstreamConfig {
+        UpstreamConfig {
+            replicas,
+            retry,
+            breaker: true,
+            stale_serve: true,
+        }
+    }
+}
 
 /// A running TCP proxy.
 pub struct ProxyServer {
@@ -46,15 +108,25 @@ impl ProxyServer {
         addr: &str,
         upstream: SocketAddr,
     ) -> std::io::Result<ProxyServer> {
+        ProxyServer::start_with_upstream(proxy, addr, UpstreamConfig::plain(upstream))
+    }
+
+    /// Start serving with an explicit upstream policy — the entry point
+    /// for resilient deployments (and experiment E16).
+    pub fn start_with_upstream(
+        proxy: Arc<SharedProxy>,
+        addr: &str,
+        upstream: UpstreamConfig,
+    ) -> std::io::Result<ProxyServer> {
         let proxy_for_conns = proxy.clone();
         let handle = ServerHandle::spawn(addr, move |mut stream, stop| {
             let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
-            let mut upstream_client: Option<LedgerClient> = None;
+            let mut upstream_client: Option<ResilientClient> = None;
             loop {
                 if stop.load(std::sync::atomic::Ordering::SeqCst) {
                     return;
                 }
-                let frame = match read_frame(&mut stream) {
+                let frame = match read_frame_capped(&mut stream, MAX_REQUEST_FRAME) {
                     Ok(f) => f,
                     Err(crate::NetError::Io(e))
                         if e.kind() == std::io::ErrorKind::WouldBlock
@@ -78,11 +150,13 @@ impl ProxyServer {
                                 status,
                                 epoch: 0,
                             },
-                            LookupOutcome::NeedsLedgerQuery => {
-                                forward_query(&mut upstream_client, upstream, id, |id, status| {
-                                    proxy_for_conns.complete(id, status, SystemClock.now());
-                                })
-                            }
+                            LookupOutcome::NeedsLedgerQuery => answer_upstream(
+                                &proxy_for_conns,
+                                &upstream,
+                                &mut upstream_client,
+                                id,
+                                now,
+                            ),
                         }
                     }
                     Ok(Request::Ping) => Response::Pong,
@@ -120,41 +194,71 @@ impl ProxyServer {
     }
 }
 
-fn forward_query(
-    client_slot: &mut Option<LedgerClient>,
-    upstream: SocketAddr,
-    id: irs_core::ids::RecordId,
-    on_answer: impl FnOnce(irs_core::ids::RecordId, RevocationStatus),
+/// Forward one query upstream, walking the degradation ladder on failure:
+/// breaker gate → resilient call → stale-serve → unavailable.
+fn answer_upstream(
+    proxy: &SharedProxy,
+    config: &UpstreamConfig,
+    client_slot: &mut Option<ResilientClient>,
+    id: RecordId,
+    now: TimeMs,
 ) -> Response {
-    if client_slot.is_none() {
-        *client_slot = LedgerClient::connect(upstream).ok();
+    if config.breaker && !proxy.breaker(id.ledger).allow(now) {
+        // Open breaker: don't hammer a known-dead ledger.
+        return degraded(proxy, config, id, now);
     }
-    let Some(client) = client_slot.as_mut() else {
-        return Response::Error {
-            code: irs_ledger::codes::BAD_REQUEST,
-            message: "upstream unreachable".to_string(),
-        };
-    };
+    let client = client_slot
+        .get_or_insert_with(|| ResilientClient::new(config.replicas.clone(), config.retry));
     match client.call(&Request::Query { id }) {
         Ok(Response::Status { id, status, epoch }) => {
-            on_answer(id, status);
+            if config.breaker {
+                proxy.record_upstream(id.ledger, true, now);
+            }
+            proxy.complete(id, status, now);
             Response::Status { id, status, epoch }
         }
-        Ok(other) => other,
-        Err(_) => {
-            // Drop the dead connection; next request reconnects.
-            *client_slot = None;
-            Response::Error {
-                code: irs_ledger::codes::BAD_REQUEST,
-                message: "upstream call failed".to_string(),
+        Ok(other) => {
+            // The exchange itself worked (the ledger answered, if only
+            // with an application error): the path is healthy.
+            if config.breaker {
+                proxy.record_upstream(id.ledger, true, now);
             }
+            other
         }
+        Err(_) => {
+            if config.breaker {
+                proxy.record_upstream(id.ledger, false, now);
+            }
+            degraded(proxy, config, id, now)
+        }
+    }
+}
+
+/// The bottom of the ladder: a bounded-stale answer beats no answer
+/// (Nongoal #4), and an honest `Unavailable` beats a lie.
+fn degraded(proxy: &SharedProxy, config: &UpstreamConfig, id: RecordId, now: TimeMs) -> Response {
+    if !config.stale_serve {
+        return Response::Error {
+            code: irs_ledger::codes::UNAVAILABLE,
+            message: "upstream unavailable".to_string(),
+        };
+    }
+    match proxy.lookup_stale(id, now) {
+        Some((status, age_ms)) => Response::StatusStale { id, status, age_ms },
+        None => Response::Unavailable {
+            id,
+            age_ms: proxy
+                .breaker(id.ledger)
+                .staleness_ms(now)
+                .unwrap_or(u64::MAX),
+        },
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::LedgerClient;
     use crate::ledger_server::LedgerServer;
     use irs_core::claim::ClaimRequest;
     use irs_core::ids::LedgerId;
@@ -251,5 +355,86 @@ mod tests {
         assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
         proxy_server.shutdown();
         ledger_server.shutdown();
+    }
+
+    /// The full ladder over real sockets: cache a status, kill the
+    /// ledger, and the proxy serves it stale with an honest age; an
+    /// uncached id comes back `Unavailable`, never a bogus status.
+    #[test]
+    fn dead_upstream_serves_stale_then_unavailable() {
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(3),
+        );
+        let ledger_server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let upstream_addr = ledger_server.addr();
+
+        // A real claimed record (so the upstream query has an answer) and
+        // a never-claimed id; both sit in the filter so lookups for them
+        // go upstream.
+        let mut owner = LedgerClient::connect(upstream_addr).unwrap();
+        let kp = Keypair::from_seed(&[4u8; 32]);
+        let claim = ClaimRequest::create(&kp, &Digest::of(b"stale-pic"));
+        let Response::Claimed { id: cached, .. } = owner.call(&Request::Claim(claim)).unwrap()
+        else {
+            panic!("claim failed");
+        };
+        let uncached = RecordId::new(LedgerId(1), cached.serial + 1_000);
+        let shared = Arc::new(SharedProxy::new(ProxyConfig::default()));
+        let mut filter = BloomFilter::with_params(1 << 14, 6, 0).unwrap();
+        filter.insert(cached.filter_key());
+        filter.insert(uncached.filter_key());
+        shared
+            .update_filters(|f| f.apply_full(LedgerId(1), 1, filter.to_bytes()))
+            .unwrap();
+
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::fast(1)
+        };
+        let proxy_server = ProxyServer::start_with_upstream(
+            shared.clone(),
+            "127.0.0.1:0",
+            UpstreamConfig::full(vec![upstream_addr], retry),
+        )
+        .unwrap();
+        let mut browser = LedgerClient::connect(proxy_server.addr()).unwrap();
+
+        // Warm the cache for `cached` while the ledger is up. (The ledger
+        // has no such record, so the status is NotRevoked.)
+        let Response::Status { status, .. } = browser.call(&Request::Query { id: cached }).unwrap()
+        else {
+            panic!("warmup failed");
+        };
+        assert_eq!(status, RevocationStatus::NotRevoked);
+
+        // Kill the ledger. TTL default is long, but lookup() hits the
+        // cache live anyway — force the degraded path by invalidating
+        // nothing and querying past the breaker instead: use a fresh id
+        // for Unavailable and rely on TTL-live cache for `cached`, so
+        // exercise stale-serve by expiring the cache entry first.
+        ledger_server.shutdown();
+        shared.invalidate(&cached); // drop the live copy …
+        shared.complete(cached, RevocationStatus::NotRevoked, TimeMs(0)); // … reinsert far in the past → expired now
+
+        let resp = browser.call(&Request::Query { id: cached }).unwrap();
+        let Response::StatusStale { id, status, age_ms } = resp else {
+            panic!("expected stale answer, got {resp:?}");
+        };
+        assert_eq!(id, cached);
+        assert_eq!(status, RevocationStatus::NotRevoked);
+        assert!(age_ms > 0);
+
+        let resp = browser.call(&Request::Query { id: uncached }).unwrap();
+        let Response::Unavailable { id, .. } = resp else {
+            panic!("expected unavailable, got {resp:?}");
+        };
+        assert_eq!(id, uncached);
+
+        let d = shared.degraded_stats();
+        assert_eq!(d.stale_served, 1);
+        assert!(d.unavailable >= 1);
+        assert!(d.upstream_failures >= 1);
+        proxy_server.shutdown();
     }
 }

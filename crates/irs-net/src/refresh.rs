@@ -7,13 +7,25 @@
 //! apply inside one `update_filters` transaction, so concurrent lookups
 //! keep reading the old snapshot until the new one swaps in, and two
 //! racing refreshes cannot interleave their version reads and writes.
+//!
+//! [`RefreshWorker`] runs the shared refresh on a background thread and
+//! is built to survive a hostile network: a down ledger costs a failure
+//! counter and a backed-off retry, never a teardown — lookups keep
+//! serving the last-good snapshot throughout (the degradation ladder's
+//! "stale filters beat no filters" rung).
 
 use crate::client::LedgerClient;
+use crate::resilient::{ResilientClient, RetryPolicy};
 use crate::NetError;
 use irs_core::ids::LedgerId;
+use irs_core::time::{Clock, SystemClock};
 use irs_core::wire::{Request, Response};
 use irs_proxy::filterset::FilterSet;
 use irs_proxy::{IrsProxy, SharedProxy};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// What a refresh round did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,6 +113,142 @@ fn apply_response(
         }
         Response::Error { .. } => Err(NetError::Frame("ledger has no published filter")),
         _ => Err(NetError::Frame("unexpected response to GetFilter")),
+    }
+}
+
+/// [`refresh_shared_filter`] over a [`ResilientClient`]: retries and
+/// failover for the fetch itself, plus the outcome recorded into the
+/// proxy's per-ledger circuit breaker so the query path shares one view
+/// of upstream health.
+pub fn refresh_shared_filter_resilient(
+    proxy: &SharedProxy,
+    client: &mut ResilientClient,
+    ledger: LedgerId,
+) -> Result<RefreshOutcome, NetError> {
+    let have = proxy.filters_snapshot().version(ledger);
+    let result = client.call(&Request::GetFilter { have_version: have });
+    proxy.record_upstream(ledger, result.is_ok(), SystemClock.now());
+    let response = result?;
+    proxy.update_filters(|filters| {
+        if filters.version(ledger) != have {
+            return Ok(RefreshOutcome::AlreadyCurrent);
+        }
+        apply_response(filters, ledger, response)
+    })
+}
+
+/// Point-in-time counters from a [`RefreshWorker`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefreshWorkerStats {
+    /// Refresh rounds attempted.
+    pub rounds: u64,
+    /// Rounds that failed (wire error or rejected payload).
+    pub failures: u64,
+    /// Current run of failed rounds; 0 after any success.
+    pub consecutive_failures: u32,
+    /// Rounds that installed or advanced a filter.
+    pub installs: u64,
+}
+
+struct WorkerShared {
+    stop: AtomicBool,
+    rounds: AtomicU64,
+    failures: AtomicU64,
+    consecutive_failures: AtomicU32,
+    installs: AtomicU64,
+}
+
+/// A background thread that keeps a served [`SharedProxy`]'s filters
+/// current, riding through ledger outages instead of dying with them.
+///
+/// On failure the worker retries sooner than the normal interval —
+/// starting at 1/8 of it and doubling back up to the full interval — so
+/// a recovered ledger is picked up promptly without hammering a dead
+/// one. The thread only exits on [`stop`].
+///
+/// [`stop`]: RefreshWorker::stop
+pub struct RefreshWorker {
+    shared: Arc<WorkerShared>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl RefreshWorker {
+    /// Spawn the worker. `interval` is the steady-state refresh period
+    /// (§4.4's "hourly", shrunk for tests); `policy` bounds each fetch.
+    pub fn spawn(
+        proxy: Arc<SharedProxy>,
+        replicas: Vec<SocketAddr>,
+        ledger: LedgerId,
+        interval: Duration,
+        policy: RetryPolicy,
+    ) -> RefreshWorker {
+        let shared = Arc::new(WorkerShared {
+            stop: AtomicBool::new(false),
+            rounds: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            consecutive_failures: AtomicU32::new(0),
+            installs: AtomicU64::new(0),
+        });
+        let worker_shared = shared.clone();
+        let handle = std::thread::spawn(move || {
+            let mut client = ResilientClient::new(replicas, policy);
+            loop {
+                if worker_shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                worker_shared.rounds.fetch_add(1, Ordering::SeqCst);
+                let delay = match refresh_shared_filter_resilient(&proxy, &mut client, ledger) {
+                    Ok(outcome) => {
+                        if !matches!(outcome, RefreshOutcome::AlreadyCurrent) {
+                            worker_shared.installs.fetch_add(1, Ordering::SeqCst);
+                        }
+                        worker_shared
+                            .consecutive_failures
+                            .store(0, Ordering::SeqCst);
+                        interval
+                    }
+                    Err(_) => {
+                        worker_shared.failures.fetch_add(1, Ordering::SeqCst);
+                        let run = worker_shared
+                            .consecutive_failures
+                            .fetch_add(1, Ordering::SeqCst)
+                            + 1;
+                        // Backed-off retry, capped at the normal period.
+                        (interval / 8)
+                            .max(Duration::from_millis(10))
+                            .saturating_mul(1u32 << run.min(3))
+                            .min(interval)
+                    }
+                };
+                // Sleep in slices so stop() is prompt.
+                let mut slept = Duration::ZERO;
+                while slept < delay {
+                    if worker_shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let slice = Duration::from_millis(10).min(delay - slept);
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+        });
+        RefreshWorker { shared, handle }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RefreshWorkerStats {
+        RefreshWorkerStats {
+            rounds: self.shared.rounds.load(Ordering::SeqCst),
+            failures: self.shared.failures.load(Ordering::SeqCst),
+            consecutive_failures: self.shared.consecutive_failures.load(Ordering::SeqCst),
+            installs: self.shared.installs.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Signal the worker and join it.
+    pub fn stop(self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = self.handle.join();
     }
 }
 
@@ -197,6 +345,75 @@ mod tests {
             "{outcome:?}"
         );
         assert_eq!(proxy.lookup(b, TimeMs(10)), LookupOutcome::NeedsLedgerQuery);
+        server.shutdown();
+    }
+
+    #[test]
+    fn worker_survives_down_ledger_then_recovers() {
+        use irs_core::claim::RevokeRequest;
+        // Reserve a port, keep it dead for now.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let proxy = Arc::new(SharedProxy::new(ProxyConfig::default()));
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            call_deadline: std::time::Duration::from_millis(200),
+            io_timeout: std::time::Duration::from_millis(100),
+            ..RetryPolicy::fast(5)
+        };
+        let worker = RefreshWorker::spawn(
+            proxy.clone(),
+            vec![addr],
+            LedgerId(1),
+            Duration::from_millis(40),
+            policy,
+        );
+        // Let it fail a few rounds against the dead port.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while worker.stats().failures < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mid = worker.stats();
+        assert!(mid.failures >= 2, "worker kept retrying: {mid:?}");
+        assert!(mid.consecutive_failures >= 2);
+        assert_eq!(proxy.filters_snapshot().version(LedgerId(1)), 0);
+
+        // Bring the ledger up on that same port with a published filter.
+        let mut ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(15),
+        );
+        let mut cam = Camera::new(15, 96, 96);
+        let shot = cam.capture(0);
+        let Response::Claimed { id, .. } = ledger.handle(Request::Claim(shot.claim), TimeMs(0))
+        else {
+            panic!()
+        };
+        let rv = RevokeRequest::create(&shot.keypair, id, true, 0);
+        ledger.handle(Request::Revoke(rv), TimeMs(1));
+        ledger.publish_filter();
+        let server = LedgerServer::start(ledger, &addr.to_string()).unwrap();
+
+        // The worker must recover on its own: filter installed, failure
+        // run reset.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while proxy.filters_snapshot().version(LedgerId(1)) != 1
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(proxy.filters_snapshot().version(LedgerId(1)), 1);
+        assert_eq!(
+            proxy.lookup(id, TimeMs(10)),
+            LookupOutcome::NeedsLedgerQuery,
+            "recovered filter is live on the lookup path"
+        );
+        let end = worker.stats();
+        assert_eq!(end.consecutive_failures, 0);
+        assert!(end.installs >= 1);
+        worker.stop();
         server.shutdown();
     }
 

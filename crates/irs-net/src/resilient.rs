@@ -1,0 +1,303 @@
+//! A retrying, failing-over wrapper around [`LedgerClient`].
+//!
+//! [`ResilientClient`] gives one call three layers of recovery the bare
+//! client lacks:
+//!
+//! 1. **Reconnect** — a broken stream is dropped and re-established
+//!    instead of poisoning the client forever;
+//! 2. **Bounded retries** — exponential backoff with seeded jitter, so
+//!    two replayed runs back off identically;
+//! 3. **Failover** — a replica list; when one address keeps failing the
+//!    client rotates to the next.
+//!
+//! Everything is bounded by a per-call deadline budget: a call never
+//! blocks longer than `call_deadline`, no matter how many replicas or
+//! retries remain. The escalation ladder past this point (circuit
+//! breaking, stale-serve, fail-open) lives in the proxy — see DESIGN.md
+//! "Failure model & degradation ladder".
+
+use crate::chaos::splitmix64;
+use crate::client::LedgerClient;
+use crate::NetError;
+use irs_core::wire::{Request, Response};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Retry/backoff/deadline knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum attempts per call, including the first.
+    pub max_attempts: u32,
+    /// First backoff sleep; doubles per retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Total wall-clock budget for one call (connects, exchanges, and
+    /// backoff sleeps all count against it).
+    pub call_deadline: Duration,
+    /// Socket timeout for each connect/exchange attempt.
+    pub io_timeout: Duration,
+    /// Seed for backoff jitter (determinism for tests and E16).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            call_deadline: Duration::from_secs(2),
+            io_timeout: Duration::from_millis(500),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy tuned for fast tests: short timeouts, small backoffs.
+    pub fn fast(jitter_seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(40),
+            call_deadline: Duration::from_millis(800),
+            io_timeout: Duration::from_millis(150),
+            jitter_seed,
+        }
+    }
+}
+
+/// Counters describing how hard the client has had to work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilientStats {
+    /// Exchange attempts made (first tries + retries).
+    pub attempts: u64,
+    /// Attempts beyond the first for some call.
+    pub retries: u64,
+    /// Fresh connections established after a stream died.
+    pub reconnects: u64,
+    /// Rotations to a different replica.
+    pub failovers: u64,
+    /// Calls that exhausted every retry.
+    pub exhausted: u64,
+}
+
+/// A [`LedgerClient`] with reconnect, retry, and replica failover.
+pub struct ResilientClient {
+    replicas: Vec<SocketAddr>,
+    current: usize,
+    policy: RetryPolicy,
+    client: Option<LedgerClient>,
+    jitter_state: u64,
+    /// Work counters.
+    pub stats: ResilientStats,
+}
+
+impl ResilientClient {
+    /// Create a client over one or more replica addresses. No connection
+    /// is made until the first call (a down primary costs nothing at
+    /// construction time).
+    pub fn new(replicas: Vec<SocketAddr>, policy: RetryPolicy) -> ResilientClient {
+        assert!(!replicas.is_empty(), "need at least one replica address");
+        ResilientClient {
+            replicas,
+            current: 0,
+            jitter_state: policy.jitter_seed,
+            policy,
+            client: None,
+            stats: ResilientStats::default(),
+        }
+    }
+
+    /// The replica the next attempt will use.
+    pub fn current_replica(&self) -> SocketAddr {
+        self.replicas[self.current]
+    }
+
+    /// One request/response exchange with retries, reconnects, and
+    /// failover, all bounded by the policy's deadline. On failure returns
+    /// [`NetError::Exhausted`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        let deadline = Instant::now() + self.policy.call_deadline;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.stats.attempts += 1;
+            if attempts > 1 {
+                self.stats.retries += 1;
+            }
+            match self.attempt(request) {
+                Ok(response) => return Ok(response),
+                Err(_) => {
+                    // The attempt helper already dropped/poisoned the
+                    // connection; rotate so the next attempt tries the
+                    // next replica in line.
+                    if self.replicas.len() > 1 {
+                        self.current = (self.current + 1) % self.replicas.len();
+                        self.client = None;
+                        self.stats.failovers += 1;
+                    }
+                }
+            }
+            if attempts >= self.policy.max_attempts || Instant::now() >= deadline {
+                self.stats.exhausted += 1;
+                return Err(NetError::Exhausted { attempts });
+            }
+            let backoff = self.backoff(attempts);
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.stats.exhausted += 1;
+                return Err(NetError::Exhausted { attempts });
+            }
+            std::thread::sleep(backoff.min(remaining));
+        }
+    }
+
+    /// One attempt: ensure a connection to the current replica, then one
+    /// exchange. Any failure leaves `self.client` empty.
+    fn attempt(&mut self, request: &Request) -> Result<Response, NetError> {
+        if self.client.is_none() {
+            let addr = self.replicas[self.current];
+            let client = LedgerClient::connect_with_timeout(addr, self.policy.io_timeout)?;
+            if self.stats.attempts > 1 {
+                self.stats.reconnects += 1;
+            }
+            self.client = Some(client);
+        }
+        let client = self.client.as_mut().expect("just ensured");
+        match client.call(request) {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                // Wire/frame errors also poison the exchange stream: a
+                // desynced or corrupting path is as dead as a closed one.
+                self.client = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Exponential backoff with deterministic decorrelating jitter:
+    /// `base * 2^(attempt-1)` capped at `max_backoff`, then scaled by a
+    /// seeded factor in `[0.5, 1.0]`.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.policy.max_backoff);
+        self.jitter_state = splitmix64(self.jitter_state);
+        let frac = 0.5 + 0.5 * ((self.jitter_state >> 11) as f64 / (1u64 << 53) as f64);
+        exp.mul_f64(frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosConfig, ChaosProxy, FaultMode};
+    use crate::ledger_server::LedgerServer;
+    use irs_core::ids::LedgerId;
+    use irs_core::tsa::TimestampAuthority;
+    use irs_ledger::{Ledger, LedgerConfig};
+
+    fn ledger_server() -> LedgerServer {
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(0x2E5),
+        );
+        LedgerServer::start(ledger, "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn plain_calls_make_no_retries() {
+        let server = ledger_server();
+        let mut client = ResilientClient::new(vec![server.addr()], RetryPolicy::fast(1));
+        for _ in 0..10 {
+            assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+        }
+        assert_eq!(client.stats.retries, 0);
+        assert_eq!(client.stats.failovers, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn retries_ride_through_partial_faults() {
+        let server = ledger_server();
+        let config =
+            ChaosConfig::new(21, 0.5).with_modes(&[FaultMode::Reset, FaultMode::TruncateResponse]);
+        let chaos = ChaosProxy::start(server.addr(), config).unwrap();
+        let mut client = ResilientClient::new(vec![chaos.addr()], RetryPolicy::fast(2));
+        let mut ok = 0;
+        for _ in 0..40 {
+            if client.call(&Request::Ping).is_ok() {
+                ok += 1;
+            }
+        }
+        // 50% per-exchange faults, 5 attempts: effectively every call
+        // lands (0.5^5 ≈ 3% residual, and 40 calls make the expected
+        // failures ≈ 1). Require a strong majority to stay robust.
+        assert!(ok >= 36, "only {ok}/40 calls survived 50% fault rate");
+        assert!(client.stats.retries > 0, "chaos must have forced retries");
+        chaos.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn fails_over_to_live_replica() {
+        // A dead primary (bound then dropped, so the port refuses) plus a
+        // live replica: the first call must land on the replica.
+        let dead_addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let server = ledger_server();
+        let mut client = ResilientClient::new(vec![dead_addr, server.addr()], RetryPolicy::fast(3));
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+        assert!(client.stats.failovers >= 1);
+        assert_eq!(client.current_replica(), server.addr());
+        server.shutdown();
+    }
+
+    #[test]
+    fn exhaustion_is_typed_and_bounded() {
+        let dead_addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            call_deadline: Duration::from_millis(400),
+            ..RetryPolicy::fast(4)
+        };
+        let mut client = ResilientClient::new(vec![dead_addr], policy);
+        let start = Instant::now();
+        match client.call(&Request::Ping) {
+            Err(NetError::Exhausted { attempts }) => assert!(attempts <= 3),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "deadline must bound the call"
+        );
+        assert_eq!(client.stats.exhausted, 1);
+    }
+
+    #[test]
+    fn backoff_sequence_is_deterministic() {
+        let a_seq: Vec<Duration> = {
+            let mut c =
+                ResilientClient::new(vec!["127.0.0.1:1".parse().unwrap()], RetryPolicy::fast(77));
+            (1..6).map(|n| c.backoff(n)).collect()
+        };
+        let b_seq: Vec<Duration> = {
+            let mut c =
+                ResilientClient::new(vec!["127.0.0.1:1".parse().unwrap()], RetryPolicy::fast(77));
+            (1..6).map(|n| c.backoff(n)).collect()
+        };
+        assert_eq!(a_seq, b_seq);
+        // Monotone non-decreasing cap behaviour: the capped tail cannot
+        // exceed max_backoff.
+        assert!(a_seq.iter().all(|d| *d <= Duration::from_millis(40)));
+    }
+}

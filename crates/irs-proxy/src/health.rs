@@ -1,0 +1,247 @@
+//! Per-ledger health tracking: a lock-free circuit breaker.
+//!
+//! The proxy records every upstream call outcome into a per-ledger
+//! [`CircuitBreaker`]. A run of failures *opens* the breaker: the proxy
+//! stops hammering the dead ledger and serves from its last-good filter
+//! snapshot and TTL cache instead (stale-serve — see
+//! `SharedProxy::lookup_stale`). After a cooldown the breaker goes
+//! *half-open* and admits exactly one probe call; a success closes it, a
+//! failure re-opens it. All state is atomics (consistent with the
+//! concurrency design in DESIGN.md §6): connection threads never take a
+//! lock to consult or update health.
+//!
+//! Time is passed in as [`TimeMs`] — the same injected-clock convention
+//! as the rest of the workspace, which keeps every transition testable
+//! without sleeps.
+
+use irs_core::time::TimeMs;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker waits before admitting a half-open probe.
+    pub open_cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_cooldown_ms: 1_000,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow.
+    Closed,
+    /// Tripped: calls are refused (serve stale instead).
+    Open,
+    /// Cooldown elapsed: one probe call is in flight.
+    HalfOpen,
+}
+
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const HALF_OPEN: u8 = 2;
+
+/// A lock-free circuit breaker (closed → open → half-open → closed).
+pub struct CircuitBreaker {
+    state: AtomicU8,
+    consecutive_failures: AtomicU32,
+    opened_at_ms: AtomicU64,
+    /// Last time an upstream exchange for this ledger succeeded; 0 =
+    /// never. Drives the staleness bound on degraded responses.
+    last_good_ms: AtomicU64,
+    /// Times the breaker has tripped open (monitoring).
+    opens: AtomicU64,
+    config: BreakerConfig,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            state: AtomicU8::new(CLOSED),
+            consecutive_failures: AtomicU32::new(0),
+            opened_at_ms: AtomicU64::new(0),
+            last_good_ms: AtomicU64::new(0),
+            opens: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// Whether a call may proceed right now. While open, returns false
+    /// until the cooldown elapses; then exactly one caller wins the
+    /// half-open probe slot (the CAS) and gets a true, everyone else
+    /// keeps getting false until the probe reports back.
+    pub fn allow(&self, now: TimeMs) -> bool {
+        match self.state.load(Ordering::SeqCst) {
+            CLOSED => true,
+            HALF_OPEN => false, // a probe is already in flight
+            _open => {
+                let opened = self.opened_at_ms.load(Ordering::SeqCst);
+                if now.0.saturating_sub(opened) < self.config.open_cooldown_ms {
+                    return false;
+                }
+                // Cooldown over: try to claim the probe slot.
+                self.state
+                    .compare_exchange(OPEN, HALF_OPEN, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            }
+        }
+    }
+
+    /// Record a successful upstream exchange: closes the breaker (probe
+    /// success) and resets the failure run.
+    pub fn on_success(&self, now: TimeMs) {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        self.last_good_ms.store(now.0.max(1), Ordering::SeqCst);
+        self.state.store(CLOSED, Ordering::SeqCst);
+    }
+
+    /// Record a failed upstream exchange. A failed half-open probe
+    /// re-opens immediately; in closed state the breaker trips once the
+    /// consecutive-failure run reaches the threshold.
+    pub fn on_failure(&self, now: TimeMs) {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        let state = self.state.load(Ordering::SeqCst);
+        let should_open =
+            state == HALF_OPEN || (state == CLOSED && failures >= self.config.failure_threshold);
+        if should_open {
+            self.opened_at_ms.store(now.0, Ordering::SeqCst);
+            // Only count a genuine transition (racing failures may both
+            // see CLOSED; the CAS picks one).
+            if self.state.swap(OPEN, Ordering::SeqCst) != OPEN {
+                self.opens.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Current state for monitoring/tests.
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::SeqCst) {
+            CLOSED => BreakerState::Closed,
+            OPEN => BreakerState::Open,
+            _ => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Current consecutive-failure run.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures.load(Ordering::SeqCst)
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::SeqCst)
+    }
+
+    /// Milliseconds since the last successful upstream exchange —
+    /// the staleness bound attached to degraded answers. `None` when the
+    /// ledger has never been reached.
+    pub fn staleness_ms(&self, now: TimeMs) -> Option<u64> {
+        match self.last_good_ms.load(Ordering::SeqCst) {
+            0 => None,
+            t => Some(now.0.saturating_sub(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_cooldown_ms: cooldown,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = breaker(3, 100);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(TimeMs(1));
+        b.on_failure(TimeMs(2));
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        assert!(b.allow(TimeMs(3)));
+        b.on_failure(TimeMs(3));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(TimeMs(4)), "open refuses immediately");
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let b = breaker(3, 100);
+        b.on_failure(TimeMs(1));
+        b.on_failure(TimeMs(2));
+        b.on_success(TimeMs(3));
+        b.on_failure(TimeMs(4));
+        b.on_failure(TimeMs(5));
+        assert_eq!(b.state(), BreakerState::Closed, "run was reset");
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let b = breaker(1, 100);
+        b.on_failure(TimeMs(0));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(TimeMs(50)), "cooldown not elapsed");
+        assert!(b.allow(TimeMs(100)), "first caller wins the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(TimeMs(101)), "second caller must wait");
+        // Probe succeeds → closed.
+        b.on_success(TimeMs(102));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(TimeMs(103)));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let b = breaker(1, 100);
+        b.on_failure(TimeMs(0));
+        assert!(b.allow(TimeMs(100)));
+        b.on_failure(TimeMs(100));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(TimeMs(150)), "cooldown restarted at 100");
+        assert!(b.allow(TimeMs(200)));
+        assert_eq!(b.opens(), 2);
+    }
+
+    #[test]
+    fn staleness_tracks_last_success() {
+        let b = breaker(1, 100);
+        assert_eq!(b.staleness_ms(TimeMs(5)), None, "never reached");
+        b.on_success(TimeMs(10));
+        assert_eq!(b.staleness_ms(TimeMs(25)), Some(15));
+        b.on_failure(TimeMs(30));
+        assert_eq!(b.staleness_ms(TimeMs(40)), Some(30), "failures age it");
+    }
+
+    #[test]
+    fn concurrent_probe_race_admits_one() {
+        use std::sync::Arc;
+        let b = Arc::new(breaker(1, 10));
+        b.on_failure(TimeMs(0));
+        let winners: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || usize::from(b.allow(TimeMs(10))))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(winners, 1, "exactly one thread may probe");
+    }
+}

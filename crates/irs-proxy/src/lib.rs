@@ -19,10 +19,13 @@
 
 //! * [`shared`] — [`SharedProxy`]: the same pipeline with a fully
 //!   `&self` lookup path (snapshot-swapped filters, striped cache,
-//!   atomic counters) for multi-threaded servers.
+//!   atomic counters) for multi-threaded servers;
+//! * [`health`] — per-ledger circuit breakers driving the degradation
+//!   ladder (retry → failover → stale-serve → fail-open).
 
 pub mod batch;
 pub mod filterset;
+pub mod health;
 pub mod lru;
 pub mod privacy;
 pub mod proxy;
@@ -30,6 +33,7 @@ pub mod shared;
 
 pub use batch::{Batch, BatchConfig, Batcher};
 pub use filterset::FilterSet;
+pub use health::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use lru::LruTtlCache;
 pub use proxy::{IrsProxy, LookupOutcome, ProxyConfig, ProxyStats};
-pub use shared::SharedProxy;
+pub use shared::{DegradedStats, SharedProxy};

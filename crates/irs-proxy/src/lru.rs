@@ -96,14 +96,17 @@ impl<K: Eq + Hash + Clone, V: Clone> LruTtlCache<K, V> {
     }
 
     /// Get a live entry, refreshing its recency. Expired entries count as
-    /// misses and are removed.
+    /// misses but are *kept* (demoted in place) so that a degraded proxy
+    /// can still serve them as stale answers via [`peek_stale`]; capacity
+    /// eviction reclaims them eventually.
+    ///
+    /// [`peek_stale`]: LruTtlCache::peek_stale
     pub fn get(&mut self, key: &K, now: TimeMs) -> Option<V> {
         let Some(&idx) = self.map.get(key) else {
             self.misses += 1;
             return None;
         };
         if self.slab[idx].expires < now {
-            self.remove_idx(idx);
             self.expired += 1;
             self.misses += 1;
             return None;
@@ -112,6 +115,18 @@ impl<K: Eq + Hash + Clone, V: Clone> LruTtlCache<K, V> {
         self.push_front(idx);
         self.hits += 1;
         Some(self.slab[idx].value.clone())
+    }
+
+    /// Read an entry regardless of TTL, without touching recency or the
+    /// hit/miss counters. Returns the value and its age in milliseconds
+    /// since insertion — the staleness bound a degraded proxy attaches to
+    /// the answer. This is the stale-serve path: when the upstream ledger
+    /// is unreachable, a bounded-stale answer beats no answer (Nongoal #4).
+    pub fn peek_stale(&self, key: &K, now: TimeMs) -> Option<(V, u64)> {
+        let &idx = self.map.get(key)?;
+        let node = &self.slab[idx];
+        let inserted = node.expires.0.saturating_sub(self.ttl_ms);
+        Some((node.value.clone(), now.0.saturating_sub(inserted)))
     }
 
     /// Insert or refresh an entry (resets its TTL), evicting the LRU entry
@@ -204,7 +219,27 @@ mod tests {
         assert_eq!(c.get(&1, t(101)), None, "past ttl expired");
         let (_, _, expired) = c.stats();
         assert_eq!(expired, 1);
-        assert_eq!(c.len(), 0);
+        // Expired entries linger for stale-serve until capacity evicts
+        // them; they never come back as live answers.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1, t(200)), None);
+    }
+
+    #[test]
+    fn peek_stale_reads_expired_entries_with_age() {
+        let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(4, 100);
+        c.insert(1, 41, t(50));
+        // Live entry: peek works and reports age since insertion.
+        assert_eq!(c.peek_stale(&1, t(60)), Some((41, 10)));
+        // Expired for get(), still peekable with an honest age.
+        assert_eq!(c.get(&1, t(500)), None);
+        assert_eq!(c.peek_stale(&1, t(500)), Some((41, 450)));
+        // Unknown key: nothing to serve.
+        assert_eq!(c.peek_stale(&2, t(500)), None);
+        // Invalidation removes it from the stale path too (a revocation
+        // push must never be resurrected as a stale answer).
+        c.invalidate(&1);
+        assert_eq!(c.peek_stale(&1, t(501)), None);
     }
 
     #[test]

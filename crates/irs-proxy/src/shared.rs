@@ -17,12 +17,14 @@
 //!   [`ProxyStats`] struct the sequential proxy exposes.
 
 use crate::filterset::FilterSet;
+use crate::health::{BreakerConfig, CircuitBreaker};
 use crate::lru::LruTtlCache;
 use crate::proxy::{IrsProxy, LookupOutcome, ProxyConfig, ProxyStats};
 use irs_core::claim::RevocationStatus;
-use irs_core::ids::RecordId;
+use irs_core::ids::{LedgerId, RecordId};
 use irs_core::time::TimeMs;
 use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -35,6 +37,25 @@ struct AtomicProxyStats {
     filter_negative: AtomicU64,
     cache_hits: AtomicU64,
     ledger_queries: AtomicU64,
+    // Degradation counters (see DegradedStats).
+    stale_served: AtomicU64,
+    unavailable: AtomicU64,
+    upstream_failures: AtomicU64,
+}
+
+/// Counters for the degradation ladder: how often the proxy had to fall
+/// back past a live upstream answer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradedStats {
+    /// Answers served from a stale (possibly TTL-expired) cache entry
+    /// because the upstream was unavailable or its breaker open.
+    pub stale_served: u64,
+    /// Lookups with no answer at all (upstream down, nothing cached).
+    pub unavailable: u64,
+    /// Upstream exchanges that failed (feeds the breakers).
+    pub upstream_failures: u64,
+    /// Breaker trips summed over all ledgers.
+    pub breaker_opens: u64,
 }
 
 /// A proxy whose whole lookup path is `&self`.
@@ -45,6 +66,11 @@ pub struct SharedProxy {
     refresh_lock: Mutex<()>,
     cache_shards: Box<[Mutex<LruTtlCache<RecordId, RevocationStatus>>]>,
     stats: AtomicProxyStats,
+    /// Per-ledger circuit breakers, created on first contact. The map is
+    /// read-mostly (a ledger is registered once, consulted on every
+    /// degraded-path decision); breaker state itself is all atomics.
+    health: RwLock<HashMap<LedgerId, Arc<CircuitBreaker>>>,
+    breaker_config: BreakerConfig,
 }
 
 impl SharedProxy {
@@ -66,7 +92,16 @@ impl SharedProxy {
             refresh_lock: Mutex::new(()),
             cache_shards,
             stats: AtomicProxyStats::default(),
+            health: RwLock::new(HashMap::new()),
+            breaker_config: BreakerConfig::default(),
         }
+    }
+
+    /// Override the circuit-breaker tuning (call before the proxy is
+    /// shared; breakers created afterwards use the new config).
+    pub fn with_breaker_config(mut self, config: BreakerConfig) -> SharedProxy {
+        self.breaker_config = config;
+        self
     }
 
     /// Promote a sequential [`IrsProxy`]: installed filters and counters
@@ -121,6 +156,49 @@ impl SharedProxy {
             .insert(id, status, now);
     }
 
+    /// Last-resort read for a degraded upstream: the cached status for
+    /// `id` regardless of TTL, with its age in milliseconds. Counts into
+    /// [`DegradedStats`] as a stale serve when it produces an answer and
+    /// as unavailable when it does not.
+    pub fn lookup_stale(&self, id: RecordId, now: TimeMs) -> Option<(RevocationStatus, u64)> {
+        let found = self.cache_shards[self.shard_of(&id)]
+            .lock()
+            .peek_stale(&id, now);
+        match found {
+            Some(hit) => {
+                self.stats.stale_served.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            None => {
+                self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The circuit breaker for `ledger`, created closed on first use.
+    pub fn breaker(&self, ledger: LedgerId) -> Arc<CircuitBreaker> {
+        if let Some(b) = self.health.read().get(&ledger) {
+            return b.clone();
+        }
+        let mut map = self.health.write();
+        map.entry(ledger)
+            .or_insert_with(|| Arc::new(CircuitBreaker::new(self.breaker_config)))
+            .clone()
+    }
+
+    /// Record an upstream exchange outcome for `ledger` into its breaker
+    /// (and the degradation counters).
+    pub fn record_upstream(&self, ledger: LedgerId, ok: bool, now: TimeMs) {
+        let breaker = self.breaker(ledger);
+        if ok {
+            breaker.on_success(now);
+        } else {
+            self.stats.upstream_failures.fetch_add(1, Ordering::Relaxed);
+            breaker.on_failure(now);
+        }
+    }
+
     /// Drop a cached status (revocation push / probe finding).
     pub fn invalidate(&self, id: &RecordId) {
         self.cache_shards[self.shard_of(id)].lock().invalidate(id);
@@ -157,6 +235,17 @@ impl SharedProxy {
             filter_negative: self.stats.filter_negative.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             ledger_queries: self.stats.ledger_queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A point-in-time copy of the degradation counters.
+    pub fn degraded_stats(&self) -> DegradedStats {
+        let breaker_opens = self.health.read().values().map(|b| b.opens()).sum();
+        DegradedStats {
+            stale_served: self.stats.stale_served.load(Ordering::Relaxed),
+            unavailable: self.stats.unavailable.load(Ordering::Relaxed),
+            upstream_failures: self.stats.upstream_failures.load(Ordering::Relaxed),
+            breaker_opens,
         }
     }
 }
@@ -275,6 +364,51 @@ mod tests {
         assert_eq!(p.filters_snapshot().version(LedgerId(1)), 19);
         assert_eq!(p.stats().lookups, total);
         assert!(total > 0);
+    }
+
+    #[test]
+    fn stale_lookup_survives_ttl_expiry_and_counts() {
+        let p = SharedProxy::new(ProxyConfig {
+            cache_capacity: 16,
+            cache_ttl_ms: 100,
+        });
+        p.complete(rid(5), RevocationStatus::Revoked, TimeMs(0));
+        // Past TTL: the live path misses, the stale path still answers
+        // with an honest age.
+        assert_eq!(
+            p.lookup(rid(5), TimeMs(500)),
+            LookupOutcome::NeedsLedgerQuery
+        );
+        assert_eq!(
+            p.lookup_stale(rid(5), TimeMs(500)),
+            Some((RevocationStatus::Revoked, 500))
+        );
+        assert_eq!(p.lookup_stale(rid(6), TimeMs(500)), None);
+        let d = p.degraded_stats();
+        assert_eq!(d.stale_served, 1);
+        assert_eq!(d.unavailable, 1);
+        // Invalidation kills the stale copy too.
+        p.invalidate(&rid(5));
+        assert_eq!(p.lookup_stale(rid(5), TimeMs(501)), None);
+    }
+
+    #[test]
+    fn per_ledger_breakers_trip_independently() {
+        use crate::health::{BreakerConfig, BreakerState};
+        let p = SharedProxy::new(ProxyConfig::default()).with_breaker_config(BreakerConfig {
+            failure_threshold: 2,
+            open_cooldown_ms: 100,
+        });
+        for t in 0..2 {
+            p.record_upstream(LedgerId(1), false, TimeMs(t));
+        }
+        p.record_upstream(LedgerId(2), true, TimeMs(1));
+        assert_eq!(p.breaker(LedgerId(1)).state(), BreakerState::Open);
+        assert_eq!(p.breaker(LedgerId(2)).state(), BreakerState::Closed);
+        assert_eq!(p.degraded_stats().breaker_opens, 1);
+        assert_eq!(p.degraded_stats().upstream_failures, 2);
+        // Ledger 2's staleness is bounded by its last success.
+        assert_eq!(p.breaker(LedgerId(2)).staleness_ms(TimeMs(11)), Some(10));
     }
 
     #[test]
