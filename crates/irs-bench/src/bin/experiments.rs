@@ -15,14 +15,14 @@ fn main() {
         .map(String::as_str)
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e16|all> [--quick]");
+        eprintln!("usage: experiments <e1..e17|all> [--quick]");
         std::process::exit(2);
     }
     for id in ids {
         match irs_bench::run_experiment(id, quick) {
             Some(output) => println!("{output}"),
             None => {
-                eprintln!("unknown experiment '{id}' (expected e1..e16 or all)");
+                eprintln!("unknown experiment '{id}' (expected e1..e17 or all)");
                 std::process::exit(2);
             }
         }

@@ -37,7 +37,8 @@ fn preload(seq: &mut Ledger, conc: &ConcurrentLedger, records: u64) {
         let req = ClaimRequest::create(&keypair, &digest);
         if revoked {
             seq.claim_revoked(req, TimeMs(i));
-            conc.claim_revoked(req, TimeMs(i));
+            conc.claim_revoked(req, TimeMs(i))
+                .expect("in-memory ledger cannot fail a claim");
         } else {
             seq.handle(Request::Claim(req), TimeMs(i));
             conc.handle(Request::Claim(req), TimeMs(i));

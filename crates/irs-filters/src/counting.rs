@@ -7,8 +7,12 @@
 
 use crate::hash::double_hash_indices;
 use crate::{Filter, FilterError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const COUNTER_MAX: u8 = 15;
+
+/// Serialization magic for [`CountingBloom::to_bytes`].
+const MAGIC: u32 = 0x4952_5343; // "IRSC"
 
 /// A counting Bloom filter over `u64` keys (4-bit counters).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -113,6 +117,42 @@ impl CountingBloom {
         bloom.set_inserted(self.inserted);
         bloom
     }
+
+    /// Serialize: magic, m, k, seed, inserted, packed counter bytes. Used
+    /// by ledger snapshots so the revocation index survives restarts
+    /// without a full rebuild.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32 + self.counters.len());
+        buf.put_u32(MAGIC);
+        buf.put_u64(self.m);
+        buf.put_u32(self.k);
+        buf.put_u64(self.seed);
+        buf.put_u64(self.inserted);
+        buf.put_slice(&self.counters);
+        buf.freeze()
+    }
+
+    /// Deserialize from [`CountingBloom::to_bytes`] output.
+    pub fn from_bytes(mut data: Bytes) -> Result<CountingBloom, FilterError> {
+        if data.remaining() < 32 {
+            return Err(FilterError::Malformed("header truncated"));
+        }
+        if data.get_u32() != MAGIC {
+            return Err(FilterError::Malformed("bad magic"));
+        }
+        let m = data.get_u64();
+        let k = data.get_u32();
+        let seed = data.get_u64();
+        let inserted = data.get_u64();
+        let bytes = m.div_ceil(2) as usize;
+        if data.remaining() != bytes {
+            return Err(FilterError::Malformed("payload length mismatch"));
+        }
+        let mut filter = CountingBloom::with_params(m, k, seed)?;
+        data.copy_to_slice(&mut filter.counters);
+        filter.inserted = inserted;
+        Ok(filter)
+    }
 }
 
 impl Filter for CountingBloom {
@@ -199,5 +239,36 @@ mod tests {
     fn bits_reports_counter_cost() {
         let f = CountingBloom::with_params(1000, 4, 0).unwrap();
         assert_eq!(f.bits(), 4000);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut f = CountingBloom::with_params(1 << 12, 4, 99).unwrap();
+        for key in 0..500u64 {
+            f.insert(key * 3);
+        }
+        for key in 0..100u64 {
+            f.remove(key * 3);
+        }
+        let g = CountingBloom::from_bytes(f.to_bytes()).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(g.inserted(), 400);
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(CountingBloom::from_bytes(Bytes::from_static(b"short")).is_err());
+        let mut bad = CountingBloom::with_params(128, 2, 0)
+            .unwrap()
+            .to_bytes()
+            .to_vec();
+        bad[0] ^= 0xff; // corrupt magic
+        assert!(CountingBloom::from_bytes(Bytes::from(bad)).is_err());
+        let mut trunc = CountingBloom::with_params(128, 2, 0)
+            .unwrap()
+            .to_bytes()
+            .to_vec();
+        trunc.pop();
+        assert!(CountingBloom::from_bytes(Bytes::from(trunc)).is_err());
     }
 }

@@ -9,10 +9,14 @@
 //! only the pointer rotation holds it).
 
 use crate::codes;
+use crate::disk::Disk;
+use crate::recovery::{self, RecoveryError, RecoveryReport};
 use crate::sharded::{ShardedLedgerStore, DEFAULT_SHARDS};
+use crate::snapshot::encode_snapshot;
 use crate::store::{ClaimOrigin, StoreError, StoredClaim};
+use crate::wal::{FsyncPolicy, WalError, WalRecord, WalStats, WalWriter};
 use crate::{Ledger, LedgerConfig, LedgerPolicy, LedgerStats};
-use irs_core::claim::{ClaimRequest, RevocationStatus};
+use irs_core::claim::{ClaimRequest, RevocationStatus, RevokeRequest};
 use irs_core::freshness::FreshnessProof;
 use irs_core::ids::{LedgerId, RecordId};
 use irs_core::time::TimeMs;
@@ -20,10 +24,15 @@ use irs_core::tsa::{TimestampAuthority, TimestampToken};
 use irs_core::wire::{Request, Response};
 use irs_crypto::{Keypair, PublicKey};
 use irs_filters::delta::BloomDelta;
-use irs_filters::BloomFilter;
+use irs_filters::{BloomFilter, CountingBloom};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// File name of the write-ahead log inside the [`Disk`] namespace.
+pub const WAL_PATH: &str = "ledger.wal";
+/// File name of the snapshot inside the [`Disk`] namespace.
+pub const SNAPSHOT_PATH: &str = "ledger.snap";
 
 /// One published filter version.
 #[derive(Clone, Debug)]
@@ -78,6 +87,56 @@ impl AtomicStats {
     }
 }
 
+/// How a durable ledger persists: where, how eagerly, and how often it
+/// checkpoints.
+#[derive(Clone)]
+pub struct DurabilityConfig {
+    /// Storage backend ([`crate::StdDisk`] in production,
+    /// [`crate::ChaosDisk`] in crash experiments).
+    pub disk: Arc<dyn Disk>,
+    /// When acknowledgements imply an fsync.
+    pub fsync: FsyncPolicy,
+    /// Snapshot (and truncate the log) after this many logged operations;
+    /// `None` disables automatic snapshots ([`ConcurrentLedger::snapshot_now`]
+    /// still works).
+    pub snapshot_every: Option<u64>,
+}
+
+impl DurabilityConfig {
+    /// Durability on `disk` with the given fsync policy and no automatic
+    /// snapshots.
+    pub fn new(disk: Arc<dyn Disk>, fsync: FsyncPolicy) -> DurabilityConfig {
+        DurabilityConfig {
+            disk,
+            fsync,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// The live durability state of a [`ConcurrentLedger`].
+pub struct Durability {
+    wal: WalWriter,
+    disk: Arc<dyn Disk>,
+    snapshot_every: Option<u64>,
+    ops_since_snapshot: AtomicU64,
+    /// Guards against concurrent automatic snapshots; requests that lose
+    /// the race skip (the winner's snapshot covers their operations).
+    snapshotting: AtomicBool,
+}
+
+impl Durability {
+    /// WAL activity counters (appends, fsyncs, piggybacked commits).
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// Current WAL `(generation, byte length)`.
+    pub fn wal_position(&self) -> (u64, u64) {
+        self.wal.position()
+    }
+}
+
 /// A ledger whose entire request path is `&self`: safe to share across
 /// connection threads behind a plain `Arc`.
 pub struct ConcurrentLedger {
@@ -87,6 +146,8 @@ pub struct ConcurrentLedger {
     tsa_key: PublicKey,
     snapshots: RwLock<SnapshotPair>,
     stats: AtomicStats,
+    durability: Option<Durability>,
+    recovery_report: Option<RecoveryReport>,
 }
 
 impl ConcurrentLedger {
@@ -113,7 +174,56 @@ impl ConcurrentLedger {
             snapshots: RwLock::new(SnapshotPair::default()),
             stats: AtomicStats::default(),
             config,
+            durability: None,
+            recovery_report: None,
         }
+    }
+
+    /// Open a durable ledger: recover whatever state the disk holds
+    /// (snapshot + WAL tail replay, see [`crate::recovery`]), then attach
+    /// a write-ahead log so every further mutation is persisted before it
+    /// is acknowledged. A fresh disk recovers to an empty ledger; a
+    /// corrupt one refuses to start (fail closed).
+    pub fn recover(
+        config: LedgerConfig,
+        tsa: TimestampAuthority,
+        num_shards: usize,
+        durability: DurabilityConfig,
+    ) -> Result<ConcurrentLedger, RecoveryError> {
+        let state = recovery::recover(&durability.disk, WAL_PATH, SNAPSHOT_PATH, config.id)?;
+        let store = ShardedLedgerStore::from_parts(
+            config.id,
+            tsa.clone(),
+            state.records,
+            config.filter_capacity,
+            num_shards,
+        );
+        let wal = WalWriter::open(
+            durability.disk.clone(),
+            WAL_PATH,
+            config.id,
+            durability.fsync,
+        )?;
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&config.seed.to_le_bytes());
+        seed[8..16].copy_from_slice(b"IRSLEDGR");
+        let tsa_key = tsa.public_key();
+        Ok(ConcurrentLedger {
+            store,
+            signing_key: Keypair::from_seed(&seed),
+            tsa_key,
+            snapshots: RwLock::new(SnapshotPair::default()),
+            stats: AtomicStats::default(),
+            config,
+            durability: Some(Durability {
+                wal,
+                disk: durability.disk,
+                snapshot_every: durability.snapshot_every,
+                ops_since_snapshot: AtomicU64::new(0),
+                snapshotting: AtomicBool::new(false),
+            }),
+            recovery_report: Some(state.report),
+        })
     }
 
     /// Promote a single-threaded [`Ledger`] (records, published
@@ -139,6 +249,8 @@ impl ConcurrentLedger {
             tsa_key,
             snapshots: RwLock::new(pair),
             stats: AtomicStats::default(),
+            durability: None,
+            recovery_report: None,
         };
         concurrent.stats.preload(stats);
         concurrent
@@ -175,8 +287,10 @@ impl ConcurrentLedger {
         match request {
             Request::Claim(req) => {
                 self.stats.claims.fetch_add(1, Ordering::Relaxed);
-                let (id, timestamp) = self.store.claim(req, ClaimOrigin::Owner, false, now);
-                Response::Claimed { id, timestamp }
+                match self.durable_claim(req, ClaimOrigin::Owner, false, now) {
+                    Ok((id, timestamp)) => Response::Claimed { id, timestamp },
+                    Err(_) => err(codes::STORAGE, "durable log write failed"),
+                }
             }
             Request::Query { id } => {
                 self.stats.queries.fetch_add(1, Ordering::Relaxed);
@@ -190,16 +304,19 @@ impl ConcurrentLedger {
                     return err(codes::POLICY, "this ledger does not allow revocation");
                 }
                 self.stats.revokes.fetch_add(1, Ordering::Relaxed);
-                match self.store.apply_revoke(&req) {
-                    Ok((status, epoch)) => Response::RevokeAck {
+                match self.durable_revoke(&req) {
+                    Err(_) => err(codes::STORAGE, "durable log write failed"),
+                    Ok(Ok((status, epoch))) => Response::RevokeAck {
                         id: req.id,
                         status,
                         epoch,
                     },
-                    Err(StoreError::UnknownRecord) => err(codes::UNKNOWN_RECORD, "unknown record"),
-                    Err(StoreError::BadSignature) => err(codes::BAD_SIGNATURE, "bad signature"),
-                    Err(StoreError::StaleEpoch) => err(codes::STALE_EPOCH, "stale epoch"),
-                    Err(StoreError::Permanent) => err(codes::POLICY, "permanently revoked"),
+                    Ok(Err(StoreError::UnknownRecord)) => {
+                        err(codes::UNKNOWN_RECORD, "unknown record")
+                    }
+                    Ok(Err(StoreError::BadSignature)) => err(codes::BAD_SIGNATURE, "bad signature"),
+                    Ok(Err(StoreError::StaleEpoch)) => err(codes::STALE_EPOCH, "stale epoch"),
+                    Ok(Err(StoreError::Permanent)) => err(codes::POLICY, "permanently revoked"),
                 }
             }
             Request::GetFilter { have_version } => self.serve_filter(have_version),
@@ -233,15 +350,148 @@ impl ConcurrentLedger {
     }
 
     /// Claim custodially (aggregator ingestion path).
-    pub fn claim_custodial(&self, req: ClaimRequest, now: TimeMs) -> (RecordId, TimestampToken) {
+    pub fn claim_custodial(
+        &self,
+        req: ClaimRequest,
+        now: TimeMs,
+    ) -> Result<(RecordId, TimestampToken), WalError> {
         self.stats.claims.fetch_add(1, Ordering::Relaxed);
-        self.store.claim(req, ClaimOrigin::Custodial, false, now)
+        self.durable_claim(req, ClaimOrigin::Custodial, false, now)
     }
 
     /// Claim with the "auto-register revoked" default.
-    pub fn claim_revoked(&self, req: ClaimRequest, now: TimeMs) -> (RecordId, TimestampToken) {
+    pub fn claim_revoked(
+        &self,
+        req: ClaimRequest,
+        now: TimeMs,
+    ) -> Result<(RecordId, TimestampToken), WalError> {
         self.stats.claims.fetch_add(1, Ordering::Relaxed);
-        self.store.claim(req, ClaimOrigin::Owner, true, now)
+        self.durable_claim(req, ClaimOrigin::Owner, true, now)
+    }
+
+    /// Permanently revoke (appeals outcome), durably when a WAL is
+    /// attached. The outer error is storage, the inner the store verdict.
+    pub fn permanently_revoke(&self, id: &RecordId) -> Result<Result<(), StoreError>, WalError> {
+        let Some(d) = &self.durability else {
+            return Ok(self.store.permanently_revoke(id));
+        };
+        let mut logged: Result<u64, WalError> = Ok(0);
+        let out = self.store.permanently_revoke_with(id, || {
+            logged = d.wal.append(&WalRecord::AppealPin { id: *id });
+        });
+        let lsn = logged?;
+        if out.is_ok() {
+            d.wal.commit(lsn)?;
+            self.maybe_snapshot();
+        }
+        Ok(out)
+    }
+
+    /// Claim, logging to the WAL from inside the shard write path when
+    /// durability is on. The record is acknowledged only after
+    /// [`WalWriter::commit`] returns per the fsync policy; if the log
+    /// write fails, the claim stays in memory but is *not* acknowledged —
+    /// exactly the promise recovery makes ("nothing acknowledged is
+    /// lost"), from the other side.
+    fn durable_claim(
+        &self,
+        req: ClaimRequest,
+        origin: ClaimOrigin,
+        initially_revoked: bool,
+        now: TimeMs,
+    ) -> Result<(RecordId, TimestampToken), WalError> {
+        let Some(d) = &self.durability else {
+            return Ok(self.store.claim(req, origin, initially_revoked, now));
+        };
+        let mut logged: Result<u64, WalError> = Ok(0);
+        let (id, timestamp) =
+            self.store
+                .claim_with(req, origin, initially_revoked, now, |stored| {
+                    logged = d.wal.append(&WalRecord::Claim {
+                        serial: stored.claim.id.serial,
+                        origin: stored.origin,
+                        initially_revoked: stored.claim.status != RevocationStatus::NotRevoked,
+                        request: stored.claim.request,
+                        timestamp: stored.claim.timestamp,
+                    });
+                });
+        let lsn = logged?;
+        d.wal.commit(lsn)?;
+        self.maybe_snapshot();
+        Ok((id, timestamp))
+    }
+
+    /// Revoke with WAL logging; only *accepted* revocations are logged
+    /// (the hook runs after signature and epoch checks pass, under the
+    /// shard lock).
+    fn durable_revoke(
+        &self,
+        req: &RevokeRequest,
+    ) -> Result<Result<(RevocationStatus, u64), StoreError>, WalError> {
+        let Some(d) = &self.durability else {
+            return Ok(self.store.apply_revoke(req));
+        };
+        let mut logged: Result<u64, WalError> = Ok(0);
+        let out = self.store.apply_revoke_with(req, || {
+            logged = d.wal.append(&WalRecord::Revoke(*req));
+        });
+        let lsn = logged?;
+        if out.is_ok() {
+            d.wal.commit(lsn)?;
+            self.maybe_snapshot();
+        }
+        Ok(out)
+    }
+
+    /// Count an operation toward the automatic-snapshot threshold and
+    /// checkpoint when it trips. Best-effort: a failed snapshot leaves
+    /// the WAL intact, so durability is unaffected (replay just stays
+    /// longer).
+    fn maybe_snapshot(&self) {
+        let Some(d) = &self.durability else { return };
+        let Some(every) = d.snapshot_every else {
+            return;
+        };
+        let n = d.ops_since_snapshot.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= every && !d.snapshotting.swap(true, Ordering::AcqRel) {
+            d.ops_since_snapshot.store(0, Ordering::Relaxed);
+            let _ = self.snapshot_now();
+            d.snapshotting.store(false, Ordering::Release);
+        }
+    }
+
+    /// Write a checksummed snapshot of the full store atomically, then
+    /// truncate the WAL to the frames after the cut. No-op without
+    /// durability.
+    pub fn snapshot_now(&self) -> Result<(), WalError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        // The cut: record copy and WAL position taken under every shard
+        // lock, so they describe the same instant.
+        let (records, (generation, offset)) = self.store.frozen_copy(|| d.wal.position());
+        let mut filter = CountingBloom::for_capacity(self.config.filter_capacity, 0.02)
+            .expect("valid filter params");
+        for rec in &records {
+            if rec.claim.status != RevocationStatus::NotRevoked {
+                filter.insert(rec.claim.id.filter_key());
+            }
+        }
+        let bytes = encode_snapshot(self.config.id, generation, offset, &records, &filter);
+        d.disk.write_atomic(SNAPSHOT_PATH, &bytes)?;
+        d.wal.rotate_at(offset)?;
+        Ok(())
+    }
+
+    /// The durability subsystem, when attached.
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durability.as_ref()
+    }
+
+    /// What the last [`recover`](Self::recover) found (None for ledgers
+    /// created fresh).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery_report
     }
 
     /// Issue a signed freshness proof.

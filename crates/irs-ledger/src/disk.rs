@@ -1,0 +1,201 @@
+//! Storage abstraction under the durability subsystem.
+//!
+//! The WAL, snapshot, and recovery code talk to a small [`Disk`] trait
+//! instead of `std::fs` directly, so the same code path runs against the
+//! real filesystem ([`StdDisk`]) in production and against the seeded
+//! fault-injecting [`crate::chaosdisk::ChaosDisk`] in crash experiments —
+//! the durability analogue of `irs-net`'s chaos transport sitting where a
+//! TCP stack would.
+//!
+//! The contract is deliberately narrow: whole-file reads, append-only
+//! writes, explicit syncs, and atomic whole-file replacement. That is all
+//! a log-structured ledger needs, and a small surface keeps the fault
+//! model of the chaos backend honest (every operation has a well-defined
+//! durability meaning).
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Append-oriented storage with explicit durability points.
+///
+/// Durability semantics callers may rely on:
+///
+/// * bytes passed to [`append`](Disk::append) are *visible* to subsequent
+///   [`read`](Disk::read)s immediately, but only *durable* (survive a
+///   crash) once a later [`sync`](Disk::sync) on the same path returns;
+/// * [`write_atomic`](Disk::write_atomic) replaces the whole file
+///   all-or-nothing and is durable on return (tmp + fsync + rename);
+/// * on crash, an unsynced append tail may survive only as a *prefix*
+///   (the torn-write model — bytes persist in write order).
+pub trait Disk: Send + Sync {
+    /// Read the whole file. `ErrorKind::NotFound` when it does not exist.
+    fn read(&self, path: &str) -> io::Result<Vec<u8>>;
+    /// Append bytes to the end of the file, creating it if needed.
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<()>;
+    /// Make previously appended bytes durable (fsync).
+    fn sync(&self, path: &str) -> io::Result<()>;
+    /// Atomically replace the file's contents; durable on return.
+    fn write_atomic(&self, path: &str, data: &[u8]) -> io::Result<()>;
+    /// Whether the file exists.
+    fn exists(&self, path: &str) -> bool;
+    /// Remove the file (ok if absent).
+    fn remove(&self, path: &str) -> io::Result<()>;
+}
+
+/// [`Disk`] over the real filesystem, rooted at a directory.
+///
+/// Open append handles are cached per path so a hot WAL does not reopen
+/// its file on every record. Appends to one path must be externally
+/// serialized (the WAL writer's lock does this); `sync` may run
+/// concurrently with appends, which is exactly what group commit wants.
+pub struct StdDisk {
+    root: PathBuf,
+    handles: Mutex<HashMap<String, Arc<std::fs::File>>>,
+}
+
+impl StdDisk {
+    /// Create a disk rooted at `root`, creating the directory if needed.
+    pub fn new(root: impl AsRef<Path>) -> io::Result<StdDisk> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(StdDisk {
+            root,
+            handles: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The root directory files live under.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn full(&self, path: &str) -> PathBuf {
+        self.root.join(path)
+    }
+
+    fn handle(&self, path: &str) -> io::Result<Arc<std::fs::File>> {
+        let mut handles = self.handles.lock();
+        if let Some(f) = handles.get(path) {
+            return Ok(f.clone());
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.full(path))?;
+        let file = Arc::new(file);
+        handles.insert(path.to_string(), file.clone());
+        Ok(file)
+    }
+
+    /// Best-effort fsync of the root directory (makes renames durable).
+    fn sync_dir(&self) {
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+impl Disk for StdDisk {
+    fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.full(path))
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let file = self.handle(path)?;
+        (&*file).write_all(data)
+    }
+
+    fn sync(&self, path: &str) -> io::Result<()> {
+        self.handle(path)?.sync_all()
+    }
+
+    fn write_atomic(&self, path: &str, data: &[u8]) -> io::Result<()> {
+        let tmp = self.full(&format!("{path}.tmp"));
+        let dst = self.full(path);
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &dst)?;
+        // The cached append handle (if any) points at the replaced inode.
+        self.handles.lock().remove(path);
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.full(path).exists()
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.handles.lock().remove(path);
+        match std::fs::remove_file(self.full(path)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "irs-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_read_sync_roundtrip() {
+        let dir = test_dir("disk");
+        let disk = StdDisk::new(&dir).unwrap();
+        assert!(!disk.exists("wal.log"));
+        disk.append("wal.log", b"hello ").unwrap();
+        disk.append("wal.log", b"world").unwrap();
+        disk.sync("wal.log").unwrap();
+        assert_eq!(disk.read("wal.log").unwrap(), b"hello world");
+        assert!(disk.exists("wal.log"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_resets_append_handle() {
+        let dir = test_dir("disk");
+        let disk = StdDisk::new(&dir).unwrap();
+        disk.append("snap.bin", b"old-contents").unwrap();
+        disk.write_atomic("snap.bin", b"new").unwrap();
+        assert_eq!(disk.read("snap.bin").unwrap(), b"new");
+        // Appends after the swap land on the new inode, not the old one.
+        disk.append("snap.bin", b"+tail").unwrap();
+        assert_eq!(disk.read("snap.bin").unwrap(), b"new+tail");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_and_remove() {
+        let dir = test_dir("disk");
+        let disk = StdDisk::new(&dir).unwrap();
+        assert_eq!(
+            disk.read("nope").unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        disk.remove("nope").unwrap(); // absent is fine
+        disk.append("x", b"1").unwrap();
+        disk.remove("x").unwrap();
+        assert!(!disk.exists("x"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -26,21 +26,38 @@
 //! path is entirely `&self` so connection threads share it behind a
 //! plain `Arc` — no whole-service mutex. See DESIGN.md, "Concurrency
 //! architecture".
+//!
+//! Durability tier (DESIGN.md, "Durability & recovery"): [`wal`] is the
+//! checksummed write-ahead log every mutation hits before it is
+//! acknowledged, [`snapshot`] the periodic checkpoint that bounds replay,
+//! [`recovery`] the open-time replay that rebuilds state exactly (and
+//! fails closed on anything tearing cannot explain), [`disk`] the narrow
+//! storage trait they share, and [`chaosdisk`] its seeded
+//! fault-injecting double for crash experiments (E17).
 
 pub mod adversarial;
 pub mod appeals;
+pub mod chaosdisk;
 pub mod concurrent;
+pub mod disk;
 pub mod payments;
 pub mod probe;
+pub mod recovery;
 pub mod service;
 pub mod sharded;
+pub mod snapshot;
 pub mod store;
+pub mod wal;
 
 pub use appeals::{AppealOutcome, AppealsJudge};
-pub use concurrent::ConcurrentLedger;
+pub use chaosdisk::{ChaosDisk, ChaosDiskConfig, DiskFault};
+pub use concurrent::{ConcurrentLedger, Durability, DurabilityConfig};
+pub use disk::{Disk, StdDisk};
+pub use recovery::{RecoveredState, RecoveryError, RecoveryReport};
 pub use service::{Ledger, LedgerConfig, LedgerPolicy, LedgerStats};
 pub use sharded::ShardedLedgerStore;
 pub use store::{LedgerStore, StoreError};
+pub use wal::{FsyncPolicy, WalError, WalRecord, WalWriter};
 
 /// Error codes carried in `Response::Error`.
 pub mod codes {
@@ -57,4 +74,8 @@ pub mod codes {
     /// Upstream ledger unreachable and no degraded answer available
     /// (returned by proxies, never by a ledger itself).
     pub const UNAVAILABLE: u16 = 6;
+    /// Durable storage failed; the operation was not acknowledged and
+    /// must be retried (the in-memory state may already reflect it, but
+    /// nothing un-logged is promised across a restart).
+    pub const STORAGE: u16 = 7;
 }

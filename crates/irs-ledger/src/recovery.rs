@@ -1,0 +1,529 @@
+//! Open-time recovery: snapshot + WAL tail replay.
+//!
+//! The recovery ladder, applied in order:
+//!
+//! 1. **Snapshot** (if present): decode under its CRC. Any damage is
+//!    fatal — snapshots are written atomically, so a corrupt one means
+//!    the media lied, and serving guesses about revocation state is the
+//!    one thing this system must never do (*fail closed*).
+//! 2. **Resume point**: the snapshot records the WAL `(generation,
+//!    offset)` it was cut at. If the log still carries that generation,
+//!    replay starts at the offset (the covered prefix is skipped
+//!    unparsed). If the log is one generation ahead, the post-snapshot
+//!    rotation completed and replay starts at the header. Anything else
+//!    means files from different histories are mixed — fail closed.
+//! 3. **Replay**: apply each logged operation to the record map,
+//!    re-checking the epoch chain. A replay mismatch (revoke of an
+//!    unknown record, broken epoch chain) can only happen if the log or
+//!    snapshot is wrong — fail closed.
+//! 4. **Torn tail**: an incomplete or checksum-failed *final* frame is
+//!    the signature of a cut append. Nothing acknowledged under fsync
+//!    `Always` can live there, so the tail is dropped and the log is
+//!    rewritten to its good prefix (atomically) so the next writer
+//!    appends after valid bytes.
+//!
+//! Claims that were allocated a serial but never reached the durable log
+//! leave *holes* in the serial space after recovery; the store tolerates
+//! them and continues allocation above the highest recovered serial.
+
+use std::io;
+use std::sync::Arc;
+
+use irs_core::claim::{Claim, RevocationStatus};
+use irs_core::ids::{LedgerId, RecordId};
+use irs_filters::CountingBloom;
+use std::collections::BTreeMap;
+
+use crate::disk::Disk;
+use crate::snapshot::{decode_snapshot, SnapshotError};
+use crate::store::StoredClaim;
+use crate::wal::{read_header, read_wal, WalError, WalRecord, WAL_HEADER_LEN};
+
+/// Errors from recovery. All variants except `Io` mean the on-disk state
+/// cannot be trusted and the ledger must not start (fail closed).
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// Underlying storage failed.
+    Io(io::Error),
+    /// The snapshot file fails validation.
+    Snapshot(SnapshotError),
+    /// The WAL fails validation mid-log.
+    Wal(WalError),
+    /// The log parsed but does not describe a coherent history.
+    Replay(&'static str),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "recovery i/o error: {e}"),
+            RecoveryError::Snapshot(e) => write!(f, "recovery: {e}"),
+            RecoveryError::Wal(e) => write!(f, "recovery: {e}"),
+            RecoveryError::Replay(what) => write!(f, "recovery replay failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Io(e) => Some(e),
+            RecoveryError::Snapshot(e) => Some(e),
+            RecoveryError::Wal(e) => Some(e),
+            RecoveryError::Replay(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for RecoveryError {
+    fn from(e: io::Error) -> RecoveryError {
+        RecoveryError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for RecoveryError {
+    fn from(e: SnapshotError) -> RecoveryError {
+        RecoveryError::Snapshot(e)
+    }
+}
+
+impl From<WalError> for RecoveryError {
+    fn from(e: WalError) -> RecoveryError {
+        match e {
+            WalError::Io(io) => RecoveryError::Io(io),
+            other => RecoveryError::Wal(other),
+        }
+    }
+}
+
+/// What recovery found, for logs and experiment tables.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// Records seeded from the snapshot.
+    pub snapshot_records: usize,
+    /// WAL operations replayed on top.
+    pub wal_records: usize,
+    /// Bytes dropped from a torn final WAL record.
+    pub torn_bytes_dropped: u64,
+    /// Records in the recovered state.
+    pub recovered_records: usize,
+}
+
+/// The state recovery hands to the store layer.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// All records, ascending serial order (holes possible).
+    pub records: Vec<StoredClaim>,
+    /// The revocation filter: the snapshot's (with replayed transitions
+    /// applied) when a snapshot existed, otherwise `None` and the store
+    /// rebuilds per-shard filters from the records.
+    pub filter: Option<CountingBloom>,
+    /// What happened.
+    pub report: RecoveryReport,
+}
+
+/// Recover ledger state from `snapshot_path` + `wal_path` on `disk`.
+///
+/// Also repairs a torn WAL tail in place (rewriting the good prefix
+/// atomically), so a subsequent [`crate::wal::WalWriter::open`] on the
+/// same path succeeds and appends after valid bytes.
+pub fn recover(
+    disk: &Arc<dyn Disk>,
+    wal_path: &str,
+    snapshot_path: &str,
+    ledger: LedgerId,
+) -> Result<RecoveredState, RecoveryError> {
+    // 1. Snapshot.
+    let snapshot = if disk.exists(snapshot_path) {
+        let bytes = disk.read(snapshot_path)?;
+        let snap = decode_snapshot(&bytes)?;
+        if snap.ledger != ledger {
+            return Err(RecoveryError::Replay(
+                "snapshot belongs to a different ledger",
+            ));
+        }
+        Some(snap)
+    } else {
+        None
+    };
+
+    // 2. WAL + resume point.
+    let mut records: BTreeMap<u64, StoredClaim> = BTreeMap::new();
+    let mut filter = None;
+    let mut report = RecoveryReport::default();
+    if let Some(snap) = snapshot {
+        report.snapshot_records = snap.records.len();
+        for rec in snap.records {
+            records.insert(rec.claim.id.serial, rec);
+        }
+        filter = Some(snap.filter);
+
+        if disk.exists(wal_path) {
+            let bytes = disk.read(wal_path)?;
+            let (wal_ledger, generation) = read_header(&bytes)?;
+            if wal_ledger != ledger {
+                return Err(RecoveryError::Replay("wal belongs to a different ledger"));
+            }
+            let start = if generation == snap.wal_generation {
+                // Crash before (or without) rotation: the snapshot covers
+                // the prefix up to its recorded offset.
+                snap.wal_offset as usize
+            } else if generation == snap.wal_generation + 1 {
+                // Rotation completed: the whole log is post-snapshot.
+                WAL_HEADER_LEN
+            } else {
+                return Err(RecoveryError::Replay(
+                    "wal generation does not match snapshot",
+                ));
+            };
+            replay(
+                disk,
+                wal_path,
+                &bytes,
+                start,
+                ledger,
+                &mut records,
+                filter.as_mut(),
+                &mut report,
+            )?;
+        } else if snap.wal_offset > WAL_HEADER_LEN as u64 {
+            // The snapshot says a log with committed frames existed.
+            return Err(RecoveryError::Replay(
+                "wal missing but snapshot references it",
+            ));
+        }
+    } else if disk.exists(wal_path) {
+        let bytes = disk.read(wal_path)?;
+        let (wal_ledger, _) = read_header(&bytes)?;
+        if wal_ledger != ledger {
+            return Err(RecoveryError::Replay("wal belongs to a different ledger"));
+        }
+        replay(
+            disk,
+            wal_path,
+            &bytes,
+            WAL_HEADER_LEN,
+            ledger,
+            &mut records,
+            None,
+            &mut report,
+        )?;
+    }
+
+    report.recovered_records = records.len();
+    Ok(RecoveredState {
+        records: records.into_values().collect(),
+        filter,
+        report,
+    })
+}
+
+/// Parse the log from `start`, apply each operation, and repair a torn
+/// tail on disk if one is found.
+#[allow(clippy::too_many_arguments)]
+fn replay(
+    disk: &Arc<dyn Disk>,
+    wal_path: &str,
+    bytes: &[u8],
+    start: usize,
+    ledger: LedgerId,
+    records: &mut BTreeMap<u64, StoredClaim>,
+    mut filter: Option<&mut CountingBloom>,
+    report: &mut RecoveryReport,
+) -> Result<(), RecoveryError> {
+    let contents = read_wal(bytes, start)?;
+    for (_, record) in contents.records {
+        apply(ledger, record, records, filter.as_deref_mut())?;
+        report.wal_records += 1;
+    }
+    if contents.torn_bytes > 0 {
+        // 4. Drop the torn tail durably so the next append starts clean.
+        disk.write_atomic(wal_path, &bytes[..contents.good_len as usize])?;
+        report.torn_bytes_dropped = contents.torn_bytes;
+    }
+    Ok(())
+}
+
+fn apply(
+    ledger: LedgerId,
+    record: WalRecord,
+    records: &mut BTreeMap<u64, StoredClaim>,
+    filter: Option<&mut CountingBloom>,
+) -> Result<(), RecoveryError> {
+    match record {
+        WalRecord::Claim {
+            serial,
+            origin,
+            initially_revoked,
+            request,
+            timestamp,
+        } => {
+            let id = RecordId::new(ledger, serial);
+            let status = if initially_revoked {
+                RevocationStatus::Revoked
+            } else {
+                RevocationStatus::NotRevoked
+            };
+            let prev = records.insert(
+                serial,
+                StoredClaim {
+                    claim: Claim {
+                        id,
+                        request,
+                        timestamp,
+                        status,
+                        status_epoch: 0,
+                    },
+                    origin,
+                },
+            );
+            if prev.is_some() {
+                return Err(RecoveryError::Replay("duplicate claim serial"));
+            }
+            if initially_revoked {
+                if let Some(f) = filter {
+                    f.insert(id.filter_key());
+                }
+            }
+        }
+        WalRecord::Revoke(req) => {
+            if req.id.ledger != ledger {
+                return Err(RecoveryError::Replay("revoke for a different ledger"));
+            }
+            let rec = records
+                .get_mut(&req.id.serial)
+                .ok_or(RecoveryError::Replay("revoke of unknown record"))?;
+            if rec.claim.status == RevocationStatus::PermanentlyRevoked {
+                return Err(RecoveryError::Replay("revoke after permanent pin"));
+            }
+            // The signature was verified before the record was logged;
+            // replay re-checks only the epoch chain, which detects any
+            // reordering or loss the checksums let through.
+            if req.epoch != rec.claim.status_epoch {
+                return Err(RecoveryError::Replay("epoch chain broken"));
+            }
+            let was_revoked = rec.claim.status != RevocationStatus::NotRevoked;
+            rec.claim.status = if req.revoke {
+                RevocationStatus::Revoked
+            } else {
+                RevocationStatus::NotRevoked
+            };
+            rec.claim.status_epoch += 1;
+            if let Some(f) = filter {
+                let key = rec.claim.id.filter_key();
+                match (was_revoked, req.revoke) {
+                    (false, true) => f.insert(key),
+                    (true, false) => f.remove(key),
+                    _ => {}
+                }
+            }
+        }
+        WalRecord::AppealPin { id } => {
+            if id.ledger != ledger {
+                return Err(RecoveryError::Replay("appeal pin for a different ledger"));
+            }
+            let rec = records
+                .get_mut(&id.serial)
+                .ok_or(RecoveryError::Replay("appeal pin of unknown record"))?;
+            let was_revoked = rec.claim.status != RevocationStatus::NotRevoked;
+            rec.claim.status = RevocationStatus::PermanentlyRevoked;
+            rec.claim.status_epoch += 1;
+            if !was_revoked {
+                if let Some(f) = filter {
+                    f.insert(id.filter_key());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaosdisk::{ChaosDisk, ChaosDiskConfig};
+    use crate::snapshot::encode_snapshot;
+    use crate::store::ClaimOrigin;
+    use crate::wal::{encode_header, FsyncPolicy, WalWriter};
+    use irs_core::claim::{ClaimRequest, RevokeRequest};
+    use irs_core::time::TimeMs;
+    use irs_core::tsa::TimestampAuthority;
+    use irs_crypto::{Digest, Keypair};
+    use irs_filters::Filter;
+
+    const LEDGER: LedgerId = LedgerId(1);
+
+    fn disk() -> Arc<dyn Disk> {
+        Arc::new(ChaosDisk::new(ChaosDiskConfig::off(9)))
+    }
+
+    fn claim_record(serial: u64, seed: u8, revoked: bool) -> (WalRecord, Keypair) {
+        let kp = Keypair::from_seed(&[seed; 32]);
+        let tsa = TimestampAuthority::from_seed(1);
+        let request = ClaimRequest::create(&kp, &Digest::of(&[seed]));
+        (
+            WalRecord::Claim {
+                serial,
+                origin: ClaimOrigin::Owner,
+                initially_revoked: revoked,
+                request,
+                timestamp: tsa.stamp(request.digest(), TimeMs(10 + serial)),
+            },
+            kp,
+        )
+    }
+
+    #[test]
+    fn wal_only_replay_rebuilds_epochs_and_serials() {
+        let disk = disk();
+        let wal = WalWriter::open(disk.clone(), "wal", LEDGER, FsyncPolicy::Always).unwrap();
+        let (c0, kp0) = claim_record(0, 1, false);
+        let (c1, _) = claim_record(1, 2, true);
+        let id0 = RecordId::new(LEDGER, 0);
+        for rec in [
+            c0,
+            c1,
+            WalRecord::Revoke(RevokeRequest::create(&kp0, id0, true, 0)),
+            WalRecord::Revoke(RevokeRequest::create(&kp0, id0, false, 1)),
+        ] {
+            let lsn = wal.append(&rec).unwrap();
+            wal.commit(lsn).unwrap();
+        }
+        let state = recover(&disk, "wal", "snap", LEDGER).unwrap();
+        assert_eq!(state.records.len(), 2);
+        assert_eq!(state.report.wal_records, 4);
+        assert_eq!(state.records[0].claim.status, RevocationStatus::NotRevoked);
+        assert_eq!(state.records[0].claim.status_epoch, 2);
+        assert_eq!(state.records[1].claim.status, RevocationStatus::Revoked);
+    }
+
+    #[test]
+    fn snapshot_plus_tail_and_generation_rules() {
+        let disk = disk();
+        let wal = WalWriter::open(disk.clone(), "wal", LEDGER, FsyncPolicy::Always).unwrap();
+        let (c0, _) = claim_record(0, 1, false);
+        let lsn = wal.append(&c0).unwrap();
+        wal.commit(lsn).unwrap();
+        let (generation, offset) = wal.position();
+        // Snapshot covering the claim, then one more op after the cut.
+        let state = recover(&disk, "wal", "snap", LEDGER).unwrap();
+        let mut filter = CountingBloom::for_capacity(1000, 0.02).unwrap();
+        for r in &state.records {
+            if r.claim.status != RevocationStatus::NotRevoked {
+                filter.insert(r.claim.id.filter_key());
+            }
+        }
+        let snap = encode_snapshot(LEDGER, generation, offset, &state.records, &filter);
+        disk.write_atomic("snap", &snap).unwrap();
+        let (c1, _) = claim_record(1, 2, true);
+        let lsn = wal.append(&c1).unwrap();
+        wal.commit(lsn).unwrap();
+
+        // Pre-rotation: replay resumes at the snapshot offset.
+        let recovered = recover(&disk, "wal", "snap", LEDGER).unwrap();
+        assert_eq!(recovered.report.snapshot_records, 1);
+        assert_eq!(recovered.report.wal_records, 1);
+        assert_eq!(recovered.records.len(), 2);
+        let f = recovered.filter.expect("snapshot filter present");
+        assert!(f.contains(RecordId::new(LEDGER, 1).filter_key()));
+
+        // Post-rotation: generation bumps, whole log replays.
+        wal.rotate_at(offset).unwrap();
+        let recovered = recover(&disk, "wal", "snap", LEDGER).unwrap();
+        assert_eq!(recovered.report.snapshot_records, 1);
+        assert_eq!(recovered.report.wal_records, 1);
+        assert_eq!(recovered.records.len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_repaired() {
+        let disk = disk();
+        let wal = WalWriter::open(disk.clone(), "wal", LEDGER, FsyncPolicy::Always).unwrap();
+        let (c0, _) = claim_record(0, 1, false);
+        let lsn = wal.append(&c0).unwrap();
+        wal.commit(lsn).unwrap();
+        drop(wal);
+        // Simulate a cut append: half a frame of garbage at the tail.
+        disk.append("wal", &[0x00, 0x00, 0x00, 0x10, 0xde, 0xad])
+            .unwrap();
+        let state = recover(&disk, "wal", "snap", LEDGER).unwrap();
+        assert_eq!(state.records.len(), 1);
+        assert_eq!(state.report.torn_bytes_dropped, 6);
+        // The repair rewrote the log: a writer can open it again.
+        let wal = WalWriter::open(disk.clone(), "wal", LEDGER, FsyncPolicy::Always).unwrap();
+        let (c1, _) = claim_record(1, 2, false);
+        let lsn = wal.append(&c1).unwrap();
+        wal.commit(lsn).unwrap();
+        let state = recover(&disk, "wal", "snap", LEDGER).unwrap();
+        assert_eq!(state.records.len(), 2);
+        assert_eq!(state.report.torn_bytes_dropped, 0);
+    }
+
+    #[test]
+    fn mid_log_corruption_of_a_revocation_fails_closed() {
+        let disk = disk();
+        let wal = WalWriter::open(disk.clone(), "wal", LEDGER, FsyncPolicy::Always).unwrap();
+        let (c0, kp0) = claim_record(0, 1, false);
+        let id0 = RecordId::new(LEDGER, 0);
+        let revoke = WalRecord::Revoke(RevokeRequest::create(&kp0, id0, true, 0));
+        let (c1, _) = claim_record(1, 2, false);
+        for rec in [&c0, &revoke, &c1] {
+            let lsn = wal.append(rec).unwrap();
+            wal.commit(lsn).unwrap();
+        }
+        drop(wal);
+        // Flip one bit inside the revoke frame (it has a frame after it,
+        // so this cannot read as a torn tail).
+        let mut bytes = disk.read("wal").unwrap();
+        let revoke_frame_at = WAL_HEADER_LEN + c0.encode_framed().len();
+        bytes[revoke_frame_at + 12] ^= 0x04;
+        disk.write_atomic("wal", &bytes).unwrap();
+        match recover(&disk, "wal", "snap", LEDGER) {
+            Err(RecoveryError::Wal(WalError::Corrupt { offset, .. })) => {
+                assert_eq!(offset, revoke_frame_at as u64);
+            }
+            other => panic!("expected fail-closed corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serial_holes_are_tolerated() {
+        // A claim whose WAL append never made it leaves a hole; later
+        // records replay fine and the hole stays a hole.
+        let disk = disk();
+        let wal = WalWriter::open(disk.clone(), "wal", LEDGER, FsyncPolicy::Always).unwrap();
+        let (c0, _) = claim_record(0, 1, false);
+        let (c2, _) = claim_record(2, 3, true);
+        for rec in [&c0, &c2] {
+            let lsn = wal.append(rec).unwrap();
+            wal.commit(lsn).unwrap();
+        }
+        let state = recover(&disk, "wal", "snap", LEDGER).unwrap();
+        assert_eq!(state.records.len(), 2);
+        let serials: Vec<u64> = state.records.iter().map(|r| r.claim.id.serial).collect();
+        assert_eq!(serials, vec![0, 2]);
+    }
+
+    #[test]
+    fn mixed_generation_files_fail_closed() {
+        let disk = disk();
+        // Snapshot claims generation 5; log is generation 0.
+        let filter = CountingBloom::for_capacity(100, 0.02).unwrap();
+        let snap = encode_snapshot(LEDGER, 5, WAL_HEADER_LEN as u64, &[], &filter);
+        disk.write_atomic("snap", &snap).unwrap();
+        disk.write_atomic("wal", &encode_header(LEDGER, 0)).unwrap();
+        assert!(matches!(
+            recover(&disk, "wal", "snap", LEDGER),
+            Err(RecoveryError::Replay(_))
+        ));
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty() {
+        let disk = disk();
+        let state = recover(&disk, "wal", "snap", LEDGER).unwrap();
+        assert!(state.records.is_empty());
+        assert!(state.filter.is_none());
+        assert_eq!(state.report.recovered_records, 0);
+    }
+}

@@ -80,8 +80,11 @@ impl ShardedLedgerStore {
         }
     }
 
-    /// Rebuild from the records of a single-threaded store (used when a
-    /// [`crate::Ledger`] is promoted to a concurrent one).
+    /// Rebuild from an existing record set (promotion of a
+    /// [`crate::Ledger`] to a concurrent one, or crash recovery). Serials
+    /// may have holes — recovery drops claims that were allocated but
+    /// never durably committed — so the next serial is one past the
+    /// highest record present, not the record count.
     pub(crate) fn from_parts(
         id: LedgerId,
         tsa: TimestampAuthority,
@@ -90,9 +93,12 @@ impl ShardedLedgerStore {
         num_shards: usize,
     ) -> ShardedLedgerStore {
         let store = ShardedLedgerStore::new(id, tsa, filter_capacity, num_shards);
-        store
-            .next_serial
-            .store(records.len() as u64, Ordering::Relaxed);
+        let next = records
+            .iter()
+            .map(|r| r.claim.id.serial + 1)
+            .max()
+            .unwrap_or(0);
+        store.next_serial.store(next, Ordering::Relaxed);
         for stored in records {
             let serial = stored.claim.id.serial;
             let mut shard = store.shards[store.shard_of(serial)].write();
@@ -147,6 +153,22 @@ impl ShardedLedgerStore {
         initially_revoked: bool,
         now: TimeMs,
     ) -> (RecordId, TimestampToken) {
+        self.claim_with(request, origin, initially_revoked, now, |_| {})
+    }
+
+    /// [`claim`](Self::claim) with a durability hook: `log` runs under the
+    /// shard write lock, after the record is inserted. Because every
+    /// mutation of a given record happens under its shard lock, WAL
+    /// appends made from these hooks land in the log in exactly the order
+    /// the mutations took effect — the invariant replay depends on.
+    pub fn claim_with(
+        &self,
+        request: ClaimRequest,
+        origin: ClaimOrigin,
+        initially_revoked: bool,
+        now: TimeMs,
+        log: impl FnOnce(&StoredClaim),
+    ) -> (RecordId, TimestampToken) {
         let serial = self.next_serial.fetch_add(1, Ordering::AcqRel);
         let id = RecordId::new(self.id, serial);
         // The timestamp signature is the expensive part; compute it
@@ -176,6 +198,7 @@ impl ShardedLedgerStore {
             shard.filter.insert(id.filter_key());
         }
         shard.slots[slot] = Some(stored);
+        log(shard.slots[slot].as_ref().expect("just inserted"));
         (id, timestamp)
     }
 
@@ -205,6 +228,17 @@ impl ShardedLedgerStore {
     pub fn apply_revoke(
         &self,
         request: &RevokeRequest,
+    ) -> Result<(RevocationStatus, u64), StoreError> {
+        self.apply_revoke_with(request, || {})
+    }
+
+    /// [`apply_revoke`](Self::apply_revoke) with a durability hook: `log`
+    /// runs under the shard write lock, only if the revocation was
+    /// accepted (the WAL records applied operations, not attempts).
+    pub fn apply_revoke_with(
+        &self,
+        request: &RevokeRequest,
+        log: impl FnOnce(),
     ) -> Result<(RevocationStatus, u64), StoreError> {
         if request.id.ledger != self.id {
             return Err(StoreError::UnknownRecord);
@@ -240,11 +274,22 @@ impl ShardedLedgerStore {
             (true, false) => shard.filter.remove(key),
             _ => {}
         }
+        log();
         Ok(result)
     }
 
     /// Permanently revoke (appeals outcome); administrative, unsigned.
     pub fn permanently_revoke(&self, id: &RecordId) -> Result<(), StoreError> {
+        self.permanently_revoke_with(id, || {})
+    }
+
+    /// [`permanently_revoke`](Self::permanently_revoke) with a durability
+    /// hook, run under the shard write lock on success.
+    pub fn permanently_revoke_with(
+        &self,
+        id: &RecordId,
+        log: impl FnOnce(),
+    ) -> Result<(), StoreError> {
         if id.ledger != self.id {
             return Err(StoreError::UnknownRecord);
         }
@@ -262,7 +307,25 @@ impl ShardedLedgerStore {
         if !was_revoked {
             shard.filter.insert(id.filter_key());
         }
+        log();
         Ok(())
+    }
+
+    /// Copy every committed record (ascending serial order) while *all*
+    /// shard locks are held, and call `f` inside the same critical
+    /// section. This is the snapshot cut: `f` captures the WAL position,
+    /// and because every mutation both holds a shard lock and logs from
+    /// inside it, the copy and the position describe the same instant.
+    pub fn frozen_copy<T>(&self, f: impl FnOnce() -> T) -> (Vec<StoredClaim>, T) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let extra = f();
+        let mut records: Vec<StoredClaim> = guards
+            .iter()
+            .flat_map(|g| g.slots.iter().flatten().cloned())
+            .collect();
+        drop(guards);
+        records.sort_by_key(|r| r.claim.id.serial);
+        (records, extra)
     }
 
     /// Project the revoked-set Bloom filter from the per-shard counting

@@ -35,6 +35,8 @@ impl std::fmt::Display for StoreError {
     }
 }
 
+impl std::error::Error for StoreError {}
+
 /// Whether a claim was made by the owner or custodially by an aggregator
 /// (§3.2: "the aggregator can either reject the photo or claim it … in a
 /// custodial role so that it can later be revoked").
@@ -47,7 +49,7 @@ pub enum ClaimOrigin {
 }
 
 /// One stored record.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoredClaim {
     /// The protocol-visible claim.
     pub claim: Claim,

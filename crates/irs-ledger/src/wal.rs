@@ -1,0 +1,800 @@
+//! Append-only write-ahead log with CRC-checksummed records.
+//!
+//! Every state mutation of the ledger (claim, revoke/unrevoke, appeal
+//! pin) is appended here *before* the operation is acknowledged, in the
+//! classic ARIES discipline: the log is the ledger, the in-memory store
+//! is a cache. Records are length-prefixed and CRC-32-checksummed so
+//! recovery can tell a *torn tail* (the crash cut the final append — drop
+//! it, nothing acknowledged was lost) from *mid-log corruption* (the
+//! media lied about bytes it had accepted — fail closed, see
+//! [`crate::recovery`]).
+//!
+//! File layout:
+//!
+//! ```text
+//! [magic "IRSWAL01" (8)] [ledger id (2)] [generation (8)] [header crc (4)]
+//! [frame]*
+//! frame := [payload len u32] [crc32(len‖payload) u32] [payload]
+//! ```
+//!
+//! The generation number increments when the log is rotated after a
+//! snapshot commit; snapshots record the `(generation, offset)` they were
+//! cut at, which lets recovery decide whether a crash landed before or
+//! after the rotation (§ DESIGN.md "Durability & recovery").
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use irs_core::claim::{ClaimRequest, RevokeRequest};
+use irs_core::ids::{LedgerId, RecordId};
+use irs_core::tsa::TimestampToken;
+use irs_core::wire::Wire;
+use parking_lot::Mutex;
+
+use crate::disk::Disk;
+use crate::store::ClaimOrigin;
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"IRSWAL01";
+/// Fixed header length: magic + ledger id + generation + header CRC.
+pub const WAL_HEADER_LEN: usize = 8 + 2 + 8 + 4;
+/// Sanity cap on a single record's payload. A length prefix above this is
+/// unconditionally media corruption (torn writes truncate, they do not
+/// invent bytes), so recovery fails closed on it.
+pub const MAX_RECORD: usize = 4096;
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3 polynomial), the checksum guarding WAL frames and
+/// snapshot files.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Errors from the WAL layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying storage failed.
+    Io(io::Error),
+    /// The log is corrupt at `offset` in a way tearing cannot explain.
+    Corrupt {
+        /// Byte offset of the bad frame (or header).
+        offset: u64,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt { offset, reason } => {
+                write!(f, "wal corrupt at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+/// When the WAL fsyncs relative to acknowledgements.
+///
+/// The ladder trades durability for throughput, top to bottom:
+/// `Always` loses nothing acknowledged; `EveryN` bounds loss to the last
+/// `n-1` operations; `OsDefault` leaves flushing to the page cache and
+/// bounds nothing (but still recovers every record the OS got to media).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync before every acknowledgement (group commit batches
+    /// concurrent acks into one flush).
+    Always,
+    /// fsync once every `n` appends.
+    EveryN(u32),
+    /// Never fsync explicitly; the OS writes back when it pleases.
+    OsDefault,
+}
+
+impl FsyncPolicy {
+    /// Short name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::EveryN(_) => "every-n",
+            FsyncPolicy::OsDefault => "os-default",
+        }
+    }
+}
+
+/// One logged ledger mutation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A claim was recorded at `serial`.
+    Claim {
+        /// Serial the claim was stored under.
+        serial: u64,
+        /// Who claimed it.
+        origin: ClaimOrigin,
+        /// Whether it entered the ledger already revoked (§4.4
+        /// auto-registration).
+        initially_revoked: bool,
+        /// The owner's claim material.
+        request: ClaimRequest,
+        /// The timestamp token issued at claim time (logged, not
+        /// re-stamped, so recovery rebuilds identical records).
+        timestamp: TimestampToken,
+    },
+    /// A signed revoke/unrevoke was applied. Replay re-checks the epoch
+    /// chain; the signature was verified before logging.
+    Revoke(RevokeRequest),
+    /// An appeals outcome pinned the record permanently revoked.
+    AppealPin {
+        /// The record pinned.
+        id: RecordId,
+    },
+}
+
+const TAG_CLAIM: u8 = 1;
+const TAG_REVOKE: u8 = 2;
+const TAG_APPEAL_PIN: u8 = 3;
+
+impl WalRecord {
+    /// Encode the payload (tag + fields), without framing.
+    fn encode_payload(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(256);
+        match self {
+            WalRecord::Claim {
+                serial,
+                origin,
+                initially_revoked,
+                request,
+                timestamp,
+            } => {
+                buf.put_u8(TAG_CLAIM);
+                serial.encode(&mut buf);
+                buf.put_u8(match origin {
+                    ClaimOrigin::Owner => 0,
+                    ClaimOrigin::Custodial => 1,
+                });
+                buf.put_u8(*initially_revoked as u8);
+                request.encode(&mut buf);
+                timestamp.encode(&mut buf);
+            }
+            WalRecord::Revoke(req) => {
+                buf.put_u8(TAG_REVOKE);
+                req.encode(&mut buf);
+            }
+            WalRecord::AppealPin { id } => {
+                buf.put_u8(TAG_APPEAL_PIN);
+                id.encode(&mut buf);
+            }
+        }
+        buf
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<WalRecord, &'static str> {
+        let mut buf = Bytes::copy_from_slice(payload);
+        if !buf.has_remaining() {
+            return Err("empty payload");
+        }
+        let tag = buf.get_u8();
+        let rec = match tag {
+            TAG_CLAIM => {
+                let serial = u64::decode(&mut buf).map_err(|_| "claim serial")?;
+                if !buf.has_remaining() {
+                    return Err("claim origin");
+                }
+                let origin = match buf.get_u8() {
+                    0 => ClaimOrigin::Owner,
+                    1 => ClaimOrigin::Custodial,
+                    _ => return Err("claim origin tag"),
+                };
+                if !buf.has_remaining() {
+                    return Err("claim revoked flag");
+                }
+                let initially_revoked = match buf.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return Err("claim revoked flag"),
+                };
+                WalRecord::Claim {
+                    serial,
+                    origin,
+                    initially_revoked,
+                    request: ClaimRequest::decode(&mut buf).map_err(|_| "claim request")?,
+                    timestamp: TimestampToken::decode(&mut buf).map_err(|_| "claim timestamp")?,
+                }
+            }
+            TAG_REVOKE => {
+                WalRecord::Revoke(RevokeRequest::decode(&mut buf).map_err(|_| "revoke request")?)
+            }
+            TAG_APPEAL_PIN => WalRecord::AppealPin {
+                id: RecordId::decode(&mut buf).map_err(|_| "appeal pin id")?,
+            },
+            _ => return Err("unknown record tag"),
+        };
+        if buf.has_remaining() {
+            return Err("trailing payload bytes");
+        }
+        Ok(rec)
+    }
+
+    /// Encode as a complete frame: `[len][crc][payload]` with the CRC
+    /// covering the length prefix *and* the payload, so a bit flip in the
+    /// length itself is caught.
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let len = payload.len() as u32;
+        debug_assert!((len as usize) <= MAX_RECORD, "record exceeds MAX_RECORD");
+        let mut crc_input = Vec::with_capacity(4 + payload.len());
+        crc_input.extend_from_slice(&len.to_be_bytes());
+        crc_input.extend_from_slice(&payload);
+        let crc = crc32(&crc_input);
+        let mut out = Vec::with_capacity(8 + payload.len());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&crc.to_be_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// How the frame scanner classified the bytes at one offset.
+#[allow(clippy::large_enum_variant)] // short-lived per-frame scratch; boxing would allocate per replayed record
+enum Frame {
+    /// A valid record of the given total frame length.
+    Ok(WalRecord, usize),
+    /// The bytes end mid-frame — only legal at the very end of the log.
+    Incomplete,
+    /// Checksum failed over a complete frame.
+    BadCrc(usize),
+    /// The frame cannot be valid regardless of what follows.
+    Poison(&'static str),
+}
+
+fn scan_frame(bytes: &[u8]) -> Frame {
+    if bytes.len() < 8 {
+        return Frame::Incomplete;
+    }
+    let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if len > MAX_RECORD {
+        // Tearing truncates; it cannot fabricate an over-limit length in a
+        // fully-present prefix. This is media corruption wherever it sits.
+        return Frame::Poison("record length exceeds MAX_RECORD");
+    }
+    if bytes.len() < 8 + len {
+        return Frame::Incomplete;
+    }
+    let stored_crc = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let mut crc_input = Vec::with_capacity(4 + len);
+    crc_input.extend_from_slice(&bytes[..4]);
+    crc_input.extend_from_slice(&bytes[8..8 + len]);
+    if crc32(&crc_input) != stored_crc {
+        return Frame::BadCrc(8 + len);
+    }
+    match WalRecord::decode_payload(&bytes[8..8 + len]) {
+        Ok(rec) => Frame::Ok(rec, 8 + len),
+        // Passed the CRC but does not parse: written corrupt, fail closed.
+        Err(reason) => Frame::Poison(reason),
+    }
+}
+
+/// Result of parsing a WAL file.
+#[derive(Debug)]
+pub struct WalContents {
+    /// Ledger the log belongs to.
+    pub ledger: LedgerId,
+    /// Rotation generation from the header.
+    pub generation: u64,
+    /// Valid records in append order, with the byte offset each started at.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Length of the valid prefix (header + intact frames).
+    pub good_len: u64,
+    /// Bytes dropped from a torn final record (0 when the log is clean).
+    pub torn_bytes: u64,
+}
+
+/// Encode a WAL header for `ledger` at rotation `generation`.
+pub fn encode_header(ledger: LedgerId, generation: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WAL_HEADER_LEN);
+    out.extend_from_slice(WAL_MAGIC);
+    out.extend_from_slice(&ledger.0.to_be_bytes());
+    out.extend_from_slice(&generation.to_be_bytes());
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+/// Validate a WAL file's header, returning `(ledger, generation)`.
+/// Recovery uses this to decide where replay starts before parsing any
+/// frames (a snapshot-covered prefix is skipped unparsed).
+pub fn read_header(bytes: &[u8]) -> Result<(LedgerId, u64), WalError> {
+    if bytes.len() < WAL_HEADER_LEN {
+        return Err(WalError::Corrupt {
+            offset: 0,
+            reason: "file shorter than header",
+        });
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(WalError::Corrupt {
+            offset: 0,
+            reason: "bad magic",
+        });
+    }
+    let header_crc = u32::from_be_bytes([bytes[18], bytes[19], bytes[20], bytes[21]]);
+    if crc32(&bytes[..18]) != header_crc {
+        return Err(WalError::Corrupt {
+            offset: 0,
+            reason: "header checksum mismatch",
+        });
+    }
+    let ledger = LedgerId(u16::from_be_bytes([bytes[8], bytes[9]]));
+    let generation = u64::from_be_bytes([
+        bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17],
+    ]);
+    Ok((ledger, generation))
+}
+
+/// Parse and validate a WAL file.
+///
+/// `start_at` skips frames before that offset without parsing them (used
+/// when a snapshot already covers a prefix); pass `WAL_HEADER_LEN` (or 0)
+/// to read everything.
+///
+/// Tolerated: a torn *final* record — an incomplete frame, or a
+/// checksum-failed frame that ends exactly at EOF. Both are what a cut
+/// append looks like, and anything a cut append can destroy was never
+/// acknowledged under fsync `Always`. Everything else — bad header, bad
+/// checksum with bytes following, over-limit length, unparseable payload —
+/// is mid-log corruption and returns [`WalError::Corrupt`]: the caller
+/// must fail closed rather than serve records whose revocation history
+/// may be missing.
+pub fn read_wal(bytes: &[u8], start_at: usize) -> Result<WalContents, WalError> {
+    let (ledger, generation) = read_header(bytes)?;
+    let mut off = start_at.max(WAL_HEADER_LEN);
+    if off > bytes.len() {
+        return Err(WalError::Corrupt {
+            offset: bytes.len() as u64,
+            reason: "resume offset past end of log",
+        });
+    }
+    let mut records = Vec::new();
+    let mut torn_bytes = 0u64;
+    while off < bytes.len() {
+        match scan_frame(&bytes[off..]) {
+            Frame::Ok(rec, frame_len) => {
+                records.push((off as u64, rec));
+                off += frame_len;
+            }
+            Frame::Incomplete => {
+                torn_bytes = (bytes.len() - off) as u64;
+                break;
+            }
+            Frame::BadCrc(frame_len) => {
+                if off + frame_len == bytes.len() {
+                    // Final frame, exact EOF: a torn payload whose tail the
+                    // crash ate (or a lying fsync let evaporate).
+                    torn_bytes = (bytes.len() - off) as u64;
+                    break;
+                }
+                return Err(WalError::Corrupt {
+                    offset: off as u64,
+                    reason: "checksum mismatch mid-log",
+                });
+            }
+            Frame::Poison(reason) => {
+                return Err(WalError::Corrupt {
+                    offset: off as u64,
+                    reason,
+                });
+            }
+        }
+    }
+    Ok(WalContents {
+        ledger,
+        generation,
+        records,
+        good_len: off as u64,
+        torn_bytes,
+    })
+}
+
+/// Counters for WAL activity (write amplification, group-commit wins).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Bytes appended (frames only, excluding headers).
+    pub bytes_appended: u64,
+    /// fsyncs issued.
+    pub syncs: u64,
+    /// Commits satisfied by another thread's fsync (group-commit wins).
+    pub piggybacked_commits: u64,
+}
+
+struct WalInner {
+    /// Bytes in the current file (header + frames).
+    file_len: u64,
+    /// Monotone logical sequence number: total frame bytes ever appended.
+    /// Unlike `file_len`, never reset by rotation, so commit ordering
+    /// survives log truncation.
+    logical_end: u64,
+    generation: u64,
+    appends_since_sync: u32,
+    stats: WalStats,
+}
+
+/// Serialized appender + group-commit syncer over a [`Disk`] file.
+///
+/// `append` assigns each record an LSN under a short lock; `commit(lsn)`
+/// makes it durable per the [`FsyncPolicy`]. Under `Always`, concurrent
+/// committers share flushes: one thread fsyncs while the rest wait on the
+/// sync lock, and any LSN at or below the synced high-water mark returns
+/// without touching the disk.
+pub struct WalWriter {
+    disk: Arc<dyn Disk>,
+    path: String,
+    ledger: LedgerId,
+    policy: FsyncPolicy,
+    inner: Mutex<WalInner>,
+    sync_lock: Mutex<()>,
+    synced_lsn: AtomicU64,
+}
+
+impl WalWriter {
+    /// Open (or create) the WAL at `path`. An existing file must carry a
+    /// valid header for `ledger`; a missing file is initialized with a
+    /// generation-0 header, durably.
+    pub fn open(
+        disk: Arc<dyn Disk>,
+        path: &str,
+        ledger: LedgerId,
+        policy: FsyncPolicy,
+    ) -> Result<WalWriter, WalError> {
+        let (file_len, generation) = if disk.exists(path) {
+            let bytes = disk.read(path)?;
+            let contents = read_wal(&bytes, WAL_HEADER_LEN)?;
+            if contents.ledger != ledger {
+                return Err(WalError::Corrupt {
+                    offset: 8,
+                    reason: "wal belongs to a different ledger",
+                });
+            }
+            if contents.torn_bytes != 0 {
+                // Callers run recovery (which rewrites the good prefix)
+                // before opening a writer; appending after a torn tail
+                // would interleave garbage into the record stream.
+                return Err(WalError::Corrupt {
+                    offset: contents.good_len,
+                    reason: "torn tail present; recover before writing",
+                });
+            }
+            (bytes.len() as u64, contents.generation)
+        } else {
+            disk.write_atomic(path, &encode_header(ledger, 0))?;
+            (WAL_HEADER_LEN as u64, 0)
+        };
+        Ok(WalWriter {
+            disk,
+            path: path.to_string(),
+            ledger,
+            policy,
+            inner: Mutex::new(WalInner {
+                file_len,
+                logical_end: file_len,
+                generation,
+                appends_since_sync: 0,
+                stats: WalStats::default(),
+            }),
+            sync_lock: Mutex::new(()),
+            // Whatever is on media at open time survived the last crash
+            // (or was written atomically) — it is durable by definition.
+            synced_lsn: AtomicU64::new(file_len),
+        })
+    }
+
+    /// Append one record; returns its LSN for a later [`commit`](Self::commit).
+    ///
+    /// Callers serialize appends for a given ledger record via the shard
+    /// write lock, which is what guarantees replay order matches
+    /// application order per record.
+    pub fn append(&self, record: &WalRecord) -> Result<u64, WalError> {
+        let frame = record.encode_framed();
+        let mut inner = self.inner.lock();
+        self.disk.append(&self.path, &frame)?;
+        inner.file_len += frame.len() as u64;
+        inner.logical_end += frame.len() as u64;
+        inner.stats.appends += 1;
+        inner.stats.bytes_appended += frame.len() as u64;
+        let lsn = inner.logical_end;
+        if let FsyncPolicy::EveryN(n) = self.policy {
+            inner.appends_since_sync += 1;
+            if inner.appends_since_sync >= n.max(1) {
+                self.disk.sync(&self.path)?;
+                inner.stats.syncs += 1;
+                inner.appends_since_sync = 0;
+                self.synced_lsn.fetch_max(lsn, Ordering::Release);
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Make the record at `lsn` durable according to the policy. Under
+    /// `Always` this is where group commit happens; under `EveryN` and
+    /// `OsDefault` it returns immediately (durability is bounded, not
+    /// per-ack).
+    pub fn commit(&self, lsn: u64) -> Result<(), WalError> {
+        if self.policy != FsyncPolicy::Always {
+            return Ok(());
+        }
+        if self.synced_lsn.load(Ordering::Acquire) >= lsn {
+            self.inner.lock().stats.piggybacked_commits += 1;
+            return Ok(());
+        }
+        let _guard = self.sync_lock.lock();
+        if self.synced_lsn.load(Ordering::Acquire) >= lsn {
+            // Another committer's flush covered us while we waited.
+            self.inner.lock().stats.piggybacked_commits += 1;
+            return Ok(());
+        }
+        // Capture the logical end *before* syncing: every byte appended up
+        // to now is covered by this flush, so their committers piggyback.
+        let target = self.inner.lock().logical_end;
+        self.disk.sync(&self.path)?;
+        {
+            let mut inner = self.inner.lock();
+            inner.stats.syncs += 1;
+        }
+        self.synced_lsn.fetch_max(target, Ordering::Release);
+        Ok(())
+    }
+
+    /// Current `(generation, file offset)` — recorded into snapshots so
+    /// recovery knows where replay resumes.
+    pub fn position(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.generation, inner.file_len)
+    }
+
+    /// Truncate the log after a snapshot commit: keep only the frames at
+    /// and after file `offset`, under a new generation header, atomically.
+    /// A crash anywhere around this leaves either the old log (snapshot
+    /// resumes at `offset`) or the new one (snapshot resumes at its
+    /// header) — both recoverable.
+    pub fn rotate_at(&self, offset: u64) -> Result<(), WalError> {
+        let mut inner = self.inner.lock();
+        let bytes = self.disk.read(&self.path)?;
+        if offset < WAL_HEADER_LEN as u64 || offset > bytes.len() as u64 {
+            return Err(WalError::Corrupt {
+                offset,
+                reason: "rotation offset outside the log",
+            });
+        }
+        let new_gen = inner.generation + 1;
+        let mut new_log = encode_header(self.ledger, new_gen);
+        new_log.extend_from_slice(&bytes[offset as usize..]);
+        self.disk.write_atomic(&self.path, &new_log)?;
+        inner.generation = new_gen;
+        inner.file_len = new_log.len() as u64;
+        // write_atomic is durable on return: everything logically appended
+        // so far is now on media.
+        let end = inner.logical_end;
+        self.synced_lsn.fetch_max(end, Ordering::Release);
+        inner.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> WalStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_core::time::TimeMs;
+    use irs_core::tsa::TimestampAuthority;
+    use irs_crypto::{Digest, Keypair};
+
+    fn sample_records() -> Vec<WalRecord> {
+        let kp = Keypair::from_seed(&[7u8; 32]);
+        let tsa = TimestampAuthority::from_seed(1);
+        let req = ClaimRequest::create(&kp, &Digest::of(b"photo"));
+        let id = RecordId::new(LedgerId(1), 0);
+        vec![
+            WalRecord::Claim {
+                serial: 0,
+                origin: ClaimOrigin::Owner,
+                initially_revoked: false,
+                request: req,
+                timestamp: tsa.stamp(req.digest(), TimeMs(10)),
+            },
+            WalRecord::Revoke(RevokeRequest::create(&kp, id, true, 0)),
+            WalRecord::AppealPin { id },
+        ]
+    }
+
+    fn log_with(records: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = encode_header(LedgerId(1), 0);
+        for r in records {
+            bytes.extend_from_slice(&r.encode_framed());
+        }
+        bytes
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let records = sample_records();
+        let bytes = log_with(&records);
+        let contents = read_wal(&bytes, 0).unwrap();
+        assert_eq!(contents.ledger, LedgerId(1));
+        assert_eq!(contents.generation, 0);
+        assert_eq!(contents.torn_bytes, 0);
+        assert_eq!(contents.good_len, bytes.len() as u64);
+        let decoded: Vec<_> = contents.records.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn torn_final_record_is_tolerated_at_every_cut() {
+        let records = sample_records();
+        let full = log_with(&records);
+        let second_frame_start =
+            WAL_HEADER_LEN + records[0].encode_framed().len() + records[1].encode_framed().len();
+        // Cut anywhere inside the final frame: first two records survive.
+        for cut in second_frame_start..full.len() {
+            let contents = read_wal(&full[..cut], 0)
+                .unwrap_or_else(|e| panic!("cut at {cut} must not fail: {e}"));
+            assert_eq!(contents.records.len(), 2, "cut at {cut}");
+            assert_eq!(contents.torn_bytes as usize, cut - second_frame_start);
+        }
+    }
+
+    #[test]
+    fn mid_log_corruption_fails_closed() {
+        let records = sample_records();
+        let bytes = log_with(&records);
+        // Flip a bit inside the *first* frame's payload — bytes follow it,
+        // so this cannot be a torn tail.
+        let mut corrupt = bytes.clone();
+        corrupt[WAL_HEADER_LEN + 10] ^= 0x01;
+        match read_wal(&corrupt, 0) {
+            Err(WalError::Corrupt { offset, .. }) => {
+                assert_eq!(offset, WAL_HEADER_LEN as u64)
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversize_length_prefix_fails_closed_even_at_tail() {
+        let records = sample_records();
+        let mut bytes = log_with(&records[..1]);
+        // Append a frame header claiming an absurd length; even though the
+        // "payload" is absent (looks torn), the length itself is poison.
+        bytes.extend_from_slice(&(MAX_RECORD as u32 + 1).to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(read_wal(&bytes, 0), Err(WalError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn corrupt_final_record_at_exact_eof_reads_as_torn() {
+        // An fsync lie can persist a frame's length but lose payload bits.
+        let records = sample_records();
+        let mut bytes = log_with(&records);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80;
+        let contents = read_wal(&bytes, 0).unwrap();
+        assert_eq!(contents.records.len(), 2);
+        assert!(contents.torn_bytes > 0);
+    }
+
+    #[test]
+    fn header_corruption_fails_closed() {
+        let bytes = log_with(&sample_records());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            read_wal(&bad_magic, 0),
+            Err(WalError::Corrupt { .. })
+        ));
+        let mut bad_gen = bytes.clone();
+        bad_gen[12] ^= 0x01; // generation byte; header CRC must catch it
+        assert!(matches!(
+            read_wal(&bad_gen, 0),
+            Err(WalError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn writer_appends_and_survives_reopen() {
+        use crate::chaosdisk::{ChaosDisk, ChaosDiskConfig};
+        let disk = Arc::new(ChaosDisk::new(ChaosDiskConfig::off(1)));
+        let records = sample_records();
+        {
+            let wal =
+                WalWriter::open(disk.clone(), "wal", LedgerId(1), FsyncPolicy::Always).unwrap();
+            for r in &records {
+                let lsn = wal.append(r).unwrap();
+                wal.commit(lsn).unwrap();
+            }
+            assert_eq!(wal.stats().appends, 3);
+            assert!(wal.stats().syncs >= 1);
+        }
+        let wal = WalWriter::open(disk.clone(), "wal", LedgerId(1), FsyncPolicy::Always).unwrap();
+        let (generation, len) = wal.position();
+        assert_eq!(generation, 0);
+        let bytes = disk.read("wal").unwrap();
+        assert_eq!(len, bytes.len() as u64);
+        let contents = read_wal(&bytes, 0).unwrap();
+        assert_eq!(
+            contents
+                .records
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect::<Vec<_>>(),
+            records
+        );
+    }
+
+    #[test]
+    fn rotation_increments_generation_and_keeps_tail() {
+        use crate::chaosdisk::{ChaosDisk, ChaosDiskConfig};
+        let disk = Arc::new(ChaosDisk::new(ChaosDiskConfig::off(2)));
+        let wal = WalWriter::open(disk.clone(), "wal", LedgerId(1), FsyncPolicy::Always).unwrap();
+        let records = sample_records();
+        for r in &records[..2] {
+            let lsn = wal.append(r).unwrap();
+            wal.commit(lsn).unwrap();
+        }
+        let (_, cut) = wal.position();
+        let lsn = wal.append(&records[2]).unwrap();
+        wal.commit(lsn).unwrap();
+        wal.rotate_at(cut).unwrap();
+        let bytes = disk.read("wal").unwrap();
+        let contents = read_wal(&bytes, 0).unwrap();
+        assert_eq!(contents.generation, 1);
+        // Only the record appended after the cut survives rotation.
+        assert_eq!(contents.records.len(), 1);
+        assert_eq!(contents.records[0].1, records[2]);
+    }
+}

@@ -30,6 +30,25 @@ impl LedgerServer {
         LedgerServer::start_shared(Arc::new(ledger.into_concurrent(DEFAULT_SHARDS)), addr)
     }
 
+    /// Start a *durable* ledger server: recover any state the disk holds
+    /// (snapshot + WAL tail, tolerating a torn final record) **before**
+    /// the listening socket accepts its first connection, then serve
+    /// with every mutation write-ahead logged under `durability`'s fsync
+    /// policy. A restart on the same disk therefore answers queries for
+    /// every write it acknowledged before the crash. Recovery failures
+    /// (mid-log corruption, generation mismatch) refuse to start — a
+    /// ledger must never serve state it cannot vouch for.
+    pub fn start_durable(
+        config: irs_ledger::LedgerConfig,
+        tsa: irs_core::tsa::TimestampAuthority,
+        durability: irs_ledger::DurabilityConfig,
+        addr: &str,
+    ) -> std::io::Result<LedgerServer> {
+        let ledger = ConcurrentLedger::recover(config, tsa, DEFAULT_SHARDS, durability)
+            .map_err(|e| std::io::Error::other(format!("ledger recovery failed: {e}")))?;
+        LedgerServer::start_shared(Arc::new(ledger), addr)
+    }
+
     /// Start serving an already-shared concurrent ledger (callers that
     /// want to drive the same instance from outside the server, or to
     /// pick a stripe count).
@@ -180,6 +199,57 @@ mod tests {
         }
         assert_eq!(server.ledger().store().len(), 4);
         server.shutdown();
+    }
+
+    #[test]
+    fn durable_server_recovers_acked_writes_across_restart() {
+        use irs_ledger::{DurabilityConfig, FsyncPolicy, StdDisk};
+
+        let dir = std::env::temp_dir().join(format!(
+            "irs-net-durable-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let durability = || {
+            DurabilityConfig::new(
+                Arc::new(StdDisk::new(&dir).unwrap()) as Arc<dyn irs_ledger::Disk>,
+                FsyncPolicy::Always,
+            )
+        };
+        let config = irs_ledger::LedgerConfig::new(LedgerId(1));
+        let tsa = TimestampAuthority::from_seed(9);
+
+        // First life: claim + revoke over TCP, both acknowledged.
+        let server =
+            LedgerServer::start_durable(config.clone(), tsa.clone(), durability(), "127.0.0.1:0")
+                .unwrap();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+        let kp = Keypair::from_seed(&[3u8; 32]);
+        let claim = ClaimRequest::create(&kp, &Digest::of(b"durable"));
+        let Response::Claimed { id, .. } = client.call(&Request::Claim(claim)).unwrap() else {
+            panic!("claim failed");
+        };
+        let rv = RevokeRequest::create(&kp, id, true, 0);
+        assert!(matches!(
+            client.call(&Request::Revoke(rv)).unwrap(),
+            Response::RevokeAck { .. }
+        ));
+        server.shutdown();
+
+        // Second life on the same disk: the revocation must be visible
+        // before the first connection is accepted.
+        let server = LedgerServer::start_durable(config, tsa, durability(), "127.0.0.1:0").unwrap();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+        let Response::Status { status, .. } = client.call(&Request::Query { id }).unwrap() else {
+            panic!("query failed after restart");
+        };
+        assert_eq!(status, RevocationStatus::Revoked);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -465,7 +465,9 @@ mod tests {
         // Churn on the live ledger, then a delta refresh.
         let shot_b = cam.capture(1);
         let l = server.ledger();
-        let (b, _) = l.claim_revoked(shot_b.claim, TimeMs(6));
+        let (b, _) = l
+            .claim_revoked(shot_b.claim, TimeMs(6))
+            .expect("in-memory ledger cannot fail a claim");
         l.publish_filter();
         let outcome = refresh_shared_filter(&proxy, &mut client, LedgerId(1)).unwrap();
         assert!(

@@ -243,6 +243,37 @@ mod tests {
     }
 
     #[test]
+    fn expired_entries_still_evicted_under_capacity_pressure() {
+        // Expired entries are deliberately kept for the stale-serve path,
+        // but they occupy slots: under capacity pressure they must leave
+        // through ordinary LRU eviction, not pin the cache full forever.
+        let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(3, 10);
+        c.insert(1, 1, t(0));
+        c.insert(2, 2, t(1));
+        c.insert(3, 3, t(2));
+        // All three are long expired; failed gets demote nothing (expired
+        // lookups do not refresh recency), so 1 is still the LRU victim.
+        for k in [1u64, 2, 3] {
+            assert_eq!(c.get(&k, t(1_000)), None, "entry {k} must be expired");
+        }
+        assert_eq!(c.len(), 3, "expired entries linger for stale-serve");
+        // Inserting past capacity reclaims the expired entries in LRU
+        // order — the cache never refuses a live insert to protect a
+        // corpse.
+        c.insert(4, 4, t(1_001));
+        c.insert(5, 5, t(1_002));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.peek_stale(&1, t(1_003)), None, "oldest expired evicted");
+        assert_eq!(c.peek_stale(&2, t(1_003)), None, "next expired evicted");
+        assert!(
+            c.peek_stale(&3, t(1_003)).is_some(),
+            "newest survivor stays"
+        );
+        assert_eq!(c.get(&4, t(1_003)), Some(4));
+        assert_eq!(c.get(&5, t(1_003)), Some(5));
+    }
+
+    #[test]
     fn reinsert_refreshes_ttl_and_value() {
         let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(4, 100);
         c.insert(1, 1, t(0));

@@ -196,7 +196,9 @@ fn truncated_filter_fetch_keeps_last_good_then_recovers() {
     // Ledger churn: a second revoked record, new filter version.
     let l = server.ledger();
     let mut cam = Camera::new(22, 96, 96);
-    let (id2, _) = l.claim_revoked(cam.capture(1).claim, TimeMs(2));
+    let (id2, _) = l
+        .claim_revoked(cam.capture(1).claim, TimeMs(2))
+        .expect("in-memory ledger cannot fail a claim");
     l.publish_filter();
 
     // Every refresh under truncation fails cleanly and changes nothing.
@@ -232,14 +234,53 @@ fn truncated_filter_fetch_keeps_last_good_then_recovers() {
 
 /// A server restart kills every client stream; a typed ConnectionLost
 /// plus an explicit reconnect must put the client back in business on
-/// the same address.
+/// the same address — and the restarted server must still hold every
+/// write it acknowledged before going down (recovered from its WAL, not
+/// rebuilt fresh).
 #[test]
 fn server_restart_then_client_reconnects() {
+    use irs::ledger::{DurabilityConfig, FsyncPolicy, LedgerConfig, StdDisk};
     use irs::net::NetError;
-    let server = irs::net::LedgerServer::start(ledger(1, 23), "127.0.0.1:0").unwrap();
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!(
+        "irs-restart-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let durability = || {
+        DurabilityConfig::new(
+            Arc::new(StdDisk::new(&dir).unwrap()) as Arc<dyn irs::ledger::Disk>,
+            FsyncPolicy::Always,
+        )
+    };
+    let start = |addr: &str| {
+        irs::net::LedgerServer::start_durable(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(23),
+            durability(),
+            addr,
+        )
+    };
+
+    let server = start("127.0.0.1:0").unwrap();
     let addr = server.addr();
     let mut client = irs::net::LedgerClient::connect(addr).unwrap();
-    assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+
+    // Acknowledged pre-crash writes: a claim and its revocation.
+    let mut cam = Camera::new(23, 96, 96);
+    let shot = cam.capture(0);
+    let Response::Claimed { id, .. } = client.call(&Request::Claim(shot.claim)).unwrap() else {
+        panic!("claim failed");
+    };
+    let rv = irs::protocol::RevokeRequest::create(&shot.keypair, id, true, 0);
+    assert!(matches!(
+        client.call(&Request::Revoke(rv)).unwrap(),
+        Response::RevokeAck { .. }
+    ));
 
     server.shutdown();
     let err = client.call(&Request::Ping).unwrap_err();
@@ -253,10 +294,16 @@ fn server_restart_then_client_reconnects() {
         NetError::ConnectionLost
     ));
 
-    let server = irs::net::LedgerServer::start(ledger(1, 23), &addr.to_string()).unwrap();
+    let server = start(&addr.to_string()).unwrap();
     client.reconnect().unwrap();
-    assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+    // The restarted server answers from recovered state: the pre-crash
+    // revocation is visible, not just the connection restored.
+    let Response::Status { status, .. } = client.call(&Request::Query { id }).unwrap() else {
+        panic!("query failed after restart");
+    };
+    assert_eq!(status, irs::protocol::RevocationStatus::Revoked);
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// With one replica down hard, a ResilientClient must land every call on
