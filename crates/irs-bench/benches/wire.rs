@@ -12,22 +12,26 @@ fn bench_wire(c: &mut Criterion) {
     let query = Request::Query {
         id: RecordId::new(LedgerId(1), 42),
     };
-    c.bench_function("wire_encode_query", |b| b.iter(|| query.to_bytes()));
-    let bytes = query.to_bytes();
+    c.bench_function("wire_encode_query", |b| {
+        b.iter(|| query.to_bytes().unwrap())
+    });
+    let bytes = query.to_bytes().unwrap();
     c.bench_function("wire_decode_query", |b| {
         b.iter(|| Request::from_bytes(bytes.clone()).unwrap())
     });
 
     let claim = Request::Claim(ClaimRequest::create(&kp, &Digest::of(b"photo")));
-    c.bench_function("wire_encode_claim", |b| b.iter(|| claim.to_bytes()));
-    let claim_bytes = claim.to_bytes();
+    c.bench_function("wire_encode_claim", |b| {
+        b.iter(|| claim.to_bytes().unwrap())
+    });
+    let claim_bytes = claim.to_bytes().unwrap();
     c.bench_function("wire_decode_claim", |b| {
         b.iter(|| Request::from_bytes(claim_bytes.clone()).unwrap())
     });
 
     let batch = Request::Batch((0..100).map(|i| RecordId::new(LedgerId(1), i)).collect());
     c.bench_function("wire_roundtrip_batch100", |b| {
-        b.iter(|| Request::from_bytes(batch.to_bytes()).unwrap())
+        b.iter(|| Request::from_bytes(batch.to_bytes().unwrap()).unwrap())
     });
 
     let status = Response::Status {
@@ -36,7 +40,7 @@ fn bench_wire(c: &mut Criterion) {
         epoch: 7,
     };
     c.bench_function("wire_roundtrip_status", |b| {
-        b.iter(|| Response::from_bytes(status.to_bytes()).unwrap())
+        b.iter(|| Response::from_bytes(status.to_bytes().unwrap()).unwrap())
     });
 }
 

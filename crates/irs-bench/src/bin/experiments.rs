@@ -4,21 +4,41 @@
 //! cargo run --release -p irs-bench --bin experiments -- all
 //! cargo run --release -p irs-bench --bin experiments -- e4
 //! cargo run --release -p irs-bench --bin experiments -- e7 --quick
+//! cargo run --release -p irs-bench --bin experiments -- e16 --quick --check
 //! ```
+//!
+//! `--check` runs an experiment's acceptance gate instead of rendering
+//! its table: exit 0 if the recorded results still hold, exit 1 on
+//! drift, exit 2 if the experiment has no gate.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e17|all> [--quick]");
+        eprintln!("usage: experiments <e1..e17|all> [--quick] [--check]");
         std::process::exit(2);
     }
     for id in ids {
+        if check {
+            match irs_bench::check_experiment(id, quick) {
+                Some(Ok(summary)) => println!("{summary}"),
+                Some(Err(reason)) => {
+                    eprintln!("check failed for '{id}': {reason}");
+                    std::process::exit(1);
+                }
+                None => {
+                    eprintln!("experiment '{id}' has no acceptance gate");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
         match irs_bench::run_experiment(id, quick) {
             Some(output) => println!("{output}"),
             None => {

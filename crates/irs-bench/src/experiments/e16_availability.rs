@@ -9,9 +9,13 @@
 //!
 //! * **baseline** — one upstream attempt, failures surface as errors
 //!   (the pre-resilience design);
-//! * **retry** — [`ResilientClient`] retries with backoff;
+//! * **retry** — the `Retry(Failover(Tcp))` stack backs off and retries;
 //! * **full** — retries + per-ledger circuit breaker + stale-serve from
 //!   the last-good cache ([`Response::StatusStale`]).
+//!
+//! Each rung is a composed [`irs_net::Service`] stack from
+//! [`irs_net::service::stacks`] — the ladder is layer composition, not
+//! bespoke config (DESIGN.md §10).
 //!
 //! Reported per cell: validate success rate (a fresh or honestly-stale
 //! status counts; an error or `Unavailable` does not), p50/p99 latency,
@@ -27,9 +31,10 @@ use irs_core::tsa::TimestampAuthority;
 use irs_core::wire::{Request, Response};
 use irs_ledger::{Ledger, LedgerConfig};
 use irs_net::chaos::{ChaosConfig, ChaosProxy};
-use irs_net::proxy_server::{ProxyServer, UpstreamConfig};
+use irs_net::proxy_server::ProxyServer;
 use irs_net::refresh::refresh_shared_filter;
 use irs_net::resilient::RetryPolicy;
+use irs_net::service::{stacks, BoxService};
 use irs_net::LedgerClient;
 use irs_proxy::health::BreakerConfig;
 use irs_proxy::{ProxyConfig, SharedProxy};
@@ -63,20 +68,20 @@ impl PolicyKind {
         }
     }
 
-    fn upstream(self, chaos: std::net::SocketAddr, seed: u64) -> UpstreamConfig {
+    /// The rung as a composed layer stack over the chaos transport.
+    fn stack(self, proxy: &Arc<SharedProxy>, chaos: std::net::SocketAddr, seed: u64) -> BoxService {
         let retry = RetryPolicy::fast(seed);
         match self {
-            PolicyKind::Baseline => UpstreamConfig {
-                replicas: vec![chaos],
-                retry: RetryPolicy {
+            PolicyKind::Baseline => stacks::retrying_upstream(
+                proxy.clone(),
+                vec![chaos],
+                RetryPolicy {
                     max_attempts: 1,
                     ..retry
                 },
-                breaker: false,
-                stale_serve: false,
-            },
-            PolicyKind::Retry => UpstreamConfig::retrying(vec![chaos], retry),
-            PolicyKind::Full => UpstreamConfig::full(vec![chaos], retry),
+            ),
+            PolicyKind::Retry => stacks::retrying_upstream(proxy.clone(), vec![chaos], retry),
+            PolicyKind::Full => stacks::full_upstream(proxy.clone(), vec![chaos], retry),
         }
     }
 }
@@ -147,9 +152,8 @@ pub fn measure(kind: PolicyKind, fault_rate: f64, queries: usize, seed: u64) -> 
     let mut refresher = LedgerClient::connect(ledger_server.addr()).unwrap();
     refresh_shared_filter(&shared, &mut refresher, LedgerId(1)).unwrap();
 
-    let proxy_server =
-        ProxyServer::start_with_upstream(shared, "127.0.0.1:0", kind.upstream(chaos.addr(), seed))
-            .unwrap();
+    let stack = kind.stack(&shared, chaos.addr(), seed);
+    let proxy_server = ProxyServer::start_with_stack(shared, "127.0.0.1:0", stack).unwrap();
     let mut browser =
         LedgerClient::connect_with_timeout(proxy_server.addr(), Duration::from_secs(10)).unwrap();
 
@@ -258,6 +262,61 @@ pub fn run(quick: bool) -> String {
          fault rate, not across the outage accounting",
     );
     table.render()
+}
+
+/// Layer-equivalence gate (CI): sweep the ladder through the composed
+/// stacks and assert the recorded availability table still holds —
+/// the full ladder keeps ≥99% success at every fault rate while the
+/// baseline measurably degrades, and the outage window forces stale
+/// serves. `Ok` carries a summary, `Err` the first violated bound.
+pub fn check(quick: bool) -> Result<String, String> {
+    let queries = if quick { 160 } else { 600 };
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let mut lines = Vec::new();
+    for &rate in &FAULT_RATES {
+        let full = measure(PolicyKind::Full, rate, queries, seed);
+        if full.success_rate < 0.99 {
+            return Err(format!(
+                "full ladder at {:.0}% faults: {:.1}% success < 99%",
+                rate * 100.0,
+                full.success_rate * 100.0
+            ));
+        }
+        if rate >= 0.3 {
+            let baseline = measure(PolicyKind::Baseline, rate, queries, seed);
+            if baseline.success_rate >= 0.95 {
+                return Err(format!(
+                    "baseline at {:.0}% faults unexpectedly healthy: {:.1}% success",
+                    rate * 100.0,
+                    baseline.success_rate * 100.0
+                ));
+            }
+            if rate == 0.3 && full.stale_fraction <= 0.0 {
+                return Err("outage window produced no stale serves".to_string());
+            }
+            lines.push(format!(
+                "{:.0}% faults: full {:.1}% (stale {:.1}%), baseline {:.1}%",
+                rate * 100.0,
+                full.success_rate * 100.0,
+                full.stale_fraction * 100.0,
+                baseline.success_rate * 100.0
+            ));
+        } else {
+            lines.push(format!(
+                "{:.0}% faults: full {:.1}% (stale {:.1}%)",
+                rate * 100.0,
+                full.success_rate * 100.0,
+                full.stale_fraction * 100.0
+            ));
+        }
+    }
+    Ok(format!(
+        "E16 layer-equivalence: composed stacks reproduce the recorded ladder\n{}",
+        lines.join("\n")
+    ))
 }
 
 #[cfg(test)]

@@ -50,6 +50,16 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
     })
 }
 
+/// Run an experiment's acceptance gate, where one exists. Returns
+/// `None` for experiments without a gate, `Some(Ok(summary))` when the
+/// recorded results still hold, and `Some(Err(reason))` on drift.
+pub fn check_experiment(id: &str, quick: bool) -> Option<Result<String, String>> {
+    match id {
+        "e16" => Some(experiments::e16_availability::check(quick)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -9,16 +9,21 @@
 //! * [`pipeline`] — the §4.3 page-load model: resource fetch scheduling
 //!   with limited connection parallelism, metadata-first revocation
 //!   checks, first-contentful-paint accounting, and per-image IRS delay;
+//! * [`remote`] — the validator driven end to end over a composed
+//!   `irs_net` service stack (fresh, stale, and unreachable answers all
+//!   mapped onto the right completion);
 //! * [`scroll`] — scroll-session model for the §4.3 prototype experiment
 //!   ("we did not notice additional delay when scrolling");
 //! * [`sites`] — the §4.4 accountability mechanism: badge sites by their
 //!   IRS behavior, "as \[browsers\] do with TLS icons".
 
 pub mod pipeline;
+pub mod remote;
 pub mod scroll;
 pub mod sites;
 pub mod validator;
 
 pub use pipeline::{CheckService, LoadReport, NetworkParams, PageLoader};
+pub use remote::RemoteValidator;
 pub use sites::{SiteBadge, SiteReputation};
 pub use validator::{BrowserValidator, ValidationPlan};

@@ -1,0 +1,226 @@
+//! The browser's remote validation path: a [`BrowserValidator`] driven
+//! over a composed [`Service`] stack.
+//!
+//! [`BrowserValidator`] is sans-io — [`plan`](BrowserValidator::plan)
+//! classifies, the embedder performs I/O, then feeds the answer back.
+//! [`RemoteValidator`] is that embedder: it owns the validator plus any
+//! service stack (a bare [`TcpTransport`], the full resilience ladder
+//! from `irs_net::service::stacks`, or a `service_fn` mock in tests) and
+//! maps each wire response onto the right completion:
+//!
+//! * `Status` → [`complete`](BrowserValidator::complete) (fresh, cached);
+//! * `StatusStale` → [`complete_stale`](BrowserValidator::complete_stale)
+//!   (honored within the staleness budget, never cached as fresh);
+//! * anything else, including transport errors →
+//!   [`complete_unreachable`](BrowserValidator::complete_unreachable)
+//!   (the viewer policy decides).
+//!
+//! [`TcpTransport`]: irs_net::service::TcpTransport
+
+use crate::validator::{BrowserValidator, ValidationPlan};
+use irs_core::photo::LabelReading;
+use irs_core::policy::ValidationOutcome;
+use irs_core::time::TimeMs;
+use irs_core::wire::{Request, Response};
+use irs_net::service::CallCtx;
+use irs_net::Service;
+
+/// A [`BrowserValidator`] wired to a proxy through a service stack.
+pub struct RemoteValidator<S> {
+    /// The sans-io validation engine (exposed for stats and policy).
+    pub validator: BrowserValidator,
+    service: S,
+    /// How old a stale `NotRevoked` may be before it degrades to
+    /// `Unknown` (see [`BrowserValidator::complete_stale`]).
+    pub max_stale_ms: u64,
+}
+
+impl<S: Service> RemoteValidator<S> {
+    /// Wrap `validator` around `service`. `max_stale_ms` bounds trust in
+    /// stale not-revoked answers.
+    pub fn new(validator: BrowserValidator, service: S, max_stale_ms: u64) -> Self {
+        RemoteValidator {
+            validator,
+            service,
+            max_stale_ms,
+        }
+    }
+
+    /// Validate one photo end to end: plan locally, query the stack if
+    /// needed, and map the reply to a final outcome.
+    pub fn validate(&mut self, reading: &LabelReading, now: TimeMs) -> ValidationOutcome {
+        let id = match self.validator.plan(reading, now) {
+            ValidationPlan::Local(outcome) => return outcome,
+            ValidationPlan::AskProxy(id) => id,
+        };
+        let reply = self.service.call(Request::Query { id }, &CallCtx::at(now));
+        match reply {
+            Ok(Response::Status { id, status, .. }) => self.validator.complete(id, status, now),
+            Ok(Response::StatusStale { id, status, age_ms }) => {
+                self.validator
+                    .complete_stale(id, status, age_ms, self.max_stale_ms)
+            }
+            // Unavailable, unexpected replies, or transport failure: the
+            // proxy could not answer; the viewer policy decides.
+            Ok(_) | Err(_) => self.validator.complete_unreachable(id),
+        }
+    }
+
+    /// The underlying service stack.
+    pub fn get_ref(&self) -> &S {
+        &self.service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_core::claim::RevocationStatus;
+    use irs_core::ids::{LedgerId, RecordId};
+    use irs_core::policy::ViewerPolicy;
+    use irs_net::service::{service_fn, stacks};
+    use irs_net::NetError;
+
+    fn rid(n: u64) -> RecordId {
+        RecordId::new(LedgerId(1), n)
+    }
+
+    fn labeled(id: RecordId) -> LabelReading {
+        LabelReading {
+            metadata_id: Some(id),
+            watermark_id: Some(id),
+        }
+    }
+
+    fn validator() -> BrowserValidator {
+        BrowserValidator::new(ViewerPolicy::default(), 64, 10_000)
+    }
+
+    #[test]
+    fn fresh_answers_complete_and_cache() {
+        let service = service_fn(|req, _ctx| match req {
+            Request::Query { id } => Ok(Response::Status {
+                id,
+                status: RevocationStatus::Revoked,
+                epoch: 1,
+            }),
+            _ => panic!("validator must only send queries"),
+        });
+        let mut remote = RemoteValidator::new(validator(), service, 1_000);
+        assert_eq!(
+            remote.validate(&labeled(rid(1)), TimeMs(0)),
+            ValidationOutcome::Revoked(rid(1))
+        );
+        // Second look is a local cache hit: the service is not consulted.
+        assert_eq!(
+            remote.validate(&labeled(rid(1)), TimeMs(10)),
+            ValidationOutcome::Revoked(rid(1))
+        );
+        assert_eq!(remote.validator.stats.proxy_queries, 1);
+        assert_eq!(remote.validator.stats.local_cache, 1);
+    }
+
+    #[test]
+    fn stale_answers_respect_the_staleness_budget() {
+        let service = service_fn(|req, _ctx| match req {
+            Request::Query { id } => Ok(Response::StatusStale {
+                id,
+                status: RevocationStatus::NotRevoked,
+                age_ms: if id.serial == 1 { 500 } else { 5_000 },
+            }),
+            _ => panic!("validator must only send queries"),
+        });
+        let mut remote = RemoteValidator::new(validator(), service, 1_000);
+        assert_eq!(
+            remote.validate(&labeled(rid(1)), TimeMs(0)),
+            ValidationOutcome::Valid(rid(1))
+        );
+        assert_eq!(
+            remote.validate(&labeled(rid(2)), TimeMs(0)),
+            ValidationOutcome::Unknown(rid(2))
+        );
+        // Stale answers are never cached as fresh: asking again re-queries.
+        assert_eq!(
+            remote.validate(&labeled(rid(1)), TimeMs(1)),
+            ValidationOutcome::Valid(rid(1))
+        );
+        assert_eq!(remote.validator.stats.proxy_queries, 3);
+    }
+
+    #[test]
+    fn failures_and_unavailable_fall_back_to_policy() {
+        let service = service_fn(|req, _ctx| match req {
+            Request::Query { id } if id.serial == 1 => Err(NetError::ConnectionLost),
+            Request::Query { id } => Ok(Response::Unavailable {
+                id,
+                age_ms: u64::MAX,
+            }),
+            _ => panic!("validator must only send queries"),
+        });
+        let mut remote = RemoteValidator::new(validator(), service, 1_000);
+        let outcome = remote.validate(&labeled(rid(1)), TimeMs(0));
+        assert_eq!(outcome, ValidationOutcome::Unknown(rid(1)));
+        let outcome = remote.validate(&labeled(rid(2)), TimeMs(0));
+        assert_eq!(outcome, ValidationOutcome::Unknown(rid(2)));
+    }
+
+    #[test]
+    fn validates_over_a_real_proxy_stack() {
+        use irs_core::claim::{ClaimRequest, RevokeRequest};
+        use irs_core::tsa::TimestampAuthority;
+        use irs_crypto::{Digest, Keypair};
+        use irs_filters::BloomFilter;
+        use irs_ledger::{Ledger, LedgerConfig};
+        use irs_net::resilient::RetryPolicy;
+        use irs_net::{LedgerClient, LedgerServer};
+        use irs_proxy::{ProxyConfig, SharedProxy};
+        use std::sync::Arc;
+
+        // A live ledger with one revoked record, fronted by the same
+        // retrying upstream stack the proxy composes.
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(0xB10),
+        );
+        let server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let mut owner = LedgerClient::connect(server.addr()).unwrap();
+        let kp = Keypair::from_seed(&[5u8; 32]);
+        let claim = ClaimRequest::create(&kp, &Digest::of(b"browser-pic"));
+        let Ok(Response::Claimed { id: revoked, .. }) = owner.call(&Request::Claim(claim)) else {
+            panic!("claim failed");
+        };
+        let revoke = RevokeRequest::create(&kp, revoked, true, 0);
+        assert!(matches!(
+            owner.call(&Request::Revoke(revoke)),
+            Ok(Response::RevokeAck { .. })
+        ));
+
+        // The proxy's merged filter holds the revoked id; everything else
+        // misses and resolves locally through the cache layer.
+        let shared = Arc::new(SharedProxy::new(ProxyConfig::default()));
+        let mut filter = BloomFilter::with_params(1 << 14, 6, 0).unwrap();
+        filter.insert(revoked.filter_key());
+        shared
+            .update_filters(|f| f.apply_full(LedgerId(1), 1, filter.to_bytes()))
+            .unwrap();
+        let stack = stacks::retrying_upstream(
+            shared.clone(),
+            vec![server.addr()],
+            RetryPolicy::fast(0xB10),
+        );
+        let mut remote = RemoteValidator::new(validator(), stack, 1_000);
+        assert_eq!(
+            remote.validate(&labeled(revoked), TimeMs(5)),
+            ValidationOutcome::Revoked(revoked)
+        );
+        // A filter-miss id never leaves the proxy stack: definitely not
+        // revoked, answered by the filter rung.
+        assert_eq!(
+            remote.validate(&labeled(rid(424_242)), TimeMs(5)),
+            ValidationOutcome::Valid(rid(424_242))
+        );
+        assert_eq!(shared.stats().filter_negative, 1);
+        assert_eq!(shared.stats().ledger_queries, 1);
+        server.shutdown();
+    }
+}

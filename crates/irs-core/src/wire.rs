@@ -6,6 +6,12 @@
 //! module defines the frame *payloads*). Both the discrete-event simulation
 //! and the real TCP prototype speak exactly these messages, so measured
 //! byte counts (experiment E6) are the same in both.
+//!
+//! Encoding is fallible: a value that cannot be represented on the wire
+//! (today, a string longer than a `u16` length prefix can carry) is
+//! rejected with [`WireError::BadValue`] instead of being silently
+//! mangled — a truncated error message that decodes cleanly is worse
+//! than an encode-time error, because nobody ever notices it.
 
 use crate::claim::{ClaimRequest, RevocationStatus, RevokeRequest};
 use crate::freshness::FreshnessProof;
@@ -18,7 +24,7 @@ use irs_crypto::{Digest, PublicKey, Signature};
 /// Protocol version carried in every frame.
 pub const PROTOCOL_VERSION: u8 = 1;
 
-/// Wire decode errors.
+/// Wire codec errors (encode and decode).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// Not enough bytes.
@@ -46,16 +52,19 @@ impl std::error::Error for WireError {}
 
 /// Binary encode/decode. Decoding consumes from the front of the buffer.
 pub trait Wire: Sized {
-    /// Append the encoding of `self` to `buf`.
-    fn encode(&self, buf: &mut BytesMut);
+    /// Append the encoding of `self` to `buf`. Fails (leaving `buf` in an
+    /// unspecified, partially written state) when the value cannot be
+    /// represented on the wire; callers that buffer per-message should
+    /// use [`Wire::to_bytes`], which never hands out a partial encoding.
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError>;
     /// Decode a value, consuming bytes from `buf`.
     fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
 
     /// Convenience: encode to a fresh buffer.
-    fn to_bytes(&self) -> Bytes {
+    fn to_bytes(&self) -> Result<Bytes, WireError> {
         let mut buf = BytesMut::new();
-        self.encode(&mut buf);
-        buf.freeze()
+        self.encode(&mut buf)?;
+        Ok(buf.freeze())
     }
 
     /// Convenience: decode, requiring the buffer be fully consumed.
@@ -84,8 +93,9 @@ fn get_array<const N: usize>(buf: &mut Bytes) -> Result<[u8; N], WireError> {
 }
 
 impl Wire for u64 {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
         buf.put_u64(*self);
+        Ok(())
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         need(buf, 8)?;
@@ -94,8 +104,9 @@ impl Wire for u64 {
 }
 
 impl Wire for TimeMs {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
         buf.put_u64(self.0);
+        Ok(())
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(TimeMs(u64::decode(buf)?))
@@ -103,8 +114,9 @@ impl Wire for TimeMs {
 }
 
 impl Wire for Digest {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
         buf.put_slice(&self.0);
+        Ok(())
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(Digest(get_array(buf)?))
@@ -112,8 +124,9 @@ impl Wire for Digest {
 }
 
 impl Wire for PublicKey {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
         buf.put_slice(&self.0);
+        Ok(())
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(PublicKey(get_array(buf)?))
@@ -121,8 +134,9 @@ impl Wire for PublicKey {
 }
 
 impl Wire for Signature {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
         buf.put_slice(&self.0);
+        Ok(())
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(Signature(get_array(buf)?))
@@ -130,8 +144,9 @@ impl Wire for Signature {
 }
 
 impl Wire for RecordId {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
         buf.put_slice(&self.to_payload());
+        Ok(())
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         let payload = get_array(buf)?;
@@ -140,12 +155,13 @@ impl Wire for RecordId {
 }
 
 impl Wire for RevocationStatus {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
         buf.put_u8(match self {
             RevocationStatus::NotRevoked => 0,
             RevocationStatus::Revoked => 1,
             RevocationStatus::PermanentlyRevoked => 2,
         });
+        Ok(())
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         need(buf, 1)?;
@@ -159,11 +175,11 @@ impl Wire for RevocationStatus {
 }
 
 impl Wire for TimestampToken {
-    fn encode(&self, buf: &mut BytesMut) {
-        self.stamped.encode(buf);
-        self.time.encode(buf);
-        self.sig.encode(buf);
-        self.authority.encode(buf);
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
+        self.stamped.encode(buf)?;
+        self.time.encode(buf)?;
+        self.sig.encode(buf)?;
+        self.authority.encode(buf)
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(TimestampToken {
@@ -176,13 +192,13 @@ impl Wire for TimestampToken {
 }
 
 impl Wire for FreshnessProof {
-    fn encode(&self, buf: &mut BytesMut) {
-        self.id.encode(buf);
-        self.status.encode(buf);
-        self.issued_at.encode(buf);
-        self.valid_for_ms.encode(buf);
-        self.ledger_key.encode(buf);
-        self.sig.encode(buf);
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
+        self.id.encode(buf)?;
+        self.status.encode(buf)?;
+        self.issued_at.encode(buf)?;
+        self.valid_for_ms.encode(buf)?;
+        self.ledger_key.encode(buf)?;
+        self.sig.encode(buf)
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(FreshnessProof {
@@ -197,9 +213,9 @@ impl Wire for FreshnessProof {
 }
 
 impl Wire for ClaimRequest {
-    fn encode(&self, buf: &mut BytesMut) {
-        self.pubkey.encode(buf);
-        self.hash_sig.encode(buf);
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
+        self.pubkey.encode(buf)?;
+        self.hash_sig.encode(buf)
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(ClaimRequest {
@@ -210,11 +226,11 @@ impl Wire for ClaimRequest {
 }
 
 impl Wire for RevokeRequest {
-    fn encode(&self, buf: &mut BytesMut) {
-        self.id.encode(buf);
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
+        self.id.encode(buf)?;
         buf.put_u8(self.revoke as u8);
-        self.epoch.encode(buf);
-        self.sig.encode(buf);
+        self.epoch.encode(buf)?;
+        self.sig.encode(buf)
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         let id = RecordId::decode(buf)?;
@@ -253,10 +269,16 @@ fn get_blob(buf: &mut Bytes) -> Result<Bytes, WireError> {
     Ok(buf.copy_to_bytes(len))
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+fn put_string(buf: &mut BytesMut, s: &str) -> Result<(), WireError> {
     let bytes = s.as_bytes();
-    buf.put_u16(bytes.len().min(u16::MAX as usize) as u16);
-    buf.put_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+    if bytes.len() > u16::MAX as usize {
+        // Refuse rather than truncate: a silently clipped message decodes
+        // cleanly and the loss is invisible to every later reader.
+        return Err(WireError::BadValue("string exceeds u16 length prefix"));
+    }
+    buf.put_u16(bytes.len() as u16);
+    buf.put_slice(bytes);
+    Ok(())
 }
 
 fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
@@ -380,38 +402,39 @@ pub enum Response {
 }
 
 impl Wire for Request {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
         buf.put_u8(PROTOCOL_VERSION);
         match self {
             Request::Claim(c) => {
                 buf.put_u8(1);
-                c.encode(buf);
+                c.encode(buf)?;
             }
             Request::Query { id } => {
                 buf.put_u8(2);
-                id.encode(buf);
+                id.encode(buf)?;
             }
             Request::Revoke(r) => {
                 buf.put_u8(3);
-                r.encode(buf);
+                r.encode(buf)?;
             }
             Request::GetFilter { have_version } => {
                 buf.put_u8(4);
-                have_version.encode(buf);
+                have_version.encode(buf)?;
             }
             Request::GetProof { id } => {
                 buf.put_u8(5);
-                id.encode(buf);
+                id.encode(buf)?;
             }
             Request::Batch(ids) => {
                 buf.put_u8(6);
                 buf.put_u32(ids.len() as u32);
                 for id in ids {
-                    id.encode(buf);
+                    id.encode(buf)?;
                 }
             }
             Request::Ping => buf.put_u8(7),
         }
+        Ok(())
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -451,29 +474,29 @@ impl Wire for Request {
 }
 
 impl Wire for Response {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
         buf.put_u8(PROTOCOL_VERSION);
         match self {
             Response::Claimed { id, timestamp } => {
                 buf.put_u8(1);
-                id.encode(buf);
-                timestamp.encode(buf);
+                id.encode(buf)?;
+                timestamp.encode(buf)?;
             }
             Response::Status { id, status, epoch } => {
                 buf.put_u8(2);
-                id.encode(buf);
-                status.encode(buf);
-                epoch.encode(buf);
+                id.encode(buf)?;
+                status.encode(buf)?;
+                epoch.encode(buf)?;
             }
             Response::RevokeAck { id, status, epoch } => {
                 buf.put_u8(3);
-                id.encode(buf);
-                status.encode(buf);
-                epoch.encode(buf);
+                id.encode(buf)?;
+                status.encode(buf)?;
+                epoch.encode(buf)?;
             }
             Response::FilterFull { version, data } => {
                 buf.put_u8(4);
-                version.encode(buf);
+                version.encode(buf)?;
                 put_blob(buf, data);
             }
             Response::FilterDelta {
@@ -482,40 +505,41 @@ impl Wire for Response {
                 data,
             } => {
                 buf.put_u8(5);
-                from_version.encode(buf);
-                to_version.encode(buf);
+                from_version.encode(buf)?;
+                to_version.encode(buf)?;
                 put_blob(buf, data);
             }
             Response::Proof(p) => {
                 buf.put_u8(6);
-                p.encode(buf);
+                p.encode(buf)?;
             }
             Response::BatchStatus(items) => {
                 buf.put_u8(7);
                 buf.put_u32(items.len() as u32);
                 for (id, status) in items {
-                    id.encode(buf);
-                    status.encode(buf);
+                    id.encode(buf)?;
+                    status.encode(buf)?;
                 }
             }
             Response::Pong => buf.put_u8(8),
             Response::Error { code, message } => {
                 buf.put_u8(9);
                 buf.put_u16(*code);
-                put_string(buf, message);
+                put_string(buf, message)?;
             }
             Response::StatusStale { id, status, age_ms } => {
                 buf.put_u8(10);
-                id.encode(buf);
-                status.encode(buf);
-                age_ms.encode(buf);
+                id.encode(buf)?;
+                status.encode(buf)?;
+                age_ms.encode(buf)?;
             }
             Response::Unavailable { id, age_ms } => {
                 buf.put_u8(11);
-                id.encode(buf);
-                age_ms.encode(buf);
+                id.encode(buf)?;
+                age_ms.encode(buf)?;
             }
         }
+        Ok(())
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -586,8 +610,9 @@ impl Wire for Response {
 
 /// Expose `LedgerId` encoding for ancillary messages.
 impl Wire for LedgerId {
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<(), WireError> {
         buf.put_u16(self.0);
+        Ok(())
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         need(buf, 2)?;
@@ -609,7 +634,7 @@ mod tests {
     }
 
     fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
-        let bytes = v.to_bytes();
+        let bytes = v.to_bytes().expect("encode");
         let decoded = T::from_bytes(bytes).expect("decode");
         assert_eq!(&decoded, v);
     }
@@ -701,7 +726,7 @@ mod tests {
 
     #[test]
     fn truncated_inputs_rejected() {
-        let full = Request::Query { id: rid(1) }.to_bytes();
+        let full = Request::Query { id: rid(1) }.to_bytes().unwrap();
         for cut in 0..full.len() {
             let r = Request::from_bytes(full.slice(..cut));
             assert!(r.is_err(), "cut at {cut} should fail");
@@ -710,7 +735,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut bytes = Request::Ping.to_bytes().to_vec();
+        let mut bytes = Request::Ping.to_bytes().unwrap().to_vec();
         bytes.push(0);
         assert_eq!(
             Request::from_bytes(Bytes::from(bytes)),
@@ -720,7 +745,7 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        let mut bytes = Request::Ping.to_bytes().to_vec();
+        let mut bytes = Request::Ping.to_bytes().unwrap().to_vec();
         bytes[0] = 99;
         assert_eq!(
             Request::from_bytes(Bytes::from(bytes)),
@@ -736,7 +761,7 @@ mod tests {
 
     #[test]
     fn corrupted_record_id_rejected() {
-        let mut bytes = Request::Query { id: rid(1) }.to_bytes().to_vec();
+        let mut bytes = Request::Query { id: rid(1) }.to_bytes().unwrap().to_vec();
         // Flip a bit inside the record id payload (after version + tag).
         bytes[5] ^= 0x40;
         assert!(matches!(
@@ -763,5 +788,29 @@ mod tests {
             code: 1,
             message: "únïcødé ✓".to_string(),
         });
+    }
+
+    #[test]
+    fn string_at_u16_boundary_encodes_and_one_past_fails() {
+        // Exactly u16::MAX bytes: the longest representable message.
+        let max = Response::Error {
+            code: 1,
+            message: "a".repeat(u16::MAX as usize),
+        };
+        let bytes = max.to_bytes().expect("boundary length must encode");
+        let Response::Error { message, .. } = Response::from_bytes(bytes).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(message.len(), u16::MAX as usize);
+
+        // One byte past the prefix: refused, never silently truncated.
+        let over = Response::Error {
+            code: 1,
+            message: "a".repeat(u16::MAX as usize + 1),
+        };
+        assert_eq!(
+            over.to_bytes(),
+            Err(WireError::BadValue("string exceeds u16 length prefix"))
+        );
     }
 }

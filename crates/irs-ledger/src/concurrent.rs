@@ -640,6 +640,49 @@ mod tests {
     }
 
     #[test]
+    fn batch_preserves_order_across_shards() {
+        // Claim enough records that consecutive serials land on different
+        // shards, revoke every third, then batch-query them in a shuffled
+        // order: the reply must mirror the request positionally even
+        // though the lookups fan out across shard locks.
+        let l = ledger();
+        let mut ids = Vec::new();
+        for seed in 0..32u8 {
+            let (id, keypair) = claim_one(&l, seed);
+            if seed % 3 == 0 {
+                let rv = RevokeRequest::create(&keypair, id, true, 0);
+                match l.handle(Request::Revoke(rv), TimeMs(20)) {
+                    Response::RevokeAck { .. } => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            ids.push(id);
+        }
+        // Deterministic shuffle: stride through the list coprime to its
+        // length, mixing shards at every step.
+        let batch: Vec<RecordId> = (0..ids.len()).map(|i| ids[(i * 7) % ids.len()]).collect();
+        match l.handle(Request::Batch(batch.clone()), TimeMs(30)) {
+            Response::BatchStatus(items) => {
+                assert_eq!(
+                    items.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+                    batch,
+                    "sharded lookups must not reorder the reply"
+                );
+                for (id, status) in items {
+                    let expected = if id.serial % 3 == 0 {
+                        RevocationStatus::Revoked
+                    } else {
+                        RevocationStatus::NotRevoked
+                    };
+                    assert_eq!(status, expected, "wrong status for serial {}", id.serial);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.stats().batch_items, 32);
+    }
+
+    #[test]
     fn filter_publication_and_wire_serving() {
         let l = ledger();
         let (id, keypair) = claim_one(&l, 2);

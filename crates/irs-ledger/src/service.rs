@@ -477,6 +477,45 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_yields_empty_status_list() {
+        let mut l = ledger();
+        match l.handle(Request::Batch(Vec::new()), TimeMs(1)) {
+            Response::BatchStatus(items) => assert!(items.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.stats.batch_items, 0);
+    }
+
+    #[test]
+    fn batch_answers_duplicates_positionally() {
+        // A proxy that doesn't dedup may repeat an id; each occurrence
+        // gets its own slot in the reply, in request order.
+        let mut l = ledger();
+        let (id, keypair) = claim_one(&mut l, 3);
+        let rv = RevokeRequest::create(&keypair, id, true, 0);
+        let Response::RevokeAck { .. } = l.handle(Request::Revoke(rv), TimeMs(5)) else {
+            panic!("revoke failed");
+        };
+        let unknown = RecordId::new(LedgerId(1), 404);
+        let batch = vec![id, unknown, id];
+        match l.handle(Request::Batch(batch.clone()), TimeMs(10)) {
+            Response::BatchStatus(items) => {
+                assert_eq!(
+                    items.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+                    batch,
+                    "reply order must mirror request order, duplicates included"
+                );
+                assert_eq!(items[0].1, RevocationStatus::Revoked);
+                // Unknown ids fail open.
+                assert_eq!(items[1].1, RevocationStatus::NotRevoked);
+                assert_eq!(items[2].1, RevocationStatus::Revoked);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.stats.batch_items, 3);
+    }
+
+    #[test]
     fn non_revocable_policy_refuses_revocation_but_allows_unrevoke() {
         let mut cfg = LedgerConfig::new(LedgerId(2));
         cfg.policy = LedgerPolicy::NonRevocable;

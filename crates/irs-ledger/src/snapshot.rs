@@ -83,15 +83,17 @@ pub fn encode_snapshot(
     buf.put_u64(wal_offset);
     buf.put_u64(records.len() as u64);
     for rec in records {
-        rec.claim.id.serial.encode(&mut buf);
+        // All fixed-size wire types: encoding cannot fail with BadValue.
+        let fixed = "snapshot record fields are fixed-size and always encode";
+        rec.claim.id.serial.encode(&mut buf).expect(fixed);
         buf.put_u8(match rec.origin {
             ClaimOrigin::Owner => 0,
             ClaimOrigin::Custodial => 1,
         });
-        rec.claim.status.encode(&mut buf);
-        rec.claim.status_epoch.encode(&mut buf);
-        rec.claim.request.encode(&mut buf);
-        rec.claim.timestamp.encode(&mut buf);
+        rec.claim.status.encode(&mut buf).expect(fixed);
+        rec.claim.status_epoch.encode(&mut buf).expect(fixed);
+        rec.claim.request.encode(&mut buf).expect(fixed);
+        rec.claim.timestamp.encode(&mut buf).expect(fixed);
     }
     let filter_blob = filter.to_bytes();
     buf.put_u32(filter_blob.len() as u32);

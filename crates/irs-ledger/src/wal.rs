@@ -173,6 +173,10 @@ pub enum WalRecord {
     },
 }
 
+/// WAL records hold only fixed-size wire types (no length-prefixed
+/// strings), so encoding them cannot hit `WireError::BadValue`.
+const FIXED_ENCODE: &str = "WAL record fields are fixed-size and always encode";
+
 const TAG_CLAIM: u8 = 1;
 const TAG_REVOKE: u8 = 2;
 const TAG_APPEAL_PIN: u8 = 3;
@@ -190,22 +194,22 @@ impl WalRecord {
                 timestamp,
             } => {
                 buf.put_u8(TAG_CLAIM);
-                serial.encode(&mut buf);
+                serial.encode(&mut buf).expect(FIXED_ENCODE);
                 buf.put_u8(match origin {
                     ClaimOrigin::Owner => 0,
                     ClaimOrigin::Custodial => 1,
                 });
                 buf.put_u8(*initially_revoked as u8);
-                request.encode(&mut buf);
-                timestamp.encode(&mut buf);
+                request.encode(&mut buf).expect(FIXED_ENCODE);
+                timestamp.encode(&mut buf).expect(FIXED_ENCODE);
             }
             WalRecord::Revoke(req) => {
                 buf.put_u8(TAG_REVOKE);
-                req.encode(&mut buf);
+                req.encode(&mut buf).expect(FIXED_ENCODE);
             }
             WalRecord::AppealPin { id } => {
                 buf.put_u8(TAG_APPEAL_PIN);
-                id.encode(&mut buf);
+                id.encode(&mut buf).expect(FIXED_ENCODE);
             }
         }
         buf

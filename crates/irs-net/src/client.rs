@@ -65,10 +65,14 @@ impl LedgerClient {
     /// the stream and surfaces as [`NetError::ConnectionLost`]; the caller
     /// must [`reconnect`](LedgerClient::reconnect) before retrying.
     pub fn call(&mut self, request: &Request) -> Result<Response, NetError> {
+        // Encode before touching the stream: a request the wire format
+        // cannot represent is the caller's bug and must not poison a
+        // healthy connection.
+        let payload = request.to_bytes()?;
         let Some(stream) = self.stream.as_mut() else {
             return Err(NetError::ConnectionLost);
         };
-        match exchange(stream, request) {
+        match exchange(stream, &payload) {
             Ok(response) => Ok(response),
             Err(e) => {
                 // Any failure mid-exchange leaves the stream in an unknown
@@ -92,8 +96,8 @@ fn open_stream(addr: SocketAddr, timeout: Duration) -> Result<TcpStream, NetErro
     Ok(stream)
 }
 
-fn exchange(stream: &mut TcpStream, request: &Request) -> Result<Response, NetError> {
-    write_frame(stream, &request.to_bytes())?;
+fn exchange(stream: &mut TcpStream, payload: &[u8]) -> Result<Response, NetError> {
+    write_frame(stream, payload)?;
     let frame = read_frame(stream)?;
     Ok(Response::from_bytes(frame)?)
 }

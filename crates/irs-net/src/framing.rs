@@ -7,6 +7,7 @@
 
 use crate::NetError;
 use bytes::Bytes;
+use irs_core::wire::{Response, Wire};
 use std::io::{Read, Write};
 
 /// Largest accepted frame on the *download* direction (client reading a
@@ -29,6 +30,23 @@ pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), NetEr
     writer.write_all(payload)?;
     writer.flush()?;
     Ok(())
+}
+
+/// Encode `response` and write it as one frame. A response the wire
+/// format cannot represent (e.g. an error message longer than its u16
+/// length prefix) is downgraded to a short error reply instead of
+/// tearing down the connection — the peer always gets *an* answer.
+pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> Result<(), NetError> {
+    let bytes = match response.to_bytes() {
+        Ok(b) => b,
+        Err(e) => Response::Error {
+            code: irs_ledger::codes::BAD_REQUEST,
+            message: format!("unencodable response: {e}"),
+        }
+        .to_bytes()
+        .expect("short error response always encodes"),
+    };
+    write_frame(writer, &bytes)
 }
 
 /// Read one frame with the large [`MAX_FRAME`] cap (the client side,

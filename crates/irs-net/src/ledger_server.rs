@@ -6,7 +6,7 @@
 //! proceed in parallel (the E15 thread-scaling experiment measures the
 //! difference against the old `Mutex<Ledger>` design).
 
-use crate::framing::{read_frame_capped, write_frame, MAX_REQUEST_FRAME};
+use crate::framing::{read_frame_capped, write_response, MAX_REQUEST_FRAME};
 use crate::server::ServerHandle;
 use irs_core::time::{Clock, SystemClock};
 use irs_core::wire::{Request, Response, Wire};
@@ -86,7 +86,7 @@ impl LedgerServer {
                         message: format!("bad request: {e}"),
                     },
                 };
-                if write_frame(&mut stream, &response.to_bytes()).is_err() {
+                if write_response(&mut stream, &response).is_err() {
                     return;
                 }
             }

@@ -17,7 +17,10 @@
 //!   when it can and forwards filter misses upstream;
 //! * [`client`] — blocking request/response clients with timeouts;
 //! * [`refresh`] — the proxy's hourly filter pull (full or delta) over
-//!   the wire.
+//!   the wire;
+//! * [`service`] — the tower-style middleware stack (retry, failover,
+//!   breaker, stale-serve, cache, batch, chaos, stats as composable
+//!   layers) every upstream path is built from.
 
 pub mod chaos;
 pub mod client;
@@ -27,14 +30,16 @@ pub mod proxy_server;
 pub mod refresh;
 pub mod resilient;
 pub mod server;
+pub mod service;
 
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, FaultMode};
 pub use client::LedgerClient;
 pub use ledger_server::LedgerServer;
-pub use proxy_server::{ProxyServer, UpstreamConfig};
+pub use proxy_server::ProxyServer;
 pub use refresh::{refresh_filter, refresh_shared_filter, RefreshOutcome, RefreshWorker};
 pub use resilient::{ResilientClient, RetryPolicy};
 pub use server::ServerHandle;
+pub use service::{BoxService, CallCtx, Layer, Service, ServiceExt};
 
 /// Errors from the network layer.
 #[derive(Debug)]
@@ -60,6 +65,12 @@ pub enum NetError {
         /// Attempts made (including the first).
         attempts: u32,
     },
+    /// A [`service::BreakerLayer`] refused the call: the target ledger's
+    /// circuit breaker is open.
+    BreakerOpen,
+    /// The call's wall-clock deadline elapsed before work could start
+    /// (see [`service::DeadlineLayer`] and [`service::CallCtx`]).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for NetError {
@@ -73,6 +84,8 @@ impl std::fmt::Display for NetError {
             NetError::Exhausted { attempts } => {
                 write!(f, "retries exhausted after {attempts} attempt(s)")
             }
+            NetError::BreakerOpen => write!(f, "circuit breaker open"),
+            NetError::DeadlineExceeded => write!(f, "call deadline exceeded"),
         }
     }
 }

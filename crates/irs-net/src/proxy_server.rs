@@ -5,81 +5,24 @@
 //! Browsers connect to the proxy with the same wire protocol they would
 //! use against a ledger; the ledger only ever sees the proxy's address,
 //! which is the privacy property (§4.2). Connection threads share one
-//! [`SharedProxy`] behind a plain `Arc`: lookups are `&self` (snapshot
-//! filters, striped cache), so a filter refresh or a slow upstream call
-//! on one connection never blocks lookups on another.
+//! [`SharedProxy`] and one composed [`Service`] stack behind plain
+//! `Arc`s: lookups are `&self` (snapshot filters, striped cache), so a
+//! filter refresh or a slow upstream call on one connection never blocks
+//! lookups on another.
 //!
-//! The upstream path is configurable via [`UpstreamConfig`] — from a
-//! bare single-attempt client up to the full degradation ladder (retry +
-//! failover via [`ResilientClient`], per-ledger circuit breaker, and
-//! stale-serve from the TTL cache). See DESIGN.md "Failure model &
-//! degradation ladder".
+//! The upstream path is whatever stack the caller composes — from the
+//! plain single-attempt rung up to the full degradation ladder
+//! (`Cache(StaleServe(Breaker(Retry(Failover(Tcp)))))`); the canonical
+//! rungs live in [`crate::service::stacks`] and the ordering rules in
+//! DESIGN.md §10.
 
-use crate::framing::{read_frame_capped, write_frame, MAX_REQUEST_FRAME};
-use crate::resilient::{ResilientClient, RetryPolicy};
+use crate::framing::{read_frame_capped, write_response, MAX_REQUEST_FRAME};
 use crate::server::ServerHandle;
-use irs_core::claim::RevocationStatus;
-use irs_core::ids::RecordId;
-use irs_core::time::{Clock, SystemClock, TimeMs};
-use irs_core::wire::{Request, Response, Wire};
-use irs_proxy::{IrsProxy, LookupOutcome, SharedProxy};
+use crate::service::{stacks, BoxService, CallCtx, Service};
+use irs_core::wire::{Request, Wire};
+use irs_proxy::{IrsProxy, SharedProxy};
 use std::net::SocketAddr;
 use std::sync::Arc;
-
-/// How the proxy reaches its upstream ledger(s), and how far down the
-/// degradation ladder it is willing to go when they misbehave.
-#[derive(Clone, Debug)]
-pub struct UpstreamConfig {
-    /// Upstream ledger replicas, tried in rotation on failure.
-    pub replicas: Vec<SocketAddr>,
-    /// Retry/backoff/deadline policy for upstream calls. A
-    /// `max_attempts` of 1 disables retries entirely.
-    pub retry: RetryPolicy,
-    /// Consult a per-ledger circuit breaker before each upstream call
-    /// and record every outcome into it.
-    pub breaker: bool,
-    /// When the upstream is unreachable (or the breaker is open), answer
-    /// from the TTL cache ignoring expiry — [`Response::StatusStale`]
-    /// with an honest age — instead of an error. Misses become
-    /// [`Response::Unavailable`].
-    pub stale_serve: bool,
-}
-
-impl UpstreamConfig {
-    /// Legacy behavior: one upstream, one attempt, no breaker, errors
-    /// surface as errors.
-    pub fn plain(upstream: SocketAddr) -> UpstreamConfig {
-        UpstreamConfig {
-            replicas: vec![upstream],
-            retry: RetryPolicy {
-                max_attempts: 1,
-                ..RetryPolicy::default()
-            },
-            breaker: false,
-            stale_serve: false,
-        }
-    }
-
-    /// Retries + failover, but no breaker and no stale answers.
-    pub fn retrying(replicas: Vec<SocketAddr>, retry: RetryPolicy) -> UpstreamConfig {
-        UpstreamConfig {
-            replicas,
-            retry,
-            breaker: false,
-            stale_serve: false,
-        }
-    }
-
-    /// The whole ladder: retries, failover, circuit breaker, stale-serve.
-    pub fn full(replicas: Vec<SocketAddr>, retry: RetryPolicy) -> UpstreamConfig {
-        UpstreamConfig {
-            replicas,
-            retry,
-            breaker: true,
-            stale_serve: true,
-        }
-    }
-}
 
 /// A running TCP proxy.
 pub struct ProxyServer {
@@ -89,10 +32,9 @@ pub struct ProxyServer {
 
 impl ProxyServer {
     /// Start a proxy on `addr`, forwarding filter misses to the ledger at
-    /// `upstream`. The sequential proxy is promoted to a [`SharedProxy`]
-    /// (filters and counters carry over). Each connection thread opens
-    /// its own upstream connection on demand (simple and adequate for
-    /// prototype scale).
+    /// `upstream` with the plain single-attempt stack. The sequential
+    /// proxy is promoted to a [`SharedProxy`] (filters and counters
+    /// carry over).
     pub fn start(
         proxy: IrsProxy,
         addr: &str,
@@ -102,26 +44,28 @@ impl ProxyServer {
     }
 
     /// Start serving an already-shared proxy (callers that refresh its
-    /// filters from outside the server while it runs).
+    /// filters from outside the server while it runs), plain stack.
     pub fn start_shared(
         proxy: Arc<SharedProxy>,
         addr: &str,
         upstream: SocketAddr,
     ) -> std::io::Result<ProxyServer> {
-        ProxyServer::start_with_upstream(proxy, addr, UpstreamConfig::plain(upstream))
+        let stack = stacks::plain_upstream(proxy.clone(), upstream);
+        ProxyServer::start_with_stack(proxy, addr, stack)
     }
 
-    /// Start serving with an explicit upstream policy — the entry point
-    /// for resilient deployments (and experiment E16).
-    pub fn start_with_upstream(
+    /// Start serving with an explicit upstream stack — the entry point
+    /// for resilient deployments (and experiment E16). The stack already
+    /// embeds the local answer path when built by
+    /// [`crate::service::stacks`], so the handler just calls it.
+    pub fn start_with_stack(
         proxy: Arc<SharedProxy>,
         addr: &str,
-        upstream: UpstreamConfig,
+        stack: BoxService,
     ) -> std::io::Result<ProxyServer> {
-        let proxy_for_conns = proxy.clone();
+        let stack: Arc<BoxService> = Arc::new(stack);
         let handle = ServerHandle::spawn(addr, move |mut stream, stop| {
             let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
-            let mut upstream_client: Option<ResilientClient> = None;
             loop {
                 if stop.load(std::sync::atomic::Ordering::SeqCst) {
                     return;
@@ -137,39 +81,31 @@ impl ProxyServer {
                     Err(_) => return,
                 };
                 let response = match Request::from_bytes(frame) {
-                    Ok(Request::Query { id }) => {
-                        let now = SystemClock.now();
-                        match proxy_for_conns.lookup(id, now) {
-                            LookupOutcome::NotRevokedByFilter => Response::Status {
-                                id,
-                                status: RevocationStatus::NotRevoked,
-                                epoch: 0,
+                    Ok(req @ Request::Query { .. }) => {
+                        // One clock reading per request: every layer sees
+                        // the same instant.
+                        match stack.call(req, &CallCtx::wall()) {
+                            Ok(response) => response,
+                            // A stack without the stale-serve rung lets
+                            // failures surface; the browser gets an
+                            // honest error, never a bogus status.
+                            Err(_) => irs_core::wire::Response::Error {
+                                code: irs_ledger::codes::UNAVAILABLE,
+                                message: "upstream unavailable".to_string(),
                             },
-                            LookupOutcome::Cached(status) => Response::Status {
-                                id,
-                                status,
-                                epoch: 0,
-                            },
-                            LookupOutcome::NeedsLedgerQuery => answer_upstream(
-                                &proxy_for_conns,
-                                &upstream,
-                                &mut upstream_client,
-                                id,
-                                now,
-                            ),
                         }
                     }
-                    Ok(Request::Ping) => Response::Pong,
-                    Ok(_) => Response::Error {
+                    Ok(Request::Ping) => irs_core::wire::Response::Pong,
+                    Ok(_) => irs_core::wire::Response::Error {
                         code: irs_ledger::codes::BAD_REQUEST,
                         message: "proxy only serves Query/Ping".to_string(),
                     },
-                    Err(e) => Response::Error {
+                    Err(e) => irs_core::wire::Response::Error {
                         code: irs_ledger::codes::BAD_REQUEST,
                         message: format!("bad request: {e}"),
                     },
                 };
-                if write_frame(&mut stream, &response.to_bytes()).is_err() {
+                if write_response(&mut stream, &response).is_err() {
                     return;
                 }
             }
@@ -194,75 +130,17 @@ impl ProxyServer {
     }
 }
 
-/// Forward one query upstream, walking the degradation ladder on failure:
-/// breaker gate → resilient call → stale-serve → unavailable.
-fn answer_upstream(
-    proxy: &SharedProxy,
-    config: &UpstreamConfig,
-    client_slot: &mut Option<ResilientClient>,
-    id: RecordId,
-    now: TimeMs,
-) -> Response {
-    if config.breaker && !proxy.breaker(id.ledger).allow(now) {
-        // Open breaker: don't hammer a known-dead ledger.
-        return degraded(proxy, config, id, now);
-    }
-    let client = client_slot
-        .get_or_insert_with(|| ResilientClient::new(config.replicas.clone(), config.retry));
-    match client.call(&Request::Query { id }) {
-        Ok(Response::Status { id, status, epoch }) => {
-            if config.breaker {
-                proxy.record_upstream(id.ledger, true, now);
-            }
-            proxy.complete(id, status, now);
-            Response::Status { id, status, epoch }
-        }
-        Ok(other) => {
-            // The exchange itself worked (the ledger answered, if only
-            // with an application error): the path is healthy.
-            if config.breaker {
-                proxy.record_upstream(id.ledger, true, now);
-            }
-            other
-        }
-        Err(_) => {
-            if config.breaker {
-                proxy.record_upstream(id.ledger, false, now);
-            }
-            degraded(proxy, config, id, now)
-        }
-    }
-}
-
-/// The bottom of the ladder: a bounded-stale answer beats no answer
-/// (Nongoal #4), and an honest `Unavailable` beats a lie.
-fn degraded(proxy: &SharedProxy, config: &UpstreamConfig, id: RecordId, now: TimeMs) -> Response {
-    if !config.stale_serve {
-        return Response::Error {
-            code: irs_ledger::codes::UNAVAILABLE,
-            message: "upstream unavailable".to_string(),
-        };
-    }
-    match proxy.lookup_stale(id, now) {
-        Some((status, age_ms)) => Response::StatusStale { id, status, age_ms },
-        None => Response::Unavailable {
-            id,
-            age_ms: proxy
-                .breaker(id.ledger)
-                .staleness_ms(now)
-                .unwrap_or(u64::MAX),
-        },
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::LedgerClient;
     use crate::ledger_server::LedgerServer;
-    use irs_core::claim::ClaimRequest;
-    use irs_core::ids::LedgerId;
+    use crate::resilient::RetryPolicy;
+    use irs_core::claim::{ClaimRequest, RevocationStatus};
+    use irs_core::ids::{LedgerId, RecordId};
+    use irs_core::time::TimeMs;
     use irs_core::tsa::TimestampAuthority;
+    use irs_core::wire::{Request, Response};
     use irs_crypto::{Digest, Keypair};
     use irs_filters::BloomFilter;
     use irs_ledger::{Ledger, LedgerConfig};
@@ -392,12 +270,9 @@ mod tests {
             max_attempts: 2,
             ..RetryPolicy::fast(1)
         };
-        let proxy_server = ProxyServer::start_with_upstream(
-            shared.clone(),
-            "127.0.0.1:0",
-            UpstreamConfig::full(vec![upstream_addr], retry),
-        )
-        .unwrap();
+        let stack = stacks::full_upstream(shared.clone(), vec![upstream_addr], retry);
+        let proxy_server =
+            ProxyServer::start_with_stack(shared.clone(), "127.0.0.1:0", stack).unwrap();
         let mut browser = LedgerClient::connect(proxy_server.addr()).unwrap();
 
         // Warm the cache for `cached` while the ledger is up. (The ledger

@@ -15,7 +15,8 @@
 //! "stale filters beat no filters" rung).
 
 use crate::client::LedgerClient;
-use crate::resilient::{ResilientClient, RetryPolicy};
+use crate::resilient::RetryPolicy;
+use crate::service::{CallCtx, Failover, RetryLayer, Service, ServiceExt, TcpTransport};
 use crate::NetError;
 use irs_core::ids::LedgerId;
 use irs_core::time::{Clock, SystemClock};
@@ -116,17 +117,21 @@ fn apply_response(
     }
 }
 
-/// [`refresh_shared_filter`] over a [`ResilientClient`]: retries and
-/// failover for the fetch itself, plus the outcome recorded into the
-/// proxy's per-ledger circuit breaker so the query path shares one view
-/// of upstream health.
-pub fn refresh_shared_filter_resilient(
+/// [`refresh_shared_filter`] over a composed [`Service`] stack (usually
+/// `Retry(Failover(Tcp))`): whatever resilience the stack provides for
+/// the fetch itself, plus the outcome recorded into the proxy's
+/// per-ledger circuit breaker so the query path shares one view of
+/// upstream health.
+pub fn refresh_shared_filter_via<S: Service + ?Sized>(
     proxy: &SharedProxy,
-    client: &mut ResilientClient,
+    service: &S,
     ledger: LedgerId,
 ) -> Result<RefreshOutcome, NetError> {
     let have = proxy.filters_snapshot().version(ledger);
-    let result = client.call(&Request::GetFilter { have_version: have });
+    let result = service.call(
+        Request::GetFilter { have_version: have },
+        &CallCtx::at(SystemClock.now()),
+    );
     proxy.record_upstream(ledger, result.is_ok(), SystemClock.now());
     let response = result?;
     proxy.update_filters(|filters| {
@@ -191,13 +196,17 @@ impl RefreshWorker {
         });
         let worker_shared = shared.clone();
         let handle = std::thread::spawn(move || {
-            let mut client = ResilientClient::new(replicas, policy);
+            let transports: Vec<TcpTransport> = replicas
+                .into_iter()
+                .map(|addr| TcpTransport::new(addr, policy.io_timeout))
+                .collect();
+            let fetch = Failover::new(transports).layered(RetryLayer::new(policy));
             loop {
                 if worker_shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
                 worker_shared.rounds.fetch_add(1, Ordering::SeqCst);
-                let delay = match refresh_shared_filter_resilient(&proxy, &mut client, ledger) {
+                let delay = match refresh_shared_filter_via(&proxy, &fetch, ledger) {
                     Ok(outcome) => {
                         if !matches!(outcome, RefreshOutcome::AlreadyCurrent) {
                             worker_shared.installs.fetch_add(1, Ordering::SeqCst);

@@ -1,27 +1,29 @@
 //! A retrying, failing-over wrapper around [`LedgerClient`].
 //!
-//! [`ResilientClient`] gives one call three layers of recovery the bare
-//! client lacks:
+//! [`ResilientClient`] is the composed service stack
+//! `Retry(Failover(TcpTransport))` behind the familiar client API: one
+//! call gets three layers of recovery the bare client lacks —
 //!
-//! 1. **Reconnect** — a broken stream is dropped and re-established
-//!    instead of poisoning the client forever;
+//! 1. **Reconnect** — a broken stream is dropped and re-established by
+//!    the transport instead of poisoning the client forever;
 //! 2. **Bounded retries** — exponential backoff with seeded jitter, so
 //!    two replayed runs back off identically;
 //! 3. **Failover** — a replica list; when one address keeps failing the
-//!    client rotates to the next.
+//!    stack rotates to the next.
 //!
 //! Everything is bounded by a per-call deadline budget: a call never
 //! blocks longer than `call_deadline`, no matter how many replicas or
 //! retries remain. The escalation ladder past this point (circuit
-//! breaking, stale-serve, fail-open) lives in the proxy — see DESIGN.md
-//! "Failure model & degradation ladder".
+//! breaking, stale-serve, fail-open) is more layers on the same stack —
+//! see [`crate::service::stacks`] and DESIGN.md §10.
+//!
+//! [`LedgerClient`]: crate::client::LedgerClient
 
-use crate::chaos::splitmix64;
-use crate::client::LedgerClient;
+use crate::service::{CallCtx, Failover, Retry, RetryLayer, Service, ServiceExt, TcpTransport};
 use crate::NetError;
 use irs_core::wire::{Request, Response};
 use std::net::SocketAddr;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Retry/backoff/deadline knobs.
 #[derive(Clone, Copy, Debug)]
@@ -83,14 +85,11 @@ pub struct ResilientStats {
     pub exhausted: u64,
 }
 
-/// A [`LedgerClient`] with reconnect, retry, and replica failover.
+/// A [`LedgerClient`](crate::client::LedgerClient) with reconnect,
+/// retry, and replica failover.
 pub struct ResilientClient {
-    replicas: Vec<SocketAddr>,
-    current: usize,
-    policy: RetryPolicy,
-    client: Option<LedgerClient>,
-    jitter_state: u64,
-    /// Work counters.
+    stack: Retry<Failover<TcpTransport>>,
+    /// Work counters (refreshed after every call).
     pub stats: ResilientStats,
 }
 
@@ -100,106 +99,54 @@ impl ResilientClient {
     /// construction time).
     pub fn new(replicas: Vec<SocketAddr>, policy: RetryPolicy) -> ResilientClient {
         assert!(!replicas.is_empty(), "need at least one replica address");
+        let transports = replicas
+            .into_iter()
+            .map(|addr| TcpTransport::new(addr, policy.io_timeout))
+            .collect();
         ResilientClient {
-            replicas,
-            current: 0,
-            jitter_state: policy.jitter_seed,
-            policy,
-            client: None,
+            stack: Failover::new(transports).layered(RetryLayer::new(policy)),
             stats: ResilientStats::default(),
         }
     }
 
     /// The replica the next attempt will use.
     pub fn current_replica(&self) -> SocketAddr {
-        self.replicas[self.current]
+        let failover = self.stack.get_ref();
+        failover.replicas()[failover.current_index()].addr()
     }
 
     /// One request/response exchange with retries, reconnects, and
     /// failover, all bounded by the policy's deadline. On failure returns
     /// [`NetError::Exhausted`].
     pub fn call(&mut self, request: &Request) -> Result<Response, NetError> {
-        let deadline = Instant::now() + self.policy.call_deadline;
-        let mut attempts = 0u32;
-        loop {
-            attempts += 1;
-            self.stats.attempts += 1;
-            if attempts > 1 {
-                self.stats.retries += 1;
-            }
-            match self.attempt(request) {
-                Ok(response) => return Ok(response),
-                Err(_) => {
-                    // The attempt helper already dropped/poisoned the
-                    // connection; rotate so the next attempt tries the
-                    // next replica in line.
-                    if self.replicas.len() > 1 {
-                        self.current = (self.current + 1) % self.replicas.len();
-                        self.client = None;
-                        self.stats.failovers += 1;
-                    }
-                }
-            }
-            if attempts >= self.policy.max_attempts || Instant::now() >= deadline {
-                self.stats.exhausted += 1;
-                return Err(NetError::Exhausted { attempts });
-            }
-            let backoff = self.backoff(attempts);
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                self.stats.exhausted += 1;
-                return Err(NetError::Exhausted { attempts });
-            }
-            std::thread::sleep(backoff.min(remaining));
-        }
+        let result = self.stack.call(request.clone(), &CallCtx::wall());
+        self.refresh_stats();
+        result
     }
 
-    /// One attempt: ensure a connection to the current replica, then one
-    /// exchange. Any failure leaves `self.client` empty.
-    fn attempt(&mut self, request: &Request) -> Result<Response, NetError> {
-        if self.client.is_none() {
-            let addr = self.replicas[self.current];
-            let client = LedgerClient::connect_with_timeout(addr, self.policy.io_timeout)?;
-            if self.stats.attempts > 1 {
-                self.stats.reconnects += 1;
-            }
-            self.client = Some(client);
-        }
-        let client = self.client.as_mut().expect("just ensured");
-        match client.call(request) {
-            Ok(response) => Ok(response),
-            Err(e) => {
-                // Wire/frame errors also poison the exchange stream: a
-                // desynced or corrupting path is as dead as a closed one.
-                self.client = None;
-                Err(e)
-            }
-        }
-    }
-
-    /// Exponential backoff with deterministic decorrelating jitter:
-    /// `base * 2^(attempt-1)` capped at `max_backoff`, then scaled by a
-    /// seeded factor in `[0.5, 1.0]`.
-    fn backoff(&mut self, attempt: u32) -> Duration {
-        let exp = self
-            .policy
-            .base_backoff
-            .saturating_mul(1u32 << (attempt - 1).min(16))
-            .min(self.policy.max_backoff);
-        self.jitter_state = splitmix64(self.jitter_state);
-        let frac = 0.5 + 0.5 * ((self.jitter_state >> 11) as f64 / (1u64 << 53) as f64);
-        exp.mul_f64(frac)
+    fn refresh_stats(&mut self) {
+        let retry = self.stack.counters();
+        let failover = self.stack.get_ref();
+        self.stats = ResilientStats {
+            attempts: retry.attempts,
+            retries: retry.retries,
+            exhausted: retry.exhausted,
+            failovers: failover.failovers(),
+            reconnects: failover.replicas().iter().map(|t| t.reconnects()).sum(),
+        };
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chaos::{ChaosConfig, ChaosProxy, FaultMode};
+    use crate::chaos::{splitmix64, ChaosConfig, ChaosProxy, FaultMode};
     use crate::ledger_server::LedgerServer;
+    use crate::service::jittered_backoff;
     use irs_core::ids::LedgerId;
     use irs_core::tsa::TimestampAuthority;
     use irs_ledger::{Ledger, LedgerConfig};
+    use std::time::Instant;
 
     fn ledger_server() -> LedgerServer {
         let ledger = Ledger::new(
@@ -285,19 +232,19 @@ mod tests {
 
     #[test]
     fn backoff_sequence_is_deterministic() {
-        let a_seq: Vec<Duration> = {
-            let mut c =
-                ResilientClient::new(vec!["127.0.0.1:1".parse().unwrap()], RetryPolicy::fast(77));
-            (1..6).map(|n| c.backoff(n)).collect()
+        let policy = RetryPolicy::fast(77);
+        let seq = || -> Vec<Duration> {
+            let mut state = policy.jitter_seed;
+            (1..6)
+                .map(|n| {
+                    state = splitmix64(state);
+                    jittered_backoff(&policy, n, state)
+                })
+                .collect()
         };
-        let b_seq: Vec<Duration> = {
-            let mut c =
-                ResilientClient::new(vec!["127.0.0.1:1".parse().unwrap()], RetryPolicy::fast(77));
-            (1..6).map(|n| c.backoff(n)).collect()
-        };
-        assert_eq!(a_seq, b_seq);
+        assert_eq!(seq(), seq());
         // Monotone non-decreasing cap behaviour: the capped tail cannot
         // exceed max_backoff.
-        assert!(a_seq.iter().all(|d| *d <= Duration::from_millis(40)));
+        assert!(seq().iter().all(|d| *d <= Duration::from_millis(40)));
     }
 }

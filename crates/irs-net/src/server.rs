@@ -7,7 +7,7 @@
 //! dropping tasks on the floor.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -16,6 +16,7 @@ use std::time::Duration;
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    live_conns: Arc<AtomicUsize>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -32,11 +33,17 @@ impl ServerHandle {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = stop.clone();
+        let live_conns = Arc::new(AtomicUsize::new(0));
+        let live_accept = live_conns.clone();
         let handler = Arc::new(handler);
         let accept_thread = std::thread::Builder::new()
             .name("irs-accept".into())
             .spawn(move || {
                 let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+                let reap = |threads: &mut Vec<JoinHandle<()>>| {
+                    threads.retain(|t| !t.is_finished());
+                    live_accept.store(threads.len(), Ordering::SeqCst);
+                };
                 while !stop_accept.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
@@ -48,10 +55,14 @@ impl ServerHandle {
                                 .spawn(move || h(stream, stop_conn))
                                 .expect("spawn connection thread");
                             conn_threads.push(t);
-                            // Opportunistically reap finished threads.
-                            conn_threads.retain(|t| !t.is_finished());
+                            reap(&mut conn_threads);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            // Reap on the idle branch too: an idle server
+                            // must not pin dead JoinHandles (each holds a
+                            // finished thread's stack) until the next
+                            // client happens to connect.
+                            reap(&mut conn_threads);
                             std::thread::sleep(Duration::from_millis(5));
                         }
                         Err(_) => break,
@@ -60,10 +71,12 @@ impl ServerHandle {
                 for t in conn_threads {
                     let _ = t.join();
                 }
+                live_accept.store(0, Ordering::SeqCst);
             })?;
         Ok(ServerHandle {
             addr: local,
             stop,
+            live_conns,
             accept_thread: Some(accept_thread),
         })
     }
@@ -71,6 +84,12 @@ impl ServerHandle {
     /// The bound address (for clients to connect to).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connection threads currently tracked (finished ones disappear
+    /// within one accept-loop tick, connected or idle).
+    pub fn live_connections(&self) -> usize {
+        self.live_conns.load(Ordering::SeqCst)
     }
 
     /// Stop accepting, wait for the accept loop and all connection threads.
@@ -143,6 +162,42 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_server_reaps_disconnected_threads() {
+        // Handler lives exactly as long as its client: echo until EOF.
+        let server = ServerHandle::spawn("127.0.0.1:0", |mut stream, _stop| {
+            let mut buf = [0u8; 64];
+            while let Ok(n) = stream.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                if stream.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        })
+        .unwrap();
+        let addr = server.addr();
+        let wait_for = |want: usize, server: &ServerHandle| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while server.live_connections() != want && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            server.live_connections()
+        };
+        let clients: Vec<TcpStream> = (0..3).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        assert_eq!(wait_for(3, &server), 3, "three live connection threads");
+        // Disconnect everyone. No new connection arrives, so only the
+        // idle (WouldBlock) branch can reap the finished threads.
+        drop(clients);
+        assert_eq!(
+            wait_for(0, &server),
+            0,
+            "idle accept loop must reap finished connection threads"
+        );
         server.shutdown();
     }
 

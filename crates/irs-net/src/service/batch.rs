@@ -1,0 +1,367 @@
+//! Query aggregation — the §4.2 mixing window as a layer.
+//!
+//! [`Batched`] holds concurrent `Query` calls for a bounded window and
+//! flushes them upstream as one [`Request::Batch`], so the ledger sees
+//! one request from the proxy where many viewers asked (the k-anonymity
+//! mixing the sequential [`irs_proxy::batch::Batcher`] models for the
+//! simulator, here on the live blocking path). The first caller into an
+//! empty window becomes the *leader*: it waits out the window (or until
+//! the batch fills), performs the one upstream call, and publishes the
+//! answers; followers block on a condvar and pick their answer up.
+//!
+//! The layer is deliberately not part of the default proxy stacks — it
+//! trades added latency (the hold window) for privacy, a knob E13
+//! quantifies — but any stack can opt in by composing it above a
+//! transport.
+
+use super::{CallCtx, Layer, Service};
+use crate::NetError;
+use irs_core::claim::RevocationStatus;
+use irs_core::ids::RecordId;
+use irs_core::wire::{Request, Response};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Aggregation-window knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many queries are pending.
+    pub max_batch: usize,
+    /// Flush a smaller batch after this long — the revocation-latency
+    /// cost of mixing.
+    pub max_hold: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> BatchPolicy {
+        BatchPolicy {
+            max_batch: 64,
+            max_hold: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Wraps a service in a query-aggregation window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchLayer {
+    policy: BatchPolicy,
+}
+
+impl BatchLayer {
+    /// A layer batching under `policy`.
+    pub fn new(policy: BatchPolicy) -> BatchLayer {
+        BatchLayer { policy }
+    }
+}
+
+impl<S: Service> Layer<S> for BatchLayer {
+    type Out = Batched<S>;
+    fn wrap(&self, inner: S) -> Batched<S> {
+        Batched {
+            inner,
+            policy: self.policy,
+            state: Mutex::new(State {
+                generation: 1,
+                pending: Vec::new(),
+                done_generation: 0,
+                results: HashMap::new(),
+                failed: HashSet::new(),
+            }),
+            flushed: Condvar::new(),
+            flushes: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+        }
+    }
+}
+
+struct State {
+    /// Generation currently accumulating.
+    generation: u64,
+    pending: Vec<RecordId>,
+    /// Highest generation whose results (or failure) are published.
+    done_generation: u64,
+    results: HashMap<(u64, RecordId), RevocationStatus>,
+    failed: HashSet<u64>,
+}
+
+/// The [`BatchLayer`] service. Counters: [`flushes`](Batched::flushes)
+/// and [`batched`](Batched::batched).
+pub struct Batched<S> {
+    inner: S,
+    policy: BatchPolicy,
+    state: Mutex<State>,
+    flushed: Condvar,
+    flushes: AtomicU64,
+    batched: AtomicU64,
+}
+
+impl<S> Batched<S> {
+    /// Upstream batches sent.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Queries that rode a batch (duplicates included).
+    pub fn batched(&self) -> u64 {
+        self.batched.load(Ordering::Relaxed)
+    }
+
+    /// Read a waiter's answer out of a published generation.
+    fn extract(state: &State, generation: u64, id: RecordId) -> Result<Response, NetError> {
+        if state.failed.contains(&generation) {
+            return Err(NetError::ConnectionLost);
+        }
+        match state.results.get(&(generation, id)) {
+            Some(&status) => Ok(Response::Status {
+                id,
+                status,
+                epoch: 0,
+            }),
+            None => Err(NetError::Frame("batch reply missing id")),
+        }
+    }
+}
+
+impl<S: Service> Service for Batched<S> {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let Request::Query { id } = req else {
+            return self.inner.call(req, ctx);
+        };
+        let mut state = self.state.lock().expect("batch state poisoned");
+        let leader = state.pending.is_empty();
+        let generation = state.generation;
+        state.pending.push(id);
+        // Wake the leader in case this push filled the batch.
+        self.flushed.notify_all();
+
+        if leader {
+            // Hold the window open until it fills or times out.
+            let window_end = Instant::now() + self.policy.max_hold;
+            while state.pending.len() < self.policy.max_batch {
+                let remaining = window_end.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let (next, _timeout) = self
+                    .flushed
+                    .wait_timeout(state, remaining)
+                    .expect("batch state poisoned");
+                state = next;
+            }
+            // Take the window and advance the generation before the
+            // upstream call, so new arrivals start the next batch.
+            let taken = std::mem::take(&mut state.pending);
+            state.generation += 1;
+            drop(state);
+
+            // One upstream exchange for the whole window, duplicates
+            // collapsed (the reply is keyed by id anyway).
+            let mut unique: Vec<RecordId> = Vec::with_capacity(taken.len());
+            for id in &taken {
+                if !unique.contains(id) {
+                    unique.push(*id);
+                }
+            }
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            self.batched
+                .fetch_add(taken.len() as u64, Ordering::Relaxed);
+            let result = self.inner.call(Request::Batch(unique), ctx);
+
+            let mut state = self.state.lock().expect("batch state poisoned");
+            match result {
+                Ok(Response::BatchStatus(items)) => {
+                    for (id, status) in items {
+                        state.results.insert((generation, id), status);
+                    }
+                }
+                // Anything else — error or an unexpected reply shape —
+                // fails the whole window; every waiter sees it.
+                _ => {
+                    state.failed.insert(generation);
+                }
+            }
+            state.done_generation = generation;
+            // Drop generations every waiter has had ample time to read.
+            state.results.retain(|(g, _), _| g + 2 > generation);
+            state.failed.retain(|g| g + 2 > generation);
+            self.flushed.notify_all();
+            return Self::extract(&state, generation, id);
+        }
+
+        // Follower: wait for the leader to publish this generation. The
+        // hard cap guards against a leader that died mid-flush.
+        let give_up = Instant::now() + self.policy.max_hold + Duration::from_secs(5);
+        while state.done_generation < generation {
+            if Instant::now() >= give_up {
+                return Err(NetError::Frame("batch flush timed out"));
+            }
+            let (next, _timeout) = self
+                .flushed
+                .wait_timeout(state, Duration::from_millis(50))
+                .expect("batch state poisoned");
+            state = next;
+        }
+        Self::extract(&state, generation, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{service_fn, ServiceExt};
+    use irs_core::ids::LedgerId;
+    use irs_core::time::TimeMs;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// An upstream answering batches and counting how many it saw.
+    fn batch_upstream(calls: Arc<AtomicU64>) -> impl Service {
+        service_fn(move |req, _ctx: &CallCtx| match req {
+            Request::Batch(ids) => {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok(Response::BatchStatus(
+                    ids.into_iter()
+                        .map(|id| (id, RevocationStatus::Revoked))
+                        .collect(),
+                ))
+            }
+            _ => panic!("batched layer must only send Batch upstream"),
+        })
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_flush() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let svc = Arc::new(
+            batch_upstream(calls.clone()).layered(BatchLayer::new(BatchPolicy {
+                max_batch: 8,
+                max_hold: Duration::from_millis(300),
+            })),
+        );
+        let threads: Vec<_> = (0..8u64)
+            .map(|i| {
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let id = RecordId::new(LedgerId(1), i);
+                    svc.call(Request::Query { id }, &CallCtx::at(TimeMs(0)))
+                })
+            })
+            .collect();
+        for t in threads {
+            let resp = t.join().unwrap().unwrap();
+            assert!(matches!(
+                resp,
+                Response::Status {
+                    status: RevocationStatus::Revoked,
+                    ..
+                }
+            ));
+        }
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "8 concurrent queries must ride one upstream batch"
+        );
+    }
+
+    #[test]
+    fn lone_query_flushes_after_the_hold_window() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let svc = batch_upstream(calls.clone()).layered(BatchLayer::new(BatchPolicy {
+            max_batch: 64,
+            max_hold: Duration::from_millis(30),
+        }));
+        let start = Instant::now();
+        let id = RecordId::new(LedgerId(1), 1);
+        let resp = svc
+            .call(Request::Query { id }, &CallCtx::at(TimeMs(0)))
+            .unwrap();
+        assert!(matches!(resp, Response::Status { .. }));
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "the mixing window is a real hold"
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_collapse_upstream_but_both_answer() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen_in = seen.clone();
+        let svc = Arc::new(
+            service_fn(move |req, _ctx: &CallCtx| match req {
+                Request::Batch(ids) => {
+                    seen_in.lock().unwrap().push(ids.clone());
+                    Ok(Response::BatchStatus(
+                        ids.into_iter()
+                            .map(|id| (id, RevocationStatus::NotRevoked))
+                            .collect(),
+                    ))
+                }
+                _ => panic!("unexpected request"),
+            })
+            .layered(BatchLayer::new(BatchPolicy {
+                max_batch: 2,
+                max_hold: Duration::from_millis(300),
+            })),
+        );
+        let id = RecordId::new(LedgerId(1), 9);
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let svc = svc.clone();
+                std::thread::spawn(move || svc.call(Request::Query { id }, &CallCtx::at(TimeMs(0))))
+            })
+            .collect();
+        for t in threads {
+            assert!(t.join().unwrap().is_ok());
+        }
+        let batches = seen.lock().unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0], vec![id], "duplicates collapse to one entry");
+    }
+
+    #[test]
+    fn upstream_failure_reaches_every_waiter() {
+        let svc = Arc::new(
+            service_fn(|_req, _ctx: &CallCtx| -> Result<Response, NetError> {
+                Err(NetError::ConnectionLost)
+            })
+            .layered(BatchLayer::new(BatchPolicy {
+                max_batch: 4,
+                max_hold: Duration::from_millis(200),
+            })),
+        );
+        let threads: Vec<_> = (0..4u64)
+            .map(|i| {
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let id = RecordId::new(LedgerId(1), i);
+                    svc.call(Request::Query { id }, &CallCtx::at(TimeMs(0)))
+                })
+            })
+            .collect();
+        for t in threads {
+            assert!(matches!(t.join().unwrap(), Err(NetError::ConnectionLost)));
+        }
+    }
+
+    #[test]
+    fn non_query_requests_bypass_the_window() {
+        let svc = service_fn(|req, _ctx: &CallCtx| match req {
+            Request::Ping => Ok(Response::Pong),
+            _ => panic!("unexpected request"),
+        })
+        .layered(BatchLayer::default());
+        let start = Instant::now();
+        assert_eq!(
+            svc.call(Request::Ping, &CallCtx::at(TimeMs(0))).unwrap(),
+            Response::Pong
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "pass-through must not pay the hold window"
+        );
+    }
+}

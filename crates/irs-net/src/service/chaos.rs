@@ -1,0 +1,197 @@
+//! Deterministic in-process fault injection for stacks.
+//!
+//! [`Chaos`] is the service-level sibling of the socket-level
+//! [`ChaosProxy`](crate::chaos::ChaosProxy): the same seeded SplitMix64
+//! draw per event, the same fault vocabulary, but injected between
+//! layers instead of between sockets — so a resilience stack can be
+//! exercised (and replayed) without binding a single port. Faults map to
+//! the errors the real transport would surface: refusal/reset become
+//! [`NetError::ConnectionLost`], truncation a framing error, corruption
+//! a wire error, delays and blackholes real sleeps.
+
+use super::{CallCtx, Layer, Service};
+use crate::chaos::{splitmix64, ChaosConfig, FaultMode};
+use crate::NetError;
+use irs_core::wire::{Request, Response, WireError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Wraps a service in seeded fault injection.
+#[derive(Clone)]
+pub struct ChaosLayer {
+    config: ChaosConfig,
+}
+
+impl ChaosLayer {
+    /// A layer injecting `config`'s faults.
+    pub fn new(config: ChaosConfig) -> ChaosLayer {
+        ChaosLayer { config }
+    }
+}
+
+impl<S: Service> Layer<S> for ChaosLayer {
+    type Out = Chaos<S>;
+    fn wrap(&self, inner: S) -> Chaos<S> {
+        Chaos {
+            inner,
+            config: self.config.clone(),
+            events: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            outage: AtomicBool::new(false),
+        }
+    }
+}
+
+/// The [`ChaosLayer`] service.
+pub struct Chaos<S> {
+    inner: S,
+    config: ChaosConfig,
+    events: AtomicU64,
+    injected: AtomicU64,
+    outage: AtomicBool,
+}
+
+impl<S> Chaos<S> {
+    /// Flip the total-outage switch: while set, every call fails
+    /// immediately (the partition scenario breakers exist for).
+    pub fn set_outage(&self, on: bool) {
+        self.outage.store(on, Ordering::SeqCst);
+    }
+
+    /// Calls seen.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::SeqCst)
+    }
+
+    /// Faults injected.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// The seeded draw — same recipe as the socket interposer: pure in
+    /// (seed, event index), uniform over the configured modes.
+    fn draw(&self) -> Option<FaultMode> {
+        let n = self.events.fetch_add(1, Ordering::SeqCst);
+        if self.config.modes.is_empty() || self.config.fault_rate <= 0.0 {
+            return None;
+        }
+        let roll = splitmix64(self.config.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if (roll >> 11) as f64 / (1u64 << 53) as f64 >= self.config.fault_rate {
+            return None;
+        }
+        let pick = splitmix64(roll) as usize % self.config.modes.len();
+        Some(self.config.modes[pick])
+    }
+}
+
+impl<S: Service> Service for Chaos<S> {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        if self.outage.load(Ordering::SeqCst) {
+            return Err(NetError::ConnectionLost);
+        }
+        let Some(mode) = self.draw() else {
+            return self.inner.call(req, ctx);
+        };
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        match mode {
+            FaultMode::Refuse => Err(NetError::ConnectionLost),
+            FaultMode::Reset => {
+                // The request reaches the peer, the response never comes.
+                let _ = self.inner.call(req, ctx);
+                Err(NetError::ConnectionLost)
+            }
+            FaultMode::DelayRequest => {
+                std::thread::sleep(self.config.delay);
+                self.inner.call(req, ctx)
+            }
+            FaultMode::DelayResponse => {
+                let result = self.inner.call(req, ctx);
+                std::thread::sleep(self.config.delay);
+                result
+            }
+            FaultMode::TruncateResponse => {
+                let _ = self.inner.call(req, ctx);
+                Err(NetError::Frame("chaos: truncated response"))
+            }
+            FaultMode::CorruptResponse => {
+                let _ = self.inner.call(req, ctx);
+                Err(NetError::Wire(WireError::BadValue(
+                    "chaos: corrupted response",
+                )))
+            }
+            FaultMode::Blackhole => {
+                std::thread::sleep(self.config.blackhole_hold);
+                Err(NetError::ConnectionLost)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{service_fn, ServiceExt};
+    use irs_core::time::TimeMs;
+    use std::time::Duration;
+
+    fn pong() -> impl Service {
+        service_fn(|_req, _ctx: &CallCtx| Ok(Response::Pong))
+    }
+
+    fn fast_config(seed: u64, rate: f64) -> ChaosConfig {
+        ChaosConfig {
+            delay: Duration::from_millis(1),
+            blackhole_hold: Duration::from_millis(1),
+            ..ChaosConfig::new(seed, rate)
+        }
+    }
+
+    #[test]
+    fn transparent_at_zero_rate() {
+        let svc = pong().layered(ChaosLayer::new(fast_config(1, 0.0)));
+        let ctx = CallCtx::at(TimeMs(0));
+        for _ in 0..20 {
+            assert_eq!(svc.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+        }
+        assert_eq!(svc.injected(), 0);
+        assert_eq!(svc.events(), 20);
+    }
+
+    #[test]
+    fn fault_pattern_replays_from_seed() {
+        let pattern = |seed: u64| -> Vec<bool> {
+            let svc = pong().layered(ChaosLayer::new(fast_config(seed, 0.4)));
+            let ctx = CallCtx::at(TimeMs(0));
+            (0..40)
+                .map(|_| svc.call(Request::Ping, &ctx).is_ok())
+                .collect()
+        };
+        let a = pattern(99);
+        assert_eq!(a, pattern(99), "same seed must replay the same faults");
+        assert!(a.iter().any(|ok| !ok), "40% must fault something");
+        assert!(a.iter().any(|ok| *ok), "40% must pass something");
+    }
+
+    #[test]
+    fn outage_switch_fails_everything_then_heals() {
+        let svc = pong().layered(ChaosLayer::new(fast_config(2, 0.0)));
+        let ctx = CallCtx::at(TimeMs(0));
+        assert!(svc.call(Request::Ping, &ctx).is_ok());
+        svc.set_outage(true);
+        assert!(matches!(
+            svc.call(Request::Ping, &ctx),
+            Err(NetError::ConnectionLost)
+        ));
+        svc.set_outage(false);
+        assert!(svc.call(Request::Ping, &ctx).is_ok());
+    }
+
+    #[test]
+    fn full_rate_with_one_mode_maps_to_its_error() {
+        let config = fast_config(3, 1.0).with_modes(&[FaultMode::CorruptResponse]);
+        let svc = pong().layered(ChaosLayer::new(config));
+        match svc.call(Request::Ping, &CallCtx::at(TimeMs(0))) {
+            Err(NetError::Wire(_)) => {}
+            other => panic!("expected wire error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! A wall-clock budget for everything beneath it.
+//!
+//! [`Deadline`] stamps the context with `now + budget` (tightening, never
+//! extending, a deadline the caller already set) so every layer below —
+//! retries sleeping, transports dialing — sees the same bound. A call
+//! arriving with its budget already spent fails fast with
+//! [`NetError::DeadlineExceeded`] instead of starting work it cannot
+//! finish.
+
+use super::{CallCtx, Layer, Service};
+use crate::NetError;
+use irs_core::wire::{Request, Response};
+use std::time::{Duration, Instant};
+
+/// Wraps a service in a per-call wall-clock budget.
+#[derive(Clone, Copy, Debug)]
+pub struct DeadlineLayer {
+    budget: Duration,
+}
+
+impl DeadlineLayer {
+    /// A layer granting each call `budget` of wall-clock time.
+    pub fn new(budget: Duration) -> DeadlineLayer {
+        DeadlineLayer { budget }
+    }
+}
+
+impl<S: Service> Layer<S> for DeadlineLayer {
+    type Out = Deadline<S>;
+    fn wrap(&self, inner: S) -> Deadline<S> {
+        Deadline {
+            inner,
+            budget: self.budget,
+        }
+    }
+}
+
+/// The [`DeadlineLayer`] service.
+pub struct Deadline<S> {
+    inner: S,
+    budget: Duration,
+}
+
+impl<S: Service> Service for Deadline<S> {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let ctx = ctx.with_deadline(Instant::now() + self.budget);
+        if ctx.expired() {
+            return Err(NetError::DeadlineExceeded);
+        }
+        self.inner.call(req, &ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{service_fn, ServiceExt};
+    use irs_core::time::TimeMs;
+
+    #[test]
+    fn inner_sees_a_deadline() {
+        let svc = service_fn(|_req, ctx: &CallCtx| {
+            assert!(ctx.deadline.is_some(), "deadline must be stamped");
+            assert!(ctx.remaining().unwrap() <= Duration::from_millis(50));
+            Ok(Response::Pong)
+        })
+        .layered(DeadlineLayer::new(Duration::from_millis(50)));
+        let ctx = CallCtx::at(TimeMs(0));
+        assert_eq!(svc.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+    }
+
+    #[test]
+    fn caller_deadline_is_not_extended() {
+        // An already-expired caller budget wins over a generous layer
+        // budget: the call must fail without reaching the inner service.
+        let svc = service_fn(|_req, _ctx: &CallCtx| -> Result<Response, NetError> {
+            panic!("inner must not run")
+        })
+        .layered(DeadlineLayer::new(Duration::from_secs(60)));
+        let ctx = CallCtx::at(TimeMs(0)).with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(matches!(
+            svc.call(Request::Ping, &ctx),
+            Err(NetError::DeadlineExceeded)
+        ));
+    }
+}

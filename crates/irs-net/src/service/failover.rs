@@ -1,0 +1,128 @@
+//! Replica rotation.
+//!
+//! [`Failover`] holds one inner service per replica and a shared cursor.
+//! Each call goes to the cursor's replica; a failure rotates the cursor
+//! so the *next* attempt (usually driven by [`super::RetryLayer`] above)
+//! lands on the next replica in line. The failure itself still surfaces
+//! — retrying is the retry layer's job, not this one's.
+
+use super::{CallCtx, Layer, Service};
+use crate::NetError;
+use irs_core::wire::{Request, Response};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Wraps a `Vec` of per-replica services into one rotating service.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FailoverLayer;
+
+impl<S: Service> Layer<Vec<S>> for FailoverLayer {
+    type Out = Failover<S>;
+    fn wrap(&self, inner: Vec<S>) -> Failover<S> {
+        Failover::new(inner)
+    }
+}
+
+/// The [`FailoverLayer`] service.
+pub struct Failover<S> {
+    replicas: Vec<S>,
+    cursor: AtomicUsize,
+    failovers: AtomicU64,
+}
+
+impl<S> Failover<S> {
+    /// A rotating service over `replicas` (at least one).
+    pub fn new(replicas: Vec<S>) -> Failover<S> {
+        assert!(!replicas.is_empty(), "need at least one replica");
+        Failover {
+            replicas,
+            cursor: AtomicUsize::new(0),
+            failovers: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the replica the next call will use.
+    pub fn current_index(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed) % self.replicas.len()
+    }
+
+    /// The per-replica services.
+    pub fn replicas(&self) -> &[S] {
+        &self.replicas
+    }
+
+    /// Rotations performed after failed calls.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: Service> Service for Failover<S> {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let len = self.replicas.len();
+        let index = self.cursor.load(Ordering::Relaxed) % len;
+        match self.replicas[index].call(req, ctx) {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                if len > 1 {
+                    // Racing failures both try to advance from `index`;
+                    // only one rotation happens per observed position.
+                    let _ = self.cursor.compare_exchange(
+                        index,
+                        (index + 1) % len,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{service_fn, CallCtx, ServiceExt};
+    use irs_core::time::TimeMs;
+
+    fn flaky(ok: bool) -> impl Service {
+        service_fn(move |_req, _ctx: &CallCtx| {
+            if ok {
+                Ok(Response::Pong)
+            } else {
+                Err(NetError::ConnectionLost)
+            }
+        })
+    }
+
+    #[test]
+    fn rotates_past_a_dead_replica() {
+        let svc = FailoverLayer.wrap(vec![flaky(false).boxed(), flaky(true).boxed()]);
+        let ctx = CallCtx::at(TimeMs(0));
+        // First call hits the dead replica and fails (the retry layer
+        // above would re-drive it); the rotation means the second lands.
+        assert!(svc.call(Request::Ping, &ctx).is_err());
+        assert_eq!(svc.current_index(), 1);
+        assert_eq!(svc.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+        assert_eq!(svc.failovers(), 1);
+    }
+
+    #[test]
+    fn single_replica_never_rotates() {
+        let svc = Failover::new(vec![flaky(false)]);
+        let ctx = CallCtx::at(TimeMs(0));
+        assert!(svc.call(Request::Ping, &ctx).is_err());
+        assert!(svc.call(Request::Ping, &ctx).is_err());
+        assert_eq!(svc.failovers(), 0, "nothing to rotate to");
+        assert_eq!(svc.current_index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_replica_set_panics() {
+        let _ = Failover::<
+            crate::service::ServiceFn<fn(Request, &CallCtx) -> Result<Response, NetError>>,
+        >::new(vec![]);
+    }
+}

@@ -1,0 +1,238 @@
+//! A synchronous tower-style middleware stack for the validate path.
+//!
+//! One abstraction, [`Service`], expresses "take a wire [`Request`],
+//! produce a wire [`Response`] or a [`NetError`]" — and every
+//! cross-cutting concern on the browser → proxy → ledger path is an
+//! independent [`Layer`] that wraps one service in another:
+//!
+//! * [`TcpTransport`] — the bottom: a pooled blocking socket client;
+//! * [`DeadlineLayer`] — a wall-clock budget for the whole subtree;
+//! * [`RetryLayer`] — bounded retries with seeded jittered backoff;
+//! * [`FailoverLayer`] — a replica set with cursor rotation;
+//! * [`BreakerLayer`] — the per-ledger lock-free circuit breaker;
+//! * [`StaleServeLayer`] — honest last-good answers when all else fails;
+//! * [`CacheLayer`] — the proxy's filter + striped TTL cache front;
+//! * [`BatchLayer`] — an aggregation window that mixes concurrent
+//!   queries into one upstream [`Request::Batch`];
+//! * [`ChaosLayer`] — deterministic in-process fault injection;
+//! * [`StatsLayer`] — a call-count/latency observation hook.
+//!
+//! The degradation ladder from DESIGN.md ("Failure model & degradation
+//! ladder") is then literally a composition —
+//! `Cache(StaleServe(Breaker(Retry(Failover(Tcp)))))` — instead of the
+//! bespoke `UpstreamConfig` plumbing it replaces; see [`stacks`] for the
+//! canonical rungs and DESIGN.md §10 for the ordering rules.
+//!
+//! Everything is synchronous and `&self`: a stack is shared across
+//! connection threads behind an `Arc` and never locks around I/O.
+
+use crate::NetError;
+use irs_core::time::{Clock, SystemClock, TimeMs};
+use irs_core::wire::{Request, Response};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub mod batch;
+pub mod breaker;
+pub mod cache;
+pub mod chaos;
+pub mod deadline;
+pub mod failover;
+pub mod retry;
+pub mod stacks;
+pub mod stale;
+pub mod stats;
+pub mod transport;
+
+pub use batch::{BatchLayer, BatchPolicy, Batched};
+pub use breaker::{Breaker, BreakerLayer};
+pub use cache::{Cache, CacheLayer};
+pub use chaos::{Chaos, ChaosLayer};
+pub use deadline::{Deadline, DeadlineLayer};
+pub use failover::{Failover, FailoverLayer};
+pub use retry::{jittered_backoff, Retry, RetryCounters, RetryLayer};
+pub use stale::{StaleServe, StaleServeLayer};
+pub use stats::{Stats, StatsHandle, StatsLayer, StatsSnapshot};
+pub use transport::TcpTransport;
+
+/// Per-call context threaded through a stack: the logical timestamp the
+/// caller observed (feeds caches, breakers, and staleness accounting)
+/// and an optional wall-clock deadline (feeds retries and transports).
+#[derive(Clone, Copy, Debug)]
+pub struct CallCtx {
+    /// The caller's logical "now" — one reading per request, so every
+    /// layer in the stack sees the same instant (cache TTL checks,
+    /// breaker gates, and stale ages stay mutually consistent).
+    pub now: TimeMs,
+    /// Wall-clock point after which no further work should start.
+    pub deadline: Option<Instant>,
+}
+
+impl CallCtx {
+    /// A context at an explicit logical time, with no deadline.
+    pub fn at(now: TimeMs) -> CallCtx {
+        CallCtx {
+            now,
+            deadline: None,
+        }
+    }
+
+    /// A context at the system clock's current time.
+    pub fn wall() -> CallCtx {
+        CallCtx::at(SystemClock.now())
+    }
+
+    /// Tighten the deadline: the result carries the *earlier* of the
+    /// existing deadline and `deadline` (a layer can only shrink the
+    /// budget its caller granted, never extend it).
+    pub fn with_deadline(&self, deadline: Instant) -> CallCtx {
+        CallCtx {
+            now: self.now,
+            deadline: Some(match self.deadline {
+                Some(existing) => existing.min(deadline),
+                None => deadline,
+            }),
+        }
+    }
+
+    /// Wall-clock budget left, `None` when no deadline is set.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        matches!(self.remaining(), Some(r) if r.is_zero())
+    }
+}
+
+/// One request/response hop. Implementations are shared across threads
+/// (`&self`, `Send + Sync`); anything mutable inside is atomics or locks.
+pub trait Service: Send + Sync {
+    /// Process one request.
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError>;
+}
+
+/// A service combinator: wraps an inner value (usually a [`Service`],
+/// but e.g. [`FailoverLayer`] wraps a `Vec<S>`) into a new service.
+pub trait Layer<S> {
+    /// The wrapped service type.
+    type Out: Service;
+    /// Wrap `inner`.
+    fn wrap(&self, inner: S) -> Self::Out;
+}
+
+/// A heap-allocated, type-erased service — what stack builders return
+/// so callers don't carry the full composed type in their signatures.
+pub type BoxService = Box<dyn Service>;
+
+impl<S: Service + ?Sized> Service for Box<S> {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        (**self).call(req, ctx)
+    }
+}
+
+impl<S: Service + ?Sized> Service for Arc<S> {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        (**self).call(req, ctx)
+    }
+}
+
+impl<S: Service + ?Sized> Service for &S {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        (**self).call(req, ctx)
+    }
+}
+
+/// Composition sugar: `transport.layered(RetryLayer::new(p)).boxed()`.
+pub trait ServiceExt: Service + Sized {
+    /// Wrap `self` in `layer`.
+    fn layered<L: Layer<Self>>(self, layer: L) -> L::Out {
+        layer.wrap(self)
+    }
+
+    /// Erase the concrete type.
+    fn boxed(self) -> BoxService
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Service + Sized> ServiceExt for S {}
+
+/// A service from a closure — the unit-test workhorse (and the hook for
+/// in-process transports: a closure over a `ConcurrentLedger` is a
+/// transport with no socket under it).
+pub struct ServiceFn<F> {
+    f: F,
+}
+
+/// Build a [`ServiceFn`].
+pub fn service_fn<F>(f: F) -> ServiceFn<F>
+where
+    F: Fn(Request, &CallCtx) -> Result<Response, NetError> + Send + Sync,
+{
+    ServiceFn { f }
+}
+
+impl<F> Service for ServiceFn<F>
+where
+    F: Fn(Request, &CallCtx) -> Result<Response, NetError> + Send + Sync,
+{
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        (self.f)(req, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_fn_and_boxing_compose() {
+        let svc = service_fn(|req, _ctx| match req {
+            Request::Ping => Ok(Response::Pong),
+            _ => Err(NetError::Frame("only ping")),
+        });
+        let ctx = CallCtx::at(TimeMs(0));
+        assert_eq!(svc.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+        let boxed: BoxService = svc.boxed();
+        assert_eq!(boxed.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+        // Arc'd and borrowed services still satisfy the trait — the
+        // shapes connection threads and tests actually use. Taking `S`
+        // by value forces the `Arc<S>` / `&S` blanket impls to resolve.
+        fn assert_pongs<S: Service>(svc: S, ctx: &CallCtx) {
+            assert_eq!(svc.call(Request::Ping, ctx).unwrap(), Response::Pong);
+        }
+        let shared = Arc::new(service_fn(|_req, _ctx| Ok(Response::Pong)));
+        assert_pongs(shared.clone(), &ctx);
+        assert_pongs(&*shared, &ctx);
+    }
+
+    #[test]
+    fn with_deadline_only_tightens() {
+        let near = Instant::now() + Duration::from_millis(10);
+        let far = Instant::now() + Duration::from_secs(60);
+        let ctx = CallCtx::at(TimeMs(5))
+            .with_deadline(near)
+            .with_deadline(far);
+        assert_eq!(ctx.deadline, Some(near), "a later deadline must not win");
+        assert_eq!(ctx.now, TimeMs(5));
+        assert!(!ctx.expired());
+        let expired =
+            CallCtx::at(TimeMs(5)).with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(expired.expired());
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn wall_ctx_has_no_deadline() {
+        let ctx = CallCtx::wall();
+        assert!(ctx.deadline.is_none());
+        assert!(!ctx.expired());
+        assert!(ctx.remaining().is_none());
+    }
+}

@@ -1,0 +1,247 @@
+//! Bounded retries with seeded, jittered exponential backoff.
+//!
+//! [`Retry`] re-runs its inner service until it succeeds, the attempt
+//! budget runs out, or the per-call deadline (the policy's
+//! `call_deadline`, tightened against anything the caller already set)
+//! elapses — the exact loop the pre-refactor `ResilientClient` ran, now
+//! a layer any service can wear. Backoff jitter is drawn from a seeded
+//! SplitMix64 stream, so two replayed runs back off identically.
+
+use super::{CallCtx, Layer, Service};
+use crate::chaos::splitmix64;
+use crate::resilient::RetryPolicy;
+use crate::NetError;
+use irs_core::wire::{Request, Response};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deterministic decorrelating jitter: `base * 2^(attempt-1)` capped at
+/// `max_backoff`, scaled by a factor in `[0.5, 1.0]` derived from
+/// `jitter` (one SplitMix64 draw per sleep).
+pub fn jittered_backoff(policy: &RetryPolicy, attempt: u32, jitter: u64) -> Duration {
+    let exp = policy
+        .base_backoff
+        .saturating_mul(1u32 << (attempt - 1).min(16))
+        .min(policy.max_backoff);
+    let frac = 0.5 + 0.5 * ((jitter >> 11) as f64 / (1u64 << 53) as f64);
+    exp.mul_f64(frac)
+}
+
+/// Work counters from a [`Retry`] service.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryCounters {
+    /// Attempts made (first tries + retries).
+    pub attempts: u64,
+    /// Attempts beyond the first for some call.
+    pub retries: u64,
+    /// Calls that exhausted every retry.
+    pub exhausted: u64,
+}
+
+struct Shared {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+    jitter: AtomicU64,
+}
+
+/// Wraps a service in the retry/backoff/deadline loop of a
+/// [`RetryPolicy`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryLayer {
+    policy: RetryPolicy,
+}
+
+impl RetryLayer {
+    /// A layer applying `policy` to each call.
+    pub fn new(policy: RetryPolicy) -> RetryLayer {
+        RetryLayer { policy }
+    }
+}
+
+impl<S: Service> Layer<S> for RetryLayer {
+    type Out = Retry<S>;
+    fn wrap(&self, inner: S) -> Retry<S> {
+        Retry {
+            inner,
+            policy: self.policy,
+            shared: Arc::new(Shared {
+                attempts: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                exhausted: AtomicU64::new(0),
+                jitter: AtomicU64::new(self.policy.jitter_seed),
+            }),
+        }
+    }
+}
+
+/// The [`RetryLayer`] service.
+pub struct Retry<S> {
+    inner: S,
+    policy: RetryPolicy,
+    shared: Arc<Shared>,
+}
+
+impl<S> Retry<S> {
+    /// The wrapped service.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Counters so far.
+    pub fn counters(&self) -> RetryCounters {
+        RetryCounters {
+            attempts: self.shared.attempts.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
+            exhausted: self.shared.exhausted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advance the jitter stream one step and return the new state.
+    fn next_jitter(&self) -> u64 {
+        let prev = self
+            .shared
+            .jitter
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(splitmix64(s))
+            })
+            .expect("fetch_update closure never returns None");
+        splitmix64(prev)
+    }
+}
+
+impl<S: Service> Service for Retry<S> {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let deadline = Instant::now() + self.policy.call_deadline;
+        let ctx = ctx.with_deadline(deadline);
+        let deadline = ctx.deadline.expect("with_deadline always sets one");
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.shared.attempts.fetch_add(1, Ordering::Relaxed);
+            if attempts > 1 {
+                self.shared.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Ok(response) = self.inner.call(req.clone(), &ctx) {
+                return Ok(response);
+            }
+            if attempts >= self.policy.max_attempts || Instant::now() >= deadline {
+                self.shared.exhausted.fetch_add(1, Ordering::Relaxed);
+                return Err(NetError::Exhausted { attempts });
+            }
+            let backoff = jittered_backoff(&self.policy, attempts, self.next_jitter());
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.shared.exhausted.fetch_add(1, Ordering::Relaxed);
+                return Err(NetError::Exhausted { attempts });
+            }
+            std::thread::sleep(backoff.min(remaining));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{service_fn, ServiceExt};
+    use irs_core::time::TimeMs;
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls_in = calls.clone();
+        let svc = service_fn(move |_req, _ctx: &CallCtx| {
+            if calls_in.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(NetError::ConnectionLost)
+            } else {
+                Ok(Response::Pong)
+            }
+        })
+        .layered(RetryLayer::new(RetryPolicy::fast(7)));
+        let ctx = CallCtx::at(TimeMs(0));
+        assert_eq!(svc.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        let c = svc.counters();
+        assert_eq!(c.attempts, 3);
+        assert_eq!(c.retries, 2);
+        assert_eq!(c.exhausted, 0);
+    }
+
+    #[test]
+    fn exhaustion_is_typed_and_counts_attempts() {
+        let svc = service_fn(|_req, _ctx: &CallCtx| -> Result<Response, NetError> {
+            Err(NetError::ConnectionLost)
+        })
+        .layered(RetryLayer::new(RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::fast(8)
+        }));
+        let ctx = CallCtx::at(TimeMs(0));
+        match svc.call(Request::Ping, &ctx) {
+            Err(NetError::Exhausted { attempts }) => assert_eq!(attempts, 3),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        assert_eq!(svc.counters().exhausted, 1);
+    }
+
+    #[test]
+    fn deadline_bounds_the_whole_call() {
+        let policy = RetryPolicy {
+            max_attempts: 1_000,
+            call_deadline: Duration::from_millis(150),
+            ..RetryPolicy::fast(9)
+        };
+        let svc = service_fn(|_req, _ctx: &CallCtx| -> Result<Response, NetError> {
+            std::thread::sleep(Duration::from_millis(10));
+            Err(NetError::ConnectionLost)
+        })
+        .layered(RetryLayer::new(policy));
+        let start = Instant::now();
+        assert!(matches!(
+            svc.call(Request::Ping, &CallCtx::at(TimeMs(0))),
+            Err(NetError::Exhausted { .. })
+        ));
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "deadline must bound the call"
+        );
+    }
+
+    #[test]
+    fn inner_sees_the_retry_deadline() {
+        let svc = service_fn(|_req, ctx: &CallCtx| {
+            assert!(
+                ctx.remaining().unwrap() <= Duration::from_millis(800),
+                "fast policy grants at most 800ms"
+            );
+            Ok(Response::Pong)
+        })
+        .layered(RetryLayer::new(RetryPolicy::fast(10)));
+        svc.call(Request::Ping, &CallCtx::at(TimeMs(0))).unwrap();
+    }
+
+    #[test]
+    fn backoff_sequence_is_deterministic_and_capped() {
+        let policy = RetryPolicy::fast(77);
+        let draw = |_: ()| -> Vec<Duration> {
+            let mut state = policy.jitter_seed;
+            (1..6)
+                .map(|n| {
+                    state = splitmix64(state);
+                    jittered_backoff(&policy, n, state)
+                })
+                .collect()
+        };
+        let a = draw(());
+        let b = draw(());
+        assert_eq!(a, b);
+        assert!(a.iter().all(|d| *d <= policy.max_backoff));
+        assert!(a.iter().all(|d| *d >= policy.base_backoff / 2));
+    }
+}

@@ -1,0 +1,155 @@
+//! The canonical upstream stacks — the E16 degradation ladder, each
+//! rung a composition instead of a config struct.
+//!
+//! | rung | composition |
+//! |------|-------------|
+//! | plain | `Cache(Retry₁(Failover(Tcp)))` — one attempt, errors surface |
+//! | retrying | `Cache(Retry(Failover(Tcp)))` |
+//! | full | `Cache(StaleServe(Breaker(Retry(Failover(Tcp)))))` |
+//!
+//! Ordering rules (the long form is DESIGN.md §10): [`CacheLayer`]
+//! outermost so local answers skip the ladder entirely and upstream
+//! answers get written back; [`StaleServeLayer`] outside
+//! [`BreakerLayer`] so an open breaker still produces an honest stale
+//! answer; [`BreakerLayer`] outside [`RetryLayer`] so one logical call
+//! records one health verdict no matter how many attempts it burned;
+//! [`FailoverLayer`](super::FailoverLayer) innermost so each retry
+//! attempt can land on a different replica. The retry layer carries the wall-clock deadline
+//! (`RetryPolicy::call_deadline`), which is why no separate
+//! [`DeadlineLayer`](super::DeadlineLayer) appears in these rungs — a
+//! transport used *without* retries should wear one explicitly.
+
+use super::{
+    BoxService, BreakerLayer, CacheLayer, Failover, RetryLayer, ServiceExt, StaleServeLayer,
+    TcpTransport,
+};
+use crate::resilient::RetryPolicy;
+use irs_proxy::SharedProxy;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One [`TcpTransport`] per replica address.
+pub fn transports(replicas: &[SocketAddr], io_timeout: Duration) -> Vec<TcpTransport> {
+    replicas
+        .iter()
+        .map(|&addr| TcpTransport::new(addr, io_timeout))
+        .collect()
+}
+
+/// The legacy single-attempt upstream: cache in front, one try, no
+/// recovery — failures surface to the caller.
+pub fn plain_upstream(proxy: Arc<SharedProxy>, upstream: SocketAddr) -> BoxService {
+    let policy = RetryPolicy {
+        max_attempts: 1,
+        ..RetryPolicy::default()
+    };
+    retrying_upstream(proxy, vec![upstream], policy)
+}
+
+/// Retries + failover, but no breaker and no stale answers.
+pub fn retrying_upstream(
+    proxy: Arc<SharedProxy>,
+    replicas: Vec<SocketAddr>,
+    retry: RetryPolicy,
+) -> BoxService {
+    Failover::new(transports(&replicas, retry.io_timeout))
+        .layered(RetryLayer::new(retry))
+        .layered(CacheLayer::new(proxy))
+        .boxed()
+}
+
+/// The whole ladder: retries, failover, circuit breaker, stale-serve,
+/// all behind the local cache front.
+pub fn full_upstream(
+    proxy: Arc<SharedProxy>,
+    replicas: Vec<SocketAddr>,
+    retry: RetryPolicy,
+) -> BoxService {
+    Failover::new(transports(&replicas, retry.io_timeout))
+        .layered(RetryLayer::new(retry))
+        .layered(BreakerLayer::new(proxy.clone()))
+        .layered(StaleServeLayer::new(proxy.clone()))
+        .layered(CacheLayer::new(proxy))
+        .boxed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger_server::LedgerServer;
+    use crate::service::{CallCtx, Service};
+    use irs_core::claim::{ClaimRequest, RevocationStatus};
+    use irs_core::ids::LedgerId;
+    use irs_core::tsa::TimestampAuthority;
+    use irs_core::wire::{Request, Response};
+    use irs_crypto::{Digest, Keypair};
+    use irs_filters::BloomFilter;
+    use irs_ledger::{Ledger, LedgerConfig};
+    use irs_proxy::ProxyConfig;
+
+    /// End-to-end over loopback: a full stack answers locally, goes
+    /// upstream on filter hits, and degrades to stale when the ledger
+    /// dies — the same walk `dead_upstream_serves_stale_then_unavailable`
+    /// does through the proxy server, here against the bare stack.
+    #[test]
+    fn full_stack_walks_the_ladder() {
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(31),
+        );
+        let server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let mut owner = crate::client::LedgerClient::connect(server.addr()).unwrap();
+        let kp = Keypair::from_seed(&[7u8; 32]);
+        let claim = ClaimRequest::create(&kp, &Digest::of(b"stacked"));
+        let Response::Claimed { id, .. } = owner.call(&Request::Claim(claim)).unwrap() else {
+            panic!("claim failed");
+        };
+
+        let proxy = Arc::new(SharedProxy::new(ProxyConfig {
+            cache_capacity: 64,
+            cache_ttl_ms: 1,
+        }));
+        let mut filter = BloomFilter::with_params(1 << 14, 6, 0).unwrap();
+        filter.insert(id.filter_key());
+        proxy
+            .update_filters(|f| f.apply_full(LedgerId(1), 1, filter.to_bytes()))
+            .unwrap();
+
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::fast(41)
+        };
+        let stack = full_upstream(proxy.clone(), vec![server.addr()], retry);
+
+        // Live upstream: a fresh answer, written back to the cache.
+        let resp = stack.call(Request::Query { id }, &CallCtx::wall()).unwrap();
+        assert!(
+            matches!(resp, Response::Status { status, .. } if status == RevocationStatus::NotRevoked)
+        );
+
+        // Dead upstream + expired cache: the stale rung answers.
+        server.shutdown();
+        std::thread::sleep(Duration::from_millis(5)); // let the 1 ms TTL lapse
+        let resp = stack.call(Request::Query { id }, &CallCtx::wall()).unwrap();
+        assert!(
+            matches!(resp, Response::StatusStale { status, .. } if status == RevocationStatus::NotRevoked),
+            "expected stale, got {resp:?}"
+        );
+        assert_eq!(proxy.degraded_stats().stale_served, 1);
+    }
+
+    #[test]
+    fn plain_stack_surfaces_upstream_failure() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let proxy = Arc::new(SharedProxy::new(ProxyConfig::default()));
+        // No filter installed: might_be_revoked is unknown, so the query
+        // must go upstream — and fail, with nothing to degrade to.
+        let stack = plain_upstream(proxy, dead);
+        let id = irs_core::ids::RecordId::new(LedgerId(1), 1);
+        assert!(stack.call(Request::Query { id }, &CallCtx::wall()).is_err());
+    }
+}

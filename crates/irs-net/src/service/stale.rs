@@ -1,0 +1,149 @@
+//! Honest last-good answers — the bottom rung of the ladder.
+//!
+//! When everything below ([`super::BreakerLayer`], retries, the wire)
+//! has failed a `Query`, [`StaleServe`] answers from the proxy's TTL
+//! cache *ignoring expiry*: [`Response::StatusStale`] with the answer's
+//! true age, or [`Response::Unavailable`] when there is nothing cached —
+//! a bounded-stale answer beats no answer (DESIGN.md Nongoal #4), and an
+//! honest `Unavailable` beats a lie. Non-`Query` failures pass through
+//! untouched: there is no such thing as a stale filter delta.
+
+use super::{CallCtx, Layer, Service};
+use crate::NetError;
+use irs_core::wire::{Request, Response};
+use irs_proxy::SharedProxy;
+use std::sync::Arc;
+
+/// Wraps a service with degraded-mode answers from `proxy`'s cache.
+#[derive(Clone)]
+pub struct StaleServeLayer {
+    proxy: Arc<SharedProxy>,
+}
+
+impl StaleServeLayer {
+    /// A layer answering failures from `proxy`'s last-good cache.
+    pub fn new(proxy: Arc<SharedProxy>) -> StaleServeLayer {
+        StaleServeLayer { proxy }
+    }
+}
+
+impl<S: Service> Layer<S> for StaleServeLayer {
+    type Out = StaleServe<S>;
+    fn wrap(&self, inner: S) -> StaleServe<S> {
+        StaleServe {
+            inner,
+            proxy: self.proxy.clone(),
+        }
+    }
+}
+
+/// The [`StaleServeLayer`] service.
+pub struct StaleServe<S> {
+    inner: S,
+    proxy: Arc<SharedProxy>,
+}
+
+impl<S: Service> Service for StaleServe<S> {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let query_id = match &req {
+            Request::Query { id } => Some(*id),
+            _ => None,
+        };
+        match self.inner.call(req, ctx) {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                let Some(id) = query_id else {
+                    return Err(e);
+                };
+                Ok(match self.proxy.lookup_stale(id, ctx.now) {
+                    Some((status, age_ms)) => Response::StatusStale { id, status, age_ms },
+                    None => Response::Unavailable {
+                        id,
+                        age_ms: self
+                            .proxy
+                            .breaker(id.ledger)
+                            .staleness_ms(ctx.now)
+                            .unwrap_or(u64::MAX),
+                    },
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{service_fn, ServiceExt};
+    use irs_core::claim::RevocationStatus;
+    use irs_core::ids::{LedgerId, RecordId};
+    use irs_core::time::TimeMs;
+    use irs_proxy::ProxyConfig;
+
+    fn down() -> impl Service {
+        service_fn(|_req, _ctx: &CallCtx| -> Result<Response, NetError> {
+            Err(NetError::ConnectionLost)
+        })
+    }
+
+    #[test]
+    fn cached_answer_served_stale_with_age() {
+        let proxy = Arc::new(SharedProxy::new(ProxyConfig {
+            cache_capacity: 16,
+            cache_ttl_ms: 1,
+        }));
+        let id = RecordId::new(LedgerId(1), 5);
+        proxy.complete(id, RevocationStatus::Revoked, TimeMs(100));
+        let svc = down().layered(StaleServeLayer::new(proxy.clone()));
+        // Well past the 1 ms TTL: a plain lookup would miss, the stale
+        // path still answers, honestly aged.
+        let resp = svc
+            .call(Request::Query { id }, &CallCtx::at(TimeMs(600)))
+            .unwrap();
+        assert_eq!(
+            resp,
+            Response::StatusStale {
+                id,
+                status: RevocationStatus::Revoked,
+                age_ms: 500
+            }
+        );
+        assert_eq!(proxy.degraded_stats().stale_served, 1);
+    }
+
+    #[test]
+    fn uncached_failure_is_honest_unavailable() {
+        let proxy = Arc::new(SharedProxy::new(ProxyConfig::default()));
+        let id = RecordId::new(LedgerId(1), 9);
+        let svc = down().layered(StaleServeLayer::new(proxy.clone()));
+        let resp = svc
+            .call(Request::Query { id }, &CallCtx::at(TimeMs(50)))
+            .unwrap();
+        assert!(matches!(resp, Response::Unavailable { id: got, .. } if got == id));
+        assert_eq!(proxy.degraded_stats().unavailable, 1);
+    }
+
+    #[test]
+    fn non_query_failures_pass_through() {
+        let proxy = Arc::new(SharedProxy::new(ProxyConfig::default()));
+        let svc = down().layered(StaleServeLayer::new(proxy));
+        assert!(matches!(
+            svc.call(
+                Request::GetFilter { have_version: 0 },
+                &CallCtx::at(TimeMs(0))
+            ),
+            Err(NetError::ConnectionLost)
+        ));
+    }
+
+    #[test]
+    fn healthy_inner_is_untouched() {
+        let proxy = Arc::new(SharedProxy::new(ProxyConfig::default()));
+        let svc = service_fn(|_req, _ctx: &CallCtx| Ok(Response::Pong))
+            .layered(StaleServeLayer::new(proxy));
+        assert_eq!(
+            svc.call(Request::Ping, &CallCtx::at(TimeMs(0))).unwrap(),
+            Response::Pong
+        );
+    }
+}

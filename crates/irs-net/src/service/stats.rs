@@ -1,0 +1,158 @@
+//! Call observation — the hook point for the observability work.
+//!
+//! [`Stats`] counts calls, outcomes, and wall-clock latency around
+//! whatever it wraps. The counters live behind a cloneable
+//! [`StatsHandle`] so the observer keeps reading after the stack has
+//! been boxed and handed to a server.
+
+use super::{CallCtx, Layer, Service};
+use crate::NetError;
+use irs_core::wire::{Request, Response};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Default)]
+struct Counters {
+    calls: AtomicU64,
+    ok: AtomicU64,
+    err: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+/// A cloneable window onto a [`Stats`] layer's counters.
+#[derive(Clone, Default)]
+pub struct StatsHandle {
+    counters: Arc<Counters>,
+}
+
+/// Point-in-time counters from a [`StatsHandle`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Calls observed.
+    pub calls: u64,
+    /// Calls that returned a response.
+    pub ok: u64,
+    /// Calls that returned an error.
+    pub err: u64,
+    /// Total wall-clock time across all calls, microseconds.
+    pub total_us: u64,
+    /// Slowest single call, microseconds.
+    pub max_us: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean per-call latency in microseconds (0 with no calls).
+    pub fn mean_us(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.calls as f64
+        }
+    }
+}
+
+impl StatsHandle {
+    /// Read the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            calls: self.counters.calls.load(Ordering::Relaxed),
+            ok: self.counters.ok.load(Ordering::Relaxed),
+            err: self.counters.err.load(Ordering::Relaxed),
+            total_us: self.counters.total_us.load(Ordering::Relaxed),
+            max_us: self.counters.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Wraps a service in call/latency counting.
+#[derive(Clone, Default)]
+pub struct StatsLayer {
+    handle: StatsHandle,
+}
+
+impl StatsLayer {
+    /// A fresh layer with its own counters.
+    pub fn new() -> StatsLayer {
+        StatsLayer::default()
+    }
+
+    /// The handle observers read; clone it before wrapping.
+    pub fn handle(&self) -> StatsHandle {
+        self.handle.clone()
+    }
+}
+
+impl<S: Service> Layer<S> for StatsLayer {
+    type Out = Stats<S>;
+    fn wrap(&self, inner: S) -> Stats<S> {
+        Stats {
+            inner,
+            handle: self.handle.clone(),
+        }
+    }
+}
+
+/// The [`StatsLayer`] service.
+pub struct Stats<S> {
+    inner: S,
+    handle: StatsHandle,
+}
+
+impl<S: Service> Service for Stats<S> {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let start = Instant::now();
+        let result = self.inner.call(req, ctx);
+        let elapsed_us = start.elapsed().as_micros() as u64;
+        let c = &self.handle.counters;
+        c.calls.fetch_add(1, Ordering::Relaxed);
+        c.total_us.fetch_add(elapsed_us, Ordering::Relaxed);
+        c.max_us.fetch_max(elapsed_us, Ordering::Relaxed);
+        match &result {
+            Ok(_) => c.ok.fetch_add(1, Ordering::Relaxed),
+            Err(_) => c.err.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{service_fn, ServiceExt};
+    use irs_core::time::TimeMs;
+
+    #[test]
+    fn counts_outcomes_and_latency() {
+        let layer = StatsLayer::new();
+        let handle = layer.handle();
+        let svc = service_fn(|req, _ctx: &CallCtx| match req {
+            Request::Ping => Ok(Response::Pong),
+            _ => Err(NetError::Frame("only ping")),
+        })
+        .layered(layer);
+        let ctx = CallCtx::at(TimeMs(0));
+        for _ in 0..3 {
+            svc.call(Request::Ping, &ctx).unwrap();
+        }
+        let _ = svc.call(Request::GetFilter { have_version: 0 }, &ctx);
+        let snap = handle.snapshot();
+        assert_eq!(snap.calls, 4);
+        assert_eq!(snap.ok, 3);
+        assert_eq!(snap.err, 1);
+        assert!(snap.max_us >= snap.total_us / 4);
+        assert!(snap.mean_us() <= snap.max_us as f64);
+    }
+
+    #[test]
+    fn handle_outlives_the_boxed_stack() {
+        let layer = StatsLayer::new();
+        let handle = layer.handle();
+        let boxed = service_fn(|_req, _ctx: &CallCtx| Ok(Response::Pong))
+            .layered(layer)
+            .boxed();
+        boxed.call(Request::Ping, &CallCtx::at(TimeMs(0))).unwrap();
+        assert_eq!(handle.snapshot().calls, 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! The bottom of every stack: a pooled blocking TCP transport.
+//!
+//! [`TcpTransport`] owns a small pool of [`LedgerClient`] slots so one
+//! shared stack can serve many connection threads without serializing
+//! their exchanges behind a single socket. A slot whose stream dies is
+//! cleared and re-established lazily on the next call (the reconnect
+//! rung of the ladder); an encode error leaves the slot healthy — an
+//! unrepresentable request is the caller's bug, not the stream's.
+
+use super::{CallCtx, Service};
+use crate::client::LedgerClient;
+use crate::NetError;
+use irs_core::wire::{Request, Response};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Connection slots per transport. Enough for the prototype's handful of
+/// concurrent connection threads; overflow falls back to a one-shot
+/// connection rather than blocking.
+const POOL_SLOTS: usize = 8;
+
+/// A [`Service`] speaking the wire protocol to one address.
+pub struct TcpTransport {
+    addr: SocketAddr,
+    io_timeout: Duration,
+    pool: Vec<Mutex<Option<LedgerClient>>>,
+    connects: AtomicU64,
+}
+
+impl TcpTransport {
+    /// A transport for `addr`. No connection is made until the first
+    /// call (a down replica costs nothing at construction time).
+    pub fn new(addr: SocketAddr, io_timeout: Duration) -> TcpTransport {
+        TcpTransport {
+            addr,
+            io_timeout,
+            pool: (0..POOL_SLOTS).map(|_| Mutex::new(None)).collect(),
+            connects: AtomicU64::new(0),
+        }
+    }
+
+    /// The address this transport dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections established after the first (streams that died and
+    /// were re-dialed).
+    pub fn reconnects(&self) -> u64 {
+        self.connects.load(Ordering::Relaxed).saturating_sub(1)
+    }
+
+    /// Ensure `slot` holds a live client, then run one exchange. Any
+    /// exchange failure leaves the slot cleared (the stream is poisoned);
+    /// an encode failure keeps it.
+    fn exchange(
+        &self,
+        slot: &mut Option<LedgerClient>,
+        request: &Request,
+    ) -> Result<Response, NetError> {
+        if slot.is_none() {
+            let client = LedgerClient::connect_with_timeout(self.addr, self.io_timeout)?;
+            self.connects.fetch_add(1, Ordering::Relaxed);
+            *slot = Some(client);
+        }
+        let client = slot.as_mut().expect("just ensured");
+        let result = client.call(request);
+        if result.is_err() && !client.is_connected() {
+            *slot = None;
+        }
+        result
+    }
+}
+
+impl Service for TcpTransport {
+    fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        if ctx.expired() {
+            return Err(NetError::DeadlineExceeded);
+        }
+        for slot in &self.pool {
+            if let Some(mut guard) = slot.try_lock() {
+                return self.exchange(&mut guard, &req);
+            }
+        }
+        // Every slot busy: serve this call on a throwaway connection
+        // instead of queueing behind another thread's exchange.
+        let mut one_shot = None;
+        self.exchange(&mut one_shot, &req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger_server::LedgerServer;
+    use irs_core::ids::LedgerId;
+    use irs_core::time::TimeMs;
+    use irs_core::tsa::TimestampAuthority;
+    use irs_ledger::{Ledger, LedgerConfig};
+    use std::time::Instant;
+
+    fn ledger_server() -> LedgerServer {
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(0x7C9),
+        );
+        LedgerServer::start(ledger, "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn pings_over_a_pooled_connection() {
+        let server = ledger_server();
+        let t = TcpTransport::new(server.addr(), Duration::from_millis(500));
+        let ctx = CallCtx::at(TimeMs(0));
+        for _ in 0..5 {
+            assert_eq!(t.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+        }
+        assert_eq!(t.reconnects(), 0, "one stream must serve repeat calls");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_stream_reconnects_on_next_call() {
+        let server = ledger_server();
+        let addr = server.addr();
+        let t = TcpTransport::new(addr, Duration::from_millis(500));
+        let ctx = CallCtx::at(TimeMs(0));
+        assert_eq!(t.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+        server.shutdown();
+        assert!(t.call(Request::Ping, &ctx).is_err());
+        let server = {
+            let ledger = Ledger::new(
+                LedgerConfig::new(LedgerId(1)),
+                TimestampAuthority::from_seed(0x7C9),
+            );
+            LedgerServer::start(ledger, &addr.to_string()).unwrap()
+        };
+        assert_eq!(t.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+        assert!(t.reconnects() >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_dialing() {
+        // Nothing listens on the address; an expired context must fail
+        // fast without attempting the (slow) connect.
+        let t = TcpTransport::new("127.0.0.1:1".parse().unwrap(), Duration::from_secs(5));
+        let ctx = CallCtx::at(TimeMs(0)).with_deadline(Instant::now() - Duration::from_millis(1));
+        let start = Instant::now();
+        assert!(matches!(
+            t.call(Request::Ping, &ctx),
+            Err(NetError::DeadlineExceeded)
+        ));
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        let server = ledger_server();
+        let t = std::sync::Arc::new(TcpTransport::new(server.addr(), Duration::from_millis(500)));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let ctx = CallCtx::at(TimeMs(0));
+                    for _ in 0..10 {
+                        assert_eq!(t.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

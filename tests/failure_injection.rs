@@ -36,7 +36,7 @@ fn tcp_server_survives_garbage_frames() {
         assert!(matches!(resp, Response::Error { .. }), "got {resp:?}");
     }
     // Then a valid request still works on the same connection.
-    irs::net::framing::write_frame(&mut stream, &Request::Ping.to_bytes()).unwrap();
+    irs::net::framing::write_frame(&mut stream, &Request::Ping.to_bytes().unwrap()).unwrap();
     let frame = irs::net::framing::read_frame(&mut stream).unwrap();
     assert_eq!(Response::from_bytes(frame).unwrap(), Response::Pong);
     // Connection 2 unaffected.
@@ -352,7 +352,8 @@ fn replica_failover_rides_through_chaos() {
 #[test]
 fn breaker_opens_serves_stale_and_recovers() {
     use irs::net::chaos::{ChaosConfig, ChaosProxy};
-    use irs::net::{ProxyServer, RetryPolicy, UpstreamConfig};
+    use irs::net::service::stacks;
+    use irs::net::{ProxyServer, RetryPolicy};
     use irs::proxy::{BreakerConfig, BreakerState, SharedProxy};
     use std::sync::Arc;
     use std::time::Duration;
@@ -379,12 +380,8 @@ fn breaker_opens_serves_stale_and_recovers() {
         max_attempts: 2,
         ..RetryPolicy::fast(chaos_seed())
     };
-    let proxy_server = ProxyServer::start_with_upstream(
-        shared.clone(),
-        "127.0.0.1:0",
-        UpstreamConfig::full(vec![chaos.addr()], retry),
-    )
-    .unwrap();
+    let stack = stacks::full_upstream(shared.clone(), vec![chaos.addr()], retry);
+    let proxy_server = ProxyServer::start_with_stack(shared.clone(), "127.0.0.1:0", stack).unwrap();
     let mut browser = irs::net::LedgerClient::connect(proxy_server.addr()).unwrap();
 
     // Healthy: fresh answer, cache warmed.
@@ -442,7 +439,7 @@ fn wire_decoder_never_panics_on_mutated_frames() {
         Request::Batch(vec![RecordId::new(LedgerId(1), 1)]),
     ];
     for req in requests {
-        let bytes = req.to_bytes();
+        let bytes = req.to_bytes().unwrap();
         for i in 0..bytes.len() {
             let mut mutated = bytes.to_vec();
             mutated[i] ^= 0x5a;

@@ -106,7 +106,7 @@ proptest! {
             3 => Request::Revoke(irs::protocol::RevokeRequest::create(&kp, id, revoke, version)),
             _ => Request::Batch(batch.iter().map(|&s| RecordId::new(LedgerId(2), s)).collect()),
         };
-        let decoded = Request::from_bytes(req.to_bytes()).unwrap();
+        let decoded = Request::from_bytes(req.to_bytes().unwrap()).unwrap();
         prop_assert_eq!(decoded, req);
     }
 
