@@ -21,7 +21,7 @@ fn main() {
         .map(String::as_str)
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e17|all> [--quick] [--check]");
+        eprintln!("usage: experiments <e1..e18|all> [--quick] [--check]");
         std::process::exit(2);
     }
     for id in ids {
@@ -42,7 +42,7 @@ fn main() {
         match irs_bench::run_experiment(id, quick) {
             Some(output) => println!("{output}"),
             None => {
-                eprintln!("unknown experiment '{id}' (expected e1..e17 or all)");
+                eprintln!("unknown experiment '{id}' (expected e1..e18 or all)");
                 std::process::exit(2);
             }
         }

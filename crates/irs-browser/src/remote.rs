@@ -24,6 +24,8 @@ use irs_core::time::TimeMs;
 use irs_core::wire::{Request, Response};
 use irs_net::service::CallCtx;
 use irs_net::Service;
+use irs_obs::SpanRecorder;
+use std::sync::Arc;
 
 /// A [`BrowserValidator`] wired to a proxy through a service stack.
 pub struct RemoteValidator<S> {
@@ -49,11 +51,35 @@ impl<S: Service> RemoteValidator<S> {
     /// Validate one photo end to end: plan locally, query the stack if
     /// needed, and map the reply to a final outcome.
     pub fn validate(&mut self, reading: &LabelReading, now: TimeMs) -> ValidationOutcome {
+        self.validate_ctx(reading, now, &CallCtx::at(now))
+    }
+
+    /// [`validate`](Self::validate) with tracing attached: every service
+    /// layer the query traverses records a span into `recorder`, so one
+    /// call yields the per-layer latency breakdown
+    /// ([`SpanRecorder::breakdown`]). Local plans (cache hits, unlabeled
+    /// photos) never reach the stack and record nothing.
+    pub fn validate_traced(
+        &mut self,
+        reading: &LabelReading,
+        now: TimeMs,
+        recorder: &Arc<SpanRecorder>,
+    ) -> ValidationOutcome {
+        let ctx = CallCtx::at(now).with_trace(recorder.clone());
+        self.validate_ctx(reading, now, &ctx)
+    }
+
+    fn validate_ctx(
+        &mut self,
+        reading: &LabelReading,
+        now: TimeMs,
+        ctx: &CallCtx,
+    ) -> ValidationOutcome {
         let id = match self.validator.plan(reading, now) {
             ValidationPlan::Local(outcome) => return outcome,
             ValidationPlan::AskProxy(id) => id,
         };
-        let reply = self.service.call(Request::Query { id }, &CallCtx::at(now));
+        let reply = self.service.call(Request::Query { id }, ctx);
         match reply {
             Ok(Response::Status { id, status, .. }) => self.validator.complete(id, status, now),
             Ok(Response::StatusStale { id, status, age_ms }) => {
@@ -162,6 +188,40 @@ mod tests {
         assert_eq!(outcome, ValidationOutcome::Unknown(rid(1)));
         let outcome = remote.validate(&labeled(rid(2)), TimeMs(0));
         assert_eq!(outcome, ValidationOutcome::Unknown(rid(2)));
+    }
+
+    #[test]
+    fn traced_validate_records_stack_spans_and_local_hits_record_none() {
+        let service = service_fn(|req, ctx: &CallCtx| {
+            let span = ctx.span("transport");
+            match req {
+                Request::Query { id } => {
+                    span.verdict("ok");
+                    Ok(Response::Status {
+                        id,
+                        status: RevocationStatus::NotRevoked,
+                        epoch: 1,
+                    })
+                }
+                _ => panic!("validator must only send queries"),
+            }
+        });
+        let mut remote = RemoteValidator::new(validator(), service, 1_000);
+        let rec = irs_obs::SpanRecorder::new();
+        assert_eq!(
+            remote.validate_traced(&labeled(rid(9)), TimeMs(0), &rec),
+            ValidationOutcome::Valid(rid(9))
+        );
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].name, spans[0].verdict), ("transport", "ok"));
+        // The second look resolves from the validator's local cache: the
+        // stack is never consulted, so no new span appears.
+        assert_eq!(
+            remote.validate_traced(&labeled(rid(9)), TimeMs(10), &rec),
+            ValidationOutcome::Valid(rid(9))
+        );
+        assert_eq!(rec.spans().len(), 1);
     }
 
     #[test]

@@ -316,6 +316,8 @@ pub enum Request {
     Batch(Vec<RecordId>),
     /// Liveness check (also used by owner probes).
     Ping,
+    /// Fetch the server's metrics exposition (operators scrape this).
+    Metrics,
 }
 
 /// A ledger's response.
@@ -399,6 +401,10 @@ pub enum Response {
         /// (`u64::MAX` when it never has).
         age_ms: u64,
     },
+    /// Metrics exposition text (UTF-8, one sample per line). Carried as
+    /// a length-prefixed blob — an exposition routinely outgrows the
+    /// `u16` string prefix that caps `Error` messages.
+    MetricsText(String),
 }
 
 impl Wire for Request {
@@ -433,6 +439,7 @@ impl Wire for Request {
                 }
             }
             Request::Ping => buf.put_u8(7),
+            Request::Metrics => buf.put_u8(8),
         }
         Ok(())
     }
@@ -468,6 +475,7 @@ impl Wire for Request {
                 Ok(Request::Batch(ids))
             }
             7 => Ok(Request::Ping),
+            8 => Ok(Request::Metrics),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -538,6 +546,10 @@ impl Wire for Response {
                 id.encode(buf)?;
                 age_ms.encode(buf)?;
             }
+            Response::MetricsText(text) => {
+                buf.put_u8(12);
+                put_blob(buf, &Bytes::copy_from_slice(text.as_bytes()));
+            }
         }
         Ok(())
     }
@@ -603,6 +615,12 @@ impl Wire for Response {
                 id: RecordId::decode(buf)?,
                 age_ms: u64::decode(buf)?,
             }),
+            12 => {
+                let raw = get_blob(buf)?;
+                let text = String::from_utf8(raw.to_vec())
+                    .map_err(|_| WireError::BadValue("non-utf8 metrics text"))?;
+                Ok(Response::MetricsText(text))
+            }
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -672,6 +690,7 @@ mod tests {
         roundtrip(&Request::GetProof { id: rid(3) });
         roundtrip(&Request::Batch(vec![rid(1), rid(2), rid(3)]));
         roundtrip(&Request::Ping);
+        roundtrip(&Request::Metrics);
     }
 
     #[test]
@@ -722,6 +741,31 @@ mod tests {
             id: rid(7),
             age_ms: u64::MAX,
         });
+        roundtrip(&Response::MetricsText(
+            "# TYPE irs_x counter\nirs_x 1\n".to_string(),
+        ));
+    }
+
+    #[test]
+    fn metrics_text_outgrows_the_string_prefix() {
+        // An exposition bigger than u16::MAX bytes must still round-trip:
+        // it rides the u32 blob codec, not the capped string codec.
+        let big = "irs_metric_with_a_long_name_total 123456789\n".repeat(2_000);
+        assert!(big.len() > u16::MAX as usize);
+        roundtrip(&Response::MetricsText(big));
+    }
+
+    #[test]
+    fn non_utf8_metrics_text_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(PROTOCOL_VERSION);
+        buf.put_u8(12);
+        buf.put_u32(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert_eq!(
+            Response::from_bytes(buf.freeze()),
+            Err(WireError::BadValue("non-utf8 metrics text"))
+        );
     }
 
     #[test]

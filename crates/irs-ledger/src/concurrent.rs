@@ -25,9 +25,11 @@ use irs_core::wire::{Request, Response};
 use irs_crypto::{Keypair, PublicKey};
 use irs_filters::delta::BloomDelta;
 use irs_filters::{BloomFilter, CountingBloom};
+use irs_obs::{Counter, Gauge, Histogram, Registry, SpanRecorder};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// File name of the write-ahead log inside the [`Disk`] namespace.
 pub const WAL_PATH: &str = "ledger.wal";
@@ -48,42 +50,71 @@ struct SnapshotPair {
     previous: Option<Arc<Snapshot>>,
 }
 
-/// [`LedgerStats`] with atomic counters (relaxed ordering: they are
-/// monotone telemetry, not synchronization).
-#[derive(Default)]
-struct AtomicStats {
-    queries: AtomicU64,
-    batch_items: AtomicU64,
-    claims: AtomicU64,
-    revokes: AtomicU64,
-    filters_full: AtomicU64,
-    filters_delta: AtomicU64,
-    proofs: AtomicU64,
+/// The ledger's observability surface: the [`LedgerStats`] counters as
+/// sharded [`Counter`]s in a [`Registry`], plus durability gauges and
+/// latency histograms for the persistence path. The handles are cached
+/// here so the request path never takes the registry's name lock.
+struct LedgerObs {
+    registry: Arc<Registry>,
+    queries: Counter,
+    batch_items: Counter,
+    claims: Counter,
+    revokes: Counter,
+    filters_full: Counter,
+    filters_delta: Counter,
+    proofs: Counter,
+    /// Committed records (refreshed on scrape).
+    records: Gauge,
+    /// Published filter version (refreshed on scrape).
+    filter_version: Gauge,
+    /// 1 when a WAL is attached, 0 for a memory-only ledger.
+    durable: Gauge,
+    /// Wall time of one durable apply (shard write + WAL append + commit).
+    durable_apply_us: Histogram,
+    /// Wall time of one full checkpoint.
+    snapshot_us: Histogram,
 }
 
-impl AtomicStats {
-    fn snapshot(&self) -> LedgerStats {
+impl LedgerObs {
+    fn new() -> LedgerObs {
+        let registry = Arc::new(Registry::new());
+        LedgerObs {
+            queries: registry.counter("irs_ledger_queries_total"),
+            batch_items: registry.counter("irs_ledger_batch_items_total"),
+            claims: registry.counter("irs_ledger_claims_total"),
+            revokes: registry.counter("irs_ledger_revokes_total"),
+            filters_full: registry.counter("irs_ledger_filters_full_total"),
+            filters_delta: registry.counter("irs_ledger_filters_delta_total"),
+            proofs: registry.counter("irs_ledger_proofs_total"),
+            records: registry.gauge("irs_ledger_records"),
+            filter_version: registry.gauge("irs_ledger_filter_version"),
+            durable: registry.gauge("irs_ledger_durable"),
+            durable_apply_us: registry.histogram("irs_ledger_durable_apply_us"),
+            snapshot_us: registry.histogram("irs_ledger_snapshot_us"),
+            registry,
+        }
+    }
+
+    fn stats_snapshot(&self) -> LedgerStats {
         LedgerStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            batch_items: self.batch_items.load(Ordering::Relaxed),
-            claims: self.claims.load(Ordering::Relaxed),
-            revokes: self.revokes.load(Ordering::Relaxed),
-            filters_full: self.filters_full.load(Ordering::Relaxed),
-            filters_delta: self.filters_delta.load(Ordering::Relaxed),
-            proofs: self.proofs.load(Ordering::Relaxed),
+            queries: self.queries.get(),
+            batch_items: self.batch_items.get(),
+            claims: self.claims.get(),
+            revokes: self.revokes.get(),
+            filters_full: self.filters_full.get(),
+            filters_delta: self.filters_delta.get(),
+            proofs: self.proofs.get(),
         }
     }
 
     fn preload(&self, stats: LedgerStats) {
-        self.queries.store(stats.queries, Ordering::Relaxed);
-        self.batch_items.store(stats.batch_items, Ordering::Relaxed);
-        self.claims.store(stats.claims, Ordering::Relaxed);
-        self.revokes.store(stats.revokes, Ordering::Relaxed);
-        self.filters_full
-            .store(stats.filters_full, Ordering::Relaxed);
-        self.filters_delta
-            .store(stats.filters_delta, Ordering::Relaxed);
-        self.proofs.store(stats.proofs, Ordering::Relaxed);
+        self.queries.add(stats.queries);
+        self.batch_items.add(stats.batch_items);
+        self.claims.add(stats.claims);
+        self.revokes.add(stats.revokes);
+        self.filters_full.add(stats.filters_full);
+        self.filters_delta.add(stats.filters_delta);
+        self.proofs.add(stats.proofs);
     }
 }
 
@@ -145,7 +176,7 @@ pub struct ConcurrentLedger {
     signing_key: Keypair,
     tsa_key: PublicKey,
     snapshots: RwLock<SnapshotPair>,
-    stats: AtomicStats,
+    obs: LedgerObs,
     durability: Option<Durability>,
     recovery_report: Option<RecoveryReport>,
 }
@@ -172,7 +203,7 @@ impl ConcurrentLedger {
             signing_key: Keypair::from_seed(&seed),
             tsa_key,
             snapshots: RwLock::new(SnapshotPair::default()),
-            stats: AtomicStats::default(),
+            obs: LedgerObs::new(),
             config,
             durability: None,
             recovery_report: None,
@@ -213,7 +244,7 @@ impl ConcurrentLedger {
             signing_key: Keypair::from_seed(&seed),
             tsa_key,
             snapshots: RwLock::new(SnapshotPair::default()),
-            stats: AtomicStats::default(),
+            obs: LedgerObs::new(),
             config,
             durability: Some(Durability {
                 wal,
@@ -248,11 +279,11 @@ impl ConcurrentLedger {
             signing_key,
             tsa_key,
             snapshots: RwLock::new(pair),
-            stats: AtomicStats::default(),
+            obs: LedgerObs::new(),
             durability: None,
             recovery_report: None,
         };
-        concurrent.stats.preload(stats);
+        concurrent.obs.preload(stats);
         concurrent
     }
 
@@ -278,22 +309,49 @@ impl ConcurrentLedger {
 
     /// A point-in-time copy of the request counters.
     pub fn stats(&self) -> LedgerStats {
-        self.stats.snapshot()
+        self.obs.stats_snapshot()
+    }
+
+    /// The metrics registry (counters, durability gauges, histograms).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.obs.registry
+    }
+
+    /// Render the metrics exposition, refreshing the point-in-time
+    /// gauges (record count, published filter version, durability flag)
+    /// first. This is what [`Request::Metrics`] answers with.
+    pub fn metrics_text(&self) -> String {
+        self.obs.records.set(self.store.len() as u64);
+        self.obs.filter_version.set(self.filter_version());
+        self.obs.durable.set(self.durability.is_some() as u64);
+        self.obs.registry.render()
     }
 
     /// Handle one wire request at the given time. `&self`: any number of
     /// connection threads may call this concurrently.
     pub fn handle(&self, request: Request, now: TimeMs) -> Response {
+        self.handle_traced(request, now, None)
+    }
+
+    /// [`handle`](Self::handle) with an optional span recorder: the
+    /// durable apply and checkpoint paths record `ledger:wal` /
+    /// `ledger:snapshot` spans into it.
+    pub fn handle_traced(
+        &self,
+        request: Request,
+        now: TimeMs,
+        trace: Option<&Arc<SpanRecorder>>,
+    ) -> Response {
         match request {
             Request::Claim(req) => {
-                self.stats.claims.fetch_add(1, Ordering::Relaxed);
-                match self.durable_claim(req, ClaimOrigin::Owner, false, now) {
+                self.obs.claims.inc();
+                match self.durable_claim_traced(req, ClaimOrigin::Owner, false, now, trace) {
                     Ok((id, timestamp)) => Response::Claimed { id, timestamp },
                     Err(_) => err(codes::STORAGE, "durable log write failed"),
                 }
             }
             Request::Query { id } => {
-                self.stats.queries.fetch_add(1, Ordering::Relaxed);
+                self.obs.queries.inc();
                 match self.store.status(&id) {
                     Some((status, epoch)) => Response::Status { id, status, epoch },
                     None => err(codes::UNKNOWN_RECORD, "unknown record"),
@@ -303,8 +361,8 @@ impl ConcurrentLedger {
                 if self.config.policy == LedgerPolicy::NonRevocable && req.revoke {
                     return err(codes::POLICY, "this ledger does not allow revocation");
                 }
-                self.stats.revokes.fetch_add(1, Ordering::Relaxed);
-                match self.durable_revoke(&req) {
+                self.obs.revokes.inc();
+                match self.durable_revoke_traced(&req, trace) {
                     Err(_) => err(codes::STORAGE, "durable log write failed"),
                     Ok(Ok((status, epoch))) => Response::RevokeAck {
                         id: req.id,
@@ -321,16 +379,15 @@ impl ConcurrentLedger {
             }
             Request::GetFilter { have_version } => self.serve_filter(have_version),
             Request::GetProof { id } => {
-                self.stats.proofs.fetch_add(1, Ordering::Relaxed);
+                self.obs.proofs.inc();
                 match self.store.status(&id) {
                     Some((status, _)) => Response::Proof(self.issue_proof(id, status, now)),
                     None => err(codes::UNKNOWN_RECORD, "unknown record"),
                 }
             }
+            Request::Metrics => Response::MetricsText(self.metrics_text()),
             Request::Batch(ids) => {
-                self.stats
-                    .batch_items
-                    .fetch_add(ids.len() as u64, Ordering::Relaxed);
+                self.obs.batch_items.add(ids.len() as u64);
                 let items = ids
                     .into_iter()
                     .map(|id| {
@@ -355,8 +412,8 @@ impl ConcurrentLedger {
         req: ClaimRequest,
         now: TimeMs,
     ) -> Result<(RecordId, TimestampToken), WalError> {
-        self.stats.claims.fetch_add(1, Ordering::Relaxed);
-        self.durable_claim(req, ClaimOrigin::Custodial, false, now)
+        self.obs.claims.inc();
+        self.durable_claim_traced(req, ClaimOrigin::Custodial, false, now, None)
     }
 
     /// Claim with the "auto-register revoked" default.
@@ -365,8 +422,8 @@ impl ConcurrentLedger {
         req: ClaimRequest,
         now: TimeMs,
     ) -> Result<(RecordId, TimestampToken), WalError> {
-        self.stats.claims.fetch_add(1, Ordering::Relaxed);
-        self.durable_claim(req, ClaimOrigin::Owner, true, now)
+        self.obs.claims.inc();
+        self.durable_claim_traced(req, ClaimOrigin::Owner, true, now, None)
     }
 
     /// Permanently revoke (appeals outcome), durably when a WAL is
@@ -382,7 +439,7 @@ impl ConcurrentLedger {
         let lsn = logged?;
         if out.is_ok() {
             d.wal.commit(lsn)?;
-            self.maybe_snapshot();
+            self.maybe_snapshot(None);
         }
         Ok(out)
     }
@@ -393,16 +450,19 @@ impl ConcurrentLedger {
     /// write fails, the claim stays in memory but is *not* acknowledged —
     /// exactly the promise recovery makes ("nothing acknowledged is
     /// lost"), from the other side.
-    fn durable_claim(
+    fn durable_claim_traced(
         &self,
         req: ClaimRequest,
         origin: ClaimOrigin,
         initially_revoked: bool,
         now: TimeMs,
+        trace: Option<&Arc<SpanRecorder>>,
     ) -> Result<(RecordId, TimestampToken), WalError> {
         let Some(d) = &self.durability else {
             return Ok(self.store.claim(req, origin, initially_revoked, now));
         };
+        let span = SpanRecorder::maybe(trace, "ledger:wal");
+        let start = Instant::now();
         let mut logged: Result<u64, WalError> = Ok(0);
         let (id, timestamp) =
             self.store
@@ -415,30 +475,43 @@ impl ConcurrentLedger {
                         timestamp: stored.claim.timestamp,
                     });
                 });
-        let lsn = logged?;
-        d.wal.commit(lsn)?;
-        self.maybe_snapshot();
+        let commit = logged.and_then(|lsn| d.wal.commit(lsn));
+        self.obs.durable_apply_us.record_since(start);
+        span.verdict_result(&commit, "err");
+        drop(span);
+        commit?;
+        self.maybe_snapshot(trace);
         Ok((id, timestamp))
     }
 
     /// Revoke with WAL logging; only *accepted* revocations are logged
     /// (the hook runs after signature and epoch checks pass, under the
     /// shard lock).
-    fn durable_revoke(
+    fn durable_revoke_traced(
         &self,
         req: &RevokeRequest,
+        trace: Option<&Arc<SpanRecorder>>,
     ) -> Result<Result<(RevocationStatus, u64), StoreError>, WalError> {
         let Some(d) = &self.durability else {
             return Ok(self.store.apply_revoke(req));
         };
+        let span = SpanRecorder::maybe(trace, "ledger:wal");
+        let start = Instant::now();
         let mut logged: Result<u64, WalError> = Ok(0);
         let out = self.store.apply_revoke_with(req, || {
             logged = d.wal.append(&WalRecord::Revoke(*req));
         });
-        let lsn = logged?;
+        let commit = if out.is_ok() {
+            logged.and_then(|lsn| d.wal.commit(lsn))
+        } else {
+            logged.map(|_| ())
+        };
+        self.obs.durable_apply_us.record_since(start);
+        span.verdict_result(&commit, "err");
+        drop(span);
+        commit?;
         if out.is_ok() {
-            d.wal.commit(lsn)?;
-            self.maybe_snapshot();
+            self.maybe_snapshot(trace);
         }
         Ok(out)
     }
@@ -447,7 +520,7 @@ impl ConcurrentLedger {
     /// checkpoint when it trips. Best-effort: a failed snapshot leaves
     /// the WAL intact, so durability is unaffected (replay just stays
     /// longer).
-    fn maybe_snapshot(&self) {
+    fn maybe_snapshot(&self, trace: Option<&Arc<SpanRecorder>>) {
         let Some(d) = &self.durability else { return };
         let Some(every) = d.snapshot_every else {
             return;
@@ -455,7 +528,9 @@ impl ConcurrentLedger {
         let n = d.ops_since_snapshot.fetch_add(1, Ordering::Relaxed) + 1;
         if n >= every && !d.snapshotting.swap(true, Ordering::AcqRel) {
             d.ops_since_snapshot.store(0, Ordering::Relaxed);
-            let _ = self.snapshot_now();
+            let span = SpanRecorder::maybe(trace, "ledger:snapshot");
+            let result = self.snapshot_now();
+            span.verdict_result(&result, "err");
             d.snapshotting.store(false, Ordering::Release);
         }
     }
@@ -467,6 +542,7 @@ impl ConcurrentLedger {
         let Some(d) = &self.durability else {
             return Ok(());
         };
+        let start = Instant::now();
         // The cut: record copy and WAL position taken under every shard
         // lock, so they describe the same instant.
         let (records, (generation, offset)) = self.store.frozen_copy(|| d.wal.position());
@@ -480,6 +556,7 @@ impl ConcurrentLedger {
         let bytes = encode_snapshot(self.config.id, generation, offset, &records, &filter);
         d.disk.write_atomic(SNAPSHOT_PATH, &bytes)?;
         d.wal.rotate_at(offset)?;
+        self.obs.snapshot_us.record_since(start);
         Ok(())
     }
 
@@ -556,7 +633,7 @@ impl ConcurrentLedger {
         if have_version == snapshot.version {
             let d =
                 BloomDelta::diff(&snapshot.filter, &snapshot.filter).expect("identical geometry");
-            self.stats.filters_delta.fetch_add(1, Ordering::Relaxed);
+            self.obs.filters_delta.inc();
             return Response::FilterDelta {
                 from_version: have_version,
                 to_version: snapshot.version,
@@ -567,7 +644,7 @@ impl ConcurrentLedger {
             if have_version == prev.version {
                 let d = BloomDelta::diff(&prev.filter, &snapshot.filter)
                     .expect("same geometry across versions");
-                self.stats.filters_delta.fetch_add(1, Ordering::Relaxed);
+                self.obs.filters_delta.inc();
                 return Response::FilterDelta {
                     from_version: prev.version,
                     to_version: snapshot.version,
@@ -575,7 +652,7 @@ impl ConcurrentLedger {
                 };
             }
         }
-        self.stats.filters_full.fetch_add(1, Ordering::Relaxed);
+        self.obs.filters_full.inc();
         Response::FilterFull {
             version: snapshot.version,
             data: snapshot.filter.to_bytes(),

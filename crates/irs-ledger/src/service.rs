@@ -208,7 +208,33 @@ impl Ledger {
                 Response::BatchStatus(items)
             }
             Request::Ping => Response::Pong,
+            Request::Metrics => Response::MetricsText(self.metrics_text()),
         }
+    }
+
+    /// Render the request counters in the metrics exposition format. The
+    /// sequential ledger has no registry (it is single-threaded state the
+    /// caller owns); the counters are formatted directly so both ledger
+    /// flavors answer [`Request::Metrics`] with the same grammar.
+    pub fn metrics_text(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::new();
+        for (name, value) in [
+            ("irs_ledger_batch_items_total", s.batch_items),
+            ("irs_ledger_claims_total", s.claims),
+            ("irs_ledger_filters_delta_total", s.filters_delta),
+            ("irs_ledger_filters_full_total", s.filters_full),
+            ("irs_ledger_proofs_total", s.proofs),
+            ("irs_ledger_queries_total", s.queries),
+            ("irs_ledger_revokes_total", s.revokes),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        out.push_str(&format!(
+            "# TYPE irs_ledger_filter_version gauge\nirs_ledger_filter_version {}\n",
+            self.filter_version()
+        ));
+        out
     }
 
     /// Claim custodially on behalf of an aggregator (library-level API —

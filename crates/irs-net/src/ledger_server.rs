@@ -179,6 +179,28 @@ mod tests {
         server.shutdown();
     }
 
+    /// `Request::Metrics` over the wire returns a parseable exposition
+    /// whose counters reflect the requests the server actually handled.
+    #[test]
+    fn metrics_over_tcp_returns_parseable_exposition() {
+        let server = server();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+        let kp = Keypair::from_seed(&[6u8; 32]);
+        let claim = ClaimRequest::create(&kp, &Digest::of(b"scraped"));
+        let Response::Claimed { id, .. } = client.call(&Request::Claim(claim)).unwrap() else {
+            panic!("claim failed");
+        };
+        client.call(&Request::Query { id }).unwrap();
+        let Response::MetricsText(text) = client.call(&Request::Metrics).unwrap() else {
+            panic!("expected metrics text");
+        };
+        let parsed = irs_obs::parse_exposition(&text);
+        assert_eq!(parsed["irs_ledger_claims_total"], 1.0);
+        assert_eq!(parsed["irs_ledger_queries_total"], 1.0);
+        assert_eq!(parsed["irs_ledger_records"], 1.0);
+        server.shutdown();
+    }
+
     #[test]
     fn parallel_clients() {
         let server = server();

@@ -64,6 +64,8 @@ impl ProxyServer {
         stack: BoxService,
     ) -> std::io::Result<ProxyServer> {
         let stack: Arc<BoxService> = Arc::new(stack);
+        let request_us = proxy.metrics().histogram("irs_proxy_request_us");
+        let shared = proxy.clone();
         let handle = ServerHandle::spawn(addr, move |mut stream, stop| {
             let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
             loop {
@@ -80,6 +82,7 @@ impl ProxyServer {
                     }
                     Err(_) => return,
                 };
+                let start = std::time::Instant::now();
                 let response = match Request::from_bytes(frame) {
                     Ok(req @ Request::Query { .. }) => {
                         // One clock reading per request: every layer sees
@@ -96,15 +99,19 @@ impl ProxyServer {
                         }
                     }
                     Ok(Request::Ping) => irs_core::wire::Response::Pong,
+                    Ok(Request::Metrics) => {
+                        irs_core::wire::Response::MetricsText(shared.render_metrics())
+                    }
                     Ok(_) => irs_core::wire::Response::Error {
                         code: irs_ledger::codes::BAD_REQUEST,
-                        message: "proxy only serves Query/Ping".to_string(),
+                        message: "proxy only serves Query/Ping/Metrics".to_string(),
                     },
                     Err(e) => irs_core::wire::Response::Error {
                         code: irs_ledger::codes::BAD_REQUEST,
                         message: format!("bad request: {e}"),
                     },
                 };
+                request_us.record_since(start);
                 if write_response(&mut stream, &response).is_err() {
                     return;
                 }
@@ -233,6 +240,41 @@ mod tests {
         assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
         proxy_server.shutdown();
         ledger_server.shutdown();
+    }
+
+    /// A metrics scrape over the wire: the proxy answers `Metrics` with
+    /// its registry's exposition, reflecting the requests served so far.
+    #[test]
+    fn metrics_over_tcp_returns_parseable_exposition() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut proxy = IrsProxy::new(ProxyConfig::default());
+        // An installed (empty) filter lets a miss resolve locally — no
+        // live ledger needed for this scrape.
+        let filter = BloomFilter::with_params(1 << 10, 4, 0).unwrap();
+        proxy
+            .filters
+            .apply_full(LedgerId(1), 1, filter.to_bytes())
+            .unwrap();
+        let proxy_server = ProxyServer::start(proxy, "127.0.0.1:0", dead).unwrap();
+        let mut client = LedgerClient::connect(proxy_server.addr()).unwrap();
+        let miss = RecordId::new(LedgerId(1), 424_242);
+        assert!(matches!(
+            client.call(&Request::Query { id: miss }).unwrap(),
+            Response::Status { .. }
+        ));
+        let Response::MetricsText(text) = client.call(&Request::Metrics).unwrap() else {
+            panic!("expected metrics text");
+        };
+        let parsed = irs_obs::parse_exposition(&text);
+        assert_eq!(parsed["irs_proxy_lookups_total"], 1.0);
+        assert_eq!(parsed["irs_proxy_filter_negative_total"], 1.0);
+        // The scrape itself records its latency only after rendering, so
+        // the returned text counts exactly the one query before it.
+        assert_eq!(parsed["irs_proxy_request_us_count"], 1.0);
+        proxy_server.shutdown();
     }
 
     /// The full ladder over real sockets: cache a status, kill the

@@ -21,10 +21,11 @@ use crate::NetError;
 use irs_core::ids::LedgerId;
 use irs_core::time::{Clock, SystemClock};
 use irs_core::wire::{Request, Response};
+use irs_obs::{Counter, Gauge};
 use irs_proxy::filterset::FilterSet;
 use irs_proxy::{IrsProxy, SharedProxy};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -155,12 +156,18 @@ pub struct RefreshWorkerStats {
     pub installs: u64,
 }
 
+/// The worker's counters live in the proxy's metrics [`Registry`]
+/// (`irs_refresh_*`), so a scrape of the proxy shows filter freshness
+/// alongside the request path.
+///
+/// [`Registry`]: irs_obs::Registry
 struct WorkerShared {
     stop: AtomicBool,
-    rounds: AtomicU64,
-    failures: AtomicU64,
-    consecutive_failures: AtomicU32,
-    installs: AtomicU64,
+    rounds: Counter,
+    failures: Counter,
+    consecutive_failures: Gauge,
+    installs: Counter,
+    filter_version: Gauge,
 }
 
 /// A background thread that keeps a served [`SharedProxy`]'s filters
@@ -187,12 +194,14 @@ impl RefreshWorker {
         interval: Duration,
         policy: RetryPolicy,
     ) -> RefreshWorker {
+        let registry = proxy.metrics();
         let shared = Arc::new(WorkerShared {
             stop: AtomicBool::new(false),
-            rounds: AtomicU64::new(0),
-            failures: AtomicU64::new(0),
-            consecutive_failures: AtomicU32::new(0),
-            installs: AtomicU64::new(0),
+            rounds: registry.counter("irs_refresh_rounds_total"),
+            failures: registry.counter("irs_refresh_failures_total"),
+            consecutive_failures: registry.gauge("irs_refresh_consecutive_failures"),
+            installs: registry.counter("irs_refresh_installs_total"),
+            filter_version: registry.gauge("irs_refresh_filter_version"),
         });
         let worker_shared = shared.clone();
         let handle = std::thread::spawn(move || {
@@ -205,23 +214,22 @@ impl RefreshWorker {
                 if worker_shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
-                worker_shared.rounds.fetch_add(1, Ordering::SeqCst);
+                worker_shared.rounds.inc();
                 let delay = match refresh_shared_filter_via(&proxy, &fetch, ledger) {
                     Ok(outcome) => {
                         if !matches!(outcome, RefreshOutcome::AlreadyCurrent) {
-                            worker_shared.installs.fetch_add(1, Ordering::SeqCst);
+                            worker_shared.installs.inc();
                         }
+                        worker_shared.consecutive_failures.set(0);
                         worker_shared
-                            .consecutive_failures
-                            .store(0, Ordering::SeqCst);
+                            .filter_version
+                            .set(proxy.filters_snapshot().version(ledger));
                         interval
                     }
                     Err(_) => {
-                        worker_shared.failures.fetch_add(1, Ordering::SeqCst);
-                        let run = worker_shared
-                            .consecutive_failures
-                            .fetch_add(1, Ordering::SeqCst)
-                            + 1;
+                        worker_shared.failures.inc();
+                        worker_shared.consecutive_failures.add(1);
+                        let run = worker_shared.consecutive_failures.get() as u32;
                         // Backed-off retry, capped at the normal period.
                         (interval / 8)
                             .max(Duration::from_millis(10))
@@ -247,10 +255,10 @@ impl RefreshWorker {
     /// Current counters.
     pub fn stats(&self) -> RefreshWorkerStats {
         RefreshWorkerStats {
-            rounds: self.shared.rounds.load(Ordering::SeqCst),
-            failures: self.shared.failures.load(Ordering::SeqCst),
-            consecutive_failures: self.shared.consecutive_failures.load(Ordering::SeqCst),
-            installs: self.shared.installs.load(Ordering::SeqCst),
+            rounds: self.shared.rounds.get(),
+            failures: self.shared.failures.get(),
+            consecutive_failures: self.shared.consecutive_failures.get() as u32,
+            installs: self.shared.installs.get(),
         }
     }
 

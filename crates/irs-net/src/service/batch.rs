@@ -126,7 +126,9 @@ impl<S> Batched<S> {
 
 impl<S: Service> Service for Batched<S> {
     fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let span = ctx.span("batch");
         let Request::Query { id } = req else {
+            span.verdict("passthrough");
             return self.inner.call(req, ctx);
         };
         let mut state = self.state.lock().expect("batch state poisoned");
@@ -137,6 +139,7 @@ impl<S: Service> Service for Batched<S> {
         self.flushed.notify_all();
 
         if leader {
+            span.verdict("leader");
             // Hold the window open until it fills or times out.
             let window_end = Instant::now() + self.policy.max_hold;
             while state.pending.len() < self.policy.max_batch {
@@ -190,6 +193,7 @@ impl<S: Service> Service for Batched<S> {
             return Self::extract(&state, generation, id);
         }
 
+        span.verdict("follower");
         // Follower: wait for the leader to publish this generation. The
         // hard cap guards against a leader that died mid-flush.
         let give_up = Instant::now() + self.policy.max_hold + Duration::from_secs(5);

@@ -64,7 +64,9 @@ impl<S> Breaker<S> {
         match req {
             Request::Query { id } | Request::GetProof { id } => id.ledger,
             Request::Revoke(r) => r.id.ledger,
-            Request::Claim(_) | Request::GetFilter { .. } | Request::Ping => self.fallback,
+            Request::Claim(_) | Request::GetFilter { .. } | Request::Ping | Request::Metrics => {
+                self.fallback
+            }
             Request::Batch(ids) => ids.first().map(|id| id.ledger).unwrap_or(self.fallback),
         }
     }
@@ -72,16 +74,19 @@ impl<S> Breaker<S> {
 
 impl<S: Service> Service for Breaker<S> {
     fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let span = ctx.span("breaker");
         let ledger = self.ledger_of(&req);
         if !self.proxy.breaker(ledger).allow(ctx.now) {
             // Open: fail fast, and record nothing — probes are admitted
             // by `allow` itself once the cooldown elapses.
+            span.verdict("open");
             return Err(NetError::BreakerOpen);
         }
         let result = self.inner.call(req, ctx);
         // Any answer counts as healthy — an application-level error still
         // proves the exchange path works.
         self.proxy.record_upstream(ledger, result.is_ok(), ctx.now);
+        span.verdict_result(&result, "err");
         result
     }
 }

@@ -46,27 +46,36 @@ pub struct Cache<S> {
 
 impl<S: Service> Service for Cache<S> {
     fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let span = ctx.span("cache");
         let Request::Query { id } = req else {
+            span.verdict("passthrough");
             return self.inner.call(req, ctx);
         };
-        match self.proxy.lookup(id, ctx.now) {
+        match self.proxy.lookup_traced(id, ctx.now, ctx.recorder()) {
             // Local answers carry epoch 0: the proxy attests liveness,
             // not the ledger's status-change counter.
-            LookupOutcome::NotRevokedByFilter => Ok(Response::Status {
-                id,
-                status: RevocationStatus::NotRevoked,
-                epoch: 0,
-            }),
-            LookupOutcome::Cached(status) => Ok(Response::Status {
-                id,
-                status,
-                epoch: 0,
-            }),
+            LookupOutcome::NotRevokedByFilter => {
+                span.verdict("filter-negative");
+                Ok(Response::Status {
+                    id,
+                    status: RevocationStatus::NotRevoked,
+                    epoch: 0,
+                })
+            }
+            LookupOutcome::Cached(status) => {
+                span.verdict("cached");
+                Ok(Response::Status {
+                    id,
+                    status,
+                    epoch: 0,
+                })
+            }
             LookupOutcome::NeedsLedgerQuery => {
                 let result = self.inner.call(Request::Query { id }, ctx);
                 if let Ok(Response::Status { id, status, .. }) = &result {
                     self.proxy.complete(*id, *status, ctx.now);
                 }
+                span.verdict_result(&result, "err");
                 result
             }
         }

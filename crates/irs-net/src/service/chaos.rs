@@ -85,12 +85,16 @@ impl<S> Chaos<S> {
 
 impl<S: Service> Service for Chaos<S> {
     fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let span = ctx.span("chaos");
         if self.outage.load(Ordering::SeqCst) {
+            span.verdict("outage");
             return Err(NetError::ConnectionLost);
         }
         let Some(mode) = self.draw() else {
+            span.verdict("clean");
             return self.inner.call(req, ctx);
         };
+        span.verdict("injected");
         self.injected.fetch_add(1, Ordering::SeqCst);
         match mode {
             FaultMode::Refuse => Err(NetError::ConnectionLost),

@@ -43,11 +43,15 @@ pub struct Deadline<S> {
 
 impl<S: Service> Service for Deadline<S> {
     fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let span = ctx.span("deadline");
         let ctx = ctx.with_deadline(Instant::now() + self.budget);
         if ctx.expired() {
+            span.verdict("expired");
             return Err(NetError::DeadlineExceeded);
         }
-        self.inner.call(req, &ctx)
+        let result = self.inner.call(req, &ctx);
+        span.verdict_result(&result, "err");
+        result
     }
 }
 

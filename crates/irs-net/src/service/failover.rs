@@ -58,11 +58,16 @@ impl<S> Failover<S> {
 
 impl<S: Service> Service for Failover<S> {
     fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let span = ctx.span("failover");
         let len = self.replicas.len();
         let index = self.cursor.load(Ordering::Relaxed) % len;
         match self.replicas[index].call(req, ctx) {
-            Ok(response) => Ok(response),
+            Ok(response) => {
+                span.verdict("ok");
+                Ok(response)
+            }
             Err(e) => {
+                span.verdict(if len > 1 { "rotated" } else { "err" });
                 if len > 1 {
                     // Racing failures both try to advance from `index`;
                     // only one rotation happens per observed position.

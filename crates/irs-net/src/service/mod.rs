@@ -29,6 +29,7 @@
 use crate::NetError;
 use irs_core::time::{Clock, SystemClock, TimeMs};
 use irs_core::wire::{Request, Response};
+use irs_obs::{MaybeSpan, SpanRecorder};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -56,9 +57,10 @@ pub use stats::{Stats, StatsHandle, StatsLayer, StatsSnapshot};
 pub use transport::TcpTransport;
 
 /// Per-call context threaded through a stack: the logical timestamp the
-/// caller observed (feeds caches, breakers, and staleness accounting)
-/// and an optional wall-clock deadline (feeds retries and transports).
-#[derive(Clone, Copy, Debug)]
+/// caller observed (feeds caches, breakers, and staleness accounting),
+/// an optional wall-clock deadline (feeds retries and transports), and
+/// an optional [`SpanRecorder`] (feeds the per-layer trace).
+#[derive(Clone, Debug)]
 pub struct CallCtx {
     /// The caller's logical "now" — one reading per request, so every
     /// layer in the stack sees the same instant (cache TTL checks,
@@ -66,6 +68,10 @@ pub struct CallCtx {
     pub now: TimeMs,
     /// Wall-clock point after which no further work should start.
     pub deadline: Option<Instant>,
+    /// Trace recorder for this request; layers record enter/exit +
+    /// verdict spans into it. `None` (the default) makes every span a
+    /// no-op — one `Option` check per layer.
+    pub trace: Option<Arc<SpanRecorder>>,
 }
 
 impl CallCtx {
@@ -74,6 +80,7 @@ impl CallCtx {
         CallCtx {
             now,
             deadline: None,
+            trace: None,
         }
     }
 
@@ -92,7 +99,25 @@ impl CallCtx {
                 Some(existing) => existing.min(deadline),
                 None => deadline,
             }),
+            trace: self.trace.clone(),
         }
+    }
+
+    /// Attach a trace recorder: every layer below records spans.
+    pub fn with_trace(mut self, recorder: Arc<SpanRecorder>) -> CallCtx {
+        self.trace = Some(recorder);
+        self
+    }
+
+    /// The trace recorder, when one is attached.
+    pub fn recorder(&self) -> Option<&Arc<SpanRecorder>> {
+        self.trace.as_ref()
+    }
+
+    /// Open a span named after the layer; a no-op guard when the
+    /// request is untraced. Closes when the guard drops.
+    pub fn span(&self, name: &'static str) -> MaybeSpan {
+        SpanRecorder::maybe(self.trace.as_ref(), name)
     }
 
     /// Wall-clock budget left, `None` when no deadline is set.

@@ -118,9 +118,20 @@ impl<S> Retry<S> {
 
 impl<S: Service> Service for Retry<S> {
     fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
-        let deadline = Instant::now() + self.policy.call_deadline;
-        let ctx = ctx.with_deadline(deadline);
+        let span = ctx.span("retry");
+        // The budget is `min(caller's deadline, now + call_deadline)`:
+        // `with_deadline` keeps the earlier instant, and the loop below
+        // reads the deadline back *from the tightened ctx* — a caller
+        // that granted less than the policy's allowance wins (§10:
+        // layers only ever shrink the budget).
+        let ctx = ctx.with_deadline(Instant::now() + self.policy.call_deadline);
         let deadline = ctx.deadline.expect("with_deadline always sets one");
+        if Instant::now() >= deadline {
+            // The caller arrived with nothing left: refuse rather than
+            // burn an attempt that cannot finish inside the budget.
+            span.verdict("deadline");
+            return Err(NetError::DeadlineExceeded);
+        }
         let mut attempts = 0u32;
         loop {
             attempts += 1;
@@ -129,16 +140,19 @@ impl<S: Service> Service for Retry<S> {
                 self.shared.retries.fetch_add(1, Ordering::Relaxed);
             }
             if let Ok(response) = self.inner.call(req.clone(), &ctx) {
+                span.verdict("ok");
                 return Ok(response);
             }
             if attempts >= self.policy.max_attempts || Instant::now() >= deadline {
                 self.shared.exhausted.fetch_add(1, Ordering::Relaxed);
+                span.verdict("exhausted");
                 return Err(NetError::Exhausted { attempts });
             }
             let backoff = jittered_backoff(&self.policy, attempts, self.next_jitter());
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 self.shared.exhausted.fetch_add(1, Ordering::Relaxed);
+                span.verdict("exhausted");
                 return Err(NetError::Exhausted { attempts });
             }
             std::thread::sleep(backoff.min(remaining));
@@ -224,6 +238,47 @@ mod tests {
         })
         .layered(RetryLayer::new(RetryPolicy::fast(10)));
         svc.call(Request::Ping, &CallCtx::at(TimeMs(0))).unwrap();
+    }
+
+    #[test]
+    fn outer_deadline_tighter_than_policy_wins() {
+        // An outer DeadlineLayer grants 20 ms; the retry policy would
+        // grant itself 800 ms. The inner service must see the *outer*
+        // budget — retries must never extend a deadline the caller
+        // already tightened.
+        use crate::service::DeadlineLayer;
+        let tight = Duration::from_millis(20);
+        let svc = service_fn(move |_req, ctx: &CallCtx| {
+            let remaining = ctx.remaining().expect("deadline must be set");
+            assert!(
+                remaining <= tight,
+                "retry extended the caller's {tight:?} budget to {remaining:?}"
+            );
+            Ok(Response::Pong)
+        })
+        .layered(RetryLayer::new(RetryPolicy::fast(11)))
+        .layered(DeadlineLayer::new(tight));
+        svc.call(Request::Ping, &CallCtx::at(TimeMs(0))).unwrap();
+    }
+
+    #[test]
+    fn expired_caller_deadline_fails_fast() {
+        // No budget left on arrival: the loop must not burn an attempt.
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls_in = calls.clone();
+        let svc = service_fn(move |_req, _ctx: &CallCtx| {
+            calls_in.fetch_add(1, Ordering::SeqCst);
+            Ok(Response::Pong)
+        })
+        .layered(RetryLayer::new(RetryPolicy::fast(12)));
+        let expired =
+            CallCtx::at(TimeMs(0)).with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(matches!(
+            svc.call(Request::Ping, &expired),
+            Err(NetError::DeadlineExceeded)
+        ));
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        assert_eq!(svc.counters().attempts, 0);
     }
 
     #[test]

@@ -139,6 +139,76 @@ mod tests {
         assert_eq!(proxy.degraded_stats().stale_served, 1);
     }
 
+    /// One traced validate through the full ladder: every layer records
+    /// exactly one span, enter order is stack order, and the per-layer
+    /// self-times account for (at least) 95% of the measured wall time —
+    /// the attribution guarantee E18 relies on.
+    #[test]
+    fn full_stack_traced_query_attributes_every_layer() {
+        use irs_obs::SpanRecorder;
+
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(32),
+        );
+        let server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let mut owner = crate::client::LedgerClient::connect(server.addr()).unwrap();
+        let kp = Keypair::from_seed(&[8u8; 32]);
+        let claim = ClaimRequest::create(&kp, &Digest::of(b"traced"));
+        let Response::Claimed { id, .. } = owner.call(&Request::Claim(claim)).unwrap() else {
+            panic!("claim failed");
+        };
+
+        let proxy = Arc::new(SharedProxy::new(ProxyConfig::default()));
+        let mut filter = BloomFilter::with_params(1 << 14, 6, 0).unwrap();
+        filter.insert(id.filter_key());
+        proxy
+            .update_filters(|f| f.apply_full(LedgerId(1), 1, filter.to_bytes()))
+            .unwrap();
+        let stack = full_upstream(proxy, vec![server.addr()], RetryPolicy::fast(42));
+
+        // Filter hit + cache miss: the query walks every rung to the wire.
+        let rec = SpanRecorder::new();
+        let ctx = CallCtx::wall().with_trace(rec.clone());
+        let started = std::time::Instant::now();
+        let resp = stack.call(Request::Query { id }, &ctx).unwrap();
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        assert!(matches!(resp, Response::Status { .. }));
+
+        let spans = rec.spans();
+        let names: Vec<_> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "cache",
+                "proxy:filter",
+                "proxy:cache",
+                "stale",
+                "breaker",
+                "retry",
+                "failover",
+                "transport"
+            ],
+            "one span per layer, enter order = stack order"
+        );
+        assert!(
+            spans.iter().all(|s| !s.verdict.is_empty()),
+            "every layer must stamp a verdict: {spans:?}"
+        );
+        // Self-times partition the outermost span exactly, and the
+        // outermost span covers (nearly) the whole measured call.
+        let rows = rec.breakdown();
+        let total_self: u64 = rows.iter().map(|r| r.self_ns).sum();
+        assert_eq!(total_self, spans[0].duration_ns());
+        assert!(
+            total_self as f64 >= 0.95 * wall_ns as f64,
+            "span self-times must account for >=95% of wall time \
+             ({total_self} of {wall_ns} ns)\n{}",
+            rec.render_table()
+        );
+        server.shutdown();
+    }
+
     #[test]
     fn plain_stack_surfaces_upstream_failure() {
         let dead = {

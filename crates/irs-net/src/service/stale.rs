@@ -45,26 +45,37 @@ pub struct StaleServe<S> {
 
 impl<S: Service> Service for StaleServe<S> {
     fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let span = ctx.span("stale");
         let query_id = match &req {
             Request::Query { id } => Some(*id),
             _ => None,
         };
         match self.inner.call(req, ctx) {
-            Ok(response) => Ok(response),
+            Ok(response) => {
+                span.verdict("ok");
+                Ok(response)
+            }
             Err(e) => {
                 let Some(id) = query_id else {
+                    span.verdict("err");
                     return Err(e);
                 };
                 Ok(match self.proxy.lookup_stale(id, ctx.now) {
-                    Some((status, age_ms)) => Response::StatusStale { id, status, age_ms },
-                    None => Response::Unavailable {
-                        id,
-                        age_ms: self
-                            .proxy
-                            .breaker(id.ledger)
-                            .staleness_ms(ctx.now)
-                            .unwrap_or(u64::MAX),
-                    },
+                    Some((status, age_ms)) => {
+                        span.verdict("stale");
+                        Response::StatusStale { id, status, age_ms }
+                    }
+                    None => {
+                        span.verdict("unavailable");
+                        Response::Unavailable {
+                            id,
+                            age_ms: self
+                                .proxy
+                                .breaker(id.ledger)
+                                .staleness_ms(ctx.now)
+                                .unwrap_or(u64::MAX),
+                        }
+                    }
                 })
             }
         }

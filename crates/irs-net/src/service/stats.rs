@@ -1,30 +1,28 @@
-//! Call observation — the hook point for the observability work.
+//! Call observation — the service-stack face of the [`irs_obs`]
+//! registry.
 //!
-//! [`Stats`] counts calls, outcomes, and wall-clock latency around
-//! whatever it wraps. The counters live behind a cloneable
+//! [`Stats`] counts calls and outcomes and feeds per-call wall-clock
+//! latency into a lock-free log₂ [`Histogram`], so the observer gets
+//! p50/p95/p99/max — not just a mean — out of the same layer that used
+//! to keep ad-hoc atomics. The counters live behind a cloneable
 //! [`StatsHandle`] so the observer keeps reading after the stack has
-//! been boxed and handed to a server.
+//! been boxed and handed to a server; [`StatsLayer::in_registry`]
+//! registers the same counters under stable names so they ride the
+//! `Request::Metrics` exposition too.
 
 use super::{CallCtx, Layer, Service};
 use crate::NetError;
 use irs_core::wire::{Request, Response};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use irs_obs::{Counter, Histogram, HistogramSnapshot, Registry};
 use std::time::Instant;
-
-#[derive(Default)]
-struct Counters {
-    calls: AtomicU64,
-    ok: AtomicU64,
-    err: AtomicU64,
-    total_us: AtomicU64,
-    max_us: AtomicU64,
-}
 
 /// A cloneable window onto a [`Stats`] layer's counters.
 #[derive(Clone, Default)]
 pub struct StatsHandle {
-    counters: Arc<Counters>,
+    calls: Counter,
+    ok: Counter,
+    err: Counter,
+    latency_us: Histogram,
 }
 
 /// Point-in-time counters from a [`StatsHandle`].
@@ -56,13 +54,19 @@ impl StatsSnapshot {
 impl StatsHandle {
     /// Read the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let latency = self.latency_us.snapshot();
         StatsSnapshot {
-            calls: self.counters.calls.load(Ordering::Relaxed),
-            ok: self.counters.ok.load(Ordering::Relaxed),
-            err: self.counters.err.load(Ordering::Relaxed),
-            total_us: self.counters.total_us.load(Ordering::Relaxed),
-            max_us: self.counters.max_us.load(Ordering::Relaxed),
+            calls: self.calls.get(),
+            ok: self.ok.get(),
+            err: self.err.get(),
+            total_us: latency.sum,
+            max_us: latency.max,
         }
+    }
+
+    /// The full latency distribution (p50/p95/p99/max readout).
+    pub fn latency(&self) -> HistogramSnapshot {
+        self.latency_us.snapshot()
     }
 }
 
@@ -73,9 +77,25 @@ pub struct StatsLayer {
 }
 
 impl StatsLayer {
-    /// A fresh layer with its own counters.
+    /// A fresh layer with its own private counters.
     pub fn new() -> StatsLayer {
         StatsLayer::default()
+    }
+
+    /// A layer whose counters are registered in `registry` under
+    /// `{prefix}_calls_total`, `{prefix}_ok_total`,
+    /// `{prefix}_errors_total`, and `{prefix}_latency_us` — so the
+    /// stack's request counters render in the same exposition as the
+    /// rest of the process.
+    pub fn in_registry(registry: &Registry, prefix: &str) -> StatsLayer {
+        StatsLayer {
+            handle: StatsHandle {
+                calls: registry.counter(&format!("{prefix}_calls_total")),
+                ok: registry.counter(&format!("{prefix}_ok_total")),
+                err: registry.counter(&format!("{prefix}_errors_total")),
+                latency_us: registry.histogram(&format!("{prefix}_latency_us")),
+            },
+        }
     }
 
     /// The handle observers read; clone it before wrapping.
@@ -102,17 +122,18 @@ pub struct Stats<S> {
 
 impl<S: Service> Service for Stats<S> {
     fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let span = ctx.span("stats");
         let start = Instant::now();
         let result = self.inner.call(req, ctx);
         let elapsed_us = start.elapsed().as_micros() as u64;
-        let c = &self.handle.counters;
-        c.calls.fetch_add(1, Ordering::Relaxed);
-        c.total_us.fetch_add(elapsed_us, Ordering::Relaxed);
-        c.max_us.fetch_max(elapsed_us, Ordering::Relaxed);
+        let h = &self.handle;
+        h.calls.inc();
+        h.latency_us.record(elapsed_us);
         match &result {
-            Ok(_) => c.ok.fetch_add(1, Ordering::Relaxed),
-            Err(_) => c.err.fetch_add(1, Ordering::Relaxed),
+            Ok(_) => h.ok.inc(),
+            Err(_) => h.err.inc(),
         };
+        span.verdict_result(&result, "err");
         result
     }
 }
@@ -143,6 +164,10 @@ mod tests {
         assert_eq!(snap.err, 1);
         assert!(snap.max_us >= snap.total_us / 4);
         assert!(snap.mean_us() <= snap.max_us as f64);
+        // The histogram behind the snapshot agrees with it.
+        let latency = handle.latency();
+        assert_eq!(latency.count, 4);
+        assert!(latency.p99() >= latency.p50());
     }
 
     #[test]
@@ -154,5 +179,20 @@ mod tests {
             .boxed();
         boxed.call(Request::Ping, &CallCtx::at(TimeMs(0))).unwrap();
         assert_eq!(handle.snapshot().calls, 1);
+    }
+
+    #[test]
+    fn registry_backed_layer_renders_in_exposition() {
+        let registry = Registry::new();
+        let layer = StatsLayer::in_registry(&registry, "irs_stack");
+        let svc = service_fn(|_req, _ctx: &CallCtx| Ok(Response::Pong)).layered(layer);
+        let ctx = CallCtx::at(TimeMs(0));
+        svc.call(Request::Ping, &ctx).unwrap();
+        svc.call(Request::Ping, &ctx).unwrap();
+        let parsed = irs_obs::parse_exposition(&registry.render());
+        assert_eq!(parsed["irs_stack_calls_total"], 2.0);
+        assert_eq!(parsed["irs_stack_ok_total"], 2.0);
+        assert_eq!(parsed["irs_stack_errors_total"], 0.0);
+        assert_eq!(parsed["irs_stack_latency_us_count"], 2.0);
     }
 }

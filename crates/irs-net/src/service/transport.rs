@@ -76,18 +76,24 @@ impl TcpTransport {
 
 impl Service for TcpTransport {
     fn call(&self, req: Request, ctx: &CallCtx) -> Result<Response, NetError> {
+        let span = ctx.span("transport");
         if ctx.expired() {
+            span.verdict("deadline");
             return Err(NetError::DeadlineExceeded);
         }
         for slot in &self.pool {
             if let Some(mut guard) = slot.try_lock() {
-                return self.exchange(&mut guard, &req);
+                let result = self.exchange(&mut guard, &req);
+                span.verdict_result(&result, "err");
+                return result;
             }
         }
         // Every slot busy: serve this call on a throwaway connection
         // instead of queueing behind another thread's exchange.
         let mut one_shot = None;
-        self.exchange(&mut one_shot, &req)
+        let result = self.exchange(&mut one_shot, &req);
+        span.verdict_result(&result, "err");
+        result
     }
 }
 

@@ -122,6 +122,10 @@ impl<K: Eq + Hash + Clone, V: Clone> LruTtlCache<K, V> {
     /// since insertion — the staleness bound a degraded proxy attaches to
     /// the answer. This is the stale-serve path: when the upstream ledger
     /// is unreachable, a bounded-stale answer beats no answer (Nongoal #4).
+    ///
+    /// Both subtractions saturate: if the caller's clock regressed past
+    /// the insertion timestamp (chaos clock skew), the age reads 0
+    /// rather than underflowing.
     pub fn peek_stale(&self, key: &K, now: TimeMs) -> Option<(V, u64)> {
         let &idx = self.map.get(key)?;
         let node = &self.slab[idx];
@@ -240,6 +244,24 @@ mod tests {
         // push must never be resurrected as a stale answer).
         c.invalidate(&1);
         assert_eq!(c.peek_stale(&1, t(501)), None);
+    }
+
+    #[test]
+    fn peek_stale_survives_clock_regression() {
+        // Chaos clock skew: `now` regresses to *before* the insertion
+        // timestamp. The age arithmetic must saturate to 0 — in a debug
+        // build a bare subtraction would panic on underflow here.
+        let mut c: LruTtlCache<u64, u64> = LruTtlCache::new(4, 100);
+        c.insert(1, 41, t(50));
+        assert_eq!(
+            c.peek_stale(&1, t(10)),
+            Some((41, 0)),
+            "a regressed clock reads age 0, not an underflow"
+        );
+        // Regression all the way to the epoch.
+        assert_eq!(c.peek_stale(&1, t(0)), Some((41, 0)));
+        // And the normal path still reports a forward age afterwards.
+        assert_eq!(c.peek_stale(&1, t(80)), Some((41, 30)));
     }
 
     #[test]

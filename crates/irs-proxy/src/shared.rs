@@ -13,8 +13,10 @@
 //!   striped: `N` independent [`LruTtlCache`]s, each behind its own
 //!   `Mutex`, keyed by the record's filter key. Lookups on different
 //!   stripes never contend.
-//! * **Counters** — relaxed atomics, snapshotted into the same
-//!   [`ProxyStats`] struct the sequential proxy exposes.
+//! * **Counters** — sharded lock-free [`Counter`]s in an
+//!   [`irs_obs::Registry`], snapshotted into the same [`ProxyStats`]
+//!   struct the sequential proxy exposes and rendered as text
+//!   exposition for the `Request::Metrics` wire message.
 
 use crate::filterset::FilterSet;
 use crate::health::{BreakerConfig, CircuitBreaker};
@@ -23,24 +25,47 @@ use crate::proxy::{IrsProxy, LookupOutcome, ProxyConfig, ProxyStats};
 use irs_core::claim::RevocationStatus;
 use irs_core::ids::{LedgerId, RecordId};
 use irs_core::time::TimeMs;
+use irs_obs::{Counter, Gauge, Registry, SpanRecorder};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default cache stripe count.
 pub const DEFAULT_CACHE_SHARDS: usize = 16;
 
-#[derive(Default)]
-struct AtomicProxyStats {
-    lookups: AtomicU64,
-    filter_negative: AtomicU64,
-    cache_hits: AtomicU64,
-    ledger_queries: AtomicU64,
+/// The proxy's metric handles: registered once at construction, so the
+/// lookup path touches only lock-free counters, never the registry map.
+struct ProxyObs {
+    registry: Arc<Registry>,
+    lookups: Counter,
+    filter_negative: Counter,
+    cache_hits: Counter,
+    ledger_queries: Counter,
     // Degradation counters (see DegradedStats).
-    stale_served: AtomicU64,
-    unavailable: AtomicU64,
-    upstream_failures: AtomicU64,
+    stale_served: Counter,
+    unavailable: Counter,
+    upstream_failures: Counter,
+    // Point-in-time gauges, refreshed on render.
+    breaker_opens: Gauge,
+    cache_entries: Gauge,
+}
+
+impl ProxyObs {
+    fn new() -> ProxyObs {
+        let registry = Arc::new(Registry::new());
+        ProxyObs {
+            lookups: registry.counter("irs_proxy_lookups_total"),
+            filter_negative: registry.counter("irs_proxy_filter_negative_total"),
+            cache_hits: registry.counter("irs_proxy_cache_hits_total"),
+            ledger_queries: registry.counter("irs_proxy_ledger_queries_total"),
+            stale_served: registry.counter("irs_proxy_stale_served_total"),
+            unavailable: registry.counter("irs_proxy_unavailable_total"),
+            upstream_failures: registry.counter("irs_proxy_upstream_failures_total"),
+            breaker_opens: registry.gauge("irs_proxy_breaker_opens"),
+            cache_entries: registry.gauge("irs_proxy_cache_entries"),
+            registry,
+        }
+    }
 }
 
 /// Counters for the degradation ladder: how often the proxy had to fall
@@ -65,7 +90,7 @@ pub struct SharedProxy {
     /// cannot lose each other's updates in the clone-swap.
     refresh_lock: Mutex<()>,
     cache_shards: Box<[Mutex<LruTtlCache<RecordId, RevocationStatus>>]>,
-    stats: AtomicProxyStats,
+    obs: ProxyObs,
     /// Per-ledger circuit breakers, created on first contact. The map is
     /// read-mostly (a ledger is registered once, consulted on every
     /// degraded-path decision); breaker state itself is all atomics.
@@ -91,7 +116,7 @@ impl SharedProxy {
             filters: RwLock::new(Arc::new(FilterSet::new())),
             refresh_lock: Mutex::new(()),
             cache_shards,
-            stats: AtomicProxyStats::default(),
+            obs: ProxyObs::new(),
             health: RwLock::new(HashMap::new()),
             breaker_config: BreakerConfig::default(),
         }
@@ -111,20 +136,13 @@ impl SharedProxy {
     pub fn from_proxy(proxy: IrsProxy) -> SharedProxy {
         let shared = SharedProxy::new(proxy.config());
         *shared.filters.write() = Arc::new(proxy.filters);
+        // Fresh counters start at zero, so carrying the sequential
+        // totals over is a plain add.
         let stats = proxy.stats;
-        shared.stats.lookups.store(stats.lookups, Ordering::Relaxed);
-        shared
-            .stats
-            .filter_negative
-            .store(stats.filter_negative, Ordering::Relaxed);
-        shared
-            .stats
-            .cache_hits
-            .store(stats.cache_hits, Ordering::Relaxed);
-        shared
-            .stats
-            .ledger_queries
-            .store(stats.ledger_queries, Ordering::Relaxed);
+        shared.obs.lookups.add(stats.lookups);
+        shared.obs.filter_negative.add(stats.filter_negative);
+        shared.obs.cache_hits.add(stats.cache_hits);
+        shared.obs.ledger_queries.add(stats.ledger_queries);
         shared
     }
 
@@ -135,17 +153,40 @@ impl SharedProxy {
     /// Classify a lookup: merged filter, then cache stripe, then ledger.
     /// Same decision pipeline as [`IrsProxy::lookup`], but `&self`.
     pub fn lookup(&self, id: RecordId, now: TimeMs) -> LookupOutcome {
-        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
-        let filters = self.filters_snapshot();
-        if filters.might_be_revoked(id.filter_key()) == Some(false) {
-            self.stats.filter_negative.fetch_add(1, Ordering::Relaxed);
-            return LookupOutcome::NotRevokedByFilter;
+        self.lookup_traced(id, now, None)
+    }
+
+    /// [`lookup`](Self::lookup) with per-stage tracing: the filter
+    /// probe and the cache-stripe probe each record a span with their
+    /// verdict, so a traced validate can attribute time to the filter
+    /// versus the LRU versus the ledger round-trip.
+    pub fn lookup_traced(
+        &self,
+        id: RecordId,
+        now: TimeMs,
+        trace: Option<&Arc<SpanRecorder>>,
+    ) -> LookupOutcome {
+        self.obs.lookups.inc();
+        {
+            let span = SpanRecorder::maybe(trace, "proxy:filter");
+            let filters = self.filters_snapshot();
+            if filters.might_be_revoked(id.filter_key()) == Some(false) {
+                self.obs.filter_negative.inc();
+                span.verdict("negative");
+                return LookupOutcome::NotRevokedByFilter;
+            }
+            span.verdict("maybe");
         }
-        if let Some(status) = self.cache_shards[self.shard_of(&id)].lock().get(&id, now) {
-            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return LookupOutcome::Cached(status);
+        {
+            let span = SpanRecorder::maybe(trace, "proxy:cache");
+            if let Some(status) = self.cache_shards[self.shard_of(&id)].lock().get(&id, now) {
+                self.obs.cache_hits.inc();
+                span.verdict("hit");
+                return LookupOutcome::Cached(status);
+            }
+            span.verdict("miss");
         }
-        self.stats.ledger_queries.fetch_add(1, Ordering::Relaxed);
+        self.obs.ledger_queries.inc();
         LookupOutcome::NeedsLedgerQuery
     }
 
@@ -166,11 +207,11 @@ impl SharedProxy {
             .peek_stale(&id, now);
         match found {
             Some(hit) => {
-                self.stats.stale_served.fetch_add(1, Ordering::Relaxed);
+                self.obs.stale_served.inc();
                 Some(hit)
             }
             None => {
-                self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+                self.obs.unavailable.inc();
                 None
             }
         }
@@ -194,7 +235,7 @@ impl SharedProxy {
         if ok {
             breaker.on_success(now);
         } else {
-            self.stats.upstream_failures.fetch_add(1, Ordering::Relaxed);
+            self.obs.upstream_failures.inc();
             breaker.on_failure(now);
         }
     }
@@ -231,10 +272,10 @@ impl SharedProxy {
     /// A point-in-time copy of the counters.
     pub fn stats(&self) -> ProxyStats {
         ProxyStats {
-            lookups: self.stats.lookups.load(Ordering::Relaxed),
-            filter_negative: self.stats.filter_negative.load(Ordering::Relaxed),
-            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
-            ledger_queries: self.stats.ledger_queries.load(Ordering::Relaxed),
+            lookups: self.obs.lookups.get(),
+            filter_negative: self.obs.filter_negative.get(),
+            cache_hits: self.obs.cache_hits.get(),
+            ledger_queries: self.obs.ledger_queries.get(),
         }
     }
 
@@ -242,11 +283,28 @@ impl SharedProxy {
     pub fn degraded_stats(&self) -> DegradedStats {
         let breaker_opens = self.health.read().values().map(|b| b.opens()).sum();
         DegradedStats {
-            stale_served: self.stats.stale_served.load(Ordering::Relaxed),
-            unavailable: self.stats.unavailable.load(Ordering::Relaxed),
-            upstream_failures: self.stats.upstream_failures.load(Ordering::Relaxed),
+            stale_served: self.obs.stale_served.get(),
+            unavailable: self.obs.unavailable.get(),
+            upstream_failures: self.obs.upstream_failures.get(),
             breaker_opens,
         }
+    }
+
+    /// The proxy's metrics registry (servers attach request-path
+    /// histograms here; tests read it directly).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.obs.registry
+    }
+
+    /// Text exposition of every proxy metric — the payload behind the
+    /// `Request::Metrics` wire message. Refreshes the point-in-time
+    /// gauges (breaker trips, cache occupancy) before rendering.
+    pub fn render_metrics(&self) -> String {
+        self.obs
+            .breaker_opens
+            .set(self.health.read().values().map(|b| b.opens()).sum());
+        self.obs.cache_entries.set(self.cache_len() as u64);
+        self.obs.registry.render()
     }
 }
 
@@ -255,6 +313,7 @@ mod tests {
     use super::*;
     use irs_core::ids::LedgerId;
     use irs_filters::BloomFilter;
+    use std::sync::atomic::Ordering;
     use std::thread;
 
     fn rid(n: u64) -> RecordId {
@@ -409,6 +468,41 @@ mod tests {
         assert_eq!(p.degraded_stats().upstream_failures, 2);
         // Ledger 2's staleness is bounded by its last success.
         assert_eq!(p.breaker(LedgerId(2)).staleness_ms(TimeMs(11)), Some(10));
+    }
+
+    #[test]
+    fn metrics_exposition_and_traced_lookup_spans() {
+        let p = SharedProxy::new(ProxyConfig {
+            cache_capacity: 16,
+            cache_ttl_ms: 1_000,
+        });
+        install_filter(&p, &[rid(1)]);
+        // A traced miss records both pipeline stages with verdicts.
+        let rec = SpanRecorder::new();
+        assert_eq!(
+            p.lookup_traced(rid(1), TimeMs(0), Some(&rec)),
+            LookupOutcome::NeedsLedgerQuery
+        );
+        let spans = rec.spans();
+        let named: Vec<_> = spans.iter().map(|s| (s.name, s.verdict)).collect();
+        assert_eq!(
+            named,
+            [("proxy:filter", "maybe"), ("proxy:cache", "miss")],
+            "filter then cache, each with its verdict"
+        );
+        // A filter-negative trace stops at the filter stage.
+        let rec = SpanRecorder::new();
+        p.lookup_traced(rid(999_999), TimeMs(0), Some(&rec));
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.spans()[0].verdict, "negative");
+        // The same counters back stats() and the text exposition.
+        p.complete(rid(1), RevocationStatus::Revoked, TimeMs(0));
+        p.lookup(rid(1), TimeMs(1));
+        let parsed = irs_obs::parse_exposition(&p.render_metrics());
+        assert_eq!(parsed["irs_proxy_lookups_total"], 3.0);
+        assert_eq!(parsed["irs_proxy_filter_negative_total"], 1.0);
+        assert_eq!(parsed["irs_proxy_cache_hits_total"], 1.0);
+        assert_eq!(parsed["irs_proxy_cache_entries"], 1.0);
     }
 
     #[test]

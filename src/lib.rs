@@ -30,6 +30,7 @@
 //! | [`tet`] | `irs-tet` | adoption-dynamics model of the TET argument |
 //! | [`workload`] | `irs-workload` | populations, Zipf traces, page models |
 //! | [`simnet`] | `irs-simnet` | deterministic discrete-event simulator |
+//! | [`obs`] | `irs-obs` | lock-free metrics registry + span tracing |
 //! | [`net`] | `irs-net` | real TCP ledger/proxy prototype |
 //!
 //! ## Quickstart
@@ -119,6 +120,11 @@ pub mod workload {
 /// Discrete-event simulation (re-export of `irs-simnet`).
 pub mod simnet {
     pub use irs_simnet::*;
+}
+
+/// Observability: metrics registry + span tracing (re-export of `irs-obs`).
+pub mod obs {
+    pub use irs_obs::*;
 }
 
 /// Real TCP prototype (re-export of `irs-net`).
