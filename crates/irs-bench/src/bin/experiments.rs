@@ -13,6 +13,13 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden child mode for E19's largest rung: `e19-server <records>`
+    // serves a preloaded ledger from a separate process so one fd limit
+    // doesn't have to hold both halves of 20 000 sockets.
+    if args.first().map(String::as_str) == Some("e19-server") {
+        let records: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+        irs_bench::experiments::e19_connection_scaling::serve_child(records);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
     let ids: Vec<&str> = args
@@ -21,7 +28,7 @@ fn main() {
         .map(String::as_str)
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e18|all> [--quick] [--check]");
+        eprintln!("usage: experiments <e1..e19|all> [--quick] [--check]");
         std::process::exit(2);
     }
     for id in ids {
@@ -42,7 +49,7 @@ fn main() {
         match irs_bench::run_experiment(id, quick) {
             Some(output) => println!("{output}"),
             None => {
-                eprintln!("unknown experiment '{id}' (expected e1..e18 or all)");
+                eprintln!("unknown experiment '{id}' (expected e1..e19 or all)");
                 std::process::exit(2);
             }
         }

@@ -10,6 +10,7 @@ pub mod e15_thread_scaling;
 pub mod e16_availability;
 pub mod e17_durability;
 pub mod e18_observability;
+pub mod e19_connection_scaling;
 pub mod e1_page_load;
 pub mod e2_pinterest_threshold;
 pub mod e3_scroll_prototype;

@@ -1,0 +1,275 @@
+//! The explicit framing codec for the event-loop network core.
+//!
+//! [`framing`](crate::framing) speaks the wire format over *blocking*
+//! streams: `read_frame` parks the thread until a whole frame arrives,
+//! which is exactly what a readiness-polled reactor must never do. This
+//! module is the non-blocking half of the same format — an explicit
+//! encoder/decoder over a reusable byte buffer, in the shape of the
+//! ripple `MessageCodec` / linera `Codec` exemplars (SNIPPETS.md §2–3):
+//!
+//! * [`BytesBuf`] — a growable buffer with a consume cursor. Reads
+//!   append at the tail, the decoder consumes from the head, and the
+//!   buffer compacts itself so steady-state traffic never reallocates;
+//! * [`FrameCodec`] — u32-BE length-prefixed frames (byte-identical to
+//!   [`framing`](crate::framing), so blocking and reactor peers
+//!   interoperate), tolerant of arbitrary split points: `decode` returns
+//!   `Ok(None)` until a whole frame is buffered, and `encode` only ever
+//!   appends — a partially flushed frame just stays in the buffer.
+//!
+//! The cap is enforced *from the length prefix alone*, before any
+//! payload accumulates, so a hostile peer cannot stage a huge
+//! allocation by declaring an absurd length.
+
+use crate::NetError;
+use bytes::Bytes;
+
+/// A reusable byte buffer: append at the tail, consume from the head.
+///
+/// Internally a `Vec<u8>` plus a head cursor. Consumed bytes are not
+/// moved immediately; the buffer compacts (shifts the live region to
+/// the front) when the dead prefix dominates, amortizing the copy. The
+/// capacity reached during a burst is kept for the connection's
+/// lifetime — the "reusable buffer" half of the codec contract.
+#[derive(Default)]
+pub struct BytesBuf {
+    data: Vec<u8>,
+    head: usize,
+}
+
+impl BytesBuf {
+    /// An empty buffer (no allocation until the first append).
+    pub fn new() -> BytesBuf {
+        BytesBuf::default()
+    }
+
+    /// An empty buffer with `capacity` pre-allocated.
+    pub fn with_capacity(capacity: usize) -> BytesBuf {
+        BytesBuf {
+            data: Vec::with_capacity(capacity),
+            head: 0,
+        }
+    }
+
+    /// Unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether everything appended has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.data.len()
+    }
+
+    /// The unconsumed region.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+
+    /// Append `bytes` at the tail.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.compact_if_worthwhile();
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Consume `n` bytes from the head (they must exist).
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.head += n;
+        if self.is_empty() {
+            // Cheap full reset: nothing live to shift.
+            self.data.clear();
+            self.head = 0;
+        }
+    }
+
+    /// Consume and return `n` bytes from the head as an owned [`Bytes`].
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split past end of buffer");
+        let out = Bytes::copy_from_slice(&self.data[self.head..self.head + n]);
+        self.advance(n);
+        out
+    }
+
+    /// Drop everything, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.head = 0;
+    }
+
+    /// Shift the live region to the front when the dead prefix is both
+    /// sizable and larger than the live region — O(live) copy paid at
+    /// most every O(dead) consumed bytes, so appends stay amortized O(1).
+    fn compact_if_worthwhile(&mut self) {
+        if self.head >= 4096 && self.head > self.len() {
+            self.data.copy_within(self.head.., 0);
+            let live = self.len();
+            self.data.truncate(live);
+            self.head = 0;
+        }
+    }
+}
+
+impl std::fmt::Debug for BytesBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BytesBuf")
+            .field("len", &self.len())
+            .field("capacity", &self.data.capacity())
+            .finish()
+    }
+}
+
+/// u32-BE length prefix, 4 bytes.
+pub const FRAME_HEADER: usize = 4;
+
+/// Length-prefixed frame encoder/decoder with a declared-length cap.
+///
+/// Stateless beyond the cap: all buffering lives in the caller's
+/// [`BytesBuf`]s, so one codec value serves every connection.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameCodec {
+    cap: u32,
+}
+
+impl FrameCodec {
+    /// A codec rejecting frames whose declared length exceeds `cap`
+    /// (servers pass [`crate::framing::MAX_REQUEST_FRAME`], clients
+    /// [`crate::framing::MAX_FRAME`]).
+    pub fn new(cap: u32) -> FrameCodec {
+        FrameCodec { cap }
+    }
+
+    /// The declared-length cap.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Append one frame (header + payload) to `out`. Fails without
+    /// touching `out` if `payload` exceeds the cap — an oversized
+    /// response is the handler's bug and must not desynchronize the
+    /// stream.
+    pub fn encode(&self, payload: &[u8], out: &mut BytesBuf) -> Result<(), NetError> {
+        if payload.len() as u64 > self.cap as u64 {
+            return Err(NetError::Frame("payload exceeds frame cap"));
+        }
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Try to decode one frame from the head of `buf`.
+    ///
+    /// `Ok(Some(payload))` consumes the frame; `Ok(None)` means more
+    /// bytes are needed (nothing consumed — partial reads at any byte
+    /// boundary are fine); `Err` means the stream is poisoned (declared
+    /// length over the cap) and the connection must be dropped.
+    pub fn decode(&self, buf: &mut BytesBuf) -> Result<Option<Bytes>, NetError> {
+        let head = buf.as_slice();
+        if head.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([head[0], head[1], head[2], head[3]]);
+        if len > self.cap {
+            return Err(NetError::Frame("declared length exceeds frame cap"));
+        }
+        let total = FRAME_HEADER + len as usize;
+        if head.len() < total {
+            return Ok(None);
+        }
+        buf.advance(FRAME_HEADER);
+        Ok(Some(buf.split_to(len as usize)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing::MAX_REQUEST_FRAME;
+
+    #[test]
+    fn bytes_buf_append_consume_compact() {
+        let mut b = BytesBuf::new();
+        assert!(b.is_empty());
+        b.extend_from_slice(b"hello world");
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.split_to(6).as_ref(), b"hello ");
+        assert_eq!(b.as_slice(), b"world");
+        b.advance(5);
+        assert!(b.is_empty());
+        // Consuming everything resets the cursor without a copy.
+        b.extend_from_slice(b"again");
+        assert_eq!(b.as_slice(), b"again");
+
+        // Force the compaction path: a large dead prefix must shift the
+        // live region forward without corrupting it.
+        let mut b = BytesBuf::new();
+        b.extend_from_slice(&vec![0xAA; 8192]);
+        b.extend_from_slice(b"tail");
+        b.advance(8192);
+        b.extend_from_slice(b"-more");
+        assert_eq!(b.as_slice(), b"tail-more");
+    }
+
+    #[test]
+    fn roundtrip_across_all_split_points() {
+        let codec = FrameCodec::new(MAX_REQUEST_FRAME);
+        let mut wire = BytesBuf::new();
+        codec.encode(b"alpha", &mut wire).unwrap();
+        codec.encode(b"", &mut wire).unwrap();
+        codec.encode(&[0x42; 300], &mut wire).unwrap();
+        let stream: Vec<u8> = wire.as_slice().to_vec();
+
+        // Feed the stream one byte at a time: every prefix either
+        // decodes a completed frame or asks for more — never errors.
+        let mut rx = BytesBuf::new();
+        let mut frames: Vec<Bytes> = Vec::new();
+        for &byte in &stream {
+            rx.extend_from_slice(&[byte]);
+            while let Some(frame) = codec.decode(&mut rx).unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].as_ref(), b"alpha");
+        assert!(frames[1].is_empty());
+        assert_eq!(frames[2].len(), 300);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn oversized_declared_length_poisons() {
+        let codec = FrameCodec::new(1024);
+        let mut rx = BytesBuf::new();
+        rx.extend_from_slice(&2048u32.to_be_bytes());
+        assert!(matches!(codec.decode(&mut rx), Err(NetError::Frame(_))));
+    }
+
+    #[test]
+    fn oversized_payload_refused_at_encode() {
+        let codec = FrameCodec::new(8);
+        let mut out = BytesBuf::new();
+        assert!(codec.encode(&[0u8; 9], &mut out).is_err());
+        assert!(out.is_empty(), "failed encode must not emit partial bytes");
+        codec.encode(&[0u8; 8], &mut out).unwrap();
+        assert_eq!(out.len(), FRAME_HEADER + 8);
+    }
+
+    #[test]
+    fn interoperates_with_blocking_framing() {
+        // The reactor codec and the blocking framing module speak the
+        // same bytes — a blocking client can talk to a reactor server.
+        let mut blocking = Vec::new();
+        crate::framing::write_frame(&mut blocking, b"cross").unwrap();
+        let codec = FrameCodec::new(MAX_REQUEST_FRAME);
+        let mut rx = BytesBuf::new();
+        rx.extend_from_slice(&blocking);
+        assert_eq!(codec.decode(&mut rx).unwrap().unwrap().as_ref(), b"cross");
+
+        let mut out = BytesBuf::new();
+        codec.encode(b"back", &mut out).unwrap();
+        let mut cursor = std::io::Cursor::new(out.as_slice().to_vec());
+        assert_eq!(
+            crate::framing::read_frame(&mut cursor).unwrap().as_ref(),
+            b"back"
+        );
+    }
+}

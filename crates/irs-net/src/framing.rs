@@ -32,12 +32,13 @@ pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), NetEr
     Ok(())
 }
 
-/// Encode `response` and write it as one frame. A response the wire
-/// format cannot represent (e.g. an error message longer than its u16
-/// length prefix) is downgraded to a short error reply instead of
-/// tearing down the connection — the peer always gets *an* answer.
-pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> Result<(), NetError> {
-    let bytes = match response.to_bytes() {
+/// Encode `response` to payload bytes. A response the wire format
+/// cannot represent (e.g. an error message longer than its u16 length
+/// prefix) is downgraded to a short error reply instead of tearing down
+/// the connection — the peer always gets *an* answer. Shared by the
+/// blocking [`write_response`] and the reactor's frame handlers.
+pub fn response_bytes(response: &Response) -> Bytes {
+    match response.to_bytes() {
         Ok(b) => b,
         Err(e) => Response::Error {
             code: irs_ledger::codes::BAD_REQUEST,
@@ -45,8 +46,12 @@ pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> Result<(
         }
         .to_bytes()
         .expect("short error response always encodes"),
-    };
-    write_frame(writer, &bytes)
+    }
+}
+
+/// Encode `response` (via [`response_bytes`]) and write it as one frame.
+pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> Result<(), NetError> {
+    write_frame(writer, &response_bytes(response))
 }
 
 /// Read one frame with the large [`MAX_FRAME`] cap (the client side,

@@ -1,12 +1,21 @@
 //! A ledger behind the wire protocol — the §4.3 "prototype ledger".
 //!
-//! Connection threads share one [`ConcurrentLedger`] behind a plain
+//! Since the event-loop PR the default engine is the
+//! [`reactor`](crate::reactor): a fixed pool of worker threads runs
+//! readiness loops over non-blocking sockets, so connection count is
+//! bounded by memory rather than by thread count, and pipelined clients
+//! ([`crate::mux::MuxClient`]) multiplex many requests per connection.
+//! The original thread-per-connection engine survives behind
+//! [`LedgerServer::start_threaded`] as the E19 comparison baseline.
+//!
+//! Either way, connections share one [`ConcurrentLedger`] behind a plain
 //! `Arc` and call its `&self` request path directly: no whole-service
 //! mutex is held across request handling, so independent connections
 //! proceed in parallel (the E15 thread-scaling experiment measures the
 //! difference against the old `Mutex<Ledger>` design).
 
-use crate::framing::{read_frame_capped, write_response, MAX_REQUEST_FRAME};
+use crate::framing::{read_frame_capped, response_bytes, write_response, MAX_REQUEST_FRAME};
+use crate::reactor::{Reactor, ReactorConfig, ReactorHandle};
 use crate::server::ServerHandle;
 use irs_core::time::{Clock, SystemClock};
 use irs_core::wire::{Request, Response, Wire};
@@ -15,17 +24,40 @@ use irs_ledger::{ConcurrentLedger, Ledger};
 use std::net::SocketAddr;
 use std::sync::Arc;
 
+/// Which network engine a server runs on.
+enum Engine {
+    /// Event-loop workers (the default).
+    Reactor(ReactorHandle),
+    /// Thread per connection (the E19 baseline).
+    Threaded(ServerHandle),
+}
+
 /// A running TCP ledger server.
 pub struct LedgerServer {
     ledger: Arc<ConcurrentLedger>,
-    handle: ServerHandle,
+    engine: Engine,
+}
+
+/// The shared request path: decode, dispatch to the ledger, encode —
+/// identical under both engines.
+fn serve_frame(ledger: &ConcurrentLedger, frame: bytes::Bytes) -> Response {
+    match Request::from_bytes(frame) {
+        Ok(request) => {
+            let now = SystemClock.now();
+            ledger.handle(request, now)
+        }
+        Err(e) => Response::Error {
+            code: irs_ledger::codes::BAD_REQUEST,
+            message: format!("bad request: {e}"),
+        },
+    }
 }
 
 impl LedgerServer {
-    /// Start serving `ledger` on `addr` ("127.0.0.1:0" for ephemeral).
-    /// The ledger is promoted to a [`ConcurrentLedger`] with
-    /// [`DEFAULT_SHARDS`] stripes; records, published filter snapshots,
-    /// and stats carry over.
+    /// Start serving `ledger` on `addr` ("127.0.0.1:0" for ephemeral) on
+    /// the reactor engine. The ledger is promoted to a
+    /// [`ConcurrentLedger`] with [`DEFAULT_SHARDS`] stripes; records,
+    /// published filter snapshots, and stats carry over.
     pub fn start(ledger: Ledger, addr: &str) -> std::io::Result<LedgerServer> {
         LedgerServer::start_shared(Arc::new(ledger.into_concurrent(DEFAULT_SHARDS)), addr)
     }
@@ -51,8 +83,45 @@ impl LedgerServer {
 
     /// Start serving an already-shared concurrent ledger (callers that
     /// want to drive the same instance from outside the server, or to
-    /// pick a stripe count).
+    /// pick a stripe count) on the reactor engine with default tuning.
     pub fn start_shared(
+        ledger: Arc<ConcurrentLedger>,
+        addr: &str,
+    ) -> std::io::Result<LedgerServer> {
+        let config = ReactorConfig {
+            registry: Some(ledger.metrics().clone()),
+            ..ReactorConfig::default()
+        };
+        LedgerServer::start_reactor(ledger, addr, config)
+    }
+
+    /// Start on the reactor engine with explicit [`ReactorConfig`]
+    /// tuning (worker count, frame cap, backpressure). The config's
+    /// `registry` is replaced by the ledger's own, so reactor gauges and
+    /// histograms land in the same exposition as the ledger's counters.
+    pub fn start_reactor(
+        ledger: Arc<ConcurrentLedger>,
+        addr: &str,
+        mut config: ReactorConfig,
+    ) -> std::io::Result<LedgerServer> {
+        config.registry = Some(ledger.metrics().clone());
+        config.max_frame = MAX_REQUEST_FRAME;
+        let ledger_for_conns = ledger.clone();
+        let handle = Reactor::bind(
+            addr,
+            config,
+            Arc::new(move |frame| response_bytes(&serve_frame(&ledger_for_conns, frame))),
+        )?;
+        Ok(LedgerServer {
+            ledger,
+            engine: Engine::Reactor(handle),
+        })
+    }
+
+    /// Start on the thread-per-connection baseline engine — kept for the
+    /// E19 reactor-vs-threaded comparison and for environments without a
+    /// working poller.
+    pub fn start_threaded(
         ledger: Arc<ConcurrentLedger>,
         addr: &str,
     ) -> std::io::Result<LedgerServer> {
@@ -76,27 +145,24 @@ impl LedgerServer {
                     }
                     Err(_) => return,
                 };
-                let response = match Request::from_bytes(frame) {
-                    Ok(request) => {
-                        let now = SystemClock.now();
-                        ledger_for_conns.handle(request, now)
-                    }
-                    Err(e) => Response::Error {
-                        code: irs_ledger::codes::BAD_REQUEST,
-                        message: format!("bad request: {e}"),
-                    },
-                };
+                let response = serve_frame(&ledger_for_conns, frame);
                 if write_response(&mut stream, &response).is_err() {
                     return;
                 }
             }
         })?;
-        Ok(LedgerServer { ledger, handle })
+        Ok(LedgerServer {
+            ledger,
+            engine: Engine::Threaded(handle),
+        })
     }
 
     /// The server's bound address.
     pub fn addr(&self) -> SocketAddr {
-        self.handle.addr()
+        match &self.engine {
+            Engine::Reactor(h) => h.addr(),
+            Engine::Threaded(h) => h.addr(),
+        }
     }
 
     /// Shared access to the ledger (e.g. to publish filters or apply
@@ -105,9 +171,29 @@ impl LedgerServer {
         self.ledger.clone()
     }
 
+    /// Open connections right now.
+    pub fn live_connections(&self) -> usize {
+        match &self.engine {
+            Engine::Reactor(h) => h.live_connections(),
+            Engine::Threaded(h) => h.live_connections(),
+        }
+    }
+
+    /// Serving threads: reactor workers, or one per open connection on
+    /// the threaded baseline.
+    pub fn serving_threads(&self) -> usize {
+        match &self.engine {
+            Engine::Reactor(h) => h.workers(),
+            Engine::Threaded(h) => h.live_connections(),
+        }
+    }
+
     /// Stop the server and join all threads.
     pub fn shutdown(self) {
-        self.handle.shutdown();
+        match self.engine {
+            Engine::Reactor(h) => h.shutdown(),
+            Engine::Threaded(h) => h.shutdown(),
+        }
     }
 }
 
@@ -180,7 +266,8 @@ mod tests {
     }
 
     /// `Request::Metrics` over the wire returns a parseable exposition
-    /// whose counters reflect the requests the server actually handled.
+    /// whose counters reflect the requests the server actually handled —
+    /// now including the reactor's own gauges in the same registry.
     #[test]
     fn metrics_over_tcp_returns_parseable_exposition() {
         let server = server();
@@ -198,6 +285,11 @@ mod tests {
         assert_eq!(parsed["irs_ledger_claims_total"], 1.0);
         assert_eq!(parsed["irs_ledger_queries_total"], 1.0);
         assert_eq!(parsed["irs_ledger_records"], 1.0);
+        // Reactor metrics share the exposition: this very connection is
+        // live, served by a bounded worker pool.
+        assert_eq!(parsed["irs_net_live_connections"], 1.0);
+        assert!(parsed["irs_net_reactor_workers"] >= 2.0);
+        assert!(parsed["irs_net_frames_total"] >= 3.0);
         server.shutdown();
     }
 
@@ -220,6 +312,54 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(server.ledger().store().len(), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mux_client_pipelines_against_default_server() {
+        let server = server();
+        let mux = Arc::new(crate::mux::MuxClient::connect(server.addr()).unwrap());
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        std::thread::scope(|scope| {
+            for t in 0..4u8 {
+                let mux = mux.clone();
+                scope.spawn(move || {
+                    let kp = Keypair::from_seed(&[t + 40; 32]);
+                    let claim = ClaimRequest::create(&kp, &Digest::of(&[t]));
+                    let Response::Claimed { id, .. } =
+                        mux.call(&Request::Claim(claim), far).unwrap()
+                    else {
+                        panic!("claim failed");
+                    };
+                    let Response::Status { status, .. } =
+                        mux.call(&Request::Query { id }, far).unwrap()
+                    else {
+                        panic!("query failed");
+                    };
+                    assert_eq!(status, RevocationStatus::NotRevoked);
+                });
+            }
+        });
+        // All eight exchanges shared one connection.
+        assert_eq!(server.live_connections(), 1);
+        assert_eq!(server.ledger().store().len(), 4);
+        drop(mux);
+        server.shutdown();
+    }
+
+    #[test]
+    fn threaded_baseline_still_serves() {
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(8),
+        );
+        let server = LedgerServer::start_threaded(
+            Arc::new(ledger.into_concurrent(DEFAULT_SHARDS)),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
         server.shutdown();
     }
 

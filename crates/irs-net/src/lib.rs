@@ -1,16 +1,33 @@
 //! The real-network prototype (§4.3: "we built a prototype ledger and
 //! browser extension that performed revocation checks").
 //!
-//! Blocking `std::net` with a thread per connection — the networking
-//! guides' advice for services with few concurrent connections ("when not
-//! to use Tokio"): the bootstrap ledger prototype serves a handful of
-//! proxies, not the open Internet. Shutdown is explicit and joins every
-//! connection thread (structured concurrency: no task outlives its
-//! component).
+//! Two network engines share one wire format:
 //!
-//! * [`framing`] — u32-BE length-prefixed frames over a TCP stream, with
-//!   a frame-size cap and clean EOF handling;
-//! * [`server`] — the generic accept-loop harness;
+//! * The event-loop **reactor** ([`reactor`], [`codec`], [`mux`]) — the
+//!   production path. N worker threads run readiness loops over
+//!   non-blocking sockets; connection count is bounded by memory, not by
+//!   thread count, and clients multiplex pipelined requests over one
+//!   connection. [`LedgerServer`] and [`ProxyServer`] run on it by
+//!   default. DESIGN.md §12 describes the architecture.
+//! * The blocking **thread-per-connection** engine ([`server`],
+//!   [`framing`], [`client`]) — the bootstrap prototype, kept as the
+//!   comparison baseline for experiment E19 and for one-shot tooling
+//!   where a parked thread is the simplest correct answer.
+//!
+//! Shutdown is explicit and joins every worker/connection thread
+//! (structured concurrency: no task outlives its component).
+//!
+//! * [`framing`] — u32-BE length-prefixed frames over a blocking TCP
+//!   stream, with a frame-size cap and clean EOF handling;
+//! * [`codec`] — the same frame format as an explicit encoder/decoder
+//!   over reusable buffers, tolerant of partial reads/writes (what the
+//!   reactor speaks);
+//! * [`reactor`] — the epoll-based event loop: registration, readiness
+//!   dispatch, per-connection state machines, bounded worker pool;
+//! * [`mux`] — the multiplexing client: pipelined requests with
+//!   correlation slots over one shared connection;
+//! * [`server`] — the thread-per-connection accept-loop harness
+//!   (baseline engine);
 //! * [`ledger_server`] — a [`irs_ledger::Ledger`] behind the wire
 //!   protocol;
 //! * [`proxy_server`] — an [`irs_proxy::IrsProxy`] that answers locally
@@ -24,9 +41,12 @@
 
 pub mod chaos;
 pub mod client;
+pub mod codec;
 pub mod framing;
 pub mod ledger_server;
+pub mod mux;
 pub mod proxy_server;
+pub mod reactor;
 pub mod refresh;
 pub mod resilient;
 pub mod server;
@@ -34,8 +54,11 @@ pub mod service;
 
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, FaultMode};
 pub use client::LedgerClient;
+pub use codec::{BytesBuf, FrameCodec};
 pub use ledger_server::LedgerServer;
+pub use mux::MuxClient;
 pub use proxy_server::ProxyServer;
+pub use reactor::{Reactor, ReactorConfig, ReactorHandle};
 pub use refresh::{refresh_filter, refresh_shared_filter, RefreshOutcome, RefreshWorker};
 pub use resilient::{ResilientClient, RetryPolicy};
 pub use server::ServerHandle;

@@ -1,0 +1,454 @@
+//! The multiplexing client: pipelined requests over one connection.
+//!
+//! [`LedgerClient`](crate::client::LedgerClient) is strictly
+//! request/response — one in-flight exchange per connection, so N
+//! concurrent callers need N sockets (the old `TcpTransport` kept an
+//! 8-slot pool). A reactor server answers every frame *in request
+//! order* on a connection (the pipelining contract, see
+//! [`crate::reactor`]), which lets one socket carry any number of
+//! overlapping exchanges: [`MuxClient`] assigns each call a correlation
+//! id, appends its frame to the shared stream, and a single reader
+//! thread matches arriving responses back to waiting callers by that
+//! order — slot *k* in the FIFO of in-flight correlation ids owns the
+//! *k*-th response frame.
+//!
+//! Failure semantics mirror the blocking client: any transport error is
+//! fatal to the connection (ordered correlation cannot resynchronize a
+//! torn stream), every in-flight and future call fails with
+//! [`NetError::ConnectionLost`], and the owner redials. A caller whose
+//! deadline expires abandons its slot; the reader still consumes the
+//! late response to keep the FIFO aligned, then discards it.
+
+use crate::codec::{BytesBuf, FrameCodec};
+use crate::framing::MAX_FRAME;
+use crate::NetError;
+use irs_core::wire::{Request, Response, Wire};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a waiting caller eventually observes in its slot.
+enum SlotState {
+    /// Response not yet arrived.
+    Waiting,
+    /// Response payload delivered by the reader.
+    Done(bytes::Bytes),
+    /// The connection died before the response arrived.
+    Failed,
+    /// The caller gave up (deadline); the reader will discard the
+    /// response when it arrives.
+    Abandoned,
+}
+
+/// One in-flight call: a correlation id plus the rendezvous cell its
+/// caller waits on. The cell uses std's `Mutex`/`Condvar` pair (the
+/// vendored `parking_lot` ships no condvar).
+struct Slot {
+    id: u64,
+    state: std::sync::Mutex<SlotState>,
+    ready: std::sync::Condvar,
+}
+
+impl Slot {
+    fn new(id: u64) -> Arc<Slot> {
+        Arc::new(Slot {
+            id,
+            state: std::sync::Mutex::new(SlotState::Waiting),
+            ready: std::sync::Condvar::new(),
+        })
+    }
+
+    fn fill(&self, state: SlotState) {
+        let mut s = self.state.lock().expect("slot lock poisoned");
+        if matches!(*s, SlotState::Waiting) {
+            *s = state;
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// State shared between callers and the reader thread.
+struct Shared {
+    /// In-flight correlation slots, oldest first. The head owns the
+    /// next response frame off the wire.
+    pending: Mutex<VecDeque<Arc<Slot>>>,
+    /// Set on the first transport error; the connection is unusable.
+    dead: AtomicBool,
+    /// Set by [`MuxClient::drop`] for a clean reader exit.
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Mark the connection dead and fail every in-flight slot.
+    fn poison(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let mut pending = self.pending.lock();
+        for slot in pending.drain(..) {
+            slot.fill(SlotState::Failed);
+        }
+    }
+}
+
+/// A thread-safe client multiplexing pipelined requests over one TCP
+/// connection with FIFO correlation ids. All methods take `&self`;
+/// callers on any number of threads share the socket.
+pub struct MuxClient {
+    addr: SocketAddr,
+    /// Write half: the stream plus the codec scratch buffer. Pushing a
+    /// slot and writing its frame happen under this one lock, which is
+    /// what makes slot order equal wire order.
+    writer: Mutex<(TcpStream, BytesBuf)>,
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    reader: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl MuxClient {
+    /// Connect with a 5 s dial timeout.
+    pub fn connect(addr: SocketAddr) -> Result<MuxClient, NetError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connect with an explicit dial timeout.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> Result<MuxClient, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        let read_half = stream.try_clone()?;
+        // Short read timeout: the reader wakes regularly to notice the
+        // stop flag even on an idle connection.
+        read_half.set_read_timeout(Some(Duration::from_millis(250)))?;
+
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(VecDeque::new()),
+            dead: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let reader = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("irs-mux-reader".into())
+                .spawn(move || reader_loop(read_half, shared))
+                .map_err(NetError::Io)?
+        };
+        Ok(MuxClient {
+            addr,
+            writer: Mutex::new((stream, BytesBuf::new())),
+            shared,
+            next_id: AtomicU64::new(1),
+            reader: Mutex::new(Some(reader)),
+        })
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the connection has been poisoned by a transport error.
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::SeqCst)
+    }
+
+    /// Calls currently awaiting a response.
+    pub fn in_flight(&self) -> usize {
+        self.shared.pending.lock().len()
+    }
+
+    /// One pipelined exchange: enqueue the request, wait (until
+    /// `deadline`) for its correlated response. Concurrent callers
+    /// interleave freely; responses are matched by FIFO correlation.
+    ///
+    /// [`NetError::ConnectionLost`] poisons the whole client (the owner
+    /// must redial); [`NetError::DeadlineExceeded`] abandons only this
+    /// call — the connection stays usable.
+    pub fn call(&self, request: &Request, deadline: Instant) -> Result<Response, NetError> {
+        // Encode before touching the stream: an unencodable request is
+        // the caller's bug and must not poison a healthy connection.
+        let payload = request.to_bytes()?;
+        if self.is_dead() {
+            return Err(NetError::ConnectionLost);
+        }
+        if Instant::now() >= deadline {
+            return Err(NetError::DeadlineExceeded);
+        }
+
+        let slot = Slot::new(self.next_id.fetch_add(1, Ordering::Relaxed));
+        {
+            // Slot push and frame write are one atomic step: wire order
+            // is exactly pending-queue order.
+            let mut writer = self.writer.lock();
+            let (stream, scratch) = &mut *writer;
+            scratch.clear();
+            FrameCodec::new(MAX_FRAME).encode(&payload, scratch)?;
+            self.shared.pending.lock().push_back(slot.clone());
+            if let Err(e) = stream.write_all(scratch.as_slice()) {
+                drop(writer);
+                self.shared.poison();
+                return Err(NetError::Io(e).into_lost());
+            }
+        }
+
+        // Rendezvous with the reader.
+        let mut state = slot.state.lock().expect("slot lock poisoned");
+        loop {
+            match &*state {
+                SlotState::Done(bytes) => {
+                    let bytes = bytes.clone();
+                    drop(state);
+                    return Ok(Response::from_bytes(bytes)?);
+                }
+                SlotState::Failed => return Err(NetError::ConnectionLost),
+                SlotState::Abandoned => unreachable!("only the caller abandons"),
+                SlotState::Waiting => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        // Leave the slot in the FIFO so correlation
+                        // stays aligned; the reader discards the late
+                        // response.
+                        *state = SlotState::Abandoned;
+                        return Err(NetError::DeadlineExceeded);
+                    }
+                    state = slot
+                        .ready
+                        .wait_timeout(state, deadline - now)
+                        .expect("slot lock poisoned")
+                        .0;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for MuxClient {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.poison();
+        // Unblock the reader promptly rather than waiting out its read
+        // timeout.
+        if let Some((stream, _)) = self.writer.try_lock().as_deref() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(reader) = self.reader.lock().take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+impl NetError {
+    /// Collapse transport-level failures into [`NetError::ConnectionLost`]
+    /// (the signal that the stream is poisoned and must be redialed).
+    fn into_lost(self) -> NetError {
+        match self {
+            NetError::Io(_) | NetError::Closed | NetError::Frame(_) => NetError::ConnectionLost,
+            other => other,
+        }
+    }
+}
+
+/// The reader thread: pull response frames off the wire, deliver each
+/// to the oldest in-flight slot.
+fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match crate::framing::read_frame(&mut stream) {
+            Ok(frame) => {
+                let slot = shared.pending.lock().pop_front();
+                match slot {
+                    Some(slot) => {
+                        let mut s = slot.state.lock().expect("slot lock poisoned");
+                        if matches!(*s, SlotState::Waiting) {
+                            *s = SlotState::Done(frame);
+                            slot.ready.notify_all();
+                        }
+                        // Abandoned: the frame is consumed (keeping the
+                        // FIFO aligned) and dropped. Correlation id
+                        // stays with the slot for diagnostics.
+                        let _ = slot.id;
+                    }
+                    None => {
+                        // A response nobody asked for: the server and
+                        // client disagree about the stream state.
+                        shared.poison();
+                        return;
+                    }
+                }
+            }
+            Err(NetError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle tick — loop to re-check the stop flag.
+            }
+            Err(_) => {
+                shared.poison();
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reactor::{Reactor, ReactorConfig};
+    use crate::server::poll_until;
+    use irs_core::wire::Wire;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A reactor echoing the decoded request back as a `Pong`/`Error`
+    /// pair: `Ping` → `Pong`, anything else → an error carrying a
+    /// per-connection sequence number, so tests can assert correlation.
+    fn pong_reactor() -> crate::reactor::ReactorHandle {
+        let seq = Arc::new(AtomicUsize::new(0));
+        Reactor::bind(
+            "127.0.0.1:0",
+            ReactorConfig {
+                workers: 1,
+                ..ReactorConfig::default()
+            },
+            Arc::new(move |frame: bytes::Bytes| {
+                let n = seq.fetch_add(1, Ordering::SeqCst);
+                let response = match Request::from_bytes(frame) {
+                    Ok(Request::Ping) => Response::Pong,
+                    _ => Response::Error {
+                        code: 400,
+                        message: format!("seq {n}"),
+                    },
+                };
+                crate::framing::response_bytes(&response)
+            }),
+        )
+        .unwrap()
+    }
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(10)
+    }
+
+    #[test]
+    fn single_call_roundtrip() {
+        let r = pong_reactor();
+        let mux = MuxClient::connect(r.addr()).unwrap();
+        assert_eq!(mux.call(&Request::Ping, far()).unwrap(), Response::Pong);
+        assert!(!mux.is_dead());
+        drop(mux);
+        r.shutdown();
+    }
+
+    #[test]
+    fn concurrent_callers_multiplex_one_connection() {
+        let r = pong_reactor();
+        let mux = Arc::new(MuxClient::connect(r.addr()).unwrap());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let mux = mux.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(mux.call(&Request::Ping, far()).unwrap(), Response::Pong);
+                    }
+                });
+            }
+        });
+        // One connection carried all 400 calls.
+        assert!(
+            poll_until(Duration::from_secs(5), || r.live_connections() == 1),
+            "all calls must share the single connection"
+        );
+        drop(mux);
+        r.shutdown();
+    }
+
+    #[test]
+    fn deadline_abandons_slot_without_poisoning() {
+        // A server that answers only after a long stall.
+        let r = Reactor::bind(
+            "127.0.0.1:0",
+            ReactorConfig {
+                workers: 1,
+                ..ReactorConfig::default()
+            },
+            Arc::new(|_frame: bytes::Bytes| {
+                std::thread::sleep(Duration::from_millis(400));
+                crate::framing::response_bytes(&Response::Pong)
+            }),
+        )
+        .unwrap();
+        let mux = MuxClient::connect(r.addr()).unwrap();
+        let started = Instant::now();
+        let err = mux
+            .call(&Request::Ping, Instant::now() + Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, NetError::DeadlineExceeded), "{err}");
+        assert!(started.elapsed() < Duration::from_millis(300));
+        // The connection survives: the late response is discarded and a
+        // fresh call (after the stall clears) succeeds.
+        assert!(!mux.is_dead());
+        assert_eq!(mux.call(&Request::Ping, far()).unwrap(), Response::Pong);
+        drop(mux);
+        r.shutdown();
+    }
+
+    #[test]
+    fn server_death_fails_all_in_flight() {
+        let r = Reactor::bind(
+            "127.0.0.1:0",
+            ReactorConfig {
+                workers: 1,
+                ..ReactorConfig::default()
+            },
+            Arc::new(|_frame: bytes::Bytes| {
+                std::thread::sleep(Duration::from_millis(200));
+                crate::framing::response_bytes(&Response::Pong)
+            }),
+        )
+        .unwrap();
+        let mux = Arc::new(MuxClient::connect(r.addr()).unwrap());
+        let callers: Vec<_> = (0..4)
+            .map(|_| {
+                let mux = mux.clone();
+                std::thread::spawn(move || mux.call(&Request::Ping, far()))
+            })
+            .collect();
+        // Give the calls time to get onto the wire, then kill the server.
+        assert!(poll_until(Duration::from_secs(5), || mux.in_flight() > 0));
+        r.shutdown();
+        for c in callers {
+            let result = c.join().unwrap();
+            assert!(
+                matches!(result, Err(NetError::ConnectionLost)) || result.is_ok(),
+                "in-flight calls must fail with ConnectionLost (or have completed)"
+            );
+        }
+        // The client is poisoned for every further call.
+        assert!(poll_until(Duration::from_secs(5), || mux.is_dead()));
+        assert!(matches!(
+            mux.call(&Request::Ping, far()),
+            Err(NetError::ConnectionLost)
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_touching_the_wire() {
+        let r = pong_reactor();
+        let mux = MuxClient::connect(r.addr()).unwrap();
+        let err = mux
+            .call(&Request::Ping, Instant::now() - Duration::from_millis(1))
+            .unwrap_err();
+        assert!(matches!(err, NetError::DeadlineExceeded));
+        assert_eq!(mux.in_flight(), 0, "no slot may be enqueued");
+        drop(mux);
+        r.shutdown();
+    }
+}

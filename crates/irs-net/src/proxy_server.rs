@@ -4,11 +4,16 @@
 //!
 //! Browsers connect to the proxy with the same wire protocol they would
 //! use against a ledger; the ledger only ever sees the proxy's address,
-//! which is the privacy property (§4.2). Connection threads share one
-//! [`SharedProxy`] and one composed [`Service`] stack behind plain
-//! `Arc`s: lookups are `&self` (snapshot filters, striped cache), so a
-//! filter refresh or a slow upstream call on one connection never blocks
-//! lookups on another.
+//! which is the privacy property (§4.2). The server runs on the
+//! [`reactor`](crate::reactor) engine; because a proxy handler may
+//! *block* on a bounded upstream call (the stack's transport waits for
+//! the ledger's answer), the worker pool is sized several times the core
+//! count — each blocked handler parks one worker, and the pool must keep
+//! enough event loops live to serve cache hits meanwhile (DESIGN.md §12
+//! has the sizing rule). Handler state is shared, `&self`, lock-striped:
+//! one [`SharedProxy`] and one composed [`Service`] stack behind plain
+//! `Arc`s, so a filter refresh or a slow upstream call on one connection
+//! never blocks lookups on another.
 //!
 //! The upstream path is whatever stack the caller composes — from the
 //! plain single-attempt rung up to the full degradation ladder
@@ -16,10 +21,10 @@
 //! rungs live in [`crate::service::stacks`] and the ordering rules in
 //! DESIGN.md §10.
 
-use crate::framing::{read_frame_capped, write_response, MAX_REQUEST_FRAME};
-use crate::server::ServerHandle;
+use crate::framing::{response_bytes, MAX_REQUEST_FRAME};
+use crate::reactor::{Reactor, ReactorConfig, ReactorHandle};
 use crate::service::{stacks, BoxService, CallCtx, Service};
-use irs_core::wire::{Request, Wire};
+use irs_core::wire::{Request, Response, Wire};
 use irs_proxy::{IrsProxy, SharedProxy};
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -27,7 +32,14 @@ use std::sync::Arc;
 /// A running TCP proxy.
 pub struct ProxyServer {
     proxy: Arc<SharedProxy>,
-    handle: ServerHandle,
+    handle: ReactorHandle,
+}
+
+/// Worker pool for a proxy reactor: handlers can block on upstream
+/// calls, so give the pool headroom beyond the core count (bounded so
+/// 10 000 connections still never means 10 000 threads).
+fn proxy_workers() -> usize {
+    (4 * crate::reactor::default_workers()).clamp(4, 32)
 }
 
 impl ProxyServer {
@@ -66,22 +78,16 @@ impl ProxyServer {
         let stack: Arc<BoxService> = Arc::new(stack);
         let request_us = proxy.metrics().histogram("irs_proxy_request_us");
         let shared = proxy.clone();
-        let handle = ServerHandle::spawn(addr, move |mut stream, stop| {
-            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
-            loop {
-                if stop.load(std::sync::atomic::Ordering::SeqCst) {
-                    return;
-                }
-                let frame = match read_frame_capped(&mut stream, MAX_REQUEST_FRAME) {
-                    Ok(f) => f,
-                    Err(crate::NetError::Io(e))
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        continue;
-                    }
-                    Err(_) => return,
-                };
+        let config = ReactorConfig {
+            workers: proxy_workers(),
+            max_frame: MAX_REQUEST_FRAME,
+            registry: Some(proxy.metrics().clone()),
+            ..ReactorConfig::default()
+        };
+        let handle = Reactor::bind(
+            addr,
+            config,
+            Arc::new(move |frame| {
                 let start = std::time::Instant::now();
                 let response = match Request::from_bytes(frame) {
                     Ok(req @ Request::Query { .. }) => {
@@ -92,31 +98,27 @@ impl ProxyServer {
                             // A stack without the stale-serve rung lets
                             // failures surface; the browser gets an
                             // honest error, never a bogus status.
-                            Err(_) => irs_core::wire::Response::Error {
+                            Err(_) => Response::Error {
                                 code: irs_ledger::codes::UNAVAILABLE,
                                 message: "upstream unavailable".to_string(),
                             },
                         }
                     }
-                    Ok(Request::Ping) => irs_core::wire::Response::Pong,
-                    Ok(Request::Metrics) => {
-                        irs_core::wire::Response::MetricsText(shared.render_metrics())
-                    }
-                    Ok(_) => irs_core::wire::Response::Error {
+                    Ok(Request::Ping) => Response::Pong,
+                    Ok(Request::Metrics) => Response::MetricsText(shared.render_metrics()),
+                    Ok(_) => Response::Error {
                         code: irs_ledger::codes::BAD_REQUEST,
                         message: "proxy only serves Query/Ping/Metrics".to_string(),
                     },
-                    Err(e) => irs_core::wire::Response::Error {
+                    Err(e) => Response::Error {
                         code: irs_ledger::codes::BAD_REQUEST,
                         message: format!("bad request: {e}"),
                     },
                 };
                 request_us.record_since(start);
-                if write_response(&mut stream, &response).is_err() {
-                    return;
-                }
-            }
-        })?;
+                response_bytes(&response)
+            }),
+        )?;
         Ok(ProxyServer { proxy, handle })
     }
 
@@ -129,6 +131,11 @@ impl ProxyServer {
     /// operation is `&self`).
     pub fn proxy(&self) -> Arc<SharedProxy> {
         self.proxy.clone()
+    }
+
+    /// Open browser connections right now.
+    pub fn live_connections(&self) -> usize {
+        self.handle.live_connections()
     }
 
     /// Stop and join.
@@ -274,6 +281,8 @@ mod tests {
         // The scrape itself records its latency only after rendering, so
         // the returned text counts exactly the one query before it.
         assert_eq!(parsed["irs_proxy_request_us_count"], 1.0);
+        // Reactor gauges land in the same exposition (this connection).
+        assert_eq!(parsed["irs_net_live_connections"], 1.0);
         proxy_server.shutdown();
     }
 

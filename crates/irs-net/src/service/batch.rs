@@ -194,16 +194,31 @@ impl<S: Service> Service for Batched<S> {
         }
 
         span.verdict("follower");
-        // Follower: wait for the leader to publish this generation. The
-        // hard cap guards against a leader that died mid-flush.
-        let give_up = Instant::now() + self.policy.max_hold + Duration::from_secs(5);
+        // Follower: wait for the leader to publish this generation —
+        // bounded by the *call deadline*, not just the hard cap. A slow
+        // or wedged leader must not hold a follower past the moment its
+        // own caller has given up (the old unbounded wait is exactly how
+        // a lost notify or a stalled upstream wedged coalesced callers).
+        // The hard cap still guards deadline-less contexts against a
+        // leader that died mid-flush.
+        let hard_cap = Instant::now() + self.policy.max_hold + Duration::from_secs(5);
+        let give_up = ctx.deadline.map_or(hard_cap, |d| d.min(hard_cap));
         while state.done_generation < generation {
-            if Instant::now() >= give_up {
-                return Err(NetError::Frame("batch flush timed out"));
+            let now = Instant::now();
+            if now >= give_up {
+                return Err(if ctx.expired() {
+                    NetError::DeadlineExceeded
+                } else {
+                    NetError::Frame("batch flush timed out")
+                });
             }
+            // Sleep no longer than the budget allows (and re-check every
+            // 50 ms so a published generation is picked up promptly even
+            // if this waiter misses a notify).
+            let wait = (give_up - now).min(Duration::from_millis(50));
             let (next, _timeout) = self
                 .flushed
-                .wait_timeout(state, Duration::from_millis(50))
+                .wait_timeout(state, wait)
                 .expect("batch state poisoned");
             state = next;
         }
@@ -349,6 +364,70 @@ mod tests {
         for t in threads {
             assert!(matches!(t.join().unwrap(), Err(NetError::ConnectionLost)));
         }
+    }
+
+    /// Regression: a follower's wait is bounded by its own call
+    /// deadline. With a leader wedged in a slow upstream flush, a
+    /// follower whose deadline expires must return `DeadlineExceeded`
+    /// promptly instead of waiting out the multi-second hard cap.
+    #[test]
+    fn follower_wait_is_bounded_by_the_call_deadline() {
+        let svc = Arc::new(
+            service_fn(|req, _ctx: &CallCtx| match req {
+                Request::Batch(ids) => {
+                    // The leader stalls here, holding the generation
+                    // unpublished well past the follower's deadline.
+                    std::thread::sleep(Duration::from_millis(1_500));
+                    Ok(Response::BatchStatus(
+                        ids.into_iter()
+                            .map(|id| (id, RevocationStatus::Revoked))
+                            .collect(),
+                    ))
+                }
+                _ => panic!("unexpected request"),
+            })
+            .layered(BatchLayer::new(BatchPolicy {
+                max_batch: 64,
+                max_hold: Duration::from_millis(50),
+            })),
+        );
+
+        // Leader: no deadline; rides out the slow flush.
+        let leader = {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let id = RecordId::new(LedgerId(1), 1);
+                svc.call(Request::Query { id }, &CallCtx::at(TimeMs(0)))
+            })
+        };
+        // Let the leader claim the window before the follower joins it.
+        std::thread::sleep(Duration::from_millis(10));
+
+        let follower_started = Instant::now();
+        let follower = {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let id = RecordId::new(LedgerId(1), 2);
+                let ctx = CallCtx::at(TimeMs(0))
+                    .with_deadline(Instant::now() + Duration::from_millis(150));
+                svc.call(Request::Query { id }, &ctx)
+            })
+        };
+        let follower_result = follower.join().unwrap();
+        let follower_waited = follower_started.elapsed();
+        assert!(
+            matches!(follower_result, Err(NetError::DeadlineExceeded)),
+            "expired follower must see DeadlineExceeded, got {follower_result:?}"
+        );
+        assert!(
+            follower_waited < Duration::from_millis(700),
+            "follower must give up at its deadline, not the hard cap (waited {follower_waited:?})"
+        );
+        // The leader still completes its flush normally.
+        assert!(matches!(
+            leader.join().unwrap(),
+            Ok(Response::Status { .. })
+        ));
     }
 
     #[test]

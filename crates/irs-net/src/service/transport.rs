@@ -1,31 +1,34 @@
-//! The bottom of every stack: a pooled blocking TCP transport.
+//! The bottom of every stack: a multiplexed TCP transport.
 //!
-//! [`TcpTransport`] owns a small pool of [`LedgerClient`] slots so one
-//! shared stack can serve many connection threads without serializing
-//! their exchanges behind a single socket. A slot whose stream dies is
-//! cleared and re-established lazily on the next call (the reconnect
-//! rung of the ladder); an encode error leaves the slot healthy — an
-//! unrepresentable request is the caller's bug, not the stream's.
+//! [`TcpTransport`] owns one [`MuxClient`] — a single connection
+//! carrying pipelined requests with correlation ids — so any number of
+//! concurrent callers share one socket without serializing behind each
+//! other's exchanges (the reactor answers frames in order; the mux
+//! matches responses back to callers). This replaces the old 8-slot
+//! `try_lock` pool: where the pool's concurrency ceiling was its slot
+//! count, the mux's is the server's pipeline depth.
+//!
+//! A connection that dies is poisoned wholesale (every in-flight call
+//! fails with [`NetError::ConnectionLost`]) and re-established lazily on
+//! the next call — the reconnect rung of the ladder. An encode error
+//! leaves the connection healthy: an unrepresentable request is the
+//! caller's bug, not the stream's.
 
 use super::{CallCtx, Service};
-use crate::client::LedgerClient;
+use crate::mux::MuxClient;
 use crate::NetError;
 use irs_core::wire::{Request, Response};
 use parking_lot::Mutex;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-/// Connection slots per transport. Enough for the prototype's handful of
-/// concurrent connection threads; overflow falls back to a one-shot
-/// connection rather than blocking.
-const POOL_SLOTS: usize = 8;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A [`Service`] speaking the wire protocol to one address.
 pub struct TcpTransport {
     addr: SocketAddr,
     io_timeout: Duration,
-    pool: Vec<Mutex<Option<LedgerClient>>>,
+    mux: Mutex<Option<Arc<MuxClient>>>,
     connects: AtomicU64,
 }
 
@@ -36,7 +39,7 @@ impl TcpTransport {
         TcpTransport {
             addr,
             io_timeout,
-            pool: (0..POOL_SLOTS).map(|_| Mutex::new(None)).collect(),
+            mux: Mutex::new(None),
             connects: AtomicU64::new(0),
         }
     }
@@ -52,25 +55,19 @@ impl TcpTransport {
         self.connects.load(Ordering::Relaxed).saturating_sub(1)
     }
 
-    /// Ensure `slot` holds a live client, then run one exchange. Any
-    /// exchange failure leaves the slot cleared (the stream is poisoned);
-    /// an encode failure keeps it.
-    fn exchange(
-        &self,
-        slot: &mut Option<LedgerClient>,
-        request: &Request,
-    ) -> Result<Response, NetError> {
-        if slot.is_none() {
-            let client = LedgerClient::connect_with_timeout(self.addr, self.io_timeout)?;
-            self.connects.fetch_add(1, Ordering::Relaxed);
-            *slot = Some(client);
+    /// The live shared connection, dialing a fresh one if none exists
+    /// or the previous one was poisoned.
+    fn live_mux(&self) -> Result<Arc<MuxClient>, NetError> {
+        let mut slot = self.mux.lock();
+        if let Some(mux) = slot.as_ref() {
+            if !mux.is_dead() {
+                return Ok(mux.clone());
+            }
         }
-        let client = slot.as_mut().expect("just ensured");
-        let result = client.call(request);
-        if result.is_err() && !client.is_connected() {
-            *slot = None;
-        }
-        result
+        let mux = Arc::new(MuxClient::connect_with_timeout(self.addr, self.io_timeout)?);
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(mux.clone());
+        Ok(mux)
     }
 }
 
@@ -81,17 +78,13 @@ impl Service for TcpTransport {
             span.verdict("deadline");
             return Err(NetError::DeadlineExceeded);
         }
-        for slot in &self.pool {
-            if let Some(mut guard) = slot.try_lock() {
-                let result = self.exchange(&mut guard, &req);
-                span.verdict_result(&result, "err");
-                return result;
-            }
-        }
-        // Every slot busy: serve this call on a throwaway connection
-        // instead of queueing behind another thread's exchange.
-        let mut one_shot = None;
-        let result = self.exchange(&mut one_shot, &req);
+        let result = self.live_mux().and_then(|mux| {
+            // Every exchange is bounded: the caller's deadline if set,
+            // tightened by the transport's own I/O budget.
+            let budget = Instant::now() + self.io_timeout;
+            let deadline = ctx.deadline.map_or(budget, |d| d.min(budget));
+            mux.call(&req, deadline)
+        });
         span.verdict_result(&result, "err");
         result
     }
@@ -105,7 +98,6 @@ mod tests {
     use irs_core::time::TimeMs;
     use irs_core::tsa::TimestampAuthority;
     use irs_ledger::{Ledger, LedgerConfig};
-    use std::time::Instant;
 
     fn ledger_server() -> LedgerServer {
         let ledger = Ledger::new(
@@ -180,6 +172,8 @@ mod tests {
         for th in threads {
             th.join().unwrap();
         }
+        // Multiplexing: all 80 exchanges rode one connection.
+        assert_eq!(t.reconnects(), 0);
         server.shutdown();
     }
 }
