@@ -1,0 +1,629 @@
+//! E20 — replicated ledgers: WAL-shipping failover with zero acked-write
+//! loss.
+//!
+//! Three tables over the replication stack
+//! ([`irs_ledger::ReplicationLog`] + [`Follower`] on seeded [`ChaosDisk`]s):
+//!
+//! 1. **Catch-up** — a follower bootstraps from a mid-workload snapshot,
+//!    tails the live WAL stream to the end, and must finish
+//!    *byte-identical* to the primary (same records, serials, epochs,
+//!    filter — compared as encoded snapshot bytes).
+//! 2. **Kill-the-primary sweep × replication policy** — the primary is
+//!    killed at byte offsets swept across its WAL's whole life while a
+//!    follower tails it; after each kill the follower is promoted and we
+//!    count how many *acknowledged* writes it holds. The acceptance bar:
+//!    under [`ReplicationPolicy::WaitForFollower`], 100% at every kill
+//!    point. `local-only` is allowed to lose its unshipped tail — the
+//!    table quantifies exactly how much.
+//! 3. **Promotion over TCP** — the full path: snapshot fetched and WAL
+//!    tailed over loopback sockets, primary server killed, follower's
+//!    ledger promoted behind a fresh server, and a
+//!    [`Failover`](irs_net::service::Failover) client rotates onto it;
+//!    every acknowledged write must answer from the promoted replica.
+
+use crate::table::{f, Table};
+use irs_core::claim::{ClaimRequest, RevocationStatus, RevokeRequest};
+use irs_core::ids::{LedgerId, RecordId};
+use irs_core::time::TimeMs;
+use irs_core::tsa::TimestampAuthority;
+use irs_core::wire::{Request, Response};
+use irs_crypto::{Digest, Keypair};
+use irs_ledger::{
+    ChaosDisk, ChaosDiskConfig, ConcurrentLedger, Disk, DurabilityConfig, Follower, FsyncPolicy,
+    LedgerConfig, ReplicationPolicy, SegmentData,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Ledger id used throughout.
+const LEDGER: LedgerId = LedgerId(1);
+
+/// Frames per follower poll.
+const POLL_FRAMES: u32 = 64;
+
+/// Replication policies swept by the kill table.
+pub const POLICIES: [ReplicationPolicy; 2] = [
+    ReplicationPolicy::LocalOnly,
+    ReplicationPolicy::WaitForFollower { timeout_ms: 2_000 },
+];
+
+fn config() -> LedgerConfig {
+    LedgerConfig::new(LEDGER)
+}
+
+fn tsa() -> TimestampAuthority {
+    TimestampAuthority::from_seed(0xE20)
+}
+
+fn durable(disk: &Arc<ChaosDisk>, replication: ReplicationPolicy) -> DurabilityConfig {
+    let mut d = DurabilityConfig::new(disk.clone() as Arc<dyn Disk>, FsyncPolicy::Always);
+    d.replication = replication;
+    d
+}
+
+/// Default chaos seed; override with `CHAOS_SEED` to replay another
+/// universe (CI runs seeds 7 and 13).
+fn seed_from_env() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE20)
+}
+
+/// A precomputed claim+revoke workload (signing hoisted out of the sweep).
+pub struct Workload {
+    claims: Vec<ClaimRequest>,
+    revokes: Vec<RevokeRequest>,
+}
+
+impl Workload {
+    /// Precompute `claims` signed claims plus a revoke of every even
+    /// serial.
+    pub fn new(claims: u64) -> Workload {
+        let kp = Keypair::from_seed(&[0x20; 32]);
+        Workload {
+            claims: (0..claims)
+                .map(|i| ClaimRequest::create(&kp, &Digest::of(&i.to_le_bytes())))
+                .collect(),
+            revokes: (0..claims)
+                .step_by(2)
+                .map(|s| RevokeRequest::create(&kp, RecordId::new(LEDGER, s), true, 0))
+                .collect(),
+        }
+    }
+
+    /// Drive the ledger until done or the first storage failure — the
+    /// kill. Returns the acknowledged (claim ids, revoked serials).
+    fn run(&self, ledger: &ConcurrentLedger) -> (Vec<RecordId>, Vec<u64>) {
+        let mut claims = Vec::new();
+        let mut revokes = Vec::new();
+        for (i, req) in self.claims.iter().enumerate() {
+            match ledger.claim_custodial(*req, TimeMs(i as u64)) {
+                Ok((id, _)) => claims.push(id),
+                Err(_) => return (claims, revokes),
+            }
+        }
+        for rv in &self.revokes {
+            match ledger.handle(Request::Revoke(*rv), TimeMs(100)) {
+                Response::RevokeAck { .. } => revokes.push(rv.id.serial),
+                _ => return (claims, revokes),
+            }
+        }
+        (claims, revokes)
+    }
+}
+
+/// One in-process poll: fetch the next segment from the primary's
+/// request path (the real wire dispatch, minus the socket) and apply it.
+/// Returns the applied count, or `Err` once the stream is unusable.
+fn poll_once(primary: &ConcurrentLedger, follower: &mut Follower) -> Result<usize, ()> {
+    let resp = primary.handle(
+        Request::WalSubscribe {
+            from_seq: follower.next_seq(),
+            max_frames: POLL_FRAMES,
+        },
+        TimeMs(0),
+    );
+    match resp {
+        Response::WalSegment {
+            first_seq,
+            durable_seq,
+            log_start_seq,
+            frames,
+        } => follower
+            .apply_segment(&SegmentData {
+                first_seq,
+                durable_seq,
+                log_start_seq,
+                frames,
+            })
+            .map_err(|_| ()),
+        _ => Err(()),
+    }
+}
+
+/// Count how many of the acknowledged writes are visible on `ledger`
+/// (claims answer, revokes answer revoked).
+fn count_recovered(ledger: &ConcurrentLedger, acked: &(Vec<RecordId>, Vec<u64>)) -> u64 {
+    let mut recovered = 0;
+    for id in &acked.0 {
+        if matches!(
+            ledger.handle(Request::Query { id: *id }, TimeMs(1_000)),
+            Response::Status { .. }
+        ) {
+            recovered += 1;
+        }
+    }
+    for &serial in &acked.1 {
+        let id = RecordId::new(LEDGER, serial);
+        if matches!(
+            ledger.handle(Request::Query { id }, TimeMs(1_000)),
+            Response::Status {
+                status: RevocationStatus::Revoked,
+                ..
+            }
+        ) {
+            recovered += 1;
+        }
+    }
+    recovered
+}
+
+/// One kill-sweep cell, summed over every kill point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KillOutcome {
+    /// Kill points injected.
+    pub kill_points: u64,
+    /// Writes acknowledged before the kill, summed over the sweep.
+    pub acked: u64,
+    /// Acknowledged writes the promoted follower held, summed.
+    pub recovered: u64,
+}
+
+impl KillOutcome {
+    /// Acknowledged writes the failover lost.
+    pub fn lost(&self) -> u64 {
+        self.acked - self.recovered
+    }
+}
+
+/// Kill the primary at `points` byte offsets swept across its WAL's
+/// life, a live follower tailing it throughout, and tally how many
+/// acknowledged writes the promoted follower holds at each point.
+///
+/// Under `LocalOnly` the poller is throttled, so replication lag is real
+/// and the kill lands mid-lag; under `WaitForFollower` it polls tight,
+/// and the ack gate means the tally must be perfect anyway.
+pub fn kill_sweep(
+    policy: ReplicationPolicy,
+    workload: &Workload,
+    points: u64,
+    seed: u64,
+) -> KillOutcome {
+    // Dry run to learn the log's extent (policy-independent: same
+    // workload, same fsync).
+    let calm = Arc::new(ChaosDisk::new(ChaosDiskConfig::off(seed)));
+    let ledger = ConcurrentLedger::recover(
+        config(),
+        tsa(),
+        4,
+        durable(&calm, ReplicationPolicy::LocalOnly),
+    )
+    .unwrap();
+    workload.run(&ledger);
+    let total = calm.total_appended();
+    drop(ledger);
+
+    let throttle = matches!(policy, ReplicationPolicy::LocalOnly);
+    let stride = (total / points).max(1);
+    let mut out = KillOutcome::default();
+    let mut cap = 1;
+    while cap < total {
+        out.kill_points += 1;
+        let disk = Arc::new(ChaosDisk::new(ChaosDiskConfig::crash_at(seed, cap)));
+        let Ok(primary) = ConcurrentLedger::recover(config(), tsa(), 4, durable(&disk, policy))
+        else {
+            // Killed during the very first header write: nothing acked,
+            // nothing to promote.
+            cap += stride;
+            continue;
+        };
+        let follower_disk = Arc::new(ChaosDisk::new(ChaosDiskConfig::off(seed + 1)));
+        let (snap_seq, snap_data) = primary.replication_snapshot().unwrap();
+        let mut follower = Follower::bootstrap(
+            config(),
+            tsa(),
+            4,
+            durable(&follower_disk, ReplicationPolicy::LocalOnly),
+            snap_seq,
+            &snap_data,
+        )
+        .unwrap();
+        let promoted = follower.ledger();
+
+        let dead = AtomicBool::new(false);
+        let acked = std::thread::scope(|s| {
+            let poller = s.spawn(|| {
+                // The kill stops the polls: a real primary death takes
+                // the stream with it, so nothing durable-but-unshipped
+                // can sneak across afterwards.
+                while !dead.load(Ordering::SeqCst) {
+                    if poll_once(&primary, &mut follower).is_err() {
+                        break;
+                    }
+                    if throttle {
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                }
+            });
+            let acked = workload.run(&primary);
+            dead.store(true, Ordering::SeqCst);
+            poller.join().unwrap();
+            acked
+        });
+
+        out.acked += (acked.0.len() + acked.1.len()) as u64;
+        out.recovered += count_recovered(&promoted, &acked);
+        cap += stride;
+    }
+    out
+}
+
+/// Catch-up: bootstrap a follower from a snapshot taken `split` claims
+/// into the workload, tail the rest live, drain, and compare the two
+/// encoded states byte for byte. Returns (records, snapshot bytes,
+/// identical).
+pub fn catch_up(claims: u64, split: u64) -> (u64, usize, bool) {
+    let calm = Arc::new(ChaosDisk::new(ChaosDiskConfig::off(7)));
+    let primary = ConcurrentLedger::recover(
+        config(),
+        tsa(),
+        4,
+        durable(&calm, ReplicationPolicy::LocalOnly),
+    )
+    .unwrap();
+    let kp = Keypair::from_seed(&[0x21; 32]);
+    let reqs: Vec<ClaimRequest> = (0..claims)
+        .map(|i| ClaimRequest::create(&kp, &Digest::of(&i.to_le_bytes())))
+        .collect();
+    for (i, req) in reqs.iter().take(split as usize).enumerate() {
+        primary.claim_custodial(*req, TimeMs(i as u64)).unwrap();
+    }
+
+    // Bootstrap from the mid-workload cut…
+    let (snap_seq, snap_data) = primary.replication_snapshot().unwrap();
+    let follower_disk = Arc::new(ChaosDisk::new(ChaosDiskConfig::off(8)));
+    let mut follower = Follower::bootstrap(
+        config(),
+        tsa(),
+        4,
+        durable(&follower_disk, ReplicationPolicy::LocalOnly),
+        snap_seq,
+        &snap_data,
+    )
+    .unwrap();
+
+    // …write the rest (claims + a revoke of every even serial)…
+    for (i, req) in reqs.iter().skip(split as usize).enumerate() {
+        primary
+            .claim_custodial(*req, TimeMs(split + i as u64))
+            .unwrap();
+    }
+    for serial in (0..claims).step_by(2) {
+        let rv = RevokeRequest::create(&kp, RecordId::new(LEDGER, serial), true, 0);
+        assert!(matches!(
+            primary.handle(Request::Revoke(rv), TimeMs(1_000)),
+            Response::RevokeAck { .. }
+        ));
+    }
+
+    // …and tail until the stream is dry.
+    while poll_once(&primary, &mut follower).unwrap() > 0 {}
+
+    let (_, primary_bytes) = primary.replication_snapshot().unwrap();
+    let (_, follower_bytes) = follower.ledger().replication_snapshot().unwrap();
+    (
+        claims + claims / 2,
+        primary_bytes.len(),
+        primary_bytes == follower_bytes,
+    )
+}
+
+/// Promotion over TCP: snapshot + WAL tail over loopback sockets under
+/// `WaitForFollower`, primary server killed, follower promoted behind a
+/// fresh server, and a `Failover` transport stack rotates clients onto
+/// it. Returns (acked writes, answered after failover, failovers).
+pub fn promote_over_tcp(claims: u64) -> (u64, u64, u64) {
+    use irs_net::service::{stacks, CallCtx, Failover, Service};
+    use irs_net::{LedgerClient, LedgerServer};
+
+    let primary_disk = Arc::new(ChaosDisk::new(ChaosDiskConfig::off(9)));
+    let server = LedgerServer::start_durable(
+        config(),
+        tsa(),
+        durable(
+            &primary_disk,
+            ReplicationPolicy::WaitForFollower { timeout_ms: 5_000 },
+        ),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let primary_addr = server.addr();
+
+    // Bootstrap the follower over the wire.
+    let mut boot = LedgerClient::connect(primary_addr).unwrap();
+    let Response::Snapshot { seq, data } = boot.fetch_snapshot().unwrap() else {
+        panic!("expected snapshot response");
+    };
+    let follower_disk = Arc::new(ChaosDisk::new(ChaosDiskConfig::off(10)));
+    let mut follower = Follower::bootstrap(
+        config(),
+        tsa(),
+        4,
+        durable(&follower_disk, ReplicationPolicy::LocalOnly),
+        seq,
+        &data,
+    )
+    .unwrap();
+    let promoted = follower.ledger();
+
+    // Tail over the wire while the workload runs.
+    let dead = Arc::new(AtomicBool::new(false));
+    let acked = {
+        let poller_dead = dead.clone();
+        std::thread::scope(|s| {
+            let poller = s.spawn(move || {
+                let mut tail = LedgerClient::connect(primary_addr).unwrap();
+                while !poller_dead.load(Ordering::SeqCst) {
+                    let Ok(Response::WalSegment {
+                        first_seq,
+                        durable_seq,
+                        log_start_seq,
+                        frames,
+                    }) = tail.wal_subscribe(follower.next_seq(), POLL_FRAMES)
+                    else {
+                        break;
+                    };
+                    if follower
+                        .apply_segment(&SegmentData {
+                            first_seq,
+                            durable_seq,
+                            log_start_seq,
+                            frames,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+            let kp = Keypair::from_seed(&[0x22; 32]);
+            let mut client = LedgerClient::connect(primary_addr).unwrap();
+            let mut acked: Vec<RecordId> = Vec::new();
+            for i in 0..claims {
+                let req = ClaimRequest::create(&kp, &Digest::of(&i.to_le_bytes()));
+                if let Ok(Response::Claimed { id, .. }) = client.call(&Request::Claim(req)) {
+                    acked.push(id);
+                }
+            }
+            dead.store(true, Ordering::SeqCst);
+            poller.join().unwrap();
+            acked
+        })
+    };
+
+    // Kill the primary; promote the follower behind a fresh server.
+    server.shutdown();
+    let replica = LedgerServer::start_shared(promoted, "127.0.0.1:0").unwrap();
+    let stack = Failover::new(stacks::transports(
+        &[primary_addr, replica.addr()],
+        Duration::from_millis(500),
+    ));
+
+    // Every acknowledged write must answer through the rotating stack:
+    // the first attempt hits the corpse, rotates, and the retry (the
+    // retry layer's job; two attempts here) lands on the replica.
+    let mut answered = 0;
+    for id in &acked {
+        for _attempt in 0..2 {
+            match stack.call(Request::Query { id: *id }, &CallCtx::wall()) {
+                Ok(Response::Status { .. }) => {
+                    answered += 1;
+                    break;
+                }
+                _ => continue,
+            }
+        }
+    }
+    let failovers = stack.failovers();
+    replica.shutdown();
+    (acked.len() as u64, answered, failovers)
+}
+
+/// Run E20.
+pub fn run(quick: bool) -> String {
+    let seed = seed_from_env();
+    let workload = Workload::new(if quick { 16 } else { 32 });
+    let points = if quick { 50 } else { 80 };
+
+    let (records, snap_bytes, identical) = catch_up(if quick { 40 } else { 120 }, 15);
+    let mut catchup = Table::new(
+        "E20a — follower catch-up: snapshot bootstrap + live WAL tail",
+        &["records shipped", "snapshot bytes", "state byte-identical"],
+    );
+    catchup.row(vec![
+        records.to_string(),
+        snap_bytes.to_string(),
+        if identical { "yes" } else { "NO" }.to_string(),
+    ]);
+    catchup.note(
+        "the follower bootstraps from a mid-workload snapshot, tails the rest of \
+         the stream, and its encoded state (records, serials, epochs, filter) \
+         must equal the primary's byte for byte",
+    );
+
+    let mut sweep = Table::new(
+        "E20b — kill-the-primary sweep: acked writes on the promoted follower",
+        &[
+            "replication",
+            "kill points",
+            "acked",
+            "recovered",
+            "lost",
+            "recovered %",
+        ],
+    );
+    for policy in POLICIES {
+        let out = kill_sweep(policy, &workload, points, seed);
+        sweep.row(vec![
+            policy.name().to_string(),
+            out.kill_points.to_string(),
+            out.acked.to_string(),
+            out.recovered.to_string(),
+            out.lost().to_string(),
+            format!(
+                "{}%",
+                f(out.recovered as f64 / out.acked.max(1) as f64 * 100.0, 1)
+            ),
+        ]);
+        if matches!(policy, ReplicationPolicy::WaitForFollower { .. }) {
+            assert_eq!(
+                out.lost(),
+                0,
+                "wait-follower must lose zero acked writes across every kill point"
+            );
+        }
+    }
+    sweep.note(format!(
+        "seed {seed}; each kill is a storage death at a byte offset of the \
+         primary WAL's life, with the follower's polls stopping at the same \
+         instant — nothing unshipped crosses after the kill"
+    ));
+    sweep.note(
+        "local-only acks after the local fsync, so writes acked inside the \
+         poller's lag window die with the primary; wait-follower acks only \
+         after the follower's poll cursor covers the write",
+    );
+
+    let (acked, answered, failovers) = promote_over_tcp(if quick { 12 } else { 24 });
+    let mut promo = Table::new(
+        "E20c — promotion over TCP: Failover stack rotates onto the replica",
+        &["acked over wire", "answered after kill", "failovers"],
+    );
+    promo.row(vec![
+        acked.to_string(),
+        answered.to_string(),
+        failovers.to_string(),
+    ]);
+    promo.note(
+        "wait-follower over loopback sockets: snapshot fetch + WAL tail are \
+         wire ops; after the primary server dies the Failover transport \
+         rotates and every acknowledged claim answers from the promoted \
+         follower",
+    );
+
+    format!(
+        "{}\n{}\n{}",
+        catchup.render(),
+        sweep.render(),
+        promo.render()
+    )
+}
+
+/// The CI gate: under `WaitForFollower` the kill sweep must recover
+/// 100% of acknowledged writes at every kill point, and catch-up must
+/// end byte-identical. Quick mode shrinks the workload, never the kill
+/// point count — the guarantee is per-point, not amortized.
+pub fn check(quick: bool) -> Result<String, String> {
+    let seed = seed_from_env();
+    let workload = Workload::new(if quick { 12 } else { 32 });
+    let points = if quick { 50 } else { 80 };
+
+    let (_, _, identical) = catch_up(if quick { 30 } else { 120 }, 10);
+    if !identical {
+        return Err("follower catch-up state diverged from the primary".into());
+    }
+
+    let out = kill_sweep(
+        ReplicationPolicy::WaitForFollower { timeout_ms: 2_000 },
+        &workload,
+        points,
+        seed,
+    );
+    if out.kill_points < 50 {
+        return Err(format!(
+            "sweep injected only {} kill points (need ≥ 50)",
+            out.kill_points
+        ));
+    }
+    if out.acked == 0 {
+        return Err("no kill point landed mid-workload; nothing was tested".into());
+    }
+    if out.lost() != 0 {
+        return Err(format!(
+            "lost {} of {} acked writes under wait-follower (seed {seed})",
+            out.lost(),
+            out.acked
+        ));
+    }
+
+    let (acked, answered, failovers) = promote_over_tcp(if quick { 8 } else { 24 });
+    if answered != acked || failovers == 0 {
+        return Err(format!(
+            "promotion over TCP answered {answered}/{acked} acked writes \
+             ({failovers} failovers)"
+        ));
+    }
+
+    Ok(format!(
+        "E20: catch-up byte-identical; {} kill points, {}/{} acked writes on \
+         the promoted follower (seed {seed}); TCP promotion answered \
+         {answered}/{acked}",
+        out.kill_points, out.recovered, out.acked
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance bar at reduced scale: wait-follower loses nothing,
+    /// at any kill point.
+    #[test]
+    fn wait_follower_loses_nothing() {
+        let workload = Workload::new(6);
+        let out = kill_sweep(
+            ReplicationPolicy::WaitForFollower { timeout_ms: 2_000 },
+            &workload,
+            12,
+            0xE20,
+        );
+        assert!(out.acked > 0, "some kill point must land mid-workload");
+        assert_eq!(out.lost(), 0);
+    }
+
+    /// The local-only column is a real measurement, not a tautology:
+    /// recovered never exceeds acked.
+    #[test]
+    fn local_only_bounded_by_acked() {
+        let workload = Workload::new(6);
+        let out = kill_sweep(ReplicationPolicy::LocalOnly, &workload, 12, 0xE20);
+        assert!(out.recovered <= out.acked);
+    }
+
+    #[test]
+    fn catch_up_is_byte_identical() {
+        let (_, _, identical) = catch_up(20, 7);
+        assert!(identical);
+    }
+
+    #[test]
+    fn table_renders_all_sections() {
+        let out = run(true);
+        assert!(out.contains("E20a"));
+        assert!(out.contains("E20b"));
+        assert!(out.contains("E20c"));
+        assert!(out.contains("wait-follower"));
+    }
+}

@@ -318,6 +318,18 @@ pub enum Request {
     Ping,
     /// Fetch the server's metrics exposition (operators scrape this).
     Metrics,
+    /// Follower poll: ship durable WAL frames starting at `from_seq`.
+    /// Polling `from_seq = n` doubles as the follower's acknowledgement
+    /// that every record below `n` is durably applied on its side.
+    WalSubscribe {
+        /// First sequence number the follower still needs.
+        from_seq: u64,
+        /// Upper bound on frames per reply (flow control).
+        max_frames: u32,
+    },
+    /// Follower bootstrap: fetch a full state snapshot plus the sequence
+    /// number it covers, so tailing can start at `seq + 1`.
+    FetchSnapshot,
 }
 
 /// A ledger's response.
@@ -405,6 +417,41 @@ pub enum Response {
     /// a length-prefixed blob — an exposition routinely outgrows the
     /// `u16` string prefix that caps `Error` messages.
     MetricsText(String),
+    /// A batch of sequence-numbered WAL frames for a follower. `frames`
+    /// is zero or more CRC-framed WAL records laid end to end; the first
+    /// carries sequence number `first_seq` and each subsequent frame the
+    /// next integer. Only frames the primary considers durable are ever
+    /// shipped.
+    WalSegment {
+        /// Sequence number of the first frame in `frames` (equals the
+        /// requested `from_seq` when the segment is empty).
+        first_seq: u64,
+        /// Highest durable sequence number on the primary — the follower's
+        /// lag is `durable_seq - last_applied`.
+        durable_seq: u64,
+        /// Oldest sequence number the primary still retains. A follower
+        /// asking for something older must re-bootstrap from a snapshot.
+        log_start_seq: u64,
+        /// Concatenated WAL frames (`[len][crc][payload]`*).
+        frames: Bytes,
+    },
+    /// The server decoded the frame but does not speak this request tag
+    /// (a newer peer during a rolling upgrade). Structured, so the
+    /// connection survives and the client can degrade instead of treating
+    /// the reply as a protocol error.
+    Unsupported {
+        /// The request tag the server did not recognize.
+        tag: u8,
+    },
+    /// Full state snapshot for follower bootstrap: `data` is a
+    /// checksummed `irs-ledger` snapshot covering every record up to and
+    /// including sequence number `seq`.
+    Snapshot {
+        /// Replication sequence number the snapshot covers.
+        seq: u64,
+        /// `encode_snapshot` payload.
+        data: Bytes,
+    },
 }
 
 impl Wire for Request {
@@ -440,6 +487,15 @@ impl Wire for Request {
             }
             Request::Ping => buf.put_u8(7),
             Request::Metrics => buf.put_u8(8),
+            Request::WalSubscribe {
+                from_seq,
+                max_frames,
+            } => {
+                buf.put_u8(9);
+                from_seq.encode(buf)?;
+                buf.put_u32(*max_frames);
+            }
+            Request::FetchSnapshot => buf.put_u8(10),
         }
         Ok(())
     }
@@ -476,6 +532,16 @@ impl Wire for Request {
             }
             7 => Ok(Request::Ping),
             8 => Ok(Request::Metrics),
+            9 => {
+                let from_seq = u64::decode(buf)?;
+                need(buf, 4)?;
+                let max_frames = buf.get_u32();
+                Ok(Request::WalSubscribe {
+                    from_seq,
+                    max_frames,
+                })
+            }
+            10 => Ok(Request::FetchSnapshot),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -550,6 +616,27 @@ impl Wire for Response {
                 buf.put_u8(12);
                 put_blob(buf, &Bytes::copy_from_slice(text.as_bytes()));
             }
+            Response::WalSegment {
+                first_seq,
+                durable_seq,
+                log_start_seq,
+                frames,
+            } => {
+                buf.put_u8(13);
+                first_seq.encode(buf)?;
+                durable_seq.encode(buf)?;
+                log_start_seq.encode(buf)?;
+                put_blob(buf, frames);
+            }
+            Response::Unsupported { tag } => {
+                buf.put_u8(14);
+                buf.put_u8(*tag);
+            }
+            Response::Snapshot { seq, data } => {
+                buf.put_u8(15);
+                seq.encode(buf)?;
+                put_blob(buf, data);
+            }
         }
         Ok(())
     }
@@ -621,6 +708,20 @@ impl Wire for Response {
                     .map_err(|_| WireError::BadValue("non-utf8 metrics text"))?;
                 Ok(Response::MetricsText(text))
             }
+            13 => Ok(Response::WalSegment {
+                first_seq: u64::decode(buf)?,
+                durable_seq: u64::decode(buf)?,
+                log_start_seq: u64::decode(buf)?,
+                frames: get_blob(buf)?,
+            }),
+            14 => {
+                need(buf, 1)?;
+                Ok(Response::Unsupported { tag: buf.get_u8() })
+            }
+            15 => Ok(Response::Snapshot {
+                seq: u64::decode(buf)?,
+                data: get_blob(buf)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -691,6 +792,11 @@ mod tests {
         roundtrip(&Request::Batch(vec![rid(1), rid(2), rid(3)]));
         roundtrip(&Request::Ping);
         roundtrip(&Request::Metrics);
+        roundtrip(&Request::WalSubscribe {
+            from_seq: 42,
+            max_frames: 256,
+        });
+        roundtrip(&Request::FetchSnapshot);
     }
 
     #[test]
@@ -744,6 +850,23 @@ mod tests {
         roundtrip(&Response::MetricsText(
             "# TYPE irs_x counter\nirs_x 1\n".to_string(),
         ));
+        roundtrip(&Response::WalSegment {
+            first_seq: 17,
+            durable_seq: 23,
+            log_start_seq: 5,
+            frames: Bytes::from_static(b"\x01\x02framed-records"),
+        });
+        roundtrip(&Response::WalSegment {
+            first_seq: 1,
+            durable_seq: 0,
+            log_start_seq: 1,
+            frames: Bytes::new(),
+        });
+        roundtrip(&Response::Unsupported { tag: 0xee });
+        roundtrip(&Response::Snapshot {
+            seq: 99,
+            data: Bytes::from_static(b"snapshot-bytes"),
+        });
     }
 
     #[test]

@@ -11,11 +11,13 @@
 use crate::codes;
 use crate::disk::Disk;
 use crate::recovery::{self, RecoveryError, RecoveryReport};
+use crate::replication::{ApplyError, ReplicationLog, ReplicationPolicy, DEFAULT_RETAIN_FRAMES};
 use crate::sharded::{ShardedLedgerStore, DEFAULT_SHARDS};
 use crate::snapshot::encode_snapshot;
 use crate::store::{ClaimOrigin, StoreError, StoredClaim};
-use crate::wal::{FsyncPolicy, WalError, WalRecord, WalStats, WalWriter};
+use crate::wal::{AppendReceipt, FsyncPolicy, WalError, WalRecord, WalStats, WalWriter};
 use crate::{Ledger, LedgerConfig, LedgerPolicy, LedgerStats};
+use irs_core::claim::Claim;
 use irs_core::claim::{ClaimRequest, RevocationStatus, RevokeRequest};
 use irs_core::freshness::FreshnessProof;
 use irs_core::ids::{LedgerId, RecordId};
@@ -27,8 +29,10 @@ use irs_filters::delta::BloomDelta;
 use irs_filters::{BloomFilter, CountingBloom};
 use irs_obs::{Counter, Gauge, Histogram, Registry, SpanRecorder};
 use parking_lot::RwLock;
+use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use std::time::Instant;
 
 /// File name of the write-ahead log inside the [`Disk`] namespace.
@@ -131,16 +135,20 @@ pub struct DurabilityConfig {
     /// `None` disables automatic snapshots ([`ConcurrentLedger::snapshot_now`]
     /// still works).
     pub snapshot_every: Option<u64>,
+    /// When acknowledgements additionally wait on follower replication
+    /// (see [`ReplicationPolicy`]).
+    pub replication: ReplicationPolicy,
 }
 
 impl DurabilityConfig {
-    /// Durability on `disk` with the given fsync policy and no automatic
-    /// snapshots.
+    /// Durability on `disk` with the given fsync policy, no automatic
+    /// snapshots, and local-only replication.
     pub fn new(disk: Arc<dyn Disk>, fsync: FsyncPolicy) -> DurabilityConfig {
         DurabilityConfig {
             disk,
             fsync,
             snapshot_every: None,
+            replication: ReplicationPolicy::LocalOnly,
         }
     }
 }
@@ -154,6 +162,9 @@ pub struct Durability {
     /// Guards against concurrent automatic snapshots; requests that lose
     /// the race skip (the winner's snapshot covers their operations).
     snapshotting: AtomicBool,
+    /// Shipped-frame retention + follower-ack gate.
+    replication: Arc<ReplicationLog>,
+    replication_policy: ReplicationPolicy,
 }
 
 impl Durability {
@@ -165,6 +176,16 @@ impl Durability {
     /// Current WAL `(generation, byte length)`.
     pub fn wal_position(&self) -> (u64, u64) {
         self.wal.position()
+    }
+
+    /// The replication log followers tail (tests observe acks through it).
+    pub fn replication(&self) -> &Arc<ReplicationLog> {
+        &self.replication
+    }
+
+    /// Highest sequence number safe to ship to a follower.
+    pub fn replicable_seq(&self) -> u64 {
+        self.wal.replicable_seq()
     }
 }
 
@@ -239,12 +260,18 @@ impl ConcurrentLedger {
         seed[..8].copy_from_slice(&config.seed.to_le_bytes());
         seed[8..16].copy_from_slice(b"IRSLEDGR");
         let tsa_key = tsa.public_key();
+        let obs = LedgerObs::new();
+        let replication = Arc::new(ReplicationLog::new(
+            wal.last_seq() + 1,
+            DEFAULT_RETAIN_FRAMES,
+            &obs.registry,
+        ));
         Ok(ConcurrentLedger {
             store,
             signing_key: Keypair::from_seed(&seed),
             tsa_key,
             snapshots: RwLock::new(SnapshotPair::default()),
-            obs: LedgerObs::new(),
+            obs,
             config,
             durability: Some(Durability {
                 wal,
@@ -252,6 +279,8 @@ impl ConcurrentLedger {
                 snapshot_every: durability.snapshot_every,
                 ops_since_snapshot: AtomicU64::new(0),
                 snapshotting: AtomicBool::new(false),
+                replication,
+                replication_policy: durability.replication,
             }),
             recovery_report: Some(state.report),
         })
@@ -374,6 +403,8 @@ impl ConcurrentLedger {
                     }
                     Ok(Err(StoreError::BadSignature)) => err(codes::BAD_SIGNATURE, "bad signature"),
                     Ok(Err(StoreError::StaleEpoch)) => err(codes::STALE_EPOCH, "stale epoch"),
+                    // Only the follower apply path can produce this.
+                    Ok(Err(StoreError::DuplicateSerial)) => err(codes::STORAGE, "duplicate serial"),
                     Ok(Err(StoreError::Permanent)) => err(codes::POLICY, "permanently revoked"),
                 }
             }
@@ -403,6 +434,42 @@ impl ConcurrentLedger {
                 Response::BatchStatus(items)
             }
             Request::Ping => Response::Pong,
+            Request::WalSubscribe {
+                from_seq,
+                max_frames,
+            } => self.serve_wal_subscribe(from_seq, max_frames),
+            Request::FetchSnapshot => self.serve_replication_snapshot(),
+        }
+    }
+
+    /// Serve one bounded batch of durable WAL frames to a polling
+    /// follower. Polling `from_seq = n` doubles as the follower's
+    /// acknowledgement of every sequence number below `n`.
+    fn serve_wal_subscribe(&self, from_seq: u64, max_frames: u32) -> Response {
+        let Some(d) = &self.durability else {
+            return err(codes::UNAVAILABLE, "this ledger has no durable log");
+        };
+        d.replication.record_ack(from_seq.saturating_sub(1));
+        let seg = d
+            .replication
+            .segment(from_seq, max_frames, d.wal.replicable_seq());
+        Response::WalSegment {
+            first_seq: seg.first_seq,
+            durable_seq: seg.durable_seq,
+            log_start_seq: seg.log_start_seq,
+            frames: seg.frames,
+        }
+    }
+
+    /// Serve a full state snapshot plus the sequence number it covers,
+    /// for follower bootstrap.
+    fn serve_replication_snapshot(&self) -> Response {
+        match self.replication_snapshot() {
+            Ok((seq, data)) => Response::Snapshot {
+                seq,
+                data: data.into(),
+            },
+            Err(_) => err(codes::UNAVAILABLE, "this ledger has no durable log"),
         }
     }
 
@@ -432,16 +499,130 @@ impl ConcurrentLedger {
         let Some(d) = &self.durability else {
             return Ok(self.store.permanently_revoke(id));
         };
-        let mut logged: Result<u64, WalError> = Ok(0);
+        let rec = WalRecord::AppealPin { id: *id };
+        let mut logged: Result<AppendReceipt, WalError> = Ok(AppendReceipt { lsn: 0, seq: 0 });
         let out = self.store.permanently_revoke_with(id, || {
-            logged = d.wal.append(&WalRecord::AppealPin { id: *id });
+            logged = d.wal.append(&rec);
+            if let Ok(receipt) = &logged {
+                d.replication.publish(receipt.seq, rec.encode_framed());
+            }
         });
-        let lsn = logged?;
+        let receipt = logged?;
         if out.is_ok() {
-            d.wal.commit(lsn)?;
+            d.wal.commit(receipt.lsn)?;
             self.maybe_snapshot(None);
+            replication_gate(d, receipt.seq)?;
         }
         Ok(out)
+    }
+
+    /// Apply one record shipped from a primary (the follower apply
+    /// path). Mirrors recovery's replay, but live: the primary's serial,
+    /// origin, timestamp, status, and epoch are preserved exactly — a
+    /// follower's state is byte-identical to the stream it applied — and
+    /// the record is appended to the *local* WAL under the same shard
+    /// lock that mutates the store, exactly like the primary path. The
+    /// append is not committed here; callers batch one commit per
+    /// segment via [`commit_replicated`](Self::commit_replicated).
+    pub(crate) fn apply_replicated(&self, record: &WalRecord) -> Result<AppendReceipt, ApplyError> {
+        let Some(d) = &self.durability else {
+            return Err(ApplyError::Wal(WalError::Io(io::Error::other(
+                "follower has no durable log",
+            ))));
+        };
+        let mut logged: Result<AppendReceipt, WalError> = Ok(AppendReceipt { lsn: 0, seq: 0 });
+        match record {
+            WalRecord::Claim {
+                serial,
+                origin,
+                initially_revoked,
+                request,
+                timestamp,
+            } => {
+                let id = RecordId::new(self.config.id, *serial);
+                let status = if *initially_revoked {
+                    RevocationStatus::Revoked
+                } else {
+                    RevocationStatus::NotRevoked
+                };
+                let stored = StoredClaim {
+                    claim: Claim {
+                        id,
+                        request: *request,
+                        timestamp: *timestamp,
+                        status,
+                        status_epoch: 0,
+                    },
+                    origin: *origin,
+                };
+                self.store.insert_replicated(stored, |_| {
+                    logged = d.wal.append(record);
+                    if let Ok(receipt) = &logged {
+                        // Retained so a *promoted* follower can in turn
+                        // serve followers of its own.
+                        d.replication.publish(receipt.seq, record.encode_framed());
+                    }
+                })?;
+            }
+            WalRecord::Revoke(req) => {
+                // Re-checks the epoch chain (and the signature, which the
+                // primary verified before logging): any reordering the
+                // framing checksums let through fails here, closed.
+                self.store.apply_revoke_with(req, || {
+                    logged = d.wal.append(record);
+                    if let Ok(receipt) = &logged {
+                        d.replication.publish(receipt.seq, record.encode_framed());
+                    }
+                })?;
+            }
+            WalRecord::AppealPin { id } => {
+                self.store.permanently_revoke_with(id, || {
+                    logged = d.wal.append(record);
+                    if let Ok(receipt) = &logged {
+                        d.replication.publish(receipt.seq, record.encode_framed());
+                    }
+                })?;
+            }
+        }
+        logged.map_err(ApplyError::Wal)
+    }
+
+    /// Commit the local WAL through `lsn` (follower batch commit).
+    pub(crate) fn commit_replicated(&self, lsn: u64) -> Result<(), WalError> {
+        match &self.durability {
+            Some(d) => d.wal.commit(lsn),
+            None => Ok(()),
+        }
+    }
+
+    /// Cut a follower-bootstrap snapshot: the full record set plus the
+    /// sequence number it covers, captured under every shard lock so
+    /// both describe the same instant (appends assign seqs under shard
+    /// locks, so no in-flight record can fall between them). The
+    /// encoding is anchored at `(generation 0, header offset)` — the
+    /// follower re-anchors it to its own fresh WAL anyway.
+    pub fn replication_snapshot(&self) -> Result<(u64, Vec<u8>), WalError> {
+        let Some(d) = &self.durability else {
+            return Err(WalError::Io(io::Error::other(
+                "this ledger has no durable log",
+            )));
+        };
+        let (records, seq) = self.store.frozen_copy(|| d.wal.last_seq());
+        let mut filter = CountingBloom::for_capacity(self.config.filter_capacity, 0.02)
+            .expect("valid filter params");
+        for rec in &records {
+            if rec.claim.status != RevocationStatus::NotRevoked {
+                filter.insert(rec.claim.id.filter_key());
+            }
+        }
+        let bytes = encode_snapshot(
+            self.config.id,
+            0,
+            crate::wal::WAL_HEADER_LEN as u64,
+            &records,
+            &filter,
+        );
+        Ok((seq, bytes))
     }
 
     /// Claim, logging to the WAL from inside the shard write path when
@@ -463,24 +644,29 @@ impl ConcurrentLedger {
         };
         let span = SpanRecorder::maybe(trace, "ledger:wal");
         let start = Instant::now();
-        let mut logged: Result<u64, WalError> = Ok(0);
+        let mut logged: Result<AppendReceipt, WalError> = Ok(AppendReceipt { lsn: 0, seq: 0 });
         let (id, timestamp) =
             self.store
                 .claim_with(req, origin, initially_revoked, now, |stored| {
-                    logged = d.wal.append(&WalRecord::Claim {
+                    let rec = WalRecord::Claim {
                         serial: stored.claim.id.serial,
                         origin: stored.origin,
                         initially_revoked: stored.claim.status != RevocationStatus::NotRevoked,
                         request: stored.claim.request,
                         timestamp: stored.claim.timestamp,
-                    });
+                    };
+                    logged = d.wal.append(&rec);
+                    if let Ok(receipt) = &logged {
+                        d.replication.publish(receipt.seq, rec.encode_framed());
+                    }
                 });
-        let commit = logged.and_then(|lsn| d.wal.commit(lsn));
+        let commit = logged.and_then(|receipt| d.wal.commit(receipt.lsn).map(|()| receipt.seq));
         self.obs.durable_apply_us.record_since(start);
         span.verdict_result(&commit, "err");
         drop(span);
-        commit?;
+        let seq = commit?;
         self.maybe_snapshot(trace);
+        replication_gate(d, seq)?;
         Ok((id, timestamp))
     }
 
@@ -497,21 +683,26 @@ impl ConcurrentLedger {
         };
         let span = SpanRecorder::maybe(trace, "ledger:wal");
         let start = Instant::now();
-        let mut logged: Result<u64, WalError> = Ok(0);
+        let rec = WalRecord::Revoke(*req);
+        let mut logged: Result<AppendReceipt, WalError> = Ok(AppendReceipt { lsn: 0, seq: 0 });
         let out = self.store.apply_revoke_with(req, || {
-            logged = d.wal.append(&WalRecord::Revoke(*req));
+            logged = d.wal.append(&rec);
+            if let Ok(receipt) = &logged {
+                d.replication.publish(receipt.seq, rec.encode_framed());
+            }
         });
         let commit = if out.is_ok() {
-            logged.and_then(|lsn| d.wal.commit(lsn))
+            logged.and_then(|receipt| d.wal.commit(receipt.lsn).map(|()| receipt.seq))
         } else {
-            logged.map(|_| ())
+            logged.map(|receipt| receipt.seq)
         };
         self.obs.durable_apply_us.record_since(start);
         span.verdict_result(&commit, "err");
         drop(span);
-        commit?;
+        let seq = commit?;
         if out.is_ok() {
             self.maybe_snapshot(trace);
+            replication_gate(d, seq)?;
         }
         Ok(out)
     }
@@ -670,6 +861,26 @@ fn err(code: u16, message: &str) -> Response {
         code,
         message: message.to_string(),
     }
+}
+
+/// Block until the configured [`ReplicationPolicy`] is satisfied for
+/// `seq`. Called after the local commit, *outside* every shard lock (the
+/// follower's poll must be able to reach the replication log while we
+/// wait). A timeout surfaces as a storage error: the write is durable
+/// locally but was never acknowledged, so the client retries — the
+/// at-least-once edge the guarantee matrix documents.
+fn replication_gate(d: &Durability, seq: u64) -> Result<(), WalError> {
+    if let ReplicationPolicy::WaitForFollower { timeout_ms } = d.replication_policy {
+        if !d
+            .replication
+            .wait_acked(seq, Duration::from_millis(timeout_ms))
+        {
+            return Err(WalError::Io(io::Error::other(
+                "replication ack timeout: durable locally, unconfirmed on the follower",
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

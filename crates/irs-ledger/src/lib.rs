@@ -34,6 +34,14 @@
 //! fails closed on anything tearing cannot explain), [`disk`] the narrow
 //! storage trait they share, and [`chaosdisk`] its seeded
 //! fault-injecting double for crash experiments (E17).
+//!
+//! Replication tier (DESIGN.md, "Replication & failover"): [`replication`]
+//! ships the WAL to a [`Follower`] on another disk — every durable record
+//! carries a dense sequence number, followers catch up from a seq-stamped
+//! snapshot plus the live stream, and the
+//! [`ReplicationPolicy`] decides whether client acks
+//! wait for the replica (E20's zero-acked-loss guarantee) or only the
+//! local fsync.
 
 pub mod adversarial;
 pub mod appeals;
@@ -43,6 +51,7 @@ pub mod disk;
 pub mod payments;
 pub mod probe;
 pub mod recovery;
+pub mod replication;
 pub mod service;
 pub mod sharded;
 pub mod snapshot;
@@ -54,10 +63,13 @@ pub use chaosdisk::{ChaosDisk, ChaosDiskConfig, DiskFault};
 pub use concurrent::{ConcurrentLedger, Durability, DurabilityConfig};
 pub use disk::{Disk, StdDisk};
 pub use recovery::{RecoveredState, RecoveryError, RecoveryReport};
+pub use replication::{
+    ApplyError, Follower, FollowerError, ReplicationLog, ReplicationPolicy, SegmentData,
+};
 pub use service::{Ledger, LedgerConfig, LedgerPolicy, LedgerStats};
 pub use sharded::ShardedLedgerStore;
 pub use store::{LedgerStore, StoreError};
-pub use wal::{FsyncPolicy, WalError, WalRecord, WalWriter};
+pub use wal::{AppendReceipt, FsyncPolicy, WalError, WalRecord, WalWriter};
 
 /// Error codes carried in `Response::Error`.
 pub mod codes {

@@ -386,7 +386,7 @@ mod tests {
             WalRecord::Revoke(RevokeRequest::create(&kp0, id0, true, 0)),
             WalRecord::Revoke(RevokeRequest::create(&kp0, id0, false, 1)),
         ] {
-            let lsn = wal.append(&rec).unwrap();
+            let lsn = wal.append(&rec).unwrap().lsn;
             wal.commit(lsn).unwrap();
         }
         let state = recover(&disk, "wal", "snap", LEDGER).unwrap();
@@ -402,7 +402,7 @@ mod tests {
         let disk = disk();
         let wal = WalWriter::open(disk.clone(), "wal", LEDGER, FsyncPolicy::Always).unwrap();
         let (c0, _) = claim_record(0, 1, false);
-        let lsn = wal.append(&c0).unwrap();
+        let lsn = wal.append(&c0).unwrap().lsn;
         wal.commit(lsn).unwrap();
         let (generation, offset) = wal.position();
         // Snapshot covering the claim, then one more op after the cut.
@@ -416,7 +416,7 @@ mod tests {
         let snap = encode_snapshot(LEDGER, generation, offset, &state.records, &filter);
         disk.write_atomic("snap", &snap).unwrap();
         let (c1, _) = claim_record(1, 2, true);
-        let lsn = wal.append(&c1).unwrap();
+        let lsn = wal.append(&c1).unwrap().lsn;
         wal.commit(lsn).unwrap();
 
         // Pre-rotation: replay resumes at the snapshot offset.
@@ -440,7 +440,7 @@ mod tests {
         let disk = disk();
         let wal = WalWriter::open(disk.clone(), "wal", LEDGER, FsyncPolicy::Always).unwrap();
         let (c0, _) = claim_record(0, 1, false);
-        let lsn = wal.append(&c0).unwrap();
+        let lsn = wal.append(&c0).unwrap().lsn;
         wal.commit(lsn).unwrap();
         drop(wal);
         // Simulate a cut append: half a frame of garbage at the tail.
@@ -452,7 +452,7 @@ mod tests {
         // The repair rewrote the log: a writer can open it again.
         let wal = WalWriter::open(disk.clone(), "wal", LEDGER, FsyncPolicy::Always).unwrap();
         let (c1, _) = claim_record(1, 2, false);
-        let lsn = wal.append(&c1).unwrap();
+        let lsn = wal.append(&c1).unwrap().lsn;
         wal.commit(lsn).unwrap();
         let state = recover(&disk, "wal", "snap", LEDGER).unwrap();
         assert_eq!(state.records.len(), 2);
@@ -468,7 +468,7 @@ mod tests {
         let revoke = WalRecord::Revoke(RevokeRequest::create(&kp0, id0, true, 0));
         let (c1, _) = claim_record(1, 2, false);
         for rec in [&c0, &revoke, &c1] {
-            let lsn = wal.append(rec).unwrap();
+            let lsn = wal.append(rec).unwrap().lsn;
             wal.commit(lsn).unwrap();
         }
         drop(wal);
@@ -495,7 +495,7 @@ mod tests {
         let (c0, _) = claim_record(0, 1, false);
         let (c2, _) = claim_record(2, 3, true);
         for rec in [&c0, &c2] {
-            let lsn = wal.append(rec).unwrap();
+            let lsn = wal.append(rec).unwrap().lsn;
             wal.commit(lsn).unwrap();
         }
         let state = recover(&disk, "wal", "snap", LEDGER).unwrap();

@@ -179,6 +179,8 @@ impl Ledger {
                     Err(StoreError::BadSignature) => err(codes::BAD_SIGNATURE, "bad signature"),
                     Err(StoreError::StaleEpoch) => err(codes::STALE_EPOCH, "stale epoch"),
                     Err(StoreError::Permanent) => err(codes::POLICY, "permanently revoked"),
+                    // Only the follower apply path can produce this.
+                    Err(StoreError::DuplicateSerial) => err(codes::STORAGE, "duplicate serial"),
                 }
             }
             Request::GetFilter { have_version } => self.serve_filter(have_version),
@@ -209,6 +211,11 @@ impl Ledger {
             }
             Request::Ping => Response::Pong,
             Request::Metrics => Response::MetricsText(self.metrics_text()),
+            // The sequential ledger has no WAL to ship: replication is a
+            // durable-ledger feature (see `ConcurrentLedger`).
+            Request::WalSubscribe { .. } | Request::FetchSnapshot => {
+                err(codes::UNAVAILABLE, "this ledger does not serve replication")
+            }
         }
     }
 

@@ -202,6 +202,40 @@ impl ShardedLedgerStore {
         (id, timestamp)
     }
 
+    /// Insert a claim exactly as the primary stored it (replication apply
+    /// path): the serial, timestamp, origin, and status come from the
+    /// shipped WAL record, not from local allocation or stamping, so a
+    /// follower's state is byte-identical to the primary's. `log` runs
+    /// under the shard write lock, like [`claim_with`](Self::claim_with).
+    /// Fails if the serial's slot is already occupied — a duplicate serial
+    /// in a replication stream means the stream is broken.
+    pub(crate) fn insert_replicated(
+        &self,
+        stored: StoredClaim,
+        log: impl FnOnce(&StoredClaim),
+    ) -> Result<(), StoreError> {
+        let serial = stored.claim.id.serial;
+        let revoked = stored.claim.status != RevocationStatus::NotRevoked;
+        let key = stored.claim.id.filter_key();
+        // Keep the allocator one past the highest replicated serial so a
+        // promoted follower allocates fresh serials, never reused ones.
+        self.next_serial.fetch_max(serial + 1, Ordering::AcqRel);
+        let slot = self.slot_of(serial);
+        let mut shard = self.shards[self.shard_of(serial)].write();
+        if shard.slots.len() <= slot {
+            shard.slots.resize(slot + 1, None);
+        }
+        if shard.slots[slot].is_some() {
+            return Err(StoreError::DuplicateSerial);
+        }
+        if revoked {
+            shard.filter.insert(key);
+        }
+        shard.slots[slot] = Some(stored);
+        log(shard.slots[slot].as_ref().expect("just inserted"));
+        Ok(())
+    }
+
     /// Look up a record (cloned out of the shard).
     pub fn get(&self, id: &RecordId) -> Option<StoredClaim> {
         if id.ledger != self.id {

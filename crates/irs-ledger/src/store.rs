@@ -22,6 +22,9 @@ pub enum StoreError {
     StaleEpoch,
     /// Permanently revoked records cannot change status.
     Permanent,
+    /// A replicated claim arrived for a serial that is already occupied
+    /// (broken replication stream; never returned on the primary path).
+    DuplicateSerial,
 }
 
 impl std::fmt::Display for StoreError {
@@ -31,6 +34,7 @@ impl std::fmt::Display for StoreError {
             StoreError::BadSignature => write!(f, "bad ownership signature"),
             StoreError::StaleEpoch => write!(f, "stale status epoch"),
             StoreError::Permanent => write!(f, "record permanently revoked"),
+            StoreError::DuplicateSerial => write!(f, "duplicate serial in replication stream"),
         }
     }
 }

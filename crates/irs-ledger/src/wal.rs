@@ -441,6 +441,29 @@ pub fn read_wal(bytes: &[u8], start_at: usize) -> Result<WalContents, WalError> 
     })
 }
 
+/// Decode a buffer of concatenated WAL frames (`[len][crc][payload]`*)
+/// into records, strictly: any truncation, checksum failure, or
+/// unparseable payload rejects the whole buffer. This is the follower's
+/// apply path — unlike [`read_wal`], a torn tail is *not* tolerated,
+/// because a replication segment is a complete message, not a file a
+/// crash may have cut.
+pub fn decode_frames(bytes: &[u8]) -> Result<Vec<WalRecord>, &'static str> {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        match scan_frame(&bytes[off..]) {
+            Frame::Ok(rec, frame_len) => {
+                records.push(rec);
+                off += frame_len;
+            }
+            Frame::Incomplete => return Err("truncated frame"),
+            Frame::BadCrc(_) => return Err("frame checksum mismatch"),
+            Frame::Poison(reason) => return Err(reason),
+        }
+    }
+    Ok(records)
+}
+
 /// Counters for WAL activity (write amplification, group-commit wins).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct WalStats {
@@ -454,6 +477,20 @@ pub struct WalStats {
     pub piggybacked_commits: u64,
 }
 
+/// What [`WalWriter::append`] hands back: the byte LSN to pass to
+/// [`WalWriter::commit`], plus the record's replication sequence number.
+///
+/// Sequence numbers count records (1-based) within one writer instance;
+/// they are dense — record `seq` is always followed by `seq + 1` — which
+/// is what lets a follower detect holes in a shipped stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppendReceipt {
+    /// Byte LSN (logical end after this record) for `commit`.
+    pub lsn: u64,
+    /// Replication sequence number assigned to this record.
+    pub seq: u64,
+}
+
 struct WalInner {
     /// Bytes in the current file (header + frames).
     file_len: u64,
@@ -461,6 +498,9 @@ struct WalInner {
     /// Unlike `file_len`, never reset by rotation, so commit ordering
     /// survives log truncation.
     logical_end: u64,
+    /// Replication sequence number the *next* append will be assigned
+    /// (1-based, monotone across rotations within this writer instance).
+    next_seq: u64,
     generation: u64,
     appends_since_sync: u32,
     stats: WalStats,
@@ -481,6 +521,8 @@ pub struct WalWriter {
     inner: Mutex<WalInner>,
     sync_lock: Mutex<()>,
     synced_lsn: AtomicU64,
+    /// Highest sequence number known durable (advances with `synced_lsn`).
+    synced_seq: AtomicU64,
 }
 
 impl WalWriter {
@@ -493,7 +535,7 @@ impl WalWriter {
         ledger: LedgerId,
         policy: FsyncPolicy,
     ) -> Result<WalWriter, WalError> {
-        let (file_len, generation) = if disk.exists(path) {
+        let (file_len, generation, records_on_disk) = if disk.exists(path) {
             let bytes = disk.read(path)?;
             let contents = read_wal(&bytes, WAL_HEADER_LEN)?;
             if contents.ledger != ledger {
@@ -511,10 +553,14 @@ impl WalWriter {
                     reason: "torn tail present; recover before writing",
                 });
             }
-            (bytes.len() as u64, contents.generation)
+            (
+                bytes.len() as u64,
+                contents.generation,
+                contents.records.len() as u64,
+            )
         } else {
             disk.write_atomic(path, &encode_header(ledger, 0))?;
-            (WAL_HEADER_LEN as u64, 0)
+            (WAL_HEADER_LEN as u64, 0, 0)
         };
         Ok(WalWriter {
             disk,
@@ -524,6 +570,12 @@ impl WalWriter {
             inner: Mutex::new(WalInner {
                 file_len,
                 logical_end: file_len,
+                // Sequence numbers are scoped to one writer instance; a
+                // reopen restarts them after whatever the file holds, and
+                // followers re-bootstrap on reconnect (§ DESIGN.md
+                // "Replication & failover") rather than trusting seq
+                // continuity across a primary restart.
+                next_seq: records_on_disk + 1,
                 generation,
                 appends_since_sync: 0,
                 stats: WalStats::default(),
@@ -532,15 +584,17 @@ impl WalWriter {
             // Whatever is on media at open time survived the last crash
             // (or was written atomically) — it is durable by definition.
             synced_lsn: AtomicU64::new(file_len),
+            synced_seq: AtomicU64::new(records_on_disk),
         })
     }
 
-    /// Append one record; returns its LSN for a later [`commit`](Self::commit).
+    /// Append one record; returns its LSN (for a later
+    /// [`commit`](Self::commit)) and its replication sequence number.
     ///
     /// Callers serialize appends for a given ledger record via the shard
     /// write lock, which is what guarantees replay order matches
     /// application order per record.
-    pub fn append(&self, record: &WalRecord) -> Result<u64, WalError> {
+    pub fn append(&self, record: &WalRecord) -> Result<AppendReceipt, WalError> {
         let frame = record.encode_framed();
         let mut inner = self.inner.lock();
         self.disk.append(&self.path, &frame)?;
@@ -549,6 +603,8 @@ impl WalWriter {
         inner.stats.appends += 1;
         inner.stats.bytes_appended += frame.len() as u64;
         let lsn = inner.logical_end;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
         if let FsyncPolicy::EveryN(n) = self.policy {
             inner.appends_since_sync += 1;
             if inner.appends_since_sync >= n.max(1) {
@@ -556,9 +612,10 @@ impl WalWriter {
                 inner.stats.syncs += 1;
                 inner.appends_since_sync = 0;
                 self.synced_lsn.fetch_max(lsn, Ordering::Release);
+                self.synced_seq.fetch_max(seq, Ordering::Release);
             }
         }
-        Ok(lsn)
+        Ok(AppendReceipt { lsn, seq })
     }
 
     /// Make the record at `lsn` durable according to the policy. Under
@@ -581,14 +638,42 @@ impl WalWriter {
         }
         // Capture the logical end *before* syncing: every byte appended up
         // to now is covered by this flush, so their committers piggyback.
-        let target = self.inner.lock().logical_end;
+        let (target, target_seq) = {
+            let inner = self.inner.lock();
+            (inner.logical_end, inner.next_seq - 1)
+        };
         self.disk.sync(&self.path)?;
         {
             let mut inner = self.inner.lock();
             inner.stats.syncs += 1;
         }
         self.synced_lsn.fetch_max(target, Ordering::Release);
+        self.synced_seq.fetch_max(target_seq, Ordering::Release);
         Ok(())
+    }
+
+    /// Highest sequence number assigned so far (durable or not).
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().next_seq - 1
+    }
+
+    /// Highest sequence number known durable per the fsync policy.
+    pub fn synced_seq(&self) -> u64 {
+        self.synced_seq.load(Ordering::Acquire)
+    }
+
+    /// Highest sequence number safe to ship to a follower.
+    ///
+    /// Under `Always`/`EveryN` that is the synced high-water mark — a
+    /// follower must never hold a record the primary could lose in a
+    /// crash, or promotion would *invent* unacked writes. Under
+    /// `OsDefault` the primary itself bounds nothing, so the last
+    /// assigned seq is shipped as-is.
+    pub fn replicable_seq(&self) -> u64 {
+        match self.policy {
+            FsyncPolicy::Always | FsyncPolicy::EveryN(_) => self.synced_seq(),
+            FsyncPolicy::OsDefault => self.last_seq(),
+        }
     }
 
     /// Current `(generation, file offset)` — recorded into snapshots so
@@ -621,7 +706,9 @@ impl WalWriter {
         // write_atomic is durable on return: everything logically appended
         // so far is now on media.
         let end = inner.logical_end;
+        let end_seq = inner.next_seq - 1;
         self.synced_lsn.fetch_max(end, Ordering::Release);
+        self.synced_seq.fetch_max(end_seq, Ordering::Release);
         inner.appends_since_sync = 0;
         Ok(())
     }
@@ -758,7 +845,7 @@ mod tests {
             let wal =
                 WalWriter::open(disk.clone(), "wal", LedgerId(1), FsyncPolicy::Always).unwrap();
             for r in &records {
-                let lsn = wal.append(r).unwrap();
+                let lsn = wal.append(r).unwrap().lsn;
                 wal.commit(lsn).unwrap();
             }
             assert_eq!(wal.stats().appends, 3);
@@ -787,11 +874,11 @@ mod tests {
         let wal = WalWriter::open(disk.clone(), "wal", LedgerId(1), FsyncPolicy::Always).unwrap();
         let records = sample_records();
         for r in &records[..2] {
-            let lsn = wal.append(r).unwrap();
+            let lsn = wal.append(r).unwrap().lsn;
             wal.commit(lsn).unwrap();
         }
         let (_, cut) = wal.position();
-        let lsn = wal.append(&records[2]).unwrap();
+        let lsn = wal.append(&records[2]).unwrap().lsn;
         wal.commit(lsn).unwrap();
         wal.rotate_at(cut).unwrap();
         let bytes = disk.read("wal").unwrap();

@@ -61,6 +61,22 @@ impl LedgerClient {
         Ok(())
     }
 
+    /// Poll one bounded batch of WAL frames starting at `from_seq`
+    /// (replication follower path). Polling `from_seq = n` doubles as
+    /// the follower's acknowledgement of every frame below `n`.
+    pub fn wal_subscribe(&mut self, from_seq: u64, max_frames: u32) -> Result<Response, NetError> {
+        self.call(&Request::WalSubscribe {
+            from_seq,
+            max_frames,
+        })
+    }
+
+    /// Fetch a snapshot of the primary's full state plus the WAL
+    /// sequence number it covers (replication bootstrap path).
+    pub fn fetch_snapshot(&mut self) -> Result<Response, NetError> {
+        self.call(&Request::FetchSnapshot)
+    }
+
     /// One request/response exchange. An I/O failure mid-exchange poisons
     /// the stream and surfaces as [`NetError::ConnectionLost`]; the caller
     /// must [`reconnect`](LedgerClient::reconnect) before retrying.

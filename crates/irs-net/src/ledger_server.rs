@@ -46,6 +46,12 @@ fn serve_frame(ledger: &ConcurrentLedger, frame: bytes::Bytes) -> Response {
             let now = SystemClock.now();
             ledger.handle(request, now)
         }
+        // Forward compatibility: a well-framed request whose tag this
+        // build has never heard of is a *newer peer*, not a protocol
+        // violation. Answer with a structured `Unsupported` so the
+        // client can degrade per-operation instead of treating the
+        // whole connection as poisoned.
+        Err(irs_core::wire::WireError::BadTag(tag)) => Response::Unsupported { tag },
         Err(e) => Response::Error {
             code: irs_ledger::codes::BAD_REQUEST,
             message: format!("bad request: {e}"),
@@ -248,6 +254,29 @@ mod tests {
             panic!("expected error response");
         };
         assert_eq!(code, irs_ledger::codes::BAD_REQUEST);
+        server.shutdown();
+    }
+
+    /// A well-framed request carrying a tag this build doesn't know
+    /// (a newer peer) gets a structured `Unsupported` answer — and the
+    /// connection survives to serve the next, known request.
+    #[test]
+    fn unknown_request_tag_answered_not_fatal() {
+        let server = server();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        // Protocol version 1, then a tag far beyond anything assigned.
+        crate::framing::write_frame(&mut stream, &[1u8, 0xee]).unwrap();
+        let frame = crate::framing::read_frame(&mut stream).unwrap();
+        let Response::Unsupported { tag } = Response::from_bytes(frame).unwrap() else {
+            panic!("expected Unsupported response");
+        };
+        assert_eq!(tag, 0xee);
+        // Same socket, known request: the decode failure must not have
+        // poisoned the connection.
+        let ping = irs_core::wire::Request::Ping.to_bytes().unwrap();
+        crate::framing::write_frame(&mut stream, &ping).unwrap();
+        let frame = crate::framing::read_frame(&mut stream).unwrap();
+        assert_eq!(Response::from_bytes(frame).unwrap(), Response::Pong);
         server.shutdown();
     }
 

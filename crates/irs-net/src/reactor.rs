@@ -535,6 +535,12 @@ const TOKEN_BASE: u64 = 2;
 
 struct Metrics {
     live: Gauge,
+    /// Unflushed response bytes buffered across all connections. The
+    /// invariant — gauge equals the sum of every live `write_buf` length
+    /// — must hold on *every* teardown path (clean close, error close,
+    /// worker shutdown sweep), or a burst of dying slow readers leaves a
+    /// phantom backlog on the dashboard forever.
+    write_buffer: Gauge,
     accepted: Counter,
     frames: Counter,
     frame_errors: Counter,
@@ -548,6 +554,7 @@ impl Metrics {
                 r.gauge("irs_net_reactor_workers").set(workers as u64);
                 Metrics {
                     live: r.gauge("irs_net_live_connections"),
+                    write_buffer: r.gauge("irs_net_write_buffer_bytes"),
                     accepted: r.counter("irs_net_accepted_total"),
                     frames: r.counter("irs_net_frames_total"),
                     frame_errors: r.counter("irs_net_frame_errors_total"),
@@ -556,6 +563,7 @@ impl Metrics {
             }
             None => Metrics {
                 live: Gauge::new(),
+                write_buffer: Gauge::new(),
                 accepted: Counter::default(),
                 frames: Counter::default(),
                 frame_errors: Counter::default(),
@@ -626,10 +634,17 @@ impl Worker {
                 }
             }
         }
-        // Shutdown: drop every connection this worker owns.
-        let open = self.conns.iter().filter(|c| c.is_some()).count();
+        // Shutdown: drop every connection this worker owns, returning
+        // both its live slot and its buffered bytes to the gauges.
+        let mut open = 0usize;
+        let mut buffered = 0u64;
+        for conn in self.conns.iter().flatten() {
+            open += 1;
+            buffered += conn.write_buf.len() as u64;
+        }
         self.live.fetch_sub(open, Ordering::SeqCst);
         self.metrics.live.sub(open as u64);
+        self.metrics.write_buffer.sub(buffered);
     }
 
     /// Accept until WouldBlock, handing sockets round-robin across all
@@ -729,7 +744,15 @@ impl Worker {
                         let started = Instant::now();
                         let response = (self.handler)(frame);
                         self.metrics.request_us.record_since(started);
-                        if self.codec.encode(&response, &mut conn.write_buf).is_err() {
+                        let before = conn.write_buf.len();
+                        let encoded = self.codec.encode(&response, &mut conn.write_buf);
+                        // Account whatever landed in the buffer even on
+                        // failure, so the close path's subtraction of
+                        // the remaining buffer keeps the gauge exact.
+                        self.metrics
+                            .write_buffer
+                            .add((conn.write_buf.len() - before) as u64);
+                        if encoded.is_err() {
                             // An unencodable (oversized) response would
                             // desynchronize the stream; drop the conn.
                             self.metrics.frame_errors.inc();
@@ -748,7 +771,15 @@ impl Worker {
         }
 
         if ev.writable || !conn.write_buf.is_empty() {
-            if let Err(()) = flush(conn) {
+            let before = conn.write_buf.len();
+            let flushed = flush(conn);
+            // `flush` advances the buffer even when it ends in an error,
+            // so subtract the delta on both outcomes; an error close then
+            // subtracts only what genuinely remains buffered.
+            self.metrics
+                .write_buffer
+                .sub((before - conn.write_buf.len()) as u64);
+            if flushed.is_err() {
                 return Verdict::Close;
             }
         }
@@ -775,6 +806,10 @@ impl Worker {
             self.free.push(slot);
             self.live.fetch_sub(1, Ordering::SeqCst);
             self.metrics.live.sub(1);
+            // Responses the peer never drained: release them from the
+            // backlog gauge along with the connection (this is the
+            // error-path close too — mid-frame deaths land here).
+            self.metrics.write_buffer.sub(conn.write_buf.len() as u64);
         }
     }
 }
@@ -1111,6 +1146,58 @@ mod tests {
         assert!(poll_until(Duration::from_secs(5), || {
             irs_obs::parse_exposition(&registry.render())["irs_net_live_connections"] == 0.0
         }));
+        r.shutdown();
+    }
+
+    /// A client that dies mid-exchange — half a frame written, a large
+    /// undrained response still buffered server-side — must not leak
+    /// either gauge: the error-path close has to return both the live
+    /// slot and the buffered bytes.
+    #[test]
+    fn gauges_return_to_zero_after_midframe_client_death() {
+        let registry = Arc::new(Registry::new());
+        let config = ReactorConfig {
+            workers: 1,
+            max_frame: 32 << 20,
+            registry: Some(registry.clone()),
+            ..ReactorConfig::default()
+        };
+        // Handler inflates any request to 8 MiB — far beyond the socket
+        // buffers, so unread responses pile up in the write buffer.
+        let r = Reactor::bind(
+            "127.0.0.1:0",
+            config,
+            Arc::new(|frame: Bytes| Bytes::from(vec![frame[0]; 8 << 20])),
+        )
+        .unwrap();
+        let gauge = |name: &str| irs_obs::parse_exposition(&registry.render())[name];
+
+        let mut s = TcpStream::connect(r.addr()).unwrap();
+        // One complete request the client will never read the answer to…
+        crate::framing::write_frame(&mut s, &[0x41]).unwrap();
+        // …then half of a second frame: a 64-byte promise, 3 bytes sent.
+        s.write_all(&64u32.to_be_bytes()).unwrap();
+        s.write_all(&[1, 2, 3]).unwrap();
+        s.flush().unwrap();
+        assert!(
+            poll_until(Duration::from_secs(5), || {
+                gauge("irs_net_write_buffer_bytes") > 0.0
+            }),
+            "undrained response must show up in the backlog gauge"
+        );
+
+        // Kill the client mid-frame. The server sees the close while
+        // megabytes are still buffered and a frame is still incomplete.
+        drop(s);
+        assert!(
+            poll_until(Duration::from_secs(5), || {
+                gauge("irs_net_live_connections") == 0.0
+                    && gauge("irs_net_write_buffer_bytes") == 0.0
+            }),
+            "teardown must zero both gauges, saw live={} buffered={}",
+            gauge("irs_net_live_connections"),
+            gauge("irs_net_write_buffer_bytes")
+        );
         r.shutdown();
     }
 }

@@ -64,9 +64,12 @@ impl<S> Breaker<S> {
         match req {
             Request::Query { id } | Request::GetProof { id } => id.ledger,
             Request::Revoke(r) => r.id.ledger,
-            Request::Claim(_) | Request::GetFilter { .. } | Request::Ping | Request::Metrics => {
-                self.fallback
-            }
+            Request::Claim(_)
+            | Request::GetFilter { .. }
+            | Request::Ping
+            | Request::Metrics
+            | Request::WalSubscribe { .. }
+            | Request::FetchSnapshot => self.fallback,
             Request::Batch(ids) => ids.first().map(|id| id.ledger).unwrap_or(self.fallback),
         }
     }

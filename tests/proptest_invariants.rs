@@ -398,3 +398,172 @@ fn codec_rejects_oversized_frames_on_both_sides() {
     rx.extend_from_slice(&17u32.to_be_bytes());
     assert!(codec.decode(&mut rx).is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Replication segments (`irs::ledger::replication`): the shipped WAL stream.
+// ---------------------------------------------------------------------------
+
+/// A calm primary with `claims` records, a bootstrapped-empty follower,
+/// and the segment the primary would ship for the whole stream.
+fn replication_pair(
+    claims: u64,
+) -> (
+    irs::ledger::ConcurrentLedger,
+    irs::ledger::Follower,
+    irs::ledger::SegmentData,
+) {
+    use irs::ledger::{
+        ChaosDisk, ChaosDiskConfig, ConcurrentLedger, Disk, DurabilityConfig, Follower,
+        FsyncPolicy, LedgerConfig, SegmentData,
+    };
+    use irs::protocol::tsa::TimestampAuthority;
+    use std::sync::Arc;
+
+    let ledger_id = LedgerId(1);
+    let durability = |seed| {
+        let disk = Arc::new(ChaosDisk::new(ChaosDiskConfig::off(seed)));
+        DurabilityConfig::new(disk as Arc<dyn Disk>, FsyncPolicy::Always)
+    };
+    let primary = ConcurrentLedger::recover(
+        LedgerConfig::new(ledger_id),
+        TimestampAuthority::from_seed(0x77),
+        4,
+        durability(20),
+    )
+    .unwrap();
+    let (snap_seq, snap) = primary.replication_snapshot().unwrap();
+    let follower = Follower::bootstrap(
+        LedgerConfig::new(ledger_id),
+        TimestampAuthority::from_seed(0x77),
+        4,
+        durability(21),
+        snap_seq,
+        &snap,
+    )
+    .unwrap();
+    let kp = Keypair::from_seed(&[0x78; 32]);
+    for i in 0..claims {
+        let req = irs::protocol::claim::ClaimRequest::create(
+            &kp,
+            &irs::crypto::Digest::of(&i.to_le_bytes()),
+        );
+        primary.claim_custodial(req, TimeMs(i)).unwrap();
+    }
+    let Response::WalSegment {
+        first_seq,
+        durable_seq,
+        log_start_seq,
+        frames,
+    } = primary.handle(
+        Request::WalSubscribe {
+            from_seq: 1,
+            max_frames: 256,
+        },
+        TimeMs(0),
+    )
+    else {
+        panic!("expected WalSegment");
+    };
+    let seg = SegmentData {
+        first_seq,
+        durable_seq,
+        log_start_seq,
+        frames,
+    };
+    (primary, follower, seg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Segment framing: concatenated seq-numbered frames decode back to
+    /// exactly the record sequence that was shipped — the strict-mode
+    /// counterpart of `wal_records_roundtrip` (no torn-tail tolerance).
+    #[test]
+    fn replication_segment_frames_roundtrip(
+        specs in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        use irs::ledger::wal::decode_frames;
+
+        let records: Vec<_> = specs
+            .iter()
+            .map(|&w| {
+                arbitrary_wal_record(
+                    w as u8,
+                    (w >> 8) as u8,
+                    w,
+                    w & (1 << 16) != 0,
+                    w & (1 << 17) != 0,
+                    (w >> 18) % 1000,
+                )
+            })
+            .collect();
+        let mut blob = Vec::new();
+        for record in &records {
+            blob.extend_from_slice(&record.encode_framed());
+        }
+        prop_assert_eq!(decode_frames(&blob).unwrap(), records);
+
+        // Strictness: cut mid-frame and the whole segment is rejected —
+        // a segment is a complete message, not a crash-torn file. (A cut
+        // exactly on a frame boundary is a shorter valid segment, so the
+        // probe point deliberately lands inside the final frame.)
+        let last_frame = records.last().unwrap().encode_framed();
+        let cut = blob.len() - 1 - (specs[0] as usize % (last_frame.len() - 1));
+        prop_assert!(decode_frames(&blob[..cut]).is_err());
+    }
+
+    /// The follower apply path refuses every damaged stream — duplicated
+    /// segments, reordered (skipped-ahead) segments, and any single
+    /// flipped bit — without applying a byte or moving its cursor.
+    #[test]
+    fn follower_rejects_mutated_segments(
+        claims in 1u64..5,
+        mutation in 0u8..3,
+        gap in 1u64..5,
+        flip_pos in any::<u32>(),
+        flip_bit in 0u32..8,
+    ) {
+        use irs::ledger::{ApplyError, SegmentData};
+
+        let (_primary, mut follower, seg) = replication_pair(claims);
+        match mutation % 3 {
+            0 => {
+                // Replay of an already-applied segment.
+                prop_assert_eq!(follower.apply_segment(&seg).unwrap(), claims as usize);
+                let err = follower.apply_segment(&seg).unwrap_err();
+                prop_assert!(matches!(err, ApplyError::Duplicate { through } if through == claims));
+                prop_assert_eq!(follower.next_seq(), claims + 1);
+                prop_assert_eq!(follower.ledger().store().len() as u64, claims);
+            }
+            1 => {
+                // Reordered delivery: a later segment arrives first.
+                let ahead = SegmentData {
+                    first_seq: seg.first_seq + gap,
+                    log_start_seq: seg.log_start_seq,
+                    ..seg.clone()
+                };
+                let err = follower.apply_segment(&ahead).unwrap_err();
+                prop_assert!(
+                    matches!(err, ApplyError::Gap { expected: 1, got } if got == 1 + gap)
+                );
+                prop_assert_eq!(follower.next_seq(), 1);
+                prop_assert_eq!(follower.ledger().store().len(), 0);
+            }
+            _ => {
+                // One flipped bit anywhere in the shipped frames.
+                let mut blob = seg.frames.to_vec();
+                let at = flip_pos as usize % blob.len();
+                blob[at] ^= 1 << flip_bit;
+                let bad = SegmentData {
+                    frames: Bytes::from(blob),
+                    ..seg.clone()
+                };
+                let err = follower.apply_segment(&bad).unwrap_err();
+                prop_assert!(matches!(err, ApplyError::Corrupt(_)), "got {err:?}");
+                prop_assert_eq!(follower.next_seq(), 1);
+                prop_assert_eq!(follower.ledger().store().len(), 0);
+            }
+        }
+    }
+}
