@@ -452,6 +452,14 @@ pub enum Response {
         /// `encode_snapshot` payload.
         data: Bytes,
     },
+    /// The server is shedding load and refused to process this request.
+    /// Unlike `Error`, this is an *admission* verdict, not a processing
+    /// failure: the connection is healthy, the server answered, and the
+    /// client should back off rather than fail over or trip a breaker.
+    Overloaded {
+        /// Server's suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl Wire for Request {
@@ -637,6 +645,10 @@ impl Wire for Response {
                 seq.encode(buf)?;
                 put_blob(buf, data);
             }
+            Response::Overloaded { retry_after_ms } => {
+                buf.put_u8(16);
+                retry_after_ms.encode(buf)?;
+            }
         }
         Ok(())
     }
@@ -721,6 +733,9 @@ impl Wire for Response {
             15 => Ok(Response::Snapshot {
                 seq: u64::decode(buf)?,
                 data: get_blob(buf)?,
+            }),
+            16 => Ok(Response::Overloaded {
+                retry_after_ms: u64::decode(buf)?,
             }),
             t => Err(WireError::BadTag(t)),
         }
@@ -863,6 +878,9 @@ mod tests {
             frames: Bytes::new(),
         });
         roundtrip(&Response::Unsupported { tag: 0xee });
+        roundtrip(&Response::Overloaded {
+            retry_after_ms: 250,
+        });
         roundtrip(&Response::Snapshot {
             seq: 99,
             data: Bytes::from_static(b"snapshot-bytes"),

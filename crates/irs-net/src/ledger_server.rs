@@ -17,6 +17,9 @@
 use crate::framing::{read_frame_capped, response_bytes, write_response, MAX_REQUEST_FRAME};
 use crate::reactor::{Reactor, ReactorConfig, ReactorHandle};
 use crate::server::ServerHandle;
+use crate::service::{
+    service_fn, CallCtx, GovernorLayer, GovernorPolicy, ServiceExt, ShedLayer, ShedPolicy,
+};
 use irs_core::time::{Clock, SystemClock};
 use irs_core::wire::{Request, Response, Wire};
 use irs_ledger::sharded::DEFAULT_SHARDS;
@@ -116,7 +119,67 @@ impl LedgerServer {
         let handle = Reactor::bind(
             addr,
             config,
-            Arc::new(move |frame| response_bytes(&serve_frame(&ledger_for_conns, frame))),
+            Arc::new(move |frame, _conn| response_bytes(&serve_frame(&ledger_for_conns, frame))),
+        )?;
+        Ok(LedgerServer {
+            ledger,
+            engine: Engine::Reactor(handle),
+        })
+    }
+
+    /// Start on the reactor engine with **priority admission control**
+    /// in front of the ledger: every decoded request passes a
+    /// per-connection token-bucket [`Governor`](crate::service::Governor)
+    /// and a [`Shed`](crate::service::Shed) inflight gate *before*
+    /// touching ledger state. Over-rate or over-capacity load is
+    /// answered with `Response::Overloaded { retry_after_ms }` — an
+    /// admission verdict, not a failure: retry layers back off by the
+    /// hint and breakers do not count it against upstream health. The
+    /// governor keys buckets on the reactor's per-connection id, so one
+    /// abusive connection exhausts its own bucket while its neighbours
+    /// keep their full rate.
+    pub fn start_governed(
+        ledger: Arc<ConcurrentLedger>,
+        addr: &str,
+        mut config: ReactorConfig,
+        governor: GovernorPolicy,
+        shed: ShedPolicy,
+    ) -> std::io::Result<LedgerServer> {
+        config.registry = Some(ledger.metrics().clone());
+        config.max_frame = MAX_REQUEST_FRAME;
+        let registry = ledger.metrics().clone();
+        let ledger_for_conns = ledger.clone();
+        let admitted =
+            service_fn(move |req, ctx: &CallCtx| Ok(ledger_for_conns.handle(req, ctx.now)))
+                .layered(ShedLayer::new(shed).with_registry(registry.clone()))
+                .layered(GovernorLayer::new(governor).with_registry(registry))
+                .boxed();
+        let handle = Reactor::bind(
+            addr,
+            config,
+            Arc::new(move |frame, conn| {
+                let response = match Request::from_bytes(frame) {
+                    Ok(request) => {
+                        let ctx = CallCtx::wall().with_client(conn);
+                        match admitted.call(request, &ctx) {
+                            Ok(response) => response,
+                            // The admission stack never errors today
+                            // (sheds are Ok answers), but keep the wire
+                            // honest if a future layer does.
+                            Err(e) => Response::Error {
+                                code: irs_ledger::codes::UNAVAILABLE,
+                                message: format!("admission: {e}"),
+                            },
+                        }
+                    }
+                    Err(irs_core::wire::WireError::BadTag(tag)) => Response::Unsupported { tag },
+                    Err(e) => Response::Error {
+                        code: irs_ledger::codes::BAD_REQUEST,
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                response_bytes(&response)
+            }),
         )?;
         Ok(LedgerServer {
             ledger,
@@ -463,6 +526,117 @@ mod tests {
             panic!("query failed");
         };
         assert_eq!(status, RevocationStatus::Revoked);
+        server.shutdown();
+    }
+
+    fn governed(governor: GovernorPolicy) -> LedgerServer {
+        let ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(1),
+        );
+        LedgerServer::start_governed(
+            Arc::new(ledger.into_concurrent(DEFAULT_SHARDS)),
+            "127.0.0.1:0",
+            ReactorConfig {
+                workers: 1,
+                ..ReactorConfig::default()
+            },
+            governor,
+            ShedPolicy::default(),
+        )
+        .unwrap()
+    }
+
+    /// `Response::Overloaded` end to end over a real socket: a governed
+    /// server refuses over-rate queries with the typed admission answer
+    /// (tag 16 survives the wire), while low-priority requests are never
+    /// metered.
+    #[test]
+    fn governed_server_sheds_over_rate_load_on_a_live_socket() {
+        let server = governed(GovernorPolicy {
+            rate_per_sec: 1.0,
+            burst: 2.0,
+            spill_rate_per_sec: 0.0,
+            spill_burst: 0.0,
+            retry_after_ms: 40,
+        });
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+        let id = irs_core::ids::RecordId::new(LedgerId(1), 9);
+        let (mut served, mut shed) = (0, 0);
+        for _ in 0..10 {
+            match client.call(&Request::Query { id }).unwrap() {
+                Response::Overloaded { retry_after_ms } => {
+                    assert!(retry_after_ms >= 1, "hint must be actionable");
+                    shed += 1;
+                }
+                _ => served += 1,
+            }
+        }
+        assert!(served >= 1, "the burst allowance must be served");
+        assert!(
+            shed >= 1,
+            "over-rate load must be shed, got {served} served"
+        );
+        // Low priority is never metered — even an exhausted bucket
+        // still answers pings (health checks must not die first).
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+        server.shutdown();
+    }
+
+    /// Shed load crossing a real socket surfaces as the *typed*
+    /// [`NetError::Overloaded`] after retry exhaustion — never
+    /// `ConnectionLost` — and the client-side breaker does not count it
+    /// as upstream failure.
+    #[test]
+    fn live_shed_load_is_typed_and_does_not_trip_client_breakers() {
+        use crate::service::{
+            BreakerLayer, Failover, RetryLayer, Service, ServiceExt, TcpTransport,
+        };
+        use crate::NetError;
+        use irs_proxy::health::{BreakerConfig, BreakerState};
+        use irs_proxy::{ProxyConfig, SharedProxy};
+        use std::time::Duration;
+
+        // A governor that refuses every metered request. Rate zero means
+        // the hint falls back to the configured `retry_after_ms` instead
+        // of the (infinite) time-to-one-token.
+        let server = governed(GovernorPolicy {
+            rate_per_sec: 0.0,
+            burst: 0.0,
+            spill_rate_per_sec: 0.0,
+            spill_burst: 0.0,
+            retry_after_ms: 5,
+        });
+        let proxy = Arc::new(
+            SharedProxy::new(ProxyConfig::default()).with_breaker_config(BreakerConfig {
+                failure_threshold: 2,
+                open_cooldown_ms: 1_000,
+            }),
+        );
+        let retry = crate::resilient::RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            call_deadline: Duration::from_secs(2),
+            io_timeout: Duration::from_millis(500),
+            jitter_seed: 7,
+        };
+        let svc = Failover::new(vec![TcpTransport::new(server.addr(), retry.io_timeout)])
+            .layered(RetryLayer::new(retry))
+            .layered(BreakerLayer::new(proxy.clone()));
+        let id = irs_core::ids::RecordId::new(LedgerId(1), 9);
+        let ctx = crate::service::CallCtx::wall();
+        for _ in 0..4 {
+            match svc.call(Request::Query { id }, &ctx) {
+                Err(NetError::Overloaded { retry_after_ms }) => assert!(retry_after_ms >= 1),
+                other => panic!("expected typed overload through the stack, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            proxy.breaker(LedgerId(1)).state(),
+            BreakerState::Closed,
+            "shed load over a live socket must not open the breaker"
+        );
         server.shutdown();
     }
 }

@@ -94,6 +94,38 @@ pub enum NetError {
     /// The call's wall-clock deadline elapsed before work could start
     /// (see [`service::DeadlineLayer`] and [`service::CallCtx`]).
     DeadlineExceeded,
+    /// The server (or a local [`service::ShedLayer`] / governor) refused
+    /// the call under overload. Distinct from [`NetError::ConnectionLost`]
+    /// on purpose: the exchange path is healthy, so breakers must not
+    /// count shed load as failure — the right reaction is backoff.
+    Overloaded {
+        /// Suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+impl NetError {
+    /// A best-effort structural copy, for fanning one upstream error out
+    /// to many waiters (single-flight followers, batch followers).
+    /// `NetError` is not `Clone` because `std::io::Error` is not; the
+    /// replica of an [`NetError::Io`] preserves the kind and message.
+    pub fn replicate(&self) -> NetError {
+        match self {
+            NetError::Io(e) => NetError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            NetError::Frame(what) => NetError::Frame(what),
+            NetError::Closed => NetError::Closed,
+            NetError::Wire(e) => NetError::Wire(e.clone()),
+            NetError::ConnectionLost => NetError::ConnectionLost,
+            NetError::Exhausted { attempts } => NetError::Exhausted {
+                attempts: *attempts,
+            },
+            NetError::BreakerOpen => NetError::BreakerOpen,
+            NetError::DeadlineExceeded => NetError::DeadlineExceeded,
+            NetError::Overloaded { retry_after_ms } => NetError::Overloaded {
+                retry_after_ms: *retry_after_ms,
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for NetError {
@@ -109,6 +141,9 @@ impl std::fmt::Display for NetError {
             }
             NetError::BreakerOpen => write!(f, "circuit breaker open"),
             NetError::DeadlineExceeded => write!(f, "call deadline exceeded"),
+            NetError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded, retry after {retry_after_ms} ms")
+            }
         }
     }
 }

@@ -318,7 +318,7 @@ mod tests {
                 workers: 1,
                 ..ReactorConfig::default()
             },
-            Arc::new(move |frame: bytes::Bytes| {
+            Arc::new(move |frame: bytes::Bytes, _conn: u64| {
                 let n = seq.fetch_add(1, Ordering::SeqCst);
                 let response = match Request::from_bytes(frame) {
                     Ok(Request::Ping) => Response::Pong,
@@ -379,7 +379,7 @@ mod tests {
                 workers: 1,
                 ..ReactorConfig::default()
             },
-            Arc::new(|_frame: bytes::Bytes| {
+            Arc::new(|_frame: bytes::Bytes, _conn: u64| {
                 std::thread::sleep(Duration::from_millis(400));
                 crate::framing::response_bytes(&Response::Pong)
             }),
@@ -408,7 +408,7 @@ mod tests {
                 workers: 1,
                 ..ReactorConfig::default()
             },
-            Arc::new(|_frame: bytes::Bytes| {
+            Arc::new(|_frame: bytes::Bytes, _conn: u64| {
                 std::thread::sleep(Duration::from_millis(200));
                 crate::framing::response_bytes(&Response::Pong)
             }),

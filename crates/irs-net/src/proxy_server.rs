@@ -24,6 +24,7 @@
 use crate::framing::{response_bytes, MAX_REQUEST_FRAME};
 use crate::reactor::{Reactor, ReactorConfig, ReactorHandle};
 use crate::service::{stacks, BoxService, CallCtx, Service};
+use crate::NetError;
 use irs_core::wire::{Request, Response, Wire};
 use irs_proxy::{IrsProxy, SharedProxy};
 use std::net::SocketAddr;
@@ -75,11 +76,25 @@ impl ProxyServer {
         addr: &str,
         stack: BoxService,
     ) -> std::io::Result<ProxyServer> {
+        ProxyServer::start_with_stack_workers(proxy, addr, stack, proxy_workers())
+    }
+
+    /// [`start_with_stack`](ProxyServer::start_with_stack) with an
+    /// explicit reactor worker count. Overload experiments size the pool
+    /// directly: each worker is one concurrent upstream lane while a
+    /// handler blocks, so the worker count bounds how many duplicate
+    /// misses can be in flight at once.
+    pub fn start_with_stack_workers(
+        proxy: Arc<SharedProxy>,
+        addr: &str,
+        stack: BoxService,
+        workers: usize,
+    ) -> std::io::Result<ProxyServer> {
         let stack: Arc<BoxService> = Arc::new(stack);
         let request_us = proxy.metrics().histogram("irs_proxy_request_us");
         let shared = proxy.clone();
         let config = ReactorConfig {
-            workers: proxy_workers(),
+            workers: workers.max(1),
             max_frame: MAX_REQUEST_FRAME,
             registry: Some(proxy.metrics().clone()),
             ..ReactorConfig::default()
@@ -87,14 +102,23 @@ impl ProxyServer {
         let handle = Reactor::bind(
             addr,
             config,
-            Arc::new(move |frame| {
+            Arc::new(move |frame, conn| {
                 let start = std::time::Instant::now();
                 let response = match Request::from_bytes(frame) {
                     Ok(req @ Request::Query { .. }) => {
                         // One clock reading per request: every layer sees
-                        // the same instant.
-                        match stack.call(req, &CallCtx::wall()) {
+                        // the same instant. The connection id rides along
+                        // so admission layers in the stack can meter
+                        // per-client.
+                        match stack.call(req, &CallCtx::wall().with_client(conn)) {
                             Ok(response) => response,
+                            // Shed load keeps its admission shape on the
+                            // wire: the browser's retry layer backs off
+                            // by the hint instead of treating a live but
+                            // protecting server as dead.
+                            Err(NetError::Overloaded { retry_after_ms }) => {
+                                Response::Overloaded { retry_after_ms }
+                            }
                             // A stack without the stale-serve rung lets
                             // failures surface; the browser gets an
                             // honest error, never a bogus status.

@@ -45,7 +45,7 @@ use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -481,8 +481,13 @@ impl Waker {
 
 /// Produce the response payload for one request frame. Runs on a
 /// reactor worker thread; must be `Send + Sync` and should be fast or
-/// deadline-bounded (DESIGN.md §12).
-pub type FrameFn = Arc<dyn Fn(Bytes) -> Bytes + Send + Sync>;
+/// deadline-bounded (DESIGN.md §12). The second argument is the
+/// connection id: a reactor-wide monotone counter stamped at accept
+/// time, stable for the connection's whole life. Servers key per-client
+/// admission (token buckets, fairness) on it — it never repeats within
+/// one reactor, so a reconnecting abuser starts a fresh bucket rather
+/// than inheriting a stranger's.
+pub type FrameFn = Arc<dyn Fn(Bytes, u64) -> Bytes + Send + Sync>;
 
 /// Reactor tuning knobs.
 #[derive(Clone)]
@@ -574,6 +579,8 @@ impl Metrics {
 }
 
 struct Conn {
+    /// Reactor-wide connection id (see [`FrameFn`]).
+    id: u64,
     stream: TcpStream,
     read_buf: BytesBuf,
     write_buf: BytesBuf,
@@ -601,6 +608,8 @@ struct Worker {
     listener: Option<TcpListener>,
     assign: Option<Vec<AssignSlot>>,
     next_worker: usize,
+    /// Shared id well: every install draws the next connection id here.
+    conn_seq: Arc<AtomicU64>,
 }
 
 /// One worker's handoff point in the acceptor's assignment table: the
@@ -702,6 +711,7 @@ impl Worker {
                 continue;
             }
             self.conns[slot] = Some(Conn {
+                id: self.conn_seq.fetch_add(1, Ordering::Relaxed),
                 stream,
                 read_buf: BytesBuf::new(),
                 write_buf: BytesBuf::new(),
@@ -742,7 +752,7 @@ impl Worker {
                     Ok(Some(frame)) => {
                         self.metrics.frames.inc();
                         let started = Instant::now();
-                        let response = (self.handler)(frame);
+                        let response = (self.handler)(frame, conn.id);
                         self.metrics.request_us.record_since(started);
                         let before = conn.write_buf.len();
                         let encoded = self.codec.encode(&response, &mut conn.write_buf);
@@ -847,6 +857,7 @@ impl Reactor {
         let metrics = Arc::new(Metrics::new(config.registry.as_ref(), workers));
         let stop = Arc::new(AtomicBool::new(false));
         let live = Arc::new(AtomicUsize::new(0));
+        let conn_seq = Arc::new(AtomicU64::new(0));
         let codec = FrameCodec::new(config.max_frame);
 
         // Build every worker's inbox + waker first so the acceptor
@@ -888,6 +899,7 @@ impl Reactor {
                 listener: listener_for_worker,
                 assign: (w == 0).then(|| assign.clone()),
                 next_worker: 0,
+                conn_seq: conn_seq.clone(),
             };
             threads.push(
                 std::thread::Builder::new()
@@ -967,7 +979,12 @@ mod tests {
             workers,
             ..ReactorConfig::default()
         };
-        Reactor::bind("127.0.0.1:0", config, Arc::new(|frame: Bytes| frame)).unwrap()
+        Reactor::bind(
+            "127.0.0.1:0",
+            config,
+            Arc::new(|frame: Bytes, _conn: u64| frame),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -1099,7 +1116,7 @@ mod tests {
         let r = Reactor::bind(
             "127.0.0.1:0",
             config,
-            Arc::new(|frame: Bytes| Bytes::from(vec![frame[0]; 8 << 20])),
+            Arc::new(|frame: Bytes, _conn: u64| Bytes::from(vec![frame[0]; 8 << 20])),
         )
         .unwrap();
         let mut stream = TcpStream::connect(r.addr()).unwrap();
@@ -1107,6 +1124,81 @@ mod tests {
         let frame = crate::framing::read_frame(&mut stream).unwrap();
         assert_eq!(frame.len(), 8 << 20);
         assert!(frame.iter().all(|&b| b == 0x5A));
+        r.shutdown();
+    }
+
+    /// A thousand responses flushing toward one slow reader — the
+    /// storm-coalescing shape, where a fan-out burst lands on a client
+    /// that isn't draining — must stay bounded by high-water: read
+    /// interest drops once unflushed bytes cross the mark, so the
+    /// per-connection buffer hovers near the watermark instead of
+    /// absorbing all 64 MiB, and every byte still arrives intact.
+    #[test]
+    fn thousand_response_flush_stays_bounded_by_high_water() {
+        const N: usize = 1_000;
+        const PAYLOAD: usize = 64 << 10;
+        const HIGH_WATER: usize = 1 << 20; // the reactor's floor
+        let registry = Arc::new(Registry::new());
+        let config = ReactorConfig {
+            workers: 1,
+            max_frame: 1 << 20,
+            high_water: HIGH_WATER,
+            registry: Some(registry.clone()),
+        };
+        let r = Reactor::bind(
+            "127.0.0.1:0",
+            config,
+            // Echo: every 64 KiB request becomes a 64 KiB response, so
+            // request arrival paces response generation and the only
+            // thing between the server and 64 MiB of buffered output is
+            // the high-water toggle.
+            Arc::new(|frame: Bytes, _conn: u64| frame),
+        )
+        .unwrap();
+        let gauge = |name: &str| irs_obs::parse_exposition(&registry.render())[name];
+
+        let stream = TcpStream::connect(r.addr()).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        let writer = std::thread::spawn(move || {
+            let payload = vec![0xA5u8; PAYLOAD];
+            for _ in 0..N {
+                crate::framing::write_frame(&mut write_half, &payload).unwrap();
+            }
+        });
+
+        // Stall: nobody reads while the writer blasts. Socket buffers
+        // fill, the server buffers to high-water, read interest drops,
+        // and the writer blocks on TCP backpressure.
+        std::thread::sleep(Duration::from_millis(300));
+        let stalled = gauge("irs_net_write_buffer_bytes");
+        assert!(
+            stalled >= (256 << 10) as f64,
+            "backpressure never engaged: only {stalled} bytes buffered"
+        );
+
+        // Drain everything, sampling the backlog as we go. The bound is
+        // high-water plus one wakeup's worth of decoded frames (the
+        // read budget) — far below the 64 MiB total that flowed.
+        let mut stream = stream;
+        let mut max_seen = stalled;
+        for i in 0..N {
+            let frame = crate::framing::read_frame(&mut stream).unwrap();
+            assert_eq!(frame.len(), PAYLOAD, "response {i} truncated");
+            assert!(frame.iter().all(|&b| b == 0xA5), "response {i} corrupted");
+            max_seen = max_seen.max(gauge("irs_net_write_buffer_bytes"));
+        }
+        writer.join().unwrap();
+        let bound = (HIGH_WATER + (2 << 20)) as f64;
+        assert!(
+            max_seen <= bound,
+            "write buffer must stay bounded: peak {max_seen} > bound {bound}"
+        );
+        assert!(
+            poll_until(Duration::from_secs(5), || {
+                gauge("irs_net_write_buffer_bytes") == 0.0
+            }),
+            "backlog must return to zero after the drain"
+        );
         r.shutdown();
     }
 
@@ -1130,7 +1222,7 @@ mod tests {
             registry: Some(registry.clone()),
             ..ReactorConfig::default()
         };
-        let r = Reactor::bind("127.0.0.1:0", config, Arc::new(|f: Bytes| f)).unwrap();
+        let r = Reactor::bind("127.0.0.1:0", config, Arc::new(|f: Bytes, _conn: u64| f)).unwrap();
         let mut s = TcpStream::connect(r.addr()).unwrap();
         crate::framing::write_frame(&mut s, b"x").unwrap();
         let _ = crate::framing::read_frame(&mut s).unwrap();
@@ -1167,7 +1259,7 @@ mod tests {
         let r = Reactor::bind(
             "127.0.0.1:0",
             config,
-            Arc::new(|frame: Bytes| Bytes::from(vec![frame[0]; 8 << 20])),
+            Arc::new(|frame: Bytes, _conn: u64| Bytes::from(vec![frame[0]; 8 << 20])),
         )
         .unwrap();
         let gauge = |name: &str| irs_obs::parse_exposition(&registry.render())[name];

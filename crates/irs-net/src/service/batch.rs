@@ -19,7 +19,7 @@ use crate::NetError;
 use irs_core::claim::RevocationStatus;
 use irs_core::ids::RecordId;
 use irs_core::wire::{Request, Response};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -67,7 +67,7 @@ impl<S: Service> Layer<S> for BatchLayer {
                 pending: Vec::new(),
                 done_generation: 0,
                 results: HashMap::new(),
-                failed: HashSet::new(),
+                failures: HashMap::new(),
             }),
             flushed: Condvar::new(),
             flushes: AtomicU64::new(0),
@@ -83,7 +83,10 @@ struct State {
     /// Highest generation whose results (or failure) are published.
     done_generation: u64,
     results: HashMap<(u64, RecordId), RevocationStatus>,
-    failed: HashSet<u64>,
+    /// The leader's upstream error, kept with its kind so every waiter
+    /// sees what actually failed (a breaker rejection must not come out
+    /// the other side dressed as a lost connection).
+    failures: HashMap<u64, NetError>,
 }
 
 /// The [`BatchLayer`] service. Counters: [`flushes`](Batched::flushes)
@@ -110,8 +113,8 @@ impl<S> Batched<S> {
 
     /// Read a waiter's answer out of a published generation.
     fn extract(state: &State, generation: u64, id: RecordId) -> Result<Response, NetError> {
-        if state.failed.contains(&generation) {
-            return Err(NetError::ConnectionLost);
+        if let Some(error) = state.failures.get(&generation) {
+            return Err(error.replicate());
         }
         match state.results.get(&(generation, id)) {
             Some(&status) => Ok(Response::Status {
@@ -179,16 +182,24 @@ impl<S: Service> Service for Batched<S> {
                         state.results.insert((generation, id), status);
                     }
                 }
-                // Anything else — error or an unexpected reply shape —
-                // fails the whole window; every waiter sees it.
-                _ => {
-                    state.failed.insert(generation);
+                // An error fails the whole window *typed*: every waiter
+                // gets a replica of the actual upstream error, never a
+                // silent empty verdict or a flattened ConnectionLost.
+                Err(error) => {
+                    state.failures.insert(generation, error);
+                }
+                // An unexpected reply shape is a protocol bug; say so.
+                Ok(_) => {
+                    state.failures.insert(
+                        generation,
+                        NetError::Frame("batch reply had unexpected shape"),
+                    );
                 }
             }
             state.done_generation = generation;
             // Drop generations every waiter has had ample time to read.
             state.results.retain(|(g, _), _| g + 2 > generation);
-            state.failed.retain(|g| g + 2 > generation);
+            state.failures.retain(|g, _| g + 2 > generation);
             self.flushed.notify_all();
             return Self::extract(&state, generation, id);
         }
@@ -363,6 +374,84 @@ mod tests {
             .collect();
         for t in threads {
             assert!(matches!(t.join().unwrap(), Err(NetError::ConnectionLost)));
+        }
+    }
+
+    /// Regression: the leader's upstream error reaches every waiter with
+    /// its *kind* intact. Chaos-backed: a full-fault-rate in-process
+    /// chaos layer corrupts the flush, and all four coalesced callers
+    /// must see the wire error it maps to — not a flattened
+    /// `ConnectionLost`, and never a silent empty verdict.
+    #[test]
+    fn chaos_failure_kind_reaches_every_waiter_typed() {
+        use crate::chaos::{ChaosConfig, FaultMode};
+        use crate::service::ChaosLayer;
+        let seed = std::env::var("CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(7);
+        let config = ChaosConfig {
+            delay: Duration::from_millis(1),
+            ..ChaosConfig::new(seed, 1.0)
+        }
+        .with_modes(&[FaultMode::CorruptResponse]);
+        let svc = Arc::new(
+            service_fn(|req, _ctx: &CallCtx| match req {
+                Request::Batch(ids) => Ok(Response::BatchStatus(
+                    ids.into_iter()
+                        .map(|id| (id, RevocationStatus::NotRevoked))
+                        .collect(),
+                )),
+                _ => panic!("unexpected request"),
+            })
+            .layered(ChaosLayer::new(config))
+            .layered(BatchLayer::new(BatchPolicy {
+                max_batch: 4,
+                max_hold: Duration::from_millis(200),
+            })),
+        );
+        let threads: Vec<_> = (0..4u64)
+            .map(|i| {
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let id = RecordId::new(LedgerId(1), i);
+                    svc.call(Request::Query { id }, &CallCtx::at(TimeMs(0)))
+                })
+            })
+            .collect();
+        for t in threads {
+            match t.join().unwrap() {
+                Err(NetError::Wire(_)) => {}
+                other => panic!("every waiter must see the typed wire error, got {other:?}"),
+            }
+        }
+    }
+
+    /// A breaker rejection keeps its identity through the window too —
+    /// followers must be able to tell "upstream is gated" from "the
+    /// connection died".
+    #[test]
+    fn breaker_rejection_is_not_flattened_to_connection_lost() {
+        let svc = Arc::new(
+            service_fn(|_req, _ctx: &CallCtx| -> Result<Response, NetError> {
+                Err(NetError::BreakerOpen)
+            })
+            .layered(BatchLayer::new(BatchPolicy {
+                max_batch: 2,
+                max_hold: Duration::from_millis(200),
+            })),
+        );
+        let threads: Vec<_> = (0..2u64)
+            .map(|i| {
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let id = RecordId::new(LedgerId(1), i);
+                    svc.call(Request::Query { id }, &CallCtx::at(TimeMs(0)))
+                })
+            })
+            .collect();
+        for t in threads {
+            assert!(matches!(t.join().unwrap(), Err(NetError::BreakerOpen)));
         }
     }
 

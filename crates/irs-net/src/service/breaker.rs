@@ -87,8 +87,12 @@ impl<S: Service> Service for Breaker<S> {
         }
         let result = self.inner.call(req, ctx);
         // Any answer counts as healthy — an application-level error still
-        // proves the exchange path works.
-        self.proxy.record_upstream(ledger, result.is_ok(), ctx.now);
+        // proves the exchange path works. That includes shed load: an
+        // `Overloaded` answer (or the typed error retries reduce it to)
+        // is backpressure from a live server, and tripping the breaker
+        // on it would turn an overload into a self-inflicted outage.
+        let healthy = matches!(&result, Ok(_) | Err(NetError::Overloaded { .. }));
+        self.proxy.record_upstream(ledger, healthy, ctx.now);
         span.verdict_result(&result, "err");
         result
     }
@@ -153,6 +157,38 @@ mod tests {
         let later = CallCtx::at(TimeMs(2_000));
         assert_eq!(svc.call(Request::Ping, &later).unwrap(), Response::Pong);
         assert_eq!(proxy.breaker(LedgerId(3)).state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn shed_load_does_not_trip_the_breaker() {
+        // A server under admission control keeps answering Overloaded
+        // (or retries reduce it to the typed error). Two of either —
+        // enough "failures" to open this breaker — must leave it closed.
+        let proxy = proxy();
+        let svc = service_fn(|_req, _ctx: &CallCtx| -> Result<Response, NetError> {
+            Err(NetError::Overloaded { retry_after_ms: 50 })
+        })
+        .layered(BreakerLayer::new(proxy.clone()));
+        let id = RecordId::new(LedgerId(1), 7);
+        let ctx = CallCtx::at(TimeMs(10));
+        for _ in 0..4 {
+            assert!(matches!(
+                svc.call(Request::Query { id }, &ctx),
+                Err(NetError::Overloaded { .. })
+            ));
+        }
+        assert_eq!(
+            proxy.breaker(LedgerId(1)).state(),
+            BreakerState::Closed,
+            "backpressure must not open the breaker"
+        );
+        let shedding =
+            service_fn(|_req, _ctx: &CallCtx| Ok(Response::Overloaded { retry_after_ms: 50 }))
+                .layered(BreakerLayer::new(proxy.clone()));
+        for _ in 0..4 {
+            assert!(shedding.call(Request::Query { id }, &ctx).is_ok());
+        }
+        assert_eq!(proxy.breaker(LedgerId(1)).state(), BreakerState::Closed);
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! * [`CacheLayer`] — the proxy's filter + striped TTL cache front;
 //! * [`BatchLayer`] — an aggregation window that mixes concurrent
 //!   queries into one upstream [`Request::Batch`];
+//! * [`SingleFlightLayer`] — concurrent misses on one record collapse
+//!   into a single upstream call whose verdict fans out to all waiters;
+//! * [`ShedLayer`] — priority load shedding by queue-depth and
+//!   deadline-headroom watermarks, answering `Response::Overloaded`;
+//! * [`GovernorLayer`] — per-client token-bucket admission with a
+//!   shared spillover pool;
 //! * [`ChaosLayer`] — deterministic in-process fault injection;
 //! * [`StatsLayer`] — a call-count/latency observation hook.
 //!
@@ -39,7 +45,10 @@ pub mod cache;
 pub mod chaos;
 pub mod deadline;
 pub mod failover;
+pub mod governor;
 pub mod retry;
+pub mod shed;
+pub mod singleflight;
 pub mod stacks;
 pub mod stale;
 pub mod stats;
@@ -51,7 +60,10 @@ pub use cache::{Cache, CacheLayer};
 pub use chaos::{Chaos, ChaosLayer};
 pub use deadline::{Deadline, DeadlineLayer};
 pub use failover::{Failover, FailoverLayer};
+pub use governor::{Admission, Governor, GovernorLayer, GovernorPolicy, TokenGovernor};
 pub use retry::{jittered_backoff, Retry, RetryCounters, RetryLayer};
+pub use shed::{Priority, Shed, ShedLayer, ShedPolicy};
+pub use singleflight::{SingleFlight, SingleFlightLayer};
 pub use stale::{StaleServe, StaleServeLayer};
 pub use stats::{Stats, StatsHandle, StatsLayer, StatsSnapshot};
 pub use transport::TcpTransport;
@@ -72,6 +84,12 @@ pub struct CallCtx {
     /// verdict spans into it. `None` (the default) makes every span a
     /// no-op — one `Option` check per layer.
     pub trace: Option<Arc<SpanRecorder>>,
+    /// The client this call is made on behalf of — servers stamp the
+    /// reactor's connection id here so admission control
+    /// ([`GovernorLayer`]) can meter per client. `None` means unknown
+    /// (in-process callers, tests): governed stacks meter those under
+    /// one shared anonymous bucket.
+    pub client: Option<u64>,
 }
 
 impl CallCtx {
@@ -81,6 +99,7 @@ impl CallCtx {
             now,
             deadline: None,
             trace: None,
+            client: None,
         }
     }
 
@@ -100,7 +119,14 @@ impl CallCtx {
                 None => deadline,
             }),
             trace: self.trace.clone(),
+            client: self.client,
         }
+    }
+
+    /// Attribute this call to `client` (see [`CallCtx::client`]).
+    pub fn with_client(mut self, client: u64) -> CallCtx {
+        self.client = Some(client);
+        self
     }
 
     /// Attach a trace recorder: every layer below records spans.

@@ -139,21 +139,38 @@ impl<S: Service> Service for Retry<S> {
             if attempts > 1 {
                 self.shared.retries.fetch_add(1, Ordering::Relaxed);
             }
-            if let Ok(response) = self.inner.call(req.clone(), &ctx) {
-                span.verdict("ok");
-                return Ok(response);
-            }
-            if attempts >= self.policy.max_attempts || Instant::now() >= deadline {
+            // A shed answer (`Response::Overloaded`) is retryable like an
+            // error, but its backoff honors the server's hint: sleep at
+            // least `retry_after_ms` — hammering a shedding server with
+            // the normal (often shorter) backoff would feed the storm.
+            let shed_hint = match self.inner.call(req.clone(), &ctx) {
+                Ok(Response::Overloaded { retry_after_ms }) => Some(retry_after_ms),
+                Ok(response) => {
+                    span.verdict("ok");
+                    return Ok(response);
+                }
+                Err(_) => None,
+            };
+            let give_up = |verdict: &'static str| {
                 self.shared.exhausted.fetch_add(1, Ordering::Relaxed);
-                span.verdict("exhausted");
-                return Err(NetError::Exhausted { attempts });
+                span.verdict(verdict);
+                match shed_hint {
+                    // Typed, so breakers and callers see backpressure,
+                    // not failure.
+                    Some(retry_after_ms) => NetError::Overloaded { retry_after_ms },
+                    None => NetError::Exhausted { attempts },
+                }
+            };
+            if attempts >= self.policy.max_attempts || Instant::now() >= deadline {
+                return Err(give_up("exhausted"));
             }
-            let backoff = jittered_backoff(&self.policy, attempts, self.next_jitter());
+            let mut backoff = jittered_backoff(&self.policy, attempts, self.next_jitter());
+            if let Some(retry_after_ms) = shed_hint {
+                backoff = backoff.max(Duration::from_millis(retry_after_ms));
+            }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
-                self.shared.exhausted.fetch_add(1, Ordering::Relaxed);
-                span.verdict("exhausted");
-                return Err(NetError::Exhausted { attempts });
+                return Err(give_up("exhausted"));
             }
             std::thread::sleep(backoff.min(remaining));
         }
@@ -279,6 +296,45 @@ mod tests {
         ));
         assert_eq!(calls.load(Ordering::SeqCst), 0);
         assert_eq!(svc.counters().attempts, 0);
+    }
+
+    #[test]
+    fn overloaded_answers_are_retried_with_the_server_hint() {
+        // Shed twice with a 30 ms hint, then answer: the call succeeds,
+        // and the two backoffs each waited at least the hint.
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls_in = calls.clone();
+        let svc = service_fn(move |_req, _ctx: &CallCtx| {
+            if calls_in.fetch_add(1, Ordering::SeqCst) < 2 {
+                Ok(Response::Overloaded { retry_after_ms: 30 })
+            } else {
+                Ok(Response::Pong)
+            }
+        })
+        .layered(RetryLayer::new(RetryPolicy::fast(13)));
+        let start = Instant::now();
+        let resp = svc.call(Request::Ping, &CallCtx::at(TimeMs(0))).unwrap();
+        assert_eq!(resp, Response::Pong);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert!(
+            start.elapsed() >= Duration::from_millis(60),
+            "each of the two backoffs must honor the 30 ms hint"
+        );
+    }
+
+    #[test]
+    fn persistent_shedding_surfaces_typed_overload_not_exhaustion() {
+        let svc = service_fn(|_req, _ctx: &CallCtx| Ok(Response::Overloaded { retry_after_ms: 5 }))
+            .layered(RetryLayer::new(RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::fast(14)
+            }));
+        match svc.call(Request::Ping, &CallCtx::at(TimeMs(0))) {
+            Err(NetError::Overloaded { retry_after_ms: 5 }) => {}
+            other => panic!("expected typed overload, got {other:?}"),
+        }
+        assert_eq!(svc.counters().attempts, 3);
+        assert_eq!(svc.counters().exhausted, 1);
     }
 
     #[test]

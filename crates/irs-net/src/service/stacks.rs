@@ -20,8 +20,8 @@
 //! transport used *without* retries should wear one explicitly.
 
 use super::{
-    BoxService, BreakerLayer, CacheLayer, Failover, RetryLayer, ServiceExt, StaleServeLayer,
-    TcpTransport,
+    BoxService, BreakerLayer, CacheLayer, Failover, GovernorLayer, GovernorPolicy, RetryLayer,
+    Service, ServiceExt, ShedLayer, ShedPolicy, SingleFlightLayer, StaleServeLayer, TcpTransport,
 };
 use crate::resilient::RetryPolicy;
 use irs_proxy::SharedProxy;
@@ -72,6 +72,88 @@ pub fn full_upstream(
         .layered(StaleServeLayer::new(proxy.clone()))
         .layered(CacheLayer::new(proxy))
         .boxed()
+}
+
+/// [`full_upstream`] over caller-supplied transports — experiments
+/// inject latency-shaped or fault-shaped transports here instead of raw
+/// [`TcpTransport`]s.
+pub fn full_over<S: Service + Send + Sync + 'static>(
+    proxy: Arc<SharedProxy>,
+    transports: Vec<S>,
+    retry: RetryPolicy,
+) -> BoxService {
+    Failover::new(transports)
+        .layered(RetryLayer::new(retry))
+        .layered(BreakerLayer::new(proxy.clone()))
+        .layered(StaleServeLayer::new(proxy.clone()))
+        .layered(CacheLayer::new(proxy))
+        .boxed()
+}
+
+/// The full ladder plus **single-flight coalescing**:
+/// `Cache(SingleFlight(StaleServe(Breaker(Retry(Failover(transport))))))`.
+///
+/// Single-flight sits *inside* the cache on purpose: a cache hit never
+/// reaches it, so only genuine misses coalesce, and the leader's answer
+/// is written back by the cache layer for everyone who arrives next.
+/// During a revocation storm — every cached verdict for a hot photo
+/// flipped stale at one instant — this collapses the thundering herd of
+/// identical misses into one upstream call per photo.
+pub fn coalescing_over<S: Service + Send + Sync + 'static>(
+    proxy: Arc<SharedProxy>,
+    transports: Vec<S>,
+    retry: RetryPolicy,
+) -> BoxService {
+    let registry = proxy.metrics().clone();
+    Failover::new(transports)
+        .layered(RetryLayer::new(retry))
+        .layered(BreakerLayer::new(proxy.clone()))
+        .layered(StaleServeLayer::new(proxy.clone()))
+        .layered(SingleFlightLayer::new().with_registry(registry))
+        .layered(CacheLayer::new(proxy))
+        .boxed()
+}
+
+/// The storm rung — the coalescing ladder behind **priority admission
+/// control**:
+/// `Governor(Shed(Cache(SingleFlight(StaleServe(Breaker(Retry(Failover(transport)))))))))`.
+///
+/// Ordering rules (DESIGN.md §14): the governor and shed sit outermost
+/// so refused work costs one counter bump and an `Overloaded` answer —
+/// no cache probe, no upstream attempt, no queue slot. The governor is
+/// outside the shed so a single abusive client is confined by its own
+/// token bucket before it can pressure the shared inflight gate that
+/// protects everyone else.
+pub fn storm_over<S: Service + Send + Sync + 'static>(
+    proxy: Arc<SharedProxy>,
+    transports: Vec<S>,
+    retry: RetryPolicy,
+    governor: GovernorPolicy,
+    shed: ShedPolicy,
+) -> BoxService {
+    let registry = proxy.metrics().clone();
+    Failover::new(transports)
+        .layered(RetryLayer::new(retry))
+        .layered(BreakerLayer::new(proxy.clone()))
+        .layered(StaleServeLayer::new(proxy.clone()))
+        .layered(SingleFlightLayer::new().with_registry(registry.clone()))
+        .layered(CacheLayer::new(proxy))
+        .layered(ShedLayer::new(shed).with_registry(registry.clone()))
+        .layered(GovernorLayer::new(governor).with_registry(registry))
+        .boxed()
+}
+
+/// [`storm_over`] with plain TCP transports — the production
+/// composition for a proxy that must survive revocation storms.
+pub fn storm_upstream(
+    proxy: Arc<SharedProxy>,
+    replicas: Vec<SocketAddr>,
+    retry: RetryPolicy,
+    governor: GovernorPolicy,
+    shed: ShedPolicy,
+) -> BoxService {
+    let t = transports(&replicas, retry.io_timeout);
+    storm_over(proxy, t, retry, governor, shed)
 }
 
 #[cfg(test)]

@@ -13,13 +13,21 @@
 //!   (auto-registered and revoked, never legitimately viewed);
 //! * [`pages`] — web-page models (pinterest-like grids, articles,
 //!   galleries) whose resources the browser pipeline loads;
-//! * [`trace`] — view/scroll traces: who views which photo when.
+//! * [`trace`] — view/scroll traces: who views which photo when;
+//! * [`openloop`] — coordinated-omission-free request schedules with
+//!   diurnal curves, flash crowds, scripted revocation storms, and bot
+//!   swarms (the E21 overload shape).
 
+pub mod openloop;
 pub mod pages;
 pub mod population;
 pub mod samplers;
 pub mod trace;
 
+pub use openloop::{
+    BotProfile, DiurnalCurve, FlashCrowd, OpenLoopConfig, OpenLoopTrace, RevocationStorm,
+    ScheduledRequest,
+};
 pub use pages::{PageModel, Resource, ResourceKind};
 pub use population::{PhotoMeta, PhotoPopulation, PopulationConfig};
 pub use samplers::Zipf;

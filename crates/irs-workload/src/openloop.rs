@@ -1,0 +1,394 @@
+//! Open-loop request schedules: the coordinated-omission-free load
+//! shape for overload experiments (E21).
+//!
+//! A *closed-loop* driver sends a request, waits for the answer, then
+//! sends the next — so the moment the server slows down, the driver
+//! politely slows with it and the measured latency distribution hides
+//! exactly the overload it was supposed to expose (coordinated
+//! omission). An *open-loop* driver decides every send time **up
+//! front**, from the workload model alone: if the server stalls, the
+//! schedule does not, queues grow, and the pain shows up in the numbers
+//! where it belongs.
+//!
+//! [`OpenLoopConfig::schedule`] turns the model into a flat,
+//! time-sorted list of [`ScheduledRequest`]s:
+//!
+//! * arrivals are Poisson with a **time-varying rate**: a base rate
+//!   shaped by a diurnal sine curve, optionally multiplied by a flash
+//!   crowd window (thinning — sample at the peak rate, keep each
+//!   arrival with probability `rate(t)/peak`);
+//! * photo popularity is Zipf over the public pool
+//!   ([`crate::samplers::Zipf`]); during a flash crowd a configurable
+//!   fraction of arrivals is redirected to the crowd's target rank;
+//! * a scripted **revocation storm** marks the instant the experiment
+//!   revokes a top-rank photo and flips every cached verdict stale —
+//!   the generator records the instant and (like a real storm) lets the
+//!   flash crowd pile onto the freshly newsworthy photo;
+//! * optional **bot clients** hammer one rank at a fixed rate on their
+//!   own client ids — admission-control experiments use them to show a
+//!   governor confining an abuser without taxing its neighbours.
+//!
+//! Everything is deterministic under the seed: two calls with the same
+//! config produce byte-identical schedules.
+
+use crate::samplers::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One request the driver must emit at `at_ms` — regardless of whether
+/// earlier requests have been answered yet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledRequest {
+    /// Send time, ms since trace start. Fixed at generation time; the
+    /// driver never shifts it to accommodate a slow server.
+    pub at_ms: u64,
+    /// Virtual client emitting it. Organic clients are
+    /// `0..config.clients`; bots follow at `clients..clients + bots`.
+    pub client: u32,
+    /// Zipf rank of the photo queried (0 = most popular).
+    pub rank: u64,
+    /// True for bot traffic (useful when scoring goodput: a defended
+    /// system is *supposed* to refuse these).
+    pub bot: bool,
+}
+
+/// Sinusoidal rate modulation: `1 + amplitude * sin(2π t / period)`,
+/// floored at 0.05 so the trough never goes dark.
+#[derive(Clone, Copy, Debug)]
+pub struct DiurnalCurve {
+    /// Peak-to-mean swing, `0.0..1.0`. Zero disables the curve.
+    pub amplitude: f64,
+    /// Full cycle length in ms.
+    pub period_ms: u64,
+}
+
+impl DiurnalCurve {
+    /// The rate multiplier at `t_ms`.
+    pub fn factor(&self, t_ms: u64) -> f64 {
+        if self.amplitude <= 0.0 || self.period_ms == 0 {
+            return 1.0;
+        }
+        let phase = (t_ms % self.period_ms) as f64 / self.period_ms as f64;
+        (1.0 + self.amplitude * (phase * std::f64::consts::TAU).sin()).max(0.05)
+    }
+}
+
+/// A flash crowd: for `duration_ms` starting at `at_ms`, the arrival
+/// rate is multiplied by `multiplier` and `focus` of all arrivals are
+/// redirected to `rank`.
+#[derive(Clone, Copy, Debug)]
+pub struct FlashCrowd {
+    /// Window start (ms since trace start).
+    pub at_ms: u64,
+    /// Window length.
+    pub duration_ms: u64,
+    /// Rate multiplier inside the window (≥ 1.0).
+    pub multiplier: f64,
+    /// Fraction of in-window arrivals aimed at `rank` (`0.0..=1.0`).
+    pub focus: f64,
+    /// The photo everyone suddenly wants.
+    pub rank: u64,
+}
+
+impl FlashCrowd {
+    fn active(&self, t_ms: u64) -> bool {
+        t_ms >= self.at_ms && t_ms < self.at_ms.saturating_add(self.duration_ms)
+    }
+}
+
+/// The scripted revocation storm: at `at_ms` the experiment revokes the
+/// photo at `rank` on the ledger and invalidates every cached verdict
+/// for it at one instant. The generator itself only records the instant
+/// and aims the configured [`FlashCrowd`] at the same rank — the state
+/// flip is the experiment harness's job (it owns the ledger handle).
+#[derive(Clone, Copy, Debug)]
+pub struct RevocationStorm {
+    /// The instant of the revocation (ms since trace start).
+    pub at_ms: u64,
+    /// The (previously popular, now revoked) photo's Zipf rank.
+    pub rank: u64,
+}
+
+/// Abusive background traffic: `bots` clients each sending at
+/// `rate_hz`, all aimed at `rank`.
+#[derive(Clone, Copy, Debug)]
+pub struct BotProfile {
+    /// Number of bot clients (each gets its own client id).
+    pub bots: u32,
+    /// Per-bot send rate, Hz (fixed-interval, maximally rude).
+    pub rate_hz: f64,
+    /// The rank every bot hammers.
+    pub rank: u64,
+}
+
+/// Open-loop trace shape.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopConfig {
+    /// Organic virtual clients; arrivals are dealt to them uniformly.
+    pub clients: u32,
+    /// Mean aggregate arrival rate (Hz) when every modifier is 1.0.
+    pub base_rate_hz: f64,
+    /// Photo universe size for the Zipf popularity table.
+    pub zipf_n: usize,
+    /// Popularity skew.
+    pub zipf_theta: f64,
+    /// Trace length, ms.
+    pub duration_ms: u64,
+    /// Diurnal rate shaping.
+    pub diurnal: DiurnalCurve,
+    /// Optional flash crowd window.
+    pub flash: Option<FlashCrowd>,
+    /// Optional scripted revocation storm.
+    pub storm: Option<RevocationStorm>,
+    /// Optional bot swarm.
+    pub bots: Option<BotProfile>,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> OpenLoopConfig {
+        OpenLoopConfig {
+            clients: 8,
+            base_rate_hz: 200.0,
+            zipf_n: 10_000,
+            zipf_theta: 0.99,
+            duration_ms: 10_000,
+            diurnal: DiurnalCurve {
+                amplitude: 0.0,
+                period_ms: 86_400_000,
+            },
+            flash: None,
+            storm: None,
+            bots: None,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated schedule plus the storm instant (if scripted).
+#[derive(Clone, Debug)]
+pub struct OpenLoopTrace {
+    /// Every request, sorted by `at_ms` (ties broken by client id).
+    pub requests: Vec<ScheduledRequest>,
+    /// When the harness must fire the revocation + invalidation.
+    pub storm_at_ms: Option<u64>,
+}
+
+impl OpenLoopConfig {
+    /// The instantaneous organic arrival rate (Hz) at `t_ms`.
+    pub fn rate_at(&self, t_ms: u64) -> f64 {
+        let mut rate = self.base_rate_hz * self.diurnal.factor(t_ms);
+        if let Some(flash) = &self.flash {
+            if flash.active(t_ms) {
+                rate *= flash.multiplier.max(1.0);
+            }
+        }
+        rate
+    }
+
+    /// The highest instantaneous rate over the whole trace — the
+    /// thinning envelope.
+    fn peak_rate(&self) -> f64 {
+        let diurnal_peak = if self.diurnal.amplitude > 0.0 {
+            1.0 + self.diurnal.amplitude
+        } else {
+            1.0
+        };
+        let flash_peak = self.flash.map(|f| f.multiplier.max(1.0)).unwrap_or(1.0);
+        (self.base_rate_hz * diurnal_peak * flash_peak).max(f64::MIN_POSITIVE)
+    }
+
+    /// Generate the schedule. Deterministic under `seed`.
+    pub fn schedule(&self) -> OpenLoopTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.zipf_n.max(1), self.zipf_theta);
+        let peak = self.peak_rate();
+        let mut requests = Vec::new();
+
+        // Organic arrivals: a homogeneous Poisson process at the peak
+        // rate, thinned down to the instantaneous rate. Thinning keeps
+        // the process exact for any rate curve without inverting its
+        // integral.
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / peak * 1_000.0;
+            if t >= self.duration_ms as f64 {
+                break;
+            }
+            let at_ms = t as u64;
+            if rng.gen_range(0.0..1.0) * peak > self.rate_at(at_ms) {
+                continue; // thinned out
+            }
+            let rank = match &self.flash {
+                Some(flash) if flash.active(at_ms) && rng.gen_range(0.0..1.0) < flash.focus => {
+                    flash.rank
+                }
+                _ => zipf.sample(&mut rng) as u64,
+            };
+            requests.push(ScheduledRequest {
+                at_ms,
+                client: rng.gen_range(0..self.clients.max(1)),
+                rank,
+                bot: false,
+            });
+        }
+
+        // Bot swarm: fixed-interval hammering, one lane per bot, client
+        // ids stacked after the organic population.
+        if let Some(profile) = &self.bots {
+            if profile.rate_hz > 0.0 {
+                let interval_ms = (1_000.0 / profile.rate_hz).max(1.0);
+                for bot in 0..profile.bots {
+                    // Stagger bots so they don't all fire on the same tick.
+                    let mut t = (bot as f64 + 0.5) * interval_ms / profile.bots.max(1) as f64;
+                    while (t as u64) < self.duration_ms {
+                        requests.push(ScheduledRequest {
+                            at_ms: t as u64,
+                            client: self.clients + bot,
+                            rank: profile.rank,
+                            bot: true,
+                        });
+                        t += interval_ms;
+                    }
+                }
+            }
+        }
+
+        requests.sort_by_key(|r| (r.at_ms, r.client));
+        OpenLoopTrace {
+            requests,
+            storm_at_ms: self.storm.map(|s| s.at_ms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> OpenLoopConfig {
+        OpenLoopConfig {
+            clients: 4,
+            base_rate_hz: 500.0,
+            duration_ms: 4_000,
+            ..OpenLoopConfig::default()
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_under_the_seed() {
+        let a = base().schedule();
+        let b = base().schedule();
+        assert_eq!(a.requests, b.requests);
+        let c = OpenLoopConfig { seed: 99, ..base() }.schedule();
+        assert_ne!(a.requests, c.requests, "seed must matter");
+    }
+
+    #[test]
+    fn arrival_count_tracks_the_offered_rate() {
+        let trace = base().schedule();
+        // 500 Hz for 4 s ≈ 2000 arrivals; Poisson 5σ ≈ ±224.
+        let n = trace.requests.len() as f64;
+        assert!((n - 2_000.0).abs() < 300.0, "got {n} arrivals");
+        // Times are sorted and within the trace window.
+        assert!(trace.requests.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert!(trace.requests.iter().all(|r| r.at_ms < 4_000));
+    }
+
+    #[test]
+    fn diurnal_trough_thins_the_schedule() {
+        let curved = OpenLoopConfig {
+            diurnal: DiurnalCurve {
+                amplitude: 0.9,
+                // One full cycle over the trace: first half peak, second
+                // half trough.
+                period_ms: 4_000,
+            },
+            ..base()
+        }
+        .schedule();
+        let first_half = curved.requests.iter().filter(|r| r.at_ms < 2_000).count() as f64;
+        let second_half = curved.requests.len() as f64 - first_half;
+        assert!(
+            first_half > 2.0 * second_half,
+            "sine peak must out-arrive the trough: {first_half} vs {second_half}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_spikes_rate_and_focuses_the_hot_rank() {
+        let flash = FlashCrowd {
+            at_ms: 2_000,
+            duration_ms: 1_000,
+            multiplier: 5.0,
+            focus: 0.8,
+            rank: 3,
+        };
+        let trace = OpenLoopConfig {
+            flash: Some(flash),
+            ..base()
+        }
+        .schedule();
+        let in_window: Vec<_> = trace
+            .requests
+            .iter()
+            .filter(|r| flash.active(r.at_ms))
+            .collect();
+        let before = trace
+            .requests
+            .iter()
+            .filter(|r| r.at_ms < flash.at_ms)
+            .count() as f64
+            / 2.0; // per-1s normalization (2s of pre-window)
+        assert!(
+            in_window.len() as f64 > 3.0 * before,
+            "crowd window must spike arrivals: {} vs baseline {before}/s",
+            in_window.len()
+        );
+        let focused = in_window.iter().filter(|r| r.rank == flash.rank).count() as f64;
+        let share = focused / in_window.len() as f64;
+        assert!(
+            (0.7..=0.95).contains(&share),
+            "≈80% of crowd arrivals must hit the hot rank, got {share}"
+        );
+    }
+
+    #[test]
+    fn storm_instant_is_recorded_for_the_harness() {
+        let trace = OpenLoopConfig {
+            storm: Some(RevocationStorm {
+                at_ms: 1_500,
+                rank: 0,
+            }),
+            ..base()
+        }
+        .schedule();
+        assert_eq!(trace.storm_at_ms, Some(1_500));
+        assert_eq!(base().schedule().storm_at_ms, None);
+    }
+
+    #[test]
+    fn bots_get_their_own_client_ids_and_fixed_cadence() {
+        let trace = OpenLoopConfig {
+            bots: Some(BotProfile {
+                bots: 2,
+                rate_hz: 100.0,
+                rank: 0,
+            }),
+            ..base()
+        }
+        .schedule();
+        let bot_reqs: Vec<_> = trace.requests.iter().filter(|r| r.bot).collect();
+        // 2 bots × 100 Hz × 4 s, fixed interval: exactly 400 each.
+        assert_eq!(bot_reqs.len(), 800);
+        assert!(bot_reqs.iter().all(|r| r.client >= 4 && r.rank == 0));
+        // Organic traffic is untouched and never wears a bot id.
+        assert!(trace
+            .requests
+            .iter()
+            .filter(|r| !r.bot)
+            .all(|r| r.client < 4));
+    }
+}
