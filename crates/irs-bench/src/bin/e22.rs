@@ -1,0 +1,31 @@
+//! E22 standalone runner — the sharding CI gate's entry point.
+//!
+//! ```sh
+//! cargo run --release -p irs-bench --bin e22                  # full tables
+//! cargo run --release -p irs-bench --bin e22 -- --quick       # CI-sized
+//! cargo run --release -p irs-bench --bin e22 -- --quick --check
+//! ```
+//!
+//! `--check` runs the acceptance gate (≥3× validate QPS at 4 shards vs
+//! 1, 100% acked-write recovery through the mid-sweep shard-primary
+//! kill, zero shard-2 collateral) instead of rendering the tables: exit
+//! 0 if the bars hold, exit 1 on drift. Set `CHAOS_SEED` to replay
+//! another universe (CI runs seeds 7 and 13).
+
+use irs_bench::experiments::e22_sharded_scaling;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--check") {
+        match e22_sharded_scaling::check(quick) {
+            Ok(summary) => println!("{summary}"),
+            Err(reason) => {
+                eprintln!("e22 check failed: {reason}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    println!("{}", e22_sharded_scaling::run(quick));
+}

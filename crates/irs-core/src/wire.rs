@@ -330,6 +330,10 @@ pub enum Request {
     /// Follower bootstrap: fetch a full state snapshot plus the sequence
     /// number it covers, so tailing can start at `seq + 1`.
     FetchSnapshot,
+    /// Fetch the server's current shard directory. Any shard answers;
+    /// routers call this to bootstrap and to self-heal after a
+    /// [`Response::WrongShard`] refusal.
+    GetShardMap,
 }
 
 /// A ledger's response.
@@ -460,6 +464,26 @@ pub enum Response {
         /// Server's suggested wait before retrying, in milliseconds.
         retry_after_ms: u64,
     },
+    /// The server's shard directory. `data` is an opaque
+    /// `irs-ledger` `ShardMap::to_bytes` blob (the codec stays
+    /// placement-agnostic); `epoch` duplicates the map's version so
+    /// routers can discard stale replies without decoding.
+    ShardMap {
+        /// The carried map's epoch.
+        epoch: u64,
+        /// `ShardMap::to_bytes` payload.
+        data: Bytes,
+    },
+    /// The keyed request landed on a shard that does not own the key
+    /// under the server's directory. Like `Overloaded`, this is an
+    /// *admission* verdict, not a failure: the connection is healthy
+    /// and breakers must not count it. A router holding an epoch older
+    /// than `epoch` should refetch the map and retry; one already at
+    /// `epoch` is diverging and must not loop.
+    WrongShard {
+        /// The refusing server's directory epoch.
+        epoch: u64,
+    },
 }
 
 impl Wire for Request {
@@ -504,6 +528,7 @@ impl Wire for Request {
                 buf.put_u32(*max_frames);
             }
             Request::FetchSnapshot => buf.put_u8(10),
+            Request::GetShardMap => buf.put_u8(11),
         }
         Ok(())
     }
@@ -550,6 +575,7 @@ impl Wire for Request {
                 })
             }
             10 => Ok(Request::FetchSnapshot),
+            11 => Ok(Request::GetShardMap),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -649,6 +675,15 @@ impl Wire for Response {
                 buf.put_u8(16);
                 retry_after_ms.encode(buf)?;
             }
+            Response::ShardMap { epoch, data } => {
+                buf.put_u8(17);
+                epoch.encode(buf)?;
+                put_blob(buf, data);
+            }
+            Response::WrongShard { epoch } => {
+                buf.put_u8(18);
+                epoch.encode(buf)?;
+            }
         }
         Ok(())
     }
@@ -737,6 +772,13 @@ impl Wire for Response {
             16 => Ok(Response::Overloaded {
                 retry_after_ms: u64::decode(buf)?,
             }),
+            17 => Ok(Response::ShardMap {
+                epoch: u64::decode(buf)?,
+                data: get_blob(buf)?,
+            }),
+            18 => Ok(Response::WrongShard {
+                epoch: u64::decode(buf)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -812,6 +854,7 @@ mod tests {
             max_frames: 256,
         });
         roundtrip(&Request::FetchSnapshot);
+        roundtrip(&Request::GetShardMap);
     }
 
     #[test]
@@ -885,6 +928,15 @@ mod tests {
             seq: 99,
             data: Bytes::from_static(b"snapshot-bytes"),
         });
+        roundtrip(&Response::ShardMap {
+            epoch: 12,
+            data: Bytes::from_static(b"shard-map-bytes"),
+        });
+        roundtrip(&Response::ShardMap {
+            epoch: 0,
+            data: Bytes::new(),
+        });
+        roundtrip(&Response::WrongShard { epoch: 31 });
     }
 
     #[test]

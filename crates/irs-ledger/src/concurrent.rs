@@ -10,6 +10,7 @@
 
 use crate::codes;
 use crate::disk::Disk;
+use crate::placement::ShardDirectory;
 use crate::recovery::{self, RecoveryError, RecoveryReport};
 use crate::replication::{ApplyError, ReplicationLog, ReplicationPolicy, DEFAULT_RETAIN_FRAMES};
 use crate::sharded::{ShardedLedgerStore, DEFAULT_SHARDS};
@@ -31,7 +32,7 @@ use irs_obs::{Counter, Gauge, Histogram, Registry, SpanRecorder};
 use parking_lot::RwLock;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 use std::time::Instant;
 
@@ -60,6 +61,8 @@ struct SnapshotPair {
 /// here so the request path never takes the registry's name lock.
 struct LedgerObs {
     registry: Arc<Registry>,
+    /// Misrouted keyed requests refused with `WrongShard`.
+    wrong_shard: Counter,
     queries: Counter,
     batch_items: Counter,
     claims: Counter,
@@ -83,6 +86,7 @@ impl LedgerObs {
     fn new() -> LedgerObs {
         let registry = Arc::new(Registry::new());
         LedgerObs {
+            wrong_shard: registry.counter("irs_ledger_wrong_shard_total"),
             queries: registry.counter("irs_ledger_queries_total"),
             batch_items: registry.counter("irs_ledger_batch_items_total"),
             claims: registry.counter("irs_ledger_claims_total"),
@@ -200,6 +204,10 @@ pub struct ConcurrentLedger {
     obs: LedgerObs,
     durability: Option<Durability>,
     recovery_report: Option<RecoveryReport>,
+    /// The shard this ledger serves plus its view of the placement
+    /// (DESIGN.md §15). Unset on unsharded deployments — every guard
+    /// below is then a no-op, so single-shard behavior is unchanged.
+    shard_dir: OnceLock<Arc<ShardDirectory>>,
 }
 
 impl ConcurrentLedger {
@@ -228,6 +236,7 @@ impl ConcurrentLedger {
             config,
             durability: None,
             recovery_report: None,
+            shard_dir: OnceLock::new(),
         }
     }
 
@@ -283,6 +292,7 @@ impl ConcurrentLedger {
                 replication_policy: durability.replication,
             }),
             recovery_report: Some(state.report),
+            shard_dir: OnceLock::new(),
         })
     }
 
@@ -311,6 +321,7 @@ impl ConcurrentLedger {
             obs: LedgerObs::new(),
             durability: None,
             recovery_report: None,
+            shard_dir: OnceLock::new(),
         };
         concurrent.obs.preload(stats);
         concurrent
@@ -371,6 +382,9 @@ impl ConcurrentLedger {
         now: TimeMs,
         trace: Option<&Arc<SpanRecorder>>,
     ) -> Response {
+        if let Some(refusal) = self.shard_guard(&request) {
+            return refusal;
+        }
         match request {
             Request::Claim(req) => {
                 self.obs.claims.inc();
@@ -439,6 +453,53 @@ impl ConcurrentLedger {
                 max_frames,
             } => self.serve_wal_subscribe(from_seq, max_frames),
             Request::FetchSnapshot => self.serve_replication_snapshot(),
+            // Reached only without a directory: the guard above serves
+            // the map whenever one is attached.
+            Request::GetShardMap => err(codes::UNAVAILABLE, "this ledger has no shard directory"),
+        }
+    }
+
+    /// Attach this server's shard identity + placement view. Callable
+    /// once, before serving; returns `false` (and changes nothing) if a
+    /// directory is already attached. Subsequent epoch bumps go through
+    /// [`ShardDirectory::install`] on the shared handle.
+    pub fn set_shard_directory(&self, dir: Arc<ShardDirectory>) -> bool {
+        self.shard_dir.set(dir).is_ok()
+    }
+
+    /// The attached shard directory, if any.
+    pub fn shard_directory(&self) -> Option<&Arc<ShardDirectory>> {
+        self.shard_dir.get()
+    }
+
+    /// The placement guard (DESIGN.md §15): with a directory attached,
+    /// answer `GetShardMap` from it and refuse keyed requests this
+    /// shard does not own with `WrongShard { epoch }` — claims by
+    /// rendezvous over the claim digest, record-keyed requests exactly
+    /// by `RecordId::ledger`. Unkeyed requests (filters, metrics,
+    /// replication, ping) always serve locally.
+    fn shard_guard(&self, request: &Request) -> Option<Response> {
+        let dir = self.shard_dir.get()?;
+        if matches!(request, Request::GetShardMap) {
+            let map = dir.current();
+            return Some(Response::ShardMap {
+                epoch: map.epoch(),
+                data: map.to_bytes().into(),
+            });
+        }
+        let own = dir.own()?;
+        let misrouted = match request {
+            Request::Claim(c) => dir.current().shard_for_claim(c).ledger != own,
+            Request::Query { id } | Request::GetProof { id } => id.ledger != own,
+            Request::Revoke(r) => r.id.ledger != own,
+            Request::Batch(ids) => ids.iter().any(|id| id.ledger != own),
+            _ => false,
+        };
+        if misrouted {
+            self.obs.wrong_shard.inc();
+            Some(Response::WrongShard { epoch: dir.epoch() })
+        } else {
+            None
         }
     }
 

@@ -42,6 +42,12 @@
 //! [`ReplicationPolicy`] decides whether client acks
 //! wait for the replica (E20's zero-acked-loss guarantee) or only the
 //! local fsync.
+//!
+//! Placement tier (DESIGN.md §15): [`placement`] splits the claim
+//! keyspace across N such replica sets — an epoch-versioned
+//! [`ShardMap`] routes claims by rendezvous hashing and record-keyed
+//! requests exactly by `RecordId::ledger`; servers hold their view in a
+//! [`ShardDirectory`] and reject misrouted keys with `WrongShard`.
 
 pub mod adversarial;
 pub mod appeals;
@@ -49,6 +55,7 @@ pub mod chaosdisk;
 pub mod concurrent;
 pub mod disk;
 pub mod payments;
+pub mod placement;
 pub mod probe;
 pub mod recovery;
 pub mod replication;
@@ -62,6 +69,7 @@ pub use appeals::{AppealOutcome, AppealsJudge};
 pub use chaosdisk::{ChaosDisk, ChaosDiskConfig, DiskFault};
 pub use concurrent::{ConcurrentLedger, Durability, DurabilityConfig};
 pub use disk::{Disk, StdDisk};
+pub use placement::{PlacementError, ShardDirectory, ShardMap, ShardSpec};
 pub use recovery::{RecoveredState, RecoveryError, RecoveryReport};
 pub use replication::{
     ApplyError, Follower, FollowerError, ReplicationLog, ReplicationPolicy, SegmentData,

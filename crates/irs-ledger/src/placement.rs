@@ -1,0 +1,428 @@
+//! Keyspace placement: which shard owns which claim.
+//!
+//! The bootstrap-phase ledger tier scales horizontally by splitting the
+//! claim keyspace across N independent shards, each a PR-7 replica set
+//! (primary + follower) identified by its own [`LedgerId`]. A
+//! [`ShardMap`] is the epoch-versioned directory of that split:
+//!
+//! * **Claims** route by *rendezvous hashing* over the claim digest —
+//!   every participant (client router, shard server) computes the same
+//!   highest-random-weight winner, and adding a shard moves only the
+//!   keys whose argmax changes (≈ 1/(N+1) of them).
+//! * **Record-keyed requests** (`Query` / `Revoke` / `GetProof`) route
+//!   *exactly* by `RecordId::ledger` — the shard that minted a record is
+//!   encoded in its id, so reads never depend on the hash ring at all.
+//!
+//! The map serializes to a small checksummed blob so it can ride the
+//! wire (`Request::GetShardMap` → `Response::ShardMap`); servers embed
+//! their view in a [`ShardDirectory`] and answer misrouted keys with
+//! `Response::WrongShard { epoch }`, which routers treat as "my map is
+//! stale — refetch and retry" (DESIGN.md §15).
+
+use crate::wal::crc32;
+use irs_core::claim::ClaimRequest;
+use irs_core::ids::{LedgerId, RecordId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One shard: a replica set owning a slice of the keyspace.
+///
+/// `replicas` are socket addresses in failover order — primary first,
+/// then followers. Servers only need the `ledger` identity; an empty
+/// replica list is legal in a map a server holds about itself, but
+/// client routers require at least one address to dial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The shard's ledger identity (also the `RecordId::ledger` it mints).
+    pub ledger: LedgerId,
+    /// Dialable replica addresses, primary first.
+    pub replicas: Vec<String>,
+}
+
+impl ShardSpec {
+    /// A shard spec for `ledger` with the given replica addresses.
+    pub fn new(ledger: LedgerId, replicas: Vec<String>) -> ShardSpec {
+        ShardSpec { ledger, replicas }
+    }
+}
+
+/// Why a [`ShardMap`] could not be built or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A map must contain at least one shard.
+    Empty,
+    /// Two shards claimed the same [`LedgerId`].
+    DuplicateLedger(LedgerId),
+    /// A serialized map failed structural validation or its checksum.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::Empty => write!(f, "shard map has no shards"),
+            PlacementError::DuplicateLedger(id) => {
+                write!(f, "duplicate shard ledger id {}", id.0)
+            }
+            PlacementError::Corrupt(what) => write!(f, "corrupt shard map: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// SplitMix64 finalizer — the same full-avalanche mix the chaos seeder
+/// uses; placement only needs determinism and bit diffusion.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Magic prefix on serialized maps ("IRSM" + format version 1).
+const MAP_MAGIC: u32 = 0x4952_5301;
+
+/// The epoch-versioned shard directory.
+///
+/// Immutable once built — installing a new placement means building a
+/// new map with a strictly larger epoch and swapping it in (see
+/// [`ShardDirectory`]). Routing is a pure function of the map contents,
+/// so two holders of byte-equal maps always agree on every key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    epoch: u64,
+    shards: Vec<ShardSpec>,
+}
+
+impl ShardMap {
+    /// Builds a map at `epoch` over `shards`.
+    pub fn new(epoch: u64, shards: Vec<ShardSpec>) -> Result<ShardMap, PlacementError> {
+        if shards.is_empty() {
+            return Err(PlacementError::Empty);
+        }
+        for (i, s) in shards.iter().enumerate() {
+            if shards[..i].iter().any(|t| t.ledger == s.ledger) {
+                return Err(PlacementError::DuplicateLedger(s.ledger));
+            }
+        }
+        Ok(ShardMap { epoch, shards })
+    }
+
+    /// The map's version; larger epochs supersede smaller ones.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// All shards, in declaration order.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// False — maps are never empty (enforced by [`ShardMap::new`]).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The spec for `ledger`, if this map places it.
+    pub fn spec(&self, ledger: LedgerId) -> Option<&ShardSpec> {
+        self.shards.iter().find(|s| s.ledger == ledger)
+    }
+
+    /// Rendezvous winner for an abstract 64-bit key: every shard scores
+    /// `mix64(key ⊕ mix64(ledger))` and the highest weight wins, ties
+    /// broken toward the smaller ledger id. Deterministic across
+    /// processes, and adding one shard only reassigns the keys the new
+    /// shard now wins.
+    pub fn shard_for_key(&self, key: u64) -> &ShardSpec {
+        self.shards
+            .iter()
+            .map(|s| {
+                (
+                    mix64(key ^ mix64(0x5348_4152_4400 | u64::from(s.ledger.0))),
+                    s,
+                )
+            })
+            .max_by(|(wa, sa), (wb, sb)| wa.cmp(wb).then(sb.ledger.0.cmp(&sa.ledger.0)))
+            .map(|(_, s)| s)
+            .expect("ShardMap::new rejects empty maps")
+    }
+
+    /// The routing key of a claim: the 64-bit prefix of its request
+    /// digest (pubkey ‖ hash-sig) — derivable by client and server from
+    /// the wire form alone.
+    pub fn claim_key(claim: &ClaimRequest) -> u64 {
+        claim.digest().prefix_u64()
+    }
+
+    /// Rendezvous winner for a claim (see [`ShardMap::claim_key`]).
+    pub fn shard_for_claim(&self, claim: &ClaimRequest) -> &ShardSpec {
+        self.shard_for_key(Self::claim_key(claim))
+    }
+
+    /// Exact owner of an existing record: the shard whose ledger minted
+    /// it. `None` if the record's ledger is not in this map.
+    pub fn shard_for_record(&self, id: &RecordId) -> Option<&ShardSpec> {
+        self.spec(id.ledger)
+    }
+
+    /// Serializes the map to a checksummed blob (rides the wire as the
+    /// payload of `Response::ShardMap`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&MAP_MAGIC.to_be_bytes());
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&(self.shards.len() as u16).to_be_bytes());
+        for s in &self.shards {
+            out.extend_from_slice(&s.ledger.0.to_be_bytes());
+            out.extend_from_slice(&(s.replicas.len() as u16).to_be_bytes());
+            for r in &s.replicas {
+                out.extend_from_slice(&(r.len() as u16).to_be_bytes());
+                out.extend_from_slice(r.as_bytes());
+            }
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_be_bytes());
+        out
+    }
+
+    /// Decodes a blob produced by [`ShardMap::to_bytes`], rejecting
+    /// truncation, trailing garbage, checksum mismatches, and
+    /// structurally invalid maps.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ShardMap, PlacementError> {
+        if bytes.len() < 4 + 8 + 2 + 4 {
+            return Err(PlacementError::Corrupt("short buffer"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_be_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(PlacementError::Corrupt("checksum mismatch"));
+        }
+        let mut at = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], PlacementError> {
+            let end = at
+                .checked_add(n)
+                .ok_or(PlacementError::Corrupt("overflow"))?;
+            if end > body.len() {
+                return Err(PlacementError::Corrupt("truncated"));
+            }
+            let out = &body[at..end];
+            at = end;
+            Ok(out)
+        };
+        if u32::from_be_bytes(take(4)?.try_into().unwrap()) != MAP_MAGIC {
+            return Err(PlacementError::Corrupt("bad magic"));
+        }
+        let epoch = u64::from_be_bytes(take(8)?.try_into().unwrap());
+        let nshards = u16::from_be_bytes(take(2)?.try_into().unwrap());
+        let mut shards = Vec::with_capacity(nshards as usize);
+        for _ in 0..nshards {
+            let ledger = LedgerId(u16::from_be_bytes(take(2)?.try_into().unwrap()));
+            let nreps = u16::from_be_bytes(take(2)?.try_into().unwrap());
+            let mut replicas = Vec::with_capacity(nreps as usize);
+            for _ in 0..nreps {
+                let len = u16::from_be_bytes(take(2)?.try_into().unwrap()) as usize;
+                let raw = take(len)?;
+                let addr = std::str::from_utf8(raw)
+                    .map_err(|_| PlacementError::Corrupt("non-utf8 address"))?;
+                replicas.push(addr.to_string());
+            }
+            shards.push(ShardSpec { ledger, replicas });
+        }
+        if at != body.len() {
+            return Err(PlacementError::Corrupt("trailing bytes"));
+        }
+        ShardMap::new(epoch, shards)
+    }
+}
+
+/// A server's (or router's) live view of the placement: the current
+/// [`ShardMap`] behind a swap, plus — on servers — the shard identity
+/// the holder serves.
+///
+/// `install` only accepts strictly newer epochs, so concurrent
+/// refetches during a `WrongShard` storm can race freely: the newest
+/// map wins and stale installs are no-ops.
+pub struct ShardDirectory {
+    own: Option<LedgerId>,
+    map: RwLock<Arc<ShardMap>>,
+}
+
+impl ShardDirectory {
+    /// A directory for the server serving shard `own`.
+    pub fn for_shard(own: LedgerId, map: ShardMap) -> ShardDirectory {
+        ShardDirectory {
+            own: Some(own),
+            map: RwLock::new(Arc::new(map)),
+        }
+    }
+
+    /// A routing-only directory (clients; no shard identity).
+    pub fn for_router(map: ShardMap) -> ShardDirectory {
+        ShardDirectory {
+            own: None,
+            map: RwLock::new(Arc::new(map)),
+        }
+    }
+
+    /// The shard this directory's holder serves, if it is a server.
+    pub fn own(&self) -> Option<LedgerId> {
+        self.own
+    }
+
+    /// The current map (cheap: clones an `Arc`).
+    pub fn current(&self) -> Arc<ShardMap> {
+        self.map.read().clone()
+    }
+
+    /// The current map's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.map.read().epoch()
+    }
+
+    /// Swaps in `map` if it is strictly newer than the current one.
+    /// Returns whether the install took effect.
+    pub fn install(&self, map: ShardMap) -> bool {
+        let mut cur = self.map.write();
+        if map.epoch() > cur.epoch() {
+            *cur = Arc::new(map);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_crypto::{Digest, Keypair};
+
+    fn map(epoch: u64, ids: &[u16]) -> ShardMap {
+        let shards = ids
+            .iter()
+            .map(|&id| ShardSpec::new(LedgerId(id), vec![format!("10.0.0.{id}:4100")]))
+            .collect();
+        ShardMap::new(epoch, shards).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate() {
+        assert_eq!(ShardMap::new(1, vec![]), Err(PlacementError::Empty));
+        let dup = vec![
+            ShardSpec::new(LedgerId(3), vec![]),
+            ShardSpec::new(LedgerId(3), vec![]),
+        ];
+        assert_eq!(
+            ShardMap::new(1, dup),
+            Err(PlacementError::DuplicateLedger(LedgerId(3)))
+        );
+    }
+
+    #[test]
+    fn key_routing_is_deterministic_and_total() {
+        let m = map(1, &[1, 2, 3, 4]);
+        for key in 0..1000u64 {
+            let a = m.shard_for_key(key).ledger;
+            let b = m.shard_for_key(key).ledger;
+            assert_eq!(a, b);
+            assert!(m.spec(a).is_some());
+        }
+    }
+
+    #[test]
+    fn record_routing_is_exact_by_ledger() {
+        let m = map(1, &[1, 2]);
+        let id = RecordId::new(LedgerId(2), 77);
+        assert_eq!(m.shard_for_record(&id).unwrap().ledger, LedgerId(2));
+        let foreign = RecordId::new(LedgerId(9), 77);
+        assert!(m.shard_for_record(&foreign).is_none());
+    }
+
+    #[test]
+    fn claim_routing_matches_key_routing() {
+        let m = map(3, &[1, 2, 3]);
+        let kp = Keypair::from_seed(&[42u8; 32]);
+        let claim = ClaimRequest::create(&kp, &Digest::of(b"photo"));
+        let by_claim = m.shard_for_claim(&claim).ledger;
+        let by_key = m.shard_for_key(ShardMap::claim_key(&claim)).ledger;
+        assert_eq!(by_claim, by_key);
+    }
+
+    #[test]
+    fn balance_is_reasonable_at_4_shards() {
+        let m = map(1, &[1, 2, 3, 4]);
+        let mut counts = [0u64; 4];
+        for key in 0..40_000u64 {
+            let l = m.shard_for_key(mix64(key)).ledger.0;
+            counts[(l - 1) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(min > 0.0 && max / min < 1.15, "imbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn adding_a_shard_moves_few_keys() {
+        let before = map(1, &[1, 2, 3, 4]);
+        let after = map(2, &[1, 2, 3, 4, 5]);
+        let total = 20_000u64;
+        let moved = (0..total)
+            .filter(|&k| {
+                let key = mix64(k);
+                before.shard_for_key(key).ledger != after.shard_for_key(key).ledger
+            })
+            .count() as f64;
+        // Rendezvous: only keys the new shard wins move — ≈ 1/5 of them.
+        assert!(moved / total as f64 <= 0.25, "moved {moved} of {total}");
+    }
+
+    #[test]
+    fn bytes_roundtrip_exactly() {
+        let m = ShardMap::new(
+            9,
+            vec![
+                ShardSpec::new(
+                    LedgerId(1),
+                    vec!["127.0.0.1:4100".into(), "127.0.0.1:4101".into()],
+                ),
+                ShardSpec::new(LedgerId(2), vec![]),
+            ],
+        )
+        .unwrap();
+        let bytes = m.to_bytes();
+        let back = ShardMap::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let m = map(2, &[1, 2]);
+        let good = m.to_bytes();
+        assert!(ShardMap::from_bytes(&good[..good.len() - 1]).is_err());
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(ShardMap::from_bytes(&bad).is_err(), "flip at {i} accepted");
+        }
+        assert!(ShardMap::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn directory_installs_only_newer_epochs() {
+        let dir = ShardDirectory::for_shard(LedgerId(1), map(5, &[1, 2]));
+        assert_eq!(dir.epoch(), 5);
+        assert_eq!(dir.own(), Some(LedgerId(1)));
+        assert!(!dir.install(map(5, &[1, 2, 3])));
+        assert!(!dir.install(map(4, &[1])));
+        assert!(dir.install(map(6, &[1, 2, 3])));
+        assert_eq!(dir.current().len(), 3);
+        assert!(ShardDirectory::for_router(map(1, &[1])).own().is_none());
+    }
+}

@@ -216,6 +216,9 @@ impl Ledger {
             Request::WalSubscribe { .. } | Request::FetchSnapshot => {
                 err(codes::UNAVAILABLE, "this ledger does not serve replication")
             }
+            // Placement is a concurrent-tier feature (see
+            // `ConcurrentLedger::set_shard_directory`).
+            Request::GetShardMap => err(codes::UNAVAILABLE, "this ledger has no shard directory"),
         }
     }
 

@@ -1,0 +1,148 @@
+//! Property tests on the placement tier (DESIGN.md §15): the rendezvous
+//! hash must spread keys evenly, move almost nothing when the cluster
+//! grows, and serialize bit-for-bit deterministically — these are the
+//! invariants the whole scale-out story leans on, so they get fuzzed
+//! rather than spot-checked.
+
+use irs_core::ids::LedgerId;
+use irs_ledger::{ShardMap, ShardSpec};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Distinct ledger ids → shard specs (replica addresses don't affect
+/// placement; give each shard one synthetic address anyway so the specs
+/// look like production ones).
+fn specs(ids: &[u16]) -> Vec<ShardSpec> {
+    ids.iter()
+        .map(|&id| {
+            ShardSpec::new(
+                LedgerId(id),
+                vec![format!("10.0.{}.{}:4000", id >> 8, id & 0xff)],
+            )
+        })
+        .collect()
+}
+
+/// A strategy for `min..=8` distinct ledger ids (drawn as a set, used
+/// as a vec — iteration order varies per case, which is itself a useful
+/// property to sweep: placement must not depend on shard order).
+fn distinct_ids(min: usize) -> impl Strategy<Value = std::collections::HashSet<u16>> {
+    prop::collection::hash_set(any::<u16>(), min..=8)
+}
+
+/// Deterministic key stream: splitmix-style walk from a seed, so each
+/// proptest case sweeps a different 10^5-key slice of the keyspace.
+fn keys(seed: u64, n: usize) -> impl Iterator<Item = u64> {
+    (0..n as u64).map(move |i| {
+        let mut x = seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    })
+}
+
+const KEYS: usize = 100_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Balance: at 10^5 keys every shard's load is within 15% of the
+    /// ideal `keys / shards` share, for any shard count and id set.
+    #[test]
+    fn rendezvous_balances_within_15_percent(
+        ids in distinct_ids(2),
+        seed in any::<u64>(),
+    ) {
+        let ids: Vec<u16> = ids.into_iter().collect();
+        let map = ShardMap::new(1, specs(&ids)).unwrap();
+        let mut counts: HashMap<LedgerId, usize> = HashMap::new();
+        for key in keys(seed, KEYS) {
+            *counts.entry(map.shard_for_key(key).ledger).or_default() += 1;
+        }
+        let ideal = KEYS as f64 / ids.len() as f64;
+        for (&ledger, &count) in &counts {
+            let skew = (count as f64 - ideal).abs() / ideal;
+            prop_assert!(
+                skew <= 0.15,
+                "shard {ledger} holds {count} of {KEYS} keys \
+                 ({skew:.3} from the ideal {ideal:.0})"
+            );
+        }
+        // Every shard got *some* keys — no silent zero-weight shard.
+        prop_assert_eq!(counts.len(), ids.len());
+    }
+
+    /// Serde determinism: encode → decode → encode is bit-identical,
+    /// and the decoded map places every key exactly like the original.
+    #[test]
+    fn serialization_round_trips_bit_for_bit(
+        ids in distinct_ids(1),
+        epoch in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let ids: Vec<u16> = ids.into_iter().collect();
+        let map = ShardMap::new(epoch, specs(&ids)).unwrap();
+        let bytes = map.to_bytes();
+        let decoded = ShardMap::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded.epoch(), map.epoch());
+        prop_assert_eq!(decoded.shards(), map.shards());
+        prop_assert!(decoded.to_bytes() == bytes, "re-encode drifted");
+        for key in keys(seed, 1_000) {
+            prop_assert_eq!(
+                decoded.shard_for_key(key).ledger,
+                map.shard_for_key(key).ledger
+            );
+        }
+    }
+
+    /// Corruption is detected: flipping any single bit of the encoding
+    /// must fail the CRC (or the structural checks), never decode to a
+    /// silently different map.
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        ids in distinct_ids(1),
+        epoch in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        let ids: Vec<u16> = ids.into_iter().collect();
+        let map = ShardMap::new(epoch, specs(&ids)).unwrap();
+        let mut bytes = map.to_bytes();
+        let bit = (flip as usize) % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(ShardMap::from_bytes(&bytes).is_err());
+    }
+
+    /// Minimal movement: adding one shard to an N-shard map moves at
+    /// most ~1/(N+1) of the keys (the rendezvous guarantee), and every
+    /// key that moves lands on the new shard — no churn between
+    /// surviving shards.
+    #[test]
+    fn adding_a_shard_moves_at_most_its_fair_share(
+        ids in distinct_ids(2),
+        seed in any::<u64>(),
+    ) {
+        let ids: Vec<u16> = ids.into_iter().collect();
+        let (new_id, rest) = ids.split_first().unwrap();
+        let before = ShardMap::new(1, specs(rest)).unwrap();
+        let after = ShardMap::new(2, specs(&ids)).unwrap();
+        let mut moved = 0usize;
+        for key in keys(seed, KEYS) {
+            let src = before.shard_for_key(key).ledger;
+            let dst = after.shard_for_key(key).ledger;
+            if src != dst {
+                prop_assert!(
+                    dst == LedgerId(*new_id),
+                    "key churned between surviving shards (to {dst})"
+                );
+                moved += 1;
+            }
+        }
+        // Expected movement is 1/(N+1); allow sampling slack on top.
+        let fair = KEYS as f64 / ids.len() as f64;
+        let bound = fair * 1.15;
+        prop_assert!(
+            (moved as f64) <= bound,
+            "moved {moved} keys; fair share is {fair:.0} (+15% slack)"
+        );
+    }
+}

@@ -77,6 +77,12 @@ impl LedgerClient {
         self.call(&Request::FetchSnapshot)
     }
 
+    /// Fetch the server's shard directory (router bootstrap and
+    /// `WrongShard` self-healing path).
+    pub fn get_shard_map(&mut self) -> Result<Response, NetError> {
+        self.call(&Request::GetShardMap)
+    }
+
     /// One request/response exchange. An I/O failure mid-exchange poisons
     /// the stream and surfaces as [`NetError::ConnectionLost`]; the caller
     /// must [`reconnect`](LedgerClient::reconnect) before retrying.

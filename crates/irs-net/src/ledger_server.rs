@@ -104,6 +104,33 @@ impl LedgerServer {
         LedgerServer::start_reactor(ledger, addr, config)
     }
 
+    /// Start serving one **shard** of a sharded deployment: attaches
+    /// `dir` (the shard's identity plus its placement view) to the
+    /// ledger, then serves on the reactor engine. The attached
+    /// directory makes the ledger answer `GetShardMap` from `dir` and
+    /// refuse keyed requests it does not own with
+    /// `Response::WrongShard { epoch }` — the server half of the
+    /// DESIGN.md §15 self-healing protocol. Fails if the ledger already
+    /// has a directory or `dir` names a different shard than the
+    /// ledger's id.
+    pub fn start_sharded(
+        ledger: Arc<ConcurrentLedger>,
+        addr: &str,
+        dir: Arc<irs_ledger::ShardDirectory>,
+    ) -> std::io::Result<LedgerServer> {
+        if dir.own() != Some(ledger.id()) {
+            return Err(std::io::Error::other(
+                "shard directory does not name this ledger as its own shard",
+            ));
+        }
+        if !ledger.set_shard_directory(dir) {
+            return Err(std::io::Error::other(
+                "ledger already has a shard directory",
+            ));
+        }
+        LedgerServer::start_shared(ledger, addr)
+    }
+
     /// Start on the reactor engine with explicit [`ReactorConfig`]
     /// tuning (worker count, frame cap, backpressure). The config's
     /// `registry` is replaced by the ledger's own, so reactor gauges and

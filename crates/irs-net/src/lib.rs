@@ -102,6 +102,14 @@ pub enum NetError {
         /// Suggested wait before retrying, in milliseconds.
         retry_after_ms: u64,
     },
+    /// A [`service::Route`] could not converge on an owner for a keyed
+    /// request: the target shard refused it with `WrongShard` even
+    /// after the router refetched the directory. `epoch` is the
+    /// router's map version at the final attempt.
+    WrongShard {
+        /// The router's shard-map epoch when it gave up.
+        epoch: u64,
+    },
 }
 
 impl NetError {
@@ -124,6 +132,7 @@ impl NetError {
             NetError::Overloaded { retry_after_ms } => NetError::Overloaded {
                 retry_after_ms: *retry_after_ms,
             },
+            NetError::WrongShard { epoch } => NetError::WrongShard { epoch: *epoch },
         }
     }
 }
@@ -143,6 +152,9 @@ impl std::fmt::Display for NetError {
             NetError::DeadlineExceeded => write!(f, "call deadline exceeded"),
             NetError::Overloaded { retry_after_ms } => {
                 write!(f, "overloaded, retry after {retry_after_ms} ms")
+            }
+            NetError::WrongShard { epoch } => {
+                write!(f, "shard routing did not converge at map epoch {epoch}")
             }
         }
     }

@@ -16,7 +16,7 @@
 
 use crate::client::LedgerClient;
 use crate::resilient::RetryPolicy;
-use crate::service::{CallCtx, Failover, RetryLayer, Service, ServiceExt, TcpTransport};
+use crate::service::{CallCtx, Failover, RetryLayer, Service, ServiceExt, TransportPool};
 use crate::NetError;
 use irs_core::ids::LedgerId;
 use irs_core::time::{Clock, SystemClock};
@@ -156,9 +156,24 @@ pub struct RefreshWorkerStats {
     pub installs: u64,
 }
 
+/// One shard's refresh state: its own counters (also exposed in the
+/// registry as `irs_refresh_shard_<id>_*`) and its own failure run —
+/// backoff is **per shard**, so a dead shard backing off never delays a
+/// healthy shard's refresh.
+struct ShardRefresh {
+    ledger: LedgerId,
+    replicas: Vec<SocketAddr>,
+    rounds: Counter,
+    failures: Counter,
+    consecutive_failures: Gauge,
+    installs: Counter,
+    filter_version: Gauge,
+}
+
 /// The worker's counters live in the proxy's metrics [`Registry`]
-/// (`irs_refresh_*`), so a scrape of the proxy shows filter freshness
-/// alongside the request path.
+/// (`irs_refresh_*` aggregates plus `irs_refresh_shard_<id>_*` per
+/// shard), so a scrape of the proxy shows filter freshness alongside
+/// the request path.
 ///
 /// [`Registry`]: irs_obs::Registry
 struct WorkerShared {
@@ -167,26 +182,43 @@ struct WorkerShared {
     failures: Counter,
     consecutive_failures: Gauge,
     installs: Counter,
-    filter_version: Gauge,
+    shards: Vec<ShardRefresh>,
 }
 
-/// A background thread that keeps a served [`SharedProxy`]'s filters
+impl WorkerShared {
+    /// Lift the worst per-shard failure run into the aggregate gauge.
+    fn update_consecutive(&self) {
+        let max = self
+            .shards
+            .iter()
+            .map(|s| s.consecutive_failures.get())
+            .max()
+            .unwrap_or(0);
+        self.consecutive_failures.set(max);
+    }
+}
+
+/// Background threads that keep a served [`SharedProxy`]'s filters
 /// current, riding through ledger outages instead of dying with them.
 ///
-/// On failure the worker retries sooner than the normal interval —
-/// starting at 1/8 of it and doubling back up to the full interval — so
-/// a recovered ledger is picked up promptly without hammering a dead
-/// one. The thread only exits on [`stop`].
+/// One thread per shard: each shard's filter version, failure counters,
+/// and backoff schedule are independent, so a down shard retries on its
+/// own shrinking-then-doubling schedule (starting at 1/8 of the
+/// interval, capped at the full interval) while every healthy shard
+/// keeps its steady-state cadence. The [`FilterSet`] ORs the per-shard
+/// Blooms into one published filter as each arrives — filters are
+/// per-ledger already, so shard-awareness is purely a scheduling
+/// concern. Threads only exit on [`stop`].
 ///
 /// [`stop`]: RefreshWorker::stop
 pub struct RefreshWorker {
     shared: Arc<WorkerShared>,
-    handle: std::thread::JoinHandle<()>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl RefreshWorker {
-    /// Spawn the worker. `interval` is the steady-state refresh period
-    /// (§4.4's "hourly", shrunk for tests); `policy` bounds each fetch.
+    /// Spawn a single-shard worker — the unsharded deployment's shape
+    /// (and the pre-sharding API, kept verbatim).
     pub fn spawn(
         proxy: Arc<SharedProxy>,
         replicas: Vec<SocketAddr>,
@@ -194,65 +226,61 @@ impl RefreshWorker {
         interval: Duration,
         policy: RetryPolicy,
     ) -> RefreshWorker {
+        RefreshWorker::spawn_sharded(proxy, vec![(ledger, replicas)], interval, policy)
+    }
+
+    /// Spawn one refresh thread per shard. Each entry is a shard's
+    /// ledger id plus its replica addresses (primary first — the
+    /// failover order); `interval` is the steady-state refresh period
+    /// (§4.4's "hourly", shrunk for tests); `policy` bounds each fetch.
+    /// All threads draw connections from one shared [`TransportPool`],
+    /// so a refresh and a query stack dialing the same replica share a
+    /// socket — and a poisoned connection to one shard stays that
+    /// shard's problem.
+    pub fn spawn_sharded(
+        proxy: Arc<SharedProxy>,
+        shards: Vec<(LedgerId, Vec<SocketAddr>)>,
+        interval: Duration,
+        policy: RetryPolicy,
+    ) -> RefreshWorker {
         let registry = proxy.metrics();
+        let shard_states: Vec<ShardRefresh> = shards
+            .into_iter()
+            .map(|(ledger, replicas)| {
+                let p = format!("irs_refresh_shard_{}", ledger.0);
+                ShardRefresh {
+                    ledger,
+                    replicas,
+                    rounds: registry.counter(&format!("{p}_rounds_total")),
+                    failures: registry.counter(&format!("{p}_failures_total")),
+                    consecutive_failures: registry.gauge(&format!("{p}_consecutive_failures")),
+                    installs: registry.counter(&format!("{p}_installs_total")),
+                    filter_version: registry.gauge(&format!("{p}_filter_version")),
+                }
+            })
+            .collect();
         let shared = Arc::new(WorkerShared {
             stop: AtomicBool::new(false),
             rounds: registry.counter("irs_refresh_rounds_total"),
             failures: registry.counter("irs_refresh_failures_total"),
             consecutive_failures: registry.gauge("irs_refresh_consecutive_failures"),
             installs: registry.counter("irs_refresh_installs_total"),
-            filter_version: registry.gauge("irs_refresh_filter_version"),
+            shards: shard_states,
         });
-        let worker_shared = shared.clone();
-        let handle = std::thread::spawn(move || {
-            let transports: Vec<TcpTransport> = replicas
-                .into_iter()
-                .map(|addr| TcpTransport::new(addr, policy.io_timeout))
-                .collect();
-            let fetch = Failover::new(transports).layered(RetryLayer::new(policy));
-            loop {
-                if worker_shared.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                worker_shared.rounds.inc();
-                let delay = match refresh_shared_filter_via(&proxy, &fetch, ledger) {
-                    Ok(outcome) => {
-                        if !matches!(outcome, RefreshOutcome::AlreadyCurrent) {
-                            worker_shared.installs.inc();
-                        }
-                        worker_shared.consecutive_failures.set(0);
-                        worker_shared
-                            .filter_version
-                            .set(proxy.filters_snapshot().version(ledger));
-                        interval
-                    }
-                    Err(_) => {
-                        worker_shared.failures.inc();
-                        worker_shared.consecutive_failures.add(1);
-                        let run = worker_shared.consecutive_failures.get() as u32;
-                        // Backed-off retry, capped at the normal period.
-                        (interval / 8)
-                            .max(Duration::from_millis(10))
-                            .saturating_mul(1u32 << run.min(3))
-                            .min(interval)
-                    }
-                };
-                // Sleep in slices so stop() is prompt.
-                let mut slept = Duration::ZERO;
-                while slept < delay {
-                    if worker_shared.stop.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    let slice = Duration::from_millis(10).min(delay - slept);
-                    std::thread::sleep(slice);
-                    slept += slice;
-                }
-            }
-        });
-        RefreshWorker { shared, handle }
+        let pool = Arc::new(TransportPool::new(policy.io_timeout));
+        let handles = (0..shared.shards.len())
+            .map(|i| {
+                let proxy = proxy.clone();
+                let shared = shared.clone();
+                let pool = pool.clone();
+                std::thread::spawn(move || run_shard(&proxy, &shared, i, &pool, interval, policy))
+            })
+            .collect();
+        RefreshWorker { shared, handles }
     }
 
-    /// Current counters.
+    /// Aggregate counters across shards (`consecutive_failures` is the
+    /// worst shard's current run).
     pub fn stats(&self) -> RefreshWorkerStats {
         RefreshWorkerStats {
             rounds: self.shared.rounds.get(),
@@ -262,10 +290,86 @@ impl RefreshWorker {
         }
     }
 
-    /// Signal the worker and join it.
+    /// Per-shard counters, in spawn order.
+    pub fn shard_stats(&self) -> Vec<(LedgerId, RefreshWorkerStats)> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| {
+                (
+                    s.ledger,
+                    RefreshWorkerStats {
+                        rounds: s.rounds.get(),
+                        failures: s.failures.get(),
+                        consecutive_failures: s.consecutive_failures.get() as u32,
+                        installs: s.installs.get(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Signal every shard thread and join them all.
     pub fn stop(self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        let _ = self.handle.join();
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One shard's refresh loop (one thread).
+fn run_shard(
+    proxy: &SharedProxy,
+    shared: &WorkerShared,
+    index: usize,
+    pool: &Arc<TransportPool>,
+    interval: Duration,
+    policy: RetryPolicy,
+) {
+    let st = &shared.shards[index];
+    let transports: Vec<_> = st.replicas.iter().map(|&a| pool.transport(a)).collect();
+    let fetch = Failover::new(transports).layered(RetryLayer::new(policy));
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        st.rounds.inc();
+        shared.rounds.inc();
+        let delay = match refresh_shared_filter_via(proxy, &fetch, st.ledger) {
+            Ok(outcome) => {
+                if !matches!(outcome, RefreshOutcome::AlreadyCurrent) {
+                    st.installs.inc();
+                    shared.installs.inc();
+                }
+                st.consecutive_failures.set(0);
+                st.filter_version
+                    .set(proxy.filters_snapshot().version(st.ledger));
+                interval
+            }
+            Err(_) => {
+                st.failures.inc();
+                shared.failures.inc();
+                st.consecutive_failures.add(1);
+                let run = st.consecutive_failures.get() as u32;
+                // Backed-off retry, capped at the normal period.
+                (interval / 8)
+                    .max(Duration::from_millis(10))
+                    .saturating_mul(1u32 << run.min(3))
+                    .min(interval)
+            }
+        };
+        shared.update_consecutive();
+        // Sleep in slices so stop() is prompt.
+        let mut slept = Duration::ZERO;
+        while slept < delay {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let slice = Duration::from_millis(10).min(delay - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
     }
 }
 
@@ -432,6 +536,95 @@ mod tests {
         assert!(end.installs >= 1);
         worker.stop();
         server.shutdown();
+    }
+
+    #[test]
+    fn one_down_shard_does_not_delay_the_healthy_shards_refresh() {
+        use irs_core::claim::RevokeRequest;
+        // Shard 1 is live with a published filter; shard 2 is a reserved
+        // but unbound port — every fetch against it times out.
+        let mut ledger = Ledger::new(
+            LedgerConfig::new(LedgerId(1)),
+            TimestampAuthority::from_seed(21),
+        );
+        let mut cam = Camera::new(21, 96, 96);
+        let shot = cam.capture(0);
+        let Response::Claimed { id, .. } = ledger.handle(Request::Claim(shot.claim), TimeMs(0))
+        else {
+            panic!("claim failed");
+        };
+        let rv = RevokeRequest::create(&shot.keypair, id, true, 0);
+        ledger.handle(Request::Revoke(rv), TimeMs(1));
+        ledger.publish_filter();
+        let live = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let dead_addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+
+        let proxy = Arc::new(SharedProxy::new(ProxyConfig::default()));
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            call_deadline: std::time::Duration::from_millis(200),
+            io_timeout: std::time::Duration::from_millis(100),
+            ..RetryPolicy::fast(5)
+        };
+        let worker = RefreshWorker::spawn_sharded(
+            proxy.clone(),
+            vec![
+                (LedgerId(1), vec![live.addr()]),
+                (LedgerId(2), vec![dead_addr]),
+            ],
+            Duration::from_millis(40),
+            policy,
+        );
+
+        // The healthy shard's filter must land promptly — well inside the
+        // window where the dead shard is still burning its first timeouts.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while proxy.filters_snapshot().version(LedgerId(1)) != 1
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            proxy.filters_snapshot().version(LedgerId(1)),
+            1,
+            "healthy shard's filter blocked behind the dead shard"
+        );
+        assert_eq!(
+            proxy.lookup(id, TimeMs(10)),
+            LookupOutcome::NeedsLedgerQuery,
+            "healthy shard's revocation is live on the lookup path"
+        );
+
+        // Let the dead shard accumulate a visible failure run, then check
+        // the two shards' counters stayed independent.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let by_shard = worker.shard_stats();
+            let dead = &by_shard[1].1;
+            if dead.failures >= 2 || std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let by_shard = worker.shard_stats();
+        let (healthy, dead) = (&by_shard[0].1, &by_shard[1].1);
+        assert!(dead.failures >= 2, "dead shard kept retrying: {dead:?}");
+        assert!(dead.consecutive_failures >= 2);
+        assert_eq!(dead.installs, 0);
+        assert_eq!(
+            healthy.failures, 0,
+            "dead shard's outage leaked into the healthy shard: {healthy:?}"
+        );
+        assert_eq!(healthy.consecutive_failures, 0);
+        assert!(healthy.installs >= 1);
+        // Aggregate gauge reports the worst shard, not the average.
+        assert!(worker.stats().consecutive_failures >= 2);
+
+        worker.stop();
+        live.shutdown();
     }
 
     #[test]

@@ -69,7 +69,8 @@ impl<S> Breaker<S> {
             | Request::Ping
             | Request::Metrics
             | Request::WalSubscribe { .. }
-            | Request::FetchSnapshot => self.fallback,
+            | Request::FetchSnapshot
+            | Request::GetShardMap => self.fallback,
             Request::Batch(ids) => ids.first().map(|id| id.ledger).unwrap_or(self.fallback),
         }
     }

@@ -47,6 +47,7 @@ pub mod deadline;
 pub mod failover;
 pub mod governor;
 pub mod retry;
+pub mod route;
 pub mod shed;
 pub mod singleflight;
 pub mod stacks;
@@ -62,11 +63,12 @@ pub use deadline::{Deadline, DeadlineLayer};
 pub use failover::{Failover, FailoverLayer};
 pub use governor::{Admission, Governor, GovernorLayer, GovernorPolicy, TokenGovernor};
 pub use retry::{jittered_backoff, Retry, RetryCounters, RetryLayer};
+pub use route::{Route, RouteLayer};
 pub use shed::{Priority, Shed, ShedLayer, ShedPolicy};
 pub use singleflight::{SingleFlight, SingleFlightLayer};
 pub use stale::{StaleServe, StaleServeLayer};
 pub use stats::{Stats, StatsHandle, StatsLayer, StatsSnapshot};
-pub use transport::TcpTransport;
+pub use transport::{TcpTransport, TransportPool};
 
 /// Per-call context threaded through a stack: the logical timestamp the
 /// caller observed (feeds caches, breakers, and staleness accounting),

@@ -45,11 +45,14 @@ pub fn priority_of(req: &Request) -> Priority {
         | Request::Revoke(_) => Priority::High,
         // Refreshes retry on their own schedule; scrapes and pings are
         // diagnostics; replication pulls re-poll. All can wait out a storm.
+        // Shard-map fetches ride the same lane: a router self-healing
+        // from `WrongShard` retries on its own schedule.
         Request::GetFilter { .. }
         | Request::Metrics
         | Request::Ping
         | Request::WalSubscribe { .. }
-        | Request::FetchSnapshot => Priority::Low,
+        | Request::FetchSnapshot
+        | Request::GetShardMap => Priority::Low,
     }
 }
 

@@ -21,9 +21,11 @@
 
 use super::{
     BoxService, BreakerLayer, CacheLayer, Failover, GovernorLayer, GovernorPolicy, RetryLayer,
-    Service, ServiceExt, ShedLayer, ShedPolicy, SingleFlightLayer, StaleServeLayer, TcpTransport,
+    Route, Service, ServiceExt, ShedLayer, ShedPolicy, SingleFlightLayer, StaleServeLayer,
+    TcpTransport, TransportPool,
 };
 use crate::resilient::RetryPolicy;
+use irs_ledger::placement::{ShardMap, ShardSpec};
 use irs_proxy::SharedProxy;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -154,6 +156,78 @@ pub fn storm_upstream(
 ) -> BoxService {
     let t = transports(&replicas, retry.io_timeout);
     storm_over(proxy, t, retry, governor, shed)
+}
+
+/// A shard's replica addresses, parsed. A replica that does not parse
+/// is skipped (a map can carry hostnames this build cannot resolve);
+/// an empty result means the shard is undialable from here.
+fn shard_addrs(spec: &ShardSpec) -> Vec<SocketAddr> {
+    spec.replicas
+        .iter()
+        .filter_map(|r| r.parse().ok())
+        .collect()
+}
+
+/// The innermost per-shard rung: `Retry(Failover(pooled transports))`
+/// over one shard's replica set, primary first — failover rotates
+/// *within* the replica set (PR 7's promotion path), never across
+/// shards. All shards draw connections from the shared `pool`.
+pub fn shard_replica_stack(
+    pool: &Arc<TransportPool>,
+    spec: &ShardSpec,
+    retry: RetryPolicy,
+) -> BoxService {
+    let addrs = shard_addrs(spec);
+    if addrs.is_empty() {
+        return super::service_fn(|_req, _ctx: &super::CallCtx| {
+            Err(crate::NetError::Frame("shard has no dialable replicas"))
+        })
+        .boxed();
+    }
+    Failover::new(pool.transports(&addrs))
+        .layered(RetryLayer::new(retry))
+        .boxed()
+}
+
+/// The sharded validate path: [`Route`] over one full ladder per shard
+/// — `Route(Cache(StaleServe(Breaker(Retry(Failover(shard replicas))))))`
+/// — every stack dialing through one shared [`TransportPool`]. Each
+/// shard's breaker is keyed by its own ledger id (claims included), so
+/// one dead shard opens one breaker.
+pub fn sharded_full_upstream(proxy: Arc<SharedProxy>, map: ShardMap, retry: RetryPolicy) -> Route {
+    let pool = Arc::new(TransportPool::new(retry.io_timeout));
+    Route::new(map, move |spec: &ShardSpec| {
+        shard_replica_stack(&pool, spec, retry)
+            .layered(BreakerLayer::new(proxy.clone()).with_fallback(spec.ledger))
+            .layered(StaleServeLayer::new(proxy.clone()))
+            .layered(CacheLayer::new(proxy.clone()))
+            .boxed()
+    })
+}
+
+/// The sharded storm rung (the ISSUE's
+/// `Route(Governor(Shed(Cache(SingleFlight(full))))))` composition):
+/// every shard gets its own admission gate, so a storm focused on one
+/// shard's keys sheds there while the other shards keep full service.
+pub fn sharded_storm_upstream(
+    proxy: Arc<SharedProxy>,
+    map: ShardMap,
+    retry: RetryPolicy,
+    governor: GovernorPolicy,
+    shed: ShedPolicy,
+) -> Route {
+    let pool = Arc::new(TransportPool::new(retry.io_timeout));
+    Route::new(map, move |spec: &ShardSpec| {
+        let registry = proxy.metrics().clone();
+        shard_replica_stack(&pool, spec, retry)
+            .layered(BreakerLayer::new(proxy.clone()).with_fallback(spec.ledger))
+            .layered(StaleServeLayer::new(proxy.clone()))
+            .layered(SingleFlightLayer::new().with_registry(registry.clone()))
+            .layered(CacheLayer::new(proxy.clone()))
+            .layered(ShedLayer::new(shed).with_registry(registry.clone()))
+            .layered(GovernorLayer::new(governor).with_registry(registry))
+            .boxed()
+    })
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use crate::mux::MuxClient;
 use crate::NetError;
 use irs_core::wire::{Request, Response};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -68,6 +69,55 @@ impl TcpTransport {
         self.connects.fetch_add(1, Ordering::Relaxed);
         *slot = Some(mux.clone());
         Ok(mux)
+    }
+}
+
+/// A per-address pool of [`TcpTransport`]s, shared by every shard
+/// stack a router builds.
+///
+/// Isolation is the point: each address owns its own transport (and
+/// thus its own [`MuxClient`]), so a poisoned connection to one shard
+/// never evicts or stalls the healthy connections to the others — and
+/// two stacks dialing the same replica (a shard's primary, say, and the
+/// refresh worker) still share one socket.
+pub struct TransportPool {
+    io_timeout: Duration,
+    transports: Mutex<HashMap<SocketAddr, Arc<TcpTransport>>>,
+}
+
+impl TransportPool {
+    /// A pool whose transports all use `io_timeout` per exchange.
+    pub fn new(io_timeout: Duration) -> TransportPool {
+        TransportPool {
+            io_timeout,
+            transports: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The pooled transport for `addr`, created (unconnected) on first
+    /// use. Callers holding the returned `Arc` keep sharing the same
+    /// underlying connection.
+    pub fn transport(&self, addr: SocketAddr) -> Arc<TcpTransport> {
+        self.transports
+            .lock()
+            .entry(addr)
+            .or_insert_with(|| Arc::new(TcpTransport::new(addr, self.io_timeout)))
+            .clone()
+    }
+
+    /// Transports for a whole replica set, in the given failover order.
+    pub fn transports(&self, addrs: &[SocketAddr]) -> Vec<Arc<TcpTransport>> {
+        addrs.iter().map(|&a| self.transport(a)).collect()
+    }
+
+    /// Number of distinct addresses pooled so far.
+    pub fn len(&self) -> usize {
+        self.transports.lock().len()
+    }
+
+    /// Whether the pool has dialed out at all yet.
+    pub fn is_empty(&self) -> bool {
+        self.transports.lock().is_empty()
     }
 }
 
@@ -175,5 +225,50 @@ mod tests {
         // Multiplexing: all 80 exchanges rode one connection.
         assert_eq!(t.reconnects(), 0);
         server.shutdown();
+    }
+
+    #[test]
+    fn pool_returns_one_transport_per_address() {
+        let server = ledger_server();
+        let pool = TransportPool::new(Duration::from_millis(500));
+        let a = pool.transport(server.addr());
+        let b = pool.transport(server.addr());
+        assert!(Arc::ptr_eq(&a, &b), "same address must share a transport");
+        assert_eq!(pool.len(), 1);
+        let other = pool.transport("127.0.0.1:1".parse().unwrap());
+        assert!(!Arc::ptr_eq(&a, &other));
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn killing_one_shards_socket_leaves_other_shards_transports_live() {
+        // Two "shards" (independent servers) behind one pool. Killing
+        // shard A mid-run poisons only A's mux: B keeps answering on
+        // its original connection with zero reconnects.
+        let server_a = ledger_server();
+        let server_b = ledger_server();
+        let pool = Arc::new(TransportPool::new(Duration::from_millis(500)));
+        let ta = pool.transport(server_a.addr());
+        let tb = pool.transport(server_b.addr());
+        let ctx = CallCtx::at(TimeMs(0));
+        assert_eq!(ta.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+        assert_eq!(tb.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+
+        // Kill shard A's socket mid-run.
+        server_a.shutdown();
+        assert!(ta.call(Request::Ping, &ctx).is_err(), "A must be dead");
+
+        // B is untouched: still live, still on its first connection.
+        for _ in 0..10 {
+            assert_eq!(tb.call(Request::Ping, &ctx).unwrap(), Response::Pong);
+        }
+        assert_eq!(
+            tb.reconnects(),
+            0,
+            "a poisoned mux to one shard must not evict another shard's connection"
+        );
+        server_b.shutdown();
     }
 }

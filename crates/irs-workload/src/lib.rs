@@ -16,12 +16,16 @@
 //! * [`trace`] — view/scroll traces: who views which photo when;
 //! * [`openloop`] — coordinated-omission-free request schedules with
 //!   diurnal curves, flash crowds, scripted revocation storms, and bot
-//!   swarms (the E21 overload shape).
+//!   swarms (the E21 overload shape);
+//! * [`sharded`] — fan-out accounting for keyed workloads over a shard
+//!   cluster: per-shard counts, balance ratio, and skew (the E22
+//!   scaling tables).
 
 pub mod openloop;
 pub mod pages;
 pub mod population;
 pub mod samplers;
+pub mod sharded;
 pub mod trace;
 
 pub use openloop::{
@@ -31,4 +35,5 @@ pub use openloop::{
 pub use pages::{PageModel, Resource, ResourceKind};
 pub use population::{PhotoMeta, PhotoPopulation, PopulationConfig};
 pub use samplers::Zipf;
+pub use sharded::ShardLoad;
 pub use trace::{ViewEvent, ViewTraceConfig};

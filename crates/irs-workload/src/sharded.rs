@@ -1,0 +1,104 @@
+//! Sharded-load accounting: how a keyed workload fans out across a
+//! shard cluster (DESIGN.md §15).
+//!
+//! The placement function itself lives in `irs-ledger::placement`
+//! (rendezvous hashing over the shard map); this module deliberately
+//! takes placement as a closure so workload generation stays free of
+//! ledger types. Experiments use it two ways:
+//!
+//! * *before* a sweep — check the generated key population actually
+//!   exercises every shard (a pathological seed that lands 90% of keys
+//!   on one shard would make a "linear scaling" table meaningless);
+//! * *after* a sweep — report per-shard load and skew next to the
+//!   throughput numbers, so a balance regression shows up in the same
+//!   table as the QPS it would explain.
+
+/// Per-shard request counts for one workload, plus the derived balance
+/// figures experiments print.
+#[derive(Clone, Debug)]
+pub struct ShardLoad {
+    /// Requests landing on each shard, indexed by shard position.
+    pub counts: Vec<u64>,
+}
+
+impl ShardLoad {
+    /// Fan a key stream out across `shards` slots using `place` (a
+    /// key → shard-index function, typically rendezvous hashing
+    /// borrowed from the ledger's shard map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `place` returns an out-of-range
+    /// index — both are harness bugs, not workload properties.
+    pub fn fan_out(
+        keys: impl IntoIterator<Item = u64>,
+        shards: usize,
+        place: impl Fn(u64) -> usize,
+    ) -> ShardLoad {
+        assert!(shards > 0, "fan_out over zero shards");
+        let mut counts = vec![0u64; shards];
+        for key in keys {
+            let slot = place(key);
+            assert!(slot < shards, "placement returned shard {slot} of {shards}");
+            counts[slot] += 1;
+        }
+        ShardLoad { counts }
+    }
+
+    /// Total requests across all shards.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Hottest shard's load divided by the coldest shard's. 1.0 is
+    /// perfect balance; a cold shard with zero keys yields infinity.
+    pub fn balance_ratio(&self) -> f64 {
+        let max = self.counts.iter().copied().max().unwrap_or(0) as f64;
+        let min = self.counts.iter().copied().min().unwrap_or(0) as f64;
+        max / min
+    }
+
+    /// Largest relative deviation from the ideal `total / shards`
+    /// share, over all shards (0.0 = perfectly even).
+    pub fn max_skew(&self) -> f64 {
+        let ideal = self.total() as f64 / self.counts.len() as f64;
+        if ideal == 0.0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .map(|&c| (c as f64 - ideal).abs() / ideal)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_counts_and_totals() {
+        let load = ShardLoad::fan_out(0..12u64, 3, |k| (k % 3) as usize);
+        assert_eq!(load.counts, vec![4, 4, 4]);
+        assert_eq!(load.total(), 12);
+        assert_eq!(load.balance_ratio(), 1.0);
+        assert_eq!(load.max_skew(), 0.0);
+    }
+
+    #[test]
+    fn skew_measures_the_hot_shard() {
+        // 6 keys on shard 0, 2 on shard 1: ideal is 4, hot shard is
+        // +50%, cold is -50%; ratio is 3.
+        let load = ShardLoad::fan_out(0..8u64, 2, |k| usize::from(k >= 6));
+        assert_eq!(load.counts, vec![6, 2]);
+        assert!((load.balance_ratio() - 3.0).abs() < 1e-12);
+        assert!((load.max_skew() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_starved_shard_is_loud_not_silent() {
+        let load = ShardLoad::fan_out(0..8u64, 3, |k| (k % 2) as usize);
+        assert_eq!(load.counts[2], 0);
+        assert!(load.balance_ratio().is_infinite());
+    }
+}
