@@ -28,7 +28,7 @@ fn main() {
         .map(String::as_str)
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e22|all> [--quick] [--check]");
+        eprintln!("usage: experiments <e1..e23|all> [--quick] [--check]");
         std::process::exit(2);
     }
     for id in ids {
@@ -49,7 +49,7 @@ fn main() {
         match irs_bench::run_experiment(id, quick) {
             Some(output) => println!("{output}"),
             None => {
-                eprintln!("unknown experiment '{id}' (expected e1..e22 or all)");
+                eprintln!("unknown experiment '{id}' (expected e1..e23 or all)");
                 std::process::exit(2);
             }
         }

@@ -15,6 +15,7 @@ pub mod e1_page_load;
 pub mod e20_replication;
 pub mod e21_overload;
 pub mod e22_sharded_scaling;
+pub mod e23_tiered_filters;
 pub mod e2_pinterest_threshold;
 pub mod e3_scroll_prototype;
 pub mod e4_bloom_sizing;

@@ -2,7 +2,7 @@
 //!
 //! The paper is a position paper with no numbered tables; its evaluation
 //! content is a set of quantitative claims. DESIGN.md §4 assigns each
-//! claim an experiment id (E1–E22); this crate holds one module per
+//! claim an experiment id (E1–E23); this crate holds one module per
 //! experiment, each exposing `run(quick: bool) -> String` that regenerates
 //! the corresponding table. The `experiments` binary dispatches on the
 //! experiment id; `quick` shrinks the workloads for CI smoke runs.
@@ -13,7 +13,7 @@
 pub mod experiments;
 pub mod table;
 
-/// Run an experiment by id ("e1".."e22" or "all"). `quick` trades
+/// Run an experiment by id ("e1".."e23" or "all"). `quick` trades
 /// precision for speed (used by tests).
 pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
     use experiments::*;
@@ -40,11 +40,12 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
         "e20" => e20_replication::run(quick),
         "e21" => e21_overload::run(quick),
         "e22" => e22_sharded_scaling::run(quick),
+        "e23" => e23_tiered_filters::run(quick),
         "all" => {
             let mut out = String::new();
             for id in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
             ] {
                 out.push_str(&run_experiment(id, quick).expect("known id"));
                 out.push('\n');
@@ -66,6 +67,7 @@ pub fn check_experiment(id: &str, quick: bool) -> Option<Result<String, String>>
         "e20" => Some(experiments::e20_replication::check(quick)),
         "e21" => Some(experiments::e21_overload::check(quick)),
         "e22" => Some(experiments::e22_sharded_scaling::check(quick)),
+        "e23" => Some(experiments::e23_tiered_filters::check(quick)),
         _ => None,
     }
 }

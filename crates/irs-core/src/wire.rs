@@ -334,6 +334,19 @@ pub enum Request {
     /// routers call this to bootstrap and to self-heal after a
     /// [`Response::WrongShard`] refusal.
     GetShardMap,
+    /// Epoch-aware filter fetch for the tiered (fuse base + Bloom delta)
+    /// pipeline. The server answers with [`Response::FilterDelta`] (same
+    /// epoch, one version behind), [`Response::FilterBase`] (single-epoch
+    /// roll onto an empty delta), or [`Response::FilterTiered`] (full
+    /// resync). Servers predating the tiered pipeline answer
+    /// [`Response::Unsupported`] and the client falls back to
+    /// [`Request::GetFilter`].
+    GetFilterTiered {
+        /// Base epoch the requester holds (0 = none).
+        have_epoch: u64,
+        /// Delta version the requester holds within that epoch.
+        have_version: u64,
+    },
 }
 
 /// A ledger's response.
@@ -484,6 +497,29 @@ pub enum Response {
         /// The refusing server's directory epoch.
         epoch: u64,
     },
+    /// A freshly sealed base tier: the requester lagged by exactly one
+    /// epoch and the new delta is still empty, so only the fuse base
+    /// ships; the client clears its delta tier locally (delta geometry is
+    /// fixed per ledger config, so the cleared copy matches the server's
+    /// reset one bit for bit).
+    FilterBase {
+        /// The newly sealed epoch.
+        epoch: u64,
+        /// `Fuse8::to_bytes` payload.
+        data: Bytes,
+    },
+    /// Full tiered install: base + delta (bootstrap, multi-epoch lag, or
+    /// any delta version the server can no longer diff against).
+    FilterTiered {
+        /// Current epoch.
+        epoch: u64,
+        /// `Fuse8::to_bytes` payload; empty when no epoch has sealed yet.
+        base: Bytes,
+        /// Current delta version within `epoch`.
+        delta_version: u64,
+        /// `BloomFilter::to_bytes` payload for the delta tier.
+        delta: Bytes,
+    },
 }
 
 impl Wire for Request {
@@ -529,6 +565,14 @@ impl Wire for Request {
             }
             Request::FetchSnapshot => buf.put_u8(10),
             Request::GetShardMap => buf.put_u8(11),
+            Request::GetFilterTiered {
+                have_epoch,
+                have_version,
+            } => {
+                buf.put_u8(12);
+                have_epoch.encode(buf)?;
+                have_version.encode(buf)?;
+            }
         }
         Ok(())
     }
@@ -576,6 +620,10 @@ impl Wire for Request {
             }
             10 => Ok(Request::FetchSnapshot),
             11 => Ok(Request::GetShardMap),
+            12 => Ok(Request::GetFilterTiered {
+                have_epoch: u64::decode(buf)?,
+                have_version: u64::decode(buf)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -684,6 +732,23 @@ impl Wire for Response {
                 buf.put_u8(18);
                 epoch.encode(buf)?;
             }
+            Response::FilterBase { epoch, data } => {
+                buf.put_u8(19);
+                epoch.encode(buf)?;
+                put_blob(buf, data);
+            }
+            Response::FilterTiered {
+                epoch,
+                base,
+                delta_version,
+                delta,
+            } => {
+                buf.put_u8(20);
+                epoch.encode(buf)?;
+                put_blob(buf, base);
+                delta_version.encode(buf)?;
+                put_blob(buf, delta);
+            }
         }
         Ok(())
     }
@@ -779,6 +844,16 @@ impl Wire for Response {
             18 => Ok(Response::WrongShard {
                 epoch: u64::decode(buf)?,
             }),
+            19 => Ok(Response::FilterBase {
+                epoch: u64::decode(buf)?,
+                data: get_blob(buf)?,
+            }),
+            20 => Ok(Response::FilterTiered {
+                epoch: u64::decode(buf)?,
+                base: get_blob(buf)?,
+                delta_version: u64::decode(buf)?,
+                delta: get_blob(buf)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -855,6 +930,14 @@ mod tests {
         });
         roundtrip(&Request::FetchSnapshot);
         roundtrip(&Request::GetShardMap);
+        roundtrip(&Request::GetFilterTiered {
+            have_epoch: 3,
+            have_version: 12,
+        });
+        roundtrip(&Request::GetFilterTiered {
+            have_epoch: 0,
+            have_version: 0,
+        });
     }
 
     #[test]
@@ -937,6 +1020,50 @@ mod tests {
             data: Bytes::new(),
         });
         roundtrip(&Response::WrongShard { epoch: 31 });
+        roundtrip(&Response::FilterBase {
+            epoch: 2,
+            data: Bytes::from_static(b"fuse-base-bytes"),
+        });
+        roundtrip(&Response::FilterTiered {
+            epoch: 5,
+            base: Bytes::from_static(b"fuse-base-bytes"),
+            delta_version: 9,
+            delta: Bytes::from_static(b"delta-bloom-bytes"),
+        });
+        // Bootstrap shape: no sealed epoch yet, so the base blob is empty.
+        roundtrip(&Response::FilterTiered {
+            epoch: 1,
+            base: Bytes::new(),
+            delta_version: 0,
+            delta: Bytes::from_static(b"delta-bloom-bytes"),
+        });
+    }
+
+    #[test]
+    fn tiered_filter_messages_truncation_rejected() {
+        let full = Response::FilterTiered {
+            epoch: 5,
+            base: Bytes::from_static(b"base"),
+            delta_version: 9,
+            delta: Bytes::from_static(b"delta"),
+        }
+        .to_bytes()
+        .unwrap();
+        for cut in 0..full.len() {
+            assert!(
+                Response::from_bytes(full.slice(..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        let req = Request::GetFilterTiered {
+            have_epoch: 1,
+            have_version: 2,
+        }
+        .to_bytes()
+        .unwrap();
+        for cut in 0..req.len() {
+            assert!(Request::from_bytes(req.slice(..cut)).is_err());
+        }
     }
 
     #[test]

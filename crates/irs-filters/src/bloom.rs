@@ -133,6 +133,34 @@ impl BloomFilter {
         self.inserted = n;
     }
 
+    /// Read one bit. Together with [`BloomFilter::set_bit`] and
+    /// [`BloomFilter::clear_bit`] this lets the proxy maintain its merged
+    /// union filter incrementally — patching O(flips) bits per delta
+    /// instead of re-ORing every per-ledger filter.
+    ///
+    /// # Panics
+    /// If `pos` is outside the filter's bit words.
+    pub fn bit(&self, pos: u64) -> bool {
+        self.bits[(pos / 64) as usize] & (1u64 << (pos % 64)) != 0
+    }
+
+    /// Set one bit without touching the insert counter (merged-view
+    /// maintenance; see [`BloomFilter::bit`]).
+    pub fn set_bit(&mut self, pos: u64) {
+        self.bits[(pos / 64) as usize] |= 1u64 << (pos % 64);
+    }
+
+    /// Clear one bit without touching the insert counter (merged-view
+    /// maintenance; see [`BloomFilter::bit`]).
+    pub fn clear_bit(&mut self, pos: u64) {
+        self.bits[(pos / 64) as usize] &= !(1u64 << (pos % 64));
+    }
+
+    /// `true` if no bit is set (an empty delta tier never needs probing).
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
     /// Serialize: magic, m, k, seed, inserted, bit words. This is the
     /// payload a ledger publishes hourly.
     pub fn to_bytes(&self) -> Bytes {

@@ -52,14 +52,20 @@ impl BloomDelta {
     /// Apply the delta to `filter` in place. The filter must match the
     /// delta's geometry and (by XOR semantics) must be the `old` snapshot
     /// the delta was computed from for the result to equal `new`.
+    ///
+    /// Atomic: every flip position is validated against `m` before any
+    /// word is touched, so a rejected delta leaves `filter` bit-identical
+    /// to its pre-apply state. Proxies apply deltas to their *live* merged
+    /// filters; a half-patched filter would silently break the "definitely
+    /// not revoked" soundness guarantee.
     pub fn apply(&self, filter: &mut BloomFilter) -> Result<(), FilterError> {
         if filter.m_bits() != self.m || filter.k() != self.k || filter.seed() != self.seed {
             return Err(FilterError::BadParams("delta geometry mismatch"));
         }
+        if self.flipped.iter().any(|&pos| pos >= self.m) {
+            return Err(FilterError::Malformed("flip position out of range"));
+        }
         for &pos in &self.flipped {
-            if pos >= self.m {
-                return Err(FilterError::Malformed("flip position out of range"));
-            }
             filter.words_mut()[(pos / 64) as usize] ^= 1u64 << (pos % 64);
         }
         filter.set_inserted(self.new_inserted);
@@ -69,6 +75,28 @@ impl BloomDelta {
     /// Number of flipped bits.
     pub fn flips(&self) -> usize {
         self.flipped.len()
+    }
+
+    /// Sorted flipped-bit positions. The proxy's incremental merged-view
+    /// maintenance walks these to patch its union filter in O(flips)
+    /// instead of re-ORing every ledger filter.
+    pub fn positions(&self) -> &[u64] {
+        &self.flipped
+    }
+
+    /// Bit count of the geometry this delta applies to.
+    pub fn m_bits(&self) -> u64 {
+        self.m
+    }
+
+    /// Hash count of the geometry this delta applies to.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Hash seed of the geometry this delta applies to.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Encode: header + gap-compressed varint positions.
@@ -146,7 +174,15 @@ fn get_varint(data: &mut Bytes) -> Option<u64> {
             return None;
         }
         let byte = data.get_u8();
-        v |= ((byte & 0x7f) as u64) << shift;
+        let payload = (byte & 0x7f) as u64;
+        // The tenth byte lands at shift 63, where only one payload bit
+        // still fits in a u64. Anything wider would be shifted out
+        // silently, decoding a corrupted stream to a *wrong value*
+        // instead of an error — reject it.
+        if shift == 63 && payload > 1 {
+            return None;
+        }
+        v |= payload << shift;
         if byte & 0x80 == 0 {
             return Some(v);
         }
@@ -251,6 +287,56 @@ mod tests {
     }
 
     #[test]
+    fn rejected_delta_leaves_filter_bit_identical() {
+        // Regression: `apply` used to validate positions *while* flipping,
+        // so a malformed delta returned an error but left the live filter
+        // half-patched. The filter must be untouched after a rejection.
+        let mut live = filter_with(0..1000);
+        let pristine = live.clone();
+        let delta = BloomDelta {
+            m: live.m_bits(),
+            k: live.k(),
+            seed: live.seed(),
+            new_inserted: 1001,
+            // Valid positions first, so the old buggy code would have
+            // flipped them before discovering the out-of-range one.
+            flipped: vec![1, 2, 3, 4, 5, live.m_bits()],
+        };
+        assert!(matches!(
+            delta.apply(&mut live),
+            Err(FilterError::Malformed(_))
+        ));
+        assert_eq!(live, pristine, "rejected delta mutated the filter");
+        assert_eq!(live.inserted(), pristine.inserted());
+    }
+
+    #[test]
+    fn overlong_varint_rejected_not_truncated() {
+        // Ten continuation bytes of 0x80|0x7f followed by a final byte
+        // whose payload exceeds the single remaining bit: the old decoder
+        // shifted the excess out and returned a wrong value.
+        let mut bad = BytesMut::new();
+        for _ in 0..9 {
+            bad.put_u8(0xff);
+        }
+        bad.put_u8(0x02); // payload 2 at shift 63 — overflows u64
+        assert_eq!(get_varint(&mut bad.freeze()), None);
+
+        // The canonical u64::MAX encoding (final byte 0x01) still decodes.
+        let mut max = BytesMut::new();
+        put_varint(&mut max, u64::MAX);
+        assert_eq!(get_varint(&mut max.freeze()), Some(u64::MAX));
+
+        // An eleventh byte (continuation at shift 63) is also rejected.
+        let mut eleven = BytesMut::new();
+        for _ in 0..10 {
+            eleven.put_u8(0x81);
+        }
+        eleven.put_u8(0x01);
+        assert_eq!(get_varint(&mut eleven.freeze()), None);
+    }
+
+    #[test]
     fn varint_roundtrip() {
         let mut buf = BytesMut::new();
         let values = [
@@ -272,5 +358,83 @@ mod tests {
             assert_eq!(get_varint(&mut bytes), Some(v));
         }
         assert!(!bytes.has_remaining());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// decode(encode(v)) is exact for every u64, including values that
+        /// need the full ten bytes.
+        #[test]
+        fn varint_exact_roundtrip(v in any::<u64>()) {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = buf.freeze();
+            prop_assert_eq!(get_varint(&mut bytes), Some(v));
+            prop_assert!(!bytes.has_remaining());
+        }
+
+        /// Corrupting the final byte of a ten-byte encoding so its payload
+        /// overflows u64 is rejected, never mis-decoded.
+        #[test]
+        fn varint_overflowing_tenth_byte_rejected(v in (1u64 << 63)..=u64::MAX, junk in 2u8..0x7f) {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut enc = buf.to_vec();
+            prop_assume!(enc.len() == 10);
+            *enc.last_mut().unwrap() = junk; // payload ≥ 2 at shift 63
+            prop_assert_eq!(get_varint(&mut Bytes::from(enc)), None);
+        }
+
+        /// A rejected delta never mutates the target filter, for arbitrary
+        /// key churn and an arbitrary out-of-range position.
+        #[test]
+        fn rejected_delta_is_a_no_op(
+            keys in prop::collection::vec(any::<u64>(), 1..200),
+            excess in 0u64..1000,
+        ) {
+            let mut live = BloomFilter::with_params(1 << 12, 5, 7).unwrap();
+            for &k in &keys {
+                live.insert(k);
+            }
+            let pristine = live.clone();
+            let mut flipped: Vec<u64> = (0..keys.len() as u64 % 64).collect();
+            flipped.push(live.m_bits() + excess);
+            let delta = BloomDelta {
+                m: live.m_bits(),
+                k: live.k(),
+                seed: live.seed(),
+                new_inserted: live.inserted() + 1,
+                flipped,
+            };
+            prop_assert!(delta.apply(&mut live).is_err());
+            prop_assert_eq!(&live, &pristine);
+        }
+
+        /// diff → encode → decode → apply reproduces the new filter bit for
+        /// bit under arbitrary insert churn.
+        #[test]
+        fn delta_pipeline_roundtrip(
+            old_keys in prop::collection::vec(any::<u64>(), 0..300),
+            new_keys in prop::collection::vec(any::<u64>(), 0..100),
+        ) {
+            let mut old = BloomFilter::with_params(1 << 13, 4, 3).unwrap();
+            for &k in &old_keys {
+                old.insert(k);
+            }
+            let mut new = old.clone();
+            for &k in &new_keys {
+                new.insert(k);
+            }
+            let delta = BloomDelta::diff(&old, &new).unwrap();
+            let decoded = BloomDelta::from_bytes(delta.to_bytes()).unwrap();
+            let mut patched = old.clone();
+            decoded.apply(&mut patched).unwrap();
+            prop_assert_eq!(&patched, &new);
+        }
     }
 }

@@ -16,6 +16,11 @@
 use crate::hash::{mix_seeded, reduce};
 use crate::xor::{has_duplicates, peel};
 use crate::{Filter, FilterError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Serialization magic for fuse filters ("IRSU"); the epoch-sealed base
+/// tier ships over the wire in this format.
+const MAGIC: u32 = 0x4952_5355;
 
 /// Seeds tried per capacity level.
 const SEEDS_PER_LEVEL: u64 = 8;
@@ -49,7 +54,7 @@ fn initial_capacity(n: usize) -> usize {
 }
 
 macro_rules! fuse_filter {
-    ($name:ident, $fp:ty, $fpbits:expr, $doc:expr) => {
+    ($name:ident, $fp:ty, $fpbits:expr, $put:ident, $get:ident, $doc:expr) => {
         #[doc = $doc]
         #[derive(Clone, Debug)]
         pub struct $name {
@@ -136,6 +141,61 @@ macro_rules! fuse_filter {
             pub fn segments(&self) -> usize {
                 self.segments
             }
+
+            /// Serialize: magic, fingerprint width, seed, segment layout,
+            /// fingerprint array. Ledgers ship the epoch-sealed base tier
+            /// to proxies in this format.
+            pub fn to_bytes(&self) -> Bytes {
+                let mut buf = BytesMut::with_capacity(37 + self.fingerprints.len() * ($fpbits / 8));
+                buf.put_u32(MAGIC);
+                buf.put_u8($fpbits as u8);
+                buf.put_u64(self.seed);
+                buf.put_u64(self.segment_len as u64);
+                buf.put_u64(self.segments as u64);
+                buf.put_u64(self.fingerprints.len() as u64);
+                for &f in &self.fingerprints {
+                    buf.$put(f);
+                }
+                buf.freeze()
+            }
+
+            /// Deserialize a filter produced by `to_bytes`, rejecting
+            /// structural corruption (bad magic, wrong fingerprint width,
+            /// layout/length mismatch).
+            pub fn from_bytes(mut data: Bytes) -> Result<Self, FilterError> {
+                if data.remaining() < 37 {
+                    return Err(FilterError::Malformed("fuse header truncated"));
+                }
+                if data.get_u32() != MAGIC {
+                    return Err(FilterError::Malformed("bad fuse magic"));
+                }
+                if data.get_u8() as usize != $fpbits {
+                    return Err(FilterError::Malformed("fingerprint width mismatch"));
+                }
+                let seed = data.get_u64();
+                let segment_len = data.get_u64() as usize;
+                let segments = data.get_u64() as usize;
+                let n_slots = data.get_u64() as usize;
+                if segments < 3
+                    || segment_len == 0
+                    || segment_len.checked_mul(segments) != Some(n_slots)
+                {
+                    return Err(FilterError::Malformed("fuse layout mismatch"));
+                }
+                if data.remaining() != n_slots * ($fpbits / 8) {
+                    return Err(FilterError::Malformed("fuse payload length mismatch"));
+                }
+                let mut fingerprints = Vec::with_capacity(n_slots);
+                for _ in 0..n_slots {
+                    fingerprints.push(data.$get());
+                }
+                Ok($name {
+                    fingerprints,
+                    segment_len,
+                    segments,
+                    seed,
+                })
+            }
         }
 
         impl Filter for $name {
@@ -157,12 +217,16 @@ fuse_filter!(
     Fuse8,
     u8,
     8,
+    put_u8,
+    get_u8,
     "Fuse filter with 8-bit fingerprints (FPR ≈ 1/256, approaching ~9 bits/key at scale)."
 );
 fuse_filter!(
     Fuse16,
     u16,
     16,
+    put_u16,
+    get_u16,
     "Fuse filter with 16-bit fingerprints (FPR ≈ 1/65536)."
 );
 
@@ -224,6 +288,36 @@ mod tests {
             .filter(|&k| f.contains(k))
             .count();
         assert!(fp < 25, "fuse16 fp count {fp}");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let ks = keys(10_000);
+        let f = Fuse8::build(&ks).unwrap();
+        let g = Fuse8::from_bytes(f.to_bytes()).unwrap();
+        assert_eq!(f.bits(), g.bits());
+        for &k in &ks {
+            assert!(g.contains(k), "decoded filter lost a key");
+        }
+        let f16 = Fuse16::build(&ks[..1000]).unwrap();
+        let g16 = Fuse16::from_bytes(f16.to_bytes()).unwrap();
+        for &k in &ks[..1000] {
+            assert!(g16.contains(k));
+        }
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert!(Fuse8::from_bytes(bytes::Bytes::from_static(b"short")).is_err());
+        let good = Fuse8::build(&keys(100)).unwrap().to_bytes().to_vec();
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(Fuse8::from_bytes(bytes::Bytes::from(bad_magic)).is_err());
+        let mut trunc = good.clone();
+        trunc.pop();
+        assert!(Fuse8::from_bytes(bytes::Bytes::from(trunc)).is_err());
+        // An 8-bit payload is not a 16-bit filter.
+        assert!(Fuse16::from_bytes(bytes::Bytes::from(good)).is_err());
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //!   fidelity);
 //! * [`delta`] — delta encoding of Bloom filter updates, for the paper's
 //!   "transferred with a delta encoding such that the update traffic will
-//!   be low" (hourly refresh, §4.4).
+//!   be low" (hourly refresh, §4.4);
+//! * [`tiered`] — the production pipeline: a frozen fuse8 base sealed per
+//!   epoch plus a small Bloom delta for churn since the seal, with
+//!   background compaction rolling the epoch (DESIGN.md §16).
 //!
 //! All filters share the [`Filter`] trait and key on `u64` values; callers
 //! hash record identifiers down to 64 bits (see `irs_core::RecordId`).
@@ -35,12 +38,16 @@ pub mod delta;
 pub mod fuse;
 pub mod hash;
 pub mod partitioned;
+pub mod tiered;
 pub mod xor;
 
 pub use bloom::BloomFilter;
 pub use counting::CountingBloom;
 pub use fuse::{Fuse16, Fuse8};
 pub use partitioned::PartitionedBloom;
+pub use tiered::{
+    PublishOutcome, TieredConfig, TieredFilter, TieredPublisher, TieredServe, TieredSnapshot,
+};
 pub use xor::{Xor16, Xor8};
 
 /// An approximate membership filter: never a false negative for inserted

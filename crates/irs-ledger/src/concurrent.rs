@@ -27,9 +27,9 @@ use irs_core::tsa::{TimestampAuthority, TimestampToken};
 use irs_core::wire::{Request, Response};
 use irs_crypto::{Keypair, PublicKey};
 use irs_filters::delta::BloomDelta;
-use irs_filters::{BloomFilter, CountingBloom};
+use irs_filters::{BloomFilter, CountingBloom, TieredPublisher, TieredServe, TieredSnapshot};
 use irs_obs::{Counter, Gauge, Histogram, Registry, SpanRecorder};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -69,11 +69,17 @@ struct LedgerObs {
     revokes: Counter,
     filters_full: Counter,
     filters_delta: Counter,
+    /// Sealed fuse bases served (tiered pipeline, epoch roll).
+    filters_base: Counter,
+    /// Full tiered installs served (bootstrap or multi-epoch lag).
+    filters_tiered: Counter,
     proofs: Counter,
     /// Committed records (refreshed on scrape).
     records: Gauge,
     /// Published filter version (refreshed on scrape).
     filter_version: Gauge,
+    /// Tiered epoch (refreshed on scrape).
+    tiered_epoch: Gauge,
     /// 1 when a WAL is attached, 0 for a memory-only ledger.
     durable: Gauge,
     /// Wall time of one durable apply (shard write + WAL append + commit).
@@ -93,9 +99,12 @@ impl LedgerObs {
             revokes: registry.counter("irs_ledger_revokes_total"),
             filters_full: registry.counter("irs_ledger_filters_full_total"),
             filters_delta: registry.counter("irs_ledger_filters_delta_total"),
+            filters_base: registry.counter("irs_ledger_filters_base_total"),
+            filters_tiered: registry.counter("irs_ledger_filters_tiered_total"),
             proofs: registry.counter("irs_ledger_proofs_total"),
             records: registry.gauge("irs_ledger_records"),
             filter_version: registry.gauge("irs_ledger_filter_version"),
+            tiered_epoch: registry.gauge("irs_ledger_tiered_epoch"),
             durable: registry.gauge("irs_ledger_durable"),
             durable_apply_us: registry.histogram("irs_ledger_durable_apply_us"),
             snapshot_us: registry.histogram("irs_ledger_snapshot_us"),
@@ -111,6 +120,8 @@ impl LedgerObs {
             revokes: self.revokes.get(),
             filters_full: self.filters_full.get(),
             filters_delta: self.filters_delta.get(),
+            filters_base: self.filters_base.get(),
+            filters_tiered: self.filters_tiered.get(),
             proofs: self.proofs.get(),
         }
     }
@@ -122,6 +133,8 @@ impl LedgerObs {
         self.revokes.add(stats.revokes);
         self.filters_full.add(stats.filters_full);
         self.filters_delta.add(stats.filters_delta);
+        self.filters_base.add(stats.filters_base);
+        self.filters_tiered.add(stats.filters_tiered);
         self.proofs.add(stats.proofs);
     }
 }
@@ -201,6 +214,13 @@ pub struct ConcurrentLedger {
     signing_key: Keypair,
     tsa_key: PublicKey,
     snapshots: RwLock<SnapshotPair>,
+    /// The tiered publication state machine. Publishes (including the
+    /// expensive fuse construction at compaction) hold only this mutex;
+    /// serving never does.
+    tiered: Mutex<TieredPublisher>,
+    /// The publication serves read: an `Arc` rotated under a brief write
+    /// lock after each publish, cloned out under a brief read lock.
+    tiered_snap: RwLock<Arc<TieredSnapshot>>,
     obs: LedgerObs,
     durability: Option<Durability>,
     recovery_report: Option<RecoveryReport>,
@@ -227,11 +247,15 @@ impl ConcurrentLedger {
         seed[..8].copy_from_slice(&config.seed.to_le_bytes());
         seed[8..16].copy_from_slice(b"IRSLEDGR");
         let tsa_key = tsa.public_key();
+        let tiered = TieredPublisher::new(config.tiered).expect("valid tiered filter config");
+        let tiered_snap = RwLock::new(tiered.snapshot());
         ConcurrentLedger {
             store: ShardedLedgerStore::new(config.id, tsa, config.filter_capacity, num_shards),
             signing_key: Keypair::from_seed(&seed),
             tsa_key,
             snapshots: RwLock::new(SnapshotPair::default()),
+            tiered: Mutex::new(tiered),
+            tiered_snap,
             obs: LedgerObs::new(),
             config,
             durability: None,
@@ -275,11 +299,15 @@ impl ConcurrentLedger {
             DEFAULT_RETAIN_FRAMES,
             &obs.registry,
         ));
+        let tiered = TieredPublisher::new(config.tiered).expect("valid tiered filter config");
+        let tiered_snap = RwLock::new(tiered.snapshot());
         Ok(ConcurrentLedger {
             store,
             signing_key: Keypair::from_seed(&seed),
             tsa_key,
             snapshots: RwLock::new(SnapshotPair::default()),
+            tiered: Mutex::new(tiered),
+            tiered_snap,
             obs,
             config,
             durability: Some(Durability {
@@ -300,7 +328,7 @@ impl ConcurrentLedger {
     /// snapshots, and stats carry over; signing keys are identical
     /// because both derive from the config seed).
     pub(crate) fn from_ledger(ledger: Ledger, num_shards: usize) -> ConcurrentLedger {
-        let (config, store, signing_key, tsa_key, published, stats) = ledger.into_parts();
+        let (config, store, signing_key, tsa_key, published, tiered, stats) = ledger.into_parts();
         let (id, tsa, records) = store.into_parts();
         let sharded =
             ShardedLedgerStore::from_parts(id, tsa, records, config.filter_capacity, num_shards);
@@ -312,12 +340,15 @@ impl ConcurrentLedger {
                 .1
                 .map(|(version, filter)| Arc::new(Snapshot { version, filter })),
         };
+        let tiered_snap = RwLock::new(tiered.snapshot());
         let concurrent = ConcurrentLedger {
             config,
             store: sharded,
             signing_key,
             tsa_key,
             snapshots: RwLock::new(pair),
+            tiered: Mutex::new(tiered),
+            tiered_snap,
             obs: LedgerObs::new(),
             durability: None,
             recovery_report: None,
@@ -363,6 +394,7 @@ impl ConcurrentLedger {
     pub fn metrics_text(&self) -> String {
         self.obs.records.set(self.store.len() as u64);
         self.obs.filter_version.set(self.filter_version());
+        self.obs.tiered_epoch.set(self.tiered_epoch());
         self.obs.durable.set(self.durability.is_some() as u64);
         self.obs.registry.render()
     }
@@ -423,6 +455,10 @@ impl ConcurrentLedger {
                 }
             }
             Request::GetFilter { have_version } => self.serve_filter(have_version),
+            Request::GetFilterTiered {
+                have_epoch,
+                have_version,
+            } => self.serve_filter_tiered(have_epoch, have_version),
             Request::GetProof { id } => {
                 self.obs.proofs.inc();
                 match self.store.status(&id) {
@@ -843,14 +879,37 @@ impl ConcurrentLedger {
     /// projection (the expensive part) runs before the write lock is
     /// taken; the lock is held only to rotate two `Arc` pointers, so
     /// in-flight `GetFilter` requests are never blocked behind a
-    /// projection.
+    /// projection. The same pass reconciles the tiered pipeline: delta
+    /// rebuild and (at the compaction threshold) fuse construction run
+    /// under the publisher mutex only — tiered serves read a separate
+    /// snapshot pointer and are never blocked behind a compaction.
     pub fn publish_filter(&self) -> u64 {
         let filter = self.store.project_filter();
+        let revoked = self.store.revoked_filter_keys();
+        let tiered_snap = {
+            let mut tiered = self.tiered.lock();
+            tiered
+                .publish(&revoked)
+                .expect("tiered config validated at construction");
+            tiered.snapshot()
+        };
+        *self.tiered_snap.write() = tiered_snap;
         let mut pair = self.snapshots.write();
         let version = pair.current.as_ref().map(|s| s.version + 1).unwrap_or(1);
         pair.previous = pair.current.take();
         pair.current = Some(Arc::new(Snapshot { version, filter }));
         version
+    }
+
+    /// Current tiered epoch (1 until the first compaction seals a base).
+    pub fn tiered_epoch(&self) -> u64 {
+        self.tiered_snap.read().epoch()
+    }
+
+    /// The current tiered publication (in-process consumers; the wire
+    /// path uses [`Request::GetFilterTiered`]).
+    pub fn tiered_snapshot(&self) -> Arc<TieredSnapshot> {
+        Arc::clone(&self.tiered_snap.read())
     }
 
     /// Current published snapshot version (0 = never published).
@@ -908,6 +967,59 @@ impl ConcurrentLedger {
         Response::FilterFull {
             version: snapshot.version,
             data: snapshot.filter.to_bytes(),
+        }
+    }
+
+    fn serve_filter_tiered(&self, have_epoch: u64, have_version: u64) -> Response {
+        // Publication cadence gates both pipelines: before the first
+        // publish there is nothing tiered to serve either.
+        if self.snapshots.read().current.is_none() {
+            return err(codes::BAD_REQUEST, "no filter published yet");
+        }
+        // Clone the Arc under the read lock; diff and serialize off-lock.
+        let snap = self.tiered_snapshot();
+        match snap.serve(have_epoch, have_version) {
+            TieredServe::Current => {
+                // Same shape as the legacy path: up-to-date requesters
+                // get an empty delta.
+                let d = BloomDelta::diff(snap.delta(), snap.delta()).expect("identical geometry");
+                self.obs.filters_delta.inc();
+                Response::FilterDelta {
+                    from_version: have_version,
+                    to_version: snap.delta_version(),
+                    data: d.to_bytes(),
+                }
+            }
+            TieredServe::Delta {
+                from_version,
+                to_version,
+                delta,
+            } => {
+                self.obs.filters_delta.inc();
+                Response::FilterDelta {
+                    from_version,
+                    to_version,
+                    data: delta.to_bytes(),
+                }
+            }
+            TieredServe::Base { epoch, base } => {
+                self.obs.filters_base.inc();
+                Response::FilterBase { epoch, data: base }
+            }
+            TieredServe::Tiered {
+                epoch,
+                base,
+                delta_version,
+                delta,
+            } => {
+                self.obs.filters_tiered.inc();
+                Response::FilterTiered {
+                    epoch,
+                    base,
+                    delta_version,
+                    delta,
+                }
+            }
         }
     }
 
@@ -1062,6 +1174,109 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(l.filter_version(), 2);
+    }
+
+    #[test]
+    fn tiered_wire_serving_under_concurrent_publication() {
+        use irs_filters::{Filter, TieredConfig, TieredFilter};
+        let mut cfg = LedgerConfig::new(LedgerId(1));
+        cfg.tiered = TieredConfig {
+            delta_capacity: 64,
+            delta_fpr: 1e-3,
+            compact_at: 4,
+        };
+        let l = Arc::new(ConcurrentLedger::with_shards(
+            cfg,
+            TimestampAuthority::from_seed(1),
+            4,
+        ));
+        // Before publication: error, exactly like the legacy path.
+        match l.handle(
+            Request::GetFilterTiered {
+                have_epoch: 0,
+                have_version: 0,
+            },
+            TimeMs(1),
+        ) {
+            Response::Error { code, .. } => assert_eq!(code, codes::BAD_REQUEST),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut keys = Vec::new();
+        for seed in 0..8u8 {
+            let (id, keypair) = claim_one(&l, seed);
+            let rv = RevokeRequest::create(&keypair, id, true, 0);
+            l.handle(Request::Revoke(rv), TimeMs(2));
+            keys.push(id.filter_key());
+        }
+        l.publish_filter();
+        assert_eq!(l.tiered_epoch(), 2, "8 keys past compact_at=4 must seal");
+        // Readers hammer the bootstrap path while more publications roll
+        // epochs underneath them; every response must decode into a tier
+        // that answers all keys revoked before the first publish.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                let keys = keys.clone();
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match l.handle(
+                            Request::GetFilterTiered {
+                                have_epoch: 0,
+                                have_version: 0,
+                            },
+                            TimeMs(5),
+                        ) {
+                            Response::FilterTiered {
+                                epoch,
+                                base,
+                                delta_version,
+                                delta,
+                            } => {
+                                let tier =
+                                    TieredFilter::from_wire(epoch, &base, delta_version, delta)
+                                        .unwrap();
+                                for &k in &keys {
+                                    assert!(tier.contains(k), "tier lost a revoked key");
+                                }
+                            }
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for round in 0..4u8 {
+            for seed in 0..6u8 {
+                let (id, keypair) = claim_one(&l, 16 + round * 6 + seed);
+                let rv = RevokeRequest::create(&keypair, id, true, 0);
+                l.handle(Request::Revoke(rv), TimeMs(10));
+            }
+            l.publish_filter();
+        }
+        stop.store(true, Ordering::Release);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert!(l.tiered_epoch() >= 3, "publication rounds never compacted");
+        assert!(l.stats().filters_tiered >= 2);
+        // A client current at the final state gets an empty delta.
+        let snap = l.tiered_snapshot();
+        match l.handle(
+            Request::GetFilterTiered {
+                have_epoch: snap.epoch(),
+                have_version: snap.delta_version(),
+            },
+            TimeMs(20),
+        ) {
+            Response::FilterDelta {
+                from_version,
+                to_version,
+                ..
+            } => assert_eq!(from_version, to_version),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -17,7 +17,8 @@ use irs_core::tsa::TimestampAuthority;
 use irs_core::wire::{Request, Response};
 use irs_crypto::{Keypair, PublicKey};
 use irs_filters::delta::BloomDelta;
-use irs_filters::BloomFilter;
+use irs_filters::{BloomFilter, TieredConfig, TieredPublisher, TieredServe, TieredSnapshot};
+use std::sync::Arc;
 
 /// Ledger behavioral policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +47,9 @@ pub struct LedgerConfig {
     /// emits a new snapshot version (publication cadence is driven by the
     /// caller's clock; this is just bookkeeping for tests).
     pub seed: u64,
+    /// Sizing of the tiered (fuse base + Bloom delta) filter pipeline:
+    /// delta capacity/FPR and the compaction threshold (DESIGN.md §16).
+    pub tiered: TieredConfig,
 }
 
 impl LedgerConfig {
@@ -57,6 +61,7 @@ impl LedgerConfig {
             filter_capacity: 100_000,
             proof_validity_ms: 3_600_000, // 1 hour
             seed: id.0 as u64,
+            tiered: TieredConfig::default(),
         }
     }
 }
@@ -78,6 +83,9 @@ pub struct Ledger {
     /// The immediately preceding snapshot, kept so requesters one version
     /// behind get a delta instead of a full re-ship.
     previous_snapshot: Option<FilterSnapshot>,
+    /// The tiered (fuse base + Bloom delta) publication state, advanced
+    /// alongside the legacy Bloom snapshot on every `publish_filter`.
+    tiered: TieredPublisher,
     /// Count of wire requests served, by coarse kind (query, claim,
     /// revoke, filter, proof, batch items) — the load metrics experiments
     /// E4/E5 read.
@@ -99,6 +107,10 @@ pub struct LedgerStats {
     pub filters_full: u64,
     /// Filter deltas served.
     pub filters_delta: u64,
+    /// Sealed fuse bases served (tiered pipeline, epoch roll).
+    pub filters_base: u64,
+    /// Full tiered installs served (bootstrap or multi-epoch lag).
+    pub filters_tiered: u64,
     /// Freshness proofs issued.
     pub proofs: u64,
 }
@@ -118,6 +130,7 @@ impl Ledger {
             tsa_key,
             snapshot: None,
             previous_snapshot: None,
+            tiered: TieredPublisher::new(config.tiered).expect("valid tiered filter config"),
             stats: LedgerStats::default(),
             config,
         }
@@ -184,6 +197,10 @@ impl Ledger {
                 }
             }
             Request::GetFilter { have_version } => self.serve_filter(have_version),
+            Request::GetFilterTiered {
+                have_epoch,
+                have_version,
+            } => self.serve_filter_tiered(have_epoch, have_version),
             Request::GetProof { id } => {
                 self.stats.proofs += 1;
                 match self.store.status(&id) {
@@ -232,8 +249,10 @@ impl Ledger {
         for (name, value) in [
             ("irs_ledger_batch_items_total", s.batch_items),
             ("irs_ledger_claims_total", s.claims),
+            ("irs_ledger_filters_base_total", s.filters_base),
             ("irs_ledger_filters_delta_total", s.filters_delta),
             ("irs_ledger_filters_full_total", s.filters_full),
+            ("irs_ledger_filters_tiered_total", s.filters_tiered),
             ("irs_ledger_proofs_total", s.proofs),
             ("irs_ledger_queries_total", s.queries),
             ("irs_ledger_revokes_total", s.revokes),
@@ -243,6 +262,10 @@ impl Ledger {
         out.push_str(&format!(
             "# TYPE irs_ledger_filter_version gauge\nirs_ledger_filter_version {}\n",
             self.filter_version()
+        ));
+        out.push_str(&format!(
+            "# TYPE irs_ledger_tiered_epoch gauge\nirs_ledger_tiered_epoch {}\n",
+            self.tiered.epoch()
         ));
         out
     }
@@ -286,7 +309,10 @@ impl Ledger {
     }
 
     /// Publish a new filter snapshot; returns its version. Called on the
-    /// publication cadence (e.g. hourly) by the surrounding system.
+    /// publication cadence (e.g. hourly) by the surrounding system. The
+    /// same pass reconciles the tiered pipeline: the delta tier re-covers
+    /// `revoked \ base`, and a delta past the compaction threshold seals
+    /// a new fuse base (epoch roll).
     pub fn publish_filter(&mut self) -> u64 {
         let version = self.snapshot.as_ref().map(|s| s.version + 1).unwrap_or(1);
         self.previous_snapshot = self.snapshot.take();
@@ -294,6 +320,9 @@ impl Ledger {
             version,
             filter: self.store.filter_index().to_bloom(),
         });
+        self.tiered
+            .publish(&self.store.revoked_filter_keys())
+            .expect("tiered config validated at construction");
         version
     }
 
@@ -308,6 +337,17 @@ impl Ledger {
         self.snapshot.as_ref().map(|s| &s.filter)
     }
 
+    /// Current tiered epoch (1 until the first compaction seals a base).
+    pub fn tiered_epoch(&self) -> u64 {
+        self.tiered.epoch()
+    }
+
+    /// The current tiered publication (in-process consumers; the wire
+    /// path uses [`Request::GetFilterTiered`]).
+    pub fn tiered_snapshot(&self) -> Arc<TieredSnapshot> {
+        self.tiered.snapshot()
+    }
+
     /// Promote into a [`crate::ConcurrentLedger`] with `num_shards`
     /// stripes; records, published snapshots, and stats carry over.
     pub fn into_concurrent(self, num_shards: usize) -> crate::ConcurrentLedger {
@@ -315,7 +355,7 @@ impl Ledger {
     }
 
     /// Decompose for promotion (config, store, keys, (current, previous)
-    /// published snapshots, stats).
+    /// published snapshots, tiered publisher, stats).
     #[allow(clippy::type_complexity)]
     pub(crate) fn into_parts(
         self,
@@ -325,6 +365,7 @@ impl Ledger {
         Keypair,
         PublicKey,
         (Option<(u64, BloomFilter)>, Option<(u64, BloomFilter)>),
+        TieredPublisher,
         LedgerStats,
     ) {
         (
@@ -336,6 +377,7 @@ impl Ledger {
                 self.snapshot.map(|s| (s.version, s.filter)),
                 self.previous_snapshot.map(|s| (s.version, s.filter)),
             ),
+            self.tiered,
             self.stats,
         )
     }
@@ -373,6 +415,59 @@ impl Ledger {
         Response::FilterFull {
             version: snapshot.version,
             data: snapshot.filter.to_bytes(),
+        }
+    }
+
+    fn serve_filter_tiered(&mut self, have_epoch: u64, have_version: u64) -> Response {
+        // Publication cadence gates both pipelines: before the first
+        // publish there is nothing tiered to serve either.
+        if self.snapshot.is_none() {
+            return err(codes::BAD_REQUEST, "no filter published yet");
+        }
+        let snap = self.tiered.snapshot();
+        match snap.serve(have_epoch, have_version) {
+            TieredServe::Current => {
+                // Same shape as the legacy path: up-to-date requesters
+                // get an empty delta rather than a distinct "no change"
+                // message.
+                let d = BloomDelta::diff(snap.delta(), snap.delta()).expect("identical geometry");
+                self.stats.filters_delta += 1;
+                Response::FilterDelta {
+                    from_version: have_version,
+                    to_version: snap.delta_version(),
+                    data: d.to_bytes(),
+                }
+            }
+            TieredServe::Delta {
+                from_version,
+                to_version,
+                delta,
+            } => {
+                self.stats.filters_delta += 1;
+                Response::FilterDelta {
+                    from_version,
+                    to_version,
+                    data: delta.to_bytes(),
+                }
+            }
+            TieredServe::Base { epoch, base } => {
+                self.stats.filters_base += 1;
+                Response::FilterBase { epoch, data: base }
+            }
+            TieredServe::Tiered {
+                epoch,
+                base,
+                delta_version,
+                delta,
+            } => {
+                self.stats.filters_tiered += 1;
+                Response::FilterTiered {
+                    epoch,
+                    base,
+                    delta_version,
+                    delta,
+                }
+            }
         }
     }
 }
@@ -664,6 +759,106 @@ mod tests {
             } => assert_eq!((from_version, to_version), (1, 1)),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn wire_tiered_filter_flow() {
+        use irs_filters::{Filter, TieredFilter};
+        let mut l = ledger();
+        let (id, kp) = claim_one(&mut l, 20);
+        let rv = RevokeRequest::create(&kp, id, true, 0);
+        l.handle(Request::Revoke(rv), TimeMs(1));
+        // Before publication: error, exactly like the legacy path.
+        match l.handle(
+            Request::GetFilterTiered {
+                have_epoch: 0,
+                have_version: 0,
+            },
+            TimeMs(1),
+        ) {
+            Response::Error { code, .. } => assert_eq!(code, codes::BAD_REQUEST),
+            other => panic!("unexpected {other:?}"),
+        }
+        l.publish_filter();
+        // Bootstrap requester: full tiered install (no epoch sealed yet,
+        // so the base blob is empty and the delta answers the key).
+        let tier = match l.handle(
+            Request::GetFilterTiered {
+                have_epoch: 0,
+                have_version: 0,
+            },
+            TimeMs(2),
+        ) {
+            Response::FilterTiered {
+                epoch,
+                base,
+                delta_version,
+                delta,
+            } => {
+                assert_eq!(epoch, 1, "no compaction has sealed a base yet");
+                assert!(base.is_empty());
+                TieredFilter::from_wire(epoch, &base, delta_version, delta).unwrap()
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(tier.contains(id.filter_key()));
+        // Up-to-date requester: empty delta, version unchanged.
+        match l.handle(
+            Request::GetFilterTiered {
+                have_epoch: tier.epoch(),
+                have_version: tier.delta_version(),
+            },
+            TimeMs(3),
+        ) {
+            Response::FilterDelta {
+                from_version,
+                to_version,
+                ..
+            } => assert_eq!(from_version, to_version),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.stats.filters_tiered, 1);
+        assert_eq!(l.stats.filters_delta, 1);
+    }
+
+    #[test]
+    fn tiered_compaction_rolls_epoch_through_publication() {
+        use irs_filters::{Filter, Fuse8};
+        let mut cfg = LedgerConfig::new(LedgerId(3));
+        cfg.tiered = TieredConfig {
+            delta_capacity: 64,
+            delta_fpr: 1e-3,
+            compact_at: 4,
+        };
+        let mut l = Ledger::new(cfg, TimestampAuthority::from_seed(3));
+        let mut keys = Vec::new();
+        for seed in 30..38u8 {
+            let (id, keypair) = claim_one(&mut l, seed);
+            let rv = RevokeRequest::create(&keypair, id, true, 0);
+            l.handle(Request::Revoke(rv), TimeMs(2));
+            keys.push(id.filter_key());
+        }
+        // 8 delta keys ≥ compact_at=4: the publish seals epoch 2.
+        l.publish_filter();
+        assert_eq!(l.tiered_epoch(), 2);
+        // A client that followed epoch 1 gets just the sealed base…
+        match l.handle(
+            Request::GetFilterTiered {
+                have_epoch: 1,
+                have_version: 0,
+            },
+            TimeMs(3),
+        ) {
+            Response::FilterBase { epoch, data } => {
+                assert_eq!(epoch, 2);
+                let base = Fuse8::from_bytes(data).unwrap();
+                for &k in &keys {
+                    assert!(base.contains(k), "sealed base lost a revoked key");
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.stats.filters_base, 1);
     }
 
     #[test]

@@ -382,6 +382,19 @@ impl ShardedLedgerStore {
         self.filter_capacity
     }
 
+    /// The exact `filter_key` set of currently revoked records, captured
+    /// under every shard read lock so the set is a consistent snapshot —
+    /// the tiered publisher seals this into a fuse base at compaction.
+    pub fn revoked_filter_keys(&self) -> std::collections::HashSet<u64> {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        guards
+            .iter()
+            .flat_map(|g| g.slots.iter().flatten())
+            .filter(|r| r.claim.status != RevocationStatus::NotRevoked)
+            .map(|r| r.claim.id.filter_key())
+            .collect()
+    }
+
     /// Count records by status: (not revoked, revoked, permanent).
     /// Shards are visited one at a time; concurrent writers may be
     /// counted in either state, as with any live statistic.

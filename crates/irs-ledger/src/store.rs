@@ -212,6 +212,17 @@ impl LedgerStore {
         &self.filter_index
     }
 
+    /// The exact `filter_key` set of currently revoked records — the
+    /// input the tiered publisher seals into a fuse base (the counting
+    /// filter cannot be enumerated, so compaction reads the records).
+    pub fn revoked_filter_keys(&self) -> std::collections::HashSet<u64> {
+        self.records
+            .iter()
+            .filter(|r| r.claim.status != RevocationStatus::NotRevoked)
+            .map(|r| r.claim.id.filter_key())
+            .collect()
+    }
+
     /// Decompose into raw parts for promotion to a
     /// [`crate::sharded::ShardedLedgerStore`].
     pub(crate) fn into_parts(self) -> (LedgerId, TimestampAuthority, Vec<StoredClaim>) {

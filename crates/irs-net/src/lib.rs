@@ -59,7 +59,10 @@ pub use ledger_server::LedgerServer;
 pub use mux::MuxClient;
 pub use proxy_server::ProxyServer;
 pub use reactor::{Reactor, ReactorConfig, ReactorHandle};
-pub use refresh::{refresh_filter, refresh_shared_filter, RefreshOutcome, RefreshWorker};
+pub use refresh::{
+    refresh_filter, refresh_shared_filter, refresh_shared_filter_tiered, refresh_tiered_filter,
+    RefreshOutcome, RefreshWorker,
+};
 pub use resilient::{ResilientClient, RetryPolicy};
 pub use server::ServerHandle;
 pub use service::{BoxService, CallCtx, Layer, Service, ServiceExt};

@@ -39,11 +39,28 @@ pub enum RefreshOutcome {
         /// Snapshot bytes transferred.
         bytes: usize,
     },
-    /// Applied a delta.
+    /// Applied a delta (legacy filter version or tiered delta tier).
     AppliedDelta {
         /// New version held.
         version: u64,
         /// Delta bytes transferred.
+        bytes: usize,
+    },
+    /// Installed a full tiered state (bootstrap or multi-epoch resync).
+    InstalledTiered {
+        /// Epoch held after the install.
+        epoch: u64,
+        /// Delta version held within that epoch.
+        version: u64,
+        /// Base + delta bytes transferred.
+        bytes: usize,
+    },
+    /// Rolled onto a freshly sealed base tier (single-epoch advance; the
+    /// delta tier was cleared locally, no delta bytes shipped).
+    RolledEpoch {
+        /// The newly sealed epoch.
+        epoch: u64,
+        /// Base bytes transferred.
         bytes: usize,
     },
     /// Already current (ledger sent an empty delta).
@@ -118,6 +135,103 @@ fn apply_response(
     }
 }
 
+/// Epoch-aware refresh against the tiered pipeline (DESIGN.md §16):
+/// sends [`Request::GetFilterTiered`] with the held `(epoch, version)`
+/// and applies whichever tier the serve matrix answers with. A server
+/// predating the tiered pipeline answers [`Response::Unsupported`], and
+/// the refresh degrades to the legacy [`refresh_filter`] flow in the
+/// same round.
+pub fn refresh_tiered_filter(
+    proxy: &mut IrsProxy,
+    client: &mut LedgerClient,
+    ledger: LedgerId,
+) -> Result<RefreshOutcome, NetError> {
+    let (have_epoch, have_version) = proxy.filters.tiered_state(ledger);
+    let response = client.call(&Request::GetFilterTiered {
+        have_epoch,
+        have_version,
+    })?;
+    if matches!(response, Response::Unsupported { .. }) {
+        return refresh_filter(proxy, client, ledger);
+    }
+    apply_tiered_response(&mut proxy.filters, ledger, response)
+}
+
+/// [`refresh_tiered_filter`] against a served [`SharedProxy`]: the wire
+/// call runs outside any lock, and the `(epoch, version)` recheck plus
+/// the apply run inside one `update_filters` transaction.
+pub fn refresh_shared_filter_tiered(
+    proxy: &SharedProxy,
+    client: &mut LedgerClient,
+    ledger: LedgerId,
+) -> Result<RefreshOutcome, NetError> {
+    let have = proxy.filters_snapshot().tiered_state(ledger);
+    let response = client.call(&Request::GetFilterTiered {
+        have_epoch: have.0,
+        have_version: have.1,
+    })?;
+    if matches!(response, Response::Unsupported { .. }) {
+        return refresh_shared_filter(proxy, client, ledger);
+    }
+    proxy.update_filters(|filters| {
+        if filters.tiered_state(ledger) != have {
+            return Ok(RefreshOutcome::AlreadyCurrent);
+        }
+        apply_tiered_response(filters, ledger, response)
+    })
+}
+
+fn apply_tiered_response(
+    filters: &mut FilterSet,
+    ledger: LedgerId,
+    response: Response,
+) -> Result<RefreshOutcome, NetError> {
+    match response {
+        Response::FilterTiered {
+            epoch,
+            base,
+            delta_version,
+            delta,
+        } => {
+            let bytes = base.len() + delta.len();
+            filters
+                .apply_tiered(ledger, epoch, base, delta_version, delta)
+                .map_err(|_| NetError::Frame("tiered filter payload rejected"))?;
+            Ok(RefreshOutcome::InstalledTiered {
+                epoch,
+                version: delta_version,
+                bytes,
+            })
+        }
+        Response::FilterBase { epoch, data } => {
+            let bytes = data.len();
+            filters
+                .apply_base(ledger, epoch, data)
+                .map_err(|_| NetError::Frame("tiered base payload rejected"))?;
+            Ok(RefreshOutcome::RolledEpoch { epoch, bytes })
+        }
+        Response::FilterDelta {
+            from_version,
+            to_version,
+            data,
+        } => {
+            if from_version == to_version {
+                return Ok(RefreshOutcome::AlreadyCurrent);
+            }
+            let bytes = data.len();
+            filters
+                .apply_tiered_delta(ledger, from_version, to_version, data)
+                .map_err(|_| NetError::Frame("tiered delta rejected"))?;
+            Ok(RefreshOutcome::AppliedDelta {
+                version: to_version,
+                bytes,
+            })
+        }
+        Response::Error { .. } => Err(NetError::Frame("ledger has no published filter")),
+        _ => Err(NetError::Frame("unexpected response to GetFilterTiered")),
+    }
+}
+
 /// [`refresh_shared_filter`] over a composed [`Service`] stack (usually
 /// `Retry(Failover(Tcp))`): whatever resilience the stack provides for
 /// the fetch itself, plus the outcome recorded into the proxy's
@@ -140,6 +254,36 @@ pub fn refresh_shared_filter_via<S: Service + ?Sized>(
             return Ok(RefreshOutcome::AlreadyCurrent);
         }
         apply_response(filters, ledger, response)
+    })
+}
+
+/// Tiered-first refresh over a composed [`Service`] stack — what the
+/// [`RefreshWorker`] runs each round. Falls back to the legacy
+/// [`refresh_shared_filter_via`] flow when the server answers
+/// [`Response::Unsupported`] (pre-tiered peer during a rolling upgrade).
+pub fn refresh_shared_filter_tiered_via<S: Service + ?Sized>(
+    proxy: &SharedProxy,
+    service: &S,
+    ledger: LedgerId,
+) -> Result<RefreshOutcome, NetError> {
+    let have = proxy.filters_snapshot().tiered_state(ledger);
+    let result = service.call(
+        Request::GetFilterTiered {
+            have_epoch: have.0,
+            have_version: have.1,
+        },
+        &CallCtx::at(SystemClock.now()),
+    );
+    proxy.record_upstream(ledger, result.is_ok(), SystemClock.now());
+    let response = result?;
+    if matches!(response, Response::Unsupported { .. }) {
+        return refresh_shared_filter_via(proxy, service, ledger);
+    }
+    proxy.update_filters(|filters| {
+        if filters.tiered_state(ledger) != have {
+            return Ok(RefreshOutcome::AlreadyCurrent);
+        }
+        apply_tiered_response(filters, ledger, response)
     })
 }
 
@@ -168,6 +312,9 @@ struct ShardRefresh {
     consecutive_failures: Gauge,
     installs: Counter,
     filter_version: Gauge,
+    /// Tiered base epoch held for this shard (0 until the shard's ledger
+    /// seals one or the proxy bootstraps tiered state).
+    filter_epoch: Gauge,
 }
 
 /// The worker's counters live in the proxy's metrics [`Registry`]
@@ -256,6 +403,7 @@ impl RefreshWorker {
                     consecutive_failures: registry.gauge(&format!("{p}_consecutive_failures")),
                     installs: registry.counter(&format!("{p}_installs_total")),
                     filter_version: registry.gauge(&format!("{p}_filter_version")),
+                    filter_epoch: registry.gauge(&format!("{p}_filter_epoch")),
                 }
             })
             .collect();
@@ -336,15 +484,23 @@ fn run_shard(
         }
         st.rounds.inc();
         shared.rounds.inc();
-        let delay = match refresh_shared_filter_via(proxy, &fetch, st.ledger) {
+        let delay = match refresh_shared_filter_tiered_via(proxy, &fetch, st.ledger) {
             Ok(outcome) => {
                 if !matches!(outcome, RefreshOutcome::AlreadyCurrent) {
                     st.installs.inc();
                     shared.installs.inc();
                 }
                 st.consecutive_failures.set(0);
-                st.filter_version
-                    .set(proxy.filters_snapshot().version(st.ledger));
+                // Gauge whichever pipeline the shard is on: tiered state
+                // when installed, else the legacy filter version.
+                let snap = proxy.filters_snapshot();
+                let (epoch, version) = snap.tiered_state(st.ledger);
+                st.filter_epoch.set(epoch);
+                st.filter_version.set(if (epoch, version) == (0, 0) {
+                    snap.version(st.ledger)
+                } else {
+                    version
+                });
                 interval
             }
             Err(_) => {
@@ -499,7 +655,7 @@ mod tests {
         let mid = worker.stats();
         assert!(mid.failures >= 2, "worker kept retrying: {mid:?}");
         assert!(mid.consecutive_failures >= 2);
-        assert_eq!(proxy.filters_snapshot().version(LedgerId(1)), 0);
+        assert_eq!(proxy.filters_snapshot().tiered_state(LedgerId(1)), (0, 0));
 
         // Bring the ledger up on that same port with a published filter.
         let mut ledger = Ledger::new(
@@ -517,15 +673,15 @@ mod tests {
         ledger.publish_filter();
         let server = LedgerServer::start(ledger, &addr.to_string()).unwrap();
 
-        // The worker must recover on its own: filter installed, failure
-        // run reset.
+        // The worker must recover on its own: tiered filter installed,
+        // failure run reset.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while proxy.filters_snapshot().version(LedgerId(1)) != 1
+        while proxy.filters_snapshot().tiered_state(LedgerId(1)) == (0, 0)
             && std::time::Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert_eq!(proxy.filters_snapshot().version(LedgerId(1)), 1);
+        assert_eq!(proxy.filters_snapshot().tiered_state(LedgerId(1)), (1, 1));
         assert_eq!(
             proxy.lookup(id, TimeMs(10)),
             LookupOutcome::NeedsLedgerQuery,
@@ -582,14 +738,14 @@ mod tests {
         // The healthy shard's filter must land promptly — well inside the
         // window where the dead shard is still burning its first timeouts.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while proxy.filters_snapshot().version(LedgerId(1)) != 1
+        while proxy.filters_snapshot().tiered_state(LedgerId(1)) == (0, 0)
             && std::time::Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(
-            proxy.filters_snapshot().version(LedgerId(1)),
-            1,
+            proxy.filters_snapshot().tiered_state(LedgerId(1)),
+            (1, 1),
             "healthy shard's filter blocked behind the dead shard"
         );
         assert_eq!(
@@ -689,5 +845,117 @@ mod tests {
         let outcome = refresh_shared_filter(&proxy, &mut client, LedgerId(1)).unwrap();
         assert_eq!(outcome, RefreshOutcome::AlreadyCurrent);
         server.shutdown();
+    }
+
+    #[test]
+    fn tiered_refresh_full_then_delta_then_epoch_roll() {
+        use irs_filters::TieredConfig;
+        // Tiny compaction threshold so the test can drive an epoch roll
+        // through the wire flow.
+        let mut config = LedgerConfig::new(LedgerId(1));
+        config.tiered = TieredConfig {
+            delta_capacity: 64,
+            delta_fpr: 1e-3,
+            compact_at: 4,
+        };
+        let mut ledger = Ledger::new(config, TimestampAuthority::from_seed(31));
+        let mut cam = Camera::new(31, 96, 96);
+        let shot = cam.capture(0);
+        let Response::Claimed { id, .. } = ledger.handle(Request::Claim(shot.claim), TimeMs(0))
+        else {
+            panic!()
+        };
+        let rv = RevokeRequest::create(&shot.keypair, id, true, 0);
+        ledger.handle(Request::Revoke(rv), TimeMs(1));
+        ledger.publish_filter();
+        let server = LedgerServer::start(ledger, "127.0.0.1:0").unwrap();
+        let mut client = LedgerClient::connect(server.addr()).unwrap();
+
+        // Bootstrap: full tiered install (no epoch sealed yet).
+        let proxy = SharedProxy::new(ProxyConfig::default());
+        let outcome = refresh_shared_filter_tiered(&proxy, &mut client, LedgerId(1)).unwrap();
+        assert!(
+            matches!(
+                outcome,
+                RefreshOutcome::InstalledTiered {
+                    epoch: 1,
+                    version: 1,
+                    ..
+                }
+            ),
+            "{outcome:?}"
+        );
+        assert_eq!(
+            proxy.lookup(id, TimeMs(5)),
+            LookupOutcome::NeedsLedgerQuery,
+            "revoked id hits the tiered filter"
+        );
+
+        // One more revocation: same epoch, delta-tier update.
+        let l = server.ledger();
+        let shot_b = cam.capture(1);
+        let (b, _) = l.claim_revoked(shot_b.claim, TimeMs(6)).unwrap();
+        l.publish_filter();
+        let outcome = refresh_shared_filter_tiered(&proxy, &mut client, LedgerId(1)).unwrap();
+        assert!(
+            matches!(outcome, RefreshOutcome::AppliedDelta { version: 2, .. }),
+            "{outcome:?}"
+        );
+        assert_eq!(proxy.lookup(b, TimeMs(7)), LookupOutcome::NeedsLedgerQuery);
+
+        // Enough churn to cross compact_at: the publish seals epoch 2 and
+        // the refresh arrives as a base-only roll.
+        let mut more = Vec::new();
+        for i in 2..7 {
+            let shot = cam.capture(i);
+            let (id, _) = l.claim_revoked(shot.claim, TimeMs(8 + i)).unwrap();
+            more.push(id);
+        }
+        l.publish_filter();
+        let outcome = refresh_shared_filter_tiered(&proxy, &mut client, LedgerId(1)).unwrap();
+        assert!(
+            matches!(outcome, RefreshOutcome::RolledEpoch { epoch: 2, .. }),
+            "{outcome:?}"
+        );
+        assert_eq!(proxy.filters_snapshot().tiered_state(LedgerId(1)), (2, 0));
+        for id in [id, b].into_iter().chain(more) {
+            assert_eq!(
+                proxy.lookup(id, TimeMs(40)),
+                LookupOutcome::NeedsLedgerQuery,
+                "revocation lost across the epoch roll"
+            );
+        }
+        // No churn: already current.
+        let outcome = refresh_shared_filter_tiered(&proxy, &mut client, LedgerId(1)).unwrap();
+        assert_eq!(outcome, RefreshOutcome::AlreadyCurrent);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tiered_refresh_falls_back_to_legacy_on_unsupported() {
+        use crate::service::service_fn;
+        use irs_filters::BloomFilter;
+        // A pre-tiered server: answers Unsupported for the new tag,
+        // serves the legacy full filter.
+        let mut f = BloomFilter::with_params(1 << 14, 6, 0).unwrap();
+        let id = irs_core::ids::RecordId::new(LedgerId(1), 7);
+        f.insert(id.filter_key());
+        let data = f.to_bytes();
+        let svc = service_fn(move |req, _ctx: &CallCtx| match req {
+            Request::GetFilterTiered { .. } => Ok(Response::Unsupported { tag: 12 }),
+            Request::GetFilter { .. } => Ok(Response::FilterFull {
+                version: 3,
+                data: data.clone(),
+            }),
+            other => panic!("unexpected request {other:?}"),
+        });
+        let proxy = SharedProxy::new(ProxyConfig::default());
+        let outcome = refresh_shared_filter_tiered_via(&proxy, &svc, LedgerId(1)).unwrap();
+        assert!(
+            matches!(outcome, RefreshOutcome::InstalledFull { version: 3, .. }),
+            "{outcome:?}"
+        );
+        assert_eq!(proxy.filters_snapshot().version(LedgerId(1)), 3);
+        assert_eq!(proxy.filters_snapshot().tiered_state(LedgerId(1)), (0, 0));
     }
 }

@@ -66,6 +66,7 @@ impl<S> Breaker<S> {
             Request::Revoke(r) => r.id.ledger,
             Request::Claim(_)
             | Request::GetFilter { .. }
+            | Request::GetFilterTiered { .. }
             | Request::Ping
             | Request::Metrics
             | Request::WalSubscribe { .. }

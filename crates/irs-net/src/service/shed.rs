@@ -48,6 +48,7 @@ pub fn priority_of(req: &Request) -> Priority {
         // Shard-map fetches ride the same lane: a router self-healing
         // from `WrongShard` retries on its own schedule.
         Request::GetFilter { .. }
+        | Request::GetFilterTiered { .. }
         | Request::Metrics
         | Request::Ping
         | Request::WalSubscribe { .. }

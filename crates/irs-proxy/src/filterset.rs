@@ -1,32 +1,62 @@
-//! Per-ledger filter management and the merged OR filter.
+//! Per-ledger filter management and the merged OR view.
 //!
-//! §4.4: each ledger publishes a Bloom filter, "which the proxies would
-//! download and then take the OR of all ledger Bloom filters. … if the
-//! photo does not hit in the filter, it is definitely not revoked". For
-//! that soundness property — and for the paper's 2 %-FPR ⇒ 50×-reduction
-//! arithmetic — the published filter must cover each ledger's **revoked**
-//! set (see `irs_ledger::store::LedgerStore::filter_index`). Updates
-//! arrive as full snapshots (first contact) or deltas (steady state). All
-//! ledgers must publish with identical filter geometry for the OR to be
-//! meaningful; the ecosystem fixes (m, k, seed) by convention, which this
-//! type enforces.
+//! §4.4: each ledger publishes a filter over its **revoked** set, "which
+//! the proxies would download and then take the OR of all ledger Bloom
+//! filters. … if the photo does not hit in the filter, it is definitely
+//! not revoked". Two publication pipelines coexist:
+//!
+//! * **Legacy**: one Bloom filter per ledger, identical geometry across
+//!   the ecosystem, ORed into a single merged Bloom. Updates arrive as
+//!   full snapshots (first contact) or deltas (steady state).
+//! * **Tiered** (DESIGN.md §16): per ledger, a frozen fuse8 base sealed
+//!   per epoch plus a small Bloom delta for churn since the seal. The
+//!   fuse bases cannot be ORed (each has its own layout), so they are
+//!   probed individually at lookup — cheap, since a fuse probe is three
+//!   cache lines — while the small delta tiers share one geometry and
+//!   are merged into a single delta view maintained *incrementally*:
+//!   a delta update touches O(flipped bits), never O(ledgers × m).
+//!
+//! A ledger that upgrades to the tiered pipeline replaces its legacy
+//! Bloom: the proxy drops the old per-ledger filter (and its share of the
+//! big merged clone), which is where the tiered memory win comes from.
+//!
+//! Update accounting is accept-only: `bytes_received` and the update
+//! counters move only when an update validates and applies; a rejected
+//! update counts into `rejected` and changes nothing else.
 
 use irs_core::ids::LedgerId;
 use irs_filters::delta::BloomDelta;
-use irs_filters::{BloomFilter, Filter, FilterError};
+use irs_filters::{BloomFilter, Filter, FilterError, TieredFilter};
 use std::collections::HashMap;
 
-/// Per-ledger filters plus their OR. `Clone` supports the shared
-/// proxy's copy-on-write refresh: build the next snapshot off-lock,
-/// then swap it in atomically.
+/// Per-ledger filters plus their merged views. `Clone` supports the
+/// shared proxy's copy-on-write refresh: build the next snapshot
+/// off-lock, then swap it in atomically.
 #[derive(Clone)]
 pub struct FilterSet {
     per_ledger: HashMap<LedgerId, (u64, BloomFilter)>,
     merged: Option<BloomFilter>,
-    /// Bytes received across all updates (experiment E6).
+    /// Tiered per-ledger state (fuse base + Bloom delta). A `Vec`, not a
+    /// map: the hot lookup path walks every entry anyway (fuse bases are
+    /// probed individually), reads never mutate (the set is copy-on-write
+    /// behind `SharedProxy`), and applies are refresh-cadence rare.
+    tiered: Vec<(LedgerId, TieredFilter)>,
+    /// OR of every tiered ledger's delta tier (shared delta geometry).
+    merged_delta: Option<BloomFilter>,
+    /// Whether `merged_delta` has any bit set — right after a compaction
+    /// it usually does not, and the lookup path skips its probe entirely.
+    merged_delta_live: bool,
+    /// Bytes received across all *accepted* updates (experiment E6).
     pub bytes_received: u64,
-    /// Updates applied (full, delta).
+    /// Accepted legacy updates applied (full, delta).
     pub updates: (u64, u64),
+    /// Accepted tiered updates applied (full installs, base rolls,
+    /// delta applies).
+    pub tiered_updates: (u64, u64, u64),
+    /// Updates rejected (malformed payload, geometry or version
+    /// mismatch). Rejected updates contribute nothing to the byte or
+    /// update counters.
+    pub rejected: u64,
 }
 
 impl Default for FilterSet {
@@ -41,19 +71,49 @@ impl FilterSet {
         FilterSet {
             per_ledger: HashMap::new(),
             merged: None,
+            tiered: Vec::new(),
+            merged_delta: None,
+            merged_delta_live: false,
             bytes_received: 0,
             updates: (0, 0),
+            tiered_updates: (0, 0, 0),
+            rejected: 0,
         }
     }
 
-    /// Install a full snapshot for a ledger.
+    /// Count an update outcome: accepted updates account their payload
+    /// bytes, rejected ones only bump the rejection counter.
+    fn account(&mut self, bytes: u64, out: Result<(), FilterError>) -> Result<(), FilterError> {
+        match out {
+            Ok(()) => {
+                self.bytes_received += bytes;
+                Ok(())
+            }
+            Err(e) => {
+                self.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Install a full legacy snapshot for a ledger.
     pub fn apply_full(
         &mut self,
         ledger: LedgerId,
         version: u64,
         data: bytes::Bytes,
     ) -> Result<(), FilterError> {
-        self.bytes_received += data.len() as u64;
+        let n = data.len() as u64;
+        let out = self.try_apply_full(ledger, version, data);
+        self.account(n, out)
+    }
+
+    fn try_apply_full(
+        &mut self,
+        ledger: LedgerId,
+        version: u64,
+        data: bytes::Bytes,
+    ) -> Result<(), FilterError> {
         let filter = BloomFilter::from_bytes(data)?;
         if let Some(existing) = self.any_filter() {
             if existing.m_bits() != filter.m_bits()
@@ -71,8 +131,8 @@ impl FilterSet {
         Ok(())
     }
 
-    /// Apply a delta for a ledger; the held version must match
-    /// `from_version`.
+    /// Apply a legacy delta for a ledger; the held version must match
+    /// `from_version`. Atomic: a rejected delta leaves the set untouched.
     pub fn apply_delta(
         &mut self,
         ledger: LedgerId,
@@ -80,8 +140,24 @@ impl FilterSet {
         to_version: u64,
         data: bytes::Bytes,
     ) -> Result<(), FilterError> {
-        self.bytes_received += data.len() as u64;
+        let n = data.len() as u64;
+        let out = self.try_apply_delta(ledger, from_version, to_version, data);
+        self.account(n, out)
+    }
+
+    fn try_apply_delta(
+        &mut self,
+        ledger: LedgerId,
+        from_version: u64,
+        to_version: u64,
+        data: bytes::Bytes,
+    ) -> Result<(), FilterError> {
         let delta = BloomDelta::from_bytes(data)?;
+        // A ledger on the tiered pipeline takes its deltas against the
+        // delta *tier*, with epoch awareness.
+        if self.tiered.iter().any(|(l, _)| *l == ledger) {
+            return self.try_apply_tiered_delta_parsed(ledger, from_version, to_version, &delta);
+        }
         let Some((version, filter)) = self.per_ledger.get_mut(&ledger) else {
             return Err(FilterError::BadParams("delta for unknown ledger"));
         };
@@ -95,18 +171,161 @@ impl FilterSet {
         Ok(())
     }
 
-    /// The version held for a ledger (0 = none).
+    /// Install a full tiered state for a ledger (bootstrap or resync).
+    /// Replaces any legacy Bloom held for the same ledger.
+    pub fn apply_tiered(
+        &mut self,
+        ledger: LedgerId,
+        epoch: u64,
+        base: bytes::Bytes,
+        delta_version: u64,
+        delta: bytes::Bytes,
+    ) -> Result<(), FilterError> {
+        let n = (base.len() + delta.len()) as u64;
+        let out = self.try_apply_tiered(ledger, epoch, base, delta_version, delta);
+        self.account(n, out)
+    }
+
+    fn try_apply_tiered(
+        &mut self,
+        ledger: LedgerId,
+        epoch: u64,
+        base: bytes::Bytes,
+        delta_version: u64,
+        delta: bytes::Bytes,
+    ) -> Result<(), FilterError> {
+        let tier = TieredFilter::from_wire(epoch, &base, delta_version, delta)?;
+        if let Some(existing) = self.any_tiered_delta() {
+            let d = tier.delta();
+            if existing.m_bits() != d.m_bits()
+                || existing.k() != d.k()
+                || existing.seed() != d.seed()
+            {
+                return Err(FilterError::BadParams(
+                    "tiered delta geometry differs from ecosystem convention",
+                ));
+            }
+        }
+        // The tiered pipeline supersedes the ledger's legacy Bloom.
+        if self.per_ledger.remove(&ledger).is_some() {
+            self.rebuild();
+        }
+        match self.tiered.iter_mut().find(|(l, _)| *l == ledger) {
+            Some(entry) => entry.1 = tier,
+            None => self.tiered.push((ledger, tier)),
+        }
+        self.tiered_updates.0 += 1;
+        self.rebuild_merged_delta();
+        Ok(())
+    }
+
+    /// Roll a tiered ledger onto a freshly sealed base (single-epoch
+    /// advance onto an empty delta).
+    pub fn apply_base(
+        &mut self,
+        ledger: LedgerId,
+        epoch: u64,
+        data: bytes::Bytes,
+    ) -> Result<(), FilterError> {
+        let n = data.len() as u64;
+        let out = self.try_apply_base(ledger, epoch, data);
+        self.account(n, out)
+    }
+
+    fn try_apply_base(
+        &mut self,
+        ledger: LedgerId,
+        epoch: u64,
+        data: bytes::Bytes,
+    ) -> Result<(), FilterError> {
+        let Some((_, tier)) = self.tiered.iter_mut().find(|(l, _)| *l == ledger) else {
+            return Err(FilterError::BadParams("base roll for unknown ledger"));
+        };
+        tier.roll_epoch(epoch, &data)?;
+        self.tiered_updates.1 += 1;
+        // The roll cleared this ledger's delta tier; rebuilding the small
+        // merged delta removes its contribution (epoch rolls are rare and
+        // the delta tier is tiny, so this is not a hot path).
+        self.rebuild_merged_delta();
+        Ok(())
+    }
+
+    /// Apply a delta update to a tiered ledger's delta tier.
+    pub fn apply_tiered_delta(
+        &mut self,
+        ledger: LedgerId,
+        from_version: u64,
+        to_version: u64,
+        data: bytes::Bytes,
+    ) -> Result<(), FilterError> {
+        let n = data.len() as u64;
+        let out = match BloomDelta::from_bytes(data) {
+            Ok(delta) => {
+                self.try_apply_tiered_delta_parsed(ledger, from_version, to_version, &delta)
+            }
+            Err(e) => Err(e),
+        };
+        self.account(n, out)
+    }
+
+    fn try_apply_tiered_delta_parsed(
+        &mut self,
+        ledger: LedgerId,
+        from_version: u64,
+        to_version: u64,
+        delta: &BloomDelta,
+    ) -> Result<(), FilterError> {
+        let Some((_, tier)) = self.tiered.iter_mut().find(|(l, _)| *l == ledger) else {
+            return Err(FilterError::BadParams("delta for unknown ledger"));
+        };
+        if tier.delta_version() != from_version {
+            return Err(FilterError::BadParams("delta from_version mismatch"));
+        }
+        tier.apply_delta(delta, to_version)?;
+        self.tiered_updates.2 += 1;
+        // Incremental merged-view maintenance: only the flipped positions
+        // can have changed, and a position is set in the merged delta iff
+        // it is set in *some* ledger's delta tier. O(flips × ledgers),
+        // never a full O(ledgers × m) clone-and-OR.
+        if let Some(merged) = self.merged_delta.as_mut() {
+            for &pos in delta.positions() {
+                if self.tiered.iter().any(|(_, t)| t.delta().bit(pos)) {
+                    merged.set_bit(pos);
+                } else {
+                    merged.clear_bit(pos);
+                }
+            }
+            self.merged_delta_live = !merged.is_empty();
+        }
+        Ok(())
+    }
+
+    /// The legacy version held for a ledger (0 = none).
     pub fn version(&self, ledger: LedgerId) -> u64 {
         self.per_ledger.get(&ledger).map(|(v, _)| *v).unwrap_or(0)
     }
 
-    /// Number of ledgers with installed filters.
+    /// The tiered `(epoch, delta_version)` held for a ledger
+    /// (`(0, 0)` = not on the tiered pipeline).
+    pub fn tiered_state(&self, ledger: LedgerId) -> (u64, u64) {
+        self.tiered
+            .iter()
+            .find(|(l, _)| *l == ledger)
+            .map(|(_, t)| (t.epoch(), t.delta_version()))
+            .unwrap_or((0, 0))
+    }
+
+    /// Number of ledgers with installed filters (either pipeline).
     pub fn ledger_count(&self) -> usize {
-        self.per_ledger.len()
+        self.per_ledger.len() + self.tiered.len()
     }
 
     fn any_filter(&self) -> Option<&BloomFilter> {
         self.per_ledger.values().map(|(_, f)| f).next()
+    }
+
+    fn any_tiered_delta(&self) -> Option<&BloomFilter> {
+        self.tiered.first().map(|(_, t)| t.delta())
     }
 
     fn rebuild(&mut self) {
@@ -124,16 +343,64 @@ impl FilterSet {
         self.merged = Some(merged);
     }
 
-    /// Query the merged filter: `Some(false)` = definitely not revoked
-    /// on any ledger (answer locally), `Some(true)` = might be revoked
-    /// (must query), `None` = no filters installed yet (must query).
-    pub fn might_be_revoked(&self, key: u64) -> Option<bool> {
-        self.merged.as_ref().map(|f| f.contains(key))
+    fn rebuild_merged_delta(&mut self) {
+        let mut iter = self.tiered.iter().map(|(_, t)| t);
+        let Some(first) = iter.next() else {
+            self.merged_delta = None;
+            self.merged_delta_live = false;
+            return;
+        };
+        let mut merged = first.delta().clone();
+        for t in iter {
+            merged
+                .union_with(t.delta())
+                .expect("geometry validated at install time");
+        }
+        self.merged_delta_live = !merged.is_empty();
+        self.merged_delta = Some(merged);
     }
 
-    /// Estimated FPR of the merged filter at its current fill.
+    /// Query the installed filters: `Some(false)` = definitely not
+    /// revoked on any ledger (answer locally), `Some(true)` = might be
+    /// revoked (must query), `None` = no filters installed yet (must
+    /// query). Probe order: the merged views first (one Bloom probe
+    /// each), then the per-ledger fuse bases (three cache lines each).
+    pub fn might_be_revoked(&self, key: u64) -> Option<bool> {
+        if self.merged.is_none() && self.tiered.is_empty() {
+            return None;
+        }
+        if let Some(m) = &self.merged {
+            if m.contains(key) {
+                return Some(true);
+            }
+        }
+        if self.merged_delta_live {
+            if let Some(d) = &self.merged_delta {
+                if d.contains(key) {
+                    return Some(true);
+                }
+            }
+        }
+        Some(
+            self.tiered
+                .iter()
+                .any(|(_, t)| t.base().is_some_and(|b| b.contains(key))),
+        )
+    }
+
+    /// Estimated FPR of the legacy merged filter at its current fill.
     pub fn merged_fpr(&self) -> Option<f64> {
         self.merged.as_ref().map(|f| f.estimated_fpr())
+    }
+
+    /// Total proxy-resident filter bytes: per-ledger filters of both
+    /// pipelines plus the merged views (the E23 memory metric).
+    pub fn resident_filter_bytes(&self) -> u64 {
+        let legacy: u64 = self.per_ledger.values().map(|(_, f)| f.bits() / 8).sum();
+        let merged = self.merged.as_ref().map_or(0, |f| f.bits() / 8);
+        let tiered: u64 = self.tiered.iter().map(|(_, t)| t.resident_bits() / 8).sum();
+        let merged_delta = self.merged_delta.as_ref().map_or(0, |f| f.bits() / 8);
+        legacy + merged + tiered + merged_delta
     }
 }
 
@@ -141,6 +408,8 @@ impl FilterSet {
 mod tests {
     use super::*;
     use irs_filters::delta::BloomDelta;
+    use irs_filters::{PublishOutcome, TieredConfig, TieredPublisher, TieredServe};
+    use std::collections::HashSet;
 
     fn filter_with(keys: std::ops::Range<u64>) -> BloomFilter {
         let mut f = BloomFilter::with_params(1 << 14, 6, 7).unwrap();
@@ -198,6 +467,7 @@ mod tests {
         let delta = BloomDelta::diff(&old, &old).unwrap();
         assert!(fs.apply_delta(LedgerId(1), 4, 6, delta.to_bytes()).is_err());
         assert!(fs.apply_delta(LedgerId(9), 5, 6, delta.to_bytes()).is_err());
+        assert_eq!(fs.rejected, 2);
     }
 
     #[test]
@@ -207,14 +477,152 @@ mod tests {
             .unwrap();
         let odd = BloomFilter::with_params(1 << 12, 6, 7).unwrap();
         assert!(fs.apply_full(LedgerId(2), 1, odd.to_bytes()).is_err());
+        assert_eq!(fs.rejected, 1);
     }
 
     #[test]
-    fn bytes_accounting() {
+    fn bytes_accounted_only_for_accepted_updates() {
         let mut fs = FilterSet::new();
         let payload = filter_with(0..10).to_bytes();
         let n = payload.len() as u64;
         fs.apply_full(LedgerId(1), 1, payload).unwrap();
         assert_eq!(fs.bytes_received, n);
+        // A rejected update (wrong geometry) moves neither bytes nor the
+        // update counters — only the rejection counter.
+        let odd = BloomFilter::with_params(1 << 12, 6, 7).unwrap();
+        assert!(fs.apply_full(LedgerId(2), 1, odd.to_bytes()).is_err());
+        assert_eq!(fs.bytes_received, n);
+        assert_eq!(fs.updates, (1, 0));
+        assert_eq!(fs.rejected, 1);
+        // Same for a garbage delta.
+        assert!(fs
+            .apply_delta(LedgerId(1), 1, 2, bytes::Bytes::from_static(b"junk"))
+            .is_err());
+        assert_eq!(fs.bytes_received, n);
+        assert_eq!(fs.rejected, 2);
+    }
+
+    /// Drive a server-side publisher and mirror its publications through
+    /// the FilterSet exactly as the refresh worker would.
+    fn sync_tiered(fs: &mut FilterSet, ledger: LedgerId, snap: &irs_filters::TieredSnapshot) {
+        let (have_epoch, have_version) = fs.tiered_state(ledger);
+        match snap.serve(have_epoch, have_version) {
+            TieredServe::Current => {}
+            TieredServe::Delta {
+                from_version,
+                to_version,
+                delta,
+            } => fs
+                .apply_tiered_delta(ledger, from_version, to_version, delta.to_bytes())
+                .unwrap(),
+            TieredServe::Base { epoch, base } => fs.apply_base(ledger, epoch, base).unwrap(),
+            TieredServe::Tiered {
+                epoch,
+                base,
+                delta_version,
+                delta,
+            } => fs
+                .apply_tiered(ledger, epoch, base, delta_version, delta)
+                .unwrap(),
+        }
+    }
+
+    #[test]
+    fn tiered_install_supersedes_legacy_bloom() {
+        let mut fs = FilterSet::new();
+        fs.apply_full(LedgerId(1), 3, filter_with(0..50).to_bytes())
+            .unwrap();
+        let legacy_bytes = fs.resident_filter_bytes();
+        // Size the delta tier to the workload, as production would; the
+        // 50 keys cross compact_at, so the install carries a sealed base.
+        let cfg = TieredConfig {
+            delta_capacity: 64,
+            delta_fpr: 1e-3,
+            compact_at: 16,
+        };
+        let mut publisher = TieredPublisher::new(cfg).unwrap();
+        publisher.publish(&(0..50u64).collect()).unwrap();
+        sync_tiered(&mut fs, LedgerId(1), &publisher.snapshot());
+        // Legacy filter dropped, tiered state installed.
+        assert_eq!(fs.version(LedgerId(1)), 0);
+        assert_ne!(fs.tiered_state(LedgerId(1)), (0, 0));
+        assert_eq!(fs.ledger_count(), 1);
+        for k in 0..50u64 {
+            assert_eq!(fs.might_be_revoked(k), Some(true), "key {k}");
+        }
+        assert!(
+            fs.resident_filter_bytes() < legacy_bytes,
+            "tiered {} should undercut legacy {} resident bytes",
+            fs.resident_filter_bytes(),
+            legacy_bytes
+        );
+    }
+
+    #[test]
+    fn tiered_pipeline_tracks_publisher_without_false_negatives() {
+        let cfg = TieredConfig {
+            delta_capacity: 512,
+            delta_fpr: 1e-3,
+            compact_at: 128,
+        };
+        let mut pub_a = TieredPublisher::new(cfg).unwrap();
+        let mut pub_b = TieredPublisher::new(cfg).unwrap();
+        let mut fs = FilterSet::new();
+        let mut revoked_a: HashSet<u64> = HashSet::new();
+        let mut revoked_b: HashSet<u64> = HashSet::new();
+        let mut compactions = 0;
+        for round in 0..20u64 {
+            for i in (round * 20)..((round + 1) * 20) {
+                revoked_a.insert(irs_filters::hash::mix64(i));
+                revoked_b.insert(irs_filters::hash::mix64(i + 1_000_000));
+            }
+            if matches!(
+                pub_a.publish(&revoked_a).unwrap(),
+                PublishOutcome::Compacted(_)
+            ) {
+                compactions += 1;
+            }
+            pub_b.publish(&revoked_b).unwrap();
+            sync_tiered(&mut fs, LedgerId(1), &pub_a.snapshot());
+            sync_tiered(&mut fs, LedgerId(2), &pub_b.snapshot());
+            for &k in revoked_a.iter().chain(revoked_b.iter()) {
+                assert_eq!(fs.might_be_revoked(k), Some(true), "lost key {k}");
+            }
+        }
+        assert!(compactions >= 2, "sweep never compacted");
+        assert_eq!(fs.ledger_count(), 2);
+        // The incremental merged delta is bit-identical to a from-scratch
+        // rebuild (only bit state matters; the merged view's insert
+        // counter is not maintained and not used).
+        let mut rebuilt = fs.clone();
+        rebuilt.rebuild_merged_delta();
+        let incremental = fs.merged_delta.as_ref().unwrap();
+        let ground_truth = rebuilt.merged_delta.as_ref().unwrap();
+        for pos in 0..incremental.m_bits() {
+            assert_eq!(
+                incremental.bit(pos),
+                ground_truth.bit(pos),
+                "incremental merged-delta maintenance drifted at bit {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiered_version_and_epoch_mismatches_rejected() {
+        let mut publisher = TieredPublisher::new(TieredConfig::default()).unwrap();
+        publisher.publish(&(0..50u64).collect()).unwrap();
+        let mut fs = FilterSet::new();
+        sync_tiered(&mut fs, LedgerId(1), &publisher.snapshot());
+        let snap = publisher.snapshot();
+        // Base roll for a ledger we don't hold tiered state for.
+        assert!(fs
+            .apply_base(LedgerId(9), 2, snap.base_bytes().clone())
+            .is_err());
+        // Delta against the wrong from_version.
+        let empty = BloomDelta::diff(snap.delta(), snap.delta()).unwrap();
+        assert!(fs
+            .apply_tiered_delta(LedgerId(1), 77, 78, empty.to_bytes())
+            .is_err());
+        assert_eq!(fs.rejected, 2);
     }
 }

@@ -48,6 +48,10 @@ struct ProxyObs {
     // Point-in-time gauges, refreshed on render.
     breaker_opens: Gauge,
     cache_entries: Gauge,
+    // Filter-pipeline gauges, mirrored from the current FilterSet
+    // snapshot (which owns the authoritative counts).
+    filter_rejected: Gauge,
+    filter_resident_bytes: Gauge,
 }
 
 impl ProxyObs {
@@ -63,6 +67,8 @@ impl ProxyObs {
             upstream_failures: registry.counter("irs_proxy_upstream_failures_total"),
             breaker_opens: registry.gauge("irs_proxy_breaker_opens"),
             cache_entries: registry.gauge("irs_proxy_cache_entries"),
+            filter_rejected: registry.gauge("irs_proxy_filter_rejected_updates"),
+            filter_resident_bytes: registry.gauge("irs_proxy_filter_resident_bytes"),
             registry,
         }
     }
@@ -304,6 +310,11 @@ impl SharedProxy {
             .breaker_opens
             .set(self.health.read().values().map(|b| b.opens()).sum());
         self.obs.cache_entries.set(self.cache_len() as u64);
+        let filters = self.filters_snapshot();
+        self.obs.filter_rejected.set(filters.rejected);
+        self.obs
+            .filter_resident_bytes
+            .set(filters.resident_filter_bytes());
         self.obs.registry.render()
     }
 }
@@ -503,6 +514,15 @@ mod tests {
         assert_eq!(parsed["irs_proxy_filter_negative_total"], 1.0);
         assert_eq!(parsed["irs_proxy_cache_hits_total"], 1.0);
         assert_eq!(parsed["irs_proxy_cache_entries"], 1.0);
+        assert_eq!(parsed["irs_proxy_filter_rejected_updates"], 0.0);
+        assert!(parsed["irs_proxy_filter_resident_bytes"] > 0.0);
+        // A rejected update (wrong geometry) surfaces in the exposition.
+        let odd = BloomFilter::with_params(1 << 12, 6, 0).unwrap();
+        assert!(p
+            .update_filters(|fs| fs.apply_full(LedgerId(2), 1, odd.to_bytes()))
+            .is_err());
+        let parsed = irs_obs::parse_exposition(&p.render_metrics());
+        assert_eq!(parsed["irs_proxy_filter_rejected_updates"], 1.0);
     }
 
     #[test]
